@@ -1,0 +1,114 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! * **join ordering** — greedy statistics-driven vs syntactic order
+//!   on the evaluation queries with the largest join graphs;
+//! * **tgrep label index** — with vs without postings-based tree
+//!   pruning, on a rare-word and a common-tag query;
+//! * **engine build cost** — labeling + loading + clustering +
+//!   indexing, the one-time preprocessing the paper amortizes;
+//! * **parallel scan** — the walker's per-tree partitioned evaluation
+//!   at 1/2/4/8 threads (beyond-paper extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lpath_bench::wsj_corpus;
+use lpath_core::{queryset::by_id, Engine};
+use lpath_relstore::{JoinOrder, PlannerConfig};
+use lpath_tgrep::{TgrepEngine, TGREP_QUERIES};
+
+fn bench_sentences() -> usize {
+    std::env::var("LPATH_BENCH_SENTENCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800)
+}
+
+fn join_order(c: &mut Criterion) {
+    let corpus = wsj_corpus(bench_sentences());
+    let greedy = Engine::build(&corpus);
+    let syntactic = Engine::with_config(
+        &corpus,
+        PlannerConfig {
+            order: JoinOrder::Syntactic,
+        },
+    );
+    let mut group = c.benchmark_group("ablation_join_order");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700));
+    // Queries with several joins, where ordering can matter.
+    for qid in [3usize, 4, 7, 10, 18, 19, 22] {
+        let q = by_id(qid);
+        group.bench_with_input(BenchmarkId::new("greedy", qid), &qid, |b, _| {
+            b.iter(|| greedy.count(q.lpath).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("syntactic", qid), &qid, |b, _| {
+            b.iter(|| syntactic.count(q.lpath).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn tgrep_index(c: &mut Criterion) {
+    let corpus = wsj_corpus(bench_sentences());
+    let engine = TgrepEngine::build(&corpus);
+    let mut group = c.benchmark_group("ablation_tgrep_index");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700));
+    // Q12 (rare word) benefits hugely; Q2 (common tags) cannot.
+    for qid in [12usize, 13, 1, 2] {
+        let pat = TGREP_QUERIES[qid - 1];
+        group.bench_with_input(BenchmarkId::new("indexed", qid), &qid, |b, _| {
+            b.iter(|| engine.count(pat).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", qid), &qid, |b, _| {
+            b.iter(|| engine.count_unindexed(pat).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn build_cost(c: &mut Criterion) {
+    let corpus = wsj_corpus(400);
+    let mut group = c.benchmark_group("ablation_build_cost");
+    group.sample_size(10);
+    group.bench_function("lpath_engine_build", |b| {
+        b.iter(|| Engine::build(&corpus))
+    });
+    group.bench_function("tgrep_image_build", |b| {
+        b.iter(|| TgrepEngine::build(&corpus))
+    });
+    group.finish();
+}
+
+fn parallel_scan(c: &mut Criterion) {
+    use lpath_core::{queryset::QUERIES, Walker};
+    use lpath_syntax::{parse, Path};
+    let corpus = wsj_corpus(bench_sentences());
+    let walker = Walker::new(&corpus);
+    let mut group = c.benchmark_group("ablation_parallel_scan");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2));
+    // The whole 23-query evaluation set as one batch: thread startup
+    // is paid once per batch, not once per query.
+    let queries: Vec<Path> = QUERIES.iter().map(|q| parse(q.lpath).unwrap()).collect();
+    let refs: Vec<&Path> = queries.iter().collect();
+    let sequential = walker.eval_batch_parallel(&refs, 1);
+    for threads in [1usize, 2, 4] {
+        assert_eq!(walker.eval_batch_parallel(&refs, threads), sequential);
+        group.bench_with_input(
+            BenchmarkId::new("batch23_threads", threads),
+            &threads,
+            |b, &t| b.iter(|| walker.eval_batch_parallel(&refs, t).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, join_order, tgrep_index, build_cost, parallel_scan);
+criterion_main!(benches);

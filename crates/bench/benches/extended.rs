@@ -1,0 +1,64 @@
+//! Benchmarks for the extended (beyond-paper) query surface.
+//!
+//! Two questions:
+//!
+//! * do the function-library forms cost the same as their Figure 6(c)
+//!   identities (`count(p)=0` vs `not(p)` — same NOT EXISTS plan)?
+//! * what do the string functions cost (IN-set expansion vs plain
+//!   value equality)?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lpath_bench::wsj_corpus;
+use lpath_core::Engine;
+
+fn bench_sentences() -> usize {
+    std::env::var("LPATH_BENCH_SENTENCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800)
+}
+
+fn identity_pairs(c: &mut Criterion) {
+    let corpus = wsj_corpus(bench_sentences());
+    let engine = Engine::build(&corpus);
+    let mut group = c.benchmark_group("extended_identities");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700));
+    for (name, query) in [
+        ("not_jj", "//NP[not(//JJ)]"),
+        ("count_jj_eq0", "//NP[count(//JJ)=0]"),
+        ("exists_vp", "//S[//VP]"),
+        ("count_vp_gt0", "//S[count(//VP)>0]"),
+    ] {
+        group.bench_function(name, |b| b.iter(|| engine.count(query).unwrap()));
+    }
+    group.finish();
+}
+
+fn string_functions(c: &mut Criterion) {
+    let corpus = wsj_corpus(bench_sentences());
+    let engine = Engine::build(&corpus);
+    let mut group = c.benchmark_group("extended_string_functions");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700));
+    for (name, query) in [
+        // Plain equality — the baseline the paper's engine handles.
+        ("value_eq", "//_[@lex=company]"),
+        // IN-set expansions of increasing set size.
+        ("contains_rare", "//_[contains(@lex,ing)]"),
+        ("starts_with", "//_[starts-with(@lex,c)]"),
+        ("strlen_gt8", "//_[string-length(@lex)>8]"),
+        ("not_contains", "//_[@lex][not(contains(@lex,e))]"),
+    ] {
+        group.bench_function(name, |b| b.iter(|| engine.count(query).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, identity_pairs, string_functions);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 10: the LPath leaf-interval labeling vs the XPath start/end
+//! labeling (DeHaan et al.) on the 11 XPath-expressible queries, with
+//! every other engine component shared.
+//!
+//! Expected shape: near-identical times — the added expressiveness of
+//! the LPath labels costs nothing on the XPath fragment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lpath_bench::wsj_corpus;
+use lpath_core::{queryset::by_id, Engine};
+use lpath_xpath::{XPathEngine, XPATH_QUERIES};
+
+fn bench_sentences() -> usize {
+    std::env::var("LPATH_BENCH_SENTENCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800)
+}
+
+fn fig10(c: &mut Criterion) {
+    let corpus = wsj_corpus(bench_sentences());
+    let lpath = Engine::build(&corpus);
+    let xpath = XPathEngine::build(&corpus);
+    let mut group = c.benchmark_group("fig10_labeling");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700));
+    for (id, xq) in XPATH_QUERIES {
+        let lq = by_id(id).lpath;
+        assert_eq!(
+            lpath.count(lq).unwrap(),
+            xpath.count(xq).unwrap(),
+            "Q{id} disagreement"
+        );
+        group.bench_with_input(BenchmarkId::new("lpath_label", id), &id, |b, _| {
+            b.iter(|| lpath.count(lq).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("xpath_label", id), &id, |b, _| {
+            b.iter(|| xpath.count(xq).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 7: per-query execution time on the WSJ-profile corpus,
+//! LPath engine vs TGrep2-style vs CorpusSearch-style.
+//!
+//! Expected shape (paper §5.2): LPath fastest on most queries, except
+//! those dominated by low-selectivity tags (Q3, Q18, Q22) where join
+//! input sizes dominate; TGrep2 strongest on rare-word queries;
+//! CorpusSearch slowest throughout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lpath_bench::{wsj_corpus, Engines};
+use lpath_core::QUERIES;
+use lpath_corpussearch::CS_QUERIES;
+use lpath_tgrep::TGREP_QUERIES;
+
+fn bench_sentences() -> usize {
+    std::env::var("LPATH_BENCH_SENTENCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(800)
+}
+
+fn fig7(c: &mut Criterion) {
+    let corpus = wsj_corpus(bench_sentences());
+    let engines = Engines::build(&corpus);
+    let mut group = c.benchmark_group("fig7_wsj");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700));
+    for q in QUERIES {
+        let i = q.id - 1;
+        group.bench_with_input(BenchmarkId::new("lpath", q.id), &q.id, |b, _| {
+            b.iter(|| engines.lpath.count(q.lpath).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tgrep", q.id), &q.id, |b, _| {
+            b.iter(|| engines.tgrep.count(TGREP_QUERIES[i]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("corpussearch", q.id), &q.id, |b, _| {
+            b.iter(|| engines.cs.count(CS_QUERIES[i]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

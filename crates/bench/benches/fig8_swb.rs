@@ -1,0 +1,46 @@
+//! Figure 8: per-query execution time on the SWB-profile corpus.
+//!
+//! Expected shape (paper §5.2): LPath fastest on *all* queries here —
+//! the tags its queries touch are much rarer in Switchboard than in
+//! WSJ, so the join inputs stay small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lpath_bench::{swb_corpus, Engines};
+use lpath_core::QUERIES;
+use lpath_corpussearch::CS_QUERIES;
+use lpath_tgrep::TGREP_QUERIES;
+
+fn bench_sentences() -> usize {
+    std::env::var("LPATH_BENCH_SENTENCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|wsj: usize| wsj * 110 / 49)
+        .unwrap_or(1_800)
+}
+
+fn fig8(c: &mut Criterion) {
+    let corpus = swb_corpus(bench_sentences());
+    let engines = Engines::build(&corpus);
+    let mut group = c.benchmark_group("fig8_swb");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700));
+    for q in QUERIES {
+        let i = q.id - 1;
+        group.bench_with_input(BenchmarkId::new("lpath", q.id), &q.id, |b, _| {
+            b.iter(|| engines.lpath.count(q.lpath).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tgrep", q.id), &q.id, |b, _| {
+            b.iter(|| engines.tgrep.count(TGREP_QUERIES[i]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("corpussearch", q.id), &q.id, |b, _| {
+            b.iter(|| engines.cs.count(CS_QUERIES[i]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

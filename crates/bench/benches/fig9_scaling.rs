@@ -1,0 +1,56 @@
+//! Figure 9: scalability — the WSJ corpus replicated 0.5×–4× (paper
+//! §5.3), queries Q3, Q6, Q11 on all three engines.
+//!
+//! Expected shape: near-linear growth for every engine, with LPath
+//! keeping its lead as size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lpath_bench::{wsj_corpus, Engines};
+use lpath_core::queryset::{by_id, FIG9_QUERY_IDS};
+use lpath_corpussearch::CS_QUERIES;
+use lpath_tgrep::TGREP_QUERIES;
+
+fn base_sentences() -> usize {
+    std::env::var("LPATH_BENCH_SENTENCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600)
+}
+
+fn fig9(c: &mut Criterion) {
+    let base = wsj_corpus(base_sentences());
+    let mut group = c.benchmark_group("fig9_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700));
+    for factor in [0.5f64, 1.0, 2.0, 3.0, 4.0] {
+        let corpus = base.replicate(factor);
+        let engines = Engines::build(&corpus);
+        let size = corpus.trees().len();
+        for qid in FIG9_QUERY_IDS {
+            let q = by_id(qid);
+            let i = qid - 1;
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{qid}_lpath"), size),
+                &size,
+                |b, _| b.iter(|| engines.lpath.count(q.lpath).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{qid}_tgrep"), size),
+                &size,
+                |b, _| b.iter(|| engines.tgrep.count(TGREP_QUERIES[i]).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("q{qid}_corpussearch"), size),
+                &size,
+                |b, _| b.iter(|| engines.cs.count(CS_QUERIES[i]).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

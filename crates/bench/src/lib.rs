@@ -1,0 +1,209 @@
+//! Shared benchmark infrastructure: corpus construction, engine
+//! bundles, the paper's timing methodology and table printers.
+//!
+//! Every figure and table of the paper's evaluation (§5) is regenerated
+//! either by the `harness` binary (paper-style tables, wall-clock
+//! timings with the 7-run trimmed mean the paper describes) or by the
+//! Criterion benches under `benches/` (statistically rigorous
+//! per-query measurements).
+//!
+//! Scale: the paper's corpora hold ~3.5M nodes each. The default here
+//! is 1/20 of the paper's sentence counts — large enough to reproduce
+//! every relative effect, small enough for CI. Set
+//! `LPATH_BENCH_SENTENCES` (WSJ sentences; SWB is scaled to match the
+//! paper's ratio) to change it, e.g. the paper-scale
+//! `LPATH_BENCH_SENTENCES=49000`.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use lpath_core::{Engine, QUERIES};
+use lpath_corpussearch::{CsEngine, CS_QUERIES};
+use lpath_model::{generate, Corpus, GenConfig};
+use lpath_tgrep::{TgrepEngine, TGREP_QUERIES};
+use lpath_xpath::{XPathEngine, XPATH_QUERIES};
+
+/// WSJ sentences at the default benchmark scale.
+pub fn default_wsj_sentences() -> usize {
+    std::env::var("LPATH_BENCH_SENTENCES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_450)
+}
+
+/// SWB sentences matching the paper's WSJ:SWB sentence ratio.
+pub fn default_swb_sentences() -> usize {
+    default_wsj_sentences() * 110 / 49
+}
+
+/// The synthetic WSJ-profile corpus.
+pub fn wsj_corpus(sentences: usize) -> Corpus {
+    generate(&GenConfig::wsj(sentences))
+}
+
+/// The synthetic SWB-profile corpus.
+pub fn swb_corpus(sentences: usize) -> Corpus {
+    generate(&GenConfig::swb(sentences))
+}
+
+/// All engines over one corpus.
+pub struct Engines<'c> {
+    /// The shared corpus.
+    pub corpus: &'c Corpus,
+    /// The paper's relational engine.
+    pub lpath: Engine,
+    /// The TGrep2-style baseline.
+    pub tgrep: TgrepEngine,
+    /// The CorpusSearch-style baseline.
+    pub cs: CsEngine<'c>,
+}
+
+impl<'c> Engines<'c> {
+    /// Build all three engines over one corpus.
+    pub fn build(corpus: &'c Corpus) -> Self {
+        Engines {
+            corpus,
+            lpath: Engine::build(corpus),
+            tgrep: TgrepEngine::build(corpus),
+            cs: CsEngine::new(corpus),
+        }
+    }
+
+    /// Run query `id` (1-based) on every engine, returning
+    /// (lpath, tgrep, corpussearch) counts — they must agree.
+    pub fn counts(&self, id: usize) -> (usize, usize, usize) {
+        let i = id - 1;
+        (
+            self.lpath.count(QUERIES[i].lpath).expect("lpath query"),
+            self.tgrep.count(TGREP_QUERIES[i]).expect("tgrep query"),
+            self.cs.count(CS_QUERIES[i]).expect("cs query"),
+        )
+    }
+}
+
+/// The paper's timing methodology (§5.1): run 7 times, discard the
+/// fastest and slowest, average the rest. Returns the trimmed mean.
+pub fn time7(mut f: impl FnMut()) -> Duration {
+    let mut runs: Vec<Duration> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    runs.sort();
+    let kept = &runs[1..6];
+    kept.iter().sum::<Duration>() / kept.len() as u32
+}
+
+/// Format a duration the way the paper's log-scale plots think about
+/// it: seconds with enough precision for sub-millisecond times.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64())
+}
+
+/// The per-query engine timings backing Figures 7 and 8.
+pub struct QueryTiming {
+    /// Query id (Q1–Q23).
+    pub id: usize,
+    /// LPath engine time (7-run trimmed mean).
+    pub lpath: Duration,
+    /// TGrep2 baseline time.
+    pub tgrep: Duration,
+    /// CorpusSearch baseline time.
+    pub cs: Duration,
+    /// Result size (sanity cross-check across engines).
+    pub result_size: usize,
+}
+
+/// Time all 23 queries on all three engines (Figures 7/8 rows).
+pub fn figure7_rows(engines: &Engines<'_>) -> Vec<QueryTiming> {
+    QUERIES
+        .iter()
+        .map(|q| {
+            let i = q.id - 1;
+            let (n1, n2, n3) = engines.counts(q.id);
+            assert_eq!(n1, n2, "Q{} lpath vs tgrep", q.id);
+            assert_eq!(n1, n3, "Q{} lpath vs corpussearch", q.id);
+            QueryTiming {
+                id: q.id,
+                lpath: time7(|| {
+                    engines.lpath.count(q.lpath).unwrap();
+                }),
+                tgrep: time7(|| {
+                    engines.tgrep.count(TGREP_QUERIES[i]).unwrap();
+                }),
+                cs: time7(|| {
+                    engines.cs.count(CS_QUERIES[i]).unwrap();
+                }),
+                result_size: n1,
+            }
+        })
+        .collect()
+}
+
+/// One Figure 10 row: LPath vs XPath labeling on a shared query.
+pub struct LabelingTiming {
+    /// Query id (one of the 11 XPath-expressible).
+    pub id: usize,
+    /// Time over the LPath labeling.
+    pub lpath: Duration,
+    /// Time over the start/end (DeHaan) labeling.
+    pub xpath: Duration,
+}
+
+/// Time the 11 XPath-expressible queries on both labeling schemes.
+pub fn figure10_rows(corpus: &Corpus) -> Vec<LabelingTiming> {
+    let lp = Engine::build(corpus);
+    let xp = XPathEngine::build(corpus);
+    XPATH_QUERIES
+        .iter()
+        .map(|&(id, xq)| {
+            let lq = lpath_core::queryset::by_id(id).lpath;
+            let a = lp.count(lq).unwrap();
+            let b = xp.count(xq).unwrap();
+            assert_eq!(a, b, "Q{id} labeling schemes disagree");
+            LabelingTiming {
+                id,
+                lpath: time7(|| {
+                    lp.count(lq).unwrap();
+                }),
+                xpath: time7(|| {
+                    xp.count(xq).unwrap();
+                }),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engines_bundle_agrees_on_a_tiny_corpus() {
+        let corpus = wsj_corpus(60);
+        let engines = Engines::build(&corpus);
+        for q in QUERIES {
+            let (a, b, c) = engines.counts(q.id);
+            assert_eq!(a, b, "Q{}", q.id);
+            assert_eq!(a, c, "Q{}", q.id);
+        }
+    }
+
+    #[test]
+    fn time7_returns_a_sane_duration() {
+        let d = time7(|| std::thread::sleep(Duration::from_micros(100)));
+        assert!(d >= Duration::from_micros(80));
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn default_scales_follow_the_paper_ratio() {
+        // SWB has ~2.2× the sentences of WSJ in the paper.
+        let w = default_wsj_sentences();
+        let s = default_swb_sentences();
+        assert!(s > 2 * w && s < 3 * w);
+    }
+}

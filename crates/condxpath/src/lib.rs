@@ -1,0 +1,609 @@
+//! Conditional XPath over ordered trees — the expressiveness side of
+//! the paper's Lemma 3.1.
+//!
+//! The paper proves (citing Lai \[16\] and Marx \[21\]) that LPath's
+//! `immediate-following`, `immediate-preceding`, their sibling variants,
+//! and subtree scoping **cannot** be expressed in Core XPath — but the
+//! first two *can* once XPath is extended with *conditional axes*, the
+//! extension Marx showed to be exactly first-order complete
+//! (*Conditional XPath*, PODS 2004).
+//!
+//! This crate implements Marx's language over the same [`Tree`]s the
+//! rest of the workspace uses:
+//!
+//! * the four **one-step** relations of the ordered-tree signature —
+//!   [`Step::Down`] (parent→child), [`Step::Up`], [`Step::Right`]
+//!   (next sibling), [`Step::Left`];
+//! * **path expressions** ([`PathExpr`]): steps filtered by node tests
+//!   and conditions, composition, union, and the *conditional closure*
+//!   `(step[φ])+` that separates Conditional XPath from Core XPath;
+//! * **node conditions** ([`NodeCond`]): boolean combinations of path
+//!   existence and label tests.
+//!
+//! The headline constructions — with differential tests against the
+//! LPath engine in `tests/` and here — are
+//! [`immediate_following`], [`immediate_preceding`],
+//! [`immediate_following_sibling`] and [`immediate_preceding_sibling`]:
+//! Conditional XPath expressions provably (and here, empirically)
+//! equivalent to the LPath axes `->`, `<-`, `=>`, `<=`.
+//!
+//! The converse — that no Core XPath expression matches `->` — is an
+//! inexpressibility result and cannot be established by testing alone;
+//! [`core_xpath_queries_up_to`] supports a finite refutation in the
+//! test suite: every Core XPath query up to a bounded size disagrees
+//! with `//V->NP` on a family of witness trees.
+
+#![warn(missing_docs)]
+
+use lpath_model::{NodeId, Sym, Tree};
+
+/// A one-step relation of Marx's ordered-tree signature.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// One edge downward: parent → each child.
+    Down,
+    /// One edge upward: child → parent.
+    Up,
+    /// The immediately next sibling.
+    Right,
+    /// The immediately previous sibling.
+    Left,
+}
+
+impl Step {
+    /// All four primitive steps.
+    pub const ALL: [Step; 4] = [Step::Down, Step::Up, Step::Right, Step::Left];
+
+    /// Targets of one step from `n`.
+    fn apply(self, tree: &Tree, n: NodeId) -> Vec<NodeId> {
+        match self {
+            Step::Down => tree.node(n).children.clone(),
+            Step::Up => tree.node(n).parent.into_iter().collect(),
+            Step::Right => tree.next_sibling(n).into_iter().collect(),
+            Step::Left => tree.prev_sibling(n).into_iter().collect(),
+        }
+    }
+}
+
+/// A node test: any node, or a specific (interned) tag.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Test {
+    /// Any node.
+    Any,
+    /// A node carrying this tag.
+    Tag(Sym),
+}
+
+impl Test {
+    fn holds(self, tree: &Tree, n: NodeId) -> bool {
+        match self {
+            Test::Any => true,
+            Test::Tag(sym) => tree.node(n).name == sym,
+        }
+    }
+}
+
+/// A node condition (Marx's φ): boolean combinations of path existence
+/// and label tests, evaluated at a single node.
+#[derive(Clone, Debug)]
+pub enum NodeCond {
+    /// Always true.
+    True,
+    /// The node satisfies a label test.
+    Is(Test),
+    /// Some path match exists from this node.
+    Exists(Box<PathExpr>),
+    /// Negation.
+    Not(Box<NodeCond>),
+    /// Conjunction.
+    And(Box<NodeCond>, Box<NodeCond>),
+    /// Disjunction.
+    Or(Box<NodeCond>, Box<NodeCond>),
+}
+
+impl NodeCond {
+    /// `∃ p` — some match of `p` from this node.
+    pub fn exists(p: PathExpr) -> Self {
+        NodeCond::Exists(Box::new(p))
+    }
+
+    /// `¬ c` (named after the logic, not `std::ops::Not`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(c: NodeCond) -> Self {
+        NodeCond::Not(Box::new(c))
+    }
+
+    /// `a ∧ b`.
+    pub fn and(a: NodeCond, b: NodeCond) -> Self {
+        NodeCond::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a ∨ b`.
+    pub fn or(a: NodeCond, b: NodeCond) -> Self {
+        NodeCond::Or(Box::new(a), Box::new(b))
+    }
+
+    /// "This node has no next sibling" — it is the last child (or the
+    /// root).
+    pub fn is_last_child() -> Self {
+        NodeCond::not(NodeCond::exists(PathExpr::step(Step::Right)))
+    }
+
+    /// "This node has no previous sibling".
+    pub fn is_first_child() -> Self {
+        NodeCond::not(NodeCond::exists(PathExpr::step(Step::Left)))
+    }
+
+    fn holds(&self, tree: &Tree, n: NodeId) -> bool {
+        match self {
+            NodeCond::True => true,
+            NodeCond::Is(t) => t.holds(tree, n),
+            NodeCond::Exists(p) => !p.eval(tree, n).is_empty(),
+            NodeCond::Not(c) => !c.holds(tree, n),
+            NodeCond::And(a, b) => a.holds(tree, n) && b.holds(tree, n),
+            NodeCond::Or(a, b) => a.holds(tree, n) || b.holds(tree, n),
+        }
+    }
+}
+
+/// A Conditional XPath path expression.
+#[derive(Clone, Debug)]
+pub enum PathExpr {
+    /// One step whose **target** must satisfy the test and condition.
+    Atom {
+        /// The primitive step relation.
+        step: Step,
+        /// Label test on the target node.
+        test: Test,
+        /// Condition on the target node.
+        cond: Box<NodeCond>,
+    },
+    /// Stay put, keeping nodes satisfying the condition (Marx's `?φ`).
+    Filter(Box<NodeCond>),
+    /// Composition `a / b`.
+    Seq(Box<PathExpr>, Box<PathExpr>),
+    /// Union `a | b`.
+    Union(Box<PathExpr>, Box<PathExpr>),
+    /// Transitive closure `(p)+` — one or more iterations. This is the
+    /// conditional-axis construct: `(step[φ])+` when `p` is an atom.
+    Plus(Box<PathExpr>),
+    /// Reflexive-transitive closure `(p)*`.
+    Star(Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// A bare step with no test or condition.
+    pub fn step(step: Step) -> Self {
+        PathExpr::Atom {
+            step,
+            test: Test::Any,
+            cond: Box::new(NodeCond::True),
+        }
+    }
+
+    /// A step whose target satisfies `cond`.
+    pub fn step_if(step: Step, cond: NodeCond) -> Self {
+        PathExpr::Atom {
+            step,
+            test: Test::Any,
+            cond: Box::new(cond),
+        }
+    }
+
+    /// A step whose target carries `tag`.
+    pub fn step_to(step: Step, tag: Sym) -> Self {
+        PathExpr::Atom {
+            step,
+            test: Test::Tag(tag),
+            cond: Box::new(NodeCond::True),
+        }
+    }
+
+    /// Marx's `?φ` — keep nodes satisfying `cond`, go nowhere.
+    pub fn filter(cond: NodeCond) -> Self {
+        PathExpr::Filter(Box::new(cond))
+    }
+
+    /// Composition `a / b`.
+    pub fn seq(a: PathExpr, b: PathExpr) -> Self {
+        PathExpr::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// Compose many expressions left to right.
+    pub fn chain(parts: impl IntoIterator<Item = PathExpr>) -> Self {
+        let mut it = parts.into_iter();
+        let first = it.next().expect("chain of at least one expression");
+        it.fold(first, PathExpr::seq)
+    }
+
+    /// Union `a | b`.
+    pub fn union(a: PathExpr, b: PathExpr) -> Self {
+        PathExpr::Union(Box::new(a), Box::new(b))
+    }
+
+    /// Transitive closure `(p)+`.
+    pub fn plus(p: PathExpr) -> Self {
+        PathExpr::Plus(Box::new(p))
+    }
+
+    /// Reflexive-transitive closure `(p)*`.
+    pub fn star(p: PathExpr) -> Self {
+        PathExpr::Star(Box::new(p))
+    }
+
+    /// All nodes reachable from `from` through this expression, in
+    /// document order, deduplicated.
+    pub fn eval(&self, tree: &Tree, from: NodeId) -> Vec<NodeId> {
+        let mut out = self.eval_set(tree, &[from]);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Set-at-a-time evaluation (worklist for the closures).
+    fn eval_set(&self, tree: &Tree, from: &[NodeId]) -> Vec<NodeId> {
+        match self {
+            PathExpr::Atom { step, test, cond } => {
+                let mut out = Vec::new();
+                for &n in from {
+                    for t in step.apply(tree, n) {
+                        if test.holds(tree, t) && cond.holds(tree, t) {
+                            out.push(t);
+                        }
+                    }
+                }
+                dedup(out)
+            }
+            PathExpr::Filter(cond) => from
+                .iter()
+                .copied()
+                .filter(|&n| cond.holds(tree, n))
+                .collect(),
+            PathExpr::Seq(a, b) => {
+                let mid = a.eval_set(tree, from);
+                b.eval_set(tree, &mid)
+            }
+            PathExpr::Union(a, b) => {
+                let mut out = a.eval_set(tree, from);
+                out.extend(b.eval_set(tree, from));
+                dedup(out)
+            }
+            PathExpr::Plus(p) => {
+                // Fixpoint: first iteration seeds the worklist.
+                let mut reached: Vec<bool> = vec![false; tree.len()];
+                let mut work = p.eval_set(tree, from);
+                for &n in &work {
+                    reached[n.index()] = true;
+                }
+                while let Some(n) = work.pop() {
+                    for t in p.eval_set(tree, &[n]) {
+                        if !reached[t.index()] {
+                            reached[t.index()] = true;
+                            work.push(t);
+                        }
+                    }
+                }
+                reached
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &r)| r)
+                    .map(|(i, _)| NodeId(i as u32))
+                    .collect()
+            }
+            PathExpr::Star(p) => {
+                let mut out: Vec<NodeId> = from.to_vec();
+                out.extend(PathExpr::Plus(p.clone()).eval_set(tree, from));
+                dedup(out)
+            }
+        }
+    }
+}
+
+fn dedup(mut v: Vec<NodeId>) -> Vec<NodeId> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+// ---------------------------------------------------------------
+// The headline constructions
+// ---------------------------------------------------------------
+
+/// `immediate-following` (LPath `->`) in Conditional XPath:
+///
+/// ```text
+/// (up[last-child])* / right / (down[first-child])*
+/// ```
+///
+/// Walk up while the current node is its parent's last child (so its
+/// rightmost leaf is still the context's rightmost leaf), step to the
+/// next sibling — the first node after the context in document order
+/// whose subtree is disjoint — then optionally descend through first
+/// children (every such descendant starts at the same leaf).
+///
+/// Every closure here is a *conditional* axis: `(up[¬∃right])*` is not
+/// expressible in Core XPath, which has closures only of the
+/// unconditional `up`/`down` (ancestor/descendant). This is exactly
+/// where Lemma 3.1 bites.
+pub fn immediate_following() -> PathExpr {
+    PathExpr::chain([
+        // (up from a last child)*: source-side condition, encoded by
+        // filtering before each Up step.
+        PathExpr::star(PathExpr::seq(
+            PathExpr::filter(NodeCond::is_last_child()),
+            PathExpr::step(Step::Up),
+        )),
+        PathExpr::step(Step::Right),
+        PathExpr::star(PathExpr::step_if(Step::Down, NodeCond::is_first_child())),
+    ])
+}
+
+/// `immediate-preceding` (LPath `<-`): the mirror image.
+pub fn immediate_preceding() -> PathExpr {
+    PathExpr::chain([
+        PathExpr::star(PathExpr::seq(
+            PathExpr::filter(NodeCond::is_first_child()),
+            PathExpr::step(Step::Up),
+        )),
+        PathExpr::step(Step::Left),
+        PathExpr::star(PathExpr::step_if(Step::Down, NodeCond::is_last_child())),
+    ])
+}
+
+/// `immediate-following-sibling` (LPath `=>`) is simply the `right`
+/// primitive — one of Marx's signature relations. XPath 1.0 needs the
+/// position() circumlocution for it; Core XPath (which lacks
+/// position()) cannot express it at all.
+pub fn immediate_following_sibling() -> PathExpr {
+    PathExpr::step(Step::Right)
+}
+
+/// `immediate-preceding-sibling` (LPath `<=`).
+pub fn immediate_preceding_sibling() -> PathExpr {
+    PathExpr::step(Step::Left)
+}
+
+/// `following` (LPath `-->`) as the transitive closure of
+/// [`immediate_following`] — Table 1's claim that `-->` is the closure
+/// of `->`.
+pub fn following_via_closure() -> PathExpr {
+    PathExpr::plus(immediate_following())
+}
+
+/// `following-sibling` (LPath `==>`) as `(right)+`.
+pub fn following_sibling_via_closure() -> PathExpr {
+    PathExpr::plus(PathExpr::step(Step::Right))
+}
+
+// ---------------------------------------------------------------
+// Core XPath enumeration (for the finite Lemma 3.1 refutation)
+// ---------------------------------------------------------------
+
+/// A purely structural Core XPath query: a chain of (axis, tag) steps
+/// starting with `descendant` from the root, no predicates. Predicates
+/// only intersect downstream sets and cannot manufacture the adjacency
+/// relation; the chain form suffices for the finite refutation and
+/// keeps the enumeration tractable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreChain {
+    /// `(axis, tag)` pairs; `None` is the wildcard.
+    pub steps: Vec<(lpath_syntax::Axis, Option<String>)>,
+}
+
+/// Enumerate every [`CoreChain`] of exactly `len` steps over the given
+/// tag alphabet (plus the wildcard), using only Core XPath axes.
+pub fn core_xpath_queries_up_to(len: usize, tags: &[&str]) -> Vec<CoreChain> {
+    use lpath_syntax::Axis;
+    let axes: Vec<Axis> = Axis::ALL
+        .iter()
+        .copied()
+        .filter(|a| a.in_core_xpath() && *a != Axis::Attribute)
+        .collect();
+    let mut tests: Vec<Option<String>> = vec![None];
+    tests.extend(tags.iter().map(|t| Some(t.to_string())));
+    let mut out: Vec<CoreChain> = vec![CoreChain { steps: Vec::new() }];
+    for _ in 0..len {
+        let mut next = Vec::with_capacity(out.len() * axes.len() * tests.len());
+        for chain in &out {
+            for &axis in &axes {
+                for test in &tests {
+                    let mut steps = chain.steps.clone();
+                    steps.push((axis, test.clone()));
+                    next.push(CoreChain { steps });
+                }
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+impl CoreChain {
+    /// Render as an LPath/XPath query string (`//` descendant entry
+    /// point, then named axes).
+    pub fn to_query(&self) -> String {
+        use lpath_syntax::Axis;
+        let mut s = String::new();
+        for (i, (axis, tag)) in self.steps.iter().enumerate() {
+            let test = tag.as_deref().unwrap_or("_");
+            if i == 0 {
+                // Entry: absolute descendant.
+                s.push_str("//");
+                s.push_str(test);
+                continue;
+            }
+            match axis {
+                Axis::Child => {
+                    s.push('/');
+                    s.push_str(test);
+                }
+                Axis::Descendant => {
+                    s.push_str("//");
+                    s.push_str(test);
+                }
+                a => {
+                    s.push('/');
+                    s.push_str(a.name());
+                    s.push_str("::");
+                    s.push_str(test);
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::ptb::parse_str;
+    use lpath_model::Corpus;
+
+    const FIG1: &str = "( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+                        (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )";
+
+    fn fig1() -> Corpus {
+        parse_str(FIG1).unwrap()
+    }
+
+    /// All `(from, to)` pairs of a path expression over one tree.
+    fn pairs(tree: &Tree, p: &PathExpr) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for from in tree.preorder() {
+            for to in p.eval(tree, from) {
+                out.push((from, to));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn primitive_steps() {
+        let c = fig1();
+        let t = &c.trees()[0];
+        let root = t.root();
+        assert_eq!(PathExpr::step(Step::Down).eval(t, root).len(), 3);
+        assert_eq!(PathExpr::step(Step::Up).eval(t, root).len(), 0);
+        // NP(1) → VP(2) → N(today).
+        let np1 = NodeId(1);
+        assert_eq!(PathExpr::step(Step::Right).eval(t, np1), [NodeId(2)]);
+        assert_eq!(PathExpr::step(Step::Left).eval(t, NodeId(2)), [np1]);
+    }
+
+    #[test]
+    fn closures_are_ancestor_descendant() {
+        let c = fig1();
+        let t = &c.trees()[0];
+        // (down)+ from the root reaches every non-root node.
+        let all_below = PathExpr::plus(PathExpr::step(Step::Down)).eval(t, t.root());
+        assert_eq!(all_below.len(), t.len() - 1);
+        // (up)+ from a leaf reaches exactly its ancestors.
+        let dog_n = NodeId(13);
+        let ups = PathExpr::plus(PathExpr::step(Step::Up)).eval(t, dog_n);
+        let ancestors: Vec<NodeId> = t.ancestors(dog_n).collect();
+        assert_eq!(ups.len(), ancestors.len());
+    }
+
+    #[test]
+    fn immediate_following_matches_figure1() {
+        let c = fig1();
+        let t = &c.trees()[0];
+        let name = |n: NodeId| c.resolve(t.node(n).name);
+        // From V: NP(6), NP(7), Det(8) — the paper's §2.2.1 example.
+        let v = t.preorder().find(|&n| name(n) == "V").unwrap();
+        let got: Vec<&str> = immediate_following()
+            .eval(t, v)
+            .into_iter()
+            .map(name)
+            .collect();
+        assert_eq!(got, ["NP", "NP", "Det"]);
+    }
+
+    #[test]
+    fn equivalence_with_lpath_axes_on_figure1() {
+        use lpath_model::{label_tree, AxisRel};
+        let c = fig1();
+        let t = &c.trees()[0];
+        let labels = label_tree(t);
+        let cases: [(PathExpr, AxisRel); 6] = [
+            (immediate_following(), AxisRel::ImmediateFollowing),
+            (immediate_preceding(), AxisRel::ImmediatePreceding),
+            (immediate_following_sibling(), AxisRel::ImmediateFollowingSibling),
+            (immediate_preceding_sibling(), AxisRel::ImmediatePrecedingSibling),
+            (following_via_closure(), AxisRel::Following),
+            (following_sibling_via_closure(), AxisRel::FollowingSibling),
+        ];
+        for (expr, rel) in cases {
+            for c_node in t.preorder() {
+                let got = expr.eval(t, c_node);
+                let want: Vec<NodeId> = t
+                    .preorder()
+                    .filter(|&x| rel.holds(&labels[x.index()], &labels[c_node.index()]))
+                    .collect();
+                assert_eq!(got, want, "{rel:?} from {c_node:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_and_union() {
+        let c = fig1();
+        let t = &c.trees()[0];
+        let np = c.interner().get("NP").unwrap();
+        // Children that are NPs, via filter.
+        let kids_np = PathExpr::seq(
+            PathExpr::step(Step::Down),
+            PathExpr::filter(NodeCond::Is(Test::Tag(np))),
+        );
+        let direct = PathExpr::step_to(Step::Down, np);
+        for n in t.preorder() {
+            assert_eq!(kids_np.eval(t, n), direct.eval(t, n));
+        }
+        // left | right = all adjacent siblings.
+        let adj = PathExpr::union(PathExpr::step(Step::Left), PathExpr::step(Step::Right));
+        let vp = NodeId(2);
+        assert_eq!(adj.eval(t, vp).len(), 2);
+    }
+
+    #[test]
+    fn conditional_closure_differs_from_unconditional() {
+        // (up[last-child])* stops at the first non-last ancestor —
+        // strictly smaller than ancestor-or-self. On Figure 1, from N
+        // (dog), up-while-last reaches NP(a dog), PP, NP(6) — and stops
+        // below VP because NP(6) is VP's last child… VP is *its* parent:
+        // check the actual chain instead of guessing: the relation must
+        // be a prefix chain of ancestors.
+        let c = fig1();
+        let t = &c.trees()[0];
+        let dog_n = NodeId(13);
+        let cond = PathExpr::star(PathExpr::seq(
+            PathExpr::filter(NodeCond::is_last_child()),
+            PathExpr::step(Step::Up),
+        ));
+        let got = cond.eval(t, dog_n);
+        let unconditional = PathExpr::star(PathExpr::step(Step::Up)).eval(t, dog_n);
+        assert!(got.len() < unconditional.len());
+        // Every conditional result is an ancestor-or-self.
+        for n in &got {
+            assert!(unconditional.contains(n));
+        }
+    }
+
+    #[test]
+    fn core_chain_enumeration_counts() {
+        // 11 non-attribute Core XPath axes × (1 wildcard + 2 tags) = 33
+        // single steps.
+        let chains = core_xpath_queries_up_to(1, &["V", "NP"]);
+        assert_eq!(chains.len(), 33);
+        let chains = core_xpath_queries_up_to(2, &["V"]);
+        assert_eq!(chains.len(), 22 * 22);
+    }
+
+    #[test]
+    fn core_chain_renders_parseable_queries() {
+        for chain in core_xpath_queries_up_to(2, &["V", "NP"]).iter().take(200) {
+            let q = chain.to_query();
+            lpath_syntax::parse(&q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Axis compilation: LPath axes → Table 2 relations.
+//!
+//! This module is the bridge between the three evaluators:
+//!
+//! * [`axis_rel`] maps a syntactic [`Axis`] to the label predicate
+//!   [`AxisRel`] used by the tree walker;
+//! * [`axis_join`] maps it to the *join template* of the paper's
+//!   Table 2 — a conjunction of column comparisons between the step's
+//!   alias (`x`) and its context alias (`c`) — used by the SQL
+//!   translator. Axes whose Table 2 characterization is disjunctive
+//!   (the horizontal `-or-self` closures) return `None`; the relational
+//!   engine rejects them while the walker supports them.
+
+use lpath_model::AxisRel;
+use lpath_relstore::Cmp;
+use lpath_syntax::Axis;
+
+/// Columns of the node relation `{tid, left, right, depth, id, pid,
+/// name, value}` (paper §5).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NCol {
+    /// Tree identifier.
+    Tid,
+    /// Left leaf-interval boundary.
+    Left,
+    /// Right leaf-interval boundary.
+    Right,
+    /// Node depth (root element = 1).
+    Depth,
+    /// Unique node id (document node = 1).
+    Id,
+    /// Parent's id.
+    Pid,
+    /// Interned tag or attribute name.
+    Name,
+    /// Interned attribute value (NULL on element rows).
+    Value,
+}
+
+impl NCol {
+    /// The relational column name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NCol::Tid => "tid",
+            NCol::Left => "left",
+            NCol::Right => "right",
+            NCol::Depth => "depth",
+            NCol::Id => "id",
+            NCol::Pid => "pid",
+            NCol::Name => "name",
+            NCol::Value => "value",
+        }
+    }
+
+    /// All columns, in schema order.
+    pub const ALL: [NCol; 8] = [
+        NCol::Tid,
+        NCol::Left,
+        NCol::Right,
+        NCol::Depth,
+        NCol::Id,
+        NCol::Pid,
+        NCol::Name,
+        NCol::Value,
+    ];
+}
+
+/// One conjunct of a join template: `x.left cmp c.right`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct JoinCond {
+    /// Column of the step node `x`.
+    pub x: NCol,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Column of the context node `c`.
+    pub c: NCol,
+}
+
+const fn jc(x: NCol, cmp: Cmp, c: NCol) -> JoinCond {
+    JoinCond { x, cmp, c }
+}
+
+/// The Table 2 join template for `axis`: conditions relating the target
+/// alias `x` to the context alias `c`, *excluding* the implicit
+/// `x.tid = c.tid` which every axis shares. `None` for axes with no
+/// conjunctive characterization (horizontal `-or-self` closures) and
+/// for [`Axis::Attribute`], which the translator handles specially.
+///
+/// Vertical axes include the (implied) interval-containment conditions
+/// alongside the `pid`/`id` equalities: they are redundant logically but
+/// give the planner a clustered-index range to probe.
+pub fn axis_join(axis: Axis) -> Option<Vec<JoinCond>> {
+    use NCol::*;
+    Some(match axis {
+        Axis::SelfAxis => vec![jc(Id, Cmp::Eq, Id)],
+        Axis::Child => vec![
+            jc(Pid, Cmp::Eq, Id),
+            jc(Left, Cmp::Ge, Left),
+            jc(Right, Cmp::Le, Right),
+        ],
+        Axis::Parent => vec![
+            jc(Id, Cmp::Eq, Pid),
+            jc(Left, Cmp::Le, Left),
+            jc(Right, Cmp::Ge, Right),
+        ],
+        Axis::Descendant => vec![
+            jc(Left, Cmp::Ge, Left),
+            jc(Right, Cmp::Le, Right),
+            jc(Depth, Cmp::Gt, Depth),
+        ],
+        Axis::DescendantOrSelf => vec![
+            jc(Left, Cmp::Ge, Left),
+            jc(Right, Cmp::Le, Right),
+            jc(Depth, Cmp::Ge, Depth),
+        ],
+        Axis::Ancestor => vec![
+            jc(Left, Cmp::Le, Left),
+            jc(Right, Cmp::Ge, Right),
+            jc(Depth, Cmp::Lt, Depth),
+        ],
+        Axis::AncestorOrSelf => vec![
+            jc(Left, Cmp::Le, Left),
+            jc(Right, Cmp::Ge, Right),
+            jc(Depth, Cmp::Le, Depth),
+        ],
+        Axis::ImmediateFollowing => vec![jc(Left, Cmp::Eq, Right)],
+        Axis::Following => vec![jc(Left, Cmp::Ge, Right)],
+        Axis::ImmediatePreceding => vec![jc(Right, Cmp::Eq, Left)],
+        Axis::Preceding => vec![jc(Right, Cmp::Le, Left)],
+        Axis::ImmediateFollowingSibling => {
+            vec![jc(Pid, Cmp::Eq, Pid), jc(Left, Cmp::Eq, Right)]
+        }
+        Axis::FollowingSibling => vec![jc(Pid, Cmp::Eq, Pid), jc(Left, Cmp::Ge, Right)],
+        Axis::ImmediatePrecedingSibling => {
+            vec![jc(Pid, Cmp::Eq, Pid), jc(Right, Cmp::Eq, Left)]
+        }
+        Axis::PrecedingSibling => vec![jc(Pid, Cmp::Eq, Pid), jc(Right, Cmp::Le, Left)],
+        Axis::FollowingOrSelf
+        | Axis::PrecedingOrSelf
+        | Axis::FollowingSiblingOrSelf
+        | Axis::PrecedingSiblingOrSelf
+        | Axis::Attribute => return None,
+    })
+}
+
+/// The label relation ([`AxisRel`]) for `axis`, for the tree walker.
+/// `None` only for [`Axis::Attribute`].
+pub fn axis_rel(axis: Axis) -> Option<AxisRel> {
+    Some(match axis {
+        Axis::Child => AxisRel::Child,
+        Axis::Descendant => AxisRel::Descendant,
+        Axis::DescendantOrSelf => AxisRel::DescendantOrSelf,
+        Axis::Parent => AxisRel::Parent,
+        Axis::Ancestor => AxisRel::Ancestor,
+        Axis::AncestorOrSelf => AxisRel::AncestorOrSelf,
+        Axis::SelfAxis => AxisRel::SelfNode,
+        Axis::ImmediateFollowing => AxisRel::ImmediateFollowing,
+        Axis::Following => AxisRel::Following,
+        Axis::FollowingOrSelf => AxisRel::FollowingOrSelf,
+        Axis::ImmediatePreceding => AxisRel::ImmediatePreceding,
+        Axis::Preceding => AxisRel::Preceding,
+        Axis::PrecedingOrSelf => AxisRel::PrecedingOrSelf,
+        Axis::ImmediateFollowingSibling => AxisRel::ImmediateFollowingSibling,
+        Axis::FollowingSibling => AxisRel::FollowingSibling,
+        Axis::FollowingSiblingOrSelf => AxisRel::FollowingSiblingOrSelf,
+        Axis::ImmediatePrecedingSibling => AxisRel::ImmediatePrecedingSibling,
+        Axis::PrecedingSibling => AxisRel::PrecedingSibling,
+        Axis::PrecedingSiblingOrSelf => AxisRel::PrecedingSiblingOrSelf,
+        Axis::Attribute => return None,
+    })
+}
+
+/// Is this axis a *reverse* axis in the XPath sense (its node list is
+/// numbered in reverse document order for `position()`)?
+pub fn is_reverse_axis(axis: Axis) -> bool {
+    matches!(
+        axis,
+        Axis::Parent
+            | Axis::Ancestor
+            | Axis::AncestorOrSelf
+            | Axis::ImmediatePreceding
+            | Axis::Preceding
+            | Axis::PrecedingOrSelf
+            | Axis::ImmediatePrecedingSibling
+            | Axis::PrecedingSibling
+            | Axis::PrecedingSiblingOrSelf
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::{label_tree, Interner, Tree};
+
+    /// Every conjunctive join template must agree with the walker's
+    /// label relation on all node pairs of a nontrivial tree.
+    #[test]
+    fn join_templates_match_axis_relations() {
+        let mut i = Interner::new();
+        let lex = i.intern("@lex");
+        let mut t = Tree::new(i.intern("S"));
+        let a = t.add_child(t.root(), i.intern("A"));
+        let b = t.add_child(a, i.intern("B"));
+        t.set_attr(b, lex, i.intern("w1"));
+        let c = t.add_child(a, i.intern("C"));
+        t.set_attr(c, lex, i.intern("w2"));
+        let d = t.add_child(t.root(), i.intern("D"));
+        let e = t.add_child(d, i.intern("E"));
+        t.set_attr(e, lex, i.intern("w3"));
+        let labels = label_tree(&t);
+
+        let col = |l: &lpath_model::Label, c: NCol| -> u32 {
+            match c {
+                NCol::Tid => 0,
+                NCol::Left => l.left,
+                NCol::Right => l.right,
+                NCol::Depth => l.depth,
+                NCol::Id => l.id,
+                NCol::Pid => l.pid,
+                NCol::Name | NCol::Value => unreachable!("not label columns"),
+            }
+        };
+
+        for axis in Axis::ALL {
+            let (Some(join), Some(rel)) = (axis_join(axis), axis_rel(axis)) else {
+                continue;
+            };
+            for x in &labels {
+                for ctx in &labels {
+                    let by_join = join
+                        .iter()
+                        .all(|j| j.cmp.eval(col(x, j.x), col(ctx, j.c)));
+                    assert_eq!(
+                        by_join,
+                        rel.holds(x, ctx),
+                        "{axis:?} x={x:?} c={ctx:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjunctive_axes_have_no_template() {
+        for axis in [
+            Axis::FollowingOrSelf,
+            Axis::PrecedingOrSelf,
+            Axis::FollowingSiblingOrSelf,
+            Axis::PrecedingSiblingOrSelf,
+            Axis::Attribute,
+        ] {
+            assert!(axis_join(axis).is_none(), "{axis:?}");
+        }
+    }
+
+    #[test]
+    fn reverse_axis_classification() {
+        assert!(is_reverse_axis(Axis::Preceding));
+        assert!(is_reverse_axis(Axis::Ancestor));
+        assert!(!is_reverse_axis(Axis::Following));
+        assert!(!is_reverse_axis(Axis::Child));
+    }
+
+    #[test]
+    fn every_axis_has_a_walker_relation_except_attribute() {
+        for axis in Axis::ALL {
+            assert_eq!(axis_rel(axis).is_none(), axis == Axis::Attribute);
+        }
+    }
+}

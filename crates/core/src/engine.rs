@@ -1,0 +1,372 @@
+//! The LPath query engine: corpus → labeled relation → indexed
+//! relational evaluation (paper §4–5).
+//!
+//! [`Engine::build`] labels every tree (Definition 4.1), loads element
+//! and attribute rows into the node relation `{tid, left, right, depth,
+//! id, pid, name, value}`, clusters it by `{name, tid, left, right,
+//! depth, id, pid}` and builds the secondary indexes of §5. Queries are
+//! parsed, translated to conjunctive SQL, planned and executed
+//! in-process.
+
+use lpath_model::{label_tree, Corpus, Interner, NodeId};
+use lpath_relstore::{
+    self as rel, ColRef, Database, PlannerConfig, Schema, Table, TableId, Value, NULL,
+};
+use lpath_syntax::{parse, Path, SyntaxError};
+
+use crate::compile::NCol;
+use crate::translate::{NodeCols, Translator, Unsupported};
+
+/// Everything that can go wrong answering a query.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The query text does not parse.
+    Syntax(SyntaxError),
+    /// The query parses but has no relational translation.
+    Unsupported(Unsupported),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Syntax(e) => e.fmt(f),
+            EngineError::Unsupported(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SyntaxError> for EngineError {
+    fn from(e: SyntaxError) -> Self {
+        EngineError::Syntax(e)
+    }
+}
+
+impl From<Unsupported> for EngineError {
+    fn from(e: Unsupported) -> Self {
+        EngineError::Unsupported(e)
+    }
+}
+
+/// The relational LPath engine over one corpus.
+pub struct Engine {
+    db: Database,
+    node: TableId,
+    cols: NodeCols,
+    interner: Interner,
+    planner: PlannerConfig,
+}
+
+impl Engine {
+    /// Label, load, cluster, index and analyze `corpus`.
+    pub fn build(corpus: &Corpus) -> Self {
+        Self::with_config(corpus, PlannerConfig::default())
+    }
+
+    /// Like [`Engine::build`] with an explicit planner configuration
+    /// (used by the join-order ablation).
+    pub fn with_config(corpus: &Corpus, planner: PlannerConfig) -> Self {
+        let schema = Schema::new(&[
+            "tid", "left", "right", "depth", "id", "pid", "name", "value",
+        ]);
+        let mut table = Table::new(schema);
+        let mut row_count = 0usize;
+        for t in corpus.trees() {
+            row_count += t.len();
+        }
+        table.reserve(row_count);
+        for (tid, tree) in corpus.trees().iter().enumerate() {
+            let labels = label_tree(tree);
+            for id in tree.preorder() {
+                let l = &labels[id.index()];
+                let node = tree.node(id);
+                let base = [
+                    tid as Value,
+                    l.left,
+                    l.right,
+                    l.depth,
+                    l.id,
+                    l.pid,
+                    node.name.raw(),
+                    NULL,
+                ];
+                table.push_row(&base);
+                for &(aname, aval) in &node.attrs {
+                    let mut row = base;
+                    row[6] = aname.raw();
+                    row[7] = aval.raw();
+                    table.push_row(&row);
+                }
+            }
+        }
+
+        let mut db = Database::new();
+        // Clustered order, exactly the paper's.
+        let cluster: Vec<rel::ColId> = ["name", "tid", "left", "right", "depth", "id", "pid"]
+            .iter()
+            .map(|c| table.schema().col_expect(c))
+            .collect();
+        table.cluster_by(&cluster);
+        let node = db.add_table("node", table);
+        let cols = NodeCols::resolve(&db, node);
+
+        // The clustered key doubles as the primary access path.
+        db.add_index(node, "clustered", cluster);
+        // Secondary indexes of §5.
+        let c = |n: NCol| cols.col(n);
+        db.add_index(node, "tid_value_id", vec![c(NCol::Tid), c(NCol::Value), c(NCol::Id)]);
+        db.add_index(node, "value_tid_id", vec![c(NCol::Value), c(NCol::Tid), c(NCol::Id)]);
+        db.add_index(node, "tid_id", vec![c(NCol::Tid), c(NCol::Id)]);
+        db.analyze(node, &[c(NCol::Name), c(NCol::Value)]);
+
+        Engine {
+            db,
+            node,
+            cols,
+            interner: corpus.interner().clone(),
+            planner,
+        }
+    }
+
+    /// The underlying database (for inspection and the benchmarks).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Number of rows in the node relation (elements + attributes).
+    pub fn relation_size(&self) -> usize {
+        self.db.table(self.node).num_rows()
+    }
+
+    fn translator(&self) -> Translator<'_> {
+        Translator::new(self.node, self.cols, &self.interner)
+    }
+
+    /// Translate a parsed query to the logical conjunctive form.
+    pub fn translate(&self, query: &Path) -> Result<rel::ConjQuery, Unsupported> {
+        self.translator().translate(query)
+    }
+
+    /// The SQL statement the paper's engine would send to its RDBMS,
+    /// with symbolic names resolved for readability.
+    pub fn sql(&self, query: &str) -> Result<String, EngineError> {
+        let ast = parse(query)?;
+        let cq = self.translate(&ast)?;
+        let name_col = self.cols.col(NCol::Name);
+        let value_col = self.cols.col(NCol::Value);
+        Ok(cq.to_sql_with(&self.db, &|r: ColRef, v: Value| {
+            if (r.col == name_col || r.col == value_col) && v != NULL {
+                self.interner
+                    .iter()
+                    .find(|(s, _)| s.raw() == v)
+                    .map(|(_, text)| format!("'{text}'"))
+            } else {
+                None
+            }
+        }))
+    }
+
+    /// An EXPLAIN-style rendering of the physical plan.
+    pub fn explain(&self, query: &str) -> Result<String, EngineError> {
+        let ast = parse(query)?;
+        let cq = self.translate(&ast)?;
+        let plan = rel::plan(&self.db, &cq, &self.planner);
+        Ok(plan.to_string())
+    }
+
+    /// Evaluate a query string, returning `(tree index, node)` matches
+    /// sorted in document order.
+    pub fn query(&self, query: &str) -> Result<Vec<(u32, NodeId)>, EngineError> {
+        let ast = parse(query)?;
+        self.query_ast(&ast)
+    }
+
+    /// Evaluate a parsed query.
+    pub fn query_ast(&self, ast: &Path) -> Result<Vec<(u32, NodeId)>, EngineError> {
+        let cq = self.translate(ast)?;
+        let plan = rel::plan(&self.db, &cq, &self.planner);
+        let rows = rel::execute(&plan, &self.db);
+        let mut out: Vec<(u32, NodeId)> = rows
+            .into_iter()
+            .map(|row| {
+                debug_assert_eq!(row.len(), 2);
+                // Relational ids start at 2 (1 is the document node).
+                (row[0], NodeId(row[1] - 2))
+            })
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Result size — the measure reported in Figure 6(c).
+    pub fn count(&self, query: &str) -> Result<usize, EngineError> {
+        Ok(self.query(query)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::ptb::parse_str;
+
+    const FIG1: &str = "( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+                        (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )";
+
+    fn engine() -> Engine {
+        Engine::build(&parse_str(FIG1).unwrap())
+    }
+
+    #[test]
+    fn relation_matches_figure5() {
+        let e = engine();
+        // 15 elements + 9 @lex attributes.
+        assert_eq!(e.relation_size(), 24);
+    }
+
+    #[test]
+    fn figure2_results_via_sql() {
+        let e = engine();
+        assert_eq!(e.count("//S[//_[@lex=saw]]").unwrap(), 1);
+        assert_eq!(e.count("//V=>NP").unwrap(), 1);
+        assert_eq!(e.count("//V->NP").unwrap(), 2);
+        assert_eq!(e.count("//VP/V-->N").unwrap(), 3);
+        assert_eq!(e.count("//VP{/V-->N}").unwrap(), 2);
+        assert_eq!(e.count("//VP{/NP$}").unwrap(), 1);
+        assert_eq!(e.count("//VP{//NP$}").unwrap(), 2);
+    }
+
+    #[test]
+    fn engine_agrees_with_walker() {
+        let corpus = parse_str(FIG1).unwrap();
+        let e = Engine::build(&corpus);
+        let w = crate::Walker::new(&corpus);
+        for q in [
+            "//NP",
+            "/S",
+            "//V->NP",
+            "//V-->N",
+            "//NP<--_",
+            "//N<==Det",
+            "//N<=Det",
+            "//VP{//NP$}",
+            "//^NP",
+            "//N$",
+            "//S[//NP/PP]",
+            "//NP[//Det and //Adj]",
+            "//NP[not(//Det)]",
+            "//_[@lex=saw]",
+            "//_[@lex!=dog]",
+            "//_[@lex]",
+            "//Det\\NP",
+            "//NP\\\\VP",
+            "//VP[{//^V->NP$}]",
+            "//S{/VP/V[-->N[@lex=dog]]}",
+            // Function library (paper footnote 1).
+            "//NP[count(//Det)>0]",
+            "//NP[count(/NP)=0]",
+            "//NP[not(count(//Det)=0)]",
+            "//_[contains(@lex,'og')]",
+            "//_[starts-with(@lex,s)]",
+            "//_[ends-with(@lex,w)]",
+            "//_[not(contains(@lex,'a'))]",
+            "//_[string-length(@lex)=3]",
+            "//_[string-length(@lex)>4]",
+            "//NP[//_[contains(@lex,o)]]",
+            "//VP{//_[starts-with(@lex,d)]}",
+        ] {
+            let ast = lpath_syntax::parse(q).unwrap();
+            let got = e.query(q).unwrap_or_else(|err| panic!("{q}: {err}"));
+            let want = w.eval(&ast);
+            assert_eq!(got, want, "disagreement on {q}");
+        }
+    }
+
+    #[test]
+    fn sql_rendering_uses_symbolic_names() {
+        let e = engine();
+        let sql = e.sql("//V->NP").unwrap();
+        assert!(sql.contains("= 'V'"), "{sql}");
+        assert!(sql.contains("= 'NP'"), "{sql}");
+    }
+
+    #[test]
+    fn explain_shows_index_probes() {
+        let e = engine();
+        let plan = e.explain("//V->NP").unwrap();
+        assert!(plan.contains("index"), "{plan}");
+    }
+
+    #[test]
+    fn unsupported_features_error_cleanly() {
+        let e = engine();
+        assert!(matches!(
+            e.count("//VP/_[last()]"),
+            Err(EngineError::Unsupported(_))
+        ));
+        assert!(matches!(e.count("//VP["), Err(EngineError::Syntax(_))));
+        // count() thresholds beyond existence need the walker.
+        assert!(matches!(
+            e.count("//NP[count(//Det)>2]"),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn function_library_results() {
+        let e = engine();
+        // "dog" contains "og"; nothing else does.
+        assert_eq!(e.count("//_[contains(@lex,'og')]").unwrap(), 1);
+        // "saw" starts with "s".
+        assert_eq!(e.count("//_[starts-with(@lex,s)]").unwrap(), 1);
+        // Three-letter terminals: saw, the, old, man, dog.
+        assert_eq!(e.count("//_[string-length(@lex)=3]").unwrap(), 5);
+        // count(...)>0 is existence: NPs containing a Det.
+        assert_eq!(e.count("//NP[count(//Det)>0]").unwrap(), 3);
+        assert_eq!(e.count("//NP[count(//Det)=0]").unwrap(), 1);
+    }
+
+    #[test]
+    fn function_library_sql_uses_in_sets() {
+        let e = engine();
+        let sql = e.sql("//_[contains(@lex,'og')]").unwrap();
+        assert!(sql.contains(" IN ("), "{sql}");
+        assert!(sql.contains("'dog'"), "{sql}");
+        // Unsatisfiable set: falls back to the impossible condition.
+        let sql = e.sql("//_[contains(@lex,'zzz')]").unwrap();
+        assert!(sql.contains("left < 0"), "{sql}");
+        // Negation goes through NOT EXISTS.
+        let sql = e.sql("//_[not(contains(@lex,'og'))]").unwrap();
+        assert!(sql.contains("NOT EXISTS"), "{sql}");
+    }
+
+    #[test]
+    fn syntactic_join_order_gives_same_answers() {
+        let corpus = parse_str(FIG1).unwrap();
+        let greedy = Engine::build(&corpus);
+        let syntactic = Engine::with_config(
+            &corpus,
+            PlannerConfig {
+                order: rel::JoinOrder::Syntactic,
+            },
+        );
+        for q in ["//V->NP", "//VP{/NP$}", "//S[//NP/PP]", "//NP[not(//Det)]"] {
+            assert_eq!(
+                greedy.query(q).unwrap(),
+                syntactic.query(q).unwrap(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_tree_tids() {
+        let corpus = parse_str(&format!("{FIG1}\n{FIG1}\n{FIG1}")).unwrap();
+        let e = Engine::build(&corpus);
+        let got = e.query("//V->NP").unwrap();
+        assert_eq!(got.len(), 6);
+        for tid in 0..3u32 {
+            assert_eq!(got.iter().filter(|(t, _)| *t == tid).count(), 2);
+        }
+    }
+}

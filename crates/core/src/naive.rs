@@ -1,0 +1,528 @@
+//! Naive reference semantics, straight from the paper's definitions.
+//!
+//! This module implements the *meaning* of LPath with no labels and no
+//! indexes, as an independent oracle:
+//!
+//! * [`proper_analyses`] enumerates the proper analyses of a tree
+//!   (paper §2.2.1, after Chomsky, the paper’s reference \[9\]): every sequence derivable from
+//!   the root by replacing nodes with their children;
+//! * [`immediately_follows`] is Definition 3.1 realized literally over
+//!   those analyses;
+//! * [`NaiveEvaluator`] evaluates full LPath queries in `O(n²)` per
+//!   step using structural relations computed from parent pointers and
+//!   leaf ordinals only.
+//!
+//! Differential tests pit this against the walker and the relational
+//! engine; agreement of three implementations with very different
+//! machinery is the correctness argument for the whole system.
+
+use std::collections::HashSet;
+
+use lpath_model::{Corpus, NodeId, Tree};
+use lpath_syntax::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step};
+
+/// Enumerate all proper analyses of `tree`: sequences of nodes obtained
+/// by repeatedly replacing a node with its children, starting from
+/// `[root]` down to the terminal yield. Exponential in general — use on
+/// small trees (tests, examples, Figure 3).
+pub fn proper_analyses(tree: &Tree) -> Vec<Vec<NodeId>> {
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+    let mut queue: Vec<Vec<NodeId>> = vec![vec![tree.root()]];
+    seen.insert(queue[0].clone());
+    let mut i = 0;
+    while i < queue.len() {
+        let analysis = queue[i].clone();
+        i += 1;
+        for (pos, &n) in analysis.iter().enumerate() {
+            let children = &tree.node(n).children;
+            if children.is_empty() {
+                continue;
+            }
+            let mut next = Vec::with_capacity(analysis.len() + children.len() - 1);
+            next.extend_from_slice(&analysis[..pos]);
+            next.extend_from_slice(children);
+            next.extend_from_slice(&analysis[pos + 1..]);
+            if seen.insert(next.clone()) {
+                queue.push(next);
+            }
+        }
+    }
+    queue
+}
+
+/// Definition 3.1 via proper analyses: does `x` appear immediately
+/// after `c` in some proper analysis?
+pub fn immediately_follows(tree: &Tree, x: NodeId, c: NodeId) -> bool {
+    proper_analyses(tree).iter().any(|a| {
+        a.windows(2).any(|w| w[0] == c && w[1] == x)
+    })
+}
+
+/// Does `x` appear (anywhere) after `c` in some proper analysis — the
+/// `following` relation?
+pub fn follows(tree: &Tree, x: NodeId, c: NodeId) -> bool {
+    proper_analyses(tree).iter().any(|a| {
+        let px = a.iter().position(|&n| n == x);
+        let pc = a.iter().position(|&n| n == c);
+        matches!((px, pc), (Some(px), Some(pc)) if px > pc)
+    })
+}
+
+/// Structural facts about one tree, computed without interval labels.
+struct Facts {
+    /// 1-based ordinal of each leaf in terminal order; `0` for
+    /// non-leaves.
+    leaf_ord: Vec<u32>,
+    first_leaf: Vec<NodeId>,
+    last_leaf: Vec<NodeId>,
+}
+
+impl Facts {
+    fn build(tree: &Tree) -> Facts {
+        let n = tree.len();
+        let mut leaf_ord = vec![0u32; n];
+        for (k, leaf) in tree.leaves().enumerate() {
+            leaf_ord[leaf.index()] = k as u32 + 1;
+        }
+        let mut first_leaf = vec![NodeId(0); n];
+        let mut last_leaf = vec![NodeId(0); n];
+        // Arena order puts parents before children, so compute leaves
+        // bottom-up.
+        for idx in (0..n).rev() {
+            let id = NodeId(idx as u32);
+            let node = tree.node(id);
+            if node.children.is_empty() {
+                first_leaf[idx] = id;
+                last_leaf[idx] = id;
+            } else {
+                first_leaf[idx] = first_leaf[node.children[0].index()];
+                last_leaf[idx] =
+                    last_leaf[node.children.last().copied().expect("non-empty").index()];
+            }
+        }
+        Facts {
+            leaf_ord,
+            first_leaf,
+            last_leaf,
+        }
+    }
+
+    fn fl(&self, x: NodeId) -> u32 {
+        self.leaf_ord[self.first_leaf[x.index()].index()]
+    }
+
+    fn ll(&self, x: NodeId) -> u32 {
+        self.leaf_ord[self.last_leaf[x.index()].index()]
+    }
+}
+
+/// The quadratic reference evaluator.
+pub struct NaiveEvaluator<'c> {
+    corpus: &'c Corpus,
+}
+
+impl<'c> NaiveEvaluator<'c> {
+    /// Wrap a corpus (no preprocessing — that is the point).
+    pub fn new(corpus: &'c Corpus) -> Self {
+        NaiveEvaluator { corpus }
+    }
+
+    /// Evaluate an absolute query over the corpus, like
+    /// [`crate::Walker::eval`].
+    pub fn eval(&self, query: &Path) -> Vec<(u32, NodeId)> {
+        let mut out = Vec::new();
+        for (tid, tree) in self.corpus.trees().iter().enumerate() {
+            let facts = Facts::build(tree);
+            let ev = TreeEval {
+                tree,
+                facts,
+                corpus: self.corpus,
+            };
+            let start = if query.absolute {
+                None // document context
+            } else {
+                Some(tree.root())
+            };
+            let mut scopes = Vec::new();
+            for n in ev.path(start.map_or_else(|| vec![Ctx::Doc], |r| vec![Ctx::Node(r)]), query, &mut scopes)
+            {
+                out.push((tid as u32, n));
+            }
+        }
+        out
+    }
+
+    /// Result count over the corpus.
+    pub fn count(&self, query: &Path) -> usize {
+        self.eval(query).len()
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Ctx {
+    Doc,
+    Node(NodeId),
+}
+
+struct TreeEval<'a> {
+    tree: &'a Tree,
+    facts: Facts,
+    corpus: &'a Corpus,
+}
+
+impl<'a> TreeEval<'a> {
+    /// Does `x` stand in `axis` relation to context `c`? Computed from
+    /// parent pointers and leaf ordinals (no interval labels).
+    fn axis_holds(&self, axis: Axis, x: NodeId, c: NodeId) -> bool {
+        let f = &self.facts;
+        let same_parent =
+            || self.tree.node(x).parent.is_some() && self.tree.node(x).parent == self.tree.node(c).parent;
+        let is_ancestor = |a: NodeId, d: NodeId| self.tree.ancestors(d).any(|n| n == a);
+        match axis {
+            Axis::SelfAxis => x == c,
+            Axis::Child => self.tree.node(x).parent == Some(c),
+            Axis::Parent => self.tree.node(c).parent == Some(x),
+            Axis::Descendant => is_ancestor(c, x),
+            Axis::DescendantOrSelf => x == c || is_ancestor(c, x),
+            Axis::Ancestor => is_ancestor(x, c),
+            Axis::AncestorOrSelf => x == c || is_ancestor(x, c),
+            Axis::Following => f.fl(x) > f.ll(c),
+            Axis::FollowingOrSelf => x == c || f.fl(x) > f.ll(c),
+            Axis::ImmediateFollowing => f.fl(x) == f.ll(c) + 1,
+            Axis::Preceding => f.ll(x) < f.fl(c),
+            Axis::PrecedingOrSelf => x == c || f.ll(x) < f.fl(c),
+            Axis::ImmediatePreceding => f.ll(x) + 1 == f.fl(c),
+            Axis::FollowingSibling => same_parent() && f.fl(x) > f.ll(c),
+            Axis::FollowingSiblingOrSelf => same_parent() && (x == c || f.fl(x) > f.ll(c)),
+            Axis::ImmediateFollowingSibling => same_parent() && f.fl(x) == f.ll(c) + 1,
+            Axis::PrecedingSibling => same_parent() && f.ll(x) < f.fl(c),
+            Axis::PrecedingSiblingOrSelf => same_parent() && (x == c || f.ll(x) < f.fl(c)),
+            Axis::ImmediatePrecedingSibling => same_parent() && f.ll(x) + 1 == f.fl(c),
+            Axis::Attribute => false,
+        }
+    }
+
+    fn in_subtree(&self, x: NodeId, s: NodeId) -> bool {
+        x == s || self.tree.ancestors(x).any(|n| n == s)
+    }
+
+    fn path(&self, mut ctxs: Vec<Ctx>, path: &Path, scopes: &mut Vec<NodeId>) -> Vec<NodeId> {
+        // Attribute-final paths are resolved inside predicates; a main
+        // path treats an attribute step as selecting its element.
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut first = true;
+        let mut current: Vec<Ctx> = std::mem::take(&mut ctxs);
+        for step in &path.steps {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &c in &current {
+                next.extend(self.step(c, step, scopes));
+            }
+            next.sort_unstable();
+            next.dedup();
+            current = next.into_iter().map(Ctx::Node).collect();
+            first = false;
+        }
+        let _ = first;
+        for c in &current {
+            if let Ctx::Node(n) = c {
+                nodes.push(*n);
+            }
+        }
+        if let Some(inner) = &path.scope {
+            let mut out = Vec::new();
+            for n in nodes {
+                scopes.push(n);
+                out.extend(self.path(vec![Ctx::Node(n)], inner, scopes));
+                scopes.pop();
+            }
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+        nodes
+    }
+
+    fn step(&self, c: Ctx, step: &Step, scopes: &mut Vec<NodeId>) -> Vec<NodeId> {
+        if step.axis == Axis::Attribute {
+            // An attribute step selects the element when used as a
+            // navigation step; predicates handle value comparison.
+            let Ctx::Node(e) = c else { return vec![] };
+            let has = match &step.test {
+                NodeTest::Any => !self.tree.node(e).attrs.is_empty(),
+                NodeTest::Tag(t) => self
+                    .corpus
+                    .interner()
+                    .get(&format!("@{t}"))
+                    .is_some_and(|sym| self.tree.node(e).attr(sym).is_some()),
+            };
+            return if has { vec![e] } else { vec![] };
+        }
+        let mut cands: Vec<NodeId> = match c {
+            Ctx::Doc => match step.axis {
+                Axis::Child => vec![self.tree.root()],
+                Axis::Descendant | Axis::DescendantOrSelf => self.tree.preorder().collect(),
+                _ => vec![],
+            },
+            Ctx::Node(cn) => self
+                .tree
+                .preorder()
+                .filter(|&x| self.axis_holds(step.axis, x, cn))
+                .collect(),
+        };
+        if let NodeTest::Tag(t) = &step.test {
+            let want = self.corpus.interner().get(t);
+            cands.retain(|&x| want == Some(self.tree.node(x).name));
+        }
+        if let Some(&s) = scopes.last() {
+            cands.retain(|&x| self.in_subtree(x, s));
+        }
+        if step.left_align || step.right_align {
+            let s = scopes.last().copied().unwrap_or_else(|| self.tree.root());
+            let f = &self.facts;
+            cands.retain(|&x| {
+                (!step.left_align || f.fl(x) == f.fl(s))
+                    && (!step.right_align || f.ll(x) == f.ll(s))
+            });
+        }
+        if crate::compile::is_reverse_axis(step.axis) {
+            cands.reverse();
+        }
+        for pred in &step.predicates {
+            let len = cands.len();
+            let mut kept = Vec::with_capacity(len);
+            for (i, &x) in cands.iter().enumerate() {
+                if self.pred(x, pred, i + 1, len, scopes) {
+                    kept.push(x);
+                }
+            }
+            cands = kept;
+        }
+        cands
+    }
+
+    fn pred(&self, x: NodeId, pred: &Pred, pos: usize, len: usize, scopes: &mut Vec<NodeId>) -> bool {
+        match pred {
+            Pred::And(a, b) => {
+                self.pred(x, a, pos, len, scopes) && self.pred(x, b, pos, len, scopes)
+            }
+            Pred::Or(a, b) => {
+                self.pred(x, a, pos, len, scopes) || self.pred(x, b, pos, len, scopes)
+            }
+            Pred::Not(p) => !self.pred(x, p, pos, len, scopes),
+            Pred::Position(op, rhs) => {
+                let rhs = match rhs {
+                    PosRhs::Const(n) => *n as usize,
+                    PosRhs::Last => len,
+                };
+                match op {
+                    CmpOp::Eq => pos == rhs,
+                    CmpOp::Ne => pos != rhs,
+                    CmpOp::Lt => pos < rhs,
+                    CmpOp::Gt => pos > rhs,
+                }
+            }
+            Pred::Exists(p) => !self.path(vec![Ctx::Node(x)], p, scopes).is_empty(),
+            Pred::Cmp { path, op, value } => self
+                .string_values(x, path, scopes)
+                .iter()
+                .any(|actual| match op {
+                    CmpOp::Eq => *actual == value.as_str(),
+                    CmpOp::Ne => *actual != value.as_str(),
+                    CmpOp::Lt => *actual < value.as_str(),
+                    CmpOp::Gt => *actual > value.as_str(),
+                }),
+            Pred::Count { path, op, value } => {
+                // Attribute-final paths count matched attributes (one
+                // per element/name pair, as in the walker); element
+                // paths count distinct elements.
+                let n = match self.split_attr_final(path) {
+                    Some((last, head)) if last.predicates.is_empty() => {
+                        let elems = self.path(vec![Ctx::Node(x)], &head, scopes);
+                        elems
+                            .into_iter()
+                            .map(|e| self.matching_attrs(e, &last.test).len())
+                            .sum::<usize>() as u32
+                    }
+                    _ => self.path(vec![Ctx::Node(x)], path, scopes).len() as u32,
+                };
+                cmp_u32(*op, n, *value)
+            }
+            Pred::StrCmp { func, path, arg } => self
+                .string_values(x, path, scopes)
+                .iter()
+                .any(|actual| func.apply(actual, arg)),
+            Pred::StrLen { path, op, value } => self
+                .string_values(x, path, scopes)
+                .iter()
+                .any(|actual| cmp_u32(*op, actual.chars().count() as u32, *value)),
+        }
+    }
+
+    /// Split an attribute-final, unscoped path into its final step and
+    /// head path.
+    fn split_attr_final(&self, path: &Path) -> Option<(Step, Path)> {
+        let (last, head_steps) = path.steps.split_last()?;
+        if last.axis != Axis::Attribute || path.scope.is_some() {
+            return None;
+        }
+        Some((
+            last.clone(),
+            Path {
+                absolute: false,
+                steps: head_steps.to_vec(),
+                scope: None,
+            },
+        ))
+    }
+
+    /// Attribute values of `e` whose name matches `test`.
+    fn matching_attrs(&self, e: NodeId, test: &NodeTest) -> Vec<&str> {
+        let node = self.tree.node(e);
+        match test {
+            NodeTest::Any => node
+                .attrs
+                .iter()
+                .map(|&(_, v)| self.corpus.resolve(v))
+                .collect(),
+            NodeTest::Tag(t) => self
+                .corpus
+                .interner()
+                .get(&format!("@{t}"))
+                .and_then(|s| node.attr(s))
+                .map(|v| self.corpus.resolve(v))
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    /// The string values selected by an attribute-final path from
+    /// context `x` (empty for element-final paths: elements have no
+    /// string value in this data model).
+    fn string_values(&self, x: NodeId, path: &Path, scopes: &mut Vec<NodeId>) -> Vec<&str> {
+        let Some((last, head)) = self.split_attr_final(path) else {
+            return Vec::new();
+        };
+        let elems = self.path(vec![Ctx::Node(x)], &head, scopes);
+        elems
+            .into_iter()
+            .flat_map(|e| self.matching_attrs(e, &last.test))
+            .collect()
+    }
+}
+
+fn cmp_u32(op: CmpOp, lhs: u32, rhs: u32) -> bool {
+    match op {
+        CmpOp::Eq => lhs == rhs,
+        CmpOp::Ne => lhs != rhs,
+        CmpOp::Lt => lhs < rhs,
+        CmpOp::Gt => lhs > rhs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::ptb::parse_str;
+    use lpath_syntax::parse;
+
+    const FIG1: &str = "( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+                        (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )";
+
+    #[test]
+    fn proper_analyses_of_small_tree() {
+        // S(A(a) B(b)) has analyses: [S], [A B], [a B], [A b], [a b].
+        // (x and y are lexical attributes, not nodes.)
+        let c = parse_str("( (S (A (a x)) (B (b y))) )").unwrap();
+        let t = &c.trees()[0];
+        let analyses = proper_analyses(t);
+        assert_eq!(analyses.len(), 5);
+        assert!(analyses.contains(&vec![t.root()]));
+    }
+
+    #[test]
+    fn figure3_immediate_following() {
+        // Paper §2.2.1: V is immediately followed by NP6, NP7 and Det8;
+        // N(today) follows V but not immediately.
+        let c = parse_str(FIG1).unwrap();
+        let t = &c.trees()[0];
+        let name_of = |n: NodeId| c.resolve(t.node(n).name).to_string();
+        let v = t
+            .preorder()
+            .find(|&n| name_of(n) == "V")
+            .expect("V exists");
+        let followers: Vec<String> = t
+            .preorder()
+            .filter(|&x| immediately_follows(t, x, v))
+            .map(name_of)
+            .collect();
+        assert_eq!(followers, ["NP", "NP", "Det"]);
+        let today = NodeId((t.len() - 1) as u32);
+        assert!(follows(t, today, v));
+        assert!(!immediately_follows(t, today, v));
+    }
+
+    #[test]
+    fn proper_analysis_adjacency_equals_leaf_adjacency() {
+        // The paper's adjacency property: immediate following via
+        // proper analyses coincides with the leaf-ordinal equation.
+        let c = parse_str(FIG1).unwrap();
+        let t = &c.trees()[0];
+        let facts = Facts::build(t);
+        for x in t.preorder() {
+            for y in t.preorder() {
+                let via_analyses = immediately_follows(t, x, y);
+                let via_leaves = facts.fl(x) == facts.ll(y) + 1;
+                assert_eq!(via_analyses, via_leaves, "{x:?} after {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_matches_paper_examples() {
+        let c = parse_str(FIG1).unwrap();
+        let ev = NaiveEvaluator::new(&c);
+        let count = |q: &str| ev.count(&parse(q).unwrap());
+        assert_eq!(count("//S[//_[@lex=saw]]"), 1);
+        assert_eq!(count("//V=>NP"), 1);
+        assert_eq!(count("//V->NP"), 2);
+        assert_eq!(count("//VP/V-->N"), 3);
+        assert_eq!(count("//VP{/V-->N}"), 2);
+        assert_eq!(count("//VP{/NP$}"), 1);
+        assert_eq!(count("//VP{//NP$}"), 2);
+        assert_eq!(count("//NP[not(//Det)]"), 1);
+    }
+
+    #[test]
+    fn naive_agrees_with_walker_on_fixed_queries() {
+        let c = parse_str(FIG1).unwrap();
+        let naive = NaiveEvaluator::new(&c);
+        let walker = crate::Walker::new(&c);
+        for q in [
+            "//NP",
+            "//VP//NP",
+            "//V->NP",
+            "//V-->_",
+            "//NP<--_",
+            "//N<==Det",
+            "//VP{//NP$}",
+            "//^NP",
+            "//N$",
+            "//S[//NP/PP]",
+            "//NP[//Det and //Adj]",
+            "//NP[not(//JJ)]",
+            "//_[@lex=saw]",
+            "//_[@lex!=dog]",
+            "//VP/_[last()]",
+            "//V/following-sibling::_[position()=1]",
+            "//V->*_",
+            "//N<=*_",
+        ] {
+            let query = parse(q).unwrap();
+            let mut a = naive.eval(&query);
+            let mut b = walker.eval(&query);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "disagreement on {q}");
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The 23 evaluation queries of the paper's Figure 6(c), with the
+//! result sizes reported there and the metadata the experiments need.
+
+/// One benchmark query.
+#[derive(Copy, Clone, Debug)]
+pub struct BenchQuery {
+    /// 1-based id (Q1–Q23), matching the paper's figures.
+    pub id: usize,
+    /// The LPath query text, exactly as in Figure 6(c).
+    pub lpath: &'static str,
+    /// Result size the paper reports on the full WSJ corpus.
+    pub paper_wsj: usize,
+    /// Result size the paper reports on the full Switchboard corpus.
+    pub paper_swb: usize,
+    /// Is this one of the 11 queries the paper evaluates on the XPath
+    /// engine in Figure 10?
+    pub xpath_expressible: bool,
+    /// What the query asks, in words.
+    pub description: &'static str,
+}
+
+/// Figure 6(c), verbatim.
+pub const QUERIES: [BenchQuery; 23] = [
+    BenchQuery {
+        id: 1,
+        lpath: "//S[//_[@lex=saw]]",
+        paper_wsj: 153,
+        paper_swb: 339,
+        xpath_expressible: true,
+        description: "sentences containing the word 'saw'",
+    },
+    BenchQuery {
+        id: 2,
+        lpath: "//VB->NP",
+        paper_wsj: 23618,
+        paper_swb: 16557,
+        xpath_expressible: false,
+        description: "NPs immediately following a VB",
+    },
+    BenchQuery {
+        id: 3,
+        lpath: "//VP/VB-->NN",
+        paper_wsj: 63857,
+        paper_swb: 32386,
+        xpath_expressible: false,
+        description: "NNs following a VB child of a VP",
+    },
+    BenchQuery {
+        id: 4,
+        lpath: "//VP{/VB-->NN}",
+        paper_wsj: 46116,
+        paper_swb: 25305,
+        xpath_expressible: false,
+        description: "same, scoped within the VP",
+    },
+    BenchQuery {
+        id: 5,
+        lpath: "//VP{/NP$}",
+        paper_wsj: 29923,
+        paper_swb: 22554,
+        xpath_expressible: false,
+        description: "NPs that are the rightmost child of a VP",
+    },
+    BenchQuery {
+        id: 6,
+        lpath: "//VP{//NP$}",
+        paper_wsj: 215104,
+        paper_swb: 112159,
+        xpath_expressible: false,
+        description: "NPs that are the rightmost descendant of a VP",
+    },
+    BenchQuery {
+        id: 7,
+        lpath: "//VP[{//^VB->NP->PP$}]",
+        paper_wsj: 2831,
+        paper_swb: 1963,
+        xpath_expressible: false,
+        description: "VPs spanned exactly by VB NP PP",
+    },
+    BenchQuery {
+        id: 8,
+        lpath: "//S[//NP/ADJP]",
+        paper_wsj: 7832,
+        paper_swb: 2900,
+        xpath_expressible: true,
+        description: "sentences with an ADJP under an NP",
+    },
+    BenchQuery {
+        id: 9,
+        lpath: "//NP[not(//JJ)]",
+        paper_wsj: 211392,
+        paper_swb: 109311,
+        xpath_expressible: true,
+        description: "NPs containing no adjective",
+    },
+    BenchQuery {
+        id: 10,
+        lpath: "//NP[->PP[//IN[@lex=of]]=>VP]",
+        paper_wsj: 192,
+        paper_swb: 31,
+        xpath_expressible: false,
+        description: "NPs followed by an of-PP whose next sibling is a VP",
+    },
+    BenchQuery {
+        id: 11,
+        lpath: "//S[{//_[@lex=what]->_[@lex=building]}]",
+        paper_wsj: 2,
+        paper_swb: 5,
+        xpath_expressible: false,
+        description: "sentences where 'what' immediately precedes 'building'",
+    },
+    BenchQuery {
+        id: 12,
+        lpath: "//_[@lex=rapprochement]",
+        paper_wsj: 1,
+        paper_swb: 0,
+        xpath_expressible: true,
+        description: "the word 'rapprochement'",
+    },
+    BenchQuery {
+        id: 13,
+        lpath: "//_[@lex=1929]",
+        paper_wsj: 14,
+        paper_swb: 0,
+        xpath_expressible: true,
+        description: "the token '1929'",
+    },
+    BenchQuery {
+        id: 14,
+        lpath: "//ADVP-LOC-CLR",
+        paper_wsj: 60,
+        paper_swb: 0,
+        xpath_expressible: true,
+        description: "ADVP-LOC-CLR constituents",
+    },
+    BenchQuery {
+        id: 15,
+        lpath: "//WHPP",
+        paper_wsj: 87,
+        paper_swb: 20,
+        xpath_expressible: true,
+        description: "WHPP constituents",
+    },
+    BenchQuery {
+        id: 16,
+        lpath: "//RRC/PP-TMP",
+        paper_wsj: 8,
+        paper_swb: 3,
+        xpath_expressible: true,
+        description: "temporal PPs under reduced relative clauses",
+    },
+    BenchQuery {
+        id: 17,
+        lpath: "//UCP-PRD/ADJP-PRD",
+        paper_wsj: 17,
+        paper_swb: 4,
+        xpath_expressible: true,
+        description: "predicative ADJPs under predicative UCPs",
+    },
+    BenchQuery {
+        id: 18,
+        lpath: "//NP/NP/NP/NP/NP",
+        paper_wsj: 254,
+        paper_swb: 12,
+        xpath_expressible: true,
+        description: "five-deep NP chains",
+    },
+    BenchQuery {
+        id: 19,
+        lpath: "//VP/VP/VP",
+        paper_wsj: 8769,
+        paper_swb: 6093,
+        xpath_expressible: true,
+        description: "three-deep VP chains",
+    },
+    BenchQuery {
+        id: 20,
+        lpath: "//PP=>SBAR",
+        paper_wsj: 640,
+        paper_swb: 651,
+        xpath_expressible: false,
+        description: "SBARs immediately following a sibling PP",
+    },
+    BenchQuery {
+        id: 21,
+        lpath: "//ADVP=>ADJP",
+        paper_wsj: 15,
+        paper_swb: 37,
+        xpath_expressible: false,
+        description: "ADJPs immediately following a sibling ADVP",
+    },
+    BenchQuery {
+        id: 22,
+        lpath: "//NP=>NP=>NP",
+        paper_wsj: 7,
+        paper_swb: 7,
+        xpath_expressible: false,
+        description: "three adjacent sibling NPs",
+    },
+    BenchQuery {
+        id: 23,
+        lpath: "//VP=>VP",
+        paper_wsj: 20,
+        paper_swb: 72,
+        xpath_expressible: false,
+        description: "VPs immediately following a sibling VP",
+    },
+];
+
+/// The 11 queries of Figure 10 (the XPath-labeling comparison).
+pub fn xpath_queries() -> impl Iterator<Item = &'static BenchQuery> {
+    QUERIES.iter().filter(|q| q.xpath_expressible)
+}
+
+/// A beyond-paper query exercising the extension surface: the core
+/// function library (paper footnote 1), the `-or-self` closures and the
+/// `position()` circumlocutions of §2.2.
+#[derive(Copy, Clone, Debug)]
+pub struct ExtQuery {
+    /// 1-based id (E1–…).
+    pub id: usize,
+    /// The LPath query text.
+    pub lpath: &'static str,
+    /// Does the relational translation accept it? (`false` → the tree
+    /// walker evaluates it, like position()/or-self.)
+    pub sql_supported: bool,
+    /// A Figure 6(c)-style query this one must agree with exactly
+    /// (a semantic identity used as a cross-check), if any.
+    pub equivalent_to: Option<&'static str>,
+    /// What the query asks, in words.
+    pub description: &'static str,
+}
+
+/// The extended evaluation set. Identities double as correctness
+/// checks: e.g. `count(p) = 0` ≡ `not(p)`, and the XPath
+/// `_[last()][self::NP]` circumlocution ≡ the `{/NP$}` alignment.
+pub const EXTENDED_QUERIES: [ExtQuery; 12] = [
+    ExtQuery {
+        id: 1,
+        lpath: "//_[contains(@lex,ing)]",
+        sql_supported: true,
+        equivalent_to: None,
+        description: "tokens containing 'ing'",
+    },
+    ExtQuery {
+        id: 2,
+        lpath: "//_[starts-with(@lex,c)]",
+        sql_supported: true,
+        equivalent_to: None,
+        description: "tokens starting with 'c'",
+    },
+    ExtQuery {
+        id: 3,
+        lpath: "//_[ends-with(@lex,s)]",
+        sql_supported: true,
+        equivalent_to: None,
+        description: "tokens ending in 's'",
+    },
+    ExtQuery {
+        id: 4,
+        lpath: "//_[string-length(@lex)>8]",
+        sql_supported: true,
+        equivalent_to: None,
+        description: "long tokens (more than 8 characters)",
+    },
+    ExtQuery {
+        id: 5,
+        lpath: "//NP[count(//JJ)=0]",
+        sql_supported: true,
+        equivalent_to: Some("//NP[not(//JJ)]"),
+        description: "Q9 via count(): NPs with no adjective",
+    },
+    ExtQuery {
+        id: 6,
+        lpath: "//S[count(//VP)>0]",
+        sql_supported: true,
+        equivalent_to: Some("//S[//VP]"),
+        description: "existence via count(): sentences with a VP",
+    },
+    ExtQuery {
+        id: 7,
+        lpath: "//VP/_[last()][self::NP]",
+        sql_supported: false,
+        equivalent_to: Some("//VP{/NP$}"),
+        description: "Q5 via the position() circumlocution (§2.2.3)",
+    },
+    ExtQuery {
+        id: 8,
+        lpath: "//VB/following-sibling::_[position()=1][self::NP]",
+        sql_supported: false,
+        equivalent_to: Some("//VB=>NP"),
+        description: "immediate-following-sibling via position() (§2.2.1)",
+    },
+    ExtQuery {
+        id: 9,
+        lpath: "//VB->*NP",
+        sql_supported: false,
+        equivalent_to: None,
+        description: "following-or-self closure (Table 1)",
+    },
+    ExtQuery {
+        id: 10,
+        lpath: "//NP<=*NP",
+        sql_supported: false,
+        equivalent_to: None,
+        description: "preceding-sibling-or-self closure",
+    },
+    ExtQuery {
+        id: 11,
+        lpath: "//_[@lex][not(contains(@lex,e))]",
+        sql_supported: true,
+        equivalent_to: None,
+        description: "tokens avoiding the letter 'e'",
+    },
+    ExtQuery {
+        id: 12,
+        lpath: "//S{//^NP-SBJ->VB}",
+        sql_supported: true,
+        equivalent_to: None,
+        description: "VBs right after a sentence-initial subject, scoped",
+    },
+];
+
+/// The scalability experiment of Figure 9 uses Q3, Q6 and Q11.
+pub const FIG9_QUERY_IDS: [usize; 3] = [3, 6, 11];
+
+/// Look a query up by its 1-based id.
+pub fn by_id(id: usize) -> &'static BenchQuery {
+    &QUERIES[id - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_queries_with_sequential_ids() {
+        assert_eq!(QUERIES.len(), 23);
+        for (i, q) in QUERIES.iter().enumerate() {
+            assert_eq!(q.id, i + 1);
+            assert_eq!(by_id(q.id).lpath, q.lpath);
+        }
+    }
+
+    #[test]
+    fn eleven_xpath_expressible() {
+        let ids: Vec<usize> = xpath_queries().map(|q| q.id).collect();
+        assert_eq!(ids, [1, 8, 9, 12, 13, 14, 15, 16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn all_queries_parse() {
+        for q in QUERIES {
+            lpath_syntax::parse(q.lpath)
+                .unwrap_or_else(|e| panic!("Q{}: {e}", q.id));
+        }
+    }
+
+    #[test]
+    fn fig9_queries_exist() {
+        for id in FIG9_QUERY_IDS {
+            assert!(by_id(id).id == id);
+        }
+    }
+
+    #[test]
+    fn extended_queries_parse_and_ids_are_sequential() {
+        for (i, q) in EXTENDED_QUERIES.iter().enumerate() {
+            assert_eq!(q.id, i + 1);
+            lpath_syntax::parse(q.lpath).unwrap_or_else(|e| panic!("E{}: {e}", q.id));
+            if let Some(eq) = q.equivalent_to {
+                lpath_syntax::parse(eq).unwrap_or_else(|e| panic!("E{} ≡ {eq}: {e}", q.id));
+            }
+        }
+    }
+
+    #[test]
+    fn sql_supported_flags_match_the_translator() {
+        use lpath_model::ptb::parse_str;
+        let corpus = parse_str("( (S (NP (JJ old) (NN man)) (VP (VB saw))) )").unwrap();
+        let engine = crate::Engine::build(&corpus);
+        for q in EXTENDED_QUERIES {
+            let accepted = engine.count(q.lpath).is_ok();
+            assert_eq!(accepted, q.sql_supported, "E{}: {}", q.id, q.lpath);
+        }
+    }
+
+    #[test]
+    fn extended_identities_hold_on_a_small_corpus() {
+        use crate::Walker;
+        use lpath_model::ptb::parse_str;
+        let corpus = parse_str(
+            "( (S (NP (JJ old) (NN man)) (VP (VB saw) (NP (NN dog)) (NP (NN cat)))) )\n\
+             ( (S (NP (NN it)) (VP (VB ran))) )",
+        )
+        .unwrap();
+        let walker = Walker::new(&corpus);
+        for q in EXTENDED_QUERIES {
+            let Some(eq) = q.equivalent_to else { continue };
+            let a = walker.eval(&lpath_syntax::parse(q.lpath).unwrap());
+            let b = walker.eval(&lpath_syntax::parse(eq).unwrap());
+            assert_eq!(a, b, "E{}: {} ≢ {}", q.id, q.lpath, eq);
+        }
+    }
+}

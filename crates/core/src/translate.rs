@@ -1,0 +1,772 @@
+//! LPath → conjunctive SQL translation (paper §4).
+//!
+//! Every step of a query becomes an alias of the node relation; every
+//! axis becomes the Table 2 join template between the step's alias and
+//! its context alias (plus the implicit `tid` equality); predicates
+//! become correlated `EXISTS` / `NOT EXISTS` subqueries; subtree scoping
+//! adds containment conjuncts against the scope alias; and edge
+//! alignment adds `left`/`right` equalities against the scope (or a
+//! lazily created root alias when no scope is open — "align within the
+//! whole tree").
+//!
+//! The translation is *partial* by design, mirroring the paper's
+//! engine:
+//!
+//! * the horizontal `-or-self` closures have no conjunctive Table 2
+//!   row ([`crate::compile::axis_join`] returns `None`);
+//! * `position()`/`last()` have no relational counterpart (the paper
+//!   §2.2.3 explains why the position function is the wrong tool for
+//!   linguistic trees — LPath's alignment replaces it);
+//! * `or` in predicates and `<`/`>` on attribute values (symbol ids are
+//!   not lexicographically ordered) are likewise rejected.
+//!
+//! The tree [walker](crate::walker) evaluates all of these; the
+//! differential test suite confines itself to the shared fragment.
+
+use lpath_model::{label::DOC_ID, Interner};
+use lpath_relstore::{
+    Cmp, ColId, ColRef, Cond, ConjQuery, Database, InCond, Operand, SubQuery, TableId, NULL,
+};
+use lpath_syntax::{Axis, CmpOp, NodeTest, Path, Pred, Step};
+
+use crate::compile::{axis_join, NCol};
+
+/// Why a query cannot be translated to the relational engine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Unsupported(pub String);
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "not translatable to SQL: {}", self.0)
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// Column handles of the node relation, resolved once.
+#[derive(Copy, Clone, Debug)]
+pub struct NodeCols {
+    cols: [ColId; 8],
+}
+
+impl NodeCols {
+    /// Resolve against the node table's schema.
+    pub fn resolve(db: &Database, table: TableId) -> Self {
+        let schema = db.table(table).schema();
+        let mut cols = [ColId(0); 8];
+        for (i, c) in NCol::ALL.iter().enumerate() {
+            cols[i] = schema.col_expect(c.name());
+        }
+        NodeCols { cols }
+    }
+
+    /// The [`ColId`] of a node-relation column.
+    #[inline]
+    pub fn col(&self, c: NCol) -> ColId {
+        self.cols[c as usize]
+    }
+}
+
+/// The LPath → SQL translator.
+pub struct Translator<'a> {
+    /// The node relation.
+    pub table: TableId,
+    /// Resolved column handles.
+    pub cols: NodeCols,
+    /// The corpus dictionary (tags, attribute names, values).
+    pub interner: &'a Interner,
+}
+
+/// Context of a step: where its axis starts from.
+#[derive(Copy, Clone, Debug)]
+enum Ctx {
+    /// The implicit document node (absolute path start).
+    Document,
+    /// An alias of the current query level.
+    Alias(usize),
+    /// An alias of the enclosing query (first step of a predicate).
+    Outer(usize),
+}
+
+impl<'a> Translator<'a> {
+    /// Build a translator for one node relation.
+    pub fn new(table: TableId, cols: NodeCols, interner: &'a Interner) -> Self {
+        Translator {
+            table,
+            cols,
+            interner,
+        }
+    }
+
+    /// Translate a full query. Relative queries are evaluated from each
+    /// tree's root element, matching the walker.
+    pub fn translate(&self, path: &Path) -> Result<ConjQuery, Unsupported> {
+        let mut q = ConjQuery {
+            distinct: true,
+            ..Default::default()
+        };
+        let ctx = if path.absolute {
+            Ctx::Document
+        } else {
+            let root = self.fresh_root(&mut q, None);
+            Ctx::Alias(root)
+        };
+        let result = self.path_into(&mut q, path, ctx, None)?;
+        q.projection = vec![
+            ColRef::new(result, self.cols.col(NCol::Tid)),
+            ColRef::new(result, self.cols.col(NCol::Id)),
+        ];
+        Ok(q)
+    }
+
+    fn cref(&self, alias: usize, c: NCol) -> ColRef {
+        ColRef::new(alias, self.cols.col(c))
+    }
+
+    /// A condition that can never hold — used for tests against symbols
+    /// absent from the corpus, which XPath semantics treats as an empty
+    /// match, not an error.
+    fn unsat(&self, q: &mut ConjQuery, alias: usize) {
+        q.conds.push(Cond::against_const(
+            self.cref(alias, NCol::Left),
+            Cmp::Lt,
+            0,
+        ));
+    }
+
+    /// Create an alias constrained to the tree-root element, optionally
+    /// tied to the same tree as `tie_to`.
+    fn fresh_root(&self, q: &mut ConjQuery, tie_to: Option<usize>) -> usize {
+        let r = q.add_alias(self.table);
+        q.conds.push(Cond::against_const(
+            self.cref(r, NCol::Depth),
+            Cmp::Eq,
+            1,
+        ));
+        q.conds.push(Cond::against_const(
+            self.cref(r, NCol::Value),
+            Cmp::Eq,
+            NULL,
+        ));
+        if let Some(a) = tie_to {
+            q.conds.push(Cond::between(
+                self.cref(r, NCol::Tid),
+                Cmp::Eq,
+                self.cref(a, NCol::Tid),
+            ));
+        }
+        r
+    }
+
+    /// Mirror an alias of the enclosing query into the current level
+    /// (`m.tid = outer.tid ∧ m.id = outer.id`) so that deeper levels
+    /// can reference it without multi-level correlation.
+    fn mirror_outer(&self, q: &mut ConjQuery, outer_alias: usize) -> usize {
+        let m = q.add_alias(self.table);
+        q.conds.push(Cond::new(
+            self.cref(m, NCol::Tid),
+            Cmp::Eq,
+            Operand::Outer(self.cref(outer_alias, NCol::Tid)),
+        ));
+        q.conds.push(Cond::new(
+            self.cref(m, NCol::Id),
+            Cmp::Eq,
+            Operand::Outer(self.cref(outer_alias, NCol::Id)),
+        ));
+        // The element row, not an attribute copy.
+        q.conds.push(Cond::against_const(
+            self.cref(m, NCol::Value),
+            Cmp::Eq,
+            NULL,
+        ));
+        m
+    }
+
+    /// Translate a (relative or absolute) path into `q`. `scope` is the
+    /// innermost open subtree scope, as a local alias. Returns the
+    /// result alias.
+    fn path_into(
+        &self,
+        q: &mut ConjQuery,
+        path: &Path,
+        mut ctx: Ctx,
+        mut scope: Option<usize>,
+    ) -> Result<usize, Unsupported> {
+        for step in &path.steps {
+            let alias = self.step_into(q, step, ctx, scope)?;
+            ctx = Ctx::Alias(alias);
+        }
+        if let Some(inner) = &path.scope {
+            // `HP { RLP }`: the head result becomes both context and
+            // scope of the continuation.
+            let scope_alias = match ctx {
+                Ctx::Alias(a) => a,
+                Ctx::Outer(a) => self.mirror_outer(q, a),
+                Ctx::Document => {
+                    return Err(Unsupported(
+                        "scoping braces need a scope node (empty absolute head)".into(),
+                    ))
+                }
+            };
+            return self.path_into(q, inner, Ctx::Alias(scope_alias), {
+                scope = Some(scope_alias);
+                scope
+            });
+        }
+        match ctx {
+            Ctx::Alias(a) => Ok(a),
+            Ctx::Outer(a) => Ok(self.mirror_outer(q, a)),
+            Ctx::Document => Err(Unsupported("empty path".into())),
+        }
+    }
+
+    /// Translate one step: new alias + node-test conds + axis join +
+    /// scope containment + alignment + predicates.
+    fn step_into(
+        &self,
+        q: &mut ConjQuery,
+        step: &Step,
+        ctx: Ctx,
+        scope: Option<usize>,
+    ) -> Result<usize, Unsupported> {
+        let x = q.add_alias(self.table);
+
+        // Node test.
+        match (step.axis, &step.test) {
+            (Axis::Attribute, NodeTest::Tag(t)) => {
+                match self.interner.get(&format!("@{t}")) {
+                    Some(sym) => q.conds.push(Cond::against_const(
+                        self.cref(x, NCol::Name),
+                        Cmp::Eq,
+                        sym.raw(),
+                    )),
+                    None => self.unsat(q, x),
+                }
+            }
+            (Axis::Attribute, NodeTest::Any) => {
+                // Any attribute row: it carries a value.
+                q.conds.push(Cond::against_const(
+                    self.cref(x, NCol::Value),
+                    Cmp::Ne,
+                    NULL,
+                ));
+            }
+            (_, NodeTest::Tag(t)) => match self.interner.get(t) {
+                Some(sym) => q.conds.push(Cond::against_const(
+                    self.cref(x, NCol::Name),
+                    Cmp::Eq,
+                    sym.raw(),
+                )),
+                None => self.unsat(q, x),
+            },
+            (_, NodeTest::Any) => {
+                // Wildcard matches elements, not attribute rows.
+                q.conds.push(Cond::against_const(
+                    self.cref(x, NCol::Value),
+                    Cmp::Eq,
+                    NULL,
+                ));
+            }
+        }
+
+        // Axis join against the context.
+        let tid = |a: usize| self.cref(a, NCol::Tid);
+        match (step.axis, ctx) {
+            (Axis::Attribute, Ctx::Alias(c)) => {
+                q.conds.push(Cond::between(tid(x), Cmp::Eq, tid(c)));
+                q.conds.push(Cond::between(
+                    self.cref(x, NCol::Id),
+                    Cmp::Eq,
+                    self.cref(c, NCol::Id),
+                ));
+            }
+            (Axis::Attribute, Ctx::Outer(c)) => {
+                q.conds.push(Cond::new(
+                    tid(x),
+                    Cmp::Eq,
+                    Operand::Outer(tid(c)),
+                ));
+                q.conds.push(Cond::new(
+                    self.cref(x, NCol::Id),
+                    Cmp::Eq,
+                    Operand::Outer(self.cref(c, NCol::Id)),
+                ));
+            }
+            (Axis::Attribute, Ctx::Document) => self.unsat(q, x),
+            (axis, Ctx::Document) => match axis {
+                Axis::Child => q.conds.push(Cond::against_const(
+                    self.cref(x, NCol::Pid),
+                    Cmp::Eq,
+                    DOC_ID,
+                )),
+                // Every element descends from the document node: no
+                // extra condition beyond the node test.
+                Axis::Descendant | Axis::DescendantOrSelf => {}
+                // Nothing else relates to the document node.
+                _ => self.unsat(q, x),
+            },
+            (axis, Ctx::Alias(c)) => {
+                let Some(join) = axis_join(axis) else {
+                    return Err(Unsupported(format!(
+                        "axis {} has no conjunctive label characterization",
+                        axis.name()
+                    )));
+                };
+                q.conds.push(Cond::between(tid(x), Cmp::Eq, tid(c)));
+                for j in join {
+                    q.conds.push(Cond::between(
+                        self.cref(x, j.x),
+                        j.cmp,
+                        self.cref(c, j.c),
+                    ));
+                }
+            }
+            (axis, Ctx::Outer(c)) => {
+                let Some(join) = axis_join(axis) else {
+                    return Err(Unsupported(format!(
+                        "axis {} has no conjunctive label characterization",
+                        axis.name()
+                    )));
+                };
+                q.conds.push(Cond::new(tid(x), Cmp::Eq, Operand::Outer(tid(c))));
+                for j in join {
+                    q.conds.push(Cond::new(
+                        self.cref(x, j.x),
+                        j.cmp,
+                        Operand::Outer(self.cref(c, j.c)),
+                    ));
+                }
+            }
+        }
+
+        // Scope containment (descendant-or-self of the scope alias).
+        if let Some(s) = scope {
+            q.conds.push(Cond::between(
+                self.cref(x, NCol::Left),
+                Cmp::Ge,
+                self.cref(s, NCol::Left),
+            ));
+            q.conds.push(Cond::between(
+                self.cref(x, NCol::Right),
+                Cmp::Le,
+                self.cref(s, NCol::Right),
+            ));
+            q.conds.push(Cond::between(
+                self.cref(x, NCol::Depth),
+                Cmp::Ge,
+                self.cref(s, NCol::Depth),
+            ));
+        }
+
+        // Edge alignment against the scope, or the tree root.
+        if step.left_align || step.right_align {
+            let target = match scope {
+                Some(s) => s,
+                None => self.fresh_root(q, Some(x)),
+            };
+            if step.left_align {
+                q.conds.push(Cond::between(
+                    self.cref(x, NCol::Left),
+                    Cmp::Eq,
+                    self.cref(target, NCol::Left),
+                ));
+            }
+            if step.right_align {
+                q.conds.push(Cond::between(
+                    self.cref(x, NCol::Right),
+                    Cmp::Eq,
+                    self.cref(target, NCol::Right),
+                ));
+            }
+        }
+
+        // Predicates.
+        for pred in &step.predicates {
+            self.pred_into(q, pred, x, scope, false)?;
+        }
+
+        Ok(x)
+    }
+
+    /// Compile one predicate into `q`. Supports conjunctions of
+    /// (possibly negated) path-existence and value comparisons — the
+    /// paper's translation target.
+    ///
+    /// Positive predicates are **inlined as joins** on the same query
+    /// level: the paper's §4 translates "each LPath axis to an SQL
+    /// join" and relies on `DISTINCT` to collapse witness multiplicity.
+    /// Inlining is what lets the planner start from a high-selectivity
+    /// value predicate (`@lex = 'rapprochement'`) instead of probing a
+    /// correlated subquery once per candidate — the effect the paper
+    /// credits for its good times on Q1 and Q10–Q13. Negated predicates
+    /// must remain `NOT EXISTS` subqueries.
+    fn pred_into(
+        &self,
+        q: &mut ConjQuery,
+        pred: &Pred,
+        context: usize,
+        scope: Option<usize>,
+        negated: bool,
+    ) -> Result<(), Unsupported> {
+        match pred {
+            Pred::And(a, b) if !negated => {
+                self.pred_into(q, a, context, scope, false)?;
+                self.pred_into(q, b, context, scope, false)?;
+                Ok(())
+            }
+            Pred::Not(p) => self.pred_into(q, p, context, scope, !negated),
+            Pred::Or(..) => Err(Unsupported(
+                "disjunctive predicates (use the tree walker)".into(),
+            )),
+            Pred::And(..) => Err(Unsupported(
+                "negated conjunction (use the tree walker)".into(),
+            )),
+            Pred::Position(..) => Err(Unsupported(
+                "position()/last() (LPath replaces them with alignment)".into(),
+            )),
+            Pred::Exists(path) => {
+                if negated {
+                    let sub = self.subquery_for(path, context, scope, None)?;
+                    q.subqueries.push(SubQuery {
+                        negated: true,
+                        query: sub,
+                    });
+                } else {
+                    self.path_into(q, path, Ctx::Alias(context), scope)?;
+                }
+                Ok(())
+            }
+            Pred::Cmp { path, op, value } => {
+                let vcmp = match op {
+                    CmpOp::Eq => Cmp::Eq,
+                    CmpOp::Ne => Cmp::Ne,
+                    CmpOp::Lt | CmpOp::Gt => {
+                        return Err(Unsupported(
+                            "ordered comparison on interned values".into(),
+                        ))
+                    }
+                };
+                self.require_attr_final(path)?;
+                if negated {
+                    let sub = self.subquery_for(
+                        path,
+                        context,
+                        scope,
+                        Some(ValueConstraint::Cmp(vcmp, value)),
+                    )?;
+                    q.subqueries.push(SubQuery {
+                        negated: true,
+                        query: sub,
+                    });
+                } else {
+                    let result = self.path_into(q, path, Ctx::Alias(context), scope)?;
+                    self.value_cond(q, result, vcmp, value);
+                }
+                Ok(())
+            }
+            Pred::Count { path, op, value } => {
+                // count() thresholds that reduce to (non-)existence
+                // translate; true cardinality thresholds would need
+                // GROUP BY/HAVING, which the conjunctive target lacks.
+                let exists = match (op, value) {
+                    (CmpOp::Gt, 0) | (CmpOp::Ne, 0) => true,
+                    (CmpOp::Eq, 0) | (CmpOp::Lt, 1) => false,
+                    _ => {
+                        return Err(Unsupported(
+                            "count() thresholds beyond existence (use the tree walker)"
+                                .into(),
+                        ))
+                    }
+                };
+                // `not(count(p) = 0)` is plain existence; fold the
+                // negations together.
+                self.pred_into(q, &Pred::Exists(path.clone()), context, scope, {
+                    // positive iff existence parity matches
+                    negated == exists
+                })
+            }
+            Pred::StrCmp { func, path, arg } => {
+                self.require_attr_final(path)?;
+                let members = self.symbols_matching(|text| func.apply(text, arg));
+                self.apply_in_set(q, path, context, scope, negated, members)
+            }
+            Pred::StrLen { path, op, value } => {
+                self.require_attr_final(path)?;
+                let members = self.symbols_matching(|text| {
+                    let n = text.chars().count() as u32;
+                    match op {
+                        CmpOp::Eq => n == *value,
+                        CmpOp::Ne => n != *value,
+                        CmpOp::Lt => n < *value,
+                        CmpOp::Gt => n > *value,
+                    }
+                });
+                self.apply_in_set(q, path, context, scope, negated, members)
+            }
+        }
+    }
+
+    /// Reject non-attribute-final paths for value-level predicates.
+    fn require_attr_final(&self, path: &Path) -> Result<(), Unsupported> {
+        if !path
+            .steps
+            .last()
+            .is_some_and(|s| s.axis == Axis::Attribute)
+            || path.scope.is_some()
+        {
+            return Err(Unsupported(
+                "value comparison requires an attribute-final path".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Interned symbols whose text satisfies `test` — the expansion of a
+    /// string function into a `value IN (…)` set. The set is computed
+    /// once at translation time against the corpus dictionary, the same
+    /// trick the paper's engine plays for value equality (symbols are
+    /// hash-consed, so text predicates become integer set membership).
+    fn symbols_matching(&self, test: impl Fn(&str) -> bool) -> Vec<u32> {
+        self.interner
+            .iter()
+            .filter(|(_, text)| test(text))
+            .map(|(sym, _)| sym.raw())
+            .collect()
+    }
+
+    /// Constrain the value of an attribute-final predicate path to a
+    /// symbol set, negating at the EXISTS level when required.
+    fn apply_in_set(
+        &self,
+        q: &mut ConjQuery,
+        path: &Path,
+        context: usize,
+        scope: Option<usize>,
+        negated: bool,
+        members: Vec<u32>,
+    ) -> Result<(), Unsupported> {
+        if negated {
+            let sub =
+                self.subquery_for(path, context, scope, Some(ValueConstraint::In(members)))?;
+            q.subqueries.push(SubQuery {
+                negated: true,
+                query: sub,
+            });
+        } else if members.is_empty() {
+            // No symbol matches: unsatisfiable, like an unknown literal.
+            let alias = self.path_into(q, path, Ctx::Alias(context), scope)?;
+            self.unsat(q, alias);
+        } else {
+            let result = self.path_into(q, path, Ctx::Alias(context), scope)?;
+            q.in_conds
+                .push(InCond::new(self.cref(result, NCol::Value), members));
+        }
+        Ok(())
+    }
+
+    /// Constrain the `value` column of `alias` against a literal,
+    /// treating uninterned literals per XPath semantics (an `=` can
+    /// never match, a `!=` always does).
+    fn value_cond(&self, q: &mut ConjQuery, alias: usize, cmp: Cmp, value: &str) {
+        match self.interner.get(value) {
+            Some(sym) => q.conds.push(Cond::against_const(
+                self.cref(alias, NCol::Value),
+                cmp,
+                sym.raw(),
+            )),
+            None => {
+                if cmp == Cmp::Eq {
+                    self.unsat(q, alias);
+                }
+            }
+        }
+    }
+
+    /// Build the EXISTS subquery for a predicate path, optionally
+    /// constraining the final (attribute) alias's `value` column.
+    fn subquery_for(
+        &self,
+        path: &Path,
+        context: usize,
+        scope: Option<usize>,
+        constraint: Option<ValueConstraint<'_>>,
+    ) -> Result<ConjQuery, Unsupported> {
+        let mut sub = ConjQuery::default();
+        // Containment scope carries into predicates: mirror the outer
+        // scope alias locally.
+        let inner_scope = scope.map(|s| self.mirror_outer(&mut sub, s));
+        let result = self.path_into(&mut sub, path, Ctx::Outer(context), inner_scope)?;
+        match constraint {
+            Some(ValueConstraint::Cmp(cmp, value)) => {
+                self.value_cond(&mut sub, result, cmp, value);
+            }
+            Some(ValueConstraint::In(members)) => {
+                if members.is_empty() {
+                    // Nothing can match: the EXISTS is false (so a
+                    // NOT EXISTS around it is vacuously true).
+                    self.unsat(&mut sub, result);
+                } else {
+                    sub.in_conds
+                        .push(InCond::new(self.cref(result, NCol::Value), members));
+                }
+            }
+            None => {}
+        }
+        Ok(sub)
+    }
+}
+
+/// A constraint on the `value` column of a predicate path's final alias.
+enum ValueConstraint<'a> {
+    /// Compare against one literal.
+    Cmp(Cmp, &'a str),
+    /// Membership in a symbol set (string-function expansion).
+    In(Vec<u32>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_syntax::parse;
+
+    /// Build a tiny engine-shaped database to translate against.
+    fn setup() -> (Database, TableId, Interner) {
+        use lpath_relstore::{Schema, Table};
+        let table = Table::new(Schema::new(&[
+            "tid", "left", "right", "depth", "id", "pid", "name", "value",
+        ]));
+        let mut db = Database::new();
+        let t = db.add_table("node", table);
+        let mut i = Interner::new();
+        for s in ["@lex", "S", "NP", "VP", "V", "N", "saw"] {
+            i.intern(s);
+        }
+        (db, t, i)
+    }
+
+    fn sql_of(q: &str) -> Result<String, Unsupported> {
+        let (db, t, i) = setup();
+        let cols = NodeCols::resolve(&db, t);
+        let tr = Translator::new(t, cols, &i);
+        let cq = tr.translate(&parse(q).unwrap())?;
+        Ok(cq.to_sql(&db))
+    }
+
+    #[test]
+    fn simple_descendant_query() {
+        let sql = sql_of("//NP").unwrap();
+        // name = sym(NP); sym ids: @lex=0 S=1 NP=2 …
+        assert_eq!(
+            sql,
+            "SELECT DISTINCT n0.tid, n0.id FROM node n0 WHERE n0.name = 2"
+        );
+    }
+
+    #[test]
+    fn child_of_document_is_root() {
+        let sql = sql_of("/S").unwrap();
+        assert!(sql.contains("n0.pid = 1"), "{sql}");
+        assert!(sql.contains("n0.name = 1"), "{sql}");
+    }
+
+    #[test]
+    fn immediate_following_is_an_equation() {
+        let sql = sql_of("//V->NP").unwrap();
+        assert!(sql.contains("n1.left = n0.right"), "{sql}");
+        assert!(sql.contains("n1.tid = n0.tid"), "{sql}");
+    }
+
+    #[test]
+    fn sibling_axis_shares_pid() {
+        let sql = sql_of("//V==>NP").unwrap();
+        assert!(sql.contains("n1.pid = n0.pid"), "{sql}");
+        assert!(sql.contains("n1.left >= n0.right"), "{sql}");
+    }
+
+    #[test]
+    fn scoping_adds_containment() {
+        let sql = sql_of("//VP{/V-->N}").unwrap();
+        // V and N both contained in VP's interval.
+        assert!(sql.contains("n1.left >= n0.left"), "{sql}");
+        assert!(sql.contains("n1.right <= n0.right"), "{sql}");
+        assert!(sql.contains("n2.left >= n0.left"), "{sql}");
+        assert!(sql.contains("n2.right <= n0.right"), "{sql}");
+    }
+
+    #[test]
+    fn alignment_without_scope_uses_root() {
+        let sql = sql_of("//NP$").unwrap();
+        // A root alias with depth = 1 appears, right-aligned.
+        assert!(sql.contains("n1.depth = 1"), "{sql}");
+        assert!(sql.contains("n0.right = n1.right"), "{sql}");
+    }
+
+    #[test]
+    fn alignment_with_scope_uses_scope() {
+        let sql = sql_of("//VP{/NP$}").unwrap();
+        assert!(sql.contains("n1.right = n0.right"), "{sql}");
+    }
+
+    #[test]
+    fn positive_predicates_inline_as_joins() {
+        // The paper's translation: predicates become extra aliases of
+        // the node relation joined in, with DISTINCT absorbing witness
+        // multiplicity; only negation needs (NOT) EXISTS.
+        let sql = sql_of("//S[//_[@lex=saw]]").unwrap();
+        assert!(!sql.contains("EXISTS"), "{sql}");
+        // The witness element and its attribute alias both join in;
+        // the attribute compares value to sym(saw)=6.
+        assert!(sql.contains("node n1, node n2"), "{sql}");
+        assert!(sql.contains("n2.value = 6"), "{sql}");
+        assert!(sql.contains("n1.tid = n0.tid"), "{sql}");
+        assert!(sql.starts_with("SELECT DISTINCT n0.tid, n0.id"), "{sql}");
+    }
+
+    #[test]
+    fn negation_becomes_not_exists() {
+        let sql = sql_of("//NP[not(//V)]").unwrap();
+        assert!(sql.contains("NOT EXISTS"), "{sql}");
+    }
+
+    #[test]
+    fn unknown_symbols_are_unsatisfiable_not_errors() {
+        let sql = sql_of("//ZZZ").unwrap();
+        assert!(sql.contains("n0.left < 0"), "{sql}");
+        let sql = sql_of("//_[@lex=zzz]").unwrap();
+        assert!(sql.contains("left < 0"), "{sql}");
+        // != unknown: no value condition at all.
+        let sql = sql_of("//_[@lex!=zzz]").unwrap();
+        assert!(!sql.contains("left < 0"), "{sql}");
+    }
+
+    #[test]
+    fn unsupported_features_are_rejected() {
+        for q in [
+            "//V->*NP",
+            "//N<=*_",
+            "//VP/_[last()]",
+            "//_[position()=1]",
+            "//NP[//V or //N]",
+            "//_[@lex>a]",
+            "//NP[not(//V and //N)]",
+        ] {
+            assert!(sql_of(q).is_err(), "should be unsupported: {q}");
+        }
+    }
+
+    #[test]
+    fn wildcard_excludes_attribute_rows() {
+        let sql = sql_of("//_").unwrap();
+        assert!(sql.contains(&format!("n0.value = {NULL}")), "{sql}");
+    }
+
+    #[test]
+    fn figure6c_translatable_queries() {
+        // All 23 evaluation queries must translate (they avoid the
+        // unsupported fragment) — tags not in the toy interner become
+        // unsatisfiable conditions, not errors.
+        for q in crate::queryset::QUERIES {
+            assert!(sql_of(q.lpath).is_ok(), "Q{}: {}", q.id, q.lpath);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Query AST for the CorpusSearch-style language.
+//!
+//! A query declares typed node variables and a conjunction of
+//! (optionally negated) clauses over them:
+//!
+//! ```text
+//! find n:NN, v:VB, p:VP where p iDoms v, v precedes n, p doms n
+//! ```
+//!
+//! The first variable is the result: the engine counts its distinct
+//! bindings. Variables whose only occurrences are in negated clauses
+//! are negatively quantified ("no such node exists"), CorpusSearch
+//! style.
+
+/// Search functions relating two node variables (`X rel Y`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CsRel {
+    /// X immediately dominates Y (parent).
+    IDoms,
+    /// X dominates Y (proper ancestor).
+    Doms,
+    /// X immediately precedes Y (terminal adjacency).
+    IPrecedes,
+    /// X precedes Y.
+    Precedes,
+    /// Y is X's first child.
+    IDomsFirst,
+    /// Y is X's last child.
+    IDomsLast,
+    /// Y is a left-aligned descendant of X.
+    DomsLeftEdge,
+    /// Y is a right-aligned descendant of X.
+    DomsRightEdge,
+    /// X and Y are distinct sisters (same parent).
+    SameParent,
+    /// X and Y are sisters and X's subtree immediately precedes Y's.
+    ISisterPrecedes,
+    /// X and Y are sisters and X precedes Y.
+    SisterPrecedes,
+}
+
+impl CsRel {
+    /// The search-function name as written in queries.
+    pub fn name(self) -> &'static str {
+        use CsRel::*;
+        match self {
+            IDoms => "iDoms",
+            Doms => "doms",
+            IPrecedes => "iPrecedes",
+            Precedes => "precedes",
+            IDomsFirst => "iDomsFirst",
+            IDomsLast => "iDomsLast",
+            DomsLeftEdge => "domsLeftEdge",
+            DomsRightEdge => "domsRightEdge",
+            SameParent => "sameParent",
+            ISisterPrecedes => "iSisterPrecedes",
+            SisterPrecedes => "sisterPrecedes",
+        }
+    }
+
+    /// Parse a search-function name (case-insensitive).
+    pub fn from_name(s: &str) -> Option<CsRel> {
+        use CsRel::*;
+        // Case-insensitive, as CorpusSearch accepts.
+        Some(match s.to_ascii_lowercase().as_str() {
+            "idoms" => IDoms,
+            "doms" | "dominates" => Doms,
+            "iprecedes" => IPrecedes,
+            "precedes" => Precedes,
+            "idomsfirst" => IDomsFirst,
+            "idomslast" => IDomsLast,
+            "domsleftedge" => DomsLeftEdge,
+            "domsrightedge" => DomsRightEdge,
+            "sameparent" | "hassister" => SameParent,
+            "isisterprecedes" => ISisterPrecedes,
+            "sisterprecedes" => SisterPrecedes,
+            _ => return None,
+        })
+    }
+}
+
+/// One clause.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Clause {
+    /// `X rel Y`, optionally negated.
+    Rel {
+        /// Preceded by `!`.
+        negated: bool,
+        /// Index of the left variable.
+        left: usize,
+        /// The search function.
+        rel: CsRel,
+        /// Index of the right variable.
+        right: usize,
+    },
+    /// `X hasWord w`, optionally negated.
+    HasWord {
+        /// Preceded by `!`.
+        negated: bool,
+        /// Index of the constrained variable.
+        var: usize,
+        /// The required word.
+        word: String,
+    },
+}
+
+impl Clause {
+    /// Variables this clause mentions.
+    pub fn vars(&self) -> Vec<usize> {
+        match self {
+            Clause::Rel { left, right, .. } => vec![*left, *right],
+            Clause::HasWord { var, .. } => vec![*var],
+        }
+    }
+
+    /// Is the clause negated?
+    pub fn negated(&self) -> bool {
+        match self {
+            Clause::Rel { negated, .. } | Clause::HasWord { negated, .. } => *negated,
+        }
+    }
+}
+
+/// A variable declaration: name + tag pattern (`*` = any tag).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VarDecl {
+    /// The variable's name as written in the query.
+    pub name: String,
+    /// `None` means any tag.
+    pub tag: Option<String>,
+}
+
+/// A full query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CsQuery {
+    /// Declared variables; index 0 is the result variable.
+    pub vars: Vec<VarDecl>,
+    /// Conjoined (possibly negated) clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl CsQuery {
+    /// Is variable `v` *negative*: mentioned only in negated clauses
+    /// (and not the result variable)?
+    pub fn is_negative(&self, v: usize) -> bool {
+        if v == 0 {
+            return false;
+        }
+        let mut mentioned = false;
+        for c in &self.clauses {
+            if c.vars().contains(&v) {
+                mentioned = true;
+                if !c.negated() {
+                    return false;
+                }
+            }
+        }
+        mentioned
+    }
+}

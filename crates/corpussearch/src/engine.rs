@@ -1,0 +1,55 @@
+//! The CorpusSearch-style engine: parse + full-scan evaluate.
+
+use lpath_model::Corpus;
+
+use crate::ast::CsQuery;
+use crate::eval;
+use crate::parser::{parse_query, CsParseError};
+
+/// A thin engine wrapper holding the corpus reference. Unlike the LPath
+/// and tgrep engines there is *no* build step — CorpusSearch reads the
+/// treebank directly, which is exactly why every query costs a full
+/// scan.
+pub struct CsEngine<'c> {
+    corpus: &'c Corpus,
+}
+
+impl<'c> CsEngine<'c> {
+    /// Point the engine at a corpus (no preprocessing, by design).
+    pub fn new(corpus: &'c Corpus) -> Self {
+        CsEngine { corpus }
+    }
+
+    /// Parse a query without running it.
+    pub fn parse(&self, query: &str) -> Result<CsQuery, CsParseError> {
+        parse_query(query)
+    }
+
+    /// Count distinct result-variable bindings.
+    pub fn count(&self, query: &str) -> Result<usize, CsParseError> {
+        let q = parse_query(query)?;
+        Ok(eval::count(self.corpus, &q))
+    }
+
+    /// Count a pre-parsed query.
+    pub fn count_ast(&self, q: &CsQuery) -> usize {
+        eval::count(self.corpus, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::ptb::parse_str;
+
+    #[test]
+    fn engine_wraps_eval() {
+        let corpus = parse_str(
+            "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man)))) )",
+        )
+        .unwrap();
+        let e = CsEngine::new(&corpus);
+        assert_eq!(e.count("find n:NP, v:VBD where v iPrecedes n").unwrap(), 1);
+        assert!(e.count("find oops").is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! Full-scan evaluation — deliberately index-free.
+//!
+//! CorpusSearch interprets its search functions per tree over the whole
+//! corpus: every query costs a complete pass with nested-loop variable
+//! binding. That cost profile is the point of this baseline (the
+//! paper's Figures 7–8 show it trailing both other engines on nearly
+//! every query). The only shortcuts taken are the obvious ones a
+//! careful interpreter would also have: candidate lists are filtered by
+//! tag and word constraints before joining, and clauses are checked as
+//! soon as their variables are bound.
+
+use lpath_model::{Corpus, NodeId, Tree};
+
+use crate::ast::{Clause, CsQuery, CsRel};
+
+/// Count distinct bindings of the result variable across the corpus.
+pub fn count(corpus: &Corpus, q: &CsQuery) -> usize {
+    corpus
+        .trees()
+        .iter()
+        .map(|t| count_tree(corpus, t, q))
+        .sum()
+}
+
+struct Facts {
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+    fl: Vec<u32>,
+    ll: Vec<u32>,
+}
+
+impl Facts {
+    fn build(tree: &Tree) -> Facts {
+        let n = tree.len();
+        let mut parent = vec![None; n];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for id in tree.preorder() {
+            let node = tree.node(id);
+            parent[id.index()] = node.parent.map(|p| p.0);
+            children[id.index()] = node.children.iter().map(|c| c.0).collect();
+        }
+        let mut ord = 0u32;
+        let mut fl = vec![0u32; n];
+        let mut ll = vec![0u32; n];
+        for id in tree.preorder() {
+            if tree.node(id).is_leaf() {
+                ord += 1;
+                fl[id.index()] = ord;
+                ll[id.index()] = ord;
+            }
+        }
+        for idx in (0..n).rev() {
+            let kids = &children[idx];
+            if !kids.is_empty() {
+                fl[idx] = fl[kids[0] as usize];
+                ll[idx] = ll[*kids.last().expect("non-empty") as usize];
+            }
+        }
+        Facts {
+            parent,
+            children,
+            fl,
+            ll,
+        }
+    }
+
+    fn doms(&self, x: u32, y: u32) -> bool {
+        let mut a = self.parent[y as usize];
+        while let Some(p) = a {
+            if p == x {
+                return true;
+            }
+            a = self.parent[p as usize];
+        }
+        false
+    }
+
+    fn rel(&self, r: CsRel, x: u32, y: u32) -> bool {
+        use CsRel::*;
+        match r {
+            IDoms => self.parent[y as usize] == Some(x),
+            Doms => self.doms(x, y),
+            IPrecedes => self.fl[y as usize] == self.ll[x as usize] + 1,
+            Precedes => self.fl[y as usize] > self.ll[x as usize],
+            IDomsFirst => self.children[x as usize].first() == Some(&y),
+            IDomsLast => self.children[x as usize].last() == Some(&y),
+            DomsLeftEdge => self.doms(x, y) && self.fl[y as usize] == self.fl[x as usize],
+            DomsRightEdge => self.doms(x, y) && self.ll[y as usize] == self.ll[x as usize],
+            SameParent => {
+                x != y
+                    && self.parent[x as usize].is_some()
+                    && self.parent[x as usize] == self.parent[y as usize]
+            }
+            ISisterPrecedes => {
+                self.rel(SameParent, x, y)
+                    && self.fl[y as usize] == self.ll[x as usize] + 1
+            }
+            SisterPrecedes => {
+                self.rel(SameParent, x, y) && self.fl[y as usize] > self.ll[x as usize]
+            }
+        }
+    }
+}
+
+fn count_tree(corpus: &Corpus, tree: &Tree, q: &CsQuery) -> usize {
+    let facts = Facts::build(tree);
+    let lex = corpus.interner().get("@lex");
+    let has_word = |n: u32, w: &str| -> bool {
+        let Some(lex) = lex else { return false };
+        let Some(v) = tree.node(NodeId(n)).attr(lex) else {
+            return false;
+        };
+        corpus.resolve(v) == w
+    };
+
+    let negative: Vec<bool> = (0..q.vars.len()).map(|v| q.is_negative(v)).collect();
+
+    // Candidate lists per positive variable: tag scan + unary word
+    // filters (positive or negated) on that variable.
+    let mut cands: Vec<Vec<u32>> = Vec::with_capacity(q.vars.len());
+    for (v, decl) in q.vars.iter().enumerate() {
+        if negative[v] {
+            cands.push(Vec::new());
+            continue;
+        }
+        let want = decl.tag.as_deref().map(|t| corpus.interner().get(t));
+        if want == Some(None) {
+            // Tag absent from the corpus: the variable cannot bind.
+            return 0;
+        }
+        let mut list: Vec<u32> = tree
+            .preorder()
+            .filter(|id| match want {
+                None => true,
+                Some(Some(sym)) => tree.node(*id).name == sym,
+                Some(None) => unreachable!(),
+            })
+            .map(|id| id.0)
+            .collect();
+        for c in &q.clauses {
+            if let Clause::HasWord {
+                negated,
+                var,
+                word,
+            } = c
+            {
+                if *var == v {
+                    list.retain(|&n| has_word(n, word) != *negated);
+                }
+            }
+        }
+        cands.push(list);
+    }
+
+    // Clauses participating in the positive join (both sides positive).
+    let positive_clauses: Vec<&Clause> = q
+        .clauses
+        .iter()
+        .filter(|c| {
+            c.vars().iter().all(|&v| !negative[v])
+                && matches!(c, Clause::Rel { .. })
+        })
+        .collect();
+
+    // Negative groups: per negative variable, the conjunction of its
+    // (negated) clauses — satisfied when NO node fits them all.
+    let neg_groups: Vec<(usize, Vec<&Clause>)> = (0..q.vars.len())
+        .filter(|&v| negative[v])
+        .map(|v| {
+            let clauses = q
+                .clauses
+                .iter()
+                .filter(|c| c.vars().contains(&v))
+                .collect();
+            (v, clauses)
+        })
+        .collect();
+
+    let mut bound = vec![u32::MAX; q.vars.len()];
+    let mut found = 0usize;
+    let head_cands = std::mem::take(&mut cands[0]);
+    'heads: for &h in &head_cands {
+        bound[0] = h;
+        if assign(
+            1,
+            q,
+            &facts,
+            &cands,
+            &negative,
+            &positive_clauses,
+            &neg_groups,
+            &mut bound,
+            tree,
+            corpus,
+        ) {
+            found += 1;
+            continue 'heads;
+        }
+    }
+    found
+}
+
+/// Bind positive variables `v..` depth-first; returns true on the first
+/// complete satisfying assignment.
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    v: usize,
+    q: &CsQuery,
+    facts: &Facts,
+    cands: &[Vec<u32>],
+    negative: &[bool],
+    positive_clauses: &[&Clause],
+    neg_groups: &[(usize, Vec<&Clause>)],
+    bound: &mut [u32],
+    tree: &Tree,
+    corpus: &Corpus,
+) -> bool {
+    // All positive vars bound?
+    if v == q.vars.len() {
+        return check_neg_groups(q, facts, neg_groups, bound, tree, corpus);
+    }
+    if negative[v] {
+        return assign(
+            v + 1,
+            q,
+            facts,
+            cands,
+            negative,
+            positive_clauses,
+            neg_groups,
+            bound,
+            tree,
+            corpus,
+        );
+    }
+    'outer: for &cand in &cands[v] {
+        bound[v] = cand;
+        // Check every relational clause whose variables are now bound
+        // and whose latest variable is `v`.
+        for c in positive_clauses {
+            let vars = c.vars();
+            if !vars.contains(&v) || vars.iter().any(|&x| x > v) {
+                continue;
+            }
+            let Clause::Rel {
+                negated,
+                left,
+                rel,
+                right,
+            } = c
+            else {
+                continue;
+            };
+            if facts.rel(*rel, bound[*left], bound[*right]) == *negated {
+                continue 'outer;
+            }
+        }
+        if assign(
+            v + 1,
+            q,
+            facts,
+            cands,
+            negative,
+            positive_clauses,
+            neg_groups,
+            bound,
+            tree,
+            corpus,
+        ) {
+            return true;
+        }
+    }
+    bound[v] = u32::MAX;
+    false
+}
+
+fn check_neg_groups(
+    q: &CsQuery,
+    facts: &Facts,
+    neg_groups: &[(usize, Vec<&Clause>)],
+    bound: &mut [u32],
+    tree: &Tree,
+    corpus: &Corpus,
+) -> bool {
+    let lex = corpus.interner().get("@lex");
+    for (v, clauses) in neg_groups {
+        let want = q.vars[*v].tag.as_deref().map(|t| corpus.interner().get(t));
+        if want == Some(None) {
+            // Tag absent anywhere: nothing can witness the negation.
+            continue;
+        }
+        let witness = tree.preorder().any(|id| {
+            let n = id.0;
+            match want {
+                Some(Some(sym)) if tree.node(id).name != sym => return false,
+                _ => {}
+            }
+            bound[*v] = n;
+            let all = clauses.iter().all(|c| match c {
+                Clause::Rel {
+                    left, rel, right, ..
+                } => facts.rel(*rel, bound[*left], bound[*right]),
+                Clause::HasWord { var, word, .. } => {
+                    debug_assert_eq!(var, v);
+                    lex.and_then(|l| tree.node(NodeId(n)).attr(l))
+                        .is_some_and(|w| corpus.resolve(w) == word.as_str())
+                }
+            });
+            bound[*v] = u32::MAX;
+            all
+        });
+        if witness {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use lpath_model::ptb::parse_str;
+
+    const FIG1: &str = "( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+                        (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )";
+
+    fn c(query: &str) -> usize {
+        let corpus = parse_str(FIG1).unwrap();
+        count(&corpus, &parse_query(query).unwrap())
+    }
+
+    #[test]
+    fn basic_relations() {
+        assert_eq!(c("find n:NP"), 4);
+        assert_eq!(c("find n:NP, d:Det where n iDoms d"), 2);
+        assert_eq!(c("find n:NP, d:Det where n doms d"), 3);
+        assert_eq!(c("find d:Det, n:NP where n iDoms d"), 2);
+        assert_eq!(c("find v:VP, n:N where v doms n"), 1);
+    }
+
+    #[test]
+    fn precedence_relations() {
+        // //V->NP equivalent: NPs immediately preceded by V.
+        assert_eq!(c("find n:NP, v:V where v iPrecedes n"), 2);
+        assert_eq!(c("find n:N, v:V where v precedes n"), 3);
+        // terminal adjacency at word level.
+        assert_eq!(c("find a:Adj, d:Det where d iPrecedes a"), 1);
+    }
+
+    #[test]
+    fn sister_relations() {
+        assert_eq!(c("find n:NP, v:V where v iSisterPrecedes n"), 1);
+        assert_eq!(c("find n:N, d:Det where d sisterPrecedes n"), 2);
+        assert_eq!(c("find n:N, a:Adj where a sameParent n"), 1);
+    }
+
+    #[test]
+    fn edges_and_child_positions() {
+        // //VP{/NP$} equivalent.
+        assert_eq!(c("find n:NP, p:VP where p iDomsLast n"), 1);
+        // //VP{//NP$} equivalent.
+        assert_eq!(c("find n:NP, p:VP where p domsRightEdge n"), 2);
+        assert_eq!(c("find v:V, p:VP where p domsLeftEdge v"), 1);
+        assert_eq!(c("find d:Det, n:NP where n iDomsFirst d"), 2);
+    }
+
+    #[test]
+    fn words() {
+        assert_eq!(c("find s:S, w:* where s doms w, w hasWord saw"), 1);
+        assert_eq!(c("find w:* where w hasWord dog"), 1);
+        assert_eq!(c("find w:* where w hasWord missing"), 0);
+        assert_eq!(c("find w:V where not w hasWord saw"), 0);
+    }
+
+    #[test]
+    fn negation() {
+        // //NP[not(//Det)] equivalent: only NP("I").
+        assert_eq!(c("find n:NP, d:Det where not n doms d"), 1);
+        // Vacuous: no ZZZ anywhere.
+        assert_eq!(c("find n:NP, z:ZZZ where not n doms z"), 4);
+        // Positive use of a missing tag: zero.
+        assert_eq!(c("find n:NP, z:ZZZ where n doms z"), 0);
+    }
+
+    #[test]
+    fn multi_clause_joins() {
+        // Q4-style: N within VP following V child of that VP.
+        assert_eq!(
+            c("find n:N, v:V, p:VP where p iDoms v, v precedes n, p doms n"),
+            2
+        );
+        // Without the scope clause (Q3-style): 3.
+        assert_eq!(c("find n:N, v:V, p:VP where p iDoms v, v precedes n"), 3);
+    }
+
+    #[test]
+    fn multiple_trees_sum() {
+        let corpus = parse_str(&format!("{FIG1}\n{FIG1}")).unwrap();
+        let q = parse_query("find n:NP, v:V where v iPrecedes n").unwrap();
+        assert_eq!(count(&corpus, &q), 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! A CorpusSearch-style query engine — the second baseline of the
+//! paper's evaluation (Figures 7–8).
+//!
+//! CorpusSearch expresses syntax-tree searches as conjunctions of named
+//! search functions (`iDoms`, `precedes`, …) over typed node variables,
+//! evaluated by interpreting every tree of the corpus — no
+//! preprocessing, no indexes, full scan per query. That makes it the
+//! consistently slowest engine in the paper's comparison, which this
+//! reproduction preserves by construction.
+//!
+//! ```
+//! use lpath_model::ptb::parse_str;
+//! use lpath_corpussearch::CsEngine;
+//!
+//! let corpus = parse_str(
+//!     "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man)))) )",
+//! ).unwrap();
+//! let engine = CsEngine::new(&corpus);
+//! assert_eq!(engine.count("find n:NP, v:VBD where v iPrecedes n").unwrap(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod engine;
+pub mod eval;
+pub mod parser;
+pub mod queries;
+
+pub use ast::{Clause, CsQuery, CsRel, VarDecl};
+pub use engine::CsEngine;
+pub use parser::{parse_query, CsParseError};
+pub use queries::CS_QUERIES;

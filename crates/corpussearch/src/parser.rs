@@ -1,0 +1,281 @@
+//! Parser for the CorpusSearch-style query language.
+//!
+//! ```text
+//! query  := 'find' decl (',' decl)* ('where' clause (',' clause)*)?
+//! decl   := NAME ':' (TAG | '*')
+//! clause := 'not'? NAME (REL NAME | 'hasWord' WORD)
+//! ```
+
+use crate::ast::{Clause, CsQuery, CsRel, VarDecl};
+
+/// A parse failure with its byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CsParseError {
+    /// Byte offset in the query source.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "corpussearch parse error at {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for CsParseError {}
+
+/// Parse a `find … where …` query.
+pub fn parse_query(src: &str) -> Result<CsQuery, CsParseError> {
+    let mut p = P {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.keyword("find")?;
+    let mut vars = Vec::new();
+    loop {
+        p.ws();
+        vars.push(p.decl()?);
+        p.ws();
+        if p.peek() == Some(b',') {
+            p.i += 1;
+        } else {
+            break;
+        }
+    }
+    let mut clauses = Vec::new();
+    p.ws();
+    if !p.at_end() {
+        p.keyword("where")?;
+        loop {
+            p.ws();
+            clauses.push(p.clause(&vars)?);
+            p.ws();
+            if p.peek() == Some(b',') {
+                p.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+    p.ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input"));
+    }
+    let q = CsQuery { vars, clauses };
+    // Every positive variable except negatives must be reachable… we
+    // only validate name uniqueness here; semantics handles the rest.
+    for (i, a) in q.vars.iter().enumerate() {
+        for b in &q.vars[i + 1..] {
+            if a.name == b.name {
+                return Err(CsParseError {
+                    offset: 0,
+                    message: format!("duplicate variable '{}'", a.name),
+                });
+            }
+        }
+    }
+    Ok(q)
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: impl Into<String>) -> CsParseError {
+        CsParseError {
+            offset: self.i,
+            message: m.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.b.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn word(&mut self) -> Result<String, CsParseError> {
+        if self.peek() == Some(b'"') || self.peek() == Some(b'\'') {
+            let quote = self.b[self.i];
+            self.i += 1;
+            let start = self.i;
+            while self.i < self.b.len() && self.b[self.i] != quote {
+                self.i += 1;
+            }
+            if self.at_end() {
+                return Err(self.err("unterminated quote"));
+            }
+            let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.i += 1;
+            return Ok(s);
+        }
+        let start = self.i;
+        while self.i < self.b.len()
+            && (self.b[self.i].is_ascii_alphanumeric()
+                || self.b[self.i] == b'-'
+                || self.b[self.i] == b'_')
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected a word"));
+        }
+        Ok(String::from_utf8_lossy(&self.b[start..self.i]).into_owned())
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), CsParseError> {
+        self.ws();
+        let got = self.word()?;
+        if got.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{kw}', found '{got}'")))
+        }
+    }
+
+    fn decl(&mut self) -> Result<VarDecl, CsParseError> {
+        let name = self.word()?;
+        self.ws();
+        if self.peek() != Some(b':') {
+            return Err(self.err("expected ':' in variable declaration"));
+        }
+        self.i += 1;
+        self.ws();
+        let tag = if self.peek() == Some(b'*') {
+            self.i += 1;
+            None
+        } else {
+            Some(self.word()?)
+        };
+        Ok(VarDecl { name, tag })
+    }
+
+    fn var_index(&self, vars: &[VarDecl], name: &str) -> Result<usize, CsParseError> {
+        vars.iter()
+            .position(|v| v.name == name)
+            .ok_or_else(|| self.err(format!("undeclared variable '{name}'")))
+    }
+
+    fn clause(&mut self, vars: &[VarDecl]) -> Result<Clause, CsParseError> {
+        let first = self.word()?;
+        let (negated, left_name) = if first.eq_ignore_ascii_case("not") {
+            self.ws();
+            (true, self.word()?)
+        } else {
+            (false, first)
+        };
+        let left = self.var_index(vars, &left_name)?;
+        self.ws();
+        let rel_name = self.word()?;
+        if rel_name.eq_ignore_ascii_case("hasWord") {
+            self.ws();
+            let word = self.word()?;
+            return Ok(Clause::HasWord {
+                negated,
+                var: left,
+                word,
+            });
+        }
+        let rel = CsRel::from_name(&rel_name)
+            .ok_or_else(|| self.err(format!("unknown search function '{rel_name}'")))?;
+        self.ws();
+        let right_name = self.word()?;
+        let right = self.var_index(vars, &right_name)?;
+        Ok(Clause::Rel {
+            negated,
+            left,
+            rel,
+            right,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query() {
+        let q = parse_query("find n:NP, v:VB where v iPrecedes n").unwrap();
+        assert_eq!(q.vars.len(), 2);
+        assert_eq!(q.vars[0].tag.as_deref(), Some("NP"));
+        assert_eq!(
+            q.clauses[0],
+            Clause::Rel {
+                negated: false,
+                left: 1,
+                rel: CsRel::IPrecedes,
+                right: 0
+            }
+        );
+    }
+
+    #[test]
+    fn wildcard_and_words() {
+        let q = parse_query("find s:S, w:* where s doms w, w hasWord saw").unwrap();
+        assert_eq!(q.vars[1].tag, None);
+        assert_eq!(
+            q.clauses[1],
+            Clause::HasWord {
+                negated: false,
+                var: 1,
+                word: "saw".into()
+            }
+        );
+    }
+
+    #[test]
+    fn negation_and_negative_vars() {
+        let q = parse_query("find n:NP, j:JJ where not n doms j").unwrap();
+        assert!(q.clauses[0].negated());
+        assert!(q.is_negative(1));
+        assert!(!q.is_negative(0));
+    }
+
+    #[test]
+    fn no_where_clause() {
+        let q = parse_query("find x:WHPP").unwrap();
+        assert!(q.clauses.is_empty());
+    }
+
+    #[test]
+    fn quoted_words() {
+        let q = parse_query("find x:* where x hasWord \"multi word\"").unwrap();
+        let Clause::HasWord { word, .. } = &q.clauses[0] else {
+            panic!()
+        };
+        assert_eq!(word, "multi word");
+    }
+
+    #[test]
+    fn errors() {
+        for bad in [
+            "",
+            "find",
+            "find x",
+            "find x:NP where",
+            "find x:NP where y doms x",
+            "find x:NP where x bogus x",
+            "find x:NP, x:VP",
+            "find x:NP extra",
+        ] {
+            assert!(parse_query(bad).is_err(), "{bad}");
+        }
+    }
+}

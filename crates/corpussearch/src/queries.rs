@@ -1,0 +1,71 @@
+//! The 23 evaluation queries of Figure 6(c) in the CorpusSearch-style
+//! dialect, result variable first.
+
+/// `CS_QUERIES[i]` is Q(i+1).
+pub const CS_QUERIES: [&str; 23] = [
+    // Q1  //S[//_[@lex=saw]]
+    "find s:S, w:* where s doms w, w hasWord saw",
+    // Q2  //VB->NP
+    "find n:NP, v:VB where v iPrecedes n",
+    // Q3  //VP/VB-->NN
+    "find n:NN, v:VB, p:VP where p iDoms v, v precedes n",
+    // Q4  //VP{/VB-->NN}
+    "find n:NN, v:VB, p:VP where p iDoms v, v precedes n, p doms n",
+    // Q5  //VP{/NP$}
+    "find n:NP, p:VP where p iDomsLast n",
+    // Q6  //VP{//NP$}
+    "find n:NP, p:VP where p domsRightEdge n",
+    // Q7  //VP[{//^VB->NP->PP$}]
+    "find p:VP, v:VB, n:NP, q:PP where p domsLeftEdge v, v iPrecedes n, n iPrecedes q, p domsRightEdge q",
+    // Q8  //S[//NP/ADJP]
+    "find s:S, n:NP, a:ADJP where s doms a, n iDoms a",
+    // Q9  //NP[not(//JJ)]
+    "find n:NP, j:JJ where not n doms j",
+    // Q10 //NP[->PP[//IN[@lex=of]]=>VP]
+    "find n:NP, p:PP, i:IN, v:VP where n iPrecedes p, p doms i, i hasWord of, p iSisterPrecedes v",
+    // Q11 //S[{//_[@lex=what]->_[@lex=building]}]
+    "find s:S, a:*, b:* where s doms a, s doms b, a hasWord what, b hasWord building, a iPrecedes b",
+    // Q12 //_[@lex=rapprochement]
+    "find x:* where x hasWord rapprochement",
+    // Q13 //_[@lex=1929]
+    "find x:* where x hasWord 1929",
+    // Q14 //ADVP-LOC-CLR
+    "find x:ADVP-LOC-CLR",
+    // Q15 //WHPP
+    "find x:WHPP",
+    // Q16 //RRC/PP-TMP
+    "find p:PP-TMP, r:RRC where r iDoms p",
+    // Q17 //UCP-PRD/ADJP-PRD
+    "find a:ADJP-PRD, u:UCP-PRD where u iDoms a",
+    // Q18 //NP/NP/NP/NP/NP
+    "find e:NP, d:NP, c:NP, b:NP, a:NP where a iDoms b, b iDoms c, c iDoms d, d iDoms e",
+    // Q19 //VP/VP/VP
+    "find c:VP, b:VP, a:VP where a iDoms b, b iDoms c",
+    // Q20 //PP=>SBAR
+    "find s:SBAR, p:PP where p iSisterPrecedes s",
+    // Q21 //ADVP=>ADJP
+    "find a:ADJP, b:ADVP where b iSisterPrecedes a",
+    // Q22 //NP=>NP=>NP
+    "find c:NP, b:NP, a:NP where a iSisterPrecedes b, b iSisterPrecedes c",
+    // Q23 //VP=>VP
+    "find b:VP, a:VP where a iSisterPrecedes b",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn all_queries_parse() {
+        for (i, q) in CS_QUERIES.iter().enumerate() {
+            parse_query(q).unwrap_or_else(|e| panic!("Q{}: {e}", i + 1));
+        }
+    }
+
+    #[test]
+    fn q9_uses_a_negative_variable() {
+        let q = parse_query(CS_QUERIES[8]).unwrap();
+        assert!(q.is_negative(1));
+    }
+}

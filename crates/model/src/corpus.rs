@@ -1,0 +1,259 @@
+//! Corpora: collections of trees sharing one symbol table, plus the
+//! statistics the paper reports in Figure 6(a) and 6(b).
+
+use std::collections::HashMap;
+
+use crate::ptb;
+use crate::symbols::{Interner, Sym};
+use crate::tree::Tree;
+
+/// A treebank: trees plus their shared interner.
+#[derive(Clone, Default)]
+pub struct Corpus {
+    interner: Interner,
+    trees: Vec<Tree>,
+}
+
+/// The Figure 6(a) characteristics of a data set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Number of trees (sentences).
+    pub trees: usize,
+    /// Total element nodes over all trees ("Tree Nodes" in Fig 6a).
+    pub total_nodes: usize,
+    /// Total terminals (words).
+    pub total_tokens: usize,
+    /// Number of distinct tags ("Unique Tags").
+    pub unique_tags: usize,
+    /// Maximum node depth over all trees ("Maximum Depth").
+    pub max_depth: u32,
+    /// Size of the uncompressed bracketed ASCII rendering ("File Size").
+    pub ascii_bytes: usize,
+}
+
+impl Corpus {
+    /// An empty corpus with a fresh symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The corpus's symbol table.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Mutable access to the symbol table (for loaders).
+    pub fn interner_mut(&mut self) -> &mut Interner {
+        &mut self.interner
+    }
+
+    /// Intern a string in this corpus's symbol table.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.interner.intern(s)
+    }
+
+    /// Resolve a symbol to its string.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// Append a tree (its symbols must come from this corpus's table).
+    pub fn add_tree(&mut self, tree: Tree) {
+        self.trees.push(tree);
+    }
+
+    /// All trees, corpus order.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// One tree by index.
+    pub fn tree(&self, idx: usize) -> &Tree {
+        &self.trees[idx]
+    }
+
+    /// Compute the Figure 6(a) statistics.
+    pub fn stats(&self) -> CorpusStats {
+        let mut total_nodes = 0;
+        let mut total_tokens = 0;
+        let mut max_depth = 0;
+        let mut tags: Vec<bool> = vec![false; self.interner.len()];
+        let mut ascii_bytes = 0;
+        let mut buf = String::new();
+        for t in &self.trees {
+            total_nodes += t.len();
+            total_tokens += t.leaf_count();
+            max_depth = max_depth.max(t.max_depth());
+            for id in t.preorder() {
+                tags[t.node(id).name.0 as usize] = true;
+            }
+            buf.clear();
+            ptb::write_tree(t, &self.interner, &mut buf, false);
+            ascii_bytes += buf.len() + 5; // "( " + " )" + newline, as on disk
+        }
+        CorpusStats {
+            trees: self.trees.len(),
+            total_nodes,
+            total_tokens,
+            unique_tags: tags.iter().filter(|&&b| b).count(),
+            max_depth,
+            ascii_bytes,
+        }
+    }
+
+    /// Tag frequency histogram, most frequent first (ties broken by tag
+    /// string for determinism). This regenerates Figure 6(b).
+    pub fn tag_histogram(&self) -> Vec<(Sym, u64)> {
+        let mut counts: HashMap<Sym, u64> = HashMap::new();
+        for t in &self.trees {
+            for id in t.preorder() {
+                *counts.entry(t.node(id).name).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<(Sym, u64)> = counts.into_iter().collect();
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| self.resolve(a.0).cmp(self.resolve(b.0)))
+        });
+        v
+    }
+
+    /// The `k` most frequent tags with their counts, as strings.
+    pub fn top_tags(&self, k: usize) -> Vec<(String, u64)> {
+        self.tag_histogram()
+            .into_iter()
+            .take(k)
+            .map(|(s, c)| (self.resolve(s).to_string(), c))
+            .collect()
+    }
+
+    /// Word (terminal `@lex`) frequency histogram, most frequent first.
+    pub fn word_histogram(&self) -> Vec<(Sym, u64)> {
+        let lex = match self.interner.get("@lex") {
+            Some(s) => s,
+            None => return Vec::new(),
+        };
+        let mut counts: HashMap<Sym, u64> = HashMap::new();
+        for t in &self.trees {
+            for id in t.leaves() {
+                if let Some(w) = t.node(id).attr(lex) {
+                    *counts.entry(w).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut v: Vec<(Sym, u64)> = counts.into_iter().collect();
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| self.resolve(a.0).cmp(self.resolve(b.0)))
+        });
+        v
+    }
+
+    /// Replicate the corpus by `factor`, as in the paper's scalability
+    /// experiment (§5.3: "we replicated the WSJ dataset between 0.5 and
+    /// 4 times"). `factor = 0.5` keeps the first half of the trees;
+    /// `factor = 2.0` duplicates every tree twice, and so on. Fractional
+    /// factors keep a proportional prefix of the final copy.
+    pub fn replicate(&self, factor: f64) -> Corpus {
+        assert!(factor > 0.0, "replication factor must be positive");
+        let want = ((self.trees.len() as f64) * factor).round() as usize;
+        let want = want.max(1);
+        let mut out = Corpus {
+            interner: self.interner.clone(),
+            trees: Vec::with_capacity(want),
+        };
+        for i in 0..want {
+            out.trees.push(self.trees[i % self.trees.len()].clone());
+        }
+        out
+    }
+
+    /// Render the whole corpus in bracketed form (one tree per line).
+    pub fn to_ptb_string(&self) -> String {
+        let mut s = String::new();
+        for t in &self.trees {
+            s.push_str(&ptb::tree_to_string(t, &self.interner));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for Corpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Corpus({} trees, {} symbols)",
+            self.trees.len(),
+            self.interner.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptb::parse_str;
+
+    const SRC: &str = "\
+( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )
+( (S (NP-SBJ (DT the) (NN man)) (VP (VBD left))) )
+";
+
+    #[test]
+    fn stats_counts() {
+        let c = parse_str(SRC).unwrap();
+        let s = c.stats();
+        assert_eq!(s.trees, 2);
+        assert_eq!(s.total_tokens, 5 + 3);
+        assert_eq!(s.total_nodes, 9 + 6);
+        assert_eq!(s.max_depth, 4);
+        assert!(s.unique_tags >= 7);
+        assert!(s.ascii_bytes > 0);
+    }
+
+    #[test]
+    fn tag_histogram_is_sorted_and_deterministic() {
+        let c = parse_str(SRC).unwrap();
+        let h = c.tag_histogram();
+        for w in h.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let top = c.top_tags(3);
+        // DT, NN, NP-SBJ, S, VP, VBD all appear twice; ties sorted by name.
+        assert_eq!(top[0].1, 2);
+        assert_eq!(c.tag_histogram(), parse_str(SRC).unwrap().tag_histogram());
+    }
+
+    #[test]
+    fn word_histogram() {
+        let c = parse_str(SRC).unwrap();
+        let h = c.word_histogram();
+        let man = c.interner().get("man").unwrap();
+        let freq = h.iter().find(|(s, _)| *s == man).unwrap().1;
+        assert_eq!(freq, 2);
+    }
+
+    #[test]
+    fn replicate_scales_tree_count() {
+        let c = parse_str(SRC).unwrap();
+        assert_eq!(c.replicate(0.5).trees().len(), 1);
+        assert_eq!(c.replicate(1.0).trees().len(), 2);
+        assert_eq!(c.replicate(2.0).trees().len(), 4);
+        assert_eq!(c.replicate(4.0).trees().len(), 8);
+        let doubled = c.replicate(2.0);
+        assert_eq!(doubled.stats().total_nodes, 2 * c.stats().total_nodes);
+        // Symbol ids stay stable across replication.
+        assert_eq!(
+            doubled.interner().get("man"),
+            c.interner().get("man")
+        );
+    }
+
+    #[test]
+    fn ptb_round_trip_via_corpus() {
+        let c = parse_str(SRC).unwrap();
+        let re = parse_str(&c.to_ptb_string()).unwrap();
+        assert_eq!(re.stats(), c.stats());
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for the model crate.
+
+use std::fmt;
+
+/// Errors produced while building or parsing trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Malformed Penn Treebank input: unbalanced parentheses, empty node, …
+    Ptb {
+        /// Byte offset in the source.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Malformed XML input: mismatched tags, text content, bad entity, …
+    Xml {
+        /// Byte offset in the source.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A tree exceeded a structural limit (e.g. more than `u32::MAX` leaves).
+    Limit(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Ptb { offset, message } => {
+                write!(f, "treebank parse error at byte {offset}: {message}")
+            }
+            ModelError::Xml { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            ModelError::Limit(m) => write!(f, "structural limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,933 @@
+//! Synthetic treebank generator.
+//!
+//! Treebank-3 (the corpus evaluated in the paper) is LDC-licensed and not
+//! redistributable, so this module generates *synthetic* corpora whose
+//! distributional shape matches the paper's Figure 6:
+//!
+//! * **WSJ profile** — newswire-like sentences: top tags ranked
+//!   `NP > VP > NN > IN > …` (Figure 6(b), left), deep recursion
+//!   (`NP → NP PP`, auxiliary `VP → MD VP` chains), `-NONE-` traces, and a
+//!   long tail of function-tag decorated categories (`NP-TMP-3`, `PP-LOC`)
+//!   approximating the 1,274 unique tags of Figure 6(a);
+//! * **SWB profile** — conversational utterances: `-DFL-` disfluency
+//!   markers as the most frequent tag (Figure 6(b), right), many short
+//!   interjection turns, pronoun-heavy subjects.
+//!
+//! On top of the organic grammar, the generator *injects* the rare
+//! constructs that queries Q10–Q23 of Figure 6(c) select (`rapprochement`,
+//! `WHPP`, five-deep `NP` chains, `what building`, …) at rates scaled from
+//! the paper's reported result sizes, so every evaluation query returns a
+//! non-empty, proportionally sized answer at any corpus scale.
+//!
+//! Generation is deterministic for a given [`GenConfig`] (seeded
+//! [`SmallRng`]); the same config always yields byte-identical corpora.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::corpus::Corpus;
+use crate::symbols::Sym;
+use crate::tree::{NodeId, Tree};
+
+/// Which of the paper's two data sets to imitate.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Wall Street Journal: parsed newswire (Figure 6, left columns).
+    Wsj,
+    /// Switchboard: parsed telephone conversations (right columns).
+    Swb,
+}
+
+impl Profile {
+    /// Approximate sentence count of the full paper corpus; injection
+    /// rates are scaled relative to this.
+    pub fn paper_sentences(self) -> usize {
+        match self {
+            // ~1M words at ~20 words/sentence.
+            Profile::Wsj => 49_000,
+            // ~3.97M nodes of short utterances.
+            Profile::Swb => 110_000,
+        }
+    }
+
+    /// Display name used in harness tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Wsj => "WSJ",
+            Profile::Swb => "SWB",
+        }
+    }
+}
+
+/// Configuration for [`generate`].
+#[derive(Copy, Clone, Debug)]
+pub struct GenConfig {
+    /// Which corpus to imitate (WSJ or Switchboard).
+    pub profile: Profile,
+    /// Number of trees (sentences/utterances) to generate.
+    pub sentences: usize,
+    /// RNG seed; same config ⇒ identical corpus.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// A config with the default seed.
+    pub fn new(profile: Profile, sentences: usize) -> Self {
+        GenConfig {
+            profile,
+            sentences,
+            seed: 0x004C_5061_7468_u64, // "LPath"
+        }
+    }
+
+    /// WSJ-profile config.
+    pub fn wsj(sentences: usize) -> Self {
+        Self::new(Profile::Wsj, sentences)
+    }
+
+    /// SWB-profile config.
+    pub fn swb(sentences: usize) -> Self {
+        Self::new(Profile::Swb, sentences)
+    }
+
+    /// Override the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generate a synthetic corpus according to `cfg`.
+pub fn generate(cfg: &GenConfig) -> Corpus {
+    let mut corpus = Corpus::new();
+    let mut g = Gen::new(cfg, &mut corpus);
+    let plan = g.injection_plan();
+    for i in 0..cfg.sentences {
+        let inj = plan.get(&i).map(|v| v.as_slice()).unwrap_or(&[]);
+        let tree = g.sentence(inj);
+        g.corpus.add_tree(tree);
+    }
+    corpus
+}
+
+/// Rare constructs injected to realize the selective queries of
+/// Figure 6(c). Each variant appends one constituent to a sentence.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Inj {
+    /// `saw` as a verb — Q1.
+    Saw,
+    /// `(NP (NN part)) (PP (IN of) …) (VP …)` sibling triple — Q10.
+    NpOfVp,
+    /// `what` immediately followed by `building` — Q11.
+    WhatBuilding,
+    /// the word `rapprochement` — Q12.
+    Rapprochement,
+    /// the token `1929` — Q13.
+    Year1929,
+    /// an `ADVP-LOC-CLR` constituent — Q14.
+    AdvpLocClr,
+    /// a `WHPP` constituent — Q15.
+    Whpp,
+    /// `RRC` over `PP-TMP` — Q16.
+    RrcPpTmp,
+    /// `UCP-PRD` over `ADJP-PRD` — Q17.
+    UcpPrd,
+    /// five-deep `NP` unary chain — Q18.
+    NpChain5,
+    /// `PP` with immediate following sibling `SBAR` — Q20.
+    PpSbar,
+    /// `ADVP` with immediate following sibling `ADJP` — Q21.
+    AdvpAdjp,
+    /// three adjacent sibling `NP`s — Q22.
+    NpNpNp,
+    /// `VP` with immediate following sibling `VP` — Q23.
+    VpVp,
+}
+
+impl Inj {
+    const ALL: [Inj; 14] = [
+        Inj::Saw,
+        Inj::NpOfVp,
+        Inj::WhatBuilding,
+        Inj::Rapprochement,
+        Inj::Year1929,
+        Inj::AdvpLocClr,
+        Inj::Whpp,
+        Inj::RrcPpTmp,
+        Inj::UcpPrd,
+        Inj::NpChain5,
+        Inj::PpSbar,
+        Inj::AdvpAdjp,
+        Inj::NpNpNp,
+        Inj::VpVp,
+    ];
+
+    /// The paper's Figure 6(c) result size for the query this construct
+    /// feeds, per profile. Zero means the construct never occurs there.
+    fn paper_count(self, profile: Profile) -> usize {
+        match profile {
+            Profile::Wsj => match self {
+                Inj::Saw => 153,
+                Inj::NpOfVp => 192,
+                Inj::WhatBuilding => 2,
+                Inj::Rapprochement => 1,
+                Inj::Year1929 => 14,
+                Inj::AdvpLocClr => 60,
+                Inj::Whpp => 87,
+                Inj::RrcPpTmp => 8,
+                Inj::UcpPrd => 17,
+                Inj::NpChain5 => 254,
+                Inj::PpSbar => 640,
+                Inj::AdvpAdjp => 15,
+                Inj::NpNpNp => 7,
+                Inj::VpVp => 20,
+            },
+            Profile::Swb => match self {
+                Inj::Saw => 339,
+                Inj::NpOfVp => 31,
+                Inj::WhatBuilding => 5,
+                Inj::Rapprochement => 0,
+                Inj::Year1929 => 0,
+                Inj::AdvpLocClr => 0,
+                Inj::Whpp => 20,
+                Inj::RrcPpTmp => 3,
+                Inj::UcpPrd => 4,
+                Inj::NpChain5 => 12,
+                Inj::PpSbar => 651,
+                Inj::AdvpAdjp => 37,
+                Inj::NpNpNp => 7,
+                Inj::VpVp => 72,
+            },
+        }
+    }
+}
+
+/// Grammatical word categories for vocabulary sampling.
+#[derive(Copy, Clone, Debug)]
+enum Cat {
+    Noun,
+    ProperNoun,
+    Verb,
+    PastVerb,
+    Adj,
+    Adv,
+    Prep,
+    Det,
+    Pron,
+    Modal,
+    Interj,
+    Number,
+}
+
+/// Maximum constituent nesting before the grammar is forced to bottom
+/// out. The paper reports maximum depth 36 for both corpora; organic
+/// recursion here stays below that and the cap makes it a hard bound.
+const MAX_DEPTH: u32 = 30;
+
+struct Gen<'a> {
+    rng: SmallRng,
+    corpus: &'a mut Corpus,
+    profile: Profile,
+    sentences: usize,
+    lex: Sym,
+}
+
+impl<'a> Gen<'a> {
+    fn new(cfg: &GenConfig, corpus: &'a mut Corpus) -> Self {
+        let lex = corpus.intern("@lex");
+        Gen {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            corpus,
+            profile: cfg.profile,
+            sentences: cfg.sentences,
+            lex,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Injection planning
+    // ---------------------------------------------------------------
+
+    /// Decide which sentences carry which rare constructs. Counts are the
+    /// paper's Figure 6(c) sizes scaled by corpus size, with a floor of
+    /// one occurrence so every query stays satisfiable at small scales.
+    fn injection_plan(&mut self) -> std::collections::HashMap<usize, Vec<Inj>> {
+        let mut plan: std::collections::HashMap<usize, Vec<Inj>> =
+            std::collections::HashMap::new();
+        if self.sentences == 0 {
+            return plan;
+        }
+        let paper = self.profile.paper_sentences() as f64;
+        for inj in Inj::ALL {
+            let pc = inj.paper_count(self.profile);
+            if pc == 0 {
+                continue;
+            }
+            let scaled = (pc as f64 * self.sentences as f64 / paper).round() as usize;
+            let count = scaled.max(1);
+            for _ in 0..count {
+                let idx = self.rng.gen_range(0..self.sentences);
+                plan.entry(idx).or_default().push(inj);
+            }
+        }
+        plan
+    }
+
+    // ---------------------------------------------------------------
+    // Vocabulary
+    // ---------------------------------------------------------------
+
+    /// Log-uniform ("Zipf-ish") rank in `[0, n)`: heavily favours small
+    /// ranks, giving a realistic head/tail word distribution.
+    fn zipf(&mut self, n: usize) -> usize {
+        let u: f64 = self.rng.gen();
+        (((n as f64 + 1.0).powf(u)) as usize).saturating_sub(1).min(n - 1)
+    }
+
+    fn word(&mut self, cat: Cat) -> Sym {
+        // A small head of real words per category, then a synthetic tail.
+        const NOUNS: &[&str] = &[
+            "company", "year", "market", "time", "share", "president", "group",
+            "price", "week", "stock", "man", "dog", "government", "report",
+        ];
+        const PROPER: &[&str] = &[
+            "Smith", "Johnson", "Tokyo", "Washington", "Ford", "IBM", "Texas",
+        ];
+        const VERBS: &[&str] = &[
+            "make", "take", "buy", "sell", "see", "say", "go", "get", "give",
+        ];
+        const PAST: &[&str] = &[
+            "said", "rose", "fell", "reported", "announced", "agreed", "made",
+        ];
+        const ADJS: &[&str] = &[
+            "new", "old", "last", "big", "good", "federal", "major", "strong",
+        ];
+        const ADVS: &[&str] = &["also", "still", "even", "sharply", "really", "just"];
+        const PREPS: &[&str] = &[
+            "of", "in", "for", "on", "with", "at", "by", "from", "to", "about",
+        ];
+        const DETS: &[&str] = &["the", "a", "an", "this", "that", "its", "some"];
+        const PRONS: &[&str] = &["it", "he", "they", "I", "we", "she", "you"];
+        const MODALS: &[&str] = &["will", "would", "could", "may", "should"];
+        const INTERJ: &[&str] = &["uh", "yeah", "well", "um", "right", "okay", "huh"];
+        let (head, tail, tag): (&[&str], usize, &str) = match cat {
+            Cat::Noun => (NOUNS, 1800, "n"),
+            Cat::ProperNoun => (PROPER, 900, "pn"),
+            Cat::Verb => (VERBS, 500, "v"),
+            Cat::PastVerb => (PAST, 500, "vd"),
+            Cat::Adj => (ADJS, 700, "adj"),
+            Cat::Adv => (ADVS, 300, "adv"),
+            Cat::Prep => (PREPS, 0, "p"),
+            Cat::Det => (DETS, 0, "d"),
+            Cat::Pron => (PRONS, 0, "pr"),
+            Cat::Modal => (MODALS, 0, "m"),
+            Cat::Interj => (INTERJ, 0, "i"),
+            Cat::Number => (&[], 600, "num"),
+        };
+        let n = head.len() + tail;
+        let r = self.zipf(n.max(1));
+        if r < head.len() {
+            self.corpus.intern(head[r])
+        } else if matches!(cat, Cat::Number) {
+            // Synthetic numerals; 1929 itself is injection-only.
+            let v = 10 + (r as u64 % 89_000) * 7 % 99_990;
+            self.corpus.intern(&format!("{v}"))
+        } else {
+            self.corpus.intern(&format!("{tag}{r}"))
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Tree-building helpers
+    // ---------------------------------------------------------------
+
+    fn leaf(&mut self, t: &mut Tree, parent: NodeId, tag: &str, cat: Cat) -> NodeId {
+        let tag = self.corpus.intern(tag);
+        let w = self.word(cat);
+        let n = t.add_child(parent, tag);
+        t.set_attr(n, self.lex, w);
+        n
+    }
+
+    fn leaf_word(&mut self, t: &mut Tree, parent: NodeId, tag: &str, word: &str) -> NodeId {
+        let tag = self.corpus.intern(tag);
+        let w = self.corpus.intern(word);
+        let n = t.add_child(parent, tag);
+        t.set_attr(n, self.lex, w);
+        n
+    }
+
+    fn inner(&mut self, t: &mut Tree, parent: NodeId, tag: &str) -> NodeId {
+        let tag = self.corpus.intern(tag);
+        t.add_child(parent, tag)
+    }
+
+    /// Occasionally decorate a phrase tag with a function suffix and
+    /// index, producing the long tag tail of Figure 6(a). The WSJ has far
+    /// more decorated tags than Switchboard.
+    fn decorate(&mut self, base: &str) -> String {
+        let (p_suffix, p_index) = match self.profile {
+            Profile::Wsj => (0.08, 0.35),
+            Profile::Swb => (0.04, 0.15),
+        };
+        if self.rng.gen_bool(p_suffix) {
+            const SUFFIXES: &[&str] = &["TMP", "LOC", "MNR", "PRP", "ADV", "CLR", "PRD"];
+            let s = SUFFIXES[self.rng.gen_range(0..SUFFIXES.len())];
+            if self.rng.gen_bool(p_index) {
+                let i = self.rng.gen_range(1..=40u32);
+                format!("{base}-{s}-{i}")
+            } else {
+                format!("{base}-{s}")
+            }
+        } else {
+            base.to_string()
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Sentence grammar
+    // ---------------------------------------------------------------
+
+    fn sentence(&mut self, injections: &[Inj]) -> Tree {
+        let s = self.corpus.intern("S");
+        let mut t = Tree::new(s);
+        let root = t.root();
+        match self.profile {
+            Profile::Wsj => self.wsj_clause_body(&mut t, root, 1),
+            Profile::Swb => self.swb_utterance_body(&mut t, root),
+        }
+        for &inj in injections {
+            self.inject(&mut t, root, inj);
+        }
+        // Final punctuation, as in the Treebank.
+        let punct = if self.profile == Profile::Swb && self.rng.gen_bool(0.1) {
+            "?"
+        } else {
+            "."
+        };
+        self.leaf_word(&mut t, root, ".", punct);
+        t
+    }
+
+    /// Children of an S node: optional adjunct, subject, predicate.
+    fn wsj_clause_body(&mut self, t: &mut Tree, s: NodeId, depth: u32) {
+        if depth < MAX_DEPTH && self.rng.gen_bool(0.18) {
+            // Fronted adjunct.
+            if self.rng.gen_bool(0.6) {
+                self.pp(t, s, depth + 1);
+            } else {
+                let advp = self.inner(t, s, "ADVP");
+                self.leaf(t, advp, "RB", Cat::Adv);
+            }
+            if self.rng.gen_bool(0.5) {
+                self.leaf_word(t, s, ",", ",");
+            }
+        }
+        self.np(t, s, depth + 1, true);
+        self.vp(t, s, depth + 1);
+    }
+
+    /// A noun phrase. `subject` selects the `NP-SBJ` tag of Figure 6(b).
+    fn np(&mut self, t: &mut Tree, parent: NodeId, depth: u32, subject: bool) -> NodeId {
+        let tag = if subject {
+            "NP-SBJ".to_string()
+        } else {
+            self.decorate("NP")
+        };
+        let np = self.inner(t, parent, &tag);
+        let roll: f64 = self.rng.gen();
+        let deep = depth >= MAX_DEPTH - 2;
+        match () {
+            // Trace (empty category): -NONE- ranks ninth in WSJ.
+            _ if roll < 0.13 => {
+                self.leaf_word(t, np, "-NONE-", "*");
+            }
+            _ if roll < 0.28 => {
+                self.leaf(t, np, "DT", Cat::Det);
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            _ if roll < 0.40 => {
+                self.leaf(t, np, "DT", Cat::Det);
+                self.leaf(t, np, "JJ", Cat::Adj);
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            _ if roll < 0.55 => {
+                self.leaf(t, np, "NNP", Cat::ProperNoun);
+                if self.rng.gen_bool(0.60) {
+                    self.leaf(t, np, "NNP", Cat::ProperNoun);
+                    if self.rng.gen_bool(0.30) {
+                        self.leaf(t, np, "NNP", Cat::ProperNoun);
+                    }
+                }
+            }
+            _ if roll < 0.62 => {
+                self.leaf(t, np, "PRP", Cat::Pron);
+            }
+            // NP → NP PP recursion (drives the NP count to #1 in WSJ).
+            _ if roll < 0.76 && !deep => {
+                self.np(t, np, depth + 1, false);
+                self.pp(t, np, depth + 1);
+            }
+            // NP → NP SBAR (relative clause).
+            _ if roll < 0.82 && !deep => {
+                self.np(t, np, depth + 1, false);
+                self.sbar(t, np, depth + 1);
+            }
+            _ if roll < 0.87 => {
+                self.leaf(t, np, "CD", Cat::Number);
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            _ if roll < 0.91 => {
+                self.leaf(t, np, "DT", Cat::Det);
+                let adjp = self.inner(t, np, "ADJP");
+                self.leaf(t, adjp, "JJ", Cat::Adj);
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            _ if roll < 0.95 => {
+                self.leaf(t, np, "NN", Cat::Noun);
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            _ => {
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+        }
+        np
+    }
+
+    fn vp(&mut self, t: &mut Tree, parent: NodeId, depth: u32) -> NodeId {
+        let vp = self.inner(t, parent, "VP");
+        let roll: f64 = self.rng.gen();
+        let deep = depth >= MAX_DEPTH - 2;
+        match () {
+            // VB NP — the //VB->NP workhorse (Q2).
+            _ if roll < 0.18 => {
+                self.leaf(t, vp, "VB", Cat::Verb);
+                self.np(t, vp, depth + 1, false);
+            }
+            // VB NP PP — VP-spanning triple, satisfies Q7's alignment.
+            _ if roll < 0.30 => {
+                self.leaf(t, vp, "VB", Cat::Verb);
+                self.np(t, vp, depth + 1, false);
+                self.pp(t, vp, depth + 1);
+            }
+            // Auxiliary chain VP → MD VP (drives Q19's VP/VP/VP and
+            // lifts VP to rank two of Figure 6(b)).
+            _ if roll < 0.60 && !deep => {
+                self.leaf(t, vp, "MD", Cat::Modal);
+                self.vp(t, vp, depth + 1);
+            }
+            _ if roll < 0.68 => {
+                self.leaf(t, vp, "VBD", Cat::PastVerb);
+                self.np(t, vp, depth + 1, false);
+            }
+            // Clausal complement.
+            _ if roll < 0.80 && !deep => {
+                self.leaf(t, vp, "VBD", Cat::PastVerb);
+                self.sbar(t, vp, depth + 1);
+            }
+            // Small-clause complement (embedded S without SBAR).
+            _ if roll < 0.85 && !deep => {
+                self.leaf(t, vp, "VB", Cat::Verb);
+                let s = self.inner(t, vp, "S");
+                self.wsj_clause_body(t, s, depth + 1);
+            }
+            _ if roll < 0.90 => {
+                self.leaf(t, vp, "VB", Cat::Verb);
+                self.pp(t, vp, depth + 1);
+            }
+            _ if roll < 0.94 => {
+                self.leaf(t, vp, "VB", Cat::Verb);
+                let adjp = self.inner(t, vp, "ADJP");
+                self.leaf(t, adjp, "JJ", Cat::Adj);
+            }
+            _ if roll < 0.97 => {
+                self.leaf(t, vp, "VBD", Cat::PastVerb);
+            }
+            _ => {
+                self.leaf(t, vp, "VB", Cat::Verb);
+            }
+        }
+        vp
+    }
+
+    fn pp(&mut self, t: &mut Tree, parent: NodeId, depth: u32) -> NodeId {
+        let tag = self.decorate("PP");
+        let pp = self.inner(t, parent, &tag);
+        self.leaf(t, pp, "IN", Cat::Prep);
+        if depth < MAX_DEPTH {
+            self.np(t, pp, depth + 1, false);
+        } else {
+            self.leaf(t, pp, "NN", Cat::Noun);
+        }
+        pp
+    }
+
+    fn sbar(&mut self, t: &mut Tree, parent: NodeId, depth: u32) -> NodeId {
+        let sbar = self.inner(t, parent, "SBAR");
+        // Complementizer: overt, null, or wh-word. Null complementizers
+        // contribute to the high -NONE- count of Figure 6(b).
+        let roll: f64 = self.rng.gen();
+        if roll < 0.55 {
+            self.leaf(t, sbar, "IN", Cat::Prep);
+        } else if roll < 0.80 {
+            self.leaf_word(t, sbar, "-NONE-", "0");
+        } else {
+            let whnp = self.inner(t, sbar, "WHNP");
+            self.leaf_word(t, whnp, "WDT", "which");
+        }
+        let s = self.inner(t, sbar, "S");
+        if depth < MAX_DEPTH {
+            match self.profile {
+                Profile::Wsj => self.wsj_clause_body(t, s, depth + 1),
+                Profile::Swb => {
+                    self.np(t, s, depth + 1, true);
+                    self.vp(t, s, depth + 1);
+                }
+            }
+        } else {
+            self.leaf(t, s, "NN", Cat::Noun);
+        }
+        sbar
+    }
+
+    /// Switchboard utterances: short, pronoun-heavy, riddled with
+    /// `-DFL-` disfluency markers and interjections.
+    fn swb_utterance_body(&mut self, t: &mut Tree, root: NodeId) {
+        // Leading disfluency and/or interjection. `-DFL-` is the most
+        // frequent Switchboard tag (Figure 6(b)): roughly 1.7 markers
+        // per utterance once starts, restarts and ends are counted.
+        if self.rng.gen_bool(0.72) {
+            self.leaf_word(t, root, "-DFL-", "E_S");
+        }
+        if self.rng.gen_bool(0.40) {
+            let intj = self.inner(t, root, "INTJ");
+            self.leaf(t, intj, "UH", Cat::Interj);
+            if self.rng.gen_bool(0.35) {
+                self.leaf_word(t, root, "-DFL-", "N_S");
+            }
+            if self.rng.gen_bool(0.5) {
+                self.leaf_word(t, root, ",", ",");
+            }
+        }
+        if self.rng.gen_bool(0.25) {
+            // Fragment turn: interjection only.
+            if self.rng.gen_bool(0.60) {
+                self.leaf_word(t, root, "-DFL-", "N_S");
+            }
+            return;
+        }
+        // Main clause, often with a restart marker before the subject.
+        if self.rng.gen_bool(0.22) {
+            self.leaf_word(t, root, "-DFL-", "N_S");
+        }
+        let sbj = self.inner(t, root, "NP-SBJ");
+        if self.rng.gen_bool(0.78) {
+            self.leaf(t, sbj, "PRP", Cat::Pron);
+        } else {
+            self.leaf(t, sbj, "DT", Cat::Det);
+            self.leaf(t, sbj, "NN", Cat::Noun);
+        }
+        if self.rng.gen_bool(0.30) {
+            let advp = self.inner(t, root, "ADVP");
+            self.leaf(t, advp, "RB", Cat::Adv);
+        }
+        self.swb_vp(t, root, 2);
+        if self.rng.gen_bool(0.65) {
+            self.leaf_word(t, root, "-DFL-", "E_S");
+        }
+        if self.rng.gen_bool(0.45) {
+            self.leaf_word(t, root, ",", ",");
+        }
+    }
+
+    fn swb_vp(&mut self, t: &mut Tree, parent: NodeId, depth: u32) -> NodeId {
+        let vp = self.inner(t, parent, "VP");
+        let roll: f64 = self.rng.gen();
+        let deep = depth >= MAX_DEPTH - 2;
+        match () {
+            _ if roll < 0.28 => {
+                self.leaf(t, vp, "VBP", Cat::Verb);
+                let np = self.inner(t, vp, "NP");
+                if self.rng.gen_bool(0.6) {
+                    self.leaf(t, np, "PRP", Cat::Pron);
+                } else {
+                    self.leaf(t, np, "DT", Cat::Det);
+                    self.leaf(t, np, "NN", Cat::Noun);
+                }
+            }
+            // Auxiliary chains are very frequent in speech ("I do n't
+            // think I would have …") — VP is tag #2 in SWB.
+            _ if roll < 0.55 && !deep => {
+                self.leaf(t, vp, "MD", Cat::Modal);
+                if self.rng.gen_bool(0.25) {
+                    self.leaf(t, vp, "RB", Cat::Adv);
+                }
+                self.swb_vp(t, vp, depth + 1);
+            }
+            _ if roll < 0.70 && !deep => {
+                self.leaf(t, vp, "VBP", Cat::Verb);
+                let sbar = self.inner(t, vp, "SBAR");
+                let s = self.inner(t, sbar, "S");
+                let sbj = self.inner(t, s, "NP-SBJ");
+                self.leaf(t, sbj, "PRP", Cat::Pron);
+                self.swb_vp(t, s, depth + 2);
+            }
+            _ if roll < 0.80 => {
+                self.leaf(t, vp, "VB", Cat::Verb);
+                self.pp(t, vp, depth + 1);
+            }
+            _ if roll < 0.88 => {
+                self.leaf(t, vp, "VB", Cat::Verb);
+                let np = self.inner(t, vp, "NP");
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            _ => {
+                self.leaf(t, vp, "VBD", Cat::PastVerb);
+            }
+        }
+        vp
+    }
+
+    // ---------------------------------------------------------------
+    // Rare-construct injection (appended as extra constituents of the
+    // root, preserving the arena's preorder invariant).
+    // ---------------------------------------------------------------
+
+    fn inject(&mut self, t: &mut Tree, root: NodeId, inj: Inj) {
+        match inj {
+            Inj::Saw => {
+                let vp = self.inner(t, root, "VP");
+                self.leaf_word(t, vp, "VBD", "saw");
+                let np = self.inner(t, vp, "NP");
+                self.leaf_word(t, np, "DT", "the");
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            Inj::NpOfVp => {
+                let np = self.inner(t, root, "NP");
+                self.leaf_word(t, np, "NN", "part");
+                let pp = self.inner(t, root, "PP");
+                self.leaf_word(t, pp, "IN", "of");
+                let ppnp = self.inner(t, pp, "NP");
+                self.leaf_word(t, ppnp, "DT", "the");
+                self.leaf(t, ppnp, "NN", Cat::Noun);
+                let vp = self.inner(t, root, "VP");
+                self.leaf_word(t, vp, "VBD", "worked");
+            }
+            Inj::WhatBuilding => {
+                let np = self.inner(t, root, "NP");
+                self.leaf_word(t, np, "WP", "what");
+                self.leaf_word(t, np, "NN", "building");
+            }
+            Inj::Rapprochement => {
+                let np = self.inner(t, root, "NP");
+                self.leaf_word(t, np, "DT", "the");
+                self.leaf_word(t, np, "NN", "rapprochement");
+            }
+            Inj::Year1929 => {
+                let np = self.inner(t, root, "NP");
+                self.leaf_word(t, np, "CD", "1929");
+            }
+            Inj::AdvpLocClr => {
+                let advp = self.inner(t, root, "ADVP-LOC-CLR");
+                self.leaf_word(t, advp, "RB", "here");
+            }
+            Inj::Whpp => {
+                let whpp = self.inner(t, root, "WHPP");
+                self.leaf_word(t, whpp, "IN", "of");
+                let whnp = self.inner(t, whpp, "WHNP");
+                self.leaf_word(t, whnp, "WDT", "which");
+            }
+            Inj::RrcPpTmp => {
+                let rrc = self.inner(t, root, "RRC");
+                let pp = self.inner(t, rrc, "PP-TMP");
+                self.leaf_word(t, pp, "IN", "during");
+                let np = self.inner(t, pp, "NP");
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            Inj::UcpPrd => {
+                let ucp = self.inner(t, root, "UCP-PRD");
+                let adjp = self.inner(t, ucp, "ADJP-PRD");
+                self.leaf(t, adjp, "JJ", Cat::Adj);
+                self.leaf_word(t, ucp, "CC", "and");
+                let np = self.inner(t, ucp, "NP");
+                self.leaf(t, np, "NN", Cat::Noun);
+            }
+            Inj::NpChain5 => {
+                let mut cur = root;
+                for _ in 0..5 {
+                    cur = self.inner(t, cur, "NP");
+                }
+                self.leaf(t, cur, "NN", Cat::Noun);
+            }
+            Inj::PpSbar => {
+                let pp = self.inner(t, root, "PP");
+                self.leaf_word(t, pp, "IN", "after");
+                let ppnp = self.inner(t, pp, "NP");
+                self.leaf(t, ppnp, "NN", Cat::Noun);
+                let sbar = self.inner(t, root, "SBAR");
+                self.leaf_word(t, sbar, "IN", "because");
+                let s = self.inner(t, sbar, "S");
+                let sbj = self.inner(t, s, "NP-SBJ");
+                self.leaf(t, sbj, "PRP", Cat::Pron);
+                let vp = self.inner(t, s, "VP");
+                self.leaf(t, vp, "VBD", Cat::PastVerb);
+            }
+            Inj::AdvpAdjp => {
+                let advp = self.inner(t, root, "ADVP");
+                self.leaf(t, advp, "RB", Cat::Adv);
+                let adjp = self.inner(t, root, "ADJP");
+                self.leaf(t, adjp, "JJ", Cat::Adj);
+            }
+            Inj::NpNpNp => {
+                for _ in 0..3 {
+                    let np = self.inner(t, root, "NP");
+                    self.leaf(t, np, "NN", Cat::Noun);
+                }
+            }
+            Inj::VpVp => {
+                for _ in 0..2 {
+                    let vp = self.inner(t, root, "VP");
+                    self.leaf(t, vp, "VB", Cat::Verb);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_wsj() -> Corpus {
+        generate(&GenConfig::wsj(400))
+    }
+
+    fn small_swb() -> Corpus {
+        generate(&GenConfig::swb(400))
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&GenConfig::wsj(100));
+        let b = generate(&GenConfig::wsj(100));
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.to_ptb_string(), b.to_ptb_string());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::wsj(100));
+        let b = generate(&GenConfig::wsj(100).with_seed(7));
+        assert_ne!(a.to_ptb_string(), b.to_ptb_string());
+    }
+
+    #[test]
+    fn sentence_count_respected() {
+        for n in [1, 10, 250] {
+            assert_eq!(generate(&GenConfig::wsj(n)).trees().len(), n);
+            assert_eq!(generate(&GenConfig::swb(n)).trees().len(), n);
+        }
+    }
+
+    #[test]
+    fn wsj_tag_ranks_match_figure_6b() {
+        let c = small_wsj();
+        let top: Vec<String> = c.top_tags(10).into_iter().map(|(t, _)| t).collect();
+        // NP must dominate; VP in the top three; the paper's head tags
+        // all present in the top ten.
+        assert_eq!(top[0], "NP", "top tags: {top:?}");
+        assert!(top[..3].contains(&"VP".to_string()), "top tags: {top:?}");
+        for want in ["NN", "IN", "S", "NP-SBJ"] {
+            assert!(top.contains(&want.to_string()), "missing {want}: {top:?}");
+        }
+    }
+
+    #[test]
+    fn swb_most_frequent_tag_is_dfl() {
+        let c = small_swb();
+        let top = c.top_tags(10);
+        assert_eq!(top[0].0, "-DFL-", "top tags: {top:?}");
+        let names: Vec<&str> = top.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(names.contains(&"VP"));
+        assert!(names.contains(&"PRP"));
+    }
+
+    #[test]
+    fn rare_constructs_are_injected() {
+        let c = small_wsj();
+        let text = c.to_ptb_string();
+        for needle in [
+            "rapprochement",
+            "1929",
+            "ADVP-LOC-CLR",
+            "WHPP",
+            "RRC",
+            "UCP-PRD",
+            "(WP what) (NN building)",
+            "saw",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn swb_skips_wsj_only_constructs() {
+        let c = small_swb();
+        let text = c.to_ptb_string();
+        assert!(!text.contains("rapprochement"));
+        assert!(!text.contains("ADVP-LOC-CLR"));
+        assert!(text.contains("WHPP")); // 20 in paper SWB
+        assert!(text.contains("saw"));
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let c = generate(&GenConfig::wsj(800));
+        assert!(c.stats().max_depth <= MAX_DEPTH + 6);
+    }
+
+    #[test]
+    fn every_leaf_has_lex() {
+        let c = small_wsj();
+        let lex = c.interner().get("@lex").unwrap();
+        for t in c.trees() {
+            for id in t.leaves() {
+                assert!(
+                    t.node(id).attr(lex).is_some(),
+                    "leaf without @lex: {:?}",
+                    c.resolve(t.node(id).name)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wsj_is_bigger_per_sentence_than_swb() {
+        let w = small_wsj().stats();
+        let s = small_swb().stats();
+        let wn = w.total_nodes as f64 / w.trees as f64;
+        let sn = s.total_nodes as f64 / s.trees as f64;
+        assert!(wn > sn, "wsj {wn} vs swb {sn} nodes/tree");
+    }
+
+    #[test]
+    fn injection_counts_scale() {
+        // rapprochement: paper count 1 → floor of one occurrence even in
+        // tiny corpora; 1929: 14 per 49k sentences → a handful at 10k.
+        let c = generate(&GenConfig::wsj(2_000));
+        let text = c.to_ptb_string();
+        assert_eq!(text.matches("rapprochement").count(), 1);
+        let big = generate(&GenConfig::wsj(5_000));
+        let nines = big.to_ptb_string().matches("(CD 1929)").count();
+        assert!((1..=6).contains(&nines), "got {nines}");
+    }
+
+    #[test]
+    fn round_trips_through_ptb() {
+        let c = generate(&GenConfig::wsj(50));
+        let re = crate::ptb::parse_str(&c.to_ptb_string()).unwrap();
+        assert_eq!(re.trees().len(), 50);
+        assert_eq!(re.stats().total_nodes, c.stats().total_nodes);
+        assert_eq!(re.stats().max_depth, c.stats().max_depth);
+    }
+}

@@ -1,0 +1,469 @@
+//! The LPath labeling scheme (paper §4, Definition 4.1) and the axis ⇔
+//! label-comparison relations (paper Table 2).
+//!
+//! Each node is assigned a tuple `⟨left, right, depth, id, pid⟩`:
+//!
+//! * the *k*-th leaf (in document order, 1-based) has `left = k`,
+//!   `right = k + 1` — consecutive leaves **share** a boundary, which is
+//!   what makes adjacency (`immediate-following`) a label *equation*;
+//! * a non-terminal spans from its first leaf descendant's `left` to its
+//!   last leaf descendant's `right`;
+//! * `depth` is 1 at the root element (the implicit document node would
+//!   be 0); it disambiguates unary chains, whose nodes share intervals;
+//! * `id` is a preorder identifier starting at 2 (`id = 1` is reserved
+//!   for the implicit document node, matching Figure 5 where the root `S`
+//!   has `id = 2, pid = 1`);
+//! * `pid` is the parent's `id` (1 for the root element).
+//!
+//! The two properties the scheme is built on (paper §4):
+//!
+//! * **Containment** — `x` descends from `c` iff `x`'s interval is
+//!   contained in `c`'s (with `depth` breaking unary-chain ties);
+//! * **Adjacency** — `x` immediately follows `c` iff `x.left == c.right`,
+//!   i.e. the leftmost leaf of `x` comes right after the rightmost leaf
+//!   of `c` in every proper analysis containing both.
+
+use crate::tree::{NodeId, Tree};
+
+/// The id reserved for the implicit document node of every tree.
+pub const DOC_ID: u32 = 1;
+
+/// A node label `⟨left, right, depth, id, pid⟩` (Definition 4.1).
+///
+/// `name` and `value` from Figure 5 live on the tree/relation side; the
+/// label proper is purely positional.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Label {
+    /// Left leaf-interval boundary (first leaf's ordinal).
+    pub left: u32,
+    /// Right leaf-interval boundary (last leaf's ordinal + 1).
+    pub right: u32,
+    /// Node depth; the root element is 1.
+    pub depth: u32,
+    /// Unique identifier; the document node is [`DOC_ID`].
+    pub id: u32,
+    /// The parent's `id` ([`DOC_ID`] for the root element).
+    pub pid: u32,
+}
+
+/// Label every node of `tree` in a single depth-first traversal
+/// (paper §4: "the node labels can be constructed in a single depth-first
+/// traversal"). The result is indexed by [`NodeId`].
+pub fn label_tree(tree: &Tree) -> Vec<Label> {
+    let n = tree.len();
+    let mut labels = vec![
+        Label { left: 0, right: 0, depth: 0, id: 0, pid: 0 };
+        n
+    ];
+
+    // Pass 1 (preorder, arena order): ids, depths, pids.
+    // The arena is preorder by construction; parents precede children.
+    // (Indexing `labels[..idx]` while writing `labels[idx]` forces the
+    // index loop.)
+    #[allow(clippy::needless_range_loop)]
+    for idx in 0..n {
+        let node = tree.node(NodeId(idx as u32));
+        let (depth, pid) = match node.parent {
+            None => (1, DOC_ID),
+            Some(p) => {
+                let pl = labels[p.index()];
+                (pl.depth + 1, pl.id)
+            }
+        };
+        labels[idx] = Label {
+            left: 0,
+            right: 0,
+            depth,
+            id: idx as u32 + 2, // preorder id; document node is 1
+            pid,
+        };
+    }
+
+    // Pass 2: leaf intervals. The k-th leaf spans [k, k+1).
+    let mut next_left = 1u32;
+    for (idx, label) in labels.iter_mut().enumerate() {
+        if tree.node(NodeId(idx as u32)).is_leaf() {
+            label.left = next_left;
+            label.right = next_left + 1;
+            next_left += 1;
+        }
+    }
+
+    // Pass 3 (reverse arena order = bottom-up): propagate intervals to
+    // non-terminals from first/last children.
+    for idx in (0..n).rev() {
+        let node = tree.node(NodeId(idx as u32));
+        if !node.is_leaf() {
+            let first = node.children[0];
+            let last = *node.children.last().expect("non-leaf has children");
+            labels[idx].left = labels[first.index()].left;
+            labels[idx].right = labels[last.index()].right;
+        }
+    }
+
+    labels
+}
+
+/// A navigation relation between two nodes of the *same* tree, as a pure
+/// label predicate. This is the paper's Table 2.
+///
+/// `holds(x, c)` asks: is `x` reachable from context node `c` along this
+/// axis? (`x` plays the row role "axis(x, c)" of Table 2.)
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // names are the documentation (Table 2 rows)
+pub enum AxisRel {
+    SelfNode,
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    Parent,
+    Ancestor,
+    AncestorOrSelf,
+    ImmediateFollowing,
+    Following,
+    FollowingOrSelf,
+    ImmediatePreceding,
+    Preceding,
+    PrecedingOrSelf,
+    ImmediateFollowingSibling,
+    FollowingSibling,
+    FollowingSiblingOrSelf,
+    ImmediatePrecedingSibling,
+    PrecedingSibling,
+    PrecedingSiblingOrSelf,
+}
+
+impl AxisRel {
+    /// Evaluate the Table 2 label comparison: does `x` stand in this
+    /// relation to context `c`?
+    #[inline]
+    pub fn holds(self, x: &Label, c: &Label) -> bool {
+        use AxisRel::*;
+        match self {
+            SelfNode => x.id == c.id,
+            Child => x.pid == c.id,
+            Parent => x.id == c.pid,
+            Descendant => {
+                x.left >= c.left && x.right <= c.right && x.depth > c.depth
+            }
+            DescendantOrSelf => {
+                x.left >= c.left && x.right <= c.right && x.depth >= c.depth
+            }
+            Ancestor => {
+                x.left <= c.left && x.right >= c.right && x.depth < c.depth
+            }
+            AncestorOrSelf => {
+                x.left <= c.left && x.right >= c.right && x.depth <= c.depth
+            }
+            ImmediateFollowing => x.left == c.right,
+            Following => x.left >= c.right,
+            FollowingOrSelf => x.left >= c.right || x.id == c.id,
+            ImmediatePreceding => x.right == c.left,
+            Preceding => x.right <= c.left,
+            PrecedingOrSelf => x.right <= c.left || x.id == c.id,
+            ImmediateFollowingSibling => x.pid == c.pid && x.left == c.right,
+            FollowingSibling => x.pid == c.pid && x.left >= c.right,
+            FollowingSiblingOrSelf => {
+                x.pid == c.pid && (x.left >= c.right || x.id == c.id)
+            }
+            ImmediatePrecedingSibling => x.pid == c.pid && x.right == c.left,
+            PrecedingSibling => x.pid == c.pid && x.right <= c.left,
+            PrecedingSiblingOrSelf => {
+                x.pid == c.pid && (x.right <= c.left || x.id == c.id)
+            }
+        }
+    }
+
+    /// The inverse relation: `r.holds(x, c) ⇔ r.inverse().holds(c, x)`.
+    pub fn inverse(self) -> AxisRel {
+        use AxisRel::*;
+        match self {
+            SelfNode => SelfNode,
+            Child => Parent,
+            Parent => Child,
+            Descendant => Ancestor,
+            Ancestor => Descendant,
+            DescendantOrSelf => AncestorOrSelf,
+            AncestorOrSelf => DescendantOrSelf,
+            ImmediateFollowing => ImmediatePreceding,
+            ImmediatePreceding => ImmediateFollowing,
+            Following => Preceding,
+            Preceding => Following,
+            FollowingOrSelf => PrecedingOrSelf,
+            PrecedingOrSelf => FollowingOrSelf,
+            ImmediateFollowingSibling => ImmediatePrecedingSibling,
+            ImmediatePrecedingSibling => ImmediateFollowingSibling,
+            FollowingSibling => PrecedingSibling,
+            PrecedingSibling => FollowingSibling,
+            FollowingSiblingOrSelf => PrecedingSiblingOrSelf,
+            PrecedingSiblingOrSelf => FollowingSiblingOrSelf,
+        }
+    }
+
+    /// All nineteen relations (useful for exhaustive tests).
+    pub const ALL: [AxisRel; 19] = {
+        use AxisRel::*;
+        [
+            SelfNode,
+            Child,
+            Descendant,
+            DescendantOrSelf,
+            Parent,
+            Ancestor,
+            AncestorOrSelf,
+            ImmediateFollowing,
+            Following,
+            FollowingOrSelf,
+            ImmediatePreceding,
+            Preceding,
+            PrecedingOrSelf,
+            ImmediateFollowingSibling,
+            FollowingSibling,
+            FollowingSiblingOrSelf,
+            ImmediatePrecedingSibling,
+            PrecedingSibling,
+            PrecedingSiblingOrSelf,
+        ]
+    };
+}
+
+/// Left edge alignment (`^`): `x`'s span starts at the scope's left edge.
+#[inline]
+pub fn left_aligned(x: &Label, scope: &Label) -> bool {
+    x.left == scope.left
+}
+
+/// Right edge alignment (`$`): `x`'s span ends at the scope's right edge.
+#[inline]
+pub fn right_aligned(x: &Label, scope: &Label) -> bool {
+    x.right == scope.right
+}
+
+/// Subtree scoping: `x` lies within the subtree of `scope`
+/// (descendant-or-self containment).
+#[inline]
+pub fn in_scope(x: &Label, scope: &Label) -> bool {
+    x.left >= scope.left && x.right <= scope.right && x.depth >= scope.depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Interner;
+    use crate::tree::Tree;
+
+    /// Build the paper's Figure 1 tree:
+    /// S( NP[I] VP( V[saw] NP( NP(Det[the] Adj[old] N[man])
+    ///                         PP(Prep[with] NP(Det[a] N[dog])) ) ) N[today] )
+    pub(crate) fn figure1() -> (Tree, Interner) {
+        let mut i = Interner::new();
+        let lex = i.intern("@lex");
+        let mut t = Tree::new(i.intern("S"));
+        let root = t.root();
+        macro_rules! kid {
+            ($t:expr, $p:expr, $i:expr, $tag:literal) => {{
+                let tag = $i.intern($tag);
+                $t.add_child($p, tag)
+            }};
+            ($t:expr, $p:expr, $i:expr, $tag:literal, $w:literal) => {{
+                let tag = $i.intern($tag);
+                let w = $i.intern($w);
+                let n = $t.add_child($p, tag);
+                $t.set_attr(n, lex, w);
+                n
+            }};
+        }
+        kid!(t, root, i, "NP", "I");
+        let vp = kid!(t, root, i, "VP");
+        kid!(t, vp, i, "V", "saw");
+        let np6 = kid!(t, vp, i, "NP");
+        let np7 = kid!(t, np6, i, "NP");
+        kid!(t, np7, i, "Det", "the");
+        kid!(t, np7, i, "Adj", "old");
+        kid!(t, np7, i, "N", "man");
+        let pp = kid!(t, np6, i, "PP");
+        kid!(t, pp, i, "Prep", "with");
+        let np11 = kid!(t, pp, i, "NP");
+        kid!(t, np11, i, "Det", "a");
+        kid!(t, np11, i, "N", "dog");
+        kid!(t, root, i, "N", "today");
+        (t, i)
+    }
+
+    /// Figure 5 of the paper lists the first rows of the labeled relation
+    /// for the Figure 1 tree. Reproduce them exactly.
+    #[test]
+    fn figure5_rows() {
+        let (t, i) = figure1();
+        let labels = label_tree(&t);
+        let row = |idx: usize| {
+            let l = labels[idx];
+            (
+                l.left,
+                l.right,
+                l.depth,
+                l.id,
+                l.pid,
+                i.resolve(t.node(NodeId(idx as u32)).name).to_string(),
+            )
+        };
+        // (left, right, depth, id, pid, name) — from Figure 5.
+        assert_eq!(row(0), (1, 10, 1, 2, 1, "S".into()));
+        assert_eq!(row(1), (1, 2, 2, 3, 2, "NP".into()));
+        assert_eq!(row(2), (2, 9, 2, 4, 2, "VP".into()));
+        assert_eq!(row(3), (2, 3, 3, 5, 4, "V".into()));
+        assert_eq!(row(4), (3, 9, 3, 6, 4, "NP".into()));
+        assert_eq!(row(5), (3, 6, 4, 7, 6, "NP".into()));
+        assert_eq!(row(6), (3, 4, 5, 8, 7, "Det".into()));
+    }
+
+    /// Example 4.1 of the paper: S is an ancestor of NP₇; V immediately
+    /// precedes NP₆.
+    #[test]
+    fn example_4_1() {
+        let (t, _) = figure1();
+        let labels = label_tree(&t);
+        let s = labels[0];
+        let v = labels[3];
+        let np6 = labels[4];
+        let np7 = labels[5];
+        assert!(AxisRel::Ancestor.holds(&s, &np7));
+        assert!(AxisRel::Descendant.holds(&np7, &s));
+        assert!(AxisRel::ImmediatePreceding.holds(&v, &np6));
+        assert!(AxisRel::ImmediateFollowing.holds(&np6, &v));
+    }
+
+    /// Intro example: V is immediately followed by NP₆, NP₇ and Det₈, and
+    /// N(today) follows V but does not immediately follow it.
+    #[test]
+    fn immediate_following_matches_paper_prose() {
+        let (t, i) = figure1();
+        let labels = label_tree(&t);
+        let v = labels[3];
+        let followers: Vec<String> = t
+            .preorder()
+            .filter(|&id| AxisRel::ImmediateFollowing.holds(&labels[id.index()], &v))
+            .map(|id| i.resolve(t.node(id).name).to_string())
+            .collect();
+        assert_eq!(followers, ["NP", "NP", "Det"]);
+        let today = labels[t.len() - 1];
+        assert!(AxisRel::Following.holds(&today, &v));
+        assert!(!AxisRel::ImmediateFollowing.holds(&today, &v));
+    }
+
+    /// Every relation must agree with its structural definition computed
+    /// directly from the tree, on every node pair of the Figure 1 tree.
+    #[test]
+    fn relations_agree_with_structural_definitions() {
+        let (t, _) = figure1();
+        let labels = label_tree(&t);
+        let n = t.len();
+        // Structural ground truth.
+        let is_anc = |a: NodeId, d: NodeId| t.ancestors(d).any(|x| x == a);
+        let first_leaf = |x: NodeId| {
+            let mut c = x;
+            while !t.node(c).is_leaf() {
+                c = t.node(c).children[0];
+            }
+            c
+        };
+        let last_leaf = |x: NodeId| {
+            let mut c = x;
+            while !t.node(c).is_leaf() {
+                c = *t.node(c).children.last().unwrap();
+            }
+            c
+        };
+        let leaf_pos: std::collections::HashMap<NodeId, u32> = t
+            .leaves()
+            .enumerate()
+            .map(|(k, id)| (id, k as u32 + 1))
+            .collect();
+        for xi in 0..n {
+            for ci in 0..n {
+                let (x, c) = (NodeId(xi as u32), NodeId(ci as u32));
+                let (lx, lc) = (&labels[xi], &labels[ci]);
+                let same_parent = t.node(x).parent.is_some()
+                    && t.node(x).parent == t.node(c).parent;
+                // following: x's first leaf strictly after c's last leaf
+                let follows = leaf_pos[&first_leaf(x)] > leaf_pos[&last_leaf(c)];
+                let ifollows = leaf_pos[&first_leaf(x)] == leaf_pos[&last_leaf(c)] + 1;
+                assert_eq!(AxisRel::Child.holds(lx, lc), t.node(x).parent == Some(c));
+                assert_eq!(AxisRel::Parent.holds(lx, lc), t.node(c).parent == Some(x));
+                assert_eq!(AxisRel::Descendant.holds(lx, lc), is_anc(c, x), "desc {xi} {ci}");
+                assert_eq!(AxisRel::Ancestor.holds(lx, lc), is_anc(x, c));
+                assert_eq!(AxisRel::Following.holds(lx, lc), follows);
+                assert_eq!(AxisRel::ImmediateFollowing.holds(lx, lc), ifollows);
+                assert_eq!(AxisRel::Preceding.holds(lx, lc), {
+                    leaf_pos[&last_leaf(x)] < leaf_pos[&first_leaf(c)]
+                });
+                assert_eq!(
+                    AxisRel::FollowingSibling.holds(lx, lc),
+                    same_parent && follows
+                );
+                assert_eq!(
+                    AxisRel::ImmediateFollowingSibling.holds(lx, lc),
+                    same_parent && t.next_sibling(c) == Some(x)
+                );
+                assert_eq!(
+                    AxisRel::ImmediatePrecedingSibling.holds(lx, lc),
+                    same_parent && t.prev_sibling(c) == Some(x)
+                );
+                assert_eq!(AxisRel::SelfNode.holds(lx, lc), xi == ci);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_involutive_and_correct() {
+        let (t, _) = figure1();
+        let labels = label_tree(&t);
+        for r in AxisRel::ALL {
+            assert_eq!(r.inverse().inverse(), r);
+            for x in &labels {
+                for c in &labels {
+                    assert_eq!(r.holds(x, c), r.inverse().holds(c, x));
+                }
+            }
+        }
+    }
+
+    /// Unary chains: nodes share intervals but differ in depth, so
+    /// ancestor/descendant remain distinguishable (paper §4 discussion).
+    #[test]
+    fn unary_chains_disambiguated_by_depth() {
+        let mut i = Interner::new();
+        let mut t = Tree::new(i.intern("A"));
+        let b = t.add_child(t.root(), i.intern("B"));
+        let c = t.add_child(b, i.intern("C"));
+        t.set_attr(c, i.intern("@lex"), i.intern("w"));
+        let labels = label_tree(&t);
+        let (la, lb, lc) = (labels[0], labels[1], labels[2]);
+        assert_eq!((la.left, la.right), (lb.left, lb.right));
+        assert_eq!((lb.left, lb.right), (lc.left, lc.right));
+        assert!(AxisRel::Descendant.holds(&lc, &la));
+        assert!(!AxisRel::Descendant.holds(&la, &lc));
+        assert!(AxisRel::Ancestor.holds(&la, &lc));
+        assert!(AxisRel::DescendantOrSelf.holds(&la, &la));
+        assert!(!AxisRel::Descendant.holds(&la, &la));
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let (t, _) = figure1();
+        let labels = label_tree(&t);
+        let vp = labels[2]; // (2,9)
+        let v = labels[3]; // (2,3)
+        let np6 = labels[4]; // (3,9)
+        assert!(left_aligned(&v, &vp));
+        assert!(!left_aligned(&np6, &vp));
+        assert!(right_aligned(&np6, &vp));
+        assert!(!right_aligned(&v, &vp));
+        assert!(in_scope(&np6, &vp));
+        assert!(in_scope(&vp, &vp));
+        assert!(!in_scope(&labels[0], &vp));
+        // N(today) is outside VP's scope (the paper's Q5 example).
+        let today = labels[t.len() - 1];
+        assert!(!in_scope(&today, &vp));
+    }
+}

@@ -1,0 +1,41 @@
+//! Ordered-tree substrate for the LPath system.
+//!
+//! This crate implements the data model of Bird et al., *Designing and
+//! Evaluating an XPath Dialect for Linguistic Queries* (ICDE 2006):
+//!
+//! * [`tree`] — ordered labeled trees whose leaves carry lexical items as
+//!   `@lex` attributes (paper §2.1);
+//! * [`label`] — the interval labeling scheme of Definition 4.1 and the
+//!   axis ⇔ label-comparison relations of Table 2;
+//! * [`ptb`] — Penn Treebank bracketed-format reader and writer;
+//! * [`xml`] — XML reader and writer (the paper's Figure 1 shape, with
+//!   words as `@lex` attributes);
+//! * [`corpus`] — corpora of trees plus the statistics reported in the
+//!   paper's Figure 6(a) and 6(b);
+//! * [`generator`] — a deterministic synthetic treebank generator that
+//!   stands in for the (license-restricted) WSJ and Switchboard corpora.
+//!
+//! All tag names, attribute names and lexical values are interned
+//! ([`symbols`]) so that the relational layer can treat every column as a
+//! `u32`.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod edit;
+pub mod error;
+pub mod generator;
+pub mod label;
+pub mod ptb;
+pub mod render;
+pub mod symbols;
+pub mod tree;
+pub mod xml;
+
+pub use corpus::{Corpus, CorpusStats};
+pub use edit::{EditError, ERef, TreeEditor};
+pub use error::ModelError;
+pub use generator::{generate, GenConfig, Profile};
+pub use label::{label_tree, AxisRel, Label};
+pub use symbols::{Interner, Sym};
+pub use tree::{Node, NodeId, Tree};

@@ -1,0 +1,325 @@
+//! Penn Treebank bracketed-format reader and writer.
+//!
+//! The Treebank distributes parsed sentences as s-expressions:
+//!
+//! ```text
+//! ( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )
+//! ```
+//!
+//! * `(TAG word)` is a terminal: an element `TAG` carrying `@lex = word`;
+//! * `(TAG child…)` is a non-terminal;
+//! * a top-level `( … )` wrapper with a single child and no tag (the
+//!   Treebank convention) is unwrapped; a tagless wrapper with several
+//!   children becomes a `TOP` node.
+//!
+//! Words may contain any characters except whitespace and parentheses
+//! (the Treebank escapes brackets as `-LRB-` / `-RRB-` already).
+
+use crate::corpus::Corpus;
+use crate::error::ModelError;
+use crate::symbols::Interner;
+use crate::tree::{NodeId, Tree};
+
+/// Parse a whole file of bracketed trees into a fresh corpus.
+pub fn parse_str(src: &str) -> Result<Corpus, ModelError> {
+    let mut corpus = Corpus::new();
+    parse_into(src, &mut corpus)?;
+    Ok(corpus)
+}
+
+/// Parse bracketed trees from `src`, appending them to `corpus`.
+/// Returns the number of trees parsed.
+pub fn parse_into(src: &str, corpus: &mut Corpus) -> Result<usize, ModelError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut count = 0;
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        let tree = p.tree(corpus.interner_mut())?;
+        corpus.add_tree(tree);
+        count += 1;
+    }
+    Ok(count)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+/// Transient s-expression used during parsing, converted to an arena
+/// [`Tree`] only once the root shape (wrapper or not) is known.
+enum SExpr {
+    Node {
+        tag: Option<String>,
+        children: Vec<SExpr>,
+    },
+    Word(String),
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ModelError {
+        ModelError::Ptb {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn atom(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            if b.is_ascii_whitespace() || b == b'(' || b == b')' {
+                break;
+            }
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn sexpr(&mut self) -> Result<SExpr, ModelError> {
+        self.skip_ws();
+        if self.at_end() {
+            return Err(self.err("unexpected end of input"));
+        }
+        if self.src[self.pos] != b'(' {
+            let w = self.atom();
+            if w.is_empty() {
+                return Err(self.err("expected '(' or token"));
+            }
+            return Ok(SExpr::Word(w));
+        }
+        self.pos += 1; // consume '('
+        self.skip_ws();
+        // Optional tag.
+        let tag = if !self.at_end() && self.src[self.pos] != b'(' && self.src[self.pos] != b')' {
+            Some(self.atom())
+        } else {
+            None
+        };
+        let mut children = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.at_end() {
+                return Err(self.err("unbalanced '(': missing ')'"));
+            }
+            if self.src[self.pos] == b')' {
+                self.pos += 1;
+                break;
+            }
+            children.push(self.sexpr()?);
+        }
+        Ok(SExpr::Node { tag, children })
+    }
+
+    fn tree(&mut self, interner: &mut Interner) -> Result<Tree, ModelError> {
+        let start = self.pos;
+        let mut top = self.sexpr()?;
+        // Unwrap the conventional tagless `( (S …) )` wrapper.
+        loop {
+            match top {
+                SExpr::Node {
+                    tag: None,
+                    mut children,
+                } if children.len() == 1 => {
+                    top = children.pop().expect("len checked");
+                }
+                _ => break,
+            }
+        }
+        let (tag, children) = match top {
+            SExpr::Node { tag, children } => (tag.unwrap_or_else(|| "TOP".into()), children),
+            SExpr::Word(_) => {
+                self.pos = start;
+                return Err(self.err("bare word at top level"));
+            }
+        };
+        if children.is_empty() {
+            return Err(self.err("empty tree"));
+        }
+        let root_sym = interner.intern(&tag);
+        let mut tree = Tree::new(root_sym);
+        let root = tree.root();
+        for child in children {
+            attach(&mut tree, root, child, interner, self)?;
+        }
+        Ok(tree)
+    }
+}
+
+fn attach(
+    tree: &mut Tree,
+    parent: NodeId,
+    sexpr: SExpr,
+    interner: &mut Interner,
+    p: &Parser<'_>,
+) -> Result<(), ModelError> {
+    match sexpr {
+        SExpr::Word(w) => {
+            // A bare word directly under `parent` makes `parent` a
+            // terminal: attach @lex to it. The Treebank shape `(TAG word)`
+            // arrives here with `parent` being the TAG element.
+            let lex = interner.intern("@lex");
+            let val = interner.intern(&w);
+            tree.set_attr(parent, lex, val);
+            Ok(())
+        }
+        SExpr::Node { tag, children } => {
+            let tag = tag.ok_or_else(|| p.err("inner node missing tag"))?;
+            let sym = interner.intern(&tag);
+            let node = tree.add_child(parent, sym);
+            for c in children {
+                attach(tree, node, c, interner, p)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Render a single tree in bracketed form. `pretty` adds line breaks and
+/// two-space indentation; otherwise the output is single-line.
+pub fn write_tree(tree: &Tree, interner: &Interner, out: &mut String, pretty: bool) {
+    fn rec(
+        tree: &Tree,
+        interner: &Interner,
+        id: NodeId,
+        out: &mut String,
+        pretty: bool,
+        indent: usize,
+    ) {
+        let node = tree.node(id);
+        if pretty && indent > 0 {
+            out.push('\n');
+            for _ in 0..indent {
+                out.push_str("  ");
+            }
+        }
+        out.push('(');
+        out.push_str(interner.resolve(node.name));
+        if let Some(lex) = interner.get("@lex").and_then(|a| node.attr(a)) {
+            out.push(' ');
+            out.push_str(interner.resolve(lex));
+        }
+        for &c in &node.children {
+            if !pretty {
+                out.push(' ');
+            }
+            rec(tree, interner, c, out, pretty, indent + 1);
+        }
+        out.push(')');
+    }
+    rec(tree, interner, tree.root(), out, pretty, 0);
+}
+
+/// Render a tree wrapped in the conventional `( … )` file wrapper.
+pub fn tree_to_string(tree: &Tree, interner: &Interner) -> String {
+    let mut s = String::new();
+    s.push_str("( ");
+    write_tree(tree, interner, &mut s, false);
+    s.push_str(" )");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str =
+        "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )";
+
+    #[test]
+    fn parse_single_tree() {
+        let corpus = parse_str(SAMPLE).unwrap();
+        assert_eq!(corpus.trees().len(), 1);
+        let t = &corpus.trees()[0];
+        assert_eq!(corpus.resolve(t.node(t.root()).name), "S");
+        assert_eq!(t.leaf_count(), 5);
+        let words: Vec<&str> = t
+            .leaves()
+            .map(|id| {
+                let lex = corpus.interner().get("@lex").unwrap();
+                corpus.resolve(t.node(id).attr(lex).unwrap())
+            })
+            .collect();
+        assert_eq!(words, ["I", "saw", "the", "man", "."]);
+    }
+
+    #[test]
+    fn parse_multiple_trees() {
+        let src = format!("{SAMPLE}\n{SAMPLE}\n\n{SAMPLE}");
+        let corpus = parse_str(&src).unwrap();
+        assert_eq!(corpus.trees().len(), 3);
+    }
+
+    #[test]
+    fn round_trip() {
+        let corpus = parse_str(SAMPLE).unwrap();
+        let rendered = tree_to_string(&corpus.trees()[0], corpus.interner());
+        let reparsed = parse_str(&rendered).unwrap();
+        assert_eq!(reparsed.trees().len(), 1);
+        let re_rendered = tree_to_string(&reparsed.trees()[0], reparsed.interner());
+        assert_eq!(rendered, re_rendered);
+    }
+
+    #[test]
+    fn tagless_multi_child_wrapper_becomes_top() {
+        let corpus = parse_str("( (NP (DT a)) (VP (VB go)) )").unwrap();
+        let t = &corpus.trees()[0];
+        assert_eq!(corpus.resolve(t.node(t.root()).name), "TOP");
+        assert_eq!(t.node(t.root()).children.len(), 2);
+    }
+
+    #[test]
+    fn nested_wrapper_unwraps() {
+        let corpus = parse_str("( ( (S (X y)) ) )").unwrap();
+        let t = &corpus.trees()[0];
+        assert_eq!(corpus.resolve(t.node(t.root()).name), "S");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            parse_str("( (S (NP"),
+            Err(ModelError::Ptb { .. })
+        ));
+        assert!(matches!(parse_str("word"), Err(ModelError::Ptb { .. })));
+        assert!(matches!(parse_str("( () )"), Err(ModelError::Ptb { .. })));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let corpus = parse_str(SAMPLE).unwrap();
+        let mut s = String::new();
+        write_tree(&corpus.trees()[0], corpus.interner(), &mut s, true);
+        assert!(s.contains('\n'));
+        let reparsed = parse_str(&s).unwrap();
+        assert_eq!(reparsed.trees()[0].len(), corpus.trees()[0].len());
+    }
+
+    #[test]
+    fn special_tags_survive() {
+        let src = "( (S (-NONE- *T*-1) (NP-SBJ-2 (NNP U.S.)) (, ,)) )";
+        let corpus = parse_str(src).unwrap();
+        let t = &corpus.trees()[0];
+        let tags: Vec<&str> = t
+            .preorder()
+            .map(|id| corpus.resolve(t.node(id).name))
+            .collect();
+        assert_eq!(tags, ["S", "-NONE-", "NP-SBJ-2", "NNP", ","]);
+    }
+}

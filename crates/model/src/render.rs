@@ -1,0 +1,149 @@
+//! ASCII rendering of linguistic trees, for examples, the REPL and
+//! debugging output.
+//!
+//! Two views:
+//!
+//! * [`render_tree`] — an indented outline with box-drawing connectors,
+//!   one node per line, terminals showing their `@lex` word;
+//! * [`render_brackets`] — the single-line bracketed form linguists
+//!   read fluently (`(S (NP I) (VP ...))`).
+
+use crate::symbols::Interner;
+use crate::tree::{NodeId, Tree};
+
+/// Render an indented outline of `tree`:
+///
+/// ```text
+/// S
+/// ├── NP "I"
+/// ├── VP
+/// │   ├── V "saw"
+/// │   └── NP …
+/// └── N "today"
+/// ```
+///
+/// `highlight` nodes are marked with `*` (used by the REPL to show
+/// query matches in context).
+pub fn render_tree(
+    tree: &Tree,
+    interner: &Interner,
+    highlight: &[NodeId],
+) -> String {
+    let mut out = String::new();
+    line(tree, interner, tree.root(), "", "", highlight, &mut out);
+    out
+}
+
+fn line(
+    tree: &Tree,
+    interner: &Interner,
+    id: NodeId,
+    prefix: &str,
+    child_prefix: &str,
+    highlight: &[NodeId],
+    out: &mut String,
+) {
+    let node = tree.node(id);
+    out.push_str(prefix);
+    out.push_str(interner.resolve(node.name));
+    for &(aname, aval) in &node.attrs {
+        let name = interner.resolve(aname);
+        if name == "@lex" {
+            out.push_str(" \"");
+            out.push_str(interner.resolve(aval));
+            out.push('"');
+        } else {
+            out.push(' ');
+            out.push_str(name);
+            out.push_str("=\"");
+            out.push_str(interner.resolve(aval));
+            out.push('"');
+        }
+    }
+    if highlight.contains(&id) {
+        out.push_str("   *");
+    }
+    out.push('\n');
+    let n = node.children.len();
+    for (i, &c) in node.children.iter().enumerate() {
+        let last = i + 1 == n;
+        let connector = if last { "└── " } else { "├── " };
+        let extend = if last { "    " } else { "│   " };
+        line(
+            tree,
+            interner,
+            c,
+            &format!("{child_prefix}{connector}"),
+            &format!("{child_prefix}{extend}"),
+            highlight,
+            out,
+        );
+    }
+}
+
+/// Render the single-line bracketed form: `(S (NP I) (VP (V saw)))`.
+/// Terminals print as `(TAG word)`; non-lex attributes are omitted
+/// (this is the linguist-facing view, not a serialization — use
+/// [`crate::ptb`] or [`crate::xml`] for lossless output).
+pub fn render_brackets(tree: &Tree, interner: &Interner) -> String {
+    let mut out = String::new();
+    brackets(tree, interner, tree.root(), &mut out);
+    out
+}
+
+fn brackets(tree: &Tree, interner: &Interner, id: NodeId, out: &mut String) {
+    let node = tree.node(id);
+    out.push('(');
+    out.push_str(interner.resolve(node.name));
+    let lex = interner.get("@lex").and_then(|s| node.attr(s));
+    if let Some(word) = lex {
+        out.push(' ');
+        out.push_str(interner.resolve(word));
+    }
+    for &c in &node.children {
+        out.push(' ');
+        brackets(tree, interner, c, out);
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptb::parse_str;
+
+    #[test]
+    fn outline_shows_structure_and_words() {
+        let c = parse_str("( (S (NP I) (VP (V saw) (NP it))) )").unwrap();
+        let t = &c.trees()[0];
+        let s = render_tree(t, c.interner(), &[]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "S");
+        assert_eq!(lines[1], "├── NP \"I\"");
+        assert_eq!(lines[2], "└── VP");
+        assert_eq!(lines[3], "    ├── V \"saw\"");
+        assert_eq!(lines[4], "    └── NP \"it\"");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn highlights_mark_matches() {
+        let c = parse_str("( (S (NP I) (VP (V saw) (NP it))) )").unwrap();
+        let t = &c.trees()[0];
+        let s = render_tree(t, c.interner(), &[NodeId(4)]);
+        assert!(s.contains("NP \"it\"   *"), "{s}");
+        assert_eq!(s.matches('*').count(), 1);
+    }
+
+    #[test]
+    fn brackets_round_trip_through_ptb() {
+        let src = "( (S (NP I) (VP (V saw) (NP (Det a) (N dog)))) )";
+        let c = parse_str(src).unwrap();
+        let t = &c.trees()[0];
+        let rendered = render_brackets(t, c.interner());
+        assert_eq!(rendered, "(S (NP I) (VP (V saw) (NP (Det a) (N dog))))");
+        // Reparse and compare structure.
+        let back = parse_str(&format!("( {rendered} )")).unwrap();
+        assert_eq!(back.trees()[0].len(), t.len());
+    }
+}

@@ -1,0 +1,150 @@
+//! String interning for tags, attribute names and lexical values.
+//!
+//! The relational engine stores every column as a `u32`; interning maps
+//! the textual vocabulary of a treebank (tags such as `NP-SBJ`, attribute
+//! names such as `@lex`, and word forms) onto dense symbol ids.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string. `Sym(0)` is the first interned symbol; symbols are
+/// dense and start at zero, so they can index side tables directly.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// The raw id, for use as a relational column value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({})", self.0)
+    }
+}
+
+/// A bidirectional string ⇄ [`Sym`] table.
+///
+/// Interners are append-only: symbols are never invalidated. Cloning an
+/// interner snapshots the table, which is how corpus replication
+/// ([`crate::Corpus::replicate`]) keeps symbol ids stable.
+#[derive(Clone, Default)]
+pub struct Interner {
+    map: HashMap<Box<str>, Sym>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up an already-interned string without creating a new symbol.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate `(Sym, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Interner({} symbols)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("NP");
+        let b = i.intern("VP");
+        let a2 = i.intern("NP");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        for s in ["NP", "VP", "@lex", "-NONE-", "saw", ""] {
+            let sym = i.intern(s);
+            assert_eq!(i.resolve(sym), s);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("NP"), None);
+        let sym = i.intern("NP");
+        assert_eq!(i.get("NP"), Some(sym));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        let syms: Vec<Sym> = (0..10).map(|k| i.intern(&format!("t{k}"))).collect();
+        for (k, sym) in syms.iter().enumerate() {
+            assert_eq!(sym.0, k as u32);
+        }
+        let collected: Vec<(Sym, String)> =
+            i.iter().map(|(s, t)| (s, t.to_string())).collect();
+        assert_eq!(collected.len(), 10);
+        assert_eq!(collected[3].1, "t3");
+    }
+
+    #[test]
+    fn clone_preserves_ids() {
+        let mut i = Interner::new();
+        let a = i.intern("NP");
+        let j = i.clone();
+        assert_eq!(j.get("NP"), Some(a));
+        assert_eq!(j.resolve(a), "NP");
+    }
+}

@@ -1,0 +1,294 @@
+//! Ordered labeled trees.
+//!
+//! A linguistic tree (paper §2.1) is an ordered tree whose non-terminals
+//! are syntactic categories and whose terminals are lexical items. We
+//! follow the paper's relational representation (Figure 5): terminals are
+//! stored as `@lex` *attributes* of the lowest non-terminal (the
+//! part-of-speech node), so every arena node is an element and attributes
+//! hang off elements.
+//!
+//! Nodes live in an arena ([`Tree`]); [`NodeId`] is an index into it.
+//! Trees are built root-first, so arena order is document (preorder)
+//! order — an invariant the labeling pass and the Penn Treebank writer
+//! rely on and the builder enforces.
+
+use crate::symbols::Sym;
+
+/// Index of a node within its [`Tree`] arena. The root is always
+/// `NodeId(0)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single element node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Interned tag (`NP`, `VP`, `-NONE-`, …).
+    pub name: Sym,
+    /// Parent element; `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in document order.
+    pub children: Vec<NodeId>,
+    /// Attributes as `(name, value)` pairs; attribute names are interned
+    /// *with* their leading `@` (e.g. `@lex`), matching the relational
+    /// `name` column of the paper's Figure 5.
+    pub attrs: Vec<(Sym, Sym)>,
+}
+
+impl Node {
+    /// Look up an attribute value by interned attribute name.
+    pub fn attr(&self, name: Sym) -> Option<Sym> {
+        self.attrs.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    /// Is this node a terminal (no children)?
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// An ordered tree of [`Node`]s in an arena.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Create a tree consisting of a single root element.
+    pub fn new(root_name: Sym) -> Self {
+        Tree {
+            nodes: vec![Node {
+                name: root_name,
+                parent: None,
+                children: Vec::new(),
+                attrs: Vec::new(),
+            }],
+        }
+    }
+
+    /// The root element.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of element nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a tree has at least its root.
+    pub fn is_empty(&self) -> bool {
+        false // a tree always has a root
+    }
+
+    /// Shared access to one node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to one node (name/attribute updates only; use
+    /// [`crate::edit::TreeEditor`] for structural changes).
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Append a child with tag `name` as the new last child of `parent`.
+    ///
+    /// # Panics
+    /// Panics if children have already been added to a node that comes
+    /// *after* `parent`'s subtree (which would break preorder arena
+    /// order). In practice trees are built strictly root-first,
+    /// depth-first, left-to-right.
+    pub fn add_child(&mut self, parent: NodeId, name: Sym) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name,
+            parent: Some(parent),
+            children: Vec::new(),
+            attrs: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Attach (or overwrite) an attribute on `id`.
+    pub fn set_attr(&mut self, id: NodeId, name: Sym, value: Sym) {
+        let node = &mut self.nodes[id.index()];
+        if let Some(slot) = node.attrs.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            node.attrs.push((name, value));
+        }
+    }
+
+    /// All node ids in document (preorder) order.
+    ///
+    /// The arena is preorder by construction, so this is just `0..len`.
+    pub fn preorder(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Ids of leaf elements (terminals) in document order.
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.preorder().filter(move |&id| self.node(id).is_leaf())
+    }
+
+    /// Number of terminal (leaf) nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Depth of `id`, with the root at depth 1 (paper Definition 4.1,
+    /// step 5).
+    pub fn depth(&self, id: NodeId) -> u32 {
+        let mut d = 1;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum node depth in the tree.
+    pub fn max_depth(&self) -> u32 {
+        // Computed in one pass by accumulating depths top-down; arena
+        // preorder guarantees parents precede children.
+        let mut depths = vec![0u32; self.nodes.len()];
+        let mut max = 1;
+        depths[0] = 1;
+        for id in 1..self.nodes.len() {
+            let p = self.nodes[id].parent.expect("non-root has parent");
+            let d = depths[p.index()] + 1;
+            depths[id] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Iterator over ancestors of `id`, nearest first (excludes `id`).
+    pub fn ancestors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.node(id).parent;
+        std::iter::from_fn(move || {
+            let r = cur?;
+            cur = self.node(r).parent;
+            Some(r)
+        })
+    }
+
+    /// Ids in the subtree rooted at `id` (including `id`), document order.
+    pub fn descendants_or_self(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            // push children reversed so they pop in document order
+            for &c in self.node(n).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// The next sibling of `id`, if any.
+    pub fn next_sibling(&self, id: NodeId) -> Option<NodeId> {
+        let p = self.node(id).parent?;
+        let sibs = &self.node(p).children;
+        let pos = sibs.iter().position(|&s| s == id)?;
+        sibs.get(pos + 1).copied()
+    }
+
+    /// The previous sibling of `id`, if any.
+    pub fn prev_sibling(&self, id: NodeId) -> Option<NodeId> {
+        let p = self.node(id).parent?;
+        let sibs = &self.node(p).children;
+        let pos = sibs.iter().position(|&s| s == id)?;
+        pos.checked_sub(1).map(|i| sibs[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Interner;
+
+    fn toy() -> (Tree, Interner) {
+        // S(NP(a) VP(V(b) NP(c)))
+        let mut i = Interner::new();
+        let (s, np, vp, v) = (i.intern("S"), i.intern("NP"), i.intern("VP"), i.intern("V"));
+        let lex = i.intern("@lex");
+        let (a, b, c) = (i.intern("a"), i.intern("b"), i.intern("c"));
+        let mut t = Tree::new(s);
+        let n_np = t.add_child(t.root(), np);
+        t.set_attr(n_np, lex, a);
+        let n_vp = t.add_child(t.root(), vp);
+        let n_v = t.add_child(n_vp, v);
+        t.set_attr(n_v, lex, b);
+        let n_np2 = t.add_child(n_vp, np);
+        t.set_attr(n_np2, lex, c);
+        (t, i)
+    }
+
+    #[test]
+    fn construction_is_preorder() {
+        let (t, i) = toy();
+        let names: Vec<&str> = t.preorder().map(|id| i.resolve(t.node(id).name)).collect();
+        assert_eq!(names, ["S", "NP", "VP", "V", "NP"]);
+    }
+
+    #[test]
+    fn leaves_and_depths() {
+        let (t, _) = toy();
+        let leaves: Vec<NodeId> = t.leaves().collect();
+        assert_eq!(leaves, [NodeId(1), NodeId(3), NodeId(4)]);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.depth(t.root()), 1);
+        assert_eq!(t.depth(NodeId(3)), 3);
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let (t, i) = toy();
+        let lex = i.get("@lex").unwrap();
+        assert_eq!(t.node(NodeId(1)).attr(lex), i.get("a"));
+        assert_eq!(t.node(NodeId(0)).attr(lex), None);
+    }
+
+    #[test]
+    fn sibling_navigation() {
+        let (t, _) = toy();
+        assert_eq!(t.next_sibling(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(t.prev_sibling(NodeId(2)), Some(NodeId(1)));
+        assert_eq!(t.next_sibling(NodeId(2)), None);
+        assert_eq!(t.prev_sibling(NodeId(1)), None);
+        assert_eq!(t.next_sibling(NodeId(0)), None);
+    }
+
+    #[test]
+    fn ancestors_nearest_first() {
+        let (t, _) = toy();
+        let anc: Vec<NodeId> = t.ancestors(NodeId(3)).collect();
+        assert_eq!(anc, [NodeId(2), NodeId(0)]);
+    }
+
+    #[test]
+    fn descendants_or_self_in_document_order() {
+        let (t, _) = toy();
+        let d = t.descendants_or_self(NodeId(2));
+        assert_eq!(d, [NodeId(2), NodeId(3), NodeId(4)]);
+        let all = t.descendants_or_self(t.root());
+        assert_eq!(all.len(), t.len());
+    }
+}

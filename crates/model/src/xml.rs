@@ -1,0 +1,675 @@
+//! XML reader and writer for linguistic trees.
+//!
+//! The paper's premise is that "XML, a standard ordered tree model, and
+//! XPath, its associated language, are natural choices for linguistic
+//! data and queries" (§1); Figure 1's tree is an XML document whose
+//! terminals hang off part-of-speech elements as `@lex` attributes.
+//! This module serializes a [`Corpus`] to exactly that shape and parses
+//! it back:
+//!
+//! ```xml
+//! <treebank>
+//!   <S>
+//!     <NP lex="I"/>
+//!     <VP>
+//!       <V lex="saw"/>
+//!       ...
+//!     </VP>
+//!   </S>
+//! </treebank>
+//! ```
+//!
+//! Penn Treebank tags are not always legal XML names (`-NONE-` starts
+//! with `-`, `PRP$` contains `$`, `.` is punctuation). Such tags are
+//! written as `<n tag="PRP$">` with the reserved element name `n`; the
+//! reader maps them back. The five standard XML entities plus decimal
+//! and hexadecimal character references are supported in both
+//! directions, so the mapping corpus → XML → corpus is lossless (see
+//! the round-trip tests and the workspace property suite).
+//!
+//! The parser accepts the subset of XML this writer emits plus the
+//! usual benign extras: an XML declaration, comments, and arbitrary
+//! inter-element whitespace. Text content is rejected — in this data
+//! model words are attributes, not text nodes — as are processing
+//! instructions, DOCTYPE, namespaces and CDATA.
+
+use crate::corpus::Corpus;
+use crate::error::ModelError;
+use crate::symbols::Interner;
+use crate::tree::{NodeId, Tree};
+
+/// The reserved element name used for tags that are not legal XML names.
+const ESCAPE_ELEM: &str = "n";
+/// The attribute carrying the real tag on an escape element.
+const ESCAPE_ATTR: &str = "tag";
+/// The root element wrapping a multi-tree corpus.
+const ROOT_ELEM: &str = "treebank";
+
+// ---------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------
+
+/// Is `tag` usable directly as an XML element name?
+///
+/// We accept the ASCII core of the XML `Name` production: letters and
+/// `_` to start, then letters, digits, `-`, `_`, `.`. The reserved
+/// escape element name is excluded so `<n>` never collides with a
+/// genuine tag `n`.
+pub fn is_xml_name(tag: &str) -> bool {
+    let mut bytes = tag.bytes();
+    let Some(first) = bytes.next() else {
+        return false;
+    };
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false;
+    }
+    if tag == ESCAPE_ELEM || tag.eq_ignore_ascii_case("xml") {
+        return false;
+    }
+    bytes.all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+/// Escape text for use inside an attribute value (double-quoted).
+fn escape_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c if (c as u32) < 0x20 => {
+                // Control characters are not legal XML chars; use
+                // character references so round-trips stay lossless.
+                out.push_str(&format!("&#{};", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialize one tree, indented by `indent` levels (two spaces each).
+pub fn write_tree(tree: &Tree, interner: &Interner, indent: usize, out: &mut String) {
+    write_elem(tree, interner, tree.root(), indent, out);
+}
+
+fn write_elem(tree: &Tree, interner: &Interner, id: NodeId, depth: usize, out: &mut String) {
+    let node = tree.node(id);
+    let tag = interner.resolve(node.name);
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push('<');
+    let escaped_tag = !is_xml_name(tag);
+    if escaped_tag {
+        out.push_str(ESCAPE_ELEM);
+        out.push(' ');
+        out.push_str(ESCAPE_ATTR);
+        out.push_str("=\"");
+        escape_into(out, tag);
+        out.push('"');
+    } else {
+        out.push_str(tag);
+    }
+    for &(aname, aval) in &node.attrs {
+        let aname = interner.resolve(aname);
+        // Attribute names are interned with their leading `@`.
+        let bare = aname.strip_prefix('@').unwrap_or(aname);
+        out.push(' ');
+        out.push_str(bare);
+        out.push_str("=\"");
+        escape_into(out, interner.resolve(aval));
+        out.push('"');
+    }
+    if node.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push_str(">\n");
+    for &c in &node.children {
+        write_elem(tree, interner, c, depth + 1, out);
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str("</");
+    if escaped_tag {
+        out.push_str(ESCAPE_ELEM);
+    } else {
+        out.push_str(tag);
+    }
+    out.push_str(">\n");
+}
+
+/// Serialize a whole corpus as one XML document (a `<treebank>` root
+/// with one child element per tree).
+pub fn to_string(corpus: &Corpus) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<treebank>\n");
+    for tree in corpus.trees() {
+        write_tree(tree, corpus.interner(), 1, &mut out);
+    }
+    out.push_str("</treebank>\n");
+    out
+}
+
+// ---------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------
+
+/// Parse an XML document into a fresh corpus.
+///
+/// A `<treebank>` root contributes one tree per child element; any
+/// other root element is a single tree.
+pub fn parse_str(src: &str) -> Result<Corpus, ModelError> {
+    let mut corpus = Corpus::new();
+    parse_into(src, &mut corpus)?;
+    Ok(corpus)
+}
+
+/// Parse an XML document, appending its trees to `corpus`. Returns the
+/// number of trees appended.
+pub fn parse_into(src: &str, corpus: &mut Corpus) -> Result<usize, ModelError> {
+    let mut p = XmlParser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.err("content after the document element"));
+    }
+    let trees: Vec<RawElem> = if root.tag == ROOT_ELEM && root.attrs.is_empty() {
+        root.children
+    } else {
+        vec![root]
+    };
+    let count = trees.len();
+    for raw in trees {
+        let tree = raw.into_tree(corpus.interner_mut())?;
+        corpus.add_tree(tree);
+    }
+    Ok(count)
+}
+
+/// A parsed element before arena conversion.
+struct RawElem {
+    /// Decoded tag (escape elements already unwrapped).
+    tag: String,
+    /// `(name-without-@, value)` pairs.
+    attrs: Vec<(String, String)>,
+    children: Vec<RawElem>,
+}
+
+impl RawElem {
+    fn into_tree(self, interner: &mut Interner) -> Result<Tree, ModelError> {
+        let root_name = interner.intern(&self.tag);
+        let mut tree = Tree::new(root_name);
+        let root = tree.root();
+        attach_attrs(&mut tree, interner, root, &self.attrs);
+        for child in self.children {
+            child.attach(&mut tree, interner, root)?;
+        }
+        Ok(tree)
+    }
+
+    fn attach(
+        self,
+        tree: &mut Tree,
+        interner: &mut Interner,
+        parent: NodeId,
+    ) -> Result<(), ModelError> {
+        let name = interner.intern(&self.tag);
+        let id = tree.add_child(parent, name);
+        attach_attrs(tree, interner, id, &self.attrs);
+        for child in self.children {
+            child.attach(tree, interner, id)?;
+        }
+        Ok(())
+    }
+}
+
+fn attach_attrs(
+    tree: &mut Tree,
+    interner: &mut Interner,
+    id: NodeId,
+    attrs: &[(String, String)],
+) {
+    for (name, value) in attrs {
+        let full = format!("@{name}");
+        let aname = interner.intern(&full);
+        let aval = interner.intern(value);
+        tree.set_attr(id, aname, aval);
+    }
+}
+
+struct XmlParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, message: impl Into<String>) -> ModelError {
+        ModelError::Xml {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, the XML declaration and comments.
+    fn skip_misc(&mut self) -> Result<(), ModelError> {
+        loop {
+            self.skip_ws();
+            if self.src[self.pos..].starts_with(b"<?") {
+                match find(self.src, self.pos, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(self.err("unterminated XML declaration")),
+                }
+            } else if self.src[self.pos..].starts_with(b"<!--") {
+                match find(self.src, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Parse one element (recursive).
+    fn element(&mut self) -> Result<RawElem, ModelError> {
+        let offset = self.pos;
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return finish_elem(name, attrs, Vec::new(), offset);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b) if name_start(b) => {
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("expected '=' after attribute '{aname}'")));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.quoted()?;
+                    if attrs.iter().any(|(n, _)| *n == aname) {
+                        return Err(self.err(format!("duplicate attribute '{aname}'")));
+                    }
+                    attrs.push((aname, value));
+                }
+                Some(b) => {
+                    return Err(self.err(format!(
+                        "unexpected character '{}' in tag",
+                        b as char
+                    )))
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Content: child elements, comments and whitespace only.
+        let mut children = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.src[self.pos..].starts_with(b"<!--") {
+                match find(self.src, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+                continue;
+            }
+            if self.src[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return Err(self.err(format!(
+                        "mismatched close tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                return finish_elem(name, attrs, children, offset);
+            }
+            match self.peek() {
+                Some(b'<') => children.push(self.element()?),
+                Some(_) => {
+                    return Err(self.err(
+                        "text content is not allowed (words are @lex attributes)",
+                    ))
+                }
+                None => return Err(self.err(format!("unterminated element <{name}>"))),
+            }
+        }
+    }
+
+    /// An XML name token.
+    fn name(&mut self) -> Result<String, ModelError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(b) if name_start(b) => self.pos += 1,
+            _ => return Err(self.err("expected a name")),
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+        {
+            self.pos += 1;
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    /// A quoted attribute value, with entity decoding.
+    fn quoted(&mut self) -> Result<String, ModelError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(q) if q == quote => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'<') => return Err(self.err("'<' in attribute value")),
+                Some(b'&') => {
+                    let c = self.entity()?;
+                    out.push(c);
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.src[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peek saw a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated attribute value")),
+            }
+        }
+    }
+
+    /// Decode one entity or character reference starting at `&`.
+    fn entity(&mut self) -> Result<char, ModelError> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some(b'&'));
+        self.pos += 1;
+        let end = match find(self.src, self.pos, b";") {
+            Some(e) if e - start <= 12 => e,
+            _ => return Err(self.err("unterminated entity reference")),
+        };
+        let body = std::str::from_utf8(&self.src[self.pos..end])
+            .map_err(|_| self.err("invalid UTF-8 in entity"))?;
+        self.pos = end + 1;
+        let c = match body {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                let code = u32::from_str_radix(&body[2..], 16)
+                    .map_err(|_| self.err(format!("bad character reference &{body};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err(format!("invalid code point &{body};")))?
+            }
+            _ if body.starts_with('#') => {
+                let code: u32 = body[1..]
+                    .parse()
+                    .map_err(|_| self.err(format!("bad character reference &{body};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err(format!("invalid code point &{body};")))?
+            }
+            _ => return Err(self.err(format!("unknown entity &{body};"))),
+        };
+        Ok(c)
+    }
+}
+
+fn name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| from + i)
+}
+
+/// Resolve the escape-element convention and build a [`RawElem`].
+fn finish_elem(
+    name: String,
+    mut attrs: Vec<(String, String)>,
+    children: Vec<RawElem>,
+    offset: usize,
+) -> Result<RawElem, ModelError> {
+    let tag = if name == ESCAPE_ELEM {
+        let idx = attrs
+            .iter()
+            .position(|(n, _)| n == ESCAPE_ATTR)
+            .ok_or_else(|| ModelError::Xml {
+                offset,
+                message: format!("<{ESCAPE_ELEM}> element without a {ESCAPE_ATTR} attribute"),
+            })?;
+        attrs.remove(idx).1
+    } else {
+        name
+    };
+    if tag.is_empty() {
+        return Err(ModelError::Xml {
+            offset,
+            message: "empty tag".into(),
+        });
+    }
+    Ok(RawElem {
+        tag,
+        attrs,
+        children,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptb;
+
+    const FIG1: &str = "( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+                        (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )";
+
+    fn names(corpus: &Corpus, tid: usize) -> Vec<String> {
+        let t = &corpus.trees()[tid];
+        t.preorder()
+            .map(|id| corpus.resolve(t.node(id).name).to_string())
+            .collect()
+    }
+
+    fn lexes(corpus: &Corpus, tid: usize) -> Vec<String> {
+        let t = &corpus.trees()[tid];
+        let lex = corpus.interner().get("@lex");
+        t.preorder()
+            .filter_map(|id| lex.and_then(|s| t.node(id).attr(s)))
+            .map(|v| corpus.resolve(v).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn figure1_round_trips() {
+        let corpus = ptb::parse_str(FIG1).unwrap();
+        let xml = to_string(&corpus);
+        assert!(xml.contains("<V lex=\"saw\"/>"), "{xml}");
+        let back = parse_str(&xml).unwrap();
+        assert_eq!(back.trees().len(), 1);
+        assert_eq!(names(&corpus, 0), names(&back, 0));
+        assert_eq!(lexes(&corpus, 0), lexes(&back, 0));
+    }
+
+    #[test]
+    fn multi_tree_corpus_round_trips() {
+        let corpus = ptb::parse_str(&format!("{FIG1}\n{FIG1}\n{FIG1}")).unwrap();
+        let back = parse_str(&to_string(&corpus)).unwrap();
+        assert_eq!(back.trees().len(), 3);
+        for tid in 0..3 {
+            assert_eq!(names(&corpus, tid), names(&back, tid));
+        }
+    }
+
+    #[test]
+    fn ugly_tags_are_escaped() {
+        // `-NONE-`, `PRP$`, `.` and `,` are real Treebank tags but not
+        // XML names.
+        let corpus =
+            ptb::parse_str("( (S (-NONE- x) (PRP$ my) (. .) (n word)) )").unwrap();
+        let xml = to_string(&corpus);
+        assert!(xml.contains("<n tag=\"-NONE-\" lex=\"x\"/>"), "{xml}");
+        assert!(xml.contains("<n tag=\"PRP$\" lex=\"my\"/>"), "{xml}");
+        assert!(xml.contains("<n tag=\".\" lex=\".\"/>"), "{xml}");
+        // A genuine tag `n` collides with the escape element and is
+        // escaped too.
+        assert!(xml.contains("<n tag=\"n\" lex=\"word\"/>"), "{xml}");
+        let back = parse_str(&xml).unwrap();
+        assert_eq!(names(&corpus, 0), names(&back, 0));
+        assert_eq!(lexes(&corpus, 0), lexes(&back, 0));
+    }
+
+    #[test]
+    fn entities_round_trip() {
+        let corpus = ptb::parse_str("( (S (A a&b) (B \"q\") (C <x>)) )").unwrap();
+        let xml = to_string(&corpus);
+        assert!(xml.contains("&amp;"), "{xml}");
+        assert!(xml.contains("&quot;"), "{xml}");
+        assert!(xml.contains("&lt;x&gt;"), "{xml}");
+        let back = parse_str(&xml).unwrap();
+        assert_eq!(lexes(&corpus, 0), lexes(&back, 0));
+    }
+
+    #[test]
+    fn character_references_decode() {
+        let c = parse_str("<S><A lex=\"&#65;&#x42;\"/></S>").unwrap();
+        assert_eq!(lexes(&c, 0), ["AB"]);
+    }
+
+    #[test]
+    fn declaration_and_comments_are_skipped() {
+        let c = parse_str(
+            "<?xml version=\"1.0\"?>\n<!-- a treebank -->\n\
+             <S><!-- inner --><NP lex=\"I\"/></S>\n<!-- trailing -->",
+        )
+        .unwrap();
+        assert_eq!(c.trees().len(), 1);
+        assert_eq!(names(&c, 0), ["S", "NP"]);
+    }
+
+    #[test]
+    fn single_root_without_treebank_wrapper() {
+        let c = parse_str("<S><NP lex=\"I\"/></S>").unwrap();
+        assert_eq!(c.trees().len(), 1);
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in [
+            "",
+            "<S>",
+            "<S></T>",
+            "<S><NP></S>",
+            "<S x></S>",
+            "<S x=></S>",
+            "<S x=\"1></S>",
+            "<S>text</S>",
+            "<S x=\"a\" x=\"b\"/>",
+            "<S lex=\"&bogus;\"/>",
+            "<S lex=\"&#xZZ;\"/>",
+            "<S/><S/>",
+            "<n/>",
+            "<?xml version=\"1.0\"?",
+            "<!-- unterminated",
+        ] {
+            assert!(parse_str(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse_str("<S>oops</S>").unwrap_err();
+        let ModelError::Xml { offset, .. } = err else {
+            panic!("expected xml error, got {err:?}");
+        };
+        assert_eq!(offset, 3);
+    }
+
+    #[test]
+    fn empty_treebank_parses_to_zero_trees() {
+        let c = parse_str("<treebank></treebank>").unwrap();
+        assert_eq!(c.trees().len(), 0);
+        let c = parse_str("<treebank/>").unwrap();
+        assert_eq!(c.trees().len(), 0);
+    }
+
+    #[test]
+    fn treebank_with_attributes_is_a_plain_tree() {
+        // A root named `treebank` that carries attributes is data, not
+        // the wrapper convention.
+        let c = parse_str("<treebank lex=\"x\"/>").unwrap();
+        assert_eq!(c.trees().len(), 1);
+        assert_eq!(names(&c, 0), ["treebank"]);
+    }
+
+    #[test]
+    fn control_characters_round_trip() {
+        let mut corpus = Corpus::new();
+        let tag = corpus.intern("S");
+        let lex = corpus.intern("@lex");
+        let val = corpus.intern("a\tb\nc");
+        let mut t = Tree::new(tag);
+        let root = t.root();
+        t.set_attr(root, lex, val);
+        corpus.add_tree(t);
+        let xml = to_string(&corpus);
+        assert!(xml.contains("&#9;"), "{xml}");
+        let back = parse_str(&xml).unwrap();
+        assert_eq!(lexes(&back, 0), ["a\tb\nc"]);
+    }
+}

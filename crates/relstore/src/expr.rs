@@ -1,0 +1,163 @@
+//! Scalar expressions over query aliases: column references, operands
+//! and conjunctive conditions. These form the WHERE clause of the
+//! logical [`crate::sql::ConjQuery`] and, once oriented by the planner,
+//! the access/residual conditions of physical plans.
+
+use crate::schema::ColId;
+use crate::value::{Cmp, Value};
+
+/// A column of one query alias (`n3.left`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ColRef {
+    /// Alias position within the query's `aliases` vector.
+    pub alias: usize,
+    /// The referenced column.
+    pub col: ColId,
+}
+
+impl ColRef {
+    /// `alias.col`.
+    pub fn new(alias: usize, col: ColId) -> Self {
+        ColRef { alias, col }
+    }
+}
+
+/// The right-hand side of a comparison.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// A literal.
+    Const(Value),
+    /// A column of another (or the same) alias in the same query.
+    Col(ColRef),
+    /// A column of an alias of the *immediately enclosing* query —
+    /// the correlation of an EXISTS/NOT EXISTS subquery.
+    Outer(ColRef),
+}
+
+/// One conjunct: `left cmp right`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Cond {
+    /// Left-hand column.
+    pub left: ColRef,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand operand.
+    pub right: Operand,
+}
+
+/// A set-membership conjunct: `col IN (v1, …, vk)`.
+///
+/// Produced when a query-language function expands to a set of interned
+/// values (e.g. `contains(@lex, 'og')` → every symbol whose text contains
+/// `og`). Values are kept sorted for binary-search membership tests.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct InCond {
+    /// The constrained column.
+    pub col: ColRef,
+    values: Vec<Value>,
+}
+
+impl InCond {
+    /// Build from an arbitrary value list (sorted and deduplicated).
+    pub fn new(col: ColRef, mut values: Vec<Value>) -> Self {
+        values.sort_unstable();
+        values.dedup();
+        InCond { col, values }
+    }
+
+    /// The sorted member values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Is `v` a member of the set?
+    #[inline]
+    pub fn matches(&self, v: Value) -> bool {
+        self.values.binary_search(&v).is_ok()
+    }
+}
+
+impl Cond {
+    /// `left cmp right`.
+    pub fn new(left: ColRef, cmp: Cmp, right: Operand) -> Self {
+        Cond { left, cmp, right }
+    }
+
+    /// `left cmp const`.
+    pub fn against_const(left: ColRef, cmp: Cmp, v: Value) -> Self {
+        Cond::new(left, cmp, Operand::Const(v))
+    }
+
+    /// `left cmp other-alias column`.
+    pub fn between(left: ColRef, cmp: Cmp, right: ColRef) -> Self {
+        Cond::new(left, cmp, Operand::Col(right))
+    }
+
+    /// Rewrite so that `target` appears on the left, if possible:
+    /// `a.x < b.y` oriented toward `b` becomes `b.y > a.x`. Returns
+    /// `None` when the condition does not mention `target` on either
+    /// side, or mentions it only inside an [`Operand::Outer`].
+    pub fn oriented_toward(&self, target: usize) -> Option<Cond> {
+        if self.left.alias == target {
+            return Some(*self);
+        }
+        if let Operand::Col(r) = self.right {
+            if r.alias == target {
+                return Some(Cond {
+                    left: r,
+                    cmp: self.cmp.flip(),
+                    right: Operand::Col(self.left),
+                });
+            }
+        }
+        None
+    }
+
+    /// The aliases of the *current* query this condition mentions.
+    pub fn local_aliases(&self) -> impl Iterator<Item = usize> {
+        let second = match self.right {
+            Operand::Col(r) => Some(r.alias),
+            _ => None,
+        };
+        std::iter::once(self.left.alias).chain(second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cr(alias: usize, col: u16) -> ColRef {
+        ColRef::new(alias, ColId(col))
+    }
+
+    #[test]
+    fn orientation_flips_comparison() {
+        let c = Cond::between(cr(0, 1), Cmp::Lt, cr(1, 2));
+        let toward0 = c.oriented_toward(0).unwrap();
+        assert_eq!(toward0.left, cr(0, 1));
+        assert_eq!(toward0.cmp, Cmp::Lt);
+        let toward1 = c.oriented_toward(1).unwrap();
+        assert_eq!(toward1.left, cr(1, 2));
+        assert_eq!(toward1.cmp, Cmp::Gt);
+        assert_eq!(toward1.right, Operand::Col(cr(0, 1)));
+        assert_eq!(c.oriented_toward(2), None);
+    }
+
+    #[test]
+    fn const_conditions_orient_only_to_their_alias() {
+        let c = Cond::against_const(cr(3, 0), Cmp::Eq, 42);
+        assert!(c.oriented_toward(3).is_some());
+        assert!(c.oriented_toward(0).is_none());
+    }
+
+    #[test]
+    fn local_aliases_listed() {
+        let c = Cond::between(cr(0, 1), Cmp::Eq, cr(2, 2));
+        assert_eq!(c.local_aliases().collect::<Vec<_>>(), [0, 2]);
+        let k = Cond::against_const(cr(1, 0), Cmp::Eq, 7);
+        assert_eq!(k.local_aliases().collect::<Vec<_>>(), [1]);
+        let o = Cond::new(cr(1, 0), Cmp::Eq, Operand::Outer(cr(5, 0)));
+        assert_eq!(o.local_aliases().collect::<Vec<_>>(), [1]);
+    }
+}

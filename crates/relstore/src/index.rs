@@ -1,0 +1,238 @@
+//! Ordered secondary indexes.
+//!
+//! An index is a permutation of the table's rows sorted by a key column
+//! list. Lookups are binary searches: an *equality prefix* over the
+//! leading key columns, optionally refined by a *range* on the next key
+//! column. This supports exactly the access patterns the paper's axis
+//! joins need, e.g. on the clustered key `{name, tid, left, …}`:
+//!
+//! * `name = 'NP' ∧ tid = t ∧ left = c.right` — immediate-following;
+//! * `name = 'NP' ∧ tid = t ∧ left ≥ c.right` — following;
+//! * `name = 'NP' ∧ tid = t ∧ c.left ≤ left ≤ c.right` — containment.
+
+use std::ops::Bound;
+
+use crate::schema::ColId;
+use crate::table::{RowId, Table};
+use crate::value::Value;
+
+/// A sorted-permutation index over `key` columns of one table.
+#[derive(Clone, Debug)]
+pub struct Index {
+    key: Vec<ColId>,
+    perm: Vec<RowId>,
+}
+
+impl Index {
+    /// Build by sorting the row permutation; `O(n log n)`.
+    pub fn build(table: &Table, key: Vec<ColId>) -> Self {
+        assert!(!key.is_empty(), "index needs at least one key column");
+        let mut perm: Vec<RowId> = table.scan().collect();
+        perm.sort_unstable_by(|&a, &b| table.cmp_rows(a, b, &key));
+        Index { key, perm }
+    }
+
+    /// The key columns, major first.
+    pub fn key(&self) -> &[ColId] {
+        &self.key
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Does the index cover zero rows?
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Rows whose leading key columns equal `prefix`, in key order.
+    pub fn equal_range(&self, table: &Table, prefix: &[Value]) -> &[RowId] {
+        self.range(table, prefix, Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Rows whose leading key columns equal `prefix` and whose *next*
+    /// key column lies within `(lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `prefix` is as long as the whole key but a bound is
+    /// given (there is no next column), or longer than the key.
+    pub fn range(
+        &self,
+        table: &Table,
+        prefix: &[Value],
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    ) -> &[RowId] {
+        assert!(
+            prefix.len() <= self.key.len(),
+            "prefix {} longer than key {}",
+            prefix.len(),
+            self.key.len()
+        );
+        let bounded = !matches!((lo, hi), (Bound::Unbounded, Bound::Unbounded));
+        assert!(
+            !bounded || prefix.len() < self.key.len(),
+            "range bound given but prefix covers the whole key"
+        );
+
+        // Row `r` is *before* the window iff its prefix is less than
+        // `prefix`, or prefixes tie and the next column is below `lo`.
+        let start = self.perm.partition_point(|&r| {
+            match self.cmp_prefix(table, r, prefix) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => match lo {
+                    Bound::Unbounded => false,
+                    Bound::Included(v) => self.next_col(table, r, prefix.len()) < v,
+                    Bound::Excluded(v) => self.next_col(table, r, prefix.len()) <= v,
+                },
+            }
+        });
+        let end = self.perm.partition_point(|&r| {
+            match self.cmp_prefix(table, r, prefix) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => match hi {
+                    Bound::Unbounded => true,
+                    Bound::Included(v) => self.next_col(table, r, prefix.len()) <= v,
+                    Bound::Excluded(v) => self.next_col(table, r, prefix.len()) < v,
+                },
+            }
+        });
+        &self.perm[start..end.max(start)]
+    }
+
+    #[inline]
+    fn cmp_prefix(
+        &self,
+        table: &Table,
+        row: RowId,
+        prefix: &[Value],
+    ) -> std::cmp::Ordering {
+        for (&k, &want) in self.key.iter().zip(prefix) {
+            let ord = table.value(row, k).cmp(&want);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    #[inline]
+    fn next_col(&self, table: &Table, row: RowId, prefix_len: usize) -> Value {
+        table.value(row, self.key[prefix_len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sample() -> (Table, Index) {
+        let mut t = Table::new(Schema::new(&["name", "tid", "left"]));
+        // (name, tid, left)
+        for row in [
+            [1, 1, 5],
+            [1, 1, 2],
+            [1, 2, 7],
+            [2, 1, 3],
+            [1, 1, 9],
+            [2, 1, 1],
+            [1, 2, 2],
+        ] {
+            t.push_row(&row);
+        }
+        let idx = Index::build(&t, vec![ColId(0), ColId(1), ColId(2)]);
+        (t, idx)
+    }
+
+    fn lefts(t: &Table, rows: &[RowId]) -> Vec<Value> {
+        rows.iter().map(|&r| t.value(r, ColId(2))).collect()
+    }
+
+    #[test]
+    fn equal_range_on_prefix() {
+        let (t, idx) = sample();
+        assert_eq!(lefts(&t, idx.equal_range(&t, &[1, 1])), [2, 5, 9]);
+        assert_eq!(lefts(&t, idx.equal_range(&t, &[1, 2])), [2, 7]);
+        assert_eq!(lefts(&t, idx.equal_range(&t, &[2, 1])), [1, 3]);
+        assert_eq!(idx.equal_range(&t, &[3]).len(), 0);
+        assert_eq!(idx.equal_range(&t, &[]).len(), 7);
+    }
+
+    #[test]
+    fn bounded_ranges() {
+        let (t, idx) = sample();
+        // name=1, tid=1, left >= 5
+        assert_eq!(
+            lefts(&t, idx.range(&t, &[1, 1], Bound::Included(5), Bound::Unbounded)),
+            [5, 9]
+        );
+        // name=1, tid=1, left > 5
+        assert_eq!(
+            lefts(&t, idx.range(&t, &[1, 1], Bound::Excluded(5), Bound::Unbounded)),
+            [9]
+        );
+        // name=1, tid=1, 2 <= left < 9
+        assert_eq!(
+            lefts(&t, idx.range(&t, &[1, 1], Bound::Included(2), Bound::Excluded(9))),
+            [2, 5]
+        );
+        // point lookup via equal bounds
+        assert_eq!(
+            lefts(&t, idx.range(&t, &[1, 1], Bound::Included(5), Bound::Included(5))),
+            [5]
+        );
+        // empty window
+        assert_eq!(
+            idx.range(&t, &[1, 1], Bound::Included(10), Bound::Unbounded)
+                .len(),
+            0
+        );
+        assert_eq!(
+            idx.range(&t, &[1, 1], Bound::Included(6), Bound::Included(3))
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn full_prefix_point_lookup() {
+        let (t, idx) = sample();
+        assert_eq!(lefts(&t, idx.equal_range(&t, &[1, 1, 5])), [5]);
+        assert_eq!(idx.equal_range(&t, &[1, 1, 6]).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range bound")]
+    fn bound_without_next_column_panics() {
+        let (t, idx) = sample();
+        idx.range(&t, &[1, 1, 5], Bound::Included(1), Bound::Unbounded);
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut t = Table::new(Schema::new(&["a", "b"]));
+        for _ in 0..500 {
+            t.push_row(&[rng.gen_range(0..8), rng.gen_range(0..50)]);
+        }
+        let idx = Index::build(&t, vec![ColId(0), ColId(1)]);
+        for a in 0..8u32 {
+            for lo in [0u32, 10, 25, 49] {
+                let got = idx
+                    .range(&t, &[a], Bound::Included(lo), Bound::Unbounded)
+                    .len();
+                let want = t
+                    .scan()
+                    .filter(|&r| t.value(r, ColId(0)) == a && t.value(r, ColId(1)) >= lo)
+                    .count();
+                assert_eq!(got, want, "a={a} lo={lo}");
+            }
+        }
+    }
+}

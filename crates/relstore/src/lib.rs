@@ -1,0 +1,44 @@
+//! An embedded relational engine: the storage substrate for the LPath
+//! query system.
+//!
+//! The paper stores labeled tree nodes in a relational database and
+//! translates LPath to SQL; this crate supplies the database. It is a
+//! deliberately small, read-only engine with exactly the machinery that
+//! workload needs:
+//!
+//! * [`table`] — columnar `u32` tables with clustered ordering;
+//! * [`index`] — ordered secondary indexes with prefix + range probes;
+//! * [`stats`] — exact per-column frequency statistics;
+//! * [`sql`] — logical conjunctive queries (`SELECT … WHERE … EXISTS`)
+//!   and their SQL text rendering;
+//! * [`planner`] — greedy statistics-driven join ordering and access
+//!   path selection;
+//! * [`mod@plan`] — pipelined index-nested-loop execution with correlated
+//!   semi/anti joins.
+//!
+//! Nothing here knows about trees or LPath: the query compiler in
+//! `lpath-core` lowers axis relations to plain column comparisons.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod expr;
+pub mod index;
+pub mod plan;
+pub mod planner;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Database, IndexId, TableId};
+pub use expr::{ColRef, Cond, InCond, Operand};
+pub use index::Index;
+pub use plan::{count, execute, AccessPath, JoinStep, Plan, SubCheck};
+pub use planner::{plan, JoinOrder, PlannerConfig};
+pub use schema::{ColId, Schema};
+pub use sql::{ConjQuery, SubQuery};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{RowId, Table};
+pub use value::{Cmp, Value, NULL};

@@ -1,0 +1,109 @@
+//! Table schemas: named, positionally addressed `u32` columns.
+
+use std::fmt;
+
+/// Index of a column within its table's schema.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ColId(pub u16);
+
+impl ColId {
+    #[inline]
+    /// The column's position in its schema.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An ordered list of column names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from column names.
+    ///
+    /// # Panics
+    /// Panics on duplicate column names — a schema bug, not an input
+    /// error.
+    pub fn new<S: AsRef<str>>(names: &[S]) -> Self {
+        let columns: Vec<String> = names.iter().map(|s| s.as_ref().to_string()).collect();
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a, b, "duplicate column name {a:?}");
+            }
+        }
+        Schema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Does the schema have zero columns?
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Look a column up by name.
+    pub fn col(&self, name: &str) -> Option<ColId> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .map(|i| ColId(i as u16))
+    }
+
+    /// Like [`Schema::col`] but panics with a helpful message; for
+    /// schema-static code paths.
+    pub fn col_expect(&self, name: &str) -> ColId {
+        self.col(name)
+            .unwrap_or_else(|| panic!("no column {name:?} in schema {self}"))
+    }
+
+    /// The column's name.
+    pub fn name(&self, col: ColId) -> &str {
+        &self.columns[col.index()]
+    }
+
+    /// Iterate `(ColId, name)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ColId, &str)> {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ColId(i as u16), n.as_str()))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.columns.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::new(&["tid", "left", "right"]);
+        assert_eq!(s.col("tid"), Some(ColId(0)));
+        assert_eq!(s.col("right"), Some(ColId(2)));
+        assert_eq!(s.col("missing"), None);
+        assert_eq!(s.name(ColId(1)), "left");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicates_rejected() {
+        Schema::new(&["a", "b", "a"]);
+    }
+
+    #[test]
+    fn display_lists_columns() {
+        let s = Schema::new(&["x", "y"]);
+        assert_eq!(s.to_string(), "(x, y)");
+    }
+}

@@ -1,0 +1,269 @@
+//! Logical conjunctive queries and their SQL rendering.
+//!
+//! The paper translates each LPath query into one SQL `SELECT` whose
+//! `FROM` clause has one alias of the node relation per query node,
+//! whose `WHERE` clause conjoins the Table 2 label comparisons, and
+//! which nests `EXISTS` / `NOT EXISTS` subqueries for predicates. A
+//! [`ConjQuery`] is exactly that shape; [`ConjQuery::to_sql`] renders
+//! the statement the paper would feed its commercial RDBMS, and the
+//! [planner](crate::planner) compiles the same structure to an in-process
+//! physical [plan](mod@crate::plan).
+
+use crate::catalog::{Database, TableId};
+use crate::expr::{ColRef, Cond, InCond, Operand};
+use crate::value::Value;
+
+/// An `EXISTS` / `NOT EXISTS` subquery, correlated to its parent via
+/// [`Operand::Outer`] operands in its conditions.
+#[derive(Clone, Debug)]
+pub struct SubQuery {
+    /// NOT EXISTS instead of EXISTS.
+    pub negated: bool,
+    /// The subquery body.
+    pub query: ConjQuery,
+}
+
+/// A conjunctive `SELECT`: aliases × conditions × subqueries.
+#[derive(Clone, Debug, Default)]
+pub struct ConjQuery {
+    /// One table alias per query node.
+    pub aliases: Vec<TableId>,
+    /// Conjunctive `WHERE` conditions over the aliases.
+    pub conds: Vec<Cond>,
+    /// Set-membership conditions (`col IN (…)`).
+    pub in_conds: Vec<InCond>,
+    /// Correlated `EXISTS` / `NOT EXISTS` subqueries.
+    pub subqueries: Vec<SubQuery>,
+    /// Projected columns (ignored for subqueries, which render
+    /// `SELECT 1`).
+    pub projection: Vec<ColRef>,
+    /// Emit `SELECT DISTINCT`.
+    pub distinct: bool,
+}
+
+impl ConjQuery {
+    /// Add an alias, returning its position.
+    pub fn add_alias(&mut self, table: TableId) -> usize {
+        self.aliases.push(table);
+        self.aliases.len() - 1
+    }
+
+    /// Render as a SQL statement. `resolve` may pretty-print interned
+    /// values (e.g. symbol 17 → `'NP'`); return `None` to print the raw
+    /// number.
+    pub fn to_sql_with(
+        &self,
+        db: &Database,
+        resolve: &dyn Fn(ColRef, Value) -> Option<String>,
+    ) -> String {
+        let mut counter = 0usize;
+        self.render(db, resolve, &mut counter, None, true)
+    }
+
+    /// Render as a SQL statement with raw numeric literals.
+    pub fn to_sql(&self, db: &Database) -> String {
+        self.to_sql_with(db, &|_, _| None)
+    }
+
+    fn render(
+        &self,
+        db: &Database,
+        resolve: &dyn Fn(ColRef, Value) -> Option<String>,
+        counter: &mut usize,
+        outer_names: Option<&[String]>,
+        top: bool,
+    ) -> String {
+        let names: Vec<String> = self
+            .aliases
+            .iter()
+            .map(|_| {
+                let n = format!("n{counter}");
+                *counter += 1;
+                n
+            })
+            .collect();
+        let col_name = |r: ColRef| -> String {
+            let table = self.aliases[r.alias];
+            format!("{}.{}", names[r.alias], db.table(table).schema().name(r.col))
+        };
+        let outer_col_name = |r: ColRef| -> String {
+            let outer = outer_names.expect("Outer operand in an uncorrelated context");
+            // The column names of the outer table are resolved against
+            // this query's own catalog: all aliases range over the node
+            // relation in practice, and mixed-table correlation would
+            // name columns identically anyway.
+            format!("{}.{}", outer[r.alias], db.table(self.aliases.first().copied().unwrap_or(TableId(0))).schema().name(r.col))
+        };
+
+        let select = if top {
+            let cols: Vec<String> = self.projection.iter().map(|&c| col_name(c)).collect();
+            format!(
+                "SELECT {}{}",
+                if self.distinct { "DISTINCT " } else { "" },
+                if cols.is_empty() {
+                    "*".to_string()
+                } else {
+                    cols.join(", ")
+                }
+            )
+        } else {
+            "SELECT 1".to_string()
+        };
+
+        let from: Vec<String> = self
+            .aliases
+            .iter()
+            .zip(&names)
+            .map(|(&t, n)| format!("{} {}", db.table_name(t), n))
+            .collect();
+
+        let mut wheres: Vec<String> = self
+            .conds
+            .iter()
+            .map(|c| {
+                let lhs = col_name(c.left);
+                let rhs = match c.right {
+                    Operand::Const(v) => {
+                        resolve(c.left, v).unwrap_or_else(|| v.to_string())
+                    }
+                    Operand::Col(r) => col_name(r),
+                    Operand::Outer(r) => outer_col_name(r),
+                };
+                format!("{lhs} {} {rhs}", c.cmp.sql())
+            })
+            .collect();
+        for ic in &self.in_conds {
+            let members: Vec<String> = ic
+                .values()
+                .iter()
+                .map(|&v| resolve(ic.col, v).unwrap_or_else(|| v.to_string()))
+                .collect();
+            wheres.push(format!("{} IN ({})", col_name(ic.col), members.join(", ")));
+        }
+        for sub in &self.subqueries {
+            let inner = sub
+                .query
+                .render(db, resolve, counter, Some(&names), false);
+            wheres.push(format!(
+                "{}EXISTS ({inner})",
+                if sub.negated { "NOT " } else { "" }
+            ));
+        }
+
+        let mut sql = format!("{select} FROM {}", from.join(", "));
+        if !wheres.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&wheres.join(" AND "));
+        }
+        sql
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColId, Schema};
+    use crate::table::Table;
+    use crate::value::Cmp;
+
+    fn node_db() -> (Database, TableId) {
+        let t = Table::new(Schema::new(&[
+            "tid", "left", "right", "depth", "id", "pid", "name", "value",
+        ]));
+        let mut db = Database::new();
+        let id = db.add_table("node", t);
+        (db, id)
+    }
+
+    const NAME: ColId = ColId(6);
+    const TID: ColId = ColId(0);
+    const LEFT: ColId = ColId(1);
+    const RIGHT: ColId = ColId(2);
+
+    #[test]
+    fn renders_join_query() {
+        let (db, node) = node_db();
+        let mut q = ConjQuery::default();
+        let a = q.add_alias(node);
+        let b = q.add_alias(node);
+        q.conds.push(Cond::against_const(ColRef::new(a, NAME), Cmp::Eq, 7));
+        q.conds.push(Cond::between(
+            ColRef::new(b, TID),
+            Cmp::Eq,
+            ColRef::new(a, TID),
+        ));
+        q.conds.push(Cond::between(
+            ColRef::new(b, LEFT),
+            Cmp::Eq,
+            ColRef::new(a, RIGHT),
+        ));
+        q.projection.push(ColRef::new(b, TID));
+        q.distinct = true;
+        assert_eq!(
+            q.to_sql(&db),
+            "SELECT DISTINCT n1.tid FROM node n0, node n1 \
+             WHERE n0.name = 7 AND n1.tid = n0.tid AND n1.left = n0.right"
+        );
+    }
+
+    #[test]
+    fn renders_exists_with_correlation() {
+        let (db, node) = node_db();
+        let mut q = ConjQuery::default();
+        let a = q.add_alias(node);
+        q.projection.push(ColRef::new(a, TID));
+        let mut sub = ConjQuery::default();
+        let s = sub.add_alias(node);
+        sub.conds.push(Cond::new(
+            ColRef::new(s, TID),
+            Cmp::Eq,
+            Operand::Outer(ColRef::new(a, TID)),
+        ));
+        q.subqueries.push(SubQuery {
+            negated: false,
+            query: sub.clone(),
+        });
+        q.subqueries.push(SubQuery {
+            negated: true,
+            query: sub,
+        });
+        let sql = q.to_sql(&db);
+        assert_eq!(
+            sql,
+            "SELECT n0.tid FROM node n0 WHERE \
+             EXISTS (SELECT 1 FROM node n1 WHERE n1.tid = n0.tid) AND \
+             NOT EXISTS (SELECT 1 FROM node n2 WHERE n2.tid = n0.tid)"
+        );
+    }
+
+    #[test]
+    fn renders_in_conditions() {
+        let (db, node) = node_db();
+        let mut q = ConjQuery::default();
+        let a = q.add_alias(node);
+        q.in_conds.push(InCond::new(
+            ColRef::new(a, ColId(7)),
+            vec![9, 3, 3, 7],
+        ));
+        q.projection.push(ColRef::new(a, TID));
+        let sql = q.to_sql(&db);
+        // Sorted, deduplicated member list.
+        assert_eq!(
+            sql,
+            "SELECT n0.tid FROM node n0 WHERE n0.value IN (3, 7, 9)"
+        );
+    }
+
+    #[test]
+    fn resolver_pretty_prints_symbols() {
+        let (db, node) = node_db();
+        let mut q = ConjQuery::default();
+        let a = q.add_alias(node);
+        q.conds.push(Cond::against_const(ColRef::new(a, NAME), Cmp::Eq, 7));
+        q.projection.push(ColRef::new(a, TID));
+        let sql = q.to_sql_with(&db, &|r, v| {
+            (r.col == NAME && v == 7).then(|| "'NP'".to_string())
+        });
+        assert!(sql.contains("n0.name = 'NP'"), "{sql}");
+    }
+}

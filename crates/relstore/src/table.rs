@@ -1,0 +1,193 @@
+//! Columnar row store with clustered ordering.
+//!
+//! Rows are stored column-major (one `Vec<Value>` per column): range
+//! scans touch only the columns they read, and sorting into clustered
+//! order is a permutation application per column. After loading, a table
+//! is sorted once by its clustering key (paper §5: clustered by
+//! `{name, tid, left, right, depth, id, pid}`) and never mutated again —
+//! treebanks are immutable, as is the paper's setting.
+
+use crate::schema::{ColId, Schema};
+use crate::value::Value;
+
+/// Physical position of a row in its table (post-clustering).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    #[inline]
+    /// The row's position in its table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-then-freeze columnar table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    cols: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let cols = (0..schema.len()).map(|_| Vec::new()).collect();
+        Table {
+            schema,
+            cols,
+            rows: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Does the table have zero rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Reserve capacity for `n` additional rows in every column.
+    pub fn reserve(&mut self, n: usize) {
+        for c in &mut self.cols {
+            c.reserve(n);
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` does not match the schema width.
+    pub fn push_row(&mut self, row: &[Value]) {
+        assert_eq!(
+            row.len(),
+            self.schema.len(),
+            "row width {} vs schema {}",
+            row.len(),
+            self.schema
+        );
+        for (c, &v) in self.cols.iter_mut().zip(row) {
+            c.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// One cell.
+    #[inline]
+    pub fn value(&self, row: RowId, col: ColId) -> Value {
+        self.cols[col.index()][row.index()]
+    }
+
+    /// A whole column, for tight scan loops.
+    #[inline]
+    pub fn column(&self, col: ColId) -> &[Value] {
+        &self.cols[col.index()]
+    }
+
+    /// Materialize one row (diagnostics and tests).
+    pub fn row(&self, row: RowId) -> Vec<Value> {
+        self.cols.iter().map(|c| c[row.index()]).collect()
+    }
+
+    /// All row ids in physical order.
+    pub fn scan(&self) -> impl Iterator<Item = RowId> + '_ {
+        (0..self.rows as u32).map(RowId)
+    }
+
+    /// Sort the table into clustered order by the given key columns
+    /// (lexicographic). Returns the permutation applied, mapping new
+    /// position → old position, in case callers must remap stored row
+    /// ids (none do today: clustering happens before any index exists).
+    pub fn cluster_by(&mut self, key: &[ColId]) -> Vec<u32> {
+        let mut perm: Vec<u32> = (0..self.rows as u32).collect();
+        perm.sort_unstable_by(|&a, &b| {
+            for &k in key {
+                let col = &self.cols[k.index()];
+                let ord = col[a as usize].cmp(&col[b as usize]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        for c in &mut self.cols {
+            let mut next = Vec::with_capacity(c.len());
+            next.extend(perm.iter().map(|&p| c[p as usize]));
+            *c = next;
+        }
+        perm
+    }
+
+    /// Compare two rows of this table on `key` columns; used by index
+    /// construction.
+    pub(crate) fn cmp_rows(&self, a: RowId, b: RowId, key: &[ColId]) -> std::cmp::Ordering {
+        for &k in key {
+            let col = &self.cols[k.index()];
+            let ord = col[a.index()].cmp(&col[b.index()]);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(Schema::new(&["a", "b"]));
+        t.push_row(&[3, 30]);
+        t.push_row(&[1, 10]);
+        t.push_row(&[2, 20]);
+        t.push_row(&[1, 5]);
+        t
+    }
+
+    #[test]
+    fn push_and_read() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.value(RowId(0), ColId(0)), 3);
+        assert_eq!(t.row(RowId(2)), vec![2, 20]);
+        assert_eq!(t.column(ColId(1)), &[30, 10, 20, 5]);
+    }
+
+    #[test]
+    fn cluster_sorts_rows_lexicographically() {
+        let mut t = sample();
+        t.cluster_by(&[ColId(0), ColId(1)]);
+        let rows: Vec<Vec<Value>> = t.scan().map(|r| t.row(r)).collect();
+        assert_eq!(rows, [[1, 5], [1, 10], [2, 20], [3, 30]]);
+    }
+
+    #[test]
+    fn cluster_returns_permutation() {
+        let mut t = sample();
+        let perm = t.cluster_by(&[ColId(0), ColId(1)]);
+        assert_eq!(perm, [3, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_rejected() {
+        let mut t = sample();
+        t.push_row(&[1]);
+    }
+
+    #[test]
+    fn scan_covers_all_rows() {
+        let t = sample();
+        assert_eq!(t.scan().count(), 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Column values.
+//!
+//! Every column of the node relation fits in a `u32` (paper §5: the
+//! relation is `{tid, left, right, depth, id, pid, name, value}` with
+//! symbols interned upstream). Keeping values word-sized makes rows flat
+//! `u32` tuples — cheap to compare, copy and sort.
+
+/// A single column value. Interpretation (position, identifier,
+/// interned symbol) is up to the schema.
+pub type Value = u32;
+
+/// Sentinel for "no value" (e.g. the `value` column of element rows,
+/// which only attribute rows populate). `u32::MAX` cannot collide with
+/// interned symbols or labels in practice: it would require four billion
+/// distinct symbols or leaves.
+pub const NULL: Value = u32::MAX;
+
+/// Comparison operators usable in filters and join conditions.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // names are the documentation
+pub enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluate `a cmp b`.
+    #[inline]
+    pub fn eval(self, a: Value, b: Value) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+
+    /// The operator with operand roles swapped: `a cmp b ⇔ b cmp.flip() a`.
+    pub fn flip(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ne => Cmp::Ne,
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Le => Cmp::Ge,
+            Cmp::Gt => Cmp::Lt,
+            Cmp::Ge => Cmp::Le,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            Cmp::Eq => "=",
+            Cmp::Ne => "<>",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_covers_all_operators() {
+        assert!(Cmp::Eq.eval(3, 3) && !Cmp::Eq.eval(3, 4));
+        assert!(Cmp::Ne.eval(3, 4) && !Cmp::Ne.eval(3, 3));
+        assert!(Cmp::Lt.eval(3, 4) && !Cmp::Lt.eval(4, 4));
+        assert!(Cmp::Le.eval(4, 4) && !Cmp::Le.eval(5, 4));
+        assert!(Cmp::Gt.eval(5, 4) && !Cmp::Gt.eval(4, 4));
+        assert!(Cmp::Ge.eval(4, 4) && !Cmp::Ge.eval(3, 4));
+    }
+
+    #[test]
+    fn flip_is_consistent() {
+        for op in [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge] {
+            for a in 0..4u32 {
+                for b in 0..4u32 {
+                    assert_eq!(op.eval(a, b), op.flip().eval(b, a), "{op:?} {a} {b}");
+                }
+            }
+        }
+    }
+}

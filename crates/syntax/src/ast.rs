@@ -1,0 +1,591 @@
+//! Abstract syntax of LPath (paper §3, Figure 4).
+//!
+//! An LPath query is a [`Path`]: a sequence of [`Step`]s optionally
+//! followed by a *scoped* continuation in braces. Each step names an
+//! [`Axis`], a [`NodeTest`], optional edge-alignment markers (`^`, `$`)
+//! and a list of [`Pred`]icates.
+
+use std::fmt;
+
+/// Every LPath navigation axis (paper Table 1).
+///
+/// The inventory contains each primitive horizontal navigation, its
+/// transitive closure and its reflexive-transitive (`-or-self`) closure,
+/// alongside the familiar XPath vertical axes — the "filled gap" the
+/// paper emphasises.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // names are the documentation (Table 1 rows)
+pub enum Axis {
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    Parent,
+    Ancestor,
+    AncestorOrSelf,
+    SelfAxis,
+    ImmediateFollowing,
+    Following,
+    FollowingOrSelf,
+    ImmediatePreceding,
+    Preceding,
+    PrecedingOrSelf,
+    ImmediateFollowingSibling,
+    FollowingSibling,
+    FollowingSiblingOrSelf,
+    ImmediatePrecedingSibling,
+    PrecedingSibling,
+    PrecedingSiblingOrSelf,
+    /// `@name` — attribute access.
+    Attribute,
+}
+
+impl Axis {
+    /// The canonical LPath abbreviation (paper Table 1), or the spelled
+    /// out `/name::` form when no abbreviation exists.
+    pub fn abbreviation(self) -> &'static str {
+        use Axis::*;
+        match self {
+            Child => "/",
+            Descendant => "//",
+            DescendantOrSelf => "/descendant-or-self::",
+            Parent => "\\",
+            Ancestor => "\\ancestor::",
+            AncestorOrSelf => "\\ancestor-or-self::",
+            SelfAxis => ".",
+            ImmediateFollowing => "->",
+            Following => "-->",
+            FollowingOrSelf => "->*",
+            ImmediatePreceding => "<-",
+            Preceding => "<--",
+            PrecedingOrSelf => "<-*",
+            ImmediateFollowingSibling => "=>",
+            FollowingSibling => "==>",
+            FollowingSiblingOrSelf => "=>*",
+            ImmediatePrecedingSibling => "<=",
+            PrecedingSibling => "<==",
+            PrecedingSiblingOrSelf => "<=*",
+            Attribute => "@",
+        }
+    }
+
+    /// The XPath-style axis name (`following-sibling`, …).
+    pub fn name(self) -> &'static str {
+        use Axis::*;
+        match self {
+            Child => "child",
+            Descendant => "descendant",
+            DescendantOrSelf => "descendant-or-self",
+            Parent => "parent",
+            Ancestor => "ancestor",
+            AncestorOrSelf => "ancestor-or-self",
+            SelfAxis => "self",
+            ImmediateFollowing => "immediate-following",
+            Following => "following",
+            FollowingOrSelf => "following-or-self",
+            ImmediatePreceding => "immediate-preceding",
+            Preceding => "preceding",
+            PrecedingOrSelf => "preceding-or-self",
+            ImmediateFollowingSibling => "immediate-following-sibling",
+            FollowingSibling => "following-sibling",
+            FollowingSiblingOrSelf => "following-sibling-or-self",
+            ImmediatePrecedingSibling => "immediate-preceding-sibling",
+            PrecedingSibling => "preceding-sibling",
+            PrecedingSiblingOrSelf => "preceding-sibling-or-self",
+            Attribute => "attribute",
+        }
+    }
+
+    /// Parse an XPath-style axis name.
+    pub fn from_name(name: &str) -> Option<Axis> {
+        use Axis::*;
+        Some(match name {
+            "child" => Child,
+            "descendant" => Descendant,
+            "descendant-or-self" => DescendantOrSelf,
+            "parent" => Parent,
+            "ancestor" => Ancestor,
+            "ancestor-or-self" => AncestorOrSelf,
+            "self" => SelfAxis,
+            "immediate-following" => ImmediateFollowing,
+            "following" => Following,
+            "following-or-self" => FollowingOrSelf,
+            "immediate-preceding" => ImmediatePreceding,
+            "preceding" => Preceding,
+            "preceding-or-self" => PrecedingOrSelf,
+            "immediate-following-sibling" => ImmediateFollowingSibling,
+            "following-sibling" => FollowingSibling,
+            "following-sibling-or-self" => FollowingSiblingOrSelf,
+            "immediate-preceding-sibling" => ImmediatePrecedingSibling,
+            "preceding-sibling" => PrecedingSibling,
+            "preceding-sibling-or-self" => PrecedingSiblingOrSelf,
+            "attribute" => Attribute,
+            _ => return None,
+        })
+    }
+
+    /// Is this one of the eight horizontal axes LPath adds to XPath, or
+    /// their closures?
+    pub fn is_horizontal(self) -> bool {
+        use Axis::*;
+        matches!(
+            self,
+            ImmediateFollowing
+                | Following
+                | FollowingOrSelf
+                | ImmediatePreceding
+                | Preceding
+                | PrecedingOrSelf
+                | ImmediateFollowingSibling
+                | FollowingSibling
+                | FollowingSiblingOrSelf
+                | ImmediatePrecedingSibling
+                | PrecedingSibling
+                | PrecedingSiblingOrSelf
+        )
+    }
+
+    /// Is this axis expressible in Core XPath (paper Table 1, last
+    /// column)? The immediate horizontal axes and the `-or-self`
+    /// horizontal closures are not.
+    pub fn in_core_xpath(self) -> bool {
+        use Axis::*;
+        matches!(
+            self,
+            Child
+                | Descendant
+                | DescendantOrSelf
+                | Parent
+                | Ancestor
+                | AncestorOrSelf
+                | SelfAxis
+                | Following
+                | Preceding
+                | FollowingSibling
+                | PrecedingSibling
+                | Attribute
+        )
+    }
+
+    /// All twenty axes, for exhaustive tests.
+    pub const ALL: [Axis; 20] = {
+        use Axis::*;
+        [
+            Child,
+            Descendant,
+            DescendantOrSelf,
+            Parent,
+            Ancestor,
+            AncestorOrSelf,
+            SelfAxis,
+            ImmediateFollowing,
+            Following,
+            FollowingOrSelf,
+            ImmediatePreceding,
+            Preceding,
+            PrecedingOrSelf,
+            ImmediateFollowingSibling,
+            FollowingSibling,
+            FollowingSiblingOrSelf,
+            ImmediatePrecedingSibling,
+            PrecedingSibling,
+            PrecedingSiblingOrSelf,
+            Attribute,
+        ]
+    };
+}
+
+/// What a step matches at the node it navigates to.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NodeTest {
+    /// `_` — any element.
+    Any,
+    /// A tag name (`NP`, `-NONE-`, `NP-SBJ-2`, …).
+    Tag(String),
+}
+
+impl NodeTest {
+    /// A tag test.
+    pub fn tag(s: impl Into<String>) -> Self {
+        NodeTest::Tag(s.into())
+    }
+}
+
+/// Comparison operators in predicates.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // names are the documentation
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+}
+
+impl CmpOp {
+    /// The operator as written in queries.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+        }
+    }
+}
+
+/// Right-hand side of a `position()` comparison.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PosRhs {
+    /// A literal position.
+    Const(u32),
+    /// `last()`.
+    Last,
+}
+
+/// String functions of the core function library (the paper's footnote 1
+/// reserves a function library for LPath "as with XPath"; `contains` and
+/// `starts-with` are XPath 1.0 §4.2, `ends-with` rounds out the set).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // names are the documentation
+pub enum StrFunc {
+    Contains,
+    StartsWith,
+    EndsWith,
+}
+
+impl StrFunc {
+    /// The function name as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrFunc::Contains => "contains",
+            StrFunc::StartsWith => "starts-with",
+            StrFunc::EndsWith => "ends-with",
+        }
+    }
+
+    /// Parse a function name.
+    pub fn from_name(name: &str) -> Option<StrFunc> {
+        Some(match name {
+            "contains" => StrFunc::Contains,
+            "starts-with" => StrFunc::StartsWith,
+            "ends-with" => StrFunc::EndsWith,
+            _ => return None,
+        })
+    }
+
+    /// Apply the function to a candidate string value.
+    pub fn apply(self, haystack: &str, needle: &str) -> bool {
+        match self {
+            StrFunc::Contains => haystack.contains(needle),
+            StrFunc::StartsWith => haystack.starts_with(needle),
+            StrFunc::EndsWith => haystack.ends_with(needle),
+        }
+    }
+
+    /// All three functions, for exhaustive tests.
+    pub const ALL: [StrFunc; 3] = [StrFunc::Contains, StrFunc::StartsWith, StrFunc::EndsWith];
+}
+
+/// A predicate expression inside `[ … ]`.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Pred {
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Negation (`not(…)`).
+    Not(Box<Pred>),
+    /// A relative path that must have at least one match.
+    Exists(Path),
+    /// `path op literal` — the string value of the path's target
+    /// (typically an attribute) compared against a literal.
+    Cmp {
+        /// The compared path (attribute-final).
+        path: Path,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The literal to compare against.
+        value: String,
+    },
+    /// `position() op rhs`; the bare `[last()]` is
+    /// `Position(Eq, PosRhs::Last)`.
+    Position(CmpOp, PosRhs),
+    /// `count(path) op n` — cardinality of the path's match set.
+    Count {
+        /// The counted path.
+        path: Path,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The threshold.
+        value: u32,
+    },
+    /// `contains(path, 'str')` and friends — true when some string value
+    /// selected by the path (typically an attribute) satisfies the
+    /// function.
+    StrCmp {
+        /// Which string function.
+        func: StrFunc,
+        /// The inspected path (attribute-final).
+        path: Path,
+        /// The function's string argument.
+        arg: String,
+    },
+    /// `string-length(path) op n` — character count of a selected string
+    /// value.
+    StrLen {
+        /// The inspected path (attribute-final).
+        path: Path,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The length threshold.
+        value: u32,
+    },
+}
+
+impl Pred {
+    /// A path-existence predicate.
+    pub fn exists(path: Path) -> Self {
+        Pred::Exists(path)
+    }
+
+    /// `a and b`.
+    pub fn and(a: Pred, b: Pred) -> Self {
+        Pred::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a or b`.
+    pub fn or(a: Pred, b: Pred) -> Self {
+        Pred::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `not(p)` (named after the query syntax, not `std::ops::Not`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(p: Pred) -> Self {
+        Pred::Not(Box::new(p))
+    }
+}
+
+/// One location step: axis, optional left alignment, node test, optional
+/// right alignment, predicates (Figure 4's `S ::= A '::' LA NodeTest RA
+/// Predicates*`).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Step {
+    /// The navigation axis.
+    pub axis: Axis,
+    /// What the step matches at its target.
+    pub test: NodeTest,
+    /// `^` — the matched node's span starts at the innermost scope's
+    /// left edge.
+    pub left_align: bool,
+    /// `$` — the span ends at the innermost scope's right edge.
+    pub right_align: bool,
+    /// Bracketed predicates, applied in order.
+    pub predicates: Vec<Pred>,
+}
+
+impl Step {
+    /// A bare step with no alignment or predicates.
+    pub fn new(axis: Axis, test: NodeTest) -> Self {
+        Step {
+            axis,
+            test,
+            left_align: false,
+            right_align: false,
+            predicates: Vec::new(),
+        }
+    }
+
+    /// Append a predicate (builder style).
+    pub fn with_pred(mut self, p: Pred) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Set the alignment flags (builder style).
+    pub fn aligned(mut self, left: bool, right: bool) -> Self {
+        self.left_align = left;
+        self.right_align = right;
+        self
+    }
+}
+
+/// A (possibly scoped) path: `RLP ::= HP | HP '{' RLP '}'` (Figure 4).
+///
+/// `steps` is the head path; `scope` is the optional braced
+/// continuation, evaluated with every head-result node as both context
+/// *and* subtree scope. The query result is the result of the innermost
+/// continuation (or of the head when there is none).
+#[derive(Clone, PartialEq, Debug)]
+pub struct Path {
+    /// Absolute paths start at the (implicit) document node.
+    pub absolute: bool,
+    /// The head path's steps.
+    pub steps: Vec<Step>,
+    /// The optional braced continuation (subtree scoping).
+    pub scope: Option<Box<Path>>,
+}
+
+impl Path {
+    /// A relative path (evaluated from a context node).
+    pub fn relative(steps: Vec<Step>) -> Self {
+        Path {
+            absolute: false,
+            steps,
+            scope: None,
+        }
+    }
+
+    /// An absolute path (evaluated from the document node).
+    pub fn absolute(steps: Vec<Step>) -> Self {
+        Path {
+            absolute: true,
+            steps,
+            scope: None,
+        }
+    }
+
+    /// Attach a scoped continuation (builder style).
+    pub fn scoped(mut self, inner: Path) -> Self {
+        self.scope = Some(Box::new(inner));
+        self
+    }
+
+    /// Total number of steps including scoped continuations and
+    /// predicate sub-paths (a rough complexity measure used by tests and
+    /// the planner's sanity assertions).
+    pub fn total_steps(&self) -> usize {
+        fn pred_steps(p: &Pred) -> usize {
+            match p {
+                Pred::Or(a, b) | Pred::And(a, b) => pred_steps(a) + pred_steps(b),
+                Pred::Not(a) => pred_steps(a),
+                Pred::Exists(p) => p.total_steps(),
+                Pred::Cmp { path, .. }
+                | Pred::Count { path, .. }
+                | Pred::StrCmp { path, .. }
+                | Pred::StrLen { path, .. } => path.total_steps(),
+                Pred::Position(..) => 0,
+            }
+        }
+        let own: usize = self
+            .steps
+            .iter()
+            .map(|s| 1 + s.predicates.iter().map(pred_steps).sum::<usize>())
+            .sum();
+        own + self.scope.as_ref().map_or(0, |s| s.total_steps())
+    }
+
+    /// Does the query use any feature beyond XPath 1.0 (horizontal
+    /// immediate axes, scoping, alignment)? Mirrors the paper's
+    /// Lemma 3.1 features.
+    pub fn uses_lpath_extensions(&self) -> bool {
+        fn step_ext(s: &Step) -> bool {
+            use Axis::*;
+            s.left_align
+                || s.right_align
+                || matches!(
+                    s.axis,
+                    ImmediateFollowing
+                        | FollowingOrSelf
+                        | ImmediatePreceding
+                        | PrecedingOrSelf
+                        | ImmediateFollowingSibling
+                        | FollowingSiblingOrSelf
+                        | ImmediatePrecedingSibling
+                        | PrecedingSiblingOrSelf
+                )
+                || s.predicates.iter().any(pred_ext)
+        }
+        fn pred_ext(p: &Pred) -> bool {
+            match p {
+                Pred::Or(a, b) | Pred::And(a, b) => pred_ext(a) || pred_ext(b),
+                Pred::Not(a) => pred_ext(a),
+                Pred::Exists(p) => p.uses_lpath_extensions(),
+                // count/contains/starts-with/string-length are XPath 1.0
+                // core functions: only their inner path can make the
+                // query an extension.
+                Pred::Cmp { path, .. }
+                | Pred::Count { path, .. }
+                | Pred::StrCmp { path, .. }
+                | Pred::StrLen { path, .. } => path.uses_lpath_extensions(),
+                Pred::Position(..) => false,
+            }
+        }
+        self.scope.is_some() || self.steps.iter().any(step_ext)
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_name_round_trips() {
+        for axis in Axis::ALL {
+            assert_eq!(Axis::from_name(axis.name()), Some(axis), "{axis:?}");
+        }
+        assert_eq!(Axis::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn horizontal_classification() {
+        assert!(Axis::ImmediateFollowing.is_horizontal());
+        assert!(Axis::FollowingSibling.is_horizontal());
+        assert!(!Axis::Child.is_horizontal());
+        assert!(!Axis::Attribute.is_horizontal());
+        // Exactly twelve horizontal axes (4 primitives × 3 closures).
+        assert_eq!(Axis::ALL.iter().filter(|a| a.is_horizontal()).count(), 12);
+    }
+
+    #[test]
+    fn core_xpath_membership_matches_table_1() {
+        use Axis::*;
+        // Lemma 3.1: immediate horizontal axes are beyond Core XPath.
+        for a in [
+            ImmediateFollowing,
+            ImmediatePreceding,
+            ImmediateFollowingSibling,
+            ImmediatePrecedingSibling,
+        ] {
+            assert!(!a.in_core_xpath(), "{a:?}");
+        }
+        for a in [Child, Descendant, Following, PrecedingSibling] {
+            assert!(a.in_core_xpath(), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn total_steps_counts_scope_and_predicates() {
+        let inner = Path::relative(vec![Step::new(Axis::Child, NodeTest::tag("V"))]);
+        let mut head = Path::absolute(vec![Step::new(
+            Axis::Descendant,
+            NodeTest::tag("VP"),
+        )]);
+        head.steps[0].predicates.push(Pred::exists(Path::relative(vec![
+            Step::new(Axis::Descendant, NodeTest::Any),
+        ])));
+        let q = head.scoped(inner);
+        assert_eq!(q.total_steps(), 3);
+    }
+
+    #[test]
+    fn extension_detection() {
+        let plain = Path::absolute(vec![Step::new(Axis::Descendant, NodeTest::tag("S"))]);
+        assert!(!plain.uses_lpath_extensions());
+        let imm = Path::absolute(vec![Step::new(
+            Axis::ImmediateFollowing,
+            NodeTest::tag("NP"),
+        )]);
+        assert!(imm.uses_lpath_extensions());
+        let scoped = Path::absolute(vec![Step::new(Axis::Descendant, NodeTest::tag("VP"))])
+            .scoped(Path::relative(vec![Step::new(Axis::Child, NodeTest::tag("V"))]));
+        assert!(scoped.uses_lpath_extensions());
+        let aligned = Path::absolute(vec![Step::new(Axis::Descendant, NodeTest::tag("NP"))
+            .aligned(false, true)]);
+        assert!(aligned.uses_lpath_extensions());
+    }
+}

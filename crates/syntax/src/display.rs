@@ -1,0 +1,254 @@
+//! Rendering ASTs back to LPath concrete syntax.
+//!
+//! The printer emits the canonical abbreviations of Table 1, quoting tag
+//! names that contain metacharacters. `parse ∘ display` is the identity
+//! on ASTs (verified by the round-trip tests below and by property tests
+//! at the workspace root).
+
+use std::fmt;
+
+use crate::ast::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step};
+
+impl Path {
+    /// Render, optionally suppressing a leading child-axis `/` (used for
+    /// top-level relative paths so `VP/V` does not print as the absolute
+    /// `/VP/V`). Scoped continuations always keep the slash, matching
+    /// the paper's `//VP{/NP$}` notation.
+    fn fmt_with(&self, f: &mut fmt::Formatter<'_>, omit_leading_child: bool) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            write_step(f, step, i == 0 && omit_leading_child)?;
+        }
+        if let Some(scope) = &self.scope {
+            f.write_str("{")?;
+            scope.fmt_with(f, false)?;
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_with(f, !self.absolute)
+    }
+}
+
+/// Does this tag need quoting to survive the lexer?
+fn needs_quoting(tag: &str) -> bool {
+    tag.is_empty()
+        || tag == "_"
+        || !tag.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        || tag.contains("->")
+        || tag.contains("-->")
+}
+
+/// Write a literal value, quoting when the lexer would otherwise
+/// misread it (metacharacters, keywords, wildcards).
+fn write_value(f: &mut fmt::Formatter<'_>, value: &str) -> fmt::Result {
+    let quoted = value.is_empty()
+        || !value
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        || value == "_"
+        || value.contains("->");
+    if quoted {
+        write!(f, "'{value}'")
+    } else {
+        f.write_str(value)
+    }
+}
+
+fn write_test(f: &mut fmt::Formatter<'_>, test: &NodeTest) -> fmt::Result {
+    match test {
+        NodeTest::Any => f.write_str("_"),
+        NodeTest::Tag(t) if needs_quoting(t) => write!(f, "'{t}'"),
+        NodeTest::Tag(t) => f.write_str(t),
+    }
+}
+
+fn write_step(f: &mut fmt::Formatter<'_>, step: &Step, first_relative: bool) -> fmt::Result {
+    use Axis::*;
+    match step.axis {
+        Child if first_relative => {}
+        Child => f.write_str("/")?,
+        Descendant => f.write_str("//")?,
+        Parent => f.write_str("\\")?,
+        Ancestor => f.write_str("\\\\")?,
+        SelfAxis => f.write_str(".")?,
+        Attribute => f.write_str("@")?,
+        ImmediateFollowing => f.write_str("->")?,
+        Following => f.write_str("-->")?,
+        FollowingOrSelf => f.write_str("->*")?,
+        ImmediatePreceding => f.write_str("<-")?,
+        Preceding => f.write_str("<--")?,
+        PrecedingOrSelf => f.write_str("<-*")?,
+        ImmediateFollowingSibling => f.write_str("=>")?,
+        FollowingSibling => f.write_str("==>")?,
+        FollowingSiblingOrSelf => f.write_str("=>*")?,
+        ImmediatePrecedingSibling => f.write_str("<=")?,
+        PrecedingSibling => f.write_str("<==")?,
+        PrecedingSiblingOrSelf => f.write_str("<=*")?,
+        DescendantOrSelf => write!(f, "/descendant-or-self::")?,
+        AncestorOrSelf => write!(f, "\\ancestor-or-self::")?,
+    }
+    if step.left_align {
+        f.write_str("^")?;
+    }
+    if step.axis == Axis::Attribute {
+        // Attribute tests print bare: `@lex`.
+        match &step.test {
+            NodeTest::Any => f.write_str("_")?,
+            NodeTest::Tag(t) => f.write_str(t)?,
+        }
+    } else if !(step.axis == Axis::SelfAxis && step.test == NodeTest::Any) {
+        write_test(f, &step.test)?;
+    }
+    if step.right_align {
+        f.write_str("$")?;
+    }
+    for p in &step.predicates {
+        write!(f, "[{p}]")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Or(a, b) => write!(f, "{a} or {b}"),
+            Pred::And(a, b) => {
+                // Parenthesize an `or` under `and` to preserve precedence.
+                match (a.as_ref(), b.as_ref()) {
+                    (Pred::Or(..), Pred::Or(..)) => write!(f, "({a}) and ({b})"),
+                    (Pred::Or(..), _) => write!(f, "({a}) and {b}"),
+                    (_, Pred::Or(..)) => write!(f, "{a} and ({b})"),
+                    _ => write!(f, "{a} and {b}"),
+                }
+            }
+            Pred::Not(a) => write!(f, "not({a})"),
+            Pred::Exists(p) => write!(f, "{p}"),
+            Pred::Cmp { path, op, value } => {
+                write!(f, "{path}{}", op.symbol())?;
+                write_value(f, value)
+            }
+            Pred::Count { path, op, value } => {
+                write!(f, "count({path}){}{value}", op.symbol())
+            }
+            Pred::StrCmp { func, path, arg } => {
+                write!(f, "{}({path},", func.name())?;
+                write_value(f, arg)?;
+                f.write_str(")")
+            }
+            Pred::StrLen { path, op, value } => {
+                write!(f, "string-length({path}){}{value}", op.symbol())
+            }
+            Pred::Position(op, rhs) => {
+                write!(f, "position(){}", op.symbol())?;
+                match rhs {
+                    PosRhs::Const(n) => write!(f, "{n}"),
+                    PosRhs::Last => write!(f, "last()"),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    /// parse → display → parse must be the identity on ASTs.
+    fn round_trip(src: &str) {
+        let ast = parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = ast.to_string();
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("printed {printed}: {e}"));
+        assert_eq!(ast, reparsed, "round trip failed: {src} → {printed}");
+    }
+
+    #[test]
+    fn figure6c_round_trips() {
+        for src in [
+            "//S[//_[@lex=saw]]",
+            "//VB->NP",
+            "//VP/VB-->NN",
+            "//VP{/VB-->NN}",
+            "//VP{/NP$}",
+            "//VP{//NP$}",
+            "//VP[{//^VB->NP->PP$}]",
+            "//S[//NP/ADJP]",
+            "//NP[not(//JJ)]",
+            "//NP[->PP[//IN[@lex=of]]=>VP]",
+            "//S[{//_[@lex=what]->_[@lex=building]}]",
+            "//_[@lex=rapprochement]",
+            "//_[@lex=1929]",
+            "//ADVP-LOC-CLR",
+            "//WHPP",
+            "//RRC/PP-TMP",
+            "//UCP-PRD/ADJP-PRD",
+            "//NP/NP/NP/NP/NP",
+            "//VP/VP/VP",
+            "//PP=>SBAR",
+            "//ADVP=>ADJP",
+            "//NP=>NP=>NP",
+            "//VP=>VP",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn exotic_round_trips() {
+        for src in [
+            "//-NONE-",
+            "//'PRP$'",
+            "//'.'",
+            "//X->*_",
+            "//X<=*_[//Y or //Z and //W]",
+            "//X[not(//Y[@a!=b])]",
+            "//X\\\\S\\ancestor::_",
+            "//V/following-sibling::_[position()=1][self::NP]",
+            "//VP/_[last()]",
+            "//S{//VP{/V->NP}}",
+            "VP/V",
+            "//X[{//^A->B$}]",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn function_library_round_trips() {
+        for src in [
+            "//NP[count(//JJ)>2]",
+            "//NP[count(/_)=0]",
+            "//_[contains(@lex,'og')]",
+            "//_[starts-with(@lex,s)]",
+            "//_[ends-with(@lex,'ing')]",
+            "//_[string-length(@lex)=3]",
+            "//X[not(contains(@lex,'a b'))]",
+            "//X[count(//Y)>1 and contains(@lex,z) or string-length(@lex)<4]",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn canonical_forms() {
+        assert_eq!(
+            parse("//VP{/NP$}").unwrap().to_string(),
+            "//VP{/NP$}"
+        );
+        assert_eq!(
+            parse("/descendant::NP").unwrap().to_string(),
+            "//NP"
+        );
+        assert_eq!(parse("//X->+Y").unwrap().to_string(), "//X-->Y");
+    }
+}

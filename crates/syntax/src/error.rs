@@ -1,0 +1,31 @@
+//! Error type shared by the lexer and parser.
+
+use std::fmt;
+
+/// A lexing or parsing failure, with the byte offset of the offending
+/// position in the query string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SyntaxError {
+    /// Byte offset in the query source.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SyntaxError {
+    /// An error at a byte offset.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        SyntaxError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SyntaxError {}

@@ -1,0 +1,395 @@
+//! Lexer for LPath queries.
+//!
+//! The trickiest part is Penn Treebank tag names: `-NONE-` and `-DFL-`
+//! begin with `-`, which is also the first character of the `->` and
+//! `-->` axes. The lexer resolves this by looking ahead: a `-` followed
+//! by `>` (or by `->`) is an arrow, anything else starts a name.
+//! Similarly `<` begins four different axes plus the numeric `<`
+//! comparison, and `=` begins `=`, `=>` and `==>`.
+//!
+//! Tags that contain LPath metacharacters (`.`, `,`, `$`, `:`) must be
+//! quoted: `//'.'` finds punctuation nodes, `//'PRP$'` possessive
+//! pronouns.
+
+use crate::error::SyntaxError;
+use crate::token::Token;
+
+/// A token plus its byte offset in the source.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Tokenize a full query string.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SyntaxError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        let start = pos;
+        let token = match b {
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    pos += 2;
+                    Token::DoubleSlash
+                } else {
+                    pos += 1;
+                    Token::Slash
+                }
+            }
+            b'\\' => {
+                if bytes.get(pos + 1) == Some(&b'\\') {
+                    pos += 2;
+                    Token::DoubleBackslash
+                } else {
+                    pos += 1;
+                    Token::Backslash
+                }
+            }
+            b'.' => {
+                pos += 1;
+                Token::Dot
+            }
+            b'@' => {
+                pos += 1;
+                Token::At
+            }
+            b':' => {
+                if bytes.get(pos + 1) == Some(&b':') {
+                    pos += 2;
+                    Token::ColonColon
+                } else {
+                    return Err(SyntaxError::at(pos, "expected '::'"));
+                }
+            }
+            b'-' => match (bytes.get(pos + 1), bytes.get(pos + 2)) {
+                (Some(b'>'), _) => {
+                    pos += 2;
+                    Token::Arrow
+                }
+                (Some(b'-'), Some(b'>')) => {
+                    pos += 3;
+                    Token::LongArrow
+                }
+                _ => lex_name(bytes, &mut pos)?,
+            },
+            b'<' => match (bytes.get(pos + 1), bytes.get(pos + 2)) {
+                (Some(b'-'), Some(b'-')) => {
+                    pos += 3;
+                    Token::LongBackArrow
+                }
+                (Some(b'-'), _) => {
+                    pos += 2;
+                    Token::BackArrow
+                }
+                (Some(b'='), Some(b'=')) => {
+                    pos += 3;
+                    Token::LongSibBackArrow
+                }
+                (Some(b'='), _) => {
+                    pos += 2;
+                    Token::SibBackArrow
+                }
+                _ => {
+                    pos += 1;
+                    Token::Lt
+                }
+            },
+            b'=' => match (bytes.get(pos + 1), bytes.get(pos + 2)) {
+                (Some(b'='), Some(b'>')) => {
+                    pos += 3;
+                    Token::LongSibArrow
+                }
+                (Some(b'>'), _) => {
+                    pos += 2;
+                    Token::SibArrow
+                }
+                _ => {
+                    pos += 1;
+                    Token::Eq
+                }
+            },
+            b'>' => {
+                pos += 1;
+                Token::Gt
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    Token::Ne
+                } else {
+                    return Err(SyntaxError::at(pos, "expected '!='"));
+                }
+            }
+            b'*' => {
+                pos += 1;
+                Token::Star
+            }
+            b'+' => {
+                pos += 1;
+                Token::Plus
+            }
+            b'^' => {
+                pos += 1;
+                Token::Caret
+            }
+            b'$' => {
+                pos += 1;
+                Token::Dollar
+            }
+            b'[' => {
+                pos += 1;
+                Token::LBracket
+            }
+            b']' => {
+                pos += 1;
+                Token::RBracket
+            }
+            b'{' => {
+                pos += 1;
+                Token::LBrace
+            }
+            b'}' => {
+                pos += 1;
+                Token::RBrace
+            }
+            b'(' => {
+                pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                pos += 1;
+                Token::Comma
+            }
+            b'\'' | b'"' => {
+                let quote = b;
+                pos += 1;
+                let body_start = pos;
+                while pos < bytes.len() && bytes[pos] != quote {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(SyntaxError::at(start, "unterminated string literal"));
+                }
+                let s = std::str::from_utf8(&bytes[body_start..pos])
+                    .map_err(|_| SyntaxError::at(start, "invalid UTF-8 in literal"))?
+                    .to_string();
+                pos += 1; // closing quote
+                Token::Literal(s)
+            }
+            c if is_name_char(c) => lex_name(bytes, &mut pos)?,
+            c => {
+                return Err(SyntaxError::at(
+                    pos,
+                    format!("unexpected character '{}'", c as char),
+                ))
+            }
+        };
+        out.push(Spanned {
+            token,
+            offset: start,
+        });
+    }
+    Ok(out)
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'-' || b == b'_'
+}
+
+/// Lex a name starting at `*pos`. Interior `-` is a name character
+/// *unless* it begins an arrow (`->`/`-->`), so `NP-SBJ` is one name but
+/// `V->NP` splits before the arrow.
+fn lex_name(bytes: &[u8], pos: &mut usize) -> Result<Token, SyntaxError> {
+    let start = *pos;
+    while *pos < bytes.len() {
+        let b = bytes[*pos];
+        if !is_name_char(b) {
+            break;
+        }
+        if b == b'-' {
+            match (bytes.get(*pos + 1), bytes.get(*pos + 2)) {
+                (Some(b'>'), _) => break,
+                (Some(b'-'), Some(b'>')) => break,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+    if *pos == start {
+        return Err(SyntaxError::at(start, "expected a name"));
+    }
+    let s = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| SyntaxError::at(start, "invalid UTF-8 in name"))?;
+    if s == "_" {
+        Ok(Token::Underscore)
+    } else {
+        Ok(Token::Name(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Token::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_query() {
+        assert_eq!(
+            toks("//VP/V-->N"),
+            [
+                DoubleSlash,
+                Name("VP".into()),
+                Slash,
+                Name("V".into()),
+                LongArrow,
+                Name("N".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn ptb_tags_with_dashes() {
+        assert_eq!(toks("-NONE-"), [Name("-NONE-".into())]);
+        assert_eq!(toks("//-DFL-"), [DoubleSlash, Name("-DFL-".into())]);
+        assert_eq!(toks("NP-SBJ-2"), [Name("NP-SBJ-2".into())]);
+        // …but an arrow right after a tag still splits.
+        assert_eq!(
+            toks("V->NP"),
+            [Name("V".into()), Arrow, Name("NP".into())]
+        );
+        assert_eq!(
+            toks("ADVP-LOC-CLR->X"),
+            [Name("ADVP-LOC-CLR".into()), Arrow, Name("X".into())]
+        );
+    }
+
+    #[test]
+    fn all_arrow_forms() {
+        assert_eq!(
+            toks("-> --> <- <-- => ==> <= <=="),
+            [
+                Arrow,
+                LongArrow,
+                BackArrow,
+                LongBackArrow,
+                SibArrow,
+                LongSibArrow,
+                SibBackArrow,
+                LongSibBackArrow,
+            ]
+        );
+    }
+
+    #[test]
+    fn predicates_and_values() {
+        assert_eq!(
+            toks("//S[//_[@lex=saw]]"),
+            [
+                DoubleSlash,
+                Name("S".into()),
+                LBracket,
+                DoubleSlash,
+                Underscore,
+                LBracket,
+                At,
+                Name("lex".into()),
+                Eq,
+                Name("saw".into()),
+                RBracket,
+                RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn scoping_and_alignment() {
+        assert_eq!(
+            toks("//VP[{//^VB->NP->PP$}]"),
+            [
+                DoubleSlash,
+                Name("VP".into()),
+                LBracket,
+                LBrace,
+                DoubleSlash,
+                Caret,
+                Name("VB".into()),
+                Arrow,
+                Name("NP".into()),
+                Arrow,
+                Name("PP".into()),
+                Dollar,
+                RBrace,
+                RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_literals() {
+        assert_eq!(toks("'PRP$'"), [Literal("PRP$".into())]);
+        assert_eq!(toks("\"hello world\""), [Literal("hello world".into())]);
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn closure_markers() {
+        assert_eq!(
+            toks("->* =>+"),
+            [Arrow, Star, SibArrow, Plus]
+        );
+    }
+
+    #[test]
+    fn numbers_lex_as_names() {
+        assert_eq!(toks("1929"), [Name("1929".into())]);
+        assert_eq!(
+            toks("position()=1"),
+            [Name("position".into()), LParen, RParen, Eq, Name("1".into())]
+        );
+    }
+
+    #[test]
+    fn axis_names_with_double_colon() {
+        assert_eq!(
+            toks("/descendant::NP"),
+            [Slash, Name("descendant".into()), ColonColon, Name("NP".into())]
+        );
+        assert_eq!(
+            toks("\\ancestor::S"),
+            [Backslash, Name("ancestor".into()), ColonColon, Name("S".into())]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize(":x").is_err());
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let spans = tokenize("//NP ->NN").unwrap();
+        assert_eq!(spans[0].offset, 0);
+        assert_eq!(spans[1].offset, 2);
+        assert_eq!(spans[2].offset, 5);
+        assert_eq!(spans[3].offset, 7);
+    }
+}

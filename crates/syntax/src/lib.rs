@@ -1,0 +1,38 @@
+//! LPath language front end: lexer, parser, AST and pretty printer.
+//!
+//! LPath (Bird et al., ICDE 2006) extends XPath 1.0 with
+//!
+//! * eight primitive/closure **horizontal axes** — `->` / `-->`
+//!   (immediate-)following, `<-` / `<--` (immediate-)preceding, `=>` /
+//!   `==>` (immediate-)following-sibling, `<=` / `<==`
+//!   (immediate-)preceding-sibling — plus `*`/`+` closure markers for
+//!   the `-or-self` variants;
+//! * **subtree scoping** `{…}`, confining navigation to the scope
+//!   node's subtree;
+//! * **edge alignment** `^` (left) and `$` (right) against the
+//!   innermost scope.
+//!
+//! ```
+//! use lpath_syntax::{parse, Axis};
+//!
+//! let q = parse("//VP{/VB-->NN}").unwrap();
+//! assert_eq!(q.steps[0].axis, Axis::Descendant);
+//! let scoped = q.scope.as_ref().unwrap();
+//! assert_eq!(scoped.steps[1].axis, Axis::Following);
+//! assert_eq!(q.to_string(), "//VP{/VB-->NN}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step, StrFunc};
+pub use error::SyntaxError;
+pub use lexer::tokenize;
+pub use parser::parse;
+pub use token::Token;

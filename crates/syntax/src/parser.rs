@@ -1,0 +1,860 @@
+//! Recursive-descent parser for LPath (paper Figure 4 plus the XPath 1.0
+//! remainder).
+//!
+//! Deviations from XPath 1.0 worth knowing:
+//!
+//! * `_` is the wildcard node test and `*`/`+` are closure markers on
+//!   the immediate horizontal axes (`->*` is following-or-self, `->+` ≡
+//!   `-->`), following the paper's footnote 2;
+//! * a leading `//` inside a predicate or scope is the **descendant
+//!   axis from the context node**, not a document-absolute path — this
+//!   is what makes the paper's Q1 `//S[//_[@lex=saw]]` mean "sentence
+//!   containing *saw*";
+//! * `position()`/`last()` comparisons are parsed for XPath
+//!   compatibility; engines may reject them where the paper's relational
+//!   translation has no counterpart.
+
+use crate::ast::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step, StrFunc};
+use crate::error::SyntaxError;
+use crate::lexer::{tokenize, Spanned};
+use crate::token::Token;
+
+/// Parse a complete LPath query.
+pub fn parse(src: &str) -> Result<Path, SyntaxError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let absolute = matches!(
+        p.peek(),
+        Some(Token::Slash) | Some(Token::DoubleSlash)
+    );
+    let mut path = p.path()?;
+    path.absolute = absolute;
+    if let Some(s) = p.tokens.get(p.pos) {
+        return Err(SyntaxError::at(
+            s.offset,
+            format!("unexpected '{}' after end of query", s.token),
+        ));
+    }
+    if path.steps.is_empty() && path.scope.is_none() {
+        return Err(SyntaxError::at(0, "empty query"));
+    }
+    Ok(path)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or_else(|| {
+                self.tokens.last().map(|s| s.offset + 1).unwrap_or(0)
+            })
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), SyntaxError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(SyntaxError::at(
+                self.offset(),
+                format!("expected '{want}', found '{t}'"),
+            )),
+            None => Err(SyntaxError::at(
+                self.offset(),
+                format!("expected '{want}', found end of query"),
+            )),
+        }
+    }
+
+    /// `RLP ::= HP | HP '{' RLP '}'` — a step sequence plus optional
+    /// scoped continuation.
+    fn path(&mut self) -> Result<Path, SyntaxError> {
+        let mut steps = Vec::new();
+        // A relative path may begin with a bare name or wildcard
+        // (implicit child axis, XPath style) — but only as the very
+        // first step.
+        if let Some(Token::Name(_)) | Some(Token::Literal(_)) | Some(Token::Underscore) =
+            self.peek()
+        {
+            if !matches!(self.peek2(), Some(Token::ColonColon) | Some(Token::LParen))
+                || matches!(self.peek(), Some(Token::Underscore))
+            {
+                let test = self.node_test()?;
+                let mut step = Step::new(Axis::Child, test);
+                if matches!(self.peek(), Some(Token::Dollar)) {
+                    self.pos += 1;
+                    step.right_align = true;
+                }
+                self.predicates(&mut step)?;
+                steps.push(step);
+            } else if matches!(self.peek2(), Some(Token::ColonColon)) {
+                // `self::NP` style named-axis first step.
+                let step = self.named_axis_step()?;
+                steps.push(step);
+            }
+        }
+        while let Some(step) = self.try_step()? {
+            steps.push(step);
+        }
+        let scope = if matches!(self.peek(), Some(Token::LBrace)) {
+            self.pos += 1;
+            let inner = self.path()?;
+            self.expect(&Token::RBrace)?;
+            if inner.steps.is_empty() && inner.scope.is_none() {
+                return Err(SyntaxError::at(self.offset(), "empty scope braces"));
+            }
+            Some(Box::new(inner))
+        } else {
+            None
+        };
+        Ok(Path {
+            absolute: false,
+            steps,
+            scope,
+        })
+    }
+
+    /// Parse one step if the next token starts one.
+    fn try_step(&mut self) -> Result<Option<Step>, SyntaxError> {
+        let axis = match self.peek() {
+            Some(Token::Slash) => {
+                // `/descendant::X` and friends: slash + axis name.
+                self.pos += 1;
+                if matches!(self.peek(), Some(Token::Dot)) {
+                    // `/.` — an XPath-style self step.
+                    self.pos += 1;
+                    Axis::SelfAxis
+                } else if let (Some(Token::Name(n)), Some(Token::ColonColon)) =
+                    (self.peek(), self.peek2())
+                {
+                    let name = n.clone();
+                    match Axis::from_name(&name) {
+                        Some(a) => {
+                            self.pos += 2;
+                            a
+                        }
+                        None => {
+                            return Err(SyntaxError::at(
+                                self.offset(),
+                                format!("unknown axis '{name}'"),
+                            ))
+                        }
+                    }
+                } else {
+                    Axis::Child
+                }
+            }
+            Some(Token::DoubleSlash) => {
+                self.pos += 1;
+                Axis::Descendant
+            }
+            Some(Token::Backslash) => {
+                self.pos += 1;
+                if let (Some(Token::Name(n)), Some(Token::ColonColon)) =
+                    (self.peek(), self.peek2())
+                {
+                    let name = n.clone();
+                    match Axis::from_name(&name) {
+                        Some(a) => {
+                            self.pos += 2;
+                            a
+                        }
+                        None => {
+                            return Err(SyntaxError::at(
+                                self.offset(),
+                                format!("unknown axis '{name}'"),
+                            ))
+                        }
+                    }
+                } else {
+                    Axis::Parent
+                }
+            }
+            Some(Token::DoubleBackslash) => {
+                self.pos += 1;
+                Axis::Ancestor
+            }
+            Some(Token::Dot) => {
+                self.pos += 1;
+                Axis::SelfAxis
+            }
+            Some(Token::At) => {
+                self.pos += 1;
+                Axis::Attribute
+            }
+            Some(Token::Arrow) => {
+                self.pos += 1;
+                self.closure(Axis::ImmediateFollowing, Axis::Following, Axis::FollowingOrSelf)
+            }
+            Some(Token::LongArrow) => {
+                self.pos += 1;
+                Axis::Following
+            }
+            Some(Token::BackArrow) => {
+                self.pos += 1;
+                self.closure(
+                    Axis::ImmediatePreceding,
+                    Axis::Preceding,
+                    Axis::PrecedingOrSelf,
+                )
+            }
+            Some(Token::LongBackArrow) => {
+                self.pos += 1;
+                Axis::Preceding
+            }
+            Some(Token::SibArrow) => {
+                self.pos += 1;
+                self.closure(
+                    Axis::ImmediateFollowingSibling,
+                    Axis::FollowingSibling,
+                    Axis::FollowingSiblingOrSelf,
+                )
+            }
+            Some(Token::LongSibArrow) => {
+                self.pos += 1;
+                Axis::FollowingSibling
+            }
+            Some(Token::SibBackArrow) => {
+                self.pos += 1;
+                self.closure(
+                    Axis::ImmediatePrecedingSibling,
+                    Axis::PrecedingSibling,
+                    Axis::PrecedingSiblingOrSelf,
+                )
+            }
+            Some(Token::LongSibBackArrow) => {
+                self.pos += 1;
+                Axis::PrecedingSibling
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(self.finish_step(axis)?))
+    }
+
+    /// Apply a postfix closure marker (`+` transitive, `*` reflexive
+    /// transitive) to an immediate axis.
+    fn closure(&mut self, imm: Axis, plus: Axis, star: Axis) -> Axis {
+        match self.peek() {
+            Some(Token::Plus) => {
+                self.pos += 1;
+                plus
+            }
+            Some(Token::Star) => {
+                self.pos += 1;
+                star
+            }
+            _ => imm,
+        }
+    }
+
+    /// A first step written `axis::test` with no leading slash
+    /// (`self::NP` in predicates).
+    fn named_axis_step(&mut self) -> Result<Step, SyntaxError> {
+        let name = match self.bump() {
+            Some(Token::Name(n)) => n,
+            _ => unreachable!("caller checked"),
+        };
+        let axis = Axis::from_name(&name).ok_or_else(|| {
+            SyntaxError::at(self.offset(), format!("unknown axis '{name}'"))
+        })?;
+        self.expect(&Token::ColonColon)?;
+        self.finish_step(axis)
+    }
+
+    /// Alignment, node test, alignment, predicates.
+    fn finish_step(&mut self, axis: Axis) -> Result<Step, SyntaxError> {
+        let left_align = if matches!(self.peek(), Some(Token::Caret)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let test = if axis == Axis::SelfAxis {
+            // `.` may stand alone as a complete step.
+            match self.peek() {
+                Some(Token::Name(_)) | Some(Token::Underscore) | Some(Token::Literal(_)) => {
+                    self.node_test()?
+                }
+                _ => NodeTest::Any,
+            }
+        } else {
+            self.node_test()?
+        };
+        let right_align = if matches!(self.peek(), Some(Token::Dollar)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut step = Step {
+            axis,
+            test,
+            left_align,
+            right_align,
+            predicates: Vec::new(),
+        };
+        self.predicates(&mut step)?;
+        Ok(step)
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, SyntaxError> {
+        match self.bump() {
+            Some(Token::Underscore) => Ok(NodeTest::Any),
+            Some(Token::Name(n)) => Ok(NodeTest::Tag(n)),
+            Some(Token::Literal(s)) => Ok(NodeTest::Tag(s)),
+            Some(t) => Err(SyntaxError::at(
+                self.offset().saturating_sub(1),
+                format!("expected a node test, found '{t}'"),
+            )),
+            None => Err(SyntaxError::at(
+                self.offset(),
+                "expected a node test, found end of query",
+            )),
+        }
+    }
+
+    fn predicates(&mut self, step: &mut Step) -> Result<(), SyntaxError> {
+        while matches!(self.peek(), Some(Token::LBracket)) {
+            self.pos += 1;
+            let p = self.or_expr()?;
+            self.expect(&Token::RBracket)?;
+            step.predicates.push(p);
+        }
+        Ok(())
+    }
+
+    fn or_expr(&mut self) -> Result<Pred, SyntaxError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Some(Token::Name(n)) if n == "or") {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Pred::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Pred, SyntaxError> {
+        let mut lhs = self.unary_expr()?;
+        while matches!(self.peek(), Some(Token::Name(n)) if n == "and") {
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Pred::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Pred, SyntaxError> {
+        match (self.peek(), self.peek2()) {
+            (Some(Token::Name(n)), Some(Token::LParen)) if n == "not" => {
+                self.pos += 2;
+                let inner = self.or_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Pred::not(inner))
+            }
+            (Some(Token::Name(n)), Some(Token::LParen)) if n == "position" => {
+                self.pos += 2;
+                self.expect(&Token::RParen)?;
+                let op = self.cmp_op()?;
+                let rhs = self.pos_rhs()?;
+                Ok(Pred::Position(op, rhs))
+            }
+            (Some(Token::Name(n)), Some(Token::LParen)) if n == "last" => {
+                self.pos += 2;
+                self.expect(&Token::RParen)?;
+                // Bare `[last()]` sugar for `position() = last()`.
+                Ok(Pred::Position(CmpOp::Eq, PosRhs::Last))
+            }
+            (Some(Token::Name(n)), Some(Token::LParen)) if n == "count" => {
+                self.pos += 2;
+                let path = self.function_path()?;
+                self.expect(&Token::RParen)?;
+                let op = self.cmp_op()?;
+                let value = self.number()?;
+                Ok(Pred::Count { path, op, value })
+            }
+            (Some(Token::Name(n)), Some(Token::LParen)) if n == "string-length" => {
+                self.pos += 2;
+                let path = self.function_path()?;
+                self.expect(&Token::RParen)?;
+                let op = self.cmp_op()?;
+                let value = self.number()?;
+                Ok(Pred::StrLen { path, op, value })
+            }
+            (Some(Token::Name(n)), Some(Token::LParen))
+                if StrFunc::from_name(n).is_some() =>
+            {
+                let func = StrFunc::from_name(n).expect("guard checked");
+                self.pos += 2;
+                let path = self.function_path()?;
+                self.expect(&Token::Comma)?;
+                let arg = match self.bump() {
+                    Some(Token::Literal(s)) => s,
+                    Some(Token::Name(s)) => s,
+                    other => {
+                        return Err(SyntaxError::at(
+                            self.offset(),
+                            format!(
+                                "expected a string argument, found {}",
+                                other.map_or("end of query".into(), |t| format!("'{t}'"))
+                            ),
+                        ))
+                    }
+                };
+                self.expect(&Token::RParen)?;
+                Ok(Pred::StrCmp { func, path, arg })
+            }
+            (Some(Token::LParen), _) => {
+                self.pos += 1;
+                let inner = self.or_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            _ => {
+                let path = self.path()?;
+                if path.steps.is_empty() && path.scope.is_none() {
+                    return Err(SyntaxError::at(
+                        self.offset(),
+                        "expected a predicate expression",
+                    ));
+                }
+                // Optional comparison against a literal.
+                if matches!(
+                    self.peek(),
+                    Some(Token::Eq) | Some(Token::Ne) | Some(Token::Lt) | Some(Token::Gt)
+                ) {
+                    let op = self.cmp_op()?;
+                    let value = match self.bump() {
+                        Some(Token::Name(n)) => n,
+                        Some(Token::Literal(s)) => s,
+                        Some(Token::Underscore) => "_".to_string(),
+                        other => {
+                            return Err(SyntaxError::at(
+                                self.offset(),
+                                format!(
+                                    "expected a literal value, found {}",
+                                    other.map_or("end of query".into(), |t| format!("'{t}'"))
+                                ),
+                            ))
+                        }
+                    };
+                    Ok(Pred::Cmp { path, op, value })
+                } else {
+                    Ok(Pred::Exists(path))
+                }
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, SyntaxError> {
+        match self.bump() {
+            Some(Token::Eq) => Ok(CmpOp::Eq),
+            Some(Token::Ne) => Ok(CmpOp::Ne),
+            Some(Token::Lt) => Ok(CmpOp::Lt),
+            Some(Token::Gt) => Ok(CmpOp::Gt),
+            other => Err(SyntaxError::at(
+                self.offset(),
+                format!(
+                    "expected a comparison operator, found {}",
+                    other.map_or("end of query".into(), |t| format!("'{t}'"))
+                ),
+            )),
+        }
+    }
+
+    /// The path argument of a function call: a non-empty relative (or
+    /// `//`-prefixed context-descendant) path.
+    fn function_path(&mut self) -> Result<Path, SyntaxError> {
+        let path = self.path()?;
+        if path.steps.is_empty() && path.scope.is_none() {
+            return Err(SyntaxError::at(
+                self.offset(),
+                "expected a path argument",
+            ));
+        }
+        Ok(path)
+    }
+
+    /// A bare non-negative integer literal.
+    fn number(&mut self) -> Result<u32, SyntaxError> {
+        match self.bump() {
+            Some(Token::Name(n)) => n.parse().map_err(|_| {
+                SyntaxError::at(
+                    self.offset().saturating_sub(1),
+                    format!("expected a number, found '{n}'"),
+                )
+            }),
+            other => Err(SyntaxError::at(
+                self.offset(),
+                format!(
+                    "expected a number, found {}",
+                    other.map_or("end of query".into(), |t| format!("'{t}'"))
+                ),
+            )),
+        }
+    }
+
+    fn pos_rhs(&mut self) -> Result<PosRhs, SyntaxError> {
+        match (self.peek(), self.peek2()) {
+            (Some(Token::Name(n)), Some(Token::LParen)) if n == "last" => {
+                self.pos += 2;
+                self.expect(&Token::RParen)?;
+                Ok(PosRhs::Last)
+            }
+            (Some(Token::Name(n)), _) => {
+                let v: u32 = n.parse().map_err(|_| {
+                    SyntaxError::at(self.offset(), format!("expected a number, found '{n}'"))
+                })?;
+                self.pos += 1;
+                Ok(PosRhs::Const(v))
+            }
+            _ => Err(SyntaxError::at(
+                self.offset(),
+                "expected a number or last()",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Axis::*;
+
+    fn q(src: &str) -> Path {
+        parse(src).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    fn axes(p: &Path) -> Vec<Axis> {
+        p.steps.iter().map(|s| s.axis).collect()
+    }
+
+    #[test]
+    fn figure2_queries_parse() {
+        for src in [
+            "//S[//_[@lex=saw]]",
+            "//V=>NP",
+            "//V->NP",
+            "//VP/V-->N",
+            "//VP{/V-->N}",
+            "//VP{/NP$}",
+            "//VP{//NP$}",
+        ] {
+            let p = q(src);
+            assert!(p.absolute, "{src}");
+        }
+    }
+
+    #[test]
+    fn figure6c_queries_parse() {
+        for src in [
+            "//S[//_[@lex=saw]]",
+            "//VB->NP",
+            "//VP/VB-->NN",
+            "//VP{/VB-->NN}",
+            "//VP{/NP$}",
+            "//VP{//NP$}",
+            "//VP[{//^VB->NP->PP$}]",
+            "//S[//NP/ADJP]",
+            "//NP[not(//JJ)]",
+            "//NP[->PP[//IN[@lex=of]]=>VP]",
+            "//S[{//_[@lex=what]->_[@lex=building]}]",
+            "//_[@lex=rapprochement]",
+            "//_[@lex=1929]",
+            "//ADVP-LOC-CLR",
+            "//WHPP",
+            "//RRC/PP-TMP",
+            "//UCP-PRD/ADJP-PRD",
+            "//NP/NP/NP/NP/NP",
+            "//VP/VP/VP",
+            "//PP=>SBAR",
+            "//ADVP=>ADJP",
+            "//NP=>NP=>NP",
+            "//VP=>VP",
+        ] {
+            q(src);
+        }
+    }
+
+    #[test]
+    fn axis_selection() {
+        assert_eq!(axes(&q("//A/B\\C->D-->E=>F==>G")), [
+            Descendant,
+            Child,
+            Parent,
+            ImmediateFollowing,
+            Following,
+            ImmediateFollowingSibling,
+            FollowingSibling,
+        ]);
+        assert_eq!(axes(&q("//A<-B<--C<=D<==E")), [
+            Descendant,
+            ImmediatePreceding,
+            Preceding,
+            ImmediatePrecedingSibling,
+            PrecedingSibling,
+        ]);
+    }
+
+    #[test]
+    fn named_axes() {
+        assert_eq!(axes(&q("/descendant::NP")), [Descendant]);
+        assert_eq!(axes(&q("//X\\ancestor::S")), [Descendant, Ancestor]);
+        assert_eq!(
+            axes(&q("//X/following-sibling::_")),
+            [Descendant, FollowingSibling]
+        );
+        assert_eq!(axes(&q("//X\\\\S")), [Descendant, Ancestor]);
+    }
+
+    #[test]
+    fn closure_markers() {
+        assert_eq!(axes(&q("//X->+Y")), [Descendant, Following]);
+        assert_eq!(axes(&q("//X->*Y")), [Descendant, FollowingOrSelf]);
+        assert_eq!(axes(&q("//X=>*Y")), [Descendant, FollowingSiblingOrSelf]);
+        assert_eq!(axes(&q("//X<-*Y")), [Descendant, PrecedingOrSelf]);
+        assert_eq!(axes(&q("//X<=+Y")), [Descendant, PrecedingSibling]);
+    }
+
+    #[test]
+    fn scoping_structure() {
+        let p = q("//VP{/V-->N}");
+        assert_eq!(p.steps.len(), 1);
+        let inner = p.scope.as_ref().unwrap();
+        assert_eq!(axes(inner), [Child, Following]);
+        assert!(inner.scope.is_none());
+
+        let nested = q("//S{//VP{/V}}");
+        assert_eq!(
+            axes(nested.scope.as_ref().unwrap()),
+            [Descendant]
+        );
+        assert!(nested.scope.as_ref().unwrap().scope.is_some());
+    }
+
+    #[test]
+    fn alignment_flags() {
+        let p = q("//VP{/NP$}");
+        let inner = p.scope.as_ref().unwrap();
+        assert!(inner.steps[0].right_align);
+        assert!(!inner.steps[0].left_align);
+
+        let p = q("//VP[{//^VB->NP->PP$}]");
+        let pred = &p.steps[0].predicates[0];
+        let Pred::Exists(path) = pred else {
+            panic!("expected exists")
+        };
+        let scoped = path.scope.as_ref().unwrap();
+        assert!(scoped.steps[0].left_align);
+        assert!(scoped.steps[2].right_align);
+    }
+
+    #[test]
+    fn predicate_comparison() {
+        let p = q("//_[@lex=saw]");
+        let Pred::Cmp { path, op, value } = &p.steps[0].predicates[0] else {
+            panic!("expected cmp")
+        };
+        assert_eq!(path.steps[0].axis, Attribute);
+        assert_eq!(path.steps[0].test, NodeTest::tag("lex"));
+        assert_eq!(*op, CmpOp::Eq);
+        assert_eq!(value, "saw");
+
+        let p = q("//_[@lex!='multi word']");
+        let Pred::Cmp { op, value, .. } = &p.steps[0].predicates[0] else {
+            panic!("expected cmp")
+        };
+        assert_eq!(*op, CmpOp::Ne);
+        assert_eq!(value, "multi word");
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = q("//NP[//JJ and //NN or not(//DT)]");
+        let Pred::Or(lhs, rhs) = &p.steps[0].predicates[0] else {
+            panic!("or at top")
+        };
+        assert!(matches!(**lhs, Pred::And(..)));
+        assert!(matches!(**rhs, Pred::Not(..)));
+    }
+
+    #[test]
+    fn position_and_last() {
+        let p = q("//V/following-sibling::_[position()=1][self::NP]");
+        assert_eq!(
+            p.steps[1].predicates[0],
+            Pred::Position(CmpOp::Eq, PosRhs::Const(1))
+        );
+        let Pred::Exists(sp) = &p.steps[1].predicates[1] else {
+            panic!()
+        };
+        assert_eq!(sp.steps[0].axis, SelfAxis);
+
+        let p = q("//VP/_[last()][self::NP]");
+        assert_eq!(
+            p.steps[1].predicates[0],
+            Pred::Position(CmpOp::Eq, PosRhs::Last)
+        );
+    }
+
+    #[test]
+    fn function_library_predicates() {
+        let p = q("//NP[count(//JJ)>2]");
+        let Pred::Count { path, op, value } = &p.steps[0].predicates[0] else {
+            panic!("expected count")
+        };
+        assert_eq!(path.steps[0].axis, Descendant);
+        assert_eq!(*op, CmpOp::Gt);
+        assert_eq!(*value, 2);
+
+        let p = q("//_[contains(@lex, 'og')]");
+        let Pred::StrCmp { func, path, arg } = &p.steps[0].predicates[0] else {
+            panic!("expected contains")
+        };
+        assert_eq!(*func, crate::ast::StrFunc::Contains);
+        assert_eq!(path.steps[0].axis, Attribute);
+        assert_eq!(arg, "og");
+
+        let p = q("//_[starts-with(@lex,s)]");
+        assert!(matches!(
+            &p.steps[0].predicates[0],
+            Pred::StrCmp {
+                func: crate::ast::StrFunc::StartsWith,
+                ..
+            }
+        ));
+        let p = q("//_[ends-with(@lex,'ing')]");
+        assert!(matches!(
+            &p.steps[0].predicates[0],
+            Pred::StrCmp {
+                func: crate::ast::StrFunc::EndsWith,
+                ..
+            }
+        ));
+
+        let p = q("//_[string-length(@lex)=3]");
+        let Pred::StrLen { op, value, .. } = &p.steps[0].predicates[0] else {
+            panic!("expected string-length")
+        };
+        assert_eq!(*op, CmpOp::Eq);
+        assert_eq!(*value, 3);
+    }
+
+    #[test]
+    fn function_library_composes_with_booleans() {
+        let p = q("//NP[count(/NP)=0 and not(contains(@lex,x))]");
+        let Pred::And(lhs, rhs) = &p.steps[0].predicates[0] else {
+            panic!("and at top")
+        };
+        assert!(matches!(**lhs, Pred::Count { .. }));
+        assert!(matches!(**rhs, Pred::Not(..)));
+    }
+
+    #[test]
+    fn function_parse_errors() {
+        for bad in [
+            "//X[count()>1]",
+            "//X[count(//Y)]",
+            "//X[count(//Y)>z]",
+            "//X[contains(@lex)]",
+            "//X[contains(@lex,'a']",
+            "//X[contains(,'a')]",
+            "//X[string-length(@lex)>]",
+            "//X[ends-with(@lex 'a')]",
+        ] {
+            assert!(parse(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn count_as_tag_name_still_parses_without_parens() {
+        // A bare `count` not followed by `(` is an ordinary tag test.
+        let p = q("//S[count]");
+        let Pred::Exists(path) = &p.steps[0].predicates[0] else {
+            panic!()
+        };
+        assert_eq!(path.steps[0].test, NodeTest::tag("count"));
+    }
+
+    #[test]
+    fn bare_name_predicate_is_child_step() {
+        let p = q("//S[NP]");
+        let Pred::Exists(path) = &p.steps[0].predicates[0] else {
+            panic!()
+        };
+        assert_eq!(path.steps[0].axis, Child);
+        assert_eq!(path.steps[0].test, NodeTest::tag("NP"));
+    }
+
+    #[test]
+    fn quoted_tags() {
+        let p = q("//'PRP$'");
+        assert_eq!(p.steps[0].test, NodeTest::tag("PRP$"));
+        let p = q("//'.'");
+        assert_eq!(p.steps[0].test, NodeTest::tag("."));
+    }
+
+    #[test]
+    fn self_step() {
+        let p = q("//NP/.");
+        assert_eq!(p.steps[1].axis, SelfAxis);
+        assert_eq!(p.steps[1].test, NodeTest::Any);
+    }
+
+    #[test]
+    fn relative_queries() {
+        let p = q("VP/V");
+        assert!(!p.absolute);
+        assert_eq!(axes(&p), [Child, Child]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "",
+            "//",
+            "//VP{",
+            "//VP{}",
+            "//VP[",
+            "//VP[]",
+            "//VP]",
+            "//VP[@lex=]",
+            "//VP[not(//X]",
+            "//VP)",
+            "//unknown-axis::X/Y",
+            "//X[position()=Y]",
+        ] {
+            assert!(parse(bad).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_round_trip_structure() {
+        let p = q("//S[//NP[//JJ[@lex=old]]/PP]{//VP{/V->NP[not(//DT)]}}");
+        assert!(p.scope.is_some());
+        assert!(p.scope.as_ref().unwrap().scope.is_some());
+        assert_eq!(p.total_steps(), 9);
+    }
+}

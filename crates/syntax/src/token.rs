@@ -1,0 +1,127 @@
+//! Token inventory for the LPath lexer.
+
+use std::fmt;
+
+/// A lexical token. Position information lives alongside in
+/// [`crate::lexer::Spanned`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// `/` — child axis (or axis-name introducer).
+    Slash,
+    /// `//` — descendant.
+    DoubleSlash,
+    /// `\` — parent axis (or axis-name introducer).
+    Backslash,
+    /// `\\` — ancestor (abbreviation for `\ancestor::`).
+    DoubleBackslash,
+    /// `.` — self axis.
+    Dot,
+    /// `@` — attribute axis.
+    At,
+    /// `::` — axis/test separator.
+    ColonColon,
+    /// `->` — immediate-following.
+    Arrow,
+    /// `-->` — following.
+    LongArrow,
+    /// `<-` — immediate-preceding.
+    BackArrow,
+    /// `<--` — preceding.
+    LongBackArrow,
+    /// `=>` — immediate-following-sibling.
+    SibArrow,
+    /// `==>` — following-sibling.
+    LongSibArrow,
+    /// `<=` — immediate-preceding-sibling.
+    SibBackArrow,
+    /// `<==` — preceding-sibling.
+    LongSibBackArrow,
+    /// `*` — reflexive-transitive closure marker (postfix on an
+    /// immediate axis), e.g. `->*` is following-or-self.
+    Star,
+    /// `+` — transitive closure marker, e.g. `->+` ≡ `-->`.
+    Plus,
+    /// `^` — left edge alignment.
+    Caret,
+    /// `$` — right edge alignment.
+    Dollar,
+    /// `_` — wildcard node test.
+    Underscore,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `{` — scope open.
+    LBrace,
+    /// `}` — scope close.
+    RBrace,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,` — argument separator in function calls.
+    Comma,
+    /// `=`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<` (numeric comparison; note `<=`/`<-`/`<--`/`<==` lex as axes).
+    Lt,
+    /// `>`.
+    Gt,
+    /// A name: tag, attribute name, axis name, keyword (`and`, `or`,
+    /// `not`, `position`, `last`) or unquoted literal value. Includes
+    /// Penn Treebank tags such as `-NONE-` and `NP-SBJ-2`.
+    Name(String),
+    /// A quoted literal (single or double quotes), unescaped.
+    Literal(String),
+}
+
+impl Token {
+    /// Render the token as it would appear in a query.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Token::Slash => "/",
+            Token::DoubleSlash => "//",
+            Token::Backslash => "\\",
+            Token::DoubleBackslash => "\\\\",
+            Token::Dot => ".",
+            Token::At => "@",
+            Token::ColonColon => "::",
+            Token::Arrow => "->",
+            Token::LongArrow => "-->",
+            Token::BackArrow => "<-",
+            Token::LongBackArrow => "<--",
+            Token::SibArrow => "=>",
+            Token::LongSibArrow => "==>",
+            Token::SibBackArrow => "<=",
+            Token::LongSibBackArrow => "<==",
+            Token::Star => "*",
+            Token::Plus => "+",
+            Token::Caret => "^",
+            Token::Dollar => "$",
+            Token::Underscore => "_",
+            Token::LBracket => "[",
+            Token::RBracket => "]",
+            Token::LBrace => "{",
+            Token::RBrace => "}",
+            Token::LParen => "(",
+            Token::RParen => ")",
+            Token::Comma => ",",
+            Token::Eq => "=",
+            Token::Ne => "!=",
+            Token::Lt => "<",
+            Token::Gt => ">",
+            Token::Name(s) | Token::Literal(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Literal(s) => write!(f, "'{s}'"),
+            t => f.write_str(t.as_str()),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Pattern AST for the TGrep2-style query language.
+//!
+//! A pattern is a head node with a list of relations to sub-patterns,
+//! e.g. `NP , VB` ("an NP immediately following a VB") or
+//! `VP <<, (VB . (NP . PP=p)) <<- =p` (the tgrep rendering of the
+//! paper's Q7). Words are ordinary leaf nodes in the tgrep corpus
+//! image, so `saw` is a valid node test.
+
+/// Relations between a node `A` and a related node `B` (`A op B`).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RelOp {
+    /// `<` — B is a child of A.
+    Child,
+    /// `>` — A is a child of B.
+    Parent,
+    /// `<<` — B is a descendant of A.
+    Descendant,
+    /// `>>` — A is a descendant of B.
+    Ancestor,
+    /// `<,` — B is the first child of A.
+    FirstChild,
+    /// `<-` — B is the last child of A.
+    LastChild,
+    /// `<<,` — B is a left-aligned (leftmost-edge) descendant of A.
+    LeftmostDescendant,
+    /// `<<-` — B is a right-aligned descendant of A.
+    RightmostDescendant,
+    /// `.` — B immediately follows A (terminal adjacency).
+    ImmediatelyBefore,
+    /// `,` — B immediately precedes A.
+    ImmediatelyAfter,
+    /// `..` — B follows A.
+    Before,
+    /// `,,` — B precedes A.
+    After,
+    /// `$.` — B is the immediately following sibling of A.
+    SisterBefore,
+    /// `$,` — B is the immediately preceding sibling of A.
+    SisterAfter,
+    /// `$..` — B is a following sibling of A.
+    SisterBeforeAny,
+    /// `$,,` — B is a preceding sibling of A.
+    SisterAfterAny,
+    /// `$` — B is any sibling of A.
+    Sister,
+}
+
+impl RelOp {
+    /// The operator as written in patterns.
+    pub fn symbol(self) -> &'static str {
+        use RelOp::*;
+        match self {
+            Child => "<",
+            Parent => ">",
+            Descendant => "<<",
+            Ancestor => ">>",
+            FirstChild => "<,",
+            LastChild => "<-",
+            LeftmostDescendant => "<<,",
+            RightmostDescendant => "<<-",
+            ImmediatelyBefore => ".",
+            ImmediatelyAfter => ",",
+            Before => "..",
+            After => ",,",
+            SisterBefore => "$.",
+            SisterAfter => "$,",
+            SisterBeforeAny => "$..",
+            SisterAfterAny => "$,,",
+            Sister => "$",
+        }
+    }
+}
+
+/// What a pattern node matches.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Test {
+    /// `__` — any node.
+    Any,
+    /// A tag or word label.
+    Label(String),
+    /// `=name` — must be the node previously bound to `name`.
+    BackRef(String),
+}
+
+/// A relation attached to a node: `[!] op pattern`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Relation {
+    /// Preceded by `!`.
+    pub negated: bool,
+    /// The node relation.
+    pub op: RelOp,
+    /// The related sub-pattern.
+    pub target: NodePattern,
+}
+
+/// A pattern node: test, optional binding label, relations.
+#[derive(Clone, PartialEq, Debug)]
+pub struct NodePattern {
+    /// What this node matches.
+    pub test: Test,
+    /// `=name` after the test binds the matched node.
+    pub binding: Option<String>,
+    /// Conjoined relations to sub-patterns.
+    pub relations: Vec<Relation>,
+}
+
+impl NodePattern {
+    /// A bare pattern node with no binding or relations.
+    pub fn new(test: Test) -> Self {
+        NodePattern {
+            test,
+            binding: None,
+            relations: Vec::new(),
+        }
+    }
+
+    /// Labels that must exist in a tree for the pattern to match: every
+    /// non-negated test in the pattern. Used for index pruning.
+    pub fn required_labels<'a>(&'a self, out: &mut Vec<&'a str>) {
+        if let Test::Label(l) = &self.test {
+            out.push(l);
+        }
+        for rel in &self.relations {
+            if !rel.negated {
+                rel.target.required_labels(out);
+            }
+        }
+    }
+}

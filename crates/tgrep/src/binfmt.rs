@@ -1,0 +1,441 @@
+//! The tgrep binary corpus image.
+//!
+//! TGrep2 preprocesses a treebank into a binary file holding the trees
+//! in a compact navigable form plus an index from every label (tags
+//! *and* words) to the trees containing it; queries on rare words then
+//! skip almost the whole corpus. This module reproduces that design:
+//!
+//! * [`build_image`] converts a [`Corpus`] — turning each `@lex`
+//!   attribute into a *word leaf node*, as tgrep views terminals — into
+//!   an in-memory [`CorpusImage`];
+//! * [`encode`] / [`decode`] serialize the image to/from a little-endian
+//!   byte format (magic `LTG2`), standing in for TGrep2's corpus file.
+//!
+//! Symbols reference the originating corpus's interner; an image is
+//! only meaningful alongside it.
+
+use std::collections::HashMap;
+
+use lpath_model::Corpus;
+
+/// Sentinel for "no node".
+pub const NONE: u32 = u32::MAX;
+
+/// One tree in navigable array form (indices are preorder positions).
+#[derive(Clone, Debug, Default)]
+pub struct TreeImage {
+    /// Interned label per node.
+    pub label: Vec<u32>,
+    /// Parent index per node (`NONE` at the root).
+    pub parent: Vec<u32>,
+    /// First child index (`NONE` at leaves).
+    pub first_child: Vec<u32>,
+    /// Next sibling index (`NONE` at last children).
+    pub next_sibling: Vec<u32>,
+    /// First terminal ordinal (1-based) under each node.
+    pub fl: Vec<u32>,
+    /// Last terminal ordinal (1-based) under each node.
+    pub ll: Vec<u32>,
+    /// Exclusive end of each node's subtree in preorder numbering.
+    pub subtree_end: Vec<u32>,
+    /// Terminal ordinal (1-based) → node index.
+    pub leaf_at: Vec<u32>,
+}
+
+impl TreeImage {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.label.len()
+    }
+
+    /// Is the tree empty? (Never, for well-formed images.)
+    pub fn is_empty(&self) -> bool {
+        self.label.is_empty()
+    }
+}
+
+/// The whole corpus plus the label → trees index.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusImage {
+    /// One image per tree, corpus order.
+    pub trees: Vec<TreeImage>,
+    /// label symbol → sorted tree ids containing it.
+    pub postings: HashMap<u32, Vec<u32>>,
+}
+
+/// Build the image from a corpus, converting `@lex` attributes into
+/// word leaf nodes.
+pub fn build_image(corpus: &Corpus) -> CorpusImage {
+    let lex = corpus.interner().get("@lex");
+    let mut trees = Vec::with_capacity(corpus.trees().len());
+    let mut postings: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (tid, tree) in corpus.trees().iter().enumerate() {
+        let mut img = TreeImage::default();
+        // First pass: emit nodes in preorder, inserting word leaves
+        // after their POS parent. We walk the arena explicitly to keep
+        // preorder with the synthetic word nodes included.
+        // stack of (arena node, emitted parent image idx)
+        let mut stack: Vec<(lpath_model::NodeId, u32)> = vec![(tree.root(), NONE)];
+        // children are pushed reversed to pop in document order
+        while let Some((n, parent_img)) = stack.pop() {
+            let idx = img.label.len() as u32;
+            img.label.push(tree.node(n).name.raw());
+            img.parent.push(parent_img);
+            img.first_child.push(NONE);
+            img.next_sibling.push(NONE);
+            img.fl.push(0);
+            img.ll.push(0);
+            img.subtree_end.push(0);
+            // Link into the parent's child list (append).
+            if parent_img != NONE {
+                let mut c = img.first_child[parent_img as usize];
+                if c == NONE {
+                    img.first_child[parent_img as usize] = idx;
+                } else {
+                    while img.next_sibling[c as usize] != NONE {
+                        c = img.next_sibling[c as usize];
+                    }
+                    img.next_sibling[c as usize] = idx;
+                }
+            }
+            // Word leaf as an extra child.
+            if let Some(w) = lex.and_then(|l| tree.node(n).attr(l)) {
+                let widx = img.label.len() as u32;
+                img.label.push(w.raw());
+                img.parent.push(idx);
+                img.first_child.push(NONE);
+                img.next_sibling.push(NONE);
+                img.fl.push(0);
+                img.ll.push(0);
+                img.subtree_end.push(0);
+                img.first_child[idx as usize] = widx;
+            }
+            for &c in tree.node(n).children.iter().rev() {
+                stack.push((c, idx));
+            }
+        }
+        // The explicit stack walk above emits a node, then its word
+        // leaf, then pushes element children — but pushed children are
+        // emitted *after* all previously pushed nodes, which breaks
+        // preorder subtree contiguity. Rebuild positional data with a
+        // proper DFS over the link structure instead of relying on
+        // emission order.
+        finish_positions(&mut img);
+        for &sym in &img.label {
+            let entry = postings.entry(sym).or_default();
+            if entry.last() != Some(&(tid as u32)) {
+                entry.push(tid as u32);
+            }
+        }
+        trees.push(img);
+    }
+    CorpusImage { trees, postings }
+}
+
+/// Compute `fl`, `ll`, `leaf_at` and `subtree_end` from the link
+/// structure. `subtree_end` here is the count of nodes in the subtree,
+/// usable as `descendants(n) = n+1 .. n+count` **only if** preorder
+/// contiguity holds; since emission order above is not preorder, we
+/// instead store for every node the *set boundary* via an explicit
+/// renumbering: nodes are re-sorted into preorder and all arrays
+/// rewritten.
+fn finish_positions(img: &mut TreeImage) {
+    let n = img.len();
+    // Preorder renumbering via DFS from node 0.
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![0u32];
+    while let Some(x) = stack.pop() {
+        order.push(x);
+        // push children reversed
+        let mut kids = Vec::new();
+        let mut c = img.first_child[x as usize];
+        while c != NONE {
+            kids.push(c);
+            c = img.next_sibling[c as usize];
+        }
+        for &k in kids.iter().rev() {
+            stack.push(k);
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    let mut new_pos = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_pos[old as usize] = new as u32;
+    }
+    let remap = |v: u32| if v == NONE { NONE } else { new_pos[v as usize] };
+    let mut out = TreeImage {
+        label: vec![0; n],
+        parent: vec![NONE; n],
+        first_child: vec![NONE; n],
+        next_sibling: vec![NONE; n],
+        fl: vec![0; n],
+        ll: vec![0; n],
+        subtree_end: vec![0; n],
+        leaf_at: Vec::new(),
+    };
+    for (new, &old) in order.iter().enumerate() {
+        let o = old as usize;
+        out.label[new] = img.label[o];
+        out.parent[new] = remap(img.parent[o]);
+        out.first_child[new] = remap(img.first_child[o]);
+        out.next_sibling[new] = remap(img.next_sibling[o]);
+    }
+    // Terminal ordinals and subtree ends in (now true) preorder.
+    let mut ord = 0u32;
+    for i in (0..n).rev() {
+        // subtree_end: max over children, else i+1 — computed bottom-up
+        // since children follow parents in preorder.
+        let mut end = i as u32 + 1;
+        let mut c = out.first_child[i];
+        while c != NONE {
+            end = end.max(out.subtree_end[c as usize]);
+            c = out.next_sibling[c as usize];
+        }
+        out.subtree_end[i] = end;
+    }
+    for i in 0..n {
+        if out.first_child[i] == NONE {
+            ord += 1;
+            out.fl[i] = ord;
+            out.ll[i] = ord;
+            out.leaf_at.push(i as u32);
+        }
+    }
+    for i in (0..n).rev() {
+        if out.first_child[i] != NONE {
+            let first = out.first_child[i] as usize;
+            out.fl[i] = out.fl[first];
+            let mut c = out.first_child[i];
+            let mut last = c;
+            while c != NONE {
+                last = c;
+                c = out.next_sibling[c as usize];
+            }
+            out.ll[i] = out.ll[last as usize];
+        }
+    }
+    *img = out;
+}
+
+/// Serialization error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ImageError(pub String);
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corpus image error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+const MAGIC: &[u8; 4] = b"LTG2";
+
+/// Serialize to the binary format.
+pub fn encode(img: &CorpusImage) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    push_u32(&mut out, img.trees.len() as u32);
+    for t in &img.trees {
+        push_u32(&mut out, t.len() as u32);
+        for i in 0..t.len() {
+            for v in [
+                t.label[i],
+                t.parent[i],
+                t.first_child[i],
+                t.next_sibling[i],
+                t.fl[i],
+                t.ll[i],
+                t.subtree_end[i],
+            ] {
+                push_u32(&mut out, v);
+            }
+        }
+        push_u32(&mut out, t.leaf_at.len() as u32);
+        for &l in &t.leaf_at {
+            push_u32(&mut out, l);
+        }
+    }
+    let mut syms: Vec<u32> = img.postings.keys().copied().collect();
+    syms.sort_unstable();
+    push_u32(&mut out, syms.len() as u32);
+    for sym in syms {
+        push_u32(&mut out, sym);
+        let p = &img.postings[&sym];
+        push_u32(&mut out, p.len() as u32);
+        for &t in p {
+            push_u32(&mut out, t);
+        }
+    }
+    out
+}
+
+/// Deserialize the binary format.
+pub fn decode(bytes: &[u8]) -> Result<CorpusImage, ImageError> {
+    let mut r = Reader { b: bytes, i: 0 };
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(ImageError("bad magic".into()));
+    }
+    let n_trees = r.u32()? as usize;
+    let mut trees = Vec::with_capacity(n_trees);
+    for _ in 0..n_trees {
+        let n = r.u32()? as usize;
+        let mut t = TreeImage {
+            label: Vec::with_capacity(n),
+            parent: Vec::with_capacity(n),
+            first_child: Vec::with_capacity(n),
+            next_sibling: Vec::with_capacity(n),
+            fl: Vec::with_capacity(n),
+            ll: Vec::with_capacity(n),
+            subtree_end: Vec::with_capacity(n),
+            leaf_at: Vec::new(),
+        };
+        for _ in 0..n {
+            t.label.push(r.u32()?);
+            t.parent.push(r.u32()?);
+            t.first_child.push(r.u32()?);
+            t.next_sibling.push(r.u32()?);
+            t.fl.push(r.u32()?);
+            t.ll.push(r.u32()?);
+            t.subtree_end.push(r.u32()?);
+        }
+        let n_leaves = r.u32()? as usize;
+        for _ in 0..n_leaves {
+            t.leaf_at.push(r.u32()?);
+        }
+        trees.push(t);
+    }
+    let n_syms = r.u32()? as usize;
+    let mut postings = HashMap::with_capacity(n_syms);
+    for _ in 0..n_syms {
+        let sym = r.u32()?;
+        let k = r.u32()? as usize;
+        let mut p = Vec::with_capacity(k);
+        for _ in 0..k {
+            p.push(r.u32()?);
+        }
+        postings.insert(sym, p);
+    }
+    if r.i != bytes.len() {
+        return Err(ImageError("trailing bytes".into()));
+    }
+    Ok(CorpusImage { trees, postings })
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        if self.i + n > self.b.len() {
+            return Err(ImageError("truncated image".into()));
+        }
+        let s = &self.b[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::ptb::parse_str;
+
+    const SRC: &str = "( (S (NP (DT the) (NN man)) (VP (VBD saw) (NP (PRP it)))) )";
+
+    #[test]
+    fn words_become_leaves() {
+        let c = parse_str(SRC).unwrap();
+        let img = build_image(&c);
+        let t = &img.trees[0];
+        // 8 elements + 4 words.
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.leaf_at.len(), 4);
+        let the = c.interner().get("the").unwrap().raw();
+        assert!(t.label.contains(&the));
+        // Word "the" is a leaf whose parent is DT.
+        let widx = t.label.iter().position(|&l| l == the).unwrap();
+        assert_eq!(t.first_child[widx], NONE);
+        let dt = c.interner().get("DT").unwrap().raw();
+        assert_eq!(t.label[t.parent[widx] as usize], dt);
+    }
+
+    #[test]
+    fn preorder_contiguity_and_ordinals() {
+        let c = parse_str(SRC).unwrap();
+        let img = build_image(&c);
+        let t = &img.trees[0];
+        // Every child region is inside its parent's subtree range.
+        for i in 0..t.len() {
+            let mut ch = t.first_child[i];
+            while ch != NONE {
+                assert!(ch as usize > i);
+                assert!(t.subtree_end[ch as usize] <= t.subtree_end[i]);
+                ch = t.next_sibling[ch as usize];
+            }
+            assert!(t.fl[i] >= 1 && t.ll[i] >= t.fl[i]);
+        }
+        // Root spans all terminals.
+        assert_eq!(t.fl[0], 1);
+        assert_eq!(t.ll[0], 4);
+        assert_eq!(t.subtree_end[0] as usize, t.len());
+        // leaf_at is consistent.
+        for (k, &leaf) in t.leaf_at.iter().enumerate() {
+            assert_eq!(t.fl[leaf as usize], k as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn postings_index_trees() {
+        let src = format!("{SRC}\n( (S (NP (PRP he)) (VP (VBD left))) )");
+        let c = parse_str(&src).unwrap();
+        let img = build_image(&c);
+        let saw = c.interner().get("saw").unwrap().raw();
+        let vbd = c.interner().get("VBD").unwrap().raw();
+        assert_eq!(img.postings[&saw], [0]);
+        assert_eq!(img.postings[&vbd], [0, 1]);
+        let he = c.interner().get("he").unwrap().raw();
+        assert_eq!(img.postings[&he], [1]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = parse_str(SRC).unwrap();
+        let img = build_image(&c);
+        let bytes = encode(&img);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.trees.len(), img.trees.len());
+        let (a, b) = (&img.trees[0], &back.trees[0]);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.parent, b.parent);
+        assert_eq!(a.first_child, b.first_child);
+        assert_eq!(a.next_sibling, b.next_sibling);
+        assert_eq!(a.fl, b.fl);
+        assert_eq!(a.ll, b.ll);
+        assert_eq!(a.subtree_end, b.subtree_end);
+        assert_eq!(a.leaf_at, b.leaf_at);
+        assert_eq!(back.postings, img.postings);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"nope").is_err());
+        assert!(decode(b"LTG2\x01\x00\x00\x00").is_err());
+        let c = parse_str(SRC).unwrap();
+        let mut bytes = encode(&build_image(&c));
+        bytes.push(0);
+        assert!(decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! The tgrep engine: binary image + label index + matcher.
+
+use lpath_model::{Corpus, Interner};
+
+use crate::ast::NodePattern;
+use crate::binfmt::{build_image, encode, CorpusImage};
+use crate::matcher::{count_tree, resolve};
+use crate::parser::{parse_pattern, TgrepParseError};
+
+/// Errors from the tgrep engine.
+#[derive(Debug)]
+pub enum TgrepError {
+    /// The pattern text does not parse.
+    Parse(TgrepParseError),
+    /// The pattern is structurally unusable (e.g. unbound backref).
+    Pattern(String),
+}
+
+impl std::fmt::Display for TgrepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TgrepError::Parse(e) => e.fmt(f),
+            TgrepError::Pattern(m) => write!(f, "bad pattern: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TgrepError {}
+
+impl From<TgrepParseError> for TgrepError {
+    fn from(e: TgrepParseError) -> Self {
+        TgrepError::Parse(e)
+    }
+}
+
+/// A TGrep2-style engine over a preprocessed corpus image.
+pub struct TgrepEngine {
+    image: CorpusImage,
+    interner: Interner,
+}
+
+impl TgrepEngine {
+    /// Preprocess `corpus` into the binary image form.
+    pub fn build(corpus: &Corpus) -> Self {
+        TgrepEngine {
+            image: build_image(corpus),
+            interner: corpus.interner().clone(),
+        }
+    }
+
+    /// Size of the serialized binary image, for reporting.
+    pub fn image_bytes(&self) -> usize {
+        encode(&self.image).len()
+    }
+
+    /// The binary corpus image (for inspection and round-trip tests).
+    pub fn image(&self) -> &CorpusImage {
+        &self.image
+    }
+
+    /// Parse and count matches of a pattern across the corpus.
+    pub fn count(&self, pattern: &str) -> Result<usize, TgrepError> {
+        let ast = parse_pattern(pattern)?;
+        self.count_ast(&ast)
+    }
+
+    /// Count matches of a parsed pattern: number of head-node matches
+    /// summed over trees, using the label index to skip trees that
+    /// cannot match.
+    pub fn count_ast(&self, ast: &NodePattern) -> Result<usize, TgrepError> {
+        let (pattern, slots) = resolve(ast, &|label| {
+            self.interner.get(label).map(|s| s.raw())
+        })
+        .map_err(TgrepError::Pattern)?;
+
+        // Index pruning: scan only trees containing the rarest required
+        // label (TGrep2's word-index trick).
+        let mut required = Vec::new();
+        ast.required_labels(&mut required);
+        let mut best: Option<&[u32]> = None;
+        for label in required {
+            match self.interner.get(label) {
+                // A required label absent from the corpus: no tree can
+                // match.
+                None => return Ok(0),
+                Some(sym) => {
+                    let postings = self
+                        .image
+                        .postings
+                        .get(&sym.raw())
+                        .map(|v| v.as_slice())
+                        .unwrap_or(&[]);
+                    if best.is_none_or(|b| postings.len() < b.len()) {
+                        best = Some(postings);
+                    }
+                }
+            }
+        }
+        let count = match best {
+            Some(trees) => trees
+                .iter()
+                .map(|&t| count_tree(&self.image.trees[t as usize], &pattern, slots))
+                .sum(),
+            None => self
+                .image
+                .trees
+                .iter()
+                .map(|t| count_tree(t, &pattern, slots))
+                .sum(),
+        };
+        Ok(count)
+    }
+
+    /// Count without index pruning (the ablation baseline).
+    pub fn count_unindexed(&self, pattern: &str) -> Result<usize, TgrepError> {
+        let ast = parse_pattern(pattern)?;
+        let (pattern, slots) = resolve(&ast, &|label| {
+            self.interner.get(label).map(|s| s.raw())
+        })
+        .map_err(TgrepError::Pattern)?;
+        Ok(self
+            .image
+            .trees
+            .iter()
+            .map(|t| count_tree(t, &pattern, slots))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::ptb::parse_str;
+
+    const FIG1: &str = "( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+                        (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )";
+
+    fn engine() -> TgrepEngine {
+        TgrepEngine::build(&parse_str(FIG1).unwrap())
+    }
+
+    #[test]
+    fn figure2_equivalents() {
+        let e = engine();
+        // Q: sentence containing "saw".
+        assert_eq!(e.count("S << saw").unwrap(), 1);
+        // NP immediately following V (LPath //V->NP): {NP6, NP7}.
+        assert_eq!(e.count("NP , V").unwrap(), 2);
+        // Immediate following sibling (//V=>NP): {NP6}.
+        assert_eq!(e.count("NP $, V").unwrap(), 1);
+        // //VP/V-->N: {N9, N13, N14}.
+        assert_eq!(e.count("N ,, (V > VP)").unwrap(), 3);
+        // //VP{/V-->N}: scope cuts N(today): {N9, N13}.
+        assert_eq!(e.count("N >> VP=v ,, (V > =v)").unwrap(), 2);
+        // //VP{/NP$}: {NP6}.
+        assert_eq!(e.count("NP=n > (VP <- =n)").unwrap(), 1);
+        // //VP{//NP$}: {NP6, NP11}.
+        assert_eq!(e.count("NP=n >> (VP <<- =n)").unwrap(), 2);
+    }
+
+    #[test]
+    fn vertical_relations() {
+        let e = engine();
+        assert_eq!(e.count("NP").unwrap(), 4);
+        assert_eq!(e.count("NP < Det").unwrap(), 2);
+        assert_eq!(e.count("Det > NP").unwrap(), 2);
+        assert_eq!(e.count("VP << Det").unwrap(), 1);
+        assert_eq!(e.count("NP !<< Det").unwrap(), 1); // NP("I")
+        assert_eq!(e.count("NP <, Det").unwrap(), 2);
+        assert_eq!(e.count("NP <- N").unwrap(), 2); // "the old man", "a dog"
+    }
+
+    #[test]
+    fn word_leaves_and_adjacency() {
+        let e = engine();
+        // "saw" immediately precedes "the".
+        assert_eq!(e.count("saw . the").unwrap(), 1);
+        assert_eq!(e.count("the . saw").unwrap(), 0);
+        // Word order: "old" follows "I".
+        assert_eq!(e.count("old ,, I").unwrap(), 1);
+        // POS-level adjacency matches word-level adjacency.
+        assert_eq!(e.count("Adj , Det").unwrap(), 1);
+    }
+
+    #[test]
+    fn sister_relations() {
+        let e = engine();
+        assert_eq!(e.count("N $, Adj").unwrap(), 1); // man after old
+        assert_eq!(e.count("N $,, Det").unwrap(), 2);
+        assert_eq!(e.count("Det $.. N").unwrap(), 2);
+        assert_eq!(e.count("Det $ Adj").unwrap(), 1);
+        assert_eq!(e.count("Adj $ Det").unwrap(), 1);
+    }
+
+    #[test]
+    fn edge_alignment_relations() {
+        let e = engine();
+        assert_eq!(e.count("__ > VP").unwrap(), 2); // children: V, NP6
+        assert_eq!(e.count("V >> VP").unwrap(), 1);
+        // Left frontier of VP: V, word "saw".
+        assert_eq!(e.count("VP <<, V").unwrap(), 1);
+        assert_eq!(e.count("VP <<, NP").unwrap(), 0);
+        // Right frontier of VP: NP6, PP, NP11, N13, word "dog".
+        assert_eq!(e.count("VP <<- N").unwrap(), 1);
+        assert_eq!(e.count("VP <<- PP").unwrap(), 1);
+        assert_eq!(e.count("VP <<- Det").unwrap(), 0);
+        // Two NPs on VP's right frontier → but the head VP is counted
+        // once per matching head node, not per witness.
+        assert_eq!(e.count("VP <<- NP").unwrap(), 1);
+    }
+
+    #[test]
+    fn unknown_labels_yield_zero_or_vacuous_truth() {
+        let e = engine();
+        assert_eq!(e.count("ZZZ").unwrap(), 0);
+        assert_eq!(e.count("NP << ZZZ").unwrap(), 0);
+        // Negated unknown: vacuously true.
+        assert_eq!(e.count("NP !<< ZZZ").unwrap(), 4);
+    }
+
+    #[test]
+    fn index_pruning_equals_full_scan() {
+        let src = format!(
+            "{FIG1}\n( (S (NP (PRP he)) (VP (VBD left))) )\n{FIG1}"
+        );
+        let c = parse_str(&src).unwrap();
+        let e = TgrepEngine::build(&c);
+        for q in ["S << saw", "NP , V", "VBD", "NP !<< Det"] {
+            assert_eq!(
+                e.count(q).unwrap(),
+                e.count_unindexed(q).unwrap(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn image_bytes_reported() {
+        let e = engine();
+        assert!(e.image_bytes() > 100);
+    }
+
+    #[test]
+    fn backreference_errors() {
+        let e = engine();
+        assert!(matches!(
+            e.count("NP < =x"),
+            Err(TgrepError::Pattern(_))
+        ));
+        assert!(matches!(
+            e.count("NP=x < (V=x)"),
+            Err(TgrepError::Pattern(_))
+        ));
+    }
+}

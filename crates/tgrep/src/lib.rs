@@ -1,0 +1,35 @@
+//! A TGrep2-style linguistic search engine — the first baseline of the
+//! paper's evaluation (Figures 7–9).
+//!
+//! Like TGrep2, this engine preprocesses the treebank into a binary
+//! corpus image ([`binfmt`]) in which words are leaf nodes, maintains an
+//! index from every label to the trees containing it, and answers
+//! queries with a per-tree backtracking matcher ([`matcher`]). Rare-word
+//! queries skip most of the corpus via the index; everything else costs
+//! a scan over candidate trees.
+//!
+//! ```
+//! use lpath_model::ptb::parse_str;
+//! use lpath_tgrep::TgrepEngine;
+//!
+//! let corpus = parse_str(
+//!     "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man)))) )",
+//! ).unwrap();
+//! let engine = TgrepEngine::build(&corpus);
+//! assert_eq!(engine.count("S << saw").unwrap(), 1);  // sentence with "saw"
+//! assert_eq!(engine.count("NP , VBD").unwrap(), 1);  // NP right after a VBD
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod binfmt;
+pub mod engine;
+pub mod matcher;
+pub mod parser;
+pub mod queries;
+
+pub use ast::{NodePattern, RelOp, Relation, Test};
+pub use engine::{TgrepEngine, TgrepError};
+pub use parser::{parse_pattern, TgrepParseError};
+pub use queries::TGREP_QUERIES;

@@ -1,0 +1,378 @@
+//! The backtracking pattern matcher.
+//!
+//! Per candidate tree, the matcher enumerates head candidates and
+//! recursively satisfies each relation, backtracking across relation
+//! choices (bindings made by one relation can be referenced by later
+//! ones, TGrep2-style). Negated relations succeed when *no* candidate
+//! matches their target.
+
+use crate::ast::{NodePattern, RelOp, Test};
+use crate::binfmt::{TreeImage, NONE};
+
+/// A pattern with label names resolved to symbols. `None` means the
+/// label does not occur anywhere in the corpus.
+#[derive(Clone, Debug)]
+pub enum RTest {
+    /// Any node.
+    Any,
+    /// A specific resolved label.
+    Label(Option<u32>),
+    /// Must equal the node bound at this slot.
+    BackRef(usize),
+}
+
+/// A resolved pattern ready for matching.
+#[derive(Clone, Debug)]
+pub struct RPattern {
+    /// What this node matches.
+    pub test: RTest,
+    /// Binding slot filled when this node matches.
+    pub binding: Option<usize>,
+    /// Conjoined `(negated, op, sub-pattern)` relations.
+    pub relations: Vec<(bool, RelOp, RPattern)>,
+}
+
+/// Resolve names to symbols and bindings to slots.
+pub fn resolve(
+    pattern: &NodePattern,
+    lookup: &dyn Fn(&str) -> Option<u32>,
+) -> Result<(RPattern, usize), String> {
+    let mut names: Vec<String> = Vec::new();
+    let r = go(pattern, lookup, &mut names)?;
+    return Ok((r, names.len()));
+
+    fn go(
+        p: &NodePattern,
+        lookup: &dyn Fn(&str) -> Option<u32>,
+        names: &mut Vec<String>,
+    ) -> Result<RPattern, String> {
+        let test = match &p.test {
+            Test::Any => RTest::Any,
+            Test::Label(l) => RTest::Label(lookup(l)),
+            Test::BackRef(n) => {
+                let slot = names
+                    .iter()
+                    .position(|x| x == n)
+                    .ok_or_else(|| format!("backreference to unbound label ={n}"))?;
+                RTest::BackRef(slot)
+            }
+        };
+        let binding = match &p.binding {
+            None => None,
+            Some(n) => {
+                if names.iter().any(|x| x == n) {
+                    return Err(format!("label ={n} bound twice"));
+                }
+                names.push(n.clone());
+                Some(names.len() - 1)
+            }
+        };
+        let mut relations = Vec::with_capacity(p.relations.len());
+        for rel in &p.relations {
+            relations.push((rel.negated, rel.op, go(&rel.target, lookup, names)?));
+        }
+        Ok(RPattern {
+            test,
+            binding,
+            relations,
+        })
+    }
+}
+
+/// Count nodes of `tree` matching `pattern` as the head.
+pub fn count_tree(tree: &TreeImage, pattern: &RPattern, slots: usize) -> usize {
+    let mut bindings = vec![NONE; slots];
+    let mut count = 0;
+    for n in 0..tree.len() as u32 {
+        if match_node(tree, n, pattern, &mut bindings, &mut |_| true) {
+            count += 1;
+        }
+        bindings.iter_mut().for_each(|b| *b = NONE);
+    }
+    count
+}
+
+/// Enumerate every way `n` can match `pattern`, invoking `k` with the
+/// bindings of each complete solution; `k` returns `true` to stop the
+/// search. Returns whether the search was stopped (i.e. a solution was
+/// accepted).
+///
+/// Full backtracking matters: a nested sub-pattern may have several
+/// internal solutions, and a later relation on an outer node (via a
+/// back-reference) can rule some of them out — committing to the first
+/// internal solution would undercount (e.g. the Q7 pattern
+/// `VP <<, (VB . (NP . PP=p)) <<- =p`, where several PPs can sit at the
+/// same adjacency point but only one is right-aligned).
+pub fn match_node(
+    tree: &TreeImage,
+    n: u32,
+    p: &RPattern,
+    bindings: &mut [u32],
+    k: &mut dyn FnMut(&mut [u32]) -> bool,
+) -> bool {
+    match p.test {
+        RTest::Any => {}
+        RTest::Label(Some(sym)) => {
+            if tree.label[n as usize] != sym {
+                return false;
+            }
+        }
+        RTest::Label(None) => return false,
+        RTest::BackRef(slot) => {
+            if bindings[slot] != n {
+                return false;
+            }
+        }
+    }
+    let bound_here = match p.binding {
+        Some(slot) => {
+            bindings[slot] = n;
+            Some(slot)
+        }
+        None => None,
+    };
+    let stopped = satisfy(tree, n, &p.relations, 0, bindings, k);
+    if !stopped {
+        if let Some(slot) = bound_here {
+            bindings[slot] = NONE;
+        }
+    }
+    stopped
+}
+
+fn satisfy(
+    tree: &TreeImage,
+    n: u32,
+    rels: &[(bool, RelOp, RPattern)],
+    idx: usize,
+    bindings: &mut [u32],
+    k: &mut dyn FnMut(&mut [u32]) -> bool,
+) -> bool {
+    let Some((negated, op, target)) = rels.get(idx) else {
+        return k(bindings);
+    };
+    if *negated {
+        // Bindings inside a negated target are local to the check.
+        let mut scratch = bindings.to_vec();
+        let mut found = false;
+        for_candidates(tree, n, *op, &mut |c| {
+            if match_node(tree, c, target, &mut scratch, &mut |_| true) {
+                found = true;
+                return false;
+            }
+            true
+        });
+        if found {
+            return false;
+        }
+        return satisfy(tree, n, rels, idx + 1, bindings, k);
+    }
+    let mut stopped = false;
+    for_candidates(tree, n, *op, &mut |c| {
+        let saved: Vec<u32> = bindings.to_vec();
+        // For every way the target matches at `c`, continue with the
+        // remaining relations of this node.
+        let s = match_node(tree, c, target, bindings, &mut |b| {
+            satisfy(tree, n, rels, idx + 1, b, k)
+        });
+        if s {
+            stopped = true;
+            return false; // accepted: stop candidate enumeration
+        }
+        bindings.copy_from_slice(&saved);
+        true
+    });
+    stopped
+}
+
+/// Enumerate nodes standing in `op` relation to `n`; `f` returns
+/// `false` to stop early.
+fn for_candidates(tree: &TreeImage, n: u32, op: RelOp, f: &mut dyn FnMut(u32) -> bool) {
+    let ni = n as usize;
+    match op {
+        RelOp::Child => {
+            let mut c = tree.first_child[ni];
+            while c != NONE {
+                if !f(c) {
+                    return;
+                }
+                c = tree.next_sibling[c as usize];
+            }
+        }
+        RelOp::Parent => {
+            if tree.parent[ni] != NONE {
+                f(tree.parent[ni]);
+            }
+        }
+        RelOp::Descendant => {
+            for c in n + 1..tree.subtree_end[ni] {
+                if !f(c) {
+                    return;
+                }
+            }
+        }
+        RelOp::Ancestor => {
+            let mut a = tree.parent[ni];
+            while a != NONE {
+                if !f(a) {
+                    return;
+                }
+                a = tree.parent[a as usize];
+            }
+        }
+        RelOp::FirstChild => {
+            if tree.first_child[ni] != NONE {
+                f(tree.first_child[ni]);
+            }
+        }
+        RelOp::LastChild => {
+            let mut c = tree.first_child[ni];
+            let mut last = NONE;
+            while c != NONE {
+                last = c;
+                c = tree.next_sibling[c as usize];
+            }
+            if last != NONE {
+                f(last);
+            }
+        }
+        RelOp::LeftmostDescendant => {
+            let mut c = tree.first_child[ni];
+            while c != NONE {
+                if !f(c) {
+                    return;
+                }
+                c = tree.first_child[c as usize];
+            }
+        }
+        RelOp::RightmostDescendant => {
+            let mut c = tree.first_child[ni];
+            while c != NONE {
+                // walk to the last sibling
+                let mut last = c;
+                while tree.next_sibling[last as usize] != NONE {
+                    last = tree.next_sibling[last as usize];
+                }
+                if !f(last) {
+                    return;
+                }
+                c = tree.first_child[last as usize];
+            }
+        }
+        RelOp::ImmediatelyBefore => {
+            // B immediately follows A: B's first terminal is A's last
+            // terminal + 1; candidates are the leaf at that ordinal and
+            // its left-aligned ancestors.
+            let ord = tree.ll[ni] + 1;
+            if (ord as usize) <= tree.leaf_at.len() {
+                let mut c = tree.leaf_at[ord as usize - 1];
+                loop {
+                    if !f(c) {
+                        return;
+                    }
+                    let p = tree.parent[c as usize];
+                    if p == NONE || tree.fl[p as usize] != ord {
+                        break;
+                    }
+                    c = p;
+                }
+            }
+        }
+        RelOp::ImmediatelyAfter => {
+            let fl = tree.fl[ni];
+            if fl >= 2 {
+                let ord = fl - 1;
+                let mut c = tree.leaf_at[ord as usize - 1];
+                loop {
+                    if !f(c) {
+                        return;
+                    }
+                    let p = tree.parent[c as usize];
+                    if p == NONE || tree.ll[p as usize] != ord {
+                        break;
+                    }
+                    c = p;
+                }
+            }
+        }
+        RelOp::Before => {
+            let ll = tree.ll[ni];
+            for c in 0..tree.len() as u32 {
+                if tree.fl[c as usize] > ll && !f(c) {
+                    return;
+                }
+            }
+        }
+        RelOp::After => {
+            let fl = tree.fl[ni];
+            for c in 0..tree.len() as u32 {
+                if tree.ll[c as usize] < fl && !f(c) {
+                    return;
+                }
+            }
+        }
+        RelOp::SisterBefore => {
+            if tree.next_sibling[ni] != NONE {
+                f(tree.next_sibling[ni]);
+            }
+        }
+        RelOp::SisterAfter => {
+            if let Some(prev) = prev_sibling(tree, n) {
+                f(prev);
+            }
+        }
+        RelOp::SisterBeforeAny => {
+            let mut c = tree.next_sibling[ni];
+            while c != NONE {
+                if !f(c) {
+                    return;
+                }
+                c = tree.next_sibling[c as usize];
+            }
+        }
+        RelOp::SisterAfterAny => {
+            let p = tree.parent[ni];
+            if p == NONE {
+                return;
+            }
+            let mut c = tree.first_child[p as usize];
+            while c != NONE && c != n {
+                if !f(c) {
+                    return;
+                }
+                c = tree.next_sibling[c as usize];
+            }
+        }
+        RelOp::Sister => {
+            let p = tree.parent[ni];
+            if p == NONE {
+                return;
+            }
+            let mut c = tree.first_child[p as usize];
+            while c != NONE {
+                if c != n && !f(c) {
+                    return;
+                }
+                c = tree.next_sibling[c as usize];
+            }
+        }
+    }
+}
+
+fn prev_sibling(tree: &TreeImage, n: u32) -> Option<u32> {
+    let p = tree.parent[n as usize];
+    if p == NONE {
+        return None;
+    }
+    let mut c = tree.first_child[p as usize];
+    let mut prev = None;
+    while c != NONE && c != n {
+        prev = Some(c);
+        c = tree.next_sibling[c as usize];
+    }
+    if c == n {
+        prev
+    } else {
+        None
+    }
+}

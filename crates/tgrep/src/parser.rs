@@ -1,0 +1,292 @@
+//! Parser for the TGrep2-style pattern language.
+//!
+//! Grammar:
+//!
+//! ```text
+//! pattern  := node
+//! node     := test binding? relation*
+//! test     := LABEL | '__' | '=' NAME
+//! binding  := '=' NAME
+//! relation := '!'? OP target
+//! target   := test binding? | '(' node ')' | '=' NAME
+//! ```
+//!
+//! Labels follow Penn Treebank conventions (may contain `-`, `$`, digits
+//! — note `$.` the operator always has the operator characters glued,
+//! while a label like `PRP$` is written quoted: `'PRP$'`).
+
+use crate::ast::{NodePattern, RelOp, Relation, Test};
+
+/// Parse error with byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TgrepParseError {
+    /// Byte offset in the pattern source.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TgrepParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tgrep parse error at {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TgrepParseError {}
+
+/// Parse a TGrep2-style pattern.
+pub fn parse_pattern(src: &str) -> Result<NodePattern, TgrepParseError> {
+    let mut p = P {
+        b: src.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let node = p.node()?;
+    p.ws();
+    if p.i < p.b.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(node)
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: impl Into<String>) -> TgrepParseError {
+        TgrepParseError {
+            offset: self.i,
+            message: m.into(),
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    /// Longest-match operator lexing.
+    fn rel_op(&mut self) -> Option<RelOp> {
+        let rest = &self.b[self.i..];
+        const OPS: [(&[u8], RelOp); 17] = [
+            (b"<<,", RelOp::LeftmostDescendant),
+            (b"<<-", RelOp::RightmostDescendant),
+            (b"<<", RelOp::Descendant),
+            (b"<,", RelOp::FirstChild),
+            (b"<-", RelOp::LastChild),
+            (b"<", RelOp::Child),
+            (b">>", RelOp::Ancestor),
+            (b">", RelOp::Parent),
+            (b"..", RelOp::Before),
+            (b".", RelOp::ImmediatelyBefore),
+            (b",,", RelOp::After),
+            (b",", RelOp::ImmediatelyAfter),
+            (b"$..", RelOp::SisterBeforeAny),
+            (b"$,,", RelOp::SisterAfterAny),
+            (b"$.", RelOp::SisterBefore),
+            (b"$,", RelOp::SisterAfter),
+            (b"$", RelOp::Sister),
+        ];
+        for (sym, op) in OPS {
+            if rest.starts_with(sym) {
+                self.i += sym.len();
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn label_char(c: u8) -> bool {
+        c.is_ascii_alphanumeric() || c == b'-' || c == b'_'
+    }
+
+    fn name(&mut self) -> Result<String, TgrepParseError> {
+        if self.peek() == Some(b'\'') {
+            self.i += 1;
+            let start = self.i;
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.i += 1;
+            }
+            if self.i >= self.b.len() {
+                return Err(self.err("unterminated quoted label"));
+            }
+            let s = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+            self.i += 1;
+            return Ok(s);
+        }
+        let start = self.i;
+        while self.i < self.b.len() && Self::label_char(self.b[self.i]) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected a label"));
+        }
+        Ok(String::from_utf8_lossy(&self.b[start..self.i]).into_owned())
+    }
+
+    fn test(&mut self) -> Result<Test, TgrepParseError> {
+        if self.peek() == Some(b'=') {
+            self.i += 1;
+            return Ok(Test::BackRef(self.name()?));
+        }
+        let label = self.name()?;
+        if label == "__" {
+            Ok(Test::Any)
+        } else {
+            Ok(Test::Label(label))
+        }
+    }
+
+    fn node(&mut self) -> Result<NodePattern, TgrepParseError> {
+        let test = self.test()?;
+        let mut node = NodePattern::new(test);
+        // A back-reference cannot also bind.
+        if self.peek() == Some(b'=') && !matches!(node.test, Test::BackRef(_)) {
+            self.i += 1;
+            node.binding = Some(self.name()?);
+        }
+        loop {
+            self.ws();
+            let negated = if self.peek() == Some(b'!') {
+                self.i += 1;
+                self.ws();
+                true
+            } else {
+                false
+            };
+            let Some(op) = self.rel_op() else {
+                if negated {
+                    return Err(self.err("expected an operator after '!'"));
+                }
+                break;
+            };
+            self.ws();
+            let target = if self.peek() == Some(b'(') {
+                self.i += 1;
+                self.ws();
+                let inner = self.node()?;
+                self.ws();
+                if self.peek() != Some(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                self.i += 1;
+                inner
+            } else {
+                let test = self.test()?;
+                let mut n = NodePattern::new(test);
+                if self.peek() == Some(b'=') && !matches!(n.test, Test::BackRef(_)) {
+                    self.i += 1;
+                    n.binding = Some(self.name()?);
+                }
+                n
+            };
+            node.relations.push(Relation {
+                negated,
+                op,
+                target,
+            });
+        }
+        Ok(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_relation() {
+        let p = parse_pattern("NP , VB").unwrap();
+        assert_eq!(p.test, Test::Label("NP".into()));
+        assert_eq!(p.relations.len(), 1);
+        assert_eq!(p.relations[0].op, RelOp::ImmediatelyAfter);
+        assert_eq!(p.relations[0].target.test, Test::Label("VB".into()));
+    }
+
+    #[test]
+    fn nested_and_bound() {
+        let p = parse_pattern("VP <<, (VB . (NP . PP=p)) <<- =p").unwrap();
+        assert_eq!(p.relations.len(), 2);
+        assert_eq!(p.relations[0].op, RelOp::LeftmostDescendant);
+        let vb = &p.relations[0].target;
+        assert_eq!(vb.test, Test::Label("VB".into()));
+        let np = &vb.relations[0].target;
+        let pp = &np.relations[0].target;
+        assert_eq!(pp.binding.as_deref(), Some("p"));
+        assert_eq!(p.relations[1].op, RelOp::RightmostDescendant);
+        assert_eq!(p.relations[1].target.test, Test::BackRef("p".into()));
+    }
+
+    #[test]
+    fn negation() {
+        let p = parse_pattern("NP !<< JJ").unwrap();
+        assert!(p.relations[0].negated);
+        assert_eq!(p.relations[0].op, RelOp::Descendant);
+    }
+
+    #[test]
+    fn all_operators_lex() {
+        for (src, op) in [
+            ("A < B", RelOp::Child),
+            ("A > B", RelOp::Parent),
+            ("A << B", RelOp::Descendant),
+            ("A >> B", RelOp::Ancestor),
+            ("A <, B", RelOp::FirstChild),
+            ("A <- B", RelOp::LastChild),
+            ("A <<, B", RelOp::LeftmostDescendant),
+            ("A <<- B", RelOp::RightmostDescendant),
+            ("A . B", RelOp::ImmediatelyBefore),
+            ("A , B", RelOp::ImmediatelyAfter),
+            ("A .. B", RelOp::Before),
+            ("A ,, B", RelOp::After),
+            ("A $. B", RelOp::SisterBefore),
+            ("A $, B", RelOp::SisterAfter),
+            ("A $.. B", RelOp::SisterBeforeAny),
+            ("A $,, B", RelOp::SisterAfterAny),
+            ("A $ B", RelOp::Sister),
+        ] {
+            let p = parse_pattern(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(p.relations[0].op, op, "{src}");
+        }
+    }
+
+    #[test]
+    fn treebank_labels() {
+        let p = parse_pattern("-NONE- > NP-SBJ-2").unwrap();
+        assert_eq!(p.test, Test::Label("-NONE-".into()));
+        let p = parse_pattern("'PRP$' < __").unwrap();
+        assert_eq!(p.test, Test::Label("PRP$".into()));
+        assert_eq!(p.relations[0].target.test, Test::Any);
+    }
+
+    #[test]
+    fn chained_relations_on_head() {
+        let p = parse_pattern("NN >> VP=v ,, (VB > =v)").unwrap();
+        assert_eq!(p.relations.len(), 2);
+        assert_eq!(p.relations[0].target.binding.as_deref(), Some("v"));
+        let vb = &p.relations[1].target;
+        assert_eq!(vb.relations[0].target.test, Test::BackRef("v".into()));
+    }
+
+    #[test]
+    fn required_labels_skip_negated() {
+        let p = parse_pattern("NP !<< JJ << (DT . NN)").unwrap();
+        let mut labels = Vec::new();
+        p.required_labels(&mut labels);
+        assert_eq!(labels, ["NP", "DT", "NN"]);
+    }
+
+    #[test]
+    fn errors() {
+        for bad in ["", "NP <", "NP ! JJ", "(NP", "NP ) ", "=", "NP << (VB"] {
+            assert!(parse_pattern(bad).is_err(), "{bad}");
+        }
+    }
+}

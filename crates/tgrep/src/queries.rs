@@ -1,0 +1,76 @@
+//! The 23 evaluation queries of Figure 6(c) in the tgrep dialect.
+//!
+//! Heads are chosen so every pattern counts the same node set as its
+//! LPath original (verified by the cross-engine integration tests at
+//! the workspace root).
+
+/// `TGREP_QUERIES[i]` is Q(i+1) in tgrep syntax.
+pub const TGREP_QUERIES: [&str; 23] = [
+    // Q1  //S[//_[@lex=saw]]
+    "S << saw",
+    // Q2  //VB->NP
+    "NP , VB",
+    // Q3  //VP/VB-->NN
+    "NN ,, (VB > VP)",
+    // Q4  //VP{/VB-->NN}
+    "NN >> VP=v ,, (VB > =v)",
+    // Q5  //VP{/NP$}
+    "NP=n > (VP <- =n)",
+    // Q6  //VP{//NP$}
+    "NP=n >> (VP <<- =n)",
+    // Q7  //VP[{//^VB->NP->PP$}]
+    "VP <<, (VB . (NP . PP=p)) <<- =p",
+    // Q8  //S[//NP/ADJP]
+    "S << (ADJP > NP)",
+    // Q9  //NP[not(//JJ)]
+    "NP !<< JJ",
+    // Q10 //NP[->PP[//IN[@lex=of]]=>VP]
+    "NP . (PP << (IN < of) $. VP)",
+    // Q11 //S[{//_[@lex=what]->_[@lex=building]}]
+    "S << (what . building=b) << =b",
+    // Q12 //_[@lex=rapprochement]
+    "rapprochement",
+    // Q13 //_[@lex=1929]
+    "1929",
+    // Q14 //ADVP-LOC-CLR
+    "ADVP-LOC-CLR",
+    // Q15 //WHPP
+    "WHPP",
+    // Q16 //RRC/PP-TMP
+    "PP-TMP > RRC",
+    // Q17 //UCP-PRD/ADJP-PRD
+    "ADJP-PRD > UCP-PRD",
+    // Q18 //NP/NP/NP/NP/NP
+    "NP > (NP > (NP > (NP > NP)))",
+    // Q19 //VP/VP/VP
+    "VP > (VP > VP)",
+    // Q20 //PP=>SBAR
+    "SBAR $, PP",
+    // Q21 //ADVP=>ADJP
+    "ADJP $, ADVP",
+    // Q22 //NP=>NP=>NP
+    "NP $, (NP $, NP)",
+    // Q23 //VP=>VP
+    "VP $, VP",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_pattern;
+
+    #[test]
+    fn all_queries_parse() {
+        for (i, q) in TGREP_QUERIES.iter().enumerate() {
+            parse_pattern(q).unwrap_or_else(|e| panic!("Q{}: {e}", i + 1));
+        }
+    }
+
+    #[test]
+    fn q12_counts_a_word() {
+        // Words are first-class nodes in the tgrep image, so a bare
+        // word is a valid head pattern.
+        let p = parse_pattern(TGREP_QUERIES[11]).unwrap();
+        assert!(p.relations.is_empty());
+    }
+}

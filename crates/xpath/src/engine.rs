@@ -1,0 +1,234 @@
+//! The XPath baseline engine: same relational machinery as the LPath
+//! engine, different labeling scheme (start/end textual positions).
+//!
+//! The paper's §5.4 controlled comparison: "we set other components of
+//! both labeling schemes to be the same". Accordingly this engine uses
+//! the same columnar store, the analogous clustered order
+//! `{name, tid, start, end, depth, id, pid}`, the same secondary index
+//! shapes and the same planner — only the label columns and the axis
+//! characterizations differ.
+
+use lpath_model::{Corpus, Interner, NodeId};
+use lpath_relstore::{
+    self as rel, Database, PlannerConfig, Schema, Table, TableId, Value, NULL,
+};
+use lpath_syntax::{Path, SyntaxError};
+
+use crate::labeling::se_label_tree;
+use crate::parser::parse_xpath;
+use crate::translate::{SeCols, SeTranslator, XpathUnsupported};
+
+/// Query failures of the XPath engine.
+#[derive(Debug)]
+pub enum XpathError {
+    /// The query text does not parse as XPath.
+    Syntax(SyntaxError),
+    /// The query has no start/end-label translation.
+    Unsupported(XpathUnsupported),
+}
+
+impl std::fmt::Display for XpathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XpathError::Syntax(e) => e.fmt(f),
+            XpathError::Unsupported(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for XpathError {}
+
+impl From<SyntaxError> for XpathError {
+    fn from(e: SyntaxError) -> Self {
+        XpathError::Syntax(e)
+    }
+}
+
+impl From<XpathUnsupported> for XpathError {
+    fn from(e: XpathUnsupported) -> Self {
+        XpathError::Unsupported(e)
+    }
+}
+
+/// XPath engine over the start/end-labeled relation.
+pub struct XPathEngine {
+    db: Database,
+    node: TableId,
+    cols: SeCols,
+    interner: Interner,
+    planner: PlannerConfig,
+}
+
+impl XPathEngine {
+    /// Label every tree with start/end positions, load, cluster, index.
+    pub fn build(corpus: &Corpus) -> Self {
+        let schema = Schema::new(&[
+            "tid", "start", "end", "depth", "id", "pid", "name", "value",
+        ]);
+        let mut table = Table::new(schema);
+        for (tid, tree) in corpus.trees().iter().enumerate() {
+            let labels = se_label_tree(tree);
+            for id in tree.preorder() {
+                let l = &labels[id.index()];
+                let node = tree.node(id);
+                let base = [
+                    tid as Value,
+                    l.start,
+                    l.end,
+                    l.depth,
+                    l.id,
+                    l.pid,
+                    node.name.raw(),
+                    NULL,
+                ];
+                table.push_row(&base);
+                for &(aname, aval) in &node.attrs {
+                    let mut row = base;
+                    row[6] = aname.raw();
+                    row[7] = aval.raw();
+                    table.push_row(&row);
+                }
+            }
+        }
+        let cluster: Vec<rel::ColId> = ["name", "tid", "start", "end", "depth", "id", "pid"]
+            .iter()
+            .map(|c| table.schema().col_expect(c))
+            .collect();
+        table.cluster_by(&cluster);
+        let mut db = Database::new();
+        let node = db.add_table("node", table);
+        let cols = SeCols::resolve(&db, node);
+        db.add_index(node, "clustered", cluster);
+        db.add_index(node, "tid_value_id", vec![cols.tid, cols.value, cols.id]);
+        db.add_index(node, "value_tid_id", vec![cols.value, cols.tid, cols.id]);
+        db.add_index(node, "tid_id", vec![cols.tid, cols.id]);
+        db.analyze(node, &[cols.name, cols.value]);
+        XPathEngine {
+            db,
+            node,
+            cols,
+            interner: corpus.interner().clone(),
+            planner: PlannerConfig::default(),
+        }
+    }
+
+    /// Number of rows in the start/end node relation.
+    pub fn relation_size(&self) -> usize {
+        self.db.table(self.node).num_rows()
+    }
+
+    /// Evaluate an XPath query string.
+    pub fn query(&self, query: &str) -> Result<Vec<(u32, NodeId)>, XpathError> {
+        let ast = parse_xpath(query)?;
+        self.query_ast(&ast)
+    }
+
+    /// Evaluate a pre-parsed query (must lie in the XPath fragment).
+    pub fn query_ast(&self, ast: &Path) -> Result<Vec<(u32, NodeId)>, XpathError> {
+        let tr = SeTranslator::new(self.node, self.cols, &self.interner);
+        let cq = tr.translate(ast)?;
+        let plan = rel::plan(&self.db, &cq, &self.planner);
+        let mut out: Vec<(u32, NodeId)> = rel::execute(&plan, &self.db)
+            .into_iter()
+            .map(|row| (row[0], NodeId(row[1] - 2)))
+            .collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Result size of an XPath query.
+    pub fn count(&self, query: &str) -> Result<usize, XpathError> {
+        Ok(self.query(query)?.len())
+    }
+
+    /// The generated SQL, numeric literals left raw.
+    pub fn sql(&self, query: &str) -> Result<String, XpathError> {
+        let ast = parse_xpath(query)?;
+        let tr = SeTranslator::new(self.node, self.cols, &self.interner);
+        Ok(tr.translate(&ast)?.to_sql(&self.db))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::ptb::parse_str;
+
+    const FIG1: &str = "( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+                        (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )";
+
+    fn engine() -> XPathEngine {
+        XPathEngine::build(&parse_str(FIG1).unwrap())
+    }
+
+    #[test]
+    fn basic_counts_match_the_tree() {
+        let e = engine();
+        assert_eq!(e.count("//NP").unwrap(), 4);
+        assert_eq!(e.count("/S").unwrap(), 1);
+        assert_eq!(e.count("//VP//NP").unwrap(), 3);
+        assert_eq!(e.count("//PP/NP").unwrap(), 1);
+        assert_eq!(e.count("//S[.//*[@lex='saw']]").unwrap(), 1);
+        assert_eq!(e.count("//NP[not(.//Det)]").unwrap(), 1);
+        assert_eq!(e.count("//*[@lex='dog']").unwrap(), 1);
+        assert_eq!(e.count("//V/following-sibling::NP").unwrap(), 1);
+        assert_eq!(e.count("//N/preceding-sibling::Det").unwrap(), 2);
+    }
+
+    #[test]
+    fn agrees_with_lpath_engine_on_shared_fragment() {
+        let corpus = parse_str(FIG1).unwrap();
+        let xp = XPathEngine::build(&corpus);
+        let lp = lpath_core::Engine::build(&corpus);
+        // (xpath syntax, equivalent lpath syntax)
+        for (xq, lq) in [
+            ("//NP", "//NP"),
+            ("//S//N", "//S//N"),
+            ("//VP/V", "//VP/V"),
+            ("//S[.//NP/PP]", "//S[//NP/PP]"),
+            ("//NP[not(.//JJ)]", "//NP[not(//JJ)]"),
+            ("//*[@lex='saw']", "//_[@lex=saw]"),
+            ("//*[@lex!='saw']", "//_[@lex!=saw]"),
+            ("//NP/NP", "//NP/NP"),
+            ("//V/following::N", "//V-->N"),
+            ("//Det/parent::NP", "//Det\\NP"),
+            ("//Prep/ancestor::VP", "//Prep\\\\VP"),
+        ] {
+            let a = xp.query(xq).unwrap_or_else(|e| panic!("{xq}: {e}"));
+            let b = lp.query(lq).unwrap_or_else(|e| panic!("{lq}: {e}"));
+            assert_eq!(a, b, "{xq} vs {lq}");
+        }
+    }
+
+    #[test]
+    fn lpath_extensions_rejected() {
+        let corpus = parse_str(FIG1).unwrap();
+        let xp = XPathEngine::build(&corpus);
+        // Parsed with the LPath parser, fed as ASTs.
+        for q in ["//V->NP", "//VP{/NP$}", "//^NP", "//NP$"] {
+            let ast = lpath_syntax::parse(q).unwrap();
+            assert!(xp.query_ast(&ast).is_err(), "{q}");
+        }
+        // position() parses but has no relational form.
+        assert!(matches!(
+            xp.count("//VP/*[position()=1]"),
+            Err(XpathError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn relation_size_matches_lpath_engine() {
+        let corpus = parse_str(FIG1).unwrap();
+        let xp = XPathEngine::build(&corpus);
+        let lp = lpath_core::Engine::build(&corpus);
+        assert_eq!(xp.relation_size(), lp.relation_size());
+    }
+
+    #[test]
+    fn sql_uses_start_end_columns() {
+        let e = engine();
+        let sql = e.sql("//VP//NP").unwrap();
+        assert!(sql.contains("start"), "{sql}");
+        assert!(sql.contains("end"), "{sql}");
+    }
+}

@@ -1,0 +1,143 @@
+//! The "XPath labeling scheme" of the paper's §5.4: start/end textual
+//! positions (DeHaan et al., the paper’s reference \[11\]), as opposed to LPath's leaf
+//! intervals.
+//!
+//! Each element is stamped with the positions of its start and end tags
+//! in a (virtual) serialized document: a counter that increments at
+//! every tag boundary. Containment (`descendant`) is strict interval
+//! nesting — `x.start > c.start ∧ x.end < c.end` — with no need for a
+//! depth tiebreak, but **adjacency is not expressible**: two nodes whose
+//! spans touch in leaf terms may have arbitrarily many tag positions
+//! between them. That asymmetry is exactly what Figure 10 evaluates.
+
+use lpath_model::{NodeId, Tree};
+
+/// A start/end label. `id`/`pid` are the same preorder identifiers the
+/// LPath scheme uses (document node = 1).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SeLabel {
+    /// Textual position of the start tag.
+    pub start: u32,
+    /// Textual position of the end tag.
+    pub end: u32,
+    /// Node depth (root element = 1).
+    pub depth: u32,
+    /// Unique node id (document node = 1).
+    pub id: u32,
+    /// Parent's id.
+    pub pid: u32,
+}
+
+/// Stamp every node of `tree` in one depth-first traversal.
+pub fn se_label_tree(tree: &Tree) -> Vec<SeLabel> {
+    let n = tree.len();
+    let mut labels = vec![
+        SeLabel {
+            start: 0,
+            end: 0,
+            depth: 0,
+            id: 0,
+            pid: 0,
+        };
+        n
+    ];
+    // ids, depths, pids in arena (preorder) order.
+    for idx in 0..n {
+        let node = tree.node(NodeId(idx as u32));
+        let (depth, pid) = match node.parent {
+            None => (1, 1),
+            Some(p) => (labels[p.index()].depth + 1, labels[p.index()].id),
+        };
+        labels[idx].depth = depth;
+        labels[idx].pid = pid;
+        labels[idx].id = idx as u32 + 2;
+    }
+    // start/end positions via an explicit DFS with a tag counter.
+    let mut counter = 1u32;
+    // Stack of (node, next child index).
+    let mut stack: Vec<(NodeId, usize)> = vec![(tree.root(), 0)];
+    labels[tree.root().index()].start = counter;
+    counter += 1;
+    while let Some(&mut (node, ref mut ci)) = stack.last_mut() {
+        let children = &tree.node(node).children;
+        if *ci < children.len() {
+            let child = children[*ci];
+            *ci += 1;
+            labels[child.index()].start = counter;
+            counter += 1;
+            stack.push((child, 0));
+        } else {
+            labels[node.index()].end = counter;
+            counter += 1;
+            stack.pop();
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_model::Interner;
+
+    fn toy() -> (Tree, Vec<SeLabel>) {
+        // S(A(B C) D)
+        let mut i = Interner::new();
+        let mut t = Tree::new(i.intern("S"));
+        let a = t.add_child(t.root(), i.intern("A"));
+        t.add_child(a, i.intern("B"));
+        t.add_child(a, i.intern("C"));
+        t.add_child(t.root(), i.intern("D"));
+        let labels = se_label_tree(&t);
+        (t, labels)
+    }
+
+    #[test]
+    fn tag_positions_are_document_order() {
+        let (_, l) = toy();
+        // <S><A><B></B><C></C></A><D></D></S>
+        assert_eq!((l[0].start, l[0].end), (1, 10)); // S
+        assert_eq!((l[1].start, l[1].end), (2, 7)); // A
+        assert_eq!((l[2].start, l[2].end), (3, 4)); // B
+        assert_eq!((l[3].start, l[3].end), (5, 6)); // C
+        assert_eq!((l[4].start, l[4].end), (8, 9)); // D
+    }
+
+    #[test]
+    fn containment_is_strict_nesting() {
+        let (t, l) = toy();
+        let desc = |x: usize, c: usize| l[x].start > l[c].start && l[x].end < l[c].end;
+        for x in 0..t.len() {
+            for c in 0..t.len() {
+                let structurally =
+                    t.ancestors(NodeId(x as u32)).any(|a| a == NodeId(c as u32));
+                assert_eq!(desc(x, c), structurally, "{x} in {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn ids_match_lpath_scheme() {
+        let (t, l) = toy();
+        let lp = lpath_model::label_tree(&t);
+        for i in 0..t.len() {
+            assert_eq!(l[i].id, lp[i].id);
+            assert_eq!(l[i].pid, lp[i].pid);
+            assert_eq!(l[i].depth, lp[i].depth);
+        }
+    }
+
+    #[test]
+    fn no_unary_ambiguity_in_start_end() {
+        // Unary chain: A(B(C)) — starts strictly increase, ends strictly
+        // decrease, so strict nesting distinguishes the chain without a
+        // depth column (unlike leaf intervals).
+        let mut i = Interner::new();
+        let mut t = Tree::new(i.intern("A"));
+        let b = t.add_child(t.root(), i.intern("B"));
+        t.add_child(b, i.intern("C"));
+        let l = se_label_tree(&t);
+        assert!(l[0].start < l[1].start && l[1].start < l[2].start);
+        assert!(l[2].end < l[1].end && l[1].end < l[0].end);
+    }
+}

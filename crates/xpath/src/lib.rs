@@ -1,0 +1,32 @@
+//! XPath 1.0 baseline engine with the DeHaan start/end labeling.
+//!
+//! This crate is the comparison point of the paper's Figure 10: an
+//! XPath-only engine built on "textual position" (start/end tag) labels
+//! rather than LPath's leaf intervals, sharing every other component —
+//! storage, clustering, indexes, planner — with the LPath engine so the
+//! labeling schemes compare head to head.
+//!
+//! ```
+//! use lpath_model::ptb::parse_str;
+//! use lpath_xpath::XPathEngine;
+//!
+//! let corpus = parse_str(
+//!     "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man)))) )",
+//! ).unwrap();
+//! let engine = XPathEngine::build(&corpus);
+//! assert_eq!(engine.count("//S[.//*[@lex='saw']]").unwrap(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod labeling;
+pub mod parser;
+pub mod queries;
+pub mod translate;
+
+pub use engine::{XPathEngine, XpathError};
+pub use queries::XPATH_QUERIES;
+pub use labeling::{se_label_tree, SeLabel};
+pub use parser::parse_xpath;
+pub use translate::{SeCols, SeTranslator, XpathUnsupported};

@@ -1,0 +1,613 @@
+//! An XPath 1.0 subset parser.
+//!
+//! Parses genuine XPath surface syntax — `*` wildcards, `axis::test`
+//! steps, `.` self steps, `[ ]` predicates with `not()`, `and`/`or`,
+//! `position()`/`last()` and value comparisons — into the shared
+//! [`lpath_syntax`] AST, restricted to the XPath axis inventory. LPath
+//! extensions (arrows, braces, `^`/`$`) are simply not part of this
+//! grammar, so the produced ASTs always lie in the XPath fragment.
+//!
+//! One deliberate deviation, shared with the LPath parser: a leading
+//! `//` inside a predicate is the descendant axis from the context node
+//! rather than a document-absolute path, matching how the paper's
+//! queries (e.g. Q1) are meant.
+
+use lpath_syntax::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step, SyntaxError};
+
+/// Parse an XPath query.
+pub fn parse_xpath(src: &str) -> Result<Path, SyntaxError> {
+    let tokens = lex(src)?;
+    let mut p = P { t: tokens, i: 0 };
+    let absolute = matches!(p.peek(), Some(Tok::Slash) | Some(Tok::DSlash));
+    let mut path = p.rel_path()?;
+    path.absolute = absolute;
+    if p.i < p.t.len() {
+        return Err(SyntaxError::at(0, format!("trailing tokens: {:?}", p.peek())));
+    }
+    if path.steps.is_empty() {
+        return Err(SyntaxError::at(0, "empty XPath"));
+    }
+    Ok(path)
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Slash,
+    DSlash,
+    Dot,
+    At,
+    Star,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    ColonColon,
+    Name(String),
+    Literal(String),
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, SyntaxError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' => {
+                if b.get(i + 1) == Some(&b'/') {
+                    out.push(Tok::DSlash);
+                    i += 2;
+                } else {
+                    out.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            b'.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            b'@' => {
+                out.push(Tok::At);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            b'(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            b',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            b'<' => {
+                out.push(Tok::Lt);
+                i += 1;
+            }
+            b'>' => {
+                out.push(Tok::Gt);
+                i += 1;
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.push(Tok::ColonColon);
+                i += 2;
+            }
+            q @ (b'\'' | b'"') => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != q {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(SyntaxError::at(i, "unterminated literal"));
+                }
+                out.push(Tok::Literal(
+                    String::from_utf8_lossy(&b[start..j]).into_owned(),
+                ));
+                i = j + 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == b'-' || c == b'_' => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'-' || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Name(
+                    String::from_utf8_lossy(&b[start..i]).into_owned(),
+                ));
+            }
+            c => {
+                return Err(SyntaxError::at(
+                    i,
+                    format!("unexpected character '{}'", c as char),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    t: Vec<Tok>,
+    i: usize,
+}
+
+/// The axes XPath 1.0 actually has.
+fn xpath_axis(name: &str) -> Option<Axis> {
+    let a = Axis::from_name(name)?;
+    a.in_core_xpath().then_some(a)
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.t.get(self.i)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.t.get(self.i + 1)
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), SyntaxError> {
+        if self.peek() == Some(&t) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(SyntaxError::at(
+                self.i,
+                format!("expected {t:?}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    /// `rel_path := step (('/' | '//') step)*`, with an optional
+    /// leading separator consumed by the caller's absolute check.
+    fn rel_path(&mut self) -> Result<Path, SyntaxError> {
+        let mut steps = Vec::new();
+        // Leading separator.
+        let mut pending_axis = match self.peek() {
+            Some(Tok::Slash) => {
+                self.i += 1;
+                Some(Axis::Child)
+            }
+            Some(Tok::DSlash) => {
+                self.i += 1;
+                Some(Axis::Descendant)
+            }
+            _ => None,
+        };
+        loop {
+            let default_axis = pending_axis.take().unwrap_or(Axis::Child);
+            let step = self.step(default_axis)?;
+            steps.push(step);
+            match self.peek() {
+                Some(Tok::Slash) => {
+                    self.i += 1;
+                    pending_axis = Some(Axis::Child);
+                }
+                Some(Tok::DSlash) => {
+                    self.i += 1;
+                    pending_axis = Some(Axis::Descendant);
+                }
+                _ => break,
+            }
+        }
+        Ok(Path {
+            absolute: false,
+            steps,
+            scope: None,
+        })
+    }
+
+    /// One step with `separator_axis` as the default axis (`/` → child,
+    /// `//` → descendant of the previous context).
+    fn step(&mut self, separator_axis: Axis) -> Result<Step, SyntaxError> {
+        // `.` self step.
+        if self.peek() == Some(&Tok::Dot) {
+            self.i += 1;
+            let mut step = Step::new(Axis::SelfAxis, NodeTest::Any);
+            self.predicates(&mut step)?;
+            return Ok(step);
+        }
+        // `@name` attribute step.
+        if self.peek() == Some(&Tok::At) {
+            self.i += 1;
+            let test = self.node_test()?;
+            let mut step = Step::new(Axis::Attribute, test);
+            self.predicates(&mut step)?;
+            return Ok(step);
+        }
+        // `axis::test`.
+        if let (Some(Tok::Name(n)), Some(Tok::ColonColon)) = (self.peek(), self.peek2()) {
+            let name = n.clone();
+            let axis = xpath_axis(&name).ok_or_else(|| {
+                SyntaxError::at(self.i, format!("'{name}' is not an XPath 1.0 axis"))
+            })?;
+            self.i += 2;
+            if axis == Axis::Attribute {
+                let test = self.node_test()?;
+                let mut step = Step::new(Axis::Attribute, test);
+                self.predicates(&mut step)?;
+                return Ok(step);
+            }
+            let test = self.node_test()?;
+            let mut step = Step::new(axis, test);
+            self.predicates(&mut step)?;
+            return Ok(step);
+        }
+        // Plain test with the separator's axis. `//X` is shorthand for
+        // `/descendant-or-self::node()/child::X`, which over element
+        // trees coincides with `descendant::X`.
+        let test = self.node_test()?;
+        let mut step = Step::new(separator_axis, test);
+        self.predicates(&mut step)?;
+        Ok(step)
+    }
+
+    fn node_test(&mut self) -> Result<NodeTest, SyntaxError> {
+        match self.t.get(self.i).cloned() {
+            Some(Tok::Star) => {
+                self.i += 1;
+                Ok(NodeTest::Any)
+            }
+            Some(Tok::Name(n)) => {
+                self.i += 1;
+                Ok(NodeTest::Tag(n))
+            }
+            Some(Tok::Literal(s)) => {
+                self.i += 1;
+                Ok(NodeTest::Tag(s))
+            }
+            other => Err(SyntaxError::at(
+                self.i,
+                format!("expected a node test, found {other:?}"),
+            )),
+        }
+    }
+
+    fn predicates(&mut self, step: &mut Step) -> Result<(), SyntaxError> {
+        while self.peek() == Some(&Tok::LBracket) {
+            self.i += 1;
+            let e = self.or_expr()?;
+            self.expect(Tok::RBracket)?;
+            step.predicates.push(e);
+        }
+        Ok(())
+    }
+
+    fn or_expr(&mut self) -> Result<Pred, SyntaxError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Some(Tok::Name(n)) if n == "or") {
+            self.i += 1;
+            lhs = Pred::or(lhs, self.and_expr()?);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Pred, SyntaxError> {
+        let mut lhs = self.unary()?;
+        while matches!(self.peek(), Some(Tok::Name(n)) if n == "and") {
+            self.i += 1;
+            lhs = Pred::and(lhs, self.unary()?);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Pred, SyntaxError> {
+        match (self.peek(), self.peek2()) {
+            (Some(Tok::Name(n)), Some(Tok::LParen)) if n == "not" => {
+                self.i += 2;
+                let inner = self.or_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(Pred::not(inner))
+            }
+            (Some(Tok::Name(n)), Some(Tok::LParen)) if n == "position" => {
+                self.i += 2;
+                self.expect(Tok::RParen)?;
+                let op = self.cmp_op()?;
+                let rhs = self.pos_rhs()?;
+                Ok(Pred::Position(op, rhs))
+            }
+            (Some(Tok::Name(n)), Some(Tok::LParen)) if n == "last" => {
+                self.i += 2;
+                self.expect(Tok::RParen)?;
+                Ok(Pred::Position(CmpOp::Eq, PosRhs::Last))
+            }
+            (Some(Tok::Name(n)), Some(Tok::LParen)) if n == "count" => {
+                self.i += 2;
+                let path = self.predicate_path()?;
+                self.expect(Tok::RParen)?;
+                let op = self.cmp_op()?;
+                let value = self.number()?;
+                Ok(Pred::Count { path, op, value })
+            }
+            (Some(Tok::Name(n)), Some(Tok::LParen)) if n == "string-length" => {
+                self.i += 2;
+                let path = self.predicate_path()?;
+                self.expect(Tok::RParen)?;
+                let op = self.cmp_op()?;
+                let value = self.number()?;
+                Ok(Pred::StrLen { path, op, value })
+            }
+            (Some(Tok::Name(n)), Some(Tok::LParen))
+                if lpath_syntax::StrFunc::from_name(n).is_some() =>
+            {
+                let func = lpath_syntax::StrFunc::from_name(n).expect("guard checked");
+                self.i += 2;
+                let path = self.predicate_path()?;
+                self.expect(Tok::Comma)?;
+                let arg = match self.t.get(self.i).cloned() {
+                    Some(Tok::Literal(s)) | Some(Tok::Name(s)) => {
+                        self.i += 1;
+                        s
+                    }
+                    other => {
+                        return Err(SyntaxError::at(
+                            self.i,
+                            format!("expected a string argument, found {other:?}"),
+                        ))
+                    }
+                };
+                self.expect(Tok::RParen)?;
+                Ok(Pred::StrCmp { func, path, arg })
+            }
+            (Some(Tok::LParen), _) => {
+                self.i += 1;
+                let inner = self.or_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            _ => {
+                // A relative path; `.//X` and `//X` both mean
+                // descendant-of-context here.
+                if self.peek() == Some(&Tok::Dot)
+                    && matches!(self.peek2(), Some(Tok::DSlash) | Some(Tok::Slash))
+                {
+                    self.i += 1; // swallow the `.`; the separator drives the axis
+                }
+                let path = self.rel_path()?;
+                if matches!(self.peek(), Some(Tok::Eq) | Some(Tok::Ne)) {
+                    let op = self.cmp_op()?;
+                    let value = match self.t.get(self.i).cloned() {
+                        Some(Tok::Name(n)) => {
+                            self.i += 1;
+                            n
+                        }
+                        Some(Tok::Literal(s)) => {
+                            self.i += 1;
+                            s
+                        }
+                        other => {
+                            return Err(SyntaxError::at(
+                                self.i,
+                                format!("expected a value, found {other:?}"),
+                            ))
+                        }
+                    };
+                    Ok(Pred::Cmp { path, op, value })
+                } else {
+                    Ok(Pred::Exists(path))
+                }
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, SyntaxError> {
+        match self.peek() {
+            Some(Tok::Eq) => {
+                self.i += 1;
+                Ok(CmpOp::Eq)
+            }
+            Some(Tok::Ne) => {
+                self.i += 1;
+                Ok(CmpOp::Ne)
+            }
+            Some(Tok::Lt) => {
+                self.i += 1;
+                Ok(CmpOp::Lt)
+            }
+            Some(Tok::Gt) => {
+                self.i += 1;
+                Ok(CmpOp::Gt)
+            }
+            other => Err(SyntaxError::at(
+                self.i,
+                format!("expected a comparison operator, found {other:?}"),
+            )),
+        }
+    }
+
+    /// A relative path argument inside a function call, with the same
+    /// leading-`.` normalization as predicate paths.
+    fn predicate_path(&mut self) -> Result<Path, SyntaxError> {
+        if self.peek() == Some(&Tok::Dot)
+            && matches!(self.peek2(), Some(Tok::DSlash) | Some(Tok::Slash))
+        {
+            self.i += 1;
+        }
+        self.rel_path()
+    }
+
+    /// A bare non-negative integer.
+    fn number(&mut self) -> Result<u32, SyntaxError> {
+        match self.t.get(self.i).cloned() {
+            Some(Tok::Name(n)) => {
+                let v: u32 = n
+                    .parse()
+                    .map_err(|_| SyntaxError::at(self.i, format!("not a number: {n}")))?;
+                self.i += 1;
+                Ok(v)
+            }
+            other => Err(SyntaxError::at(
+                self.i,
+                format!("expected a number, found {other:?}"),
+            )),
+        }
+    }
+
+    fn pos_rhs(&mut self) -> Result<PosRhs, SyntaxError> {
+        match (self.t.get(self.i).cloned(), self.peek2()) {
+            (Some(Tok::Name(n)), Some(Tok::LParen)) if n == "last" => {
+                self.i += 2;
+                self.expect(Tok::RParen)?;
+                Ok(PosRhs::Last)
+            }
+            (Some(Tok::Name(n)), _) => {
+                let v: u32 = n
+                    .parse()
+                    .map_err(|_| SyntaxError::at(self.i, format!("not a number: {n}")))?;
+                self.i += 1;
+                Ok(PosRhs::Const(v))
+            }
+            other => Err(SyntaxError::at(
+                self.i,
+                format!("expected number or last(), found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_paths() {
+        let p = parse_xpath("//S").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        let p = parse_xpath("/S/NP").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Child);
+        let p = parse_xpath("//S//NP").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn star_is_wildcard() {
+        let p = parse_xpath("//*[@lex='saw']").unwrap();
+        assert_eq!(p.steps[0].test, NodeTest::Any);
+        let Pred::Cmp { op, value, .. } = &p.steps[0].predicates[0] else {
+            panic!()
+        };
+        assert_eq!(*op, CmpOp::Eq);
+        assert_eq!(value, "saw");
+    }
+
+    #[test]
+    fn named_axes() {
+        let p = parse_xpath("//V/following-sibling::*[position()=1][self::NP]").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::FollowingSibling);
+        assert_eq!(
+            p.steps[1].predicates[0],
+            Pred::Position(CmpOp::Eq, PosRhs::Const(1))
+        );
+        // LPath-only axes are rejected.
+        assert!(parse_xpath("//V/immediate-following::NP").is_err());
+        assert!(parse_xpath("//V/following-or-self::NP").is_err());
+    }
+
+    #[test]
+    fn predicate_paths() {
+        let p = parse_xpath("//S[.//NP/ADJP]").unwrap();
+        let Pred::Exists(inner) = &p.steps[0].predicates[0] else {
+            panic!()
+        };
+        assert_eq!(inner.steps[0].axis, Axis::Descendant);
+        assert_eq!(inner.steps[1].axis, Axis::Child);
+        // Bare name predicate = child.
+        let p = parse_xpath("//S[NP]").unwrap();
+        let Pred::Exists(inner) = &p.steps[0].predicates[0] else {
+            panic!()
+        };
+        assert_eq!(inner.steps[0].axis, Axis::Child);
+    }
+
+    #[test]
+    fn booleans() {
+        let p = parse_xpath("//NP[not(.//JJ) and .//DT or NP]").unwrap();
+        assert!(matches!(p.steps[0].predicates[0], Pred::Or(..)));
+    }
+
+    #[test]
+    fn the_eleven_figure10_queries_parse() {
+        for q in [
+            "//S[.//*[@lex='saw']]",
+            "//S[.//NP/ADJP]",
+            "//NP[not(.//JJ)]",
+            "//*[@lex='rapprochement']",
+            "//*[@lex='1929']",
+            "//ADVP-LOC-CLR",
+            "//WHPP",
+            "//RRC/PP-TMP",
+            "//UCP-PRD/ADJP-PRD",
+            "//NP/NP/NP/NP/NP",
+            "//VP/VP/VP",
+        ] {
+            parse_xpath(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn function_library() {
+        let p = parse_xpath("//NP[count(.//JJ)>0]").unwrap();
+        assert!(matches!(
+            p.steps[0].predicates[0],
+            Pred::Count {
+                op: CmpOp::Gt,
+                value: 0,
+                ..
+            }
+        ));
+        let p = parse_xpath("//*[contains(@lex,'og')]").unwrap();
+        assert!(matches!(p.steps[0].predicates[0], Pred::StrCmp { .. }));
+        let p = parse_xpath("//*[starts-with(@lex,\"s\")]").unwrap();
+        assert!(matches!(p.steps[0].predicates[0], Pred::StrCmp { .. }));
+        let p = parse_xpath("//*[string-length(@lex)=3]").unwrap();
+        assert!(matches!(p.steps[0].predicates[0], Pred::StrLen { .. }));
+    }
+
+    #[test]
+    fn errors() {
+        for bad in [
+            "",
+            "//",
+            "//S[",
+            "//S]",
+            "//S[@]",
+            "//S[=x]",
+            "//S{//V}",
+            "//V->NP",
+            "//S[count()>1]",
+            "//S[contains(@lex)]",
+        ] {
+            assert!(parse_xpath(bad).is_err(), "{bad}");
+        }
+    }
+}

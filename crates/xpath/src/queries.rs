@@ -1,0 +1,37 @@
+//! XPath renderings of the 11 Figure 6(c) queries that XPath 1.0 can
+//! express (the x-axis of the paper's Figure 10).
+
+/// `(query id, XPath text)` pairs, ids matching
+/// `lpath_core::queryset::QUERIES`.
+pub const XPATH_QUERIES: [(usize, &str); 11] = [
+    (1, "//S[.//*[@lex='saw']]"),
+    (8, "//S[.//NP/ADJP]"),
+    (9, "//NP[not(.//JJ)]"),
+    (12, "//*[@lex='rapprochement']"),
+    (13, "//*[@lex='1929']"),
+    (14, "//ADVP-LOC-CLR"),
+    (15, "//WHPP"),
+    (16, "//RRC/PP-TMP"),
+    (17, "//UCP-PRD/ADJP-PRD"),
+    (18, "//NP/NP/NP/NP/NP"),
+    (19, "//VP/VP/VP"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xpath;
+
+    #[test]
+    fn all_parse() {
+        for (id, q) in XPATH_QUERIES {
+            parse_xpath(q).unwrap_or_else(|e| panic!("Q{id}: {e}"));
+        }
+    }
+
+    #[test]
+    fn ids_are_the_paper_subset() {
+        let ids: Vec<usize> = XPATH_QUERIES.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, [1, 8, 9, 12, 13, 14, 15, 16, 17, 18, 19]);
+    }
+}

@@ -1,0 +1,454 @@
+//! XPath → SQL translation over the start/end labeling (DeHaan, the paper’s reference \[11\]),
+//! the counterpart of `lpath-core`'s Table 2 translation.
+//!
+//! Axis characterizations on `{tid, start, end, depth, id, pid}`:
+//!
+//! | axis | condition |
+//! |---|---|
+//! | child | `x.pid = c.id` (+ nesting for the index range) |
+//! | descendant | `x.start > c.start ∧ x.end < c.end` |
+//! | parent | `x.id = c.pid` |
+//! | ancestor | `x.start < c.start ∧ x.end > c.end` |
+//! | following | `x.start > c.end` |
+//! | preceding | `x.end < c.start` |
+//! | following-sibling | `x.pid = c.pid ∧ x.start > c.end` |
+//! | preceding-sibling | `x.pid = c.pid ∧ x.end < c.start` |
+//!
+//! There is nothing to write for *immediate*-following: start/end
+//! positions of adjacent constituents differ by an unbounded number of
+//! intervening tags. Queries using LPath extensions are rejected —
+//! that's Figure 10's story: same machinery, smaller language.
+
+use lpath_model::Interner;
+use lpath_relstore::{
+    Cmp, ColId, ColRef, Cond, ConjQuery, Database, InCond, Operand, SubQuery, TableId, NULL,
+};
+use lpath_syntax::{Axis, CmpOp, NodeTest, Path, Pred, Step};
+
+/// Failure to express a query over the start/end labeling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct XpathUnsupported(pub String);
+
+impl std::fmt::Display for XpathUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "not expressible over start/end labels: {}", self.0)
+    }
+}
+
+impl std::error::Error for XpathUnsupported {}
+
+/// Column handles of the start/end node relation.
+#[derive(Copy, Clone, Debug)]
+pub struct SeCols {
+    /// Tree identifier.
+    pub tid: ColId,
+    /// Start-tag position.
+    pub start: ColId,
+    /// End-tag position.
+    pub end: ColId,
+    /// Node depth.
+    pub depth: ColId,
+    /// Unique node id.
+    pub id: ColId,
+    /// Parent's id.
+    pub pid: ColId,
+    /// Interned tag or attribute name.
+    pub name: ColId,
+    /// Interned attribute value (NULL on element rows).
+    pub value: ColId,
+}
+
+impl SeCols {
+    /// Resolve against the start/end table's schema.
+    pub fn resolve(db: &Database, table: TableId) -> Self {
+        let s = db.table(table).schema();
+        SeCols {
+            tid: s.col_expect("tid"),
+            start: s.col_expect("start"),
+            end: s.col_expect("end"),
+            depth: s.col_expect("depth"),
+            id: s.col_expect("id"),
+            pid: s.col_expect("pid"),
+            name: s.col_expect("name"),
+            value: s.col_expect("value"),
+        }
+    }
+}
+
+/// The XPath → SQL translator over start/end labels.
+pub struct SeTranslator<'a> {
+    /// The start/end node relation.
+    pub table: TableId,
+    /// Resolved column handles.
+    pub cols: SeCols,
+    /// The corpus dictionary.
+    pub interner: &'a Interner,
+}
+
+#[derive(Copy, Clone)]
+enum Ctx {
+    Document,
+    Alias(usize),
+    Outer(usize),
+}
+
+impl<'a> SeTranslator<'a> {
+    /// Build a translator for one start/end relation.
+    pub fn new(table: TableId, cols: SeCols, interner: &'a Interner) -> Self {
+        SeTranslator {
+            table,
+            cols,
+            interner,
+        }
+    }
+
+    /// Translate a full query (rejecting LPath-only features).
+    pub fn translate(&self, path: &Path) -> Result<ConjQuery, XpathUnsupported> {
+        if path.scope.is_some() {
+            return Err(XpathUnsupported("subtree scoping".into()));
+        }
+        let mut q = ConjQuery {
+            distinct: true,
+            ..Default::default()
+        };
+        let ctx = if path.absolute {
+            Ctx::Document
+        } else {
+            let r = q.add_alias(self.table);
+            q.conds
+                .push(Cond::against_const(ColRef::new(r, self.cols.depth), Cmp::Eq, 1));
+            q.conds
+                .push(Cond::against_const(ColRef::new(r, self.cols.value), Cmp::Eq, NULL));
+            Ctx::Alias(r)
+        };
+        let result = self.path_into(&mut q, path, ctx)?;
+        q.projection = vec![
+            ColRef::new(result, self.cols.tid),
+            ColRef::new(result, self.cols.id),
+        ];
+        Ok(q)
+    }
+
+    fn unsat(&self, q: &mut ConjQuery, alias: usize) {
+        q.conds
+            .push(Cond::against_const(ColRef::new(alias, self.cols.start), Cmp::Lt, 0));
+    }
+
+    fn path_into(
+        &self,
+        q: &mut ConjQuery,
+        path: &Path,
+        mut ctx: Ctx,
+    ) -> Result<usize, XpathUnsupported> {
+        if path.scope.is_some() {
+            return Err(XpathUnsupported("subtree scoping".into()));
+        }
+        for step in &path.steps {
+            let alias = self.step_into(q, step, ctx)?;
+            ctx = Ctx::Alias(alias);
+        }
+        match ctx {
+            Ctx::Alias(a) => Ok(a),
+            Ctx::Outer(a) => {
+                // Mirror for the degenerate `[.]` predicate.
+                let m = q.add_alias(self.table);
+                q.conds.push(Cond::new(
+                    ColRef::new(m, self.cols.tid),
+                    Cmp::Eq,
+                    Operand::Outer(ColRef::new(a, self.cols.tid)),
+                ));
+                q.conds.push(Cond::new(
+                    ColRef::new(m, self.cols.id),
+                    Cmp::Eq,
+                    Operand::Outer(ColRef::new(a, self.cols.id)),
+                ));
+                Ok(m)
+            }
+            Ctx::Document => Err(XpathUnsupported("empty path".into())),
+        }
+    }
+
+    fn step_into(
+        &self,
+        q: &mut ConjQuery,
+        step: &Step,
+        ctx: Ctx,
+    ) -> Result<usize, XpathUnsupported> {
+        if step.left_align || step.right_align {
+            return Err(XpathUnsupported("edge alignment".into()));
+        }
+        let x = q.add_alias(self.table);
+        let cr = |a: usize, c: ColId| ColRef::new(a, c);
+
+        // Node test.
+        match (step.axis, &step.test) {
+            (Axis::Attribute, NodeTest::Tag(t)) => match self.interner.get(&format!("@{t}")) {
+                Some(sym) => q
+                    .conds
+                    .push(Cond::against_const(cr(x, self.cols.name), Cmp::Eq, sym.raw())),
+                None => self.unsat(q, x),
+            },
+            (Axis::Attribute, NodeTest::Any) => {
+                q.conds
+                    .push(Cond::against_const(cr(x, self.cols.value), Cmp::Ne, NULL));
+            }
+            (_, NodeTest::Tag(t)) => match self.interner.get(t) {
+                Some(sym) => q
+                    .conds
+                    .push(Cond::against_const(cr(x, self.cols.name), Cmp::Eq, sym.raw())),
+                None => self.unsat(q, x),
+            },
+            (_, NodeTest::Any) => {
+                q.conds
+                    .push(Cond::against_const(cr(x, self.cols.value), Cmp::Eq, NULL));
+            }
+        }
+
+        // Axis conditions. `mk` builds a condition against the context,
+        // local or outer.
+        let mk = |lhs: ColId, cmp: Cmp, rhs: ColId| -> Result<Cond, XpathUnsupported> {
+            match ctx {
+                Ctx::Alias(c) => Ok(Cond::between(cr(x, lhs), cmp, cr(c, rhs))),
+                Ctx::Outer(c) => Ok(Cond::new(cr(x, lhs), cmp, Operand::Outer(cr(c, rhs)))),
+                Ctx::Document => Err(XpathUnsupported(
+                    "axis from the document node".into(),
+                )),
+            }
+        };
+        let is_doc = matches!(ctx, Ctx::Document);
+        match step.axis {
+            Axis::Child if is_doc => {
+                q.conds
+                    .push(Cond::against_const(cr(x, self.cols.pid), Cmp::Eq, 1));
+            }
+            Axis::Descendant | Axis::DescendantOrSelf if is_doc => {}
+            _ if is_doc => self.unsat(q, x),
+            Axis::Child => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.pid, Cmp::Eq, self.cols.id)?);
+                q.conds.push(mk(self.cols.start, Cmp::Gt, self.cols.start)?);
+                q.conds.push(mk(self.cols.end, Cmp::Lt, self.cols.end)?);
+            }
+            Axis::Descendant => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.start, Cmp::Gt, self.cols.start)?);
+                q.conds.push(mk(self.cols.end, Cmp::Lt, self.cols.end)?);
+            }
+            Axis::DescendantOrSelf => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.start, Cmp::Ge, self.cols.start)?);
+                q.conds.push(mk(self.cols.end, Cmp::Le, self.cols.end)?);
+            }
+            Axis::Parent => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.id, Cmp::Eq, self.cols.pid)?);
+            }
+            Axis::Ancestor => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.start, Cmp::Lt, self.cols.start)?);
+                q.conds.push(mk(self.cols.end, Cmp::Gt, self.cols.end)?);
+            }
+            Axis::AncestorOrSelf => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.start, Cmp::Le, self.cols.start)?);
+                q.conds.push(mk(self.cols.end, Cmp::Ge, self.cols.end)?);
+            }
+            Axis::SelfAxis => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.id, Cmp::Eq, self.cols.id)?);
+            }
+            Axis::Following => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.start, Cmp::Gt, self.cols.end)?);
+            }
+            Axis::Preceding => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.end, Cmp::Lt, self.cols.start)?);
+            }
+            Axis::FollowingSibling => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.pid, Cmp::Eq, self.cols.pid)?);
+                q.conds.push(mk(self.cols.start, Cmp::Gt, self.cols.end)?);
+            }
+            Axis::PrecedingSibling => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.pid, Cmp::Eq, self.cols.pid)?);
+                q.conds.push(mk(self.cols.end, Cmp::Lt, self.cols.start)?);
+            }
+            Axis::Attribute => {
+                q.conds.push(mk(self.cols.tid, Cmp::Eq, self.cols.tid)?);
+                q.conds.push(mk(self.cols.id, Cmp::Eq, self.cols.id)?);
+            }
+            other => {
+                return Err(XpathUnsupported(format!(
+                    "axis {} (requires the LPath labeling)",
+                    other.name()
+                )))
+            }
+        }
+
+        for pred in &step.predicates {
+            self.pred_into(q, pred, x, false)?;
+        }
+        Ok(x)
+    }
+
+    fn pred_into(
+        &self,
+        q: &mut ConjQuery,
+        pred: &Pred,
+        context: usize,
+        negated: bool,
+    ) -> Result<(), XpathUnsupported> {
+        match pred {
+            Pred::And(a, b) if !negated => {
+                self.pred_into(q, a, context, false)?;
+                self.pred_into(q, b, context, false)
+            }
+            Pred::Not(p) => self.pred_into(q, p, context, !negated),
+            Pred::Or(..) | Pred::And(..) => {
+                Err(XpathUnsupported("disjunctive predicate".into()))
+            }
+            Pred::Position(..) => Err(XpathUnsupported("position()/last()".into())),
+            // Positive predicates inline as joins (DISTINCT absorbs
+            // witness multiplicity), exactly as in the LPath engine —
+            // the paper's Figure 10 holds "other components the same".
+            Pred::Exists(path) => {
+                if negated {
+                    let mut sub = ConjQuery::default();
+                    self.path_into(&mut sub, path, Ctx::Outer(context))?;
+                    q.subqueries.push(SubQuery {
+                        negated: true,
+                        query: sub,
+                    });
+                } else {
+                    self.path_into(q, path, Ctx::Alias(context))?;
+                }
+                Ok(())
+            }
+            Pred::Cmp { path, op, value } => {
+                let cmp = match op {
+                    CmpOp::Eq => Cmp::Eq,
+                    CmpOp::Ne => Cmp::Ne,
+                    _ => return Err(XpathUnsupported("ordered value comparison".into())),
+                };
+                if !path
+                    .steps
+                    .last()
+                    .is_some_and(|s| s.axis == Axis::Attribute)
+                {
+                    return Err(XpathUnsupported(
+                        "comparison on a non-attribute path".into(),
+                    ));
+                }
+                let value_cond = |me: &Self, q: &mut ConjQuery, alias: usize| {
+                    match me.interner.get(value) {
+                        Some(sym) => q.conds.push(Cond::against_const(
+                            ColRef::new(alias, me.cols.value),
+                            cmp,
+                            sym.raw(),
+                        )),
+                        None if cmp == Cmp::Eq => me.unsat(q, alias),
+                        None => {}
+                    }
+                };
+                if negated {
+                    let mut sub = ConjQuery::default();
+                    let result = self.path_into(&mut sub, path, Ctx::Outer(context))?;
+                    value_cond(self, &mut sub, result);
+                    q.subqueries.push(SubQuery {
+                        negated: true,
+                        query: sub,
+                    });
+                } else {
+                    let result = self.path_into(q, path, Ctx::Alias(context))?;
+                    value_cond(self, q, result);
+                }
+                Ok(())
+            }
+            Pred::Count { path, op, value } => {
+                // As in the LPath engine: only existence thresholds fit
+                // the conjunctive target.
+                let exists = match (op, value) {
+                    (CmpOp::Gt, 0) | (CmpOp::Ne, 0) => true,
+                    (CmpOp::Eq, 0) | (CmpOp::Lt, 1) => false,
+                    _ => {
+                        return Err(XpathUnsupported(
+                            "count() thresholds beyond existence".into(),
+                        ))
+                    }
+                };
+                self.pred_into(q, &Pred::Exists(path.clone()), context, negated == exists)
+            }
+            Pred::StrCmp { func, path, arg } => {
+                let members = self.symbols_matching(|text| func.apply(text, arg));
+                self.apply_in_set(q, path, context, negated, members)
+            }
+            Pred::StrLen { path, op, value } => {
+                let members = self.symbols_matching(|text| {
+                    let n = text.chars().count() as u32;
+                    match op {
+                        CmpOp::Eq => n == *value,
+                        CmpOp::Ne => n != *value,
+                        CmpOp::Lt => n < *value,
+                        CmpOp::Gt => n > *value,
+                    }
+                });
+                self.apply_in_set(q, path, context, negated, members)
+            }
+        }
+    }
+
+    /// Interned symbols whose text satisfies `test` (string-function
+    /// expansion; see `lpath-core::translate`).
+    fn symbols_matching(&self, test: impl Fn(&str) -> bool) -> Vec<u32> {
+        self.interner
+            .iter()
+            .filter(|(_, text)| test(text))
+            .map(|(sym, _)| sym.raw())
+            .collect()
+    }
+
+    /// Constrain an attribute-final predicate path's value to a symbol
+    /// set, negating at the EXISTS level when required.
+    fn apply_in_set(
+        &self,
+        q: &mut ConjQuery,
+        path: &Path,
+        context: usize,
+        negated: bool,
+        members: Vec<u32>,
+    ) -> Result<(), XpathUnsupported> {
+        if !path
+            .steps
+            .last()
+            .is_some_and(|s| s.axis == Axis::Attribute)
+        {
+            return Err(XpathUnsupported(
+                "string function on a non-attribute path".into(),
+            ));
+        }
+        if negated {
+            let mut sub = ConjQuery::default();
+            let result = self.path_into(&mut sub, path, Ctx::Outer(context))?;
+            if members.is_empty() {
+                self.unsat(&mut sub, result);
+            } else {
+                sub.in_conds
+                    .push(InCond::new(ColRef::new(result, self.cols.value), members));
+            }
+            q.subqueries.push(SubQuery {
+                negated: true,
+                query: sub,
+            });
+        } else if members.is_empty() {
+            let alias = self.path_into(q, path, Ctx::Alias(context))?;
+            self.unsat(q, alias);
+        } else {
+            let result = self.path_into(q, path, Ctx::Alias(context))?;
+            q.in_conds
+                .push(InCond::new(ColRef::new(result, self.cols.value), members));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,74 @@
+//! Annotation repair: query-driven treebank curation.
+//!
+//! The paper's closing discussion points at *updating* treebanks as the
+//! companion problem to querying them. This example plays a curation
+//! session: LPath queries locate annotation defects, [`TreeEditor`]
+//! repairs them, and the engine re-checks the invariant after each fix.
+//!
+//! ```sh
+//! cargo run --example annotation_repair
+//! ```
+
+use lpath::model::TreeEditor;
+use lpath::prelude::*;
+
+fn main() {
+    // A small treebank with two classic annotation defects:
+    //  * sentence 1: flat NP — "the old man" was never bracketed, so
+    //    Det/Adj/N hang directly off the VP-object NP's parent;
+    //  * sentence 2: a spurious unary X bracket around the verb.
+    let mut corpus = parse_str(
+        "( (S (NP I) (VP (V saw) (Det the) (Adj old) (N man))) )\n\
+         ( (S (NP you) (VP (X (V ran)))) )",
+    )
+    .expect("well-formed treebank");
+
+    let engine = Engine::build(&corpus);
+    // Defect 1: a Det directly under a VP (should live inside an NP).
+    let flat = engine.count("//VP/Det").unwrap();
+    // Defect 2: an X bracket.
+    let spurious = engine.count("//X").unwrap();
+    println!("defects found: {flat} flat NP span(s), {spurious} spurious bracket(s)\n");
+    assert_eq!((flat, spurious), (1, 1));
+
+    // --- Repair 1: wrap Det..N of sentence 1's VP in an NP. ---
+    let np = corpus.intern("NP");
+    let mut ed = TreeEditor::new(&corpus.trees()[0]);
+    // The VP is preorder node 2; children are [V, Det, Adj, N].
+    let vp = ed.node_ref(NodeId(2));
+    let new_np = ed.wrap(vp, 1, 4, np).expect("valid child range");
+    println!(
+        "wrapped children 1..4 of VP under a fresh NP (span {:?})",
+        ed.labels()
+            .iter()
+            .find(|(r, _)| *r == new_np)
+            .map(|(_, l)| (l.left, l.right))
+            .expect("fresh node is labeled"),
+    );
+    let repaired_1 = ed.finish().expect("normalized tree");
+
+    // --- Repair 2: splice out the unary X in sentence 2. ---
+    let mut ed = TreeEditor::new(&corpus.trees()[1]);
+    let x = ed.node_ref(NodeId(3)); // S NP VP X …
+    ed.splice_out(x).expect("X has children");
+    let repaired_2 = ed.finish().expect("normalized tree");
+
+    // Rebuild the corpus and verify both defects are gone — and the
+    // repair introduced the structure the queries expect.
+    let mut fixed = Corpus::new();
+    *fixed.interner_mut() = corpus.interner().clone();
+    fixed.add_tree(repaired_1);
+    fixed.add_tree(repaired_2);
+    let engine = Engine::build(&fixed);
+    assert_eq!(engine.count("//VP/Det").unwrap(), 0);
+    assert_eq!(engine.count("//X").unwrap(), 0);
+    // The new NP immediately follows the verb…
+    assert_eq!(engine.count("//V->NP").unwrap(), 1);
+    // …and is the rightmost child of its VP.
+    assert_eq!(engine.count("//VP{/NP$}").unwrap(), 1);
+    println!("\nafter repair:");
+    println!("  //VP/Det      → 0   (flat span bracketed)");
+    println!("  //X           → 0   (spurious bracket dissolved)");
+    println!("  //V->NP       → 1   (object NP adjacent to the verb)");
+    println!("  //VP{{/NP$}}    → 1   (NP right-aligned in its VP)");
+}

@@ -1,0 +1,77 @@
+//! Engine shootout: the same 23 evaluation queries (Figure 6(c)) run
+//! on all four engines — LPath/SQL, TGrep2-style, CorpusSearch-style
+//! and (where expressible) the XPath baseline — with wall-clock times
+//! and agreement checking. A miniature of the paper's Figures 7 and 10.
+//!
+//! ```sh
+//! cargo run --release --example engine_shootout
+//! ```
+
+use std::time::Instant;
+
+use lpath::prelude::*;
+use lpath::xpath::XPATH_QUERIES;
+
+fn main() {
+    let corpus = generate(&GenConfig::wsj(1_000));
+    println!(
+        "corpus: {} trees, {} nodes\n",
+        corpus.trees().len(),
+        corpus.stats().total_nodes
+    );
+
+    let t = Instant::now();
+    let lpath = Engine::build(&corpus);
+    println!("build lpath engine  {:>9.1?}", t.elapsed());
+    let t = Instant::now();
+    let tgrep = TgrepEngine::build(&corpus);
+    println!("build tgrep image   {:>9.1?} ({} kB)", t.elapsed(), tgrep.image_bytes() / 1024);
+    let t = Instant::now();
+    let xpath = XPathEngine::build(&corpus);
+    println!("build xpath engine  {:>9.1?}", t.elapsed());
+    let cs = CsEngine::new(&corpus); // CorpusSearch has no build step
+    println!();
+
+    println!(
+        "{:<4}{:>8}  {:>10}{:>10}{:>10}{:>10}",
+        "Q", "results", "lpath", "tgrep", "cs", "xpath"
+    );
+    for q in QUERIES {
+        let i = q.id - 1;
+        let t = Instant::now();
+        let n = lpath.count(q.lpath).expect("lpath");
+        let t_lpath = t.elapsed();
+
+        let t = Instant::now();
+        let n_tgrep = tgrep.count(TGREP_QUERIES[i]).expect("tgrep");
+        let t_tgrep = t.elapsed();
+        assert_eq!(n, n_tgrep, "Q{} tgrep disagrees", q.id);
+
+        let t = Instant::now();
+        let n_cs = cs.count(CS_QUERIES[i]).expect("cs");
+        let t_cs = t.elapsed();
+        assert_eq!(n, n_cs, "Q{} corpussearch disagrees", q.id);
+
+        let xp = XPATH_QUERIES.iter().find(|(id, _)| *id == q.id);
+        let t_xp = match xp {
+            Some(&(_, xq)) => {
+                let t = Instant::now();
+                let n_xp = xpath.count(xq).expect("xpath");
+                let d = t.elapsed();
+                assert_eq!(n, n_xp, "Q{} xpath disagrees", q.id);
+                format!("{d:.1?}")
+            }
+            None => "—".to_string(),
+        };
+        println!(
+            "{:<4}{:>8}  {:>10}{:>10}{:>10}{:>10}",
+            format!("Q{}", q.id),
+            n,
+            format!("{t_lpath:.1?}"),
+            format!("{t_tgrep:.1?}"),
+            format!("{t_cs:.1?}"),
+            t_xp
+        );
+    }
+    println!("\nall engines agreed on every query.");
+}

@@ -1,0 +1,73 @@
+//! Lemma 3.1, live: why LPath's immediate axes are beyond Core XPath —
+//! and how Conditional XPath (Marx, PODS 2004) recovers them.
+//!
+//! ```sh
+//! cargo run --example lemma31
+//! ```
+
+use lpath::condxpath::{core_xpath_queries_up_to, immediate_following};
+use lpath::prelude::*;
+use lpath_syntax::Axis;
+
+fn main() {
+    let corpus = parse_str(
+        "( (S (V a) (NP b) (NP c)) )\n\
+         ( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+         (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )",
+    )
+    .unwrap();
+    let walker = Walker::new(&corpus);
+
+    // The target relation: NPs immediately following a verb.
+    let target = walker.eval(&parse("//V->NP").unwrap());
+    println!("//V->NP matches {} node(s) on the witness trees\n", target.len());
+
+    // 1. Core XPath cannot keep up: every predicate-free chain of up to
+    //    three Core XPath steps disagrees somewhere.
+    let mut tried = 0usize;
+    let mut best: Option<(String, usize)> = None;
+    for len in 1..=3 {
+        for chain in core_xpath_queries_up_to(len, &["V", "NP", "S"]) {
+            if chain.steps[0].0 != Axis::Descendant {
+                continue;
+            }
+            let q = chain.to_query();
+            let got = walker.eval(&parse(&q).unwrap());
+            tried += 1;
+            if got == target {
+                panic!("a Core XPath chain matched: {q}");
+            }
+            // Track the nearest miss for the printout.
+            let overlap = got.iter().filter(|m| target.contains(m)).count();
+            let miss = target.len() + got.len() - 2 * overlap;
+            if best.as_ref().is_none_or(|(_, b)| miss < *b) {
+                best = Some((q, miss));
+            }
+        }
+    }
+    let (nearest, miss) = best.expect("chains were enumerated");
+    println!("tried {tried} Core XPath chains — none agree with //V->NP");
+    println!("nearest miss: {nearest} (symmetric difference {miss})\n");
+
+    // 2. Conditional XPath expresses it exactly:
+    //    (up[last-child])* / right / (down[first-child])*.
+    let expr = immediate_following();
+    let mut got: Vec<(u32, NodeId)> = Vec::new();
+    for (tid, tree) in corpus.trees().iter().enumerate() {
+        let v = corpus.interner().get("V").unwrap();
+        let np = corpus.interner().get("NP").unwrap();
+        for c in tree.preorder().filter(|&n| tree.node(n).name == v) {
+            got.extend(
+                expr.eval(tree, c)
+                    .into_iter()
+                    .filter(|&x| tree.node(x).name == np)
+                    .map(|x| (tid as u32, x)),
+            );
+        }
+    }
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(got, target);
+    println!("Conditional XPath (up[last])*/right/(down[first])* matches exactly.");
+    println!("LPath gives the same relation as one primitive: ->");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: load a small treebank, build the engine, run the
+//! paper's Figure 2 queries and print their results.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use lpath::prelude::*;
+
+fn main() {
+    // The paper's Figure 1 sentence, in Penn Treebank bracketed form.
+    let corpus = parse_str(
+        "( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+         (PP (Prep with) (NP (Det a) (N dog))))) (N today)) )",
+    )
+    .expect("well-formed treebank");
+
+    // Label the trees (Definition 4.1), load the node relation,
+    // cluster and index it (paper §5).
+    let engine = Engine::build(&corpus);
+
+    // The example queries of Figure 2, with the paper's descriptions.
+    let queries = [
+        ("//S[//_[@lex=saw]]", "sentences containing the word 'saw'"),
+        ("//V=>NP", "NPs that are the immediate following sibling of a V"),
+        ("//V->NP", "NPs immediately following a V"),
+        ("//VP/V-->N", "Ns following a V that is a child of a VP"),
+        ("//VP{/V-->N}", "…same, but confined to the VP's subtree"),
+        ("//VP{/NP$}", "NPs that are the rightmost child of a VP"),
+        ("//VP{//NP$}", "NPs that are the rightmost descendant of a VP"),
+    ];
+
+    println!("Figure 2 — example linguistic queries\n");
+    for (query, description) in queries {
+        let matches = engine.query(query).expect("valid LPath");
+        let rendered: Vec<String> = matches
+            .iter()
+            .map(|&(tid, node)| {
+                let tree = &corpus.trees()[tid as usize];
+                format!(
+                    "{}#{}",
+                    corpus.resolve(tree.node(node).name),
+                    node.0
+                )
+            })
+            .collect();
+        println!("{query:<18} {description}");
+        println!("{:<18} → {} match(es): {}\n", "", matches.len(), rendered.join(", "));
+    }
+
+    // The walker answers the same queries without the relational store.
+    let walker = Walker::new(&corpus);
+    let q = parse("//V->NP").unwrap();
+    assert_eq!(walker.count(&q), 2);
+    println!("walker agrees: //V->NP has {} matches", walker.count(&q));
+}

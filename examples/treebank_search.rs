@@ -1,0 +1,55 @@
+//! Treebank search: generate a synthetic WSJ-profile corpus and
+//! interrogate it the way a corpus linguist would, mixing vertical
+//! navigation, LPath's horizontal axes, scoping and alignment.
+//!
+//! ```sh
+//! cargo run --release --example treebank_search
+//! ```
+
+use lpath::prelude::*;
+
+fn main() {
+    // A deterministic synthetic stand-in for the (license-restricted)
+    // Penn Treebank WSJ corpus — see DESIGN.md §3 for the substitution
+    // argument.
+    let corpus = generate(&GenConfig::wsj(2_000));
+    let stats = corpus.stats();
+    println!(
+        "corpus: {} trees, {} nodes, {} tokens, {} tags, depth ≤ {}\n",
+        stats.trees, stats.total_nodes, stats.total_tokens, stats.unique_tags, stats.max_depth
+    );
+
+    let engine = Engine::build(&corpus);
+
+    let investigations = [
+        // Verb-phrase internal structure.
+        ("//VP{/VB-->NN}", "nouns after the verb, inside the same VP"),
+        ("//VP[{//^VB->NP->PP$}]", "VPs spanned exactly by V-NP-PP"),
+        // Extraposition-ish: rightmost NPs.
+        ("//VP{//NP$}", "NPs ending exactly where their VP ends"),
+        // Lexical probes.
+        ("//_[@lex=saw]", "occurrences of the word 'saw'"),
+        ("//S[{//_[@lex=what]->_[@lex=building]}]", "'what building' sentences"),
+        // Negation.
+        ("//NP[not(//JJ)]", "NPs with no adjective anywhere inside"),
+        // Sibling adjacency.
+        ("//PP=>SBAR", "SBARs right after a sibling PP"),
+        // Deep recursion.
+        ("//NP/NP/NP/NP/NP", "five-deep NP chains"),
+    ];
+
+    for (query, what) in investigations {
+        let n = engine.count(query).expect("valid query");
+        println!("{n:>7}  {what}\n         {query}\n");
+    }
+
+    // Show a concrete hit: print the first sentence containing "saw".
+    let hits = engine.query("//S[//_[@lex=saw]]").unwrap();
+    if let Some(&(tid, _)) = hits.first() {
+        let tree = &corpus.trees()[tid as usize];
+        let mut line = String::new();
+        lpath::model::ptb::write_tree(tree, corpus.interner(), &mut line, false);
+        let shown: String = line.chars().take(160).collect();
+        println!("first 'saw' sentence (truncated): {shown}…");
+    }
+}

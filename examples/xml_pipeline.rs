@@ -1,0 +1,56 @@
+//! XML pipeline: the paper's data-interchange story end to end.
+//!
+//! The paper motivates LPath by the premise that XML is the natural
+//! interchange format for linguistic trees (§1). This example walks
+//! that pipeline: parse a Penn Treebank file, export it as the XML of
+//! Figure 1 (words as `@lex` attributes), reload the XML, and verify
+//! that every Figure 2 query answers identically on both sides.
+//!
+//! ```sh
+//! cargo run --example xml_pipeline
+//! ```
+
+use lpath::model::xml;
+use lpath::prelude::*;
+
+fn main() {
+    // A tiny treebank in the Penn bracketed format, including tags
+    // that are not legal XML names (`.`, `PRP$`).
+    let bracketed = "\
+( (S (NP I) (VP (V saw) (NP (NP (Det the) (Adj old) (N man)) \
+(PP (Prep with) (NP (Det a) (N dog))))) (N today)) )
+( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (PRP$ it))) (. .)) )";
+    let corpus = parse_str(bracketed).expect("well-formed treebank");
+
+    // Export: one XML document, one element per tree under <treebank>.
+    let document = xml::to_string(&corpus);
+    println!("— exported XML —\n{document}");
+
+    // Reload from XML. Tags like `.` and `PRP$` come back through the
+    // <n tag="…"> escape convention.
+    let reloaded = xml::parse_str(&document).expect("emitted XML parses");
+    assert_eq!(corpus.trees().len(), reloaded.trees().len());
+
+    // Both corpora answer every Figure 2 query identically.
+    let original = Engine::build(&corpus);
+    let roundtrip = Engine::build(&reloaded);
+    println!("— query agreement —");
+    for query in [
+        "//S[//_[@lex=saw]]",
+        "//V=>NP",
+        "//V->NP",
+        "//VP/V-->N",
+        "//VP{/V-->N}",
+        "//VP{/NP$}",
+        "//VP{//NP$}",
+        "//'PRP$'",
+        "//'.'",
+        "//_[contains(@lex,'og')]",
+    ] {
+        let a = original.count(query).expect("valid LPath");
+        let b = roundtrip.count(query).expect("valid LPath");
+        assert_eq!(a, b, "disagreement on {query}");
+        println!("{query:<28} {a} match(es) on both sides");
+    }
+    println!("\nround trip preserved all query answers");
+}

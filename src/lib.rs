@@ -1,0 +1,62 @@
+//! # LPath — an XPath dialect and query engine for linguistic trees
+//!
+//! A from-scratch reproduction of Bird, Chen, Davidson, Lee & Zheng,
+//! *Designing and Evaluating an XPath Dialect for Linguistic Queries*
+//! (ICDE 2006), as a Rust workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`model`] | ordered trees, interval labeling (Def. 4.1), Penn Treebank I/O, synthetic WSJ/SWB corpora |
+//! | [`syntax`] | the LPath language: lexer, parser, AST, printer |
+//! | [`relstore`] | embedded relational engine: columnar tables, ordered indexes, planner, executor |
+//! | [`core`] | the LPath engine: translation to SQL (Table 2), walker and naive oracles, the 23 evaluation queries |
+//! | [`xpath`] | XPath 1.0 baseline over the DeHaan start/end labeling (Figure 10) |
+//! | [`tgrep`] | TGrep2-style baseline: binary corpus image + word index + backtracking matcher |
+//! | [`corpussearch`] | CorpusSearch-style baseline: full-scan search-function interpreter |
+//! | [`condxpath`] | Conditional XPath (Marx, PODS 2004): the expressiveness side of Lemma 3.1 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lpath::prelude::*;
+//!
+//! // Load a treebank (or generate a synthetic one; see `GenConfig`).
+//! let corpus = parse_str(
+//!     "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )",
+//! ).unwrap();
+//!
+//! // Build the paper's engine: label, load, cluster, index.
+//! let engine = Engine::build(&corpus);
+//!
+//! // Horizontal navigation beyond XPath: NPs immediately following a verb.
+//! assert_eq!(engine.count("//VBD->NP").unwrap(), 1);
+//!
+//! // Subtree scoping and edge alignment.
+//! assert_eq!(engine.count("//VP{/NP$}").unwrap(), 1);
+//!
+//! // The SQL the paper's engine would emit.
+//! let sql = engine.sql("//VBD->NP").unwrap();
+//! assert!(sql.contains("n1.left = n0.right"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lpath_condxpath as condxpath;
+pub use lpath_core as core;
+pub use lpath_corpussearch as corpussearch;
+pub use lpath_model as model;
+pub use lpath_relstore as relstore;
+pub use lpath_syntax as syntax;
+pub use lpath_tgrep as tgrep;
+pub use lpath_xpath as xpath;
+
+/// The common imports for working with LPath.
+pub mod prelude {
+    pub use lpath_core::{Engine, EngineError, NaiveEvaluator, Walker, QUERIES};
+    pub use lpath_corpussearch::{CsEngine, CS_QUERIES};
+    pub use lpath_model::ptb::{parse_into, parse_str};
+    pub use lpath_model::{generate, Corpus, GenConfig, NodeId, Profile, Tree};
+    pub use lpath_syntax::{parse, Axis, Path};
+    pub use lpath_tgrep::{TgrepEngine, TGREP_QUERIES};
+    pub use lpath_xpath::XPathEngine;
+}

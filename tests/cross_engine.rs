@@ -1,0 +1,141 @@
+//! Cross-engine agreement on the paper's 23 evaluation queries.
+//!
+//! Four (and for eleven queries, five) independently implemented
+//! engines must report the same result sizes on the same synthetic
+//! corpora:
+//!
+//! * the LPath relational engine (labels → SQL → indexed joins),
+//! * the tree walker (labels, no storage),
+//! * the tgrep engine (binary image + backtracking matcher),
+//! * the CorpusSearch engine (full-scan interpreter),
+//! * the XPath engine (start/end labels) on the XPath-expressible 11.
+//!
+//! Their query texts live in different dialects, so agreement here
+//! validates both the engines and the dialect translations used by the
+//! benchmark harness.
+
+use lpath::prelude::*;
+
+fn check_corpus(corpus: &Corpus, label: &str) {
+    let engine = Engine::build(corpus);
+    let walker = Walker::new(corpus);
+    let tgrep = TgrepEngine::build(corpus);
+    let cs = CsEngine::new(corpus);
+    let xp = XPathEngine::build(corpus);
+
+    for q in QUERIES {
+        let i = q.id - 1;
+        let lpath_count = engine
+            .count(q.lpath)
+            .unwrap_or_else(|e| panic!("{label} Q{}: {e}", q.id));
+        let walker_count = walker.count(&parse(q.lpath).unwrap());
+        assert_eq!(
+            lpath_count, walker_count,
+            "{label} Q{}: engine {lpath_count} vs walker {walker_count} ({})",
+            q.id, q.lpath
+        );
+        let tgrep_count = tgrep
+            .count(TGREP_QUERIES[i])
+            .unwrap_or_else(|e| panic!("{label} Q{} tgrep: {e}", q.id));
+        assert_eq!(
+            lpath_count, tgrep_count,
+            "{label} Q{}: lpath {lpath_count} vs tgrep {tgrep_count} ({} / {})",
+            q.id, q.lpath, TGREP_QUERIES[i]
+        );
+        let cs_count = cs
+            .count(CS_QUERIES[i])
+            .unwrap_or_else(|e| panic!("{label} Q{} cs: {e}", q.id));
+        assert_eq!(
+            lpath_count, cs_count,
+            "{label} Q{}: lpath {lpath_count} vs corpussearch {cs_count} ({} / {})",
+            q.id, q.lpath, CS_QUERIES[i]
+        );
+    }
+
+    for (id, xq) in lpath_xpath::XPATH_QUERIES {
+        let lp = Engine::build(corpus)
+            .count(lpath_core::queryset::by_id(id).lpath)
+            .unwrap();
+        let x = xp
+            .count(xq)
+            .unwrap_or_else(|e| panic!("{label} Q{id} xpath: {e}"));
+        assert_eq!(lp, x, "{label} Q{id}: lpath {lp} vs xpath {x} ({xq})");
+    }
+}
+
+#[test]
+fn all_engines_agree_on_wsj_profile() {
+    let corpus = generate(&GenConfig::wsj(250));
+    check_corpus(&corpus, "wsj");
+}
+
+#[test]
+fn all_engines_agree_on_swb_profile() {
+    let corpus = generate(&GenConfig::swb(250));
+    check_corpus(&corpus, "swb");
+}
+
+#[test]
+fn all_engines_agree_on_a_second_seed() {
+    let corpus = generate(&GenConfig::wsj(150).with_seed(99));
+    check_corpus(&corpus, "wsj-seed99");
+}
+
+#[test]
+fn naive_oracle_agrees_on_a_small_corpus() {
+    // The quadratic oracle is only run on a small corpus.
+    let corpus = generate(&GenConfig::wsj(40));
+    let engine = Engine::build(&corpus);
+    let naive = NaiveEvaluator::new(&corpus);
+    for q in QUERIES {
+        let ast = parse(q.lpath).unwrap();
+        assert_eq!(
+            engine.count(q.lpath).unwrap(),
+            naive.count(&ast),
+            "Q{}: {}",
+            q.id,
+            q.lpath
+        );
+    }
+}
+
+#[test]
+fn function_library_agrees_across_dialects_and_labelings() {
+    // The same function-library query written in LPath syntax (run on
+    // the interval labeling) and in XPath 1.0 syntax (run on the
+    // start/end labeling) must agree — Figure 10's "other components
+    // the same" discipline extended to the paper's footnote-1 library.
+    let corpus = generate(&GenConfig::wsj(250));
+    let engine = Engine::build(&corpus);
+    let walker = Walker::new(&corpus);
+    let xp = XPathEngine::build(&corpus);
+    for (lpath_q, xpath_q) in [
+        ("//_[contains(@lex,'ing')]", "//*[contains(@lex,'ing')]"),
+        ("//_[starts-with(@lex,c)]", "//*[starts-with(@lex,'c')]"),
+        ("//_[string-length(@lex)>8]", "//*[string-length(@lex)>8]"),
+        ("//NP[count(//JJ)=0]", "//NP[count(.//JJ)=0]"),
+        ("//S[count(//VP)>0]", "//S[count(.//VP)>0]"),
+        ("//_[not(contains(@lex,e))][@lex]", "//*[not(contains(@lex,'e'))][@lex]"),
+    ] {
+        let via_lpath = engine.count(lpath_q).unwrap();
+        let via_walker = walker.count(&parse(lpath_q).unwrap());
+        let via_xpath = xp.count(xpath_q).unwrap();
+        assert_eq!(via_lpath, via_walker, "{lpath_q}");
+        assert_eq!(via_lpath, via_xpath, "{lpath_q} vs {xpath_q}");
+    }
+}
+
+#[test]
+fn counts_scale_linearly_under_replication() {
+    // The paper's §5.3 replication methodology: per-tree queries scale
+    // exactly linearly because every copy contributes the same matches.
+    let corpus = generate(&GenConfig::wsj(120));
+    let doubled = corpus.replicate(2.0);
+    let e1 = Engine::build(&corpus);
+    let e2 = Engine::build(&doubled);
+    for q in QUERIES {
+        let c1 = e1.count(q.lpath).unwrap();
+        let c2 = e2.count(q.lpath).unwrap();
+        assert_eq!(c2, 2 * c1, "Q{}: {}", q.id, q.lpath);
+    }
+}
