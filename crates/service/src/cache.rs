@@ -1,0 +1,145 @@
+//! The bounded result cache: `(normalized query, shard set)` →
+//! materialized match set, invalidated by corpus generation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lpath_model::NodeId;
+
+/// A materialized, document-ordered match set.
+pub type ResultSet = Vec<(u32, NodeId)>;
+
+/// Cache key: the normalized query text plus the (sorted) shard subset
+/// it was evaluated over.
+pub(crate) type Key = (String, Vec<u16>);
+
+struct Entry {
+    generation: u64,
+    stamp: u64,
+    value: Arc<ResultSet>,
+}
+
+/// A bounded least-recently-used map. Entries stamped with an older
+/// corpus generation are treated as absent (and dropped on contact),
+/// so a swap or append invalidates the whole cache in O(1).
+pub(crate) struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<Key, Entry>,
+}
+
+impl ResultCache {
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Look up `key` at `generation`, refreshing its recency.
+    pub fn get(&mut self, key: &Key, generation: u64) -> Option<Arc<ResultSet>> {
+        match self.map.get_mut(key) {
+            Some(e) if e.generation == generation => {
+                self.tick += 1;
+                e.stamp = self.tick;
+                Some(Arc::clone(&e.value))
+            }
+            Some(_) => {
+                // Stale generation: drop eagerly.
+                self.map.remove(key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Insert, evicting the least recently used entry when full.
+    /// Capacity zero disables the cache entirely.
+    pub fn insert(&mut self, key: Key, generation: u64, value: Arc<ResultSet>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Evict: stale generations first, else the oldest stamp.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.generation == generation, e.stamp))
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                self.map.remove(&v);
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                generation,
+                stamp: self.tick,
+                value,
+            },
+        );
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(q: &str) -> Key {
+        (q.to_string(), vec![0, 1])
+    }
+
+    fn set(n: u32) -> Arc<ResultSet> {
+        Arc::new(vec![(n, NodeId(0))])
+    }
+
+    #[test]
+    fn hit_and_generation_invalidation() {
+        let mut c = ResultCache::new(4);
+        c.insert(key("//NP"), 1, set(1));
+        assert!(c.get(&key("//NP"), 1).is_some());
+        // A newer generation sees nothing and purges the entry.
+        assert!(c.get(&key("//NP"), 2).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut c = ResultCache::new(2);
+        c.insert(key("a"), 1, set(1));
+        c.insert(key("b"), 1, set(2));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(c.get(&key("a"), 1).is_some());
+        c.insert(key("c"), 1, set(3));
+        assert!(c.get(&key("a"), 1).is_some());
+        assert!(c.get(&key("b"), 1).is_none());
+        assert!(c.get(&key("c"), 1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        c.insert(key("a"), 1, set(1));
+        assert!(c.get(&key("a"), 1).is_none());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn shard_sets_are_distinct_keys() {
+        let mut c = ResultCache::new(4);
+        c.insert(("q".into(), vec![0]), 1, set(1));
+        c.insert(("q".into(), vec![0, 1]), 1, set(2));
+        assert_eq!(c.get(&("q".into(), vec![0]), 1).unwrap()[0].0, 1);
+        assert_eq!(c.get(&("q".into(), vec![0, 1]), 1).unwrap()[0].0, 2);
+    }
+}

@@ -1,0 +1,798 @@
+//! `lpath-service` — a sharded, cached, concurrent query service over
+//! the LPath engines.
+//!
+//! The paper (Bird et al., ICDE 2006) evaluates LPath as a single-shot
+//! pipeline: parse → translate → plan → execute, once, over one
+//! corpus. A production treebank service answers *many* queries over a
+//! *long-lived* corpus, which changes the cost model completely:
+//!
+//! * **Sharding** — the corpus is partitioned by tree id into
+//!   contiguous shards, each with its own fully indexed
+//!   [`lpath_core::Engine`]. Treebank queries never cross tree
+//!   boundaries (the tractability observation of Gottlob, Koch &
+//!   Schulz's *Conjunctive Queries over Trees*), so shards evaluate
+//!   independently and exactly; concatenating per-shard results in
+//!   shard order reproduces single-engine document order byte for
+//!   byte.
+//! * **Plan cache** — each distinct query is parsed, SQL-translated
+//!   and analyzed once per corpus generation ([`CompiledQuery`]),
+//!   mirroring [`lpath_core::Engine`]'s fallback contract: the
+//!   relational translation where it exists, the full-language tree
+//!   walker otherwise.
+//! * **Result cache** — a bounded LRU from `(query, shard set)` to the
+//!   materialized match set, invalidated by corpus generation.
+//! * **Shard pruning** — each shard records which symbols occur in it;
+//!   a query whose required symbols (conservatively extracted) are
+//!   absent from a shard skips that shard outright. Rare-construct
+//!   queries (`//_[@lex=rapprochement]`, `//WHPP`, …) touch only the
+//!   shards that can answer them.
+//! * **Incremental ingest** — [`Service::append_ptb`] rebuilds only
+//!   the tail shard, so keeping a growing corpus queryable costs
+//!   `O(corpus / shards)` per batch instead of a full engine rebuild.
+//! * **Batch API** — [`Service::eval_batch`] fans `(query, shard)`
+//!   tasks across worker threads (scoped; shards are `Sync`), merging
+//!   deterministically.
+//!
+//! ```
+//! use lpath_model::ptb::parse_str;
+//! use lpath_service::{Service, ServiceConfig};
+//!
+//! let corpus = parse_str(
+//!     "( (S (NP (DT the) (NN dog)) (VP (VBD ran))) )\n\
+//!      ( (S (NP (PRP I)) (VP (VBD saw) (NP (DT the) (NN man)))) )",
+//! )
+//! .unwrap();
+//! let service = Service::with_config(
+//!     &corpus,
+//!     ServiceConfig { shards: 2, ..ServiceConfig::default() },
+//! );
+//! assert_eq!(service.count("//VBD->NP").unwrap(), 1);
+//! // Second time around it's a result-cache hit.
+//! assert_eq!(service.count("//VBD->NP").unwrap(), 1);
+//! assert_eq!(service.stats().result_hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod plan;
+pub mod shard;
+pub mod stats;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use lpath_core::Walker;
+use lpath_model::ptb::parse_into;
+use lpath_model::{Corpus, ModelError};
+use lpath_syntax::{parse, SyntaxError};
+
+use cache::ResultCache;
+pub use cache::ResultSet;
+pub use plan::{required_symbols, CompiledQuery, ExecStrategy};
+pub use shard::Shard;
+use stats::Counters;
+pub use stats::{ServiceStats, ShardStats};
+
+/// Everything that can go wrong answering a service request.
+///
+/// Note what is *not* here: unsupported-by-SQL queries are not errors
+/// for the service — they fall back to the tree walker, so the service
+/// answers the full LPath language.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The query text does not parse.
+    Syntax(SyntaxError),
+    /// Appended corpus text does not parse.
+    Corpus(ModelError),
+    /// A requested shard id is out of range.
+    BadShard(u16),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Syntax(e) => e.fmt(f),
+            ServiceError::Corpus(e) => e.fmt(f),
+            ServiceError::BadShard(id) => write!(f, "shard {id} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SyntaxError> for ServiceError {
+    fn from(e: SyntaxError) -> Self {
+        ServiceError::Syntax(e)
+    }
+}
+
+impl From<ModelError> for ServiceError {
+    fn from(e: ModelError) -> Self {
+        ServiceError::Corpus(e)
+    }
+}
+
+/// Service construction parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of shards the corpus is partitioned into (min 1).
+    pub shards: usize,
+    /// Worker threads for shard/batch fan-out; `0` means one per
+    /// available CPU (capped by the work at hand).
+    pub threads: usize,
+    /// Result-cache capacity in entries; `0` disables result caching.
+    pub result_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: 4,
+            threads: 0,
+            result_cache_capacity: 512,
+        }
+    }
+}
+
+/// Corpus-dependent state, replaced wholesale on swap and patched on
+/// append. Readers snapshot `Arc<Shard>`s under a short read lock.
+struct State {
+    master: Corpus,
+    shards: Vec<Arc<Shard>>,
+    generation: u64,
+}
+
+/// The sharded, cached, concurrent LPath query service.
+///
+/// All query methods take `&self` and the service is `Send + Sync`:
+/// share it behind an `Arc` and call it from as many threads as you
+/// like. Mutation ([`Service::append_ptb`], [`Service::swap_corpus`])
+/// also takes `&self`, serialized internally.
+pub struct Service {
+    cfg: ServiceConfig,
+    threads: usize,
+    state: RwLock<State>,
+    plans: RwLock<HashMap<String, Arc<CompiledQuery>>>,
+    results: Mutex<ResultCache>,
+    counters: Counters,
+}
+
+impl Service {
+    /// Build a service over `corpus` with the default configuration.
+    pub fn build(corpus: &Corpus) -> Self {
+        Self::with_config(corpus, ServiceConfig::default())
+    }
+
+    /// Build a service over `corpus` with an explicit configuration.
+    pub fn with_config(corpus: &Corpus, mut cfg: ServiceConfig) -> Self {
+        cfg.shards = cfg.shards.max(1);
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.threads
+        };
+        let master = corpus.clone();
+        let shards = build_shards(&master, cfg.shards, threads);
+        Service {
+            cfg,
+            threads,
+            state: RwLock::new(State {
+                master,
+                shards,
+                generation: 0,
+            }),
+            plans: RwLock::new(HashMap::new()),
+            results: Mutex::new(ResultCache::new(cfg.result_cache_capacity)),
+            counters: Counters::default(),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Compilation (plan cache)
+    // -----------------------------------------------------------------
+
+    /// Compile `query` or fetch its cached compilation. Distinct
+    /// spellings of the same query (whitespace, display form) share
+    /// one entry via the normalized text.
+    pub fn compile(&self, query: &str) -> Result<Arc<CompiledQuery>, ServiceError> {
+        let key = query.trim();
+        if let Some(hit) = self.plans.read().unwrap().get(key) {
+            Counters::bump(&self.counters.plan_hits);
+            return Ok(Arc::clone(hit));
+        }
+        let ast = parse(key)?;
+        let normalized = ast.to_string();
+        if normalized != key {
+            if let Some(hit) = self.plans.read().unwrap().get(&normalized) {
+                Counters::bump(&self.counters.plan_hits);
+                let hit = Arc::clone(hit);
+                // Alias the raw spelling for next time.
+                self.plans
+                    .write()
+                    .unwrap()
+                    .insert(key.to_string(), Arc::clone(&hit));
+                return Ok(hit);
+            }
+        }
+        Counters::bump(&self.counters.plan_misses);
+        let (strategy, sql) = {
+            let st = self.state.read().unwrap();
+            let engine = st.shards[0].engine();
+            match engine.translate(&ast) {
+                Ok(_) => (ExecStrategy::Relational, engine.sql(key).ok()),
+                Err(_) => (ExecStrategy::Walker, None),
+            }
+        };
+        let compiled = Arc::new(CompiledQuery {
+            required: required_symbols(&ast),
+            normalized: normalized.clone(),
+            ast,
+            strategy,
+            sql,
+        });
+        let mut plans = self.plans.write().unwrap();
+        plans.insert(normalized, Arc::clone(&compiled));
+        if key != compiled.normalized {
+            plans.insert(key.to_string(), Arc::clone(&compiled));
+        }
+        Ok(compiled)
+    }
+
+    /// The SQL the relational path executes for `query`, or `None`
+    /// when the query runs on the walker fallback.
+    pub fn sql(&self, query: &str) -> Result<Option<String>, ServiceError> {
+        Ok(self.compile(query)?.sql.clone())
+    }
+
+    // -----------------------------------------------------------------
+    // Evaluation
+    // -----------------------------------------------------------------
+
+    /// Evaluate one query over the whole corpus. Results are
+    /// `(global tree id, node)` in document order — byte-identical to
+    /// a single [`lpath_core::Engine`] over the same corpus.
+    pub fn eval(&self, query: &str) -> Result<Arc<ResultSet>, ServiceError> {
+        Counters::bump(&self.counters.queries);
+        let compiled = self.compile(query)?;
+        let st = self.state.read().unwrap();
+        let all: Vec<u16> = (0..st.shards.len() as u16).collect();
+        Ok(self.eval_compiled(&st, &compiled, &all))
+    }
+
+    /// Evaluate one query over a subset of shards (sorted,
+    /// deduplicated internally). The result covers exactly the trees
+    /// those shards own.
+    pub fn eval_on(&self, query: &str, shard_ids: &[u16]) -> Result<Arc<ResultSet>, ServiceError> {
+        Counters::bump(&self.counters.queries);
+        let compiled = self.compile(query)?;
+        let st = self.state.read().unwrap();
+        let mut ids: Vec<u16> = shard_ids.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        if let Some(&bad) = ids.iter().find(|&&i| i as usize >= st.shards.len()) {
+            return Err(ServiceError::BadShard(bad));
+        }
+        Ok(self.eval_compiled(&st, &compiled, &ids))
+    }
+
+    /// Result size of `query` (the paper's reported measure).
+    pub fn count(&self, query: &str) -> Result<usize, ServiceError> {
+        Ok(self.eval(query)?.len())
+    }
+
+    /// Evaluate a batch of queries, fanning `(query, shard)` tasks out
+    /// across the worker threads. Per-query results are identical to
+    /// calling [`Service::eval`] one query at a time; the batch form
+    /// pays thread startup once and keeps every worker busy across
+    /// queries of uneven cost.
+    pub fn eval_batch(&self, queries: &[&str]) -> Vec<Result<Arc<ResultSet>, ServiceError>> {
+        Counters::bump(&self.counters.batches);
+        Counters::add(&self.counters.queries, queries.len() as u64);
+        let compiled: Vec<Result<Arc<CompiledQuery>, ServiceError>> =
+            queries.iter().map(|q| self.compile(q)).collect();
+
+        let st = self.state.read().unwrap();
+        let nshards = st.shards.len();
+        let all: Vec<u16> = (0..nshards as u16).collect();
+
+        let mut out: Vec<Option<Result<Arc<ResultSet>, ServiceError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        // Resolve errors and result-cache hits up front.
+        let mut misses: Vec<(usize, Arc<CompiledQuery>)> = Vec::new();
+        for (i, c) in compiled.into_iter().enumerate() {
+            match c {
+                Err(e) => out[i] = Some(Err(e)),
+                Ok(c) => {
+                    let key = (c.normalized.clone(), all.clone());
+                    let hit = self.results.lock().unwrap().get(&key, st.generation);
+                    match hit {
+                        Some(v) => {
+                            Counters::bump(&self.counters.result_hits);
+                            out[i] = Some(Ok(v));
+                        }
+                        None => {
+                            Counters::bump(&self.counters.result_misses);
+                            misses.push((i, c));
+                        }
+                    }
+                }
+            }
+        }
+
+        if !misses.is_empty() && nshards > 0 {
+            // One task per (missed query, shard); workers pull tasks
+            // off a shared counter.
+            let ntasks = misses.len() * nshards;
+            let threads = self.threads.min(ntasks).max(1);
+            let mut partials: Vec<Vec<ResultSet>> = misses
+                .iter()
+                .map(|_| (0..nshards).map(|_| Vec::new()).collect())
+                .collect();
+            if threads <= 1 {
+                for (mi, (_, c)) in misses.iter().enumerate() {
+                    for (si, shard) in st.shards.iter().enumerate() {
+                        partials[mi][si] = self.eval_one_shard(shard, c);
+                    }
+                }
+            } else {
+                let slots = Mutex::new(&mut partials);
+                let next = AtomicUsize::new(0);
+                let shards = &st.shards;
+                let misses_ref = &misses;
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|| loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            if t >= ntasks {
+                                break;
+                            }
+                            let (mi, si) = (t / nshards, t % nshards);
+                            let rows = self.eval_one_shard(&shards[si], &misses_ref[mi].1);
+                            slots.lock().unwrap()[mi][si] = rows;
+                        });
+                    }
+                });
+            }
+            for (mi, (qi, c)) in misses.iter().enumerate() {
+                let mut merged = Vec::new();
+                for rows in &mut partials[mi] {
+                    merged.append(rows);
+                }
+                let merged = Arc::new(merged);
+                self.results.lock().unwrap().insert(
+                    (c.normalized.clone(), all.clone()),
+                    st.generation,
+                    Arc::clone(&merged),
+                );
+                out[*qi] = Some(Ok(merged));
+            }
+        }
+        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+
+    /// Evaluate `compiled` over the (sorted) shard subset `ids`,
+    /// consulting and filling the result cache.
+    fn eval_compiled(
+        &self,
+        st: &State,
+        compiled: &Arc<CompiledQuery>,
+        ids: &[u16],
+    ) -> Arc<ResultSet> {
+        let key = (compiled.normalized.clone(), ids.to_vec());
+        if let Some(hit) = self.results.lock().unwrap().get(&key, st.generation) {
+            Counters::bump(&self.counters.result_hits);
+            return hit;
+        }
+        Counters::bump(&self.counters.result_misses);
+        let selected: Vec<&Arc<Shard>> = ids.iter().map(|&i| &st.shards[i as usize]).collect();
+        let threads = self.threads.min(selected.len()).max(1);
+        let mut partials: Vec<ResultSet> = (0..selected.len()).map(|_| Vec::new()).collect();
+        if threads <= 1 {
+            for (slot, shard) in partials.iter_mut().zip(&selected) {
+                *slot = self.eval_one_shard(shard, compiled);
+            }
+        } else {
+            let slots = Mutex::new(&mut partials);
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let si = next.fetch_add(1, Ordering::Relaxed);
+                        if si >= selected.len() {
+                            break;
+                        }
+                        let rows = self.eval_one_shard(selected[si], compiled);
+                        slots.lock().unwrap()[si] = rows;
+                    });
+                }
+            });
+        }
+        let mut merged = Vec::new();
+        for rows in &mut partials {
+            merged.append(rows);
+        }
+        let merged = Arc::new(merged);
+        self.results
+            .lock()
+            .unwrap()
+            .insert(key, st.generation, Arc::clone(&merged));
+        merged
+    }
+
+    /// Evaluate on one shard, with symbol-presence pruning.
+    fn eval_one_shard(&self, shard: &Shard, compiled: &CompiledQuery) -> ResultSet {
+        if !shard.may_match(&compiled.required) {
+            Counters::bump(&self.counters.shards_pruned);
+            return Vec::new();
+        }
+        Counters::bump(&self.counters.shard_evals);
+        shard.eval(compiled)
+    }
+
+    // -----------------------------------------------------------------
+    // Corpus mutation
+    // -----------------------------------------------------------------
+
+    /// Append bracketed (Penn Treebank) trees to the corpus,
+    /// rebuilding only the tail shard. Returns the number of trees
+    /// added; on parse error the corpus is unchanged.
+    pub fn append_ptb(&self, src: &str) -> Result<usize, ServiceError> {
+        // Stage into a scratch corpus sharing the master's symbol
+        // table, so a mid-text parse error leaves the service intact.
+        let mut st = self.state.write().unwrap();
+        let mut scratch = Corpus::new();
+        *scratch.interner_mut() = st.master.interner().clone();
+        let added = parse_into(src, &mut scratch)?;
+        if added == 0 {
+            return Ok(0);
+        }
+        *st.master.interner_mut() = scratch.interner().clone();
+        for tree in scratch.trees() {
+            st.master.add_tree(tree.clone());
+        }
+        let tail = st.shards.len() - 1;
+        let tail_start = st.shards[tail].base() as usize;
+        let tail_len = st.master.trees().len() - tail_start;
+        st.shards[tail] = Arc::new(Shard::build(&st.master, tail_start, tail_len));
+        st.generation += 1;
+        Counters::bump(&self.counters.appends);
+        drop(st);
+        self.invalidate();
+        Ok(added)
+    }
+
+    /// Replace the whole corpus, rebuilding every shard (in parallel
+    /// when worker threads allow) and invalidating both caches.
+    pub fn swap_corpus(&self, corpus: &Corpus) {
+        let mut st = self.state.write().unwrap();
+        st.master = corpus.clone();
+        st.shards = build_shards(&st.master, self.cfg.shards, self.threads);
+        st.generation += 1;
+        Counters::bump(&self.counters.swaps);
+        drop(st);
+        self.invalidate();
+    }
+
+    fn invalidate(&self) {
+        self.plans.write().unwrap().clear();
+        self.results.lock().unwrap().clear();
+    }
+
+    // -----------------------------------------------------------------
+    // Introspection
+    // -----------------------------------------------------------------
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.state.read().unwrap().shards.len()
+    }
+
+    /// Current corpus generation (bumped by append/swap).
+    pub fn generation(&self) -> u64 {
+        self.state.read().unwrap().generation
+    }
+
+    /// Total trees across all shards.
+    pub fn trees(&self) -> usize {
+        self.state.read().unwrap().master.trees().len()
+    }
+
+    /// A point-in-time statistics snapshot: cache hit rates, per-shard
+    /// build timings and sizes, fan-out counters.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.state.read().unwrap();
+        let per_shard: Vec<ShardStats> = st.shards.iter().map(|s| s.stats()).collect();
+        let c = &self.counters;
+        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStats {
+            generation: st.generation,
+            shards: st.shards.len(),
+            threads: self.threads,
+            trees: st.master.trees().len(),
+            relation_rows: per_shard.iter().map(|s| s.relation_rows).sum(),
+            plan_cache_entries: self.plans.read().unwrap().len(),
+            plan_hits: load(&c.plan_hits),
+            plan_misses: load(&c.plan_misses),
+            result_cache_entries: self.results.lock().unwrap().len(),
+            result_hits: load(&c.result_hits),
+            result_misses: load(&c.result_misses),
+            queries: load(&c.queries),
+            batches: load(&c.batches),
+            shard_evals: load(&c.shard_evals),
+            shards_pruned: load(&c.shards_pruned),
+            appends: load(&c.appends),
+            swaps: load(&c.swaps),
+            per_shard,
+        }
+    }
+
+    /// Evaluate with the walker over the *whole* master corpus —
+    /// a slow reference path used by differential tests.
+    pub fn reference_eval(&self, query: &str) -> Result<ResultSet, ServiceError> {
+        let ast = parse(query.trim())?;
+        let st = self.state.read().unwrap();
+        Ok(Walker::new(&st.master).eval(&ast))
+    }
+}
+
+/// Contiguous near-equal partition of `n` trees into `k` shards.
+fn partition(n: usize, k: usize) -> Vec<(usize, usize)> {
+    let k = k.max(1);
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Build all shards, in parallel when `threads > 1`.
+fn build_shards(master: &Corpus, k: usize, threads: usize) -> Vec<Arc<Shard>> {
+    let parts = partition(master.trees().len(), k);
+    if threads <= 1 || parts.len() <= 1 {
+        return parts
+            .into_iter()
+            .map(|(start, len)| Arc::new(Shard::build(master, start, len)))
+            .collect();
+    }
+    let mut shards: Vec<Option<Arc<Shard>>> = (0..parts.len()).map(|_| None).collect();
+    let slots = Mutex::new(&mut shards);
+    let next = AtomicUsize::new(0);
+    let parts_ref = &parts;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(parts.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= parts_ref.len() {
+                    break;
+                }
+                let (start, len) = parts_ref[i];
+                let shard = Arc::new(Shard::build(master, start, len));
+                slots.lock().unwrap()[i] = Some(shard);
+            });
+        }
+    });
+    shards
+        .into_iter()
+        .map(|s| s.expect("all shards built"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_core::Engine;
+    use lpath_model::ptb::parse_str;
+
+    const SRC: &str = "\
+( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )
+( (S (NP-SBJ (DT the) (NN man)) (VP (VBD left))) )
+( (S (NP-SBJ (PRP we)) (VP (VBD ran) (NP (NN home)))) )
+( (S (NP (NN dog)) (VP (VB barks))) )
+( (S (NP (DT a) (NN cat)) (VP (VBD slept) (NP (NN nap)))) )
+";
+
+    fn service(shards: usize) -> Service {
+        let corpus = parse_str(SRC).unwrap();
+        Service::with_config(
+            &corpus,
+            ServiceConfig {
+                shards,
+                threads: 1,
+                result_cache_capacity: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn partition_covers_everything_contiguously() {
+        for n in [0usize, 1, 5, 7, 64] {
+            for k in [1usize, 2, 4, 8] {
+                let parts = partition(n, k);
+                assert_eq!(parts.len(), k);
+                let mut pos = 0;
+                for (start, len) in parts {
+                    assert_eq!(start, pos);
+                    pos += len;
+                }
+                assert_eq!(pos, n);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_engine() {
+        let corpus = parse_str(SRC).unwrap();
+        let engine = Engine::build(&corpus);
+        for shards in [1, 2, 3, 8] {
+            let svc = service(shards);
+            for q in ["//NP", "//VBD->NP", "//S{/VP$}", "//_[@lex=the]", "//NP[not(//DT)]"] {
+                assert_eq!(
+                    *svc.eval(q).unwrap(),
+                    engine.query(q).unwrap(),
+                    "{q} at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn walker_fallback_answers_unsupported_queries() {
+        let svc = service(2);
+        // position()/last() has no relational translation.
+        let q = "//VP/_[last()][self::NP]";
+        let compiled = svc.compile(q).unwrap();
+        assert_eq!(compiled.strategy, ExecStrategy::Walker);
+        assert!(compiled.sql.is_none());
+        let got = svc.eval(q).unwrap();
+        assert_eq!(*got, svc.reference_eval(q).unwrap());
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn result_cache_hits_and_generation_invalidation() {
+        let svc = service(2);
+        let a = svc.eval("//NP").unwrap();
+        let b = svc.eval("//NP").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(svc.stats().result_hits, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Append invalidates: the third eval recomputes.
+        svc.append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )")
+            .unwrap();
+        let c = svc.eval("//NP").unwrap();
+        assert_eq!(c.len(), a.len() + 1);
+        assert_eq!(svc.stats().result_hits, 1);
+    }
+
+    #[test]
+    fn plan_cache_normalizes_spellings() {
+        let svc = service(2);
+        let a = svc.compile("//VBD->NP").unwrap();
+        let b = svc.compile("  //VBD->NP  ").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(svc.stats().plan_misses, 1);
+        assert!(svc.stats().plan_hits >= 1);
+    }
+
+    #[test]
+    fn append_rebuilds_only_the_tail_shard() {
+        let svc = service(2);
+        let before = svc.stats();
+        assert_eq!(before.per_shard.len(), 2);
+        let added = svc
+            .append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )\n( (S (NP (NN fish)) (VP (VBD swam))) )")
+            .unwrap();
+        assert_eq!(added, 2);
+        let after = svc.stats();
+        assert_eq!(after.generation, 1);
+        assert_eq!(after.trees, 7);
+        // Head shard untouched, tail grew.
+        assert_eq!(after.per_shard[0].trees, before.per_shard[0].trees);
+        assert_eq!(after.per_shard[1].trees, before.per_shard[1].trees + 2);
+        // New data is queryable, in document order.
+        let got = svc.eval("//_[@lex=fish]").unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 6);
+    }
+
+    #[test]
+    fn append_error_leaves_corpus_unchanged() {
+        let svc = service(2);
+        let trees = svc.trees();
+        let gen_before = svc.generation();
+        assert!(svc.append_ptb("( (S (NP broken").is_err());
+        assert_eq!(svc.trees(), trees);
+        assert_eq!(svc.generation(), gen_before);
+        assert_eq!(*svc.eval("//NP").unwrap(), *service(2).eval("//NP").unwrap());
+    }
+
+    #[test]
+    fn swap_replaces_everything() {
+        let svc = service(2);
+        assert!(svc.count("//VBD").unwrap() > 0);
+        let other = parse_str("( (S (X (Y z)) (W w)) )").unwrap();
+        svc.swap_corpus(&other);
+        assert_eq!(svc.trees(), 1);
+        assert_eq!(svc.count("//VBD").unwrap(), 0);
+        assert_eq!(svc.count("//Y").unwrap(), 1);
+        assert_eq!(svc.generation(), 1);
+    }
+
+    #[test]
+    fn batch_matches_individual_evals_and_reports_errors() {
+        let svc = service(3);
+        let queries = ["//NP", "//VBD->NP", "//VP[", "//_[@lex=dog]", "//NP"];
+        let batch = svc.eval_batch(&queries);
+        assert_eq!(batch.len(), 5);
+        assert!(batch[2].is_err());
+        for (i, q) in queries.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            assert_eq!(
+                *batch[i].as_ref().unwrap().clone(),
+                *service(3).eval(q).unwrap(),
+                "{q}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_on_shard_subsets() {
+        let svc = service(2);
+        let full = svc.eval("//NP").unwrap();
+        let head = svc.eval_on("//NP", &[0]).unwrap();
+        let tail = svc.eval_on("//NP", &[1]).unwrap();
+        let mut concat: ResultSet = (*head).clone();
+        concat.extend(tail.iter().copied());
+        assert_eq!(*full, concat);
+        assert!(matches!(
+            svc.eval_on("//NP", &[9]),
+            Err(ServiceError::BadShard(9))
+        ));
+    }
+
+    #[test]
+    fn pruning_skips_shards_without_the_symbols() {
+        let svc = service(4);
+        svc.eval("//_[@lex=nap]").unwrap();
+        let stats = svc.stats();
+        // "nap" occurs only in the last tree: at least one shard must
+        // have been pruned outright.
+        assert!(stats.shards_pruned > 0, "{stats:?}");
+        assert!(stats.shard_evals < 4);
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let corpus = parse_str(SRC).unwrap();
+        let svc = Service::with_config(
+            &corpus,
+            ServiceConfig {
+                shards: 2,
+                threads: 4,
+                result_cache_capacity: 0,
+            },
+        );
+        let engine = Engine::build(&corpus);
+        let want = engine.query("//NP").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(*svc.eval("//NP").unwrap(), want);
+                    }
+                });
+            }
+        });
+    }
+}

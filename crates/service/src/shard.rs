@@ -1,0 +1,197 @@
+//! One shard: a contiguous slice of the corpus with its own relational
+//! engine, symbol-presence index and tree-id offset.
+
+use std::time::{Duration, Instant};
+
+use lpath_core::{Engine, Walker};
+use lpath_model::{Corpus, NodeId};
+
+use crate::plan::{CompiledQuery, ExecStrategy};
+use crate::stats::ShardStats;
+
+/// A self-contained partition of the corpus.
+///
+/// The shard owns a clone of its tree slice (sharing the master's
+/// symbol ids via a cloned interner) and a fully built
+/// [`lpath_core::Engine`] over it. Match results are reported in
+/// *global* tree ids: the shard adds its `base` offset, so
+/// concatenating per-shard result sets in shard order reproduces the
+/// single-engine document order exactly.
+pub struct Shard {
+    corpus: Corpus,
+    engine: Engine,
+    base: u32,
+    /// Symbol-presence bitset over the shard's interner ids: tag
+    /// names, attribute names and attribute values that occur in this
+    /// shard's trees.
+    present: Vec<u64>,
+    build_time: Duration,
+}
+
+impl Shard {
+    /// Build a shard over `master.trees()[start..start + len]`.
+    pub fn build(master: &Corpus, start: usize, len: usize) -> Shard {
+        let t = Instant::now();
+        let mut corpus = Corpus::new();
+        *corpus.interner_mut() = master.interner().clone();
+        for tree in &master.trees()[start..start + len] {
+            corpus.add_tree(tree.clone());
+        }
+        let mut present = vec![0u64; corpus.interner().len().div_ceil(64)];
+        let mut mark = |raw: u32| {
+            let (word, bit) = (raw as usize / 64, raw as usize % 64);
+            if let Some(w) = present.get_mut(word) {
+                *w |= 1 << bit;
+            }
+        };
+        for tree in corpus.trees() {
+            for id in tree.preorder() {
+                let node = tree.node(id);
+                mark(node.name.raw());
+                for &(aname, aval) in &node.attrs {
+                    mark(aname.raw());
+                    mark(aval.raw());
+                }
+            }
+        }
+        let engine = Engine::build(&corpus);
+        Shard {
+            corpus,
+            engine,
+            base: start as u32,
+            present,
+            build_time: t.elapsed(),
+        }
+    }
+
+    /// The shard's first global tree id.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of trees owned by the shard.
+    pub fn trees(&self) -> usize {
+        self.corpus.trees().len()
+    }
+
+    /// The shard's relational engine (for inspection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The shard's corpus slice.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Can this shard possibly contribute a match, given the query's
+    /// required symbols? `false` guarantees the empty answer.
+    pub fn may_match(&self, required: &[String]) -> bool {
+        required.iter().all(|sym| {
+            self.corpus
+                .interner()
+                .get(sym)
+                .is_some_and(|s| self.contains_sym(s.raw()))
+        })
+    }
+
+    fn contains_sym(&self, raw: u32) -> bool {
+        let (word, bit) = (raw as usize / 64, raw as usize % 64);
+        self.present
+            .get(word)
+            .is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Evaluate a compiled query on this shard, returning matches with
+    /// *global* tree ids, in document order.
+    ///
+    /// The caller is expected to have consulted [`Shard::may_match`];
+    /// evaluation is still correct without it, just slower.
+    pub fn eval(&self, compiled: &CompiledQuery) -> Vec<(u32, NodeId)> {
+        let local = match compiled.strategy {
+            ExecStrategy::Relational => match self.engine.query_ast(&compiled.ast) {
+                Ok(rows) => rows,
+                // The strategy was decided against an engine of the
+                // same dialect, so this arm should be unreachable;
+                // fall back to the walker rather than fail the query.
+                Err(_) => Walker::new(&self.corpus).eval(&compiled.ast),
+            },
+            ExecStrategy::Walker => Walker::new(&self.corpus).eval(&compiled.ast),
+        };
+        local
+            .into_iter()
+            .map(|(tid, node)| (tid + self.base, node))
+            .collect()
+    }
+
+    /// Per-shard statistics snapshot.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            base: self.base,
+            trees: self.corpus.trees().len(),
+            relation_rows: self.engine.relation_size(),
+            build_time: self.build_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::required_symbols;
+    use lpath_model::ptb::parse_str;
+
+    const SRC: &str = "\
+( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )
+( (S (NP-SBJ (DT the) (NN man)) (VP (VBD left))) )
+( (S (NP-SBJ (PRP we)) (VP (VBD ran) (NP (NN home)))) )
+";
+
+    fn compiled(q: &str) -> CompiledQuery {
+        let ast = lpath_syntax::parse(q).unwrap();
+        CompiledQuery {
+            normalized: ast.to_string(),
+            required: required_symbols(&ast),
+            ast,
+            strategy: ExecStrategy::Relational,
+            sql: None,
+        }
+    }
+
+    #[test]
+    fn shard_offsets_global_tids() {
+        let master = parse_str(SRC).unwrap();
+        let tail = Shard::build(&master, 1, 2);
+        assert_eq!(tail.base(), 1);
+        let got = tail.eval(&compiled("//VBD"));
+        let tids: Vec<u32> = got.iter().map(|(t, _)| *t).collect();
+        assert_eq!(tids, [1, 2]);
+    }
+
+    #[test]
+    fn presence_pruning_is_sound() {
+        let master = parse_str(SRC).unwrap();
+        let head = Shard::build(&master, 0, 1);
+        let tail = Shard::build(&master, 1, 2);
+        // "saw" occurs only in tree 0.
+        let q = compiled("//_[@lex=saw]");
+        assert!(head.may_match(&q.required));
+        assert!(!tail.may_match(&q.required));
+        // may_match=false really does mean the empty answer.
+        assert_eq!(tail.eval(&q), []);
+        // A symbol missing from the whole interner prunes everything.
+        let q = compiled("//ZZZ");
+        assert!(!head.may_match(&q.required));
+        assert!(!tail.may_match(&q.required));
+    }
+
+    #[test]
+    fn shard_equals_engine_on_its_slice() {
+        let master = parse_str(SRC).unwrap();
+        let shard = Shard::build(&master, 0, 3);
+        let engine = Engine::build(&master);
+        for q in ["//NP", "//VBD->NP", "//S{/VP$}", "//_[@lex=the]"] {
+            assert_eq!(shard.eval(&compiled(q)), engine.query(q).unwrap(), "{q}");
+        }
+    }
+}

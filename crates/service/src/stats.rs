@@ -1,0 +1,135 @@
+//! Service observability: lock-free counters and their snapshot form.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters, bumped on the hot paths without locks.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub plan_hits: AtomicU64,
+    pub plan_misses: AtomicU64,
+    pub result_hits: AtomicU64,
+    pub result_misses: AtomicU64,
+    pub queries: AtomicU64,
+    pub batches: AtomicU64,
+    pub shard_evals: AtomicU64,
+    pub shards_pruned: AtomicU64,
+    pub appends: AtomicU64,
+    pub swaps: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(field: &AtomicU64) {
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Per-shard build and size information.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// First global tree id owned by the shard.
+    pub base: u32,
+    /// Number of trees in the shard.
+    pub trees: usize,
+    /// Rows in the shard engine's node relation.
+    pub relation_rows: usize,
+    /// Wall-clock time of the shard's last (re)build.
+    pub build_time: Duration,
+}
+
+/// A point-in-time snapshot of the service's state and counters.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Corpus generation (bumped by every append or swap).
+    pub generation: u64,
+    /// Number of shards.
+    pub shards: usize,
+    /// Worker threads used for fan-out.
+    pub threads: usize,
+    /// Total trees across all shards.
+    pub trees: usize,
+    /// Total node-relation rows across all shards.
+    pub relation_rows: usize,
+    /// Entries currently in the plan cache.
+    pub plan_cache_entries: usize,
+    /// Plan-cache hits.
+    pub plan_hits: u64,
+    /// Plan-cache misses (compilations performed).
+    pub plan_misses: u64,
+    /// Entries currently in the result cache.
+    pub result_cache_entries: usize,
+    /// Result-cache hits.
+    pub result_hits: u64,
+    /// Result-cache misses (evaluations performed).
+    pub result_misses: u64,
+    /// Queries answered (batch members count individually).
+    pub queries: u64,
+    /// Batch calls served.
+    pub batches: u64,
+    /// Per-shard evaluations actually executed.
+    pub shard_evals: u64,
+    /// Per-shard evaluations skipped by symbol-presence pruning.
+    pub shards_pruned: u64,
+    /// Incremental appends applied.
+    pub appends: u64,
+    /// Full corpus swaps applied.
+    pub swaps: u64,
+    /// Per-shard build/size detail.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Fraction of compilations avoided by the plan cache.
+    pub fn plan_hit_rate(&self) -> f64 {
+        rate(self.plan_hits, self.plan_misses)
+    }
+
+    /// Fraction of evaluations avoided by the result cache.
+    pub fn result_hit_rate(&self) -> f64 {
+        rate(self.result_hits, self.result_misses)
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_totals() {
+        let s = ServiceStats {
+            generation: 0,
+            shards: 1,
+            threads: 1,
+            trees: 0,
+            relation_rows: 0,
+            plan_cache_entries: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            result_cache_entries: 0,
+            result_hits: 3,
+            result_misses: 1,
+            queries: 0,
+            batches: 0,
+            shard_evals: 0,
+            shards_pruned: 0,
+            appends: 0,
+            swaps: 0,
+            per_shard: Vec::new(),
+        };
+        assert_eq!(s.plan_hit_rate(), 0.0);
+        assert!((s.result_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

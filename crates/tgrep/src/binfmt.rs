@@ -277,10 +277,13 @@ pub fn decode(bytes: &[u8]) -> Result<CorpusImage, ImageError> {
     if magic != MAGIC {
         return Err(ImageError("bad magic".into()));
     }
-    let n_trees = r.u32()? as usize;
+    // Every count is validated against the bytes that must follow it
+    // before anything is allocated: a corrupted length field yields a
+    // clean error, never a huge (or aborting) allocation.
+    let n_trees = r.count(8)?;
     let mut trees = Vec::with_capacity(n_trees);
     for _ in 0..n_trees {
-        let n = r.u32()? as usize;
+        let n = r.count(28)?;
         let mut t = TreeImage {
             label: Vec::with_capacity(n),
             parent: Vec::with_capacity(n),
@@ -300,17 +303,18 @@ pub fn decode(bytes: &[u8]) -> Result<CorpusImage, ImageError> {
             t.ll.push(r.u32()?);
             t.subtree_end.push(r.u32()?);
         }
-        let n_leaves = r.u32()? as usize;
+        let n_leaves = r.count(4)?;
+        t.leaf_at.reserve(n_leaves);
         for _ in 0..n_leaves {
             t.leaf_at.push(r.u32()?);
         }
         trees.push(t);
     }
-    let n_syms = r.u32()? as usize;
+    let n_syms = r.count(8)?;
     let mut postings = HashMap::with_capacity(n_syms);
     for _ in 0..n_syms {
         let sym = r.u32()?;
-        let k = r.u32()? as usize;
+        let k = r.count(4)?;
         let mut p = Vec::with_capacity(k);
         for _ in 0..k {
             p.push(r.u32()?);
@@ -345,6 +349,18 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, ImageError> {
         let s = self.take(4)?;
         Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Read an element count whose elements occupy at least
+    /// `min_bytes_each` of the remaining input, rejecting counts the
+    /// input cannot possibly satisfy (so pre-allocation is safe).
+    fn count(&mut self, min_bytes_each: usize) -> Result<usize, ImageError> {
+        let n = self.u32()? as usize;
+        let remaining = self.b.len() - self.i;
+        if n.saturating_mul(min_bytes_each) > remaining {
+            return Err(ImageError("count exceeds input".into()));
+        }
+        Ok(n)
     }
 }
 

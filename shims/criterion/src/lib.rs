@@ -1,0 +1,185 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! The build environment has no crates registry, so this crate
+//! provides the group/bencher API surface the workspace's benches use
+//! (`benchmark_group`, `sample_size`, `warm_up_time`,
+//! `measurement_time`, `bench_function`, `bench_with_input`,
+//! [`BenchmarkId`], `iter`, [`criterion_group!`], [`criterion_main!`])
+//! backed by a simple wall-clock loop: one warm-up run, then up to
+//! `sample_size` timed runs bounded by `measurement_time`, reporting
+//! the mean and min per benchmark. No statistics, plots or baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every bench target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(700),
+        }
+    }
+
+    /// Register a standalone benchmark (group-less form).
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(700),
+        };
+        group.bench_function(name, f);
+    }
+}
+
+/// A named benchmark id with a parameter, `group/name/param`.
+pub struct BenchmarkId {
+    rendered: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            rendered: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed runs per benchmark (upper bound here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the warm-up here is always one run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Wall-clock budget for the timed runs of each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run `f` as a benchmark named `name`.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&name.to_string());
+        self
+    }
+
+    /// Run `f` with `input` as a benchmark identified by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        b.report(&id.rendered);
+        self
+    }
+
+    /// Close the group (no-op; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Times a closure over repeated runs.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` once to warm up, then repeatedly until the sample count
+    /// or the measurement budget is exhausted.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        std::hint::black_box(f());
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<44} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        println!(
+            "{label:<44} mean {:>12.6}s  min {:>12.6}s  ({} samples)",
+            mean.as_secs_f64(),
+            min.as_secs_f64(),
+            self.samples.len()
+        );
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect bench target functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the named groups (requires `harness = false`
+/// on the bench target).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,691 @@
+//! Offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no crates registry, so this crate
+//! reimplements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `boxed`, strategies for ranges, tuples, arrays, collections,
+//! weighted booleans and options, regex-shaped string patterns, the
+//! [`prop_oneof!`] union, `any::<T>()`, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its index and message;
+//!   cases are deterministic per test (seeded from the test path), so
+//!   failures reproduce exactly on re-run.
+//! * **String "regexes"** support only the character-class-with-
+//!   repetition shapes used here (`\PC{m,n}`-style): a printable
+//!   string with length drawn from `{m,n}`.
+
+use std::sync::Arc;
+
+pub mod test_runner {
+    //! Deterministic case generation and failure reporting.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+        /// Accepted for compatibility; unused (no shrinking here).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// An assertion failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// The deterministic case RNG (SplitMix64 seeded from the test
+    /// path, so every test has its own reproducible stream).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary label (the `module::test` path).
+        pub fn for_test(label: &str) -> Self {
+            // FNV-1a over the label.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike upstream proptest there is no value tree: `sample`
+    /// produces a plain value and failures are not shrunk.
+    pub trait Strategy: Clone {
+        /// The generated value type.
+        type Value;
+
+        /// Generate one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f`
+        /// derives from it.
+        fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            U: Strategy,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                sampler: Arc::new(move |rng: &mut TestRng| self.sample(rng)),
+            }
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V> {
+        sampler: Arc<dyn Fn(&mut TestRng) -> V>,
+    }
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sampler: Arc::clone(&self.sampler),
+            }
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        U: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U::Value;
+        fn sample(&self, rng: &mut TestRng) -> U::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Weighted choice between boxed strategies ([`prop_oneof!`]).
+    pub struct Union<V> {
+        variants: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                variants: self.variants.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<V> Union<V> {
+        /// A union over `(weight, strategy)` pairs.
+        pub fn new(variants: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = variants.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { variants, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.variants {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum exceeded")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = ((hi - lo) as u64).wrapping_add(1);
+                    if span == 0 {
+                        return lo + rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    impl<S: Strategy, const N: usize> Strategy for [S; N] {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|i| self[i].sample(rng))
+        }
+    }
+
+    /// String pattern strategy (`"\\PC{0,80}"`-shaped): a printable
+    /// string whose length is drawn from the trailing `{m,n}` repeat
+    /// (default `{0,16}`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_repeat(self).unwrap_or((0, 16));
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            // Mostly ASCII printables with occasional non-ASCII
+            // printable code points, mirroring `\PC`.
+            (0..len)
+                .map(|_| {
+                    if rng.below(10) == 0 {
+                        char::from_u32(0x00A1 + rng.below(0x2000) as u32).unwrap_or('§')
+                    } else {
+                        (0x20u8 + rng.below(0x5F) as u8) as char
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn parse_repeat(pattern: &str) -> Option<(usize, usize)> {
+        let open = pattern.rfind('{')?;
+        let close = pattern.rfind('}')?;
+        if close <= open {
+            return None;
+        }
+        let body = &pattern[open + 1..close];
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// `vec(element, size_range)` — a vector whose length is uniform in
+    /// `size_range` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+
+    /// See [`weighted`].
+    #[derive(Copy, Clone, Debug)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.p
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// `Some` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+
+    /// `Some` with probability `p`.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy { p, inner }
+    }
+
+    /// See [`of`] and [`weighted`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        p: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.unit_f64() < self.p {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical full-range strategy per type.
+
+    use super::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate a full-range value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+        }
+    }
+}
+
+/// The canonical strategy for `T` (full value range).
+pub fn any<T: arbitrary::Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// See [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: arbitrary::Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from upstream.
+    pub use super::bool;
+    pub use super::collection;
+    pub use super::option;
+}
+
+pub mod prelude {
+    //! Everything tests import with `use proptest::prelude::*`.
+    pub use super::prop;
+    pub use super::any;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// The trait must be nameable from macro expansions.
+#[doc(hidden)]
+pub use strategy::Strategy as __Strategy;
+#[doc(hidden)]
+pub type __Sampler<V> = Arc<dyn Fn(&mut test_runner::TestRng) -> V>;
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), left, right
+        );
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}\n  both: {:?}",
+            format!($($fmt)*), left
+        );
+    }};
+}
+
+/// Define deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn holds(x in 0u32..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest '{}' case {}/{} failed: {}",
+                        stringify!($name), case + 1, config.cases, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::test_runner::TestRng::for_test("weights");
+        let hits = (0..1_000).filter(|_| s.sample(&mut rng)).count();
+        assert!((800..1_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("strings");
+        for _ in 0..200 {
+            let s: String = "\\PC{0,80}".sample(&mut rng);
+            assert!(s.chars().count() <= 80);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn vectors_in_range(v in prop::collection::vec(0u32..5, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn flat_map_threads_values(pair in (1usize..4).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(0u32..10, 0..5))
+        })) {
+            prop_assert!((1..4).contains(&pair.0));
+        }
+    }
+}

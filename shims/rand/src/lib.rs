@@ -1,0 +1,189 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the handful of `rand 0.8` APIs the code base actually
+//! uses are reimplemented here: [`rngs::SmallRng`], [`SeedableRng`] and
+//! the [`Rng`] extension methods `gen`, `gen_bool` and `gen_range`.
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) —
+//! not the same stream as upstream `SmallRng`, but a statistically
+//! sound 64-bit PRNG, which is all the synthetic treebank generator
+//! needs. Determinism per seed is the only contract callers rely on.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (the one constructor used here).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Derive a value from one 64-bit draw.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from uniformly. Generic over
+/// the output type (like upstream `rand`), so the expected result type
+/// drives integer-literal inference in `gen_range(0..8)`.
+pub trait SampleRange<T> {
+    /// Draw a uniform value using the given 64-bit source.
+    fn sample(self, draw: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, draw: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (draw() % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, draw: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = ((hi as i128 - lo as i128) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return (lo as i128).wrapping_add((draw() as i128)) as $t;
+                }
+                (lo as i128 + (draw() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit source.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value of type `T` (here: `f64` in `[0, 1)`, full-range
+    /// integers, or a fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// A uniform value from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut draw = || self.next_u64();
+        range.sample(&mut draw)
+    }
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small-state deterministic PRNG (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_hit_all_values() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = r.gen_range(1..=40u32);
+            assert!((1..=40).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.18)).count();
+        assert!((1_400..2_200).contains(&hits), "hits {hits}");
+    }
+}
