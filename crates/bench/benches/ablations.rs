@@ -75,9 +75,7 @@ fn build_cost(c: &mut Criterion) {
     let corpus = wsj_corpus(400);
     let mut group = c.benchmark_group("ablation_build_cost");
     group.sample_size(10);
-    group.bench_function("lpath_engine_build", |b| {
-        b.iter(|| Engine::build(&corpus))
-    });
+    group.bench_function("lpath_engine_build", |b| b.iter(|| Engine::build(&corpus)));
     group.bench_function("tgrep_image_build", |b| {
         b.iter(|| TgrepEngine::build(&corpus))
     });

@@ -3,11 +3,15 @@
 //! (7 runs, trimmed mean).
 //!
 //! ```text
-//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|all] [sentences]
+//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|all] [sentences]
 //! ```
 //!
 //! With no arguments, prints everything at the default scale (1/20 of
-//! the paper's corpus; see `lpath-bench`'s crate docs).
+//! the paper's corpus; see `lpath-bench`'s crate docs). The `service`
+//! mode additionally writes machine-readable throughput numbers to
+//! `BENCH_service.json` in the working directory.
+
+use std::time::Instant;
 
 use lpath_bench::{
     default_swb_sentences, default_wsj_sentences, figure10_rows, figure7_rows, fmt_secs,
@@ -17,6 +21,7 @@ use lpath_core::{Engine, Walker, EXTENDED_QUERIES, QUERIES};
 use lpath_corpussearch::CS_QUERIES;
 use lpath_model::{Corpus, Profile};
 use lpath_relstore::{JoinOrder, PlannerConfig};
+use lpath_service::{Service, ServiceConfig};
 use lpath_tgrep::TGREP_QUERIES;
 
 fn main() {
@@ -48,6 +53,7 @@ fn main() {
         "ablation" => ablation(&wsj),
         "extended" => extended(&wsj, &swb),
         "sql" => sql(&wsj),
+        "service" => service(&wsj, wsj_n),
         "all" => {
             fig6a(&wsj, &swb);
             fig6b(&wsj, &swb);
@@ -58,11 +64,12 @@ fn main() {
             fig10(&wsj);
             ablation(&wsj);
             extended(&wsj, &swb);
+            service(&wsj, wsj_n);
         }
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected \
-                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|all"
+                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|all"
             );
             std::process::exit(2);
         }
@@ -81,10 +88,22 @@ fn fig6a(wsj: &Corpus, swb: &Corpus) {
         s.ascii_bytes / 1024
     );
     println!("{:<22}{:>14}{:>14}", "Trees", w.trees, s.trees);
-    println!("{:<22}{:>14}{:>14}", "Tree Nodes", w.total_nodes, s.total_nodes);
-    println!("{:<22}{:>14}{:>14}", "Tokens", w.total_tokens, s.total_tokens);
-    println!("{:<22}{:>14}{:>14}", "Unique Tags", w.unique_tags, s.unique_tags);
-    println!("{:<22}{:>14}{:>14}", "Maximum Depth", w.max_depth, s.max_depth);
+    println!(
+        "{:<22}{:>14}{:>14}",
+        "Tree Nodes", w.total_nodes, s.total_nodes
+    );
+    println!(
+        "{:<22}{:>14}{:>14}",
+        "Tokens", w.total_tokens, s.total_tokens
+    );
+    println!(
+        "{:<22}{:>14}{:>14}",
+        "Unique Tags", w.unique_tags, s.unique_tags
+    );
+    println!(
+        "{:<22}{:>14}{:>14}",
+        "Maximum Depth", w.max_depth, s.max_depth
+    );
     println!(
         "(paper, full scale: 35983kB/35880kB; 3484899/3972148 nodes; \
          1274/715 tags; depth 36/36)\n"
@@ -199,7 +218,10 @@ fn fig9(wsj: &Corpus, base_sentences: usize) {
 /// Figure 10: LPath vs XPath (start/end) labeling, 11 shared queries.
 fn fig10(wsj: &Corpus) {
     println!("== Figure 10: labeling schemes on the XPath-expressible queries (WSJ) ==");
-    println!("{:<5}{:>14}{:>14}{:>9}", "Q", "LPath-label", "XPath-label", "ratio");
+    println!(
+        "{:<5}{:>14}{:>14}{:>9}",
+        "Q", "LPath-label", "XPath-label", "ratio"
+    );
     for row in figure10_rows(wsj) {
         let ratio = row.lpath.as_secs_f64() / row.xpath.as_secs_f64().max(1e-12);
         println!(
@@ -312,6 +334,195 @@ fn extended(wsj: &Corpus, swb: &Corpus) {
         );
     }
     println!("(all sql-supported rows verified engine == walker; identities asserted)\n");
+}
+
+/// One shard-count row of the service benchmark.
+struct ServiceRow {
+    shards: usize,
+    build_secs: f64,
+    query_qps: f64,
+    cached_qps: f64,
+    cache_hit_rate: f64,
+    workload_qps: f64,
+    shards_pruned: u64,
+    shard_evals: u64,
+}
+
+/// The `service` mode: throughput of the sharded, cached, concurrent
+/// query service at shard counts {1, 2, 4, 8}, three workloads each:
+///
+/// * **query** — repeated batches of the 23 evaluation queries with
+///   the result cache off (pure evaluation throughput; on multi-core
+///   hardware this scales with shards × threads);
+/// * **cached** — the same batches with the result cache on (steady-
+///   state throughput of a skewed workload);
+/// * **ingest+query** — alternating `append_ptb` batches and query
+///   batches over a live corpus. Sharding wins here on any hardware:
+///   an append rebuilds only the tail shard, so the per-round index
+///   maintenance cost drops by roughly the shard count.
+///
+/// Writes `BENCH_service.json` with every number printed.
+fn service(wsj: &Corpus, wsj_n: usize) {
+    println!("== Service: sharded, cached, concurrent query service (WSJ) ==");
+    let texts: Vec<&str> = QUERIES.iter().map(|q| q.lpath).collect();
+    let shard_counts = [1usize, 2, 4, 8];
+    let rounds = 3usize;
+
+    // The ingest workload replays the last 20% of the corpus in four
+    // batches over a service built on the first 80%.
+    let n = wsj.trees().len();
+    let cut = n * 4 / 5;
+    let prefix = wsj.subcorpus(0..cut);
+    let batch_size = ((n - cut) / 4).max(1);
+    let ingest_batches: Vec<String> = (cut..n)
+        .step_by(batch_size)
+        .map(|lo| wsj.subcorpus(lo..(lo + batch_size).min(n)).to_ptb_string())
+        .collect();
+
+    let mut rows: Vec<ServiceRow> = Vec::new();
+    for &k in &shard_counts {
+        // Pure query throughput: result cache off, every batch misses.
+        let t = Instant::now();
+        let svc = Service::with_config(
+            wsj,
+            ServiceConfig {
+                shards: k,
+                result_cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let build_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        for _ in 0..rounds {
+            for r in svc.eval_batch(&texts) {
+                let _ = r.expect("evaluation query");
+            }
+        }
+        let query_qps = (rounds * texts.len()) as f64 / t.elapsed().as_secs_f64();
+        let pure_stats = svc.stats();
+
+        // Steady-state cached throughput: warm once, then measure.
+        let cached = Service::with_config(
+            wsj,
+            ServiceConfig {
+                shards: k,
+                ..ServiceConfig::default()
+            },
+        );
+        for r in cached.eval_batch(&texts) {
+            let _ = r.expect("warm-up query");
+        }
+        let t = Instant::now();
+        for _ in 0..rounds {
+            for r in cached.eval_batch(&texts) {
+                let _ = r.expect("cached query");
+            }
+        }
+        let cached_qps = (rounds * texts.len()) as f64 / t.elapsed().as_secs_f64();
+        let cache_hit_rate = cached.stats().result_hit_rate();
+
+        // Live corpus: append a batch, answer the query set, repeat.
+        let live = Service::with_config(
+            &prefix,
+            ServiceConfig {
+                shards: k,
+                result_cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let t = Instant::now();
+        let mut live_queries = 0usize;
+        for batch in &ingest_batches {
+            live.append_ptb(batch).expect("ingest batch");
+            for r in live.eval_batch(&texts) {
+                let _ = r.expect("live query");
+            }
+            live_queries += texts.len();
+        }
+        let workload_qps = live_queries as f64 / t.elapsed().as_secs_f64();
+
+        rows.push(ServiceRow {
+            shards: k,
+            build_secs,
+            query_qps,
+            cached_qps,
+            cache_hit_rate,
+            workload_qps,
+            shards_pruned: pure_stats.shards_pruned,
+            shard_evals: pure_stats.shard_evals,
+        });
+    }
+
+    println!(
+        "{:<8}{:>10}{:>12}{:>12}{:>10}{:>18}{:>9}",
+        "shards", "build(s)", "query QPS", "cached QPS", "hit", "ingest+query QPS", "pruned"
+    );
+    for r in &rows {
+        println!(
+            "{:<8}{:>10.3}{:>12.1}{:>12.1}{:>10.2}{:>18.1}{:>9}",
+            r.shards,
+            r.build_secs,
+            r.query_qps,
+            r.cached_qps,
+            r.cache_hit_rate,
+            r.workload_qps,
+            r.shards_pruned,
+        );
+    }
+    let at = |k: usize| rows.iter().find(|r| r.shards == k).unwrap();
+    // Guard against 0/0 on degenerate corpora (e.g. `service 0`):
+    // NaN would make the JSON unparsable.
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let speedup_1_to_4 = ratio(at(4).workload_qps, at(1).workload_qps);
+    let query_speedup_1_to_4 = ratio(at(4).query_qps, at(1).query_qps);
+    println!(
+        "ingest+query speedup 1 -> 4 shards: {speedup_1_to_4:.2}x \
+         (pure query: {query_speedup_1_to_4:.2}x on {} worker threads)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+
+    // Machine-readable trajectory record.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"service\",\n");
+    json.push_str(&format!("  \"wsj_sentences\": {wsj_n},\n"));
+    json.push_str(&format!(
+        "  \"worker_threads\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    json.push_str(&format!("  \"rounds\": {rounds},\n"));
+    json.push_str(&format!("  \"queries_per_batch\": {},\n", texts.len()));
+    json.push_str("  \"per_shard_count\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"build_secs\": {:.6}, \"query_qps\": {:.3}, \
+             \"cached_qps\": {:.3}, \"cache_hit_rate\": {:.4}, \
+             \"ingest_query_qps\": {:.3}, \"shard_evals\": {}, \"shards_pruned\": {}}}{}\n",
+            r.shards,
+            r.build_secs,
+            r.query_qps,
+            r.cached_qps,
+            r.cache_hit_rate,
+            r.workload_qps,
+            r.shard_evals,
+            r.shards_pruned,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup_1_to_4\": {speedup_1_to_4:.4},\n"));
+    json.push_str(&format!(
+        "  \"query_speedup_1_to_4\": {query_speedup_1_to_4:.4}\n"
+    ));
+    json.push_str("}\n");
+    match std::fs::write("BENCH_service.json", &json) {
+        Ok(()) => println!("wrote BENCH_service.json\n"),
+        Err(e) => eprintln!("could not write BENCH_service.json: {e}\n"),
+    }
 }
 
 /// Show the generated SQL for every evaluation query (paper §4).

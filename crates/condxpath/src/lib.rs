@@ -466,17 +466,6 @@ mod tests {
         parse_str(FIG1).unwrap()
     }
 
-    /// All `(from, to)` pairs of a path expression over one tree.
-    fn pairs(tree: &Tree, p: &PathExpr) -> Vec<(NodeId, NodeId)> {
-        let mut out = Vec::new();
-        for from in tree.preorder() {
-            for to in p.eval(tree, from) {
-                out.push((from, to));
-            }
-        }
-        out
-    }
-
     #[test]
     fn primitive_steps() {
         let c = fig1();
@@ -528,8 +517,14 @@ mod tests {
         let cases: [(PathExpr, AxisRel); 6] = [
             (immediate_following(), AxisRel::ImmediateFollowing),
             (immediate_preceding(), AxisRel::ImmediatePreceding),
-            (immediate_following_sibling(), AxisRel::ImmediateFollowingSibling),
-            (immediate_preceding_sibling(), AxisRel::ImmediatePrecedingSibling),
+            (
+                immediate_following_sibling(),
+                AxisRel::ImmediateFollowingSibling,
+            ),
+            (
+                immediate_preceding_sibling(),
+                AxisRel::ImmediatePrecedingSibling,
+            ),
             (following_via_closure(), AxisRel::Following),
             (following_sibling_via_closure(), AxisRel::FollowingSibling),
         ];

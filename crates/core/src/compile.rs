@@ -227,14 +227,8 @@ mod tests {
             };
             for x in &labels {
                 for ctx in &labels {
-                    let by_join = join
-                        .iter()
-                        .all(|j| j.cmp.eval(col(x, j.x), col(ctx, j.c)));
-                    assert_eq!(
-                        by_join,
-                        rel.holds(x, ctx),
-                        "{axis:?} x={x:?} c={ctx:?}"
-                    );
+                    let by_join = join.iter().all(|j| j.cmp.eval(col(x, j.x), col(ctx, j.c)));
+                    assert_eq!(by_join, rel.holds(x, ctx), "{axis:?} x={x:?} c={ctx:?}");
                 }
             }
         }

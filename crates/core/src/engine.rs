@@ -115,8 +115,16 @@ impl Engine {
         db.add_index(node, "clustered", cluster);
         // Secondary indexes of §5.
         let c = |n: NCol| cols.col(n);
-        db.add_index(node, "tid_value_id", vec![c(NCol::Tid), c(NCol::Value), c(NCol::Id)]);
-        db.add_index(node, "value_tid_id", vec![c(NCol::Value), c(NCol::Tid), c(NCol::Id)]);
+        db.add_index(
+            node,
+            "tid_value_id",
+            vec![c(NCol::Tid), c(NCol::Value), c(NCol::Id)],
+        );
+        db.add_index(
+            node,
+            "value_tid_id",
+            vec![c(NCol::Value), c(NCol::Tid), c(NCol::Id)],
+        );
         db.add_index(node, "tid_id", vec![c(NCol::Tid), c(NCol::Id)]);
         db.analyze(node, &[c(NCol::Name), c(NCol::Value)]);
 
@@ -152,7 +160,14 @@ impl Engine {
     /// with symbolic names resolved for readability.
     pub fn sql(&self, query: &str) -> Result<String, EngineError> {
         let ast = parse(query)?;
-        let cq = self.translate(&ast)?;
+        self.sql_ast(&ast)
+    }
+
+    /// Like [`Engine::sql`] for an already-parsed query (callers that
+    /// keep the AST — e.g. a plan cache — avoid re-parsing and
+    /// re-translating).
+    pub fn sql_ast(&self, ast: &Path) -> Result<String, EngineError> {
+        let cq = self.translate(ast)?;
         let name_col = self.cols.col(NCol::Name);
         let value_col = self.cols.col(NCol::Value);
         Ok(cq.to_sql_with(&self.db, &|r: ColRef, v: Value| {
@@ -351,11 +366,7 @@ mod tests {
             },
         );
         for q in ["//V->NP", "//VP{/NP$}", "//S[//NP/PP]", "//NP[not(//Det)]"] {
-            assert_eq!(
-                greedy.query(q).unwrap(),
-                syntactic.query(q).unwrap(),
-                "{q}"
-            );
+            assert_eq!(greedy.query(q).unwrap(), syntactic.query(q).unwrap(), "{q}");
         }
     }
 

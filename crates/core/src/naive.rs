@@ -53,9 +53,9 @@ pub fn proper_analyses(tree: &Tree) -> Vec<Vec<NodeId>> {
 /// Definition 3.1 via proper analyses: does `x` appear immediately
 /// after `c` in some proper analysis?
 pub fn immediately_follows(tree: &Tree, x: NodeId, c: NodeId) -> bool {
-    proper_analyses(tree).iter().any(|a| {
-        a.windows(2).any(|w| w[0] == c && w[1] == x)
-    })
+    proper_analyses(tree)
+        .iter()
+        .any(|a| a.windows(2).any(|w| w[0] == c && w[1] == x))
 }
 
 /// Does `x` appear (anywhere) after `c` in some proper analysis — the
@@ -144,8 +144,11 @@ impl<'c> NaiveEvaluator<'c> {
                 Some(tree.root())
             };
             let mut scopes = Vec::new();
-            for n in ev.path(start.map_or_else(|| vec![Ctx::Doc], |r| vec![Ctx::Node(r)]), query, &mut scopes)
-            {
+            for n in ev.path(
+                start.map_or_else(|| vec![Ctx::Doc], |r| vec![Ctx::Node(r)]),
+                query,
+                &mut scopes,
+            ) {
                 out.push((tid as u32, n));
             }
         }
@@ -175,8 +178,10 @@ impl<'a> TreeEval<'a> {
     /// parent pointers and leaf ordinals (no interval labels).
     fn axis_holds(&self, axis: Axis, x: NodeId, c: NodeId) -> bool {
         let f = &self.facts;
-        let same_parent =
-            || self.tree.node(x).parent.is_some() && self.tree.node(x).parent == self.tree.node(c).parent;
+        let same_parent = || {
+            self.tree.node(x).parent.is_some()
+                && self.tree.node(x).parent == self.tree.node(c).parent
+        };
         let is_ancestor = |a: NodeId, d: NodeId| self.tree.ancestors(d).any(|n| n == a);
         match axis {
             Axis::SelfAxis => x == c,
@@ -300,7 +305,14 @@ impl<'a> TreeEval<'a> {
         cands
     }
 
-    fn pred(&self, x: NodeId, pred: &Pred, pos: usize, len: usize, scopes: &mut Vec<NodeId>) -> bool {
+    fn pred(
+        &self,
+        x: NodeId,
+        pred: &Pred,
+        pos: usize,
+        len: usize,
+        scopes: &mut Vec<NodeId>,
+    ) -> bool {
         match pred {
             Pred::And(a, b) => {
                 self.pred(x, a, pos, len, scopes) && self.pred(x, b, pos, len, scopes)
@@ -322,15 +334,16 @@ impl<'a> TreeEval<'a> {
                 }
             }
             Pred::Exists(p) => !self.path(vec![Ctx::Node(x)], p, scopes).is_empty(),
-            Pred::Cmp { path, op, value } => self
-                .string_values(x, path, scopes)
-                .iter()
-                .any(|actual| match op {
-                    CmpOp::Eq => *actual == value.as_str(),
-                    CmpOp::Ne => *actual != value.as_str(),
-                    CmpOp::Lt => *actual < value.as_str(),
-                    CmpOp::Gt => *actual > value.as_str(),
-                }),
+            Pred::Cmp { path, op, value } => {
+                self.string_values(x, path, scopes)
+                    .iter()
+                    .any(|actual| match op {
+                        CmpOp::Eq => *actual == value.as_str(),
+                        CmpOp::Ne => *actual != value.as_str(),
+                        CmpOp::Lt => *actual < value.as_str(),
+                        CmpOp::Gt => *actual > value.as_str(),
+                    })
+            }
             Pred::Count { path, op, value } => {
                 // Attribute-final paths count matched attributes (one
                 // per element/name pair, as in the walker); element
@@ -446,10 +459,7 @@ mod tests {
         let c = parse_str(FIG1).unwrap();
         let t = &c.trees()[0];
         let name_of = |n: NodeId| c.resolve(t.node(n).name).to_string();
-        let v = t
-            .preorder()
-            .find(|&n| name_of(n) == "V")
-            .expect("V exists");
+        let v = t.preorder().find(|&n| name_of(n) == "V").expect("V exists");
         let followers: Vec<String> = t
             .preorder()
             .filter(|&x| immediately_follows(t, x, v))

@@ -351,8 +351,7 @@ mod tests {
     #[test]
     fn all_queries_parse() {
         for q in QUERIES {
-            lpath_syntax::parse(q.lpath)
-                .unwrap_or_else(|e| panic!("Q{}: {e}", q.id));
+            lpath_syntax::parse(q.lpath).unwrap_or_else(|e| panic!("Q{}: {e}", q.id));
         }
     }
 

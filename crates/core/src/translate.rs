@@ -138,11 +138,8 @@ impl<'a> Translator<'a> {
     /// tied to the same tree as `tie_to`.
     fn fresh_root(&self, q: &mut ConjQuery, tie_to: Option<usize>) -> usize {
         let r = q.add_alias(self.table);
-        q.conds.push(Cond::against_const(
-            self.cref(r, NCol::Depth),
-            Cmp::Eq,
-            1,
-        ));
+        q.conds
+            .push(Cond::against_const(self.cref(r, NCol::Depth), Cmp::Eq, 1));
         q.conds.push(Cond::against_const(
             self.cref(r, NCol::Value),
             Cmp::Eq,
@@ -233,16 +230,14 @@ impl<'a> Translator<'a> {
 
         // Node test.
         match (step.axis, &step.test) {
-            (Axis::Attribute, NodeTest::Tag(t)) => {
-                match self.interner.get(&format!("@{t}")) {
-                    Some(sym) => q.conds.push(Cond::against_const(
-                        self.cref(x, NCol::Name),
-                        Cmp::Eq,
-                        sym.raw(),
-                    )),
-                    None => self.unsat(q, x),
-                }
-            }
+            (Axis::Attribute, NodeTest::Tag(t)) => match self.interner.get(&format!("@{t}")) {
+                Some(sym) => q.conds.push(Cond::against_const(
+                    self.cref(x, NCol::Name),
+                    Cmp::Eq,
+                    sym.raw(),
+                )),
+                None => self.unsat(q, x),
+            },
             (Axis::Attribute, NodeTest::Any) => {
                 // Any attribute row: it carries a value.
                 q.conds.push(Cond::against_const(
@@ -281,11 +276,8 @@ impl<'a> Translator<'a> {
                 ));
             }
             (Axis::Attribute, Ctx::Outer(c)) => {
-                q.conds.push(Cond::new(
-                    tid(x),
-                    Cmp::Eq,
-                    Operand::Outer(tid(c)),
-                ));
+                q.conds
+                    .push(Cond::new(tid(x), Cmp::Eq, Operand::Outer(tid(c))));
                 q.conds.push(Cond::new(
                     self.cref(x, NCol::Id),
                     Cmp::Eq,
@@ -314,11 +306,8 @@ impl<'a> Translator<'a> {
                 };
                 q.conds.push(Cond::between(tid(x), Cmp::Eq, tid(c)));
                 for j in join {
-                    q.conds.push(Cond::between(
-                        self.cref(x, j.x),
-                        j.cmp,
-                        self.cref(c, j.c),
-                    ));
+                    q.conds
+                        .push(Cond::between(self.cref(x, j.x), j.cmp, self.cref(c, j.c)));
                 }
             }
             (axis, Ctx::Outer(c)) => {
@@ -328,7 +317,8 @@ impl<'a> Translator<'a> {
                         axis.name()
                     )));
                 };
-                q.conds.push(Cond::new(tid(x), Cmp::Eq, Operand::Outer(tid(c))));
+                q.conds
+                    .push(Cond::new(tid(x), Cmp::Eq, Operand::Outer(tid(c))));
                 for j in join {
                     q.conds.push(Cond::new(
                         self.cref(x, j.x),
@@ -441,9 +431,7 @@ impl<'a> Translator<'a> {
                     CmpOp::Eq => Cmp::Eq,
                     CmpOp::Ne => Cmp::Ne,
                     CmpOp::Lt | CmpOp::Gt => {
-                        return Err(Unsupported(
-                            "ordered comparison on interned values".into(),
-                        ))
+                        return Err(Unsupported("ordered comparison on interned values".into()))
                     }
                 };
                 self.require_attr_final(path)?;
@@ -473,8 +461,7 @@ impl<'a> Translator<'a> {
                     (CmpOp::Eq, 0) | (CmpOp::Lt, 1) => false,
                     _ => {
                         return Err(Unsupported(
-                            "count() thresholds beyond existence (use the tree walker)"
-                                .into(),
+                            "count() thresholds beyond existence (use the tree walker)".into(),
                         ))
                     }
                 };
@@ -508,12 +495,7 @@ impl<'a> Translator<'a> {
 
     /// Reject non-attribute-final paths for value-level predicates.
     fn require_attr_final(&self, path: &Path) -> Result<(), Unsupported> {
-        if !path
-            .steps
-            .last()
-            .is_some_and(|s| s.axis == Axis::Attribute)
-            || path.scope.is_some()
-        {
+        if !path.steps.last().is_some_and(|s| s.axis == Axis::Attribute) || path.scope.is_some() {
             return Err(Unsupported(
                 "value comparison requires an attribute-final path".into(),
             ));

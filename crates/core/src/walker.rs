@@ -32,17 +32,33 @@ impl Point {
 }
 
 /// Tree-walking evaluator over a corpus. Labels every tree once at
-/// construction.
+/// construction (or borrows labels a caller computed once and keeps —
+/// see [`Walker::with_labels`]).
 pub struct Walker<'c> {
     corpus: &'c Corpus,
-    labels: Vec<Vec<Label>>,
+    labels: std::borrow::Cow<'c, [Vec<Label>]>,
 }
 
 impl<'c> Walker<'c> {
     /// Label every tree of `corpus` and keep the labels for axis tests.
     pub fn new(corpus: &'c Corpus) -> Self {
-        let labels = corpus.trees().iter().map(label_tree).collect();
-        Walker { corpus, labels }
+        let labels = corpus.trees().iter().map(label_tree).collect::<Vec<_>>();
+        Walker {
+            corpus,
+            labels: std::borrow::Cow::Owned(labels),
+        }
+    }
+
+    /// A walker over labels the caller computed (with
+    /// [`label_tree`] per tree, in corpus order) and keeps alive —
+    /// construction is then free, which matters to callers that make a
+    /// walker per query over a long-lived corpus.
+    pub fn with_labels(corpus: &'c Corpus, labels: &'c [Vec<Label>]) -> Self {
+        debug_assert_eq!(corpus.trees().len(), labels.len());
+        Walker {
+            corpus,
+            labels: std::borrow::Cow::Borrowed(labels),
+        }
     }
 
     /// The corpus this walker evaluates over.
@@ -295,8 +311,7 @@ impl<'a> TreeCtx<'a> {
                     .filter(|(name, _)| match &step.test {
                         NodeTest::Any => true,
                         NodeTest::Tag(t) => {
-                            self.corpus.interner().get(&format!("@{t}"))
-                                == Some(*name)
+                            self.corpus.interner().get(&format!("@{t}")) == Some(*name)
                         }
                     })
                     .map(|&(name, _)| Point::Attr(e, name))
@@ -307,9 +322,7 @@ impl<'a> TreeCtx<'a> {
                 let base: Vec<NodeId> = match c {
                     Point::Doc => match axis {
                         Axis::Child => vec![self.tree.root()],
-                        Axis::Descendant | Axis::DescendantOrSelf => {
-                            self.tree.preorder().collect()
-                        }
+                        Axis::Descendant | Axis::DescendantOrSelf => self.tree.preorder().collect(),
                         // Nothing precedes, follows or contains the
                         // document node.
                         _ => vec![],
@@ -320,9 +333,7 @@ impl<'a> TreeCtx<'a> {
                         // otherwise.
                         match axis {
                             Axis::Child => self.tree.node(e).children.clone(),
-                            Axis::Parent => {
-                                self.tree.node(e).parent.into_iter().collect()
-                            }
+                            Axis::Parent => self.tree.node(e).parent.into_iter().collect(),
                             Axis::SelfAxis => vec![e],
                             _ => self
                                 .tree
@@ -336,8 +347,7 @@ impl<'a> TreeCtx<'a> {
                     .filter(|&x| match &step.test {
                         NodeTest::Any => true,
                         NodeTest::Tag(t) => {
-                            self.corpus.interner().get(t)
-                                == Some(self.tree.node(x).name)
+                            self.corpus.interner().get(t) == Some(self.tree.node(x).name)
                         }
                     })
                     .map(Point::Elem)
@@ -420,11 +430,9 @@ impl<'a> TreeCtx<'a> {
             Pred::StrCmp { func, path, arg } => {
                 self.any_string_value(x, path, scopes, |actual| func.apply(actual, arg))
             }
-            Pred::StrLen { path, op, value } => {
-                self.any_string_value(x, path, scopes, |actual| {
-                    cmp_u32(*op, actual.chars().count() as u32, *value)
-                })
-            }
+            Pred::StrLen { path, op, value } => self.any_string_value(x, path, scopes, |actual| {
+                cmp_u32(*op, actual.chars().count() as u32, *value)
+            }),
         }
     }
 
@@ -575,10 +583,7 @@ mod tests {
         // Rightmost child of VP, XPath style (paper §2.2.3 example).
         assert_eq!(count(&w, "//VP/_[last()][self::NP]"), 1);
         // Reverse axis numbering: nearest ancestor first.
-        assert_eq!(
-            names(&c, &w, "//Prep\\ancestor::_[position()=1]"),
-            ["PP"]
-        );
+        assert_eq!(names(&c, &w, "//Prep\\ancestor::_[position()=1]"), ["PP"]);
     }
 
     #[test]
@@ -650,7 +655,7 @@ mod tests {
 
     #[test]
     fn parallel_evaluation_matches_sequential() {
-        let src: String = std::iter::repeat(FIG1).take(13).collect::<Vec<_>>().join("\n");
+        let src: String = std::iter::repeat_n(FIG1, 13).collect::<Vec<_>>().join("\n");
         let c = parse_str(&src).unwrap();
         let w = Walker::new(&c);
         for q in ["//V->NP", "//VP{//NP$}", "//NP[not(//Det)]", "//ZZZ"] {
@@ -664,7 +669,7 @@ mod tests {
 
     #[test]
     fn batch_parallel_matches_sequential() {
-        let src: String = std::iter::repeat(FIG1).take(7).collect::<Vec<_>>().join("\n");
+        let src: String = std::iter::repeat_n(FIG1, 7).collect::<Vec<_>>().join("\n");
         let c = parse_str(&src).unwrap();
         let w = Walker::new(&c);
         let queries: Vec<lpath_syntax::Path> = ["//V->NP", "//VP{//NP$}", "//ZZZ", "//_"]

@@ -44,10 +44,8 @@ mod tests {
 
     #[test]
     fn engine_wraps_eval() {
-        let corpus = parse_str(
-            "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man)))) )",
-        )
-        .unwrap();
+        let corpus =
+            parse_str("( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man)))) )").unwrap();
         let e = CsEngine::new(&corpus);
         assert_eq!(e.count("find n:NP, v:VBD where v iPrecedes n").unwrap(), 1);
         assert!(e.count("find oops").is_err());

@@ -92,8 +92,7 @@ impl Facts {
                     && self.parent[x as usize] == self.parent[y as usize]
             }
             ISisterPrecedes => {
-                self.rel(SameParent, x, y)
-                    && self.fl[y as usize] == self.ll[x as usize] + 1
+                self.rel(SameParent, x, y) && self.fl[y as usize] == self.ll[x as usize] + 1
             }
             SisterPrecedes => {
                 self.rel(SameParent, x, y) && self.fl[y as usize] > self.ll[x as usize]
@@ -138,12 +137,7 @@ fn count_tree(corpus: &Corpus, tree: &Tree, q: &CsQuery) -> usize {
             .map(|id| id.0)
             .collect();
         for c in &q.clauses {
-            if let Clause::HasWord {
-                negated,
-                var,
-                word,
-            } = c
-            {
+            if let Clause::HasWord { negated, var, word } = c {
                 if *var == v {
                     list.retain(|&n| has_word(n, word) != *negated);
                 }
@@ -156,10 +150,7 @@ fn count_tree(corpus: &Corpus, tree: &Tree, q: &CsQuery) -> usize {
     let positive_clauses: Vec<&Clause> = q
         .clauses
         .iter()
-        .filter(|c| {
-            c.vars().iter().all(|&v| !negative[v])
-                && matches!(c, Clause::Rel { .. })
-        })
+        .filter(|c| c.vars().iter().all(|&v| !negative[v]) && matches!(c, Clause::Rel { .. }))
         .collect();
 
     // Negative groups: per negative variable, the conjunction of its
@@ -167,11 +158,7 @@ fn count_tree(corpus: &Corpus, tree: &Tree, q: &CsQuery) -> usize {
     let neg_groups: Vec<(usize, Vec<&Clause>)> = (0..q.vars.len())
         .filter(|&v| negative[v])
         .map(|v| {
-            let clauses = q
-                .clauses
-                .iter()
-                .filter(|c| c.vars().contains(&v))
-                .collect();
+            let clauses = q.clauses.iter().filter(|c| c.vars().contains(&v)).collect();
             (v, clauses)
         })
         .collect();

@@ -168,6 +168,16 @@ impl Corpus {
         out
     }
 
+    /// A corpus over a contiguous slice of this corpus's trees,
+    /// sharing the symbol table (symbol ids stay valid), so slices can
+    /// be rendered, re-parsed or indexed independently.
+    pub fn subcorpus(&self, range: std::ops::Range<usize>) -> Corpus {
+        Corpus {
+            interner: self.interner.clone(),
+            trees: self.trees[range].to_vec(),
+        }
+    }
+
     /// Render the whole corpus in bracketed form (one tree per line).
     pub fn to_ptb_string(&self) -> String {
         let mut s = String::new();
@@ -192,7 +202,6 @@ impl std::fmt::Debug for Corpus {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::ptb::parse_str;
 
     const SRC: &str = "\
@@ -244,10 +253,7 @@ mod tests {
         let doubled = c.replicate(2.0);
         assert_eq!(doubled.stats().total_nodes, 2 * c.stats().total_nodes);
         // Symbol ids stay stable across replication.
-        assert_eq!(
-            doubled.interner().get("man"),
-            c.interner().get("man")
-        );
+        assert_eq!(doubled.interner().get("man"), c.interner().get("man"));
     }
 
     #[test]

@@ -261,7 +261,9 @@ impl TreeEditor {
             .iter()
             .position(|&c| c == i)
             .expect("child listed under its parent");
-        self.nodes[p].children.splice(pos..=pos, promoted.iter().copied());
+        self.nodes[p]
+            .children
+            .splice(pos..=pos, promoted.iter().copied());
         self.nodes[i].alive = false;
 
         if let Some(labels) = &mut self.labels {
@@ -331,7 +333,13 @@ impl TreeEditor {
             let (tree, map) = self.build();
             let fresh = label_tree(&tree);
             let mut labels = vec![
-                Label { left: 0, right: 0, depth: 0, id: 0, pid: 0 };
+                Label {
+                    left: 0,
+                    right: 0,
+                    depth: 0,
+                    id: 0,
+                    pid: 0
+                };
                 self.nodes.len()
             ];
             for (editor_idx, tree_id) in map.iter().enumerate() {
@@ -515,7 +523,12 @@ mod tests {
         let tree = ed.finish().unwrap();
         assert_eq!(tree.len(), c.trees()[0].len() - 5);
         // Deleted descendants are dead.
-        assert!(ed.relabel(ed.node_ref(crate::NodeId(10)), c.interner().get("NP").unwrap()).is_err());
+        assert!(ed
+            .relabel(
+                ed.node_ref(crate::NodeId(10)),
+                c.interner().get("NP").unwrap()
+            )
+            .is_err());
     }
 
     #[test]
@@ -527,11 +540,19 @@ mod tests {
         assert_eq!(ed.delete(ed.root()), Err(EditError::Root));
         assert_eq!(
             ed.wrap(ed.root(), 2, 2, x),
-            Err(EditError::Range { len: 3, lo: 2, hi: 2 })
+            Err(EditError::Range {
+                len: 3,
+                lo: 2,
+                hi: 2
+            })
         );
         assert_eq!(
             ed.wrap(ed.root(), 0, 9, x),
-            Err(EditError::Range { len: 3, lo: 0, hi: 9 })
+            Err(EditError::Range {
+                len: 3,
+                lo: 0,
+                hi: 9
+            })
         );
         assert_eq!(
             ed.insert_terminal(ed.root(), 7, x),

@@ -252,8 +252,7 @@ impl<'a> Gen<'a> {
     /// paper's Figure 6(c) sizes scaled by corpus size, with a floor of
     /// one occurrence so every query stays satisfiable at small scales.
     fn injection_plan(&mut self) -> std::collections::HashMap<usize, Vec<Inj>> {
-        let mut plan: std::collections::HashMap<usize, Vec<Inj>> =
-            std::collections::HashMap::new();
+        let mut plan: std::collections::HashMap<usize, Vec<Inj>> = std::collections::HashMap::new();
         if self.sentences == 0 {
             return plan;
         }
@@ -281,23 +280,49 @@ impl<'a> Gen<'a> {
     /// ranks, giving a realistic head/tail word distribution.
     fn zipf(&mut self, n: usize) -> usize {
         let u: f64 = self.rng.gen();
-        (((n as f64 + 1.0).powf(u)) as usize).saturating_sub(1).min(n - 1)
+        (((n as f64 + 1.0).powf(u)) as usize)
+            .saturating_sub(1)
+            .min(n - 1)
     }
 
     fn word(&mut self, cat: Cat) -> Sym {
         // A small head of real words per category, then a synthetic tail.
         const NOUNS: &[&str] = &[
-            "company", "year", "market", "time", "share", "president", "group",
-            "price", "week", "stock", "man", "dog", "government", "report",
+            "company",
+            "year",
+            "market",
+            "time",
+            "share",
+            "president",
+            "group",
+            "price",
+            "week",
+            "stock",
+            "man",
+            "dog",
+            "government",
+            "report",
         ];
         const PROPER: &[&str] = &[
-            "Smith", "Johnson", "Tokyo", "Washington", "Ford", "IBM", "Texas",
+            "Smith",
+            "Johnson",
+            "Tokyo",
+            "Washington",
+            "Ford",
+            "IBM",
+            "Texas",
         ];
         const VERBS: &[&str] = &[
             "make", "take", "buy", "sell", "see", "say", "go", "get", "give",
         ];
         const PAST: &[&str] = &[
-            "said", "rose", "fell", "reported", "announced", "agreed", "made",
+            "said",
+            "rose",
+            "fell",
+            "reported",
+            "announced",
+            "agreed",
+            "made",
         ];
         const ADJS: &[&str] = &[
             "new", "old", "last", "big", "good", "federal", "major", "strong",

@@ -52,7 +52,13 @@ pub struct Label {
 pub fn label_tree(tree: &Tree) -> Vec<Label> {
     let n = tree.len();
     let mut labels = vec![
-        Label { left: 0, right: 0, depth: 0, id: 0, pid: 0 };
+        Label {
+            left: 0,
+            right: 0,
+            depth: 0,
+            id: 0,
+            pid: 0
+        };
         n
     ];
 
@@ -143,18 +149,10 @@ impl AxisRel {
             SelfNode => x.id == c.id,
             Child => x.pid == c.id,
             Parent => x.id == c.pid,
-            Descendant => {
-                x.left >= c.left && x.right <= c.right && x.depth > c.depth
-            }
-            DescendantOrSelf => {
-                x.left >= c.left && x.right <= c.right && x.depth >= c.depth
-            }
-            Ancestor => {
-                x.left <= c.left && x.right >= c.right && x.depth < c.depth
-            }
-            AncestorOrSelf => {
-                x.left <= c.left && x.right >= c.right && x.depth <= c.depth
-            }
+            Descendant => x.left >= c.left && x.right <= c.right && x.depth > c.depth,
+            DescendantOrSelf => x.left >= c.left && x.right <= c.right && x.depth >= c.depth,
+            Ancestor => x.left <= c.left && x.right >= c.right && x.depth < c.depth,
+            AncestorOrSelf => x.left <= c.left && x.right >= c.right && x.depth <= c.depth,
             ImmediateFollowing => x.left == c.right,
             Following => x.left >= c.right,
             FollowingOrSelf => x.left >= c.right || x.id == c.id,
@@ -163,14 +161,10 @@ impl AxisRel {
             PrecedingOrSelf => x.right <= c.left || x.id == c.id,
             ImmediateFollowingSibling => x.pid == c.pid && x.left == c.right,
             FollowingSibling => x.pid == c.pid && x.left >= c.right,
-            FollowingSiblingOrSelf => {
-                x.pid == c.pid && (x.left >= c.right || x.id == c.id)
-            }
+            FollowingSiblingOrSelf => x.pid == c.pid && (x.left >= c.right || x.id == c.id),
             ImmediatePrecedingSibling => x.pid == c.pid && x.right == c.left,
             PrecedingSibling => x.pid == c.pid && x.right <= c.left,
-            PrecedingSiblingOrSelf => {
-                x.pid == c.pid && (x.right <= c.left || x.id == c.id)
-            }
+            PrecedingSiblingOrSelf => x.pid == c.pid && (x.right <= c.left || x.id == c.id),
         }
     }
 
@@ -383,14 +377,18 @@ mod tests {
             for ci in 0..n {
                 let (x, c) = (NodeId(xi as u32), NodeId(ci as u32));
                 let (lx, lc) = (&labels[xi], &labels[ci]);
-                let same_parent = t.node(x).parent.is_some()
-                    && t.node(x).parent == t.node(c).parent;
+                let same_parent =
+                    t.node(x).parent.is_some() && t.node(x).parent == t.node(c).parent;
                 // following: x's first leaf strictly after c's last leaf
                 let follows = leaf_pos[&first_leaf(x)] > leaf_pos[&last_leaf(c)];
                 let ifollows = leaf_pos[&first_leaf(x)] == leaf_pos[&last_leaf(c)] + 1;
                 assert_eq!(AxisRel::Child.holds(lx, lc), t.node(x).parent == Some(c));
                 assert_eq!(AxisRel::Parent.holds(lx, lc), t.node(c).parent == Some(x));
-                assert_eq!(AxisRel::Descendant.holds(lx, lc), is_anc(c, x), "desc {xi} {ci}");
+                assert_eq!(
+                    AxisRel::Descendant.holds(lx, lc),
+                    is_anc(c, x),
+                    "desc {xi} {ci}"
+                );
                 assert_eq!(AxisRel::Ancestor.holds(lx, lc), is_anc(x, c));
                 assert_eq!(AxisRel::Following.holds(lx, lc), follows);
                 assert_eq!(AxisRel::ImmediateFollowing.holds(lx, lc), ifollows);

@@ -33,7 +33,7 @@ pub mod tree;
 pub mod xml;
 
 pub use corpus::{Corpus, CorpusStats};
-pub use edit::{EditError, ERef, TreeEditor};
+pub use edit::{ERef, EditError, TreeEditor};
 pub use error::ModelError;
 pub use generator::{generate, GenConfig, Profile};
 pub use label::{label_tree, AxisRel, Label};

@@ -239,8 +239,7 @@ pub fn tree_to_string(tree: &Tree, interner: &Interner) -> String {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str =
-        "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )";
+    const SAMPLE: &str = "( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )";
 
     #[test]
     fn parse_single_tree() {
@@ -293,10 +292,7 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(
-            parse_str("( (S (NP"),
-            Err(ModelError::Ptb { .. })
-        ));
+        assert!(matches!(parse_str("( (S (NP"), Err(ModelError::Ptb { .. })));
         assert!(matches!(parse_str("word"), Err(ModelError::Ptb { .. })));
         assert!(matches!(parse_str("( () )"), Err(ModelError::Ptb { .. })));
     }

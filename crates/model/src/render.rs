@@ -24,11 +24,7 @@ use crate::tree::{NodeId, Tree};
 ///
 /// `highlight` nodes are marked with `*` (used by the REPL to show
 /// query matches in context).
-pub fn render_tree(
-    tree: &Tree,
-    interner: &Interner,
-    highlight: &[NodeId],
-) -> String {
+pub fn render_tree(tree: &Tree, interner: &Interner, highlight: &[NodeId]) -> String {
     let mut out = String::new();
     line(tree, interner, tree.root(), "", "", highlight, &mut out);
     out

@@ -133,8 +133,7 @@ mod tests {
         for (k, sym) in syms.iter().enumerate() {
             assert_eq!(sym.0, k as u32);
         }
-        let collected: Vec<(Sym, String)> =
-            i.iter().map(|(s, t)| (s, t.to_string())).collect();
+        let collected: Vec<(Sym, String)> = i.iter().map(|(s, t)| (s, t.to_string())).collect();
         assert_eq!(collected.len(), 10);
         assert_eq!(collected[3].1, "t3");
     }

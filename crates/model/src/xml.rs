@@ -231,12 +231,7 @@ impl RawElem {
     }
 }
 
-fn attach_attrs(
-    tree: &mut Tree,
-    interner: &mut Interner,
-    id: NodeId,
-    attrs: &[(String, String)],
-) {
+fn attach_attrs(tree: &mut Tree, interner: &mut Interner, id: NodeId, attrs: &[(String, String)]) {
     for (name, value) in attrs {
         let full = format!("@{name}");
         let aname = interner.intern(&full);
@@ -267,10 +262,7 @@ impl<'a> XmlParser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
             self.pos += 1;
         }
     }
@@ -334,10 +326,7 @@ impl<'a> XmlParser<'a> {
                     attrs.push((aname, value));
                 }
                 Some(b) => {
-                    return Err(self.err(format!(
-                        "unexpected character '{}' in tag",
-                        b as char
-                    )))
+                    return Err(self.err(format!("unexpected character '{}' in tag", b as char)))
                 }
                 None => return Err(self.err("unterminated start tag")),
             }
@@ -371,9 +360,7 @@ impl<'a> XmlParser<'a> {
             match self.peek() {
                 Some(b'<') => children.push(self.element()?),
                 Some(_) => {
-                    return Err(self.err(
-                        "text content is not allowed (words are @lex attributes)",
-                    ))
+                    return Err(self.err("text content is not allowed (words are @lex attributes)"))
                 }
                 None => return Err(self.err(format!("unterminated element <{name}>"))),
             }
@@ -560,8 +547,7 @@ mod tests {
     fn ugly_tags_are_escaped() {
         // `-NONE-`, `PRP$`, `.` and `,` are real Treebank tags but not
         // XML names.
-        let corpus =
-            ptb::parse_str("( (S (-NONE- x) (PRP$ my) (. .) (n word)) )").unwrap();
+        let corpus = ptb::parse_str("( (S (-NONE- x) (PRP$ my) (. .) (n word)) )").unwrap();
         let xml = to_string(&corpus);
         assert!(xml.contains("<n tag=\"-NONE-\" lex=\"x\"/>"), "{xml}");
         assert!(xml.contains("<n tag=\"PRP$\" lex=\"my\"/>"), "{xml}");

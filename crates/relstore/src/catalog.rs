@@ -53,10 +53,7 @@ impl Database {
 
     /// Look a table up by name.
     pub fn table_by_name(&self, name: &str) -> Option<TableId> {
-        self.tables
-            .iter()
-            .position(|(n, _)| n == name)
-            .map(TableId)
+        self.tables.iter().position(|(n, _)| n == name).map(TableId)
     }
 
     /// Build and register an ordered index over `key` columns.

@@ -79,8 +79,9 @@ impl Index {
 
         // Row `r` is *before* the window iff its prefix is less than
         // `prefix`, or prefixes tie and the next column is below `lo`.
-        let start = self.perm.partition_point(|&r| {
-            match self.cmp_prefix(table, r, prefix) {
+        let start = self
+            .perm
+            .partition_point(|&r| match self.cmp_prefix(table, r, prefix) {
                 std::cmp::Ordering::Less => true,
                 std::cmp::Ordering::Greater => false,
                 std::cmp::Ordering::Equal => match lo {
@@ -88,10 +89,10 @@ impl Index {
                     Bound::Included(v) => self.next_col(table, r, prefix.len()) < v,
                     Bound::Excluded(v) => self.next_col(table, r, prefix.len()) <= v,
                 },
-            }
-        });
-        let end = self.perm.partition_point(|&r| {
-            match self.cmp_prefix(table, r, prefix) {
+            });
+        let end = self
+            .perm
+            .partition_point(|&r| match self.cmp_prefix(table, r, prefix) {
                 std::cmp::Ordering::Less => true,
                 std::cmp::Ordering::Greater => false,
                 std::cmp::Ordering::Equal => match hi {
@@ -99,18 +100,12 @@ impl Index {
                     Bound::Included(v) => self.next_col(table, r, prefix.len()) <= v,
                     Bound::Excluded(v) => self.next_col(table, r, prefix.len()) < v,
                 },
-            }
-        });
+            });
         &self.perm[start..end.max(start)]
     }
 
     #[inline]
-    fn cmp_prefix(
-        &self,
-        table: &Table,
-        row: RowId,
-        prefix: &[Value],
-    ) -> std::cmp::Ordering {
+    fn cmp_prefix(&self, table: &Table, row: RowId, prefix: &[Value]) -> std::cmp::Ordering {
         for (&k, &want) in self.key.iter().zip(prefix) {
             let ord = table.value(row, k).cmp(&want);
             if ord != std::cmp::Ordering::Equal {
@@ -168,22 +163,34 @@ mod tests {
         let (t, idx) = sample();
         // name=1, tid=1, left >= 5
         assert_eq!(
-            lefts(&t, idx.range(&t, &[1, 1], Bound::Included(5), Bound::Unbounded)),
+            lefts(
+                &t,
+                idx.range(&t, &[1, 1], Bound::Included(5), Bound::Unbounded)
+            ),
             [5, 9]
         );
         // name=1, tid=1, left > 5
         assert_eq!(
-            lefts(&t, idx.range(&t, &[1, 1], Bound::Excluded(5), Bound::Unbounded)),
+            lefts(
+                &t,
+                idx.range(&t, &[1, 1], Bound::Excluded(5), Bound::Unbounded)
+            ),
             [9]
         );
         // name=1, tid=1, 2 <= left < 9
         assert_eq!(
-            lefts(&t, idx.range(&t, &[1, 1], Bound::Included(2), Bound::Excluded(9))),
+            lefts(
+                &t,
+                idx.range(&t, &[1, 1], Bound::Included(2), Bound::Excluded(9))
+            ),
             [2, 5]
         );
         // point lookup via equal bounds
         assert_eq!(
-            lefts(&t, idx.range(&t, &[1, 1], Bound::Included(5), Bound::Included(5))),
+            lefts(
+                &t,
+                idx.range(&t, &[1, 1], Bound::Included(5), Bound::Included(5))
+            ),
             [5]
         );
         // empty window

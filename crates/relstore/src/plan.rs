@@ -135,7 +135,12 @@ pub fn execute(plan: &Plan, db: &Database) -> Vec<Vec<Value>> {
             if !seen_narrow.insert(packed) {
                 return true;
             }
-            out.push(plan.projection.iter().map(|&c| frame.value(db, c)).collect());
+            out.push(
+                plan.projection
+                    .iter()
+                    .map(|&c| frame.value(db, c))
+                    .collect(),
+            );
             return true;
         }
         let tuple: Vec<Value> = plan
@@ -167,8 +172,8 @@ fn run(
 ) -> bool {
     // Pending subquery checks at this point in the pipeline.
     for check in &plan.checks {
-        let due = check.after_step + 1 == step_idx
-            || (step_idx == 0 && check.after_step == usize::MAX);
+        let due =
+            check.after_step + 1 == step_idx || (step_idx == 0 && check.after_step == usize::MAX);
         if due && !run_check(check, db, frame) {
             return true; // prune this binding, keep enumerating
         }
@@ -182,9 +187,7 @@ fn run(
         AccessPath::FullScan => {
             for row in table.scan() {
                 frame.bindings[step.alias] = row;
-                if satisfies(step, db, frame)
-                    && !run(plan, db, frame, step_idx + 1, emit)
-                {
+                if satisfies(step, db, frame) && !run(plan, db, frame, step_idx + 1, emit) {
                     return false;
                 }
             }
@@ -211,9 +214,7 @@ fn run(
             let rows: &[RowId] = db.index(*index).range(table, keys, lo_b, hi_b);
             for &row in rows {
                 frame.bindings[step.alias] = row;
-                if satisfies(step, db, frame)
-                    && !run(plan, db, frame, step_idx + 1, emit)
-                {
+                if satisfies(step, db, frame) && !run(plan, db, frame, step_idx + 1, emit) {
                     return false;
                 }
             }
@@ -307,14 +308,7 @@ mod tests {
     /// A toy two-column table: (grp, val).
     fn setup() -> (Database, TableId, IndexId) {
         let mut t = Table::new(Schema::new(&["grp", "val"]));
-        for row in [
-            [1, 10],
-            [1, 11],
-            [1, 12],
-            [2, 20],
-            [2, 21],
-            [3, 30],
-        ] {
+        for row in [[1, 10], [1, 11], [1, 12], [2, 20], [2, 21], [3, 30]] {
             t.push_row(&row);
         }
         t.cluster_by(&[ColId(0), ColId(1)]);
@@ -388,10 +382,7 @@ mod tests {
             projection: vec![ColRef::new(0, VAL), ColRef::new(1, VAL)],
             distinct: false,
         };
-        assert_eq!(
-            execute(&plan, &db),
-            [[10, 11], [10, 12], [11, 12]]
-        );
+        assert_eq!(execute(&plan, &db), [[10, 11], [10, 12], [11, 12]]);
     }
 
     #[test]

@@ -128,9 +128,11 @@ impl EqClasses {
     fn aliases_linked(&self, a: usize, b: usize) -> bool {
         self.members.iter().enumerate().any(|(i, m)| {
             m.alias == a
-                && self.members.iter().enumerate().any(|(j, n)| {
-                    n.alias == b && self.parent[i] == self.parent[j]
-                })
+                && self
+                    .members
+                    .iter()
+                    .enumerate()
+                    .any(|(j, n)| n.alias == b && self.parent[i] == self.parent[j])
         })
     }
 }
@@ -244,7 +246,11 @@ fn estimate(db: &Database, q: &ConjQuery, a: usize) -> usize {
             continue;
         }
         if let Some(stats) = db.stats(table) {
-            let sum: usize = ic.values().iter().map(|&v| stats.est_eq(ic.col.col, v)).sum();
+            let sum: usize = ic
+                .values()
+                .iter()
+                .map(|&v| stats.est_eq(ic.col.col, v))
+                .sum();
             best = best.min(sum);
         }
     }
@@ -263,14 +269,13 @@ fn greedy_order(db: &Database, q: &ConjQuery, classes: &EqClasses) -> Vec<usize>
         // priority; otherwise any unbound alias qualifies.
         let connected = |a: usize| {
             let direct = q.conds.iter().any(|c| {
-                let mentions_a = c.left.alias == a
-                    || matches!(c.right, Operand::Col(r) if r.alias == a);
+                let mentions_a =
+                    c.left.alias == a || matches!(c.right, Operand::Col(r) if r.alias == a);
                 let mentions_bound = (c.left.alias != a && bound[c.left.alias])
                     || matches!(c.right, Operand::Col(r) if r.alias != a && bound[r.alias]);
                 mentions_a && mentions_bound
             });
-            direct
-                || (0..n).any(|b| b != a && bound[b] && classes.aliases_linked(a, b))
+            direct || (0..n).any(|b| b != a && bound[b] && classes.aliases_linked(a, b))
         };
         let pick = (0..n)
             .filter(|&a| !bound[a])
@@ -385,8 +390,7 @@ fn build_step(
                 _ => (est / 50).max(1),
             };
         }
-        let has_range = eq_len < key.len()
-            && avail.iter().any(|a| range_usable(a, key[eq_len]));
+        let has_range = eq_len < key.len() && avail.iter().any(|a| range_usable(a, key[eq_len]));
         if has_range {
             est = (est / 4).max(1);
         }
@@ -710,10 +714,8 @@ mod tests {
         let a = q.add_alias(tid);
         q.conds
             .push(Cond::against_const(ColRef::new(a, GRP), Cmp::Eq, 9));
-        q.in_conds.push(crate::expr::InCond::new(
-            ColRef::new(a, VAL),
-            vec![2, 5, 7],
-        ));
+        q.in_conds
+            .push(crate::expr::InCond::new(ColRef::new(a, VAL), vec![2, 5, 7]));
         q.projection.push(ColRef::new(a, VAL));
         let p = plan(&db, &q, &PlannerConfig::default());
         assert_eq!(p.steps[0].sets.len(), 1);

@@ -84,7 +84,11 @@ impl ConjQuery {
             .collect();
         let col_name = |r: ColRef| -> String {
             let table = self.aliases[r.alias];
-            format!("{}.{}", names[r.alias], db.table(table).schema().name(r.col))
+            format!(
+                "{}.{}",
+                names[r.alias],
+                db.table(table).schema().name(r.col)
+            )
         };
         let outer_col_name = |r: ColRef| -> String {
             let outer = outer_names.expect("Outer operand in an uncorrelated context");
@@ -92,7 +96,13 @@ impl ConjQuery {
             // this query's own catalog: all aliases range over the node
             // relation in practice, and mixed-table correlation would
             // name columns identically anyway.
-            format!("{}.{}", outer[r.alias], db.table(self.aliases.first().copied().unwrap_or(TableId(0))).schema().name(r.col))
+            format!(
+                "{}.{}",
+                outer[r.alias],
+                db.table(self.aliases.first().copied().unwrap_or(TableId(0)))
+                    .schema()
+                    .name(r.col)
+            )
         };
 
         let select = if top {
@@ -123,9 +133,7 @@ impl ConjQuery {
             .map(|c| {
                 let lhs = col_name(c.left);
                 let rhs = match c.right {
-                    Operand::Const(v) => {
-                        resolve(c.left, v).unwrap_or_else(|| v.to_string())
-                    }
+                    Operand::Const(v) => resolve(c.left, v).unwrap_or_else(|| v.to_string()),
                     Operand::Col(r) => col_name(r),
                     Operand::Outer(r) => outer_col_name(r),
                 };
@@ -141,9 +149,7 @@ impl ConjQuery {
             wheres.push(format!("{} IN ({})", col_name(ic.col), members.join(", ")));
         }
         for sub in &self.subqueries {
-            let inner = sub
-                .query
-                .render(db, resolve, counter, Some(&names), false);
+            let inner = sub.query.render(db, resolve, counter, Some(&names), false);
             wheres.push(format!(
                 "{}EXISTS ({inner})",
                 if sub.negated { "NOT " } else { "" }
@@ -186,7 +192,8 @@ mod tests {
         let mut q = ConjQuery::default();
         let a = q.add_alias(node);
         let b = q.add_alias(node);
-        q.conds.push(Cond::against_const(ColRef::new(a, NAME), Cmp::Eq, 7));
+        q.conds
+            .push(Cond::against_const(ColRef::new(a, NAME), Cmp::Eq, 7));
         q.conds.push(Cond::between(
             ColRef::new(b, TID),
             Cmp::Eq,
@@ -241,10 +248,8 @@ mod tests {
         let (db, node) = node_db();
         let mut q = ConjQuery::default();
         let a = q.add_alias(node);
-        q.in_conds.push(InCond::new(
-            ColRef::new(a, ColId(7)),
-            vec![9, 3, 3, 7],
-        ));
+        q.in_conds
+            .push(InCond::new(ColRef::new(a, ColId(7)), vec![9, 3, 3, 7]));
         q.projection.push(ColRef::new(a, TID));
         let sql = q.to_sql(&db);
         // Sorted, deduplicated member list.
@@ -259,7 +264,8 @@ mod tests {
         let (db, node) = node_db();
         let mut q = ConjQuery::default();
         let a = q.add_alias(node);
-        q.conds.push(Cond::against_const(ColRef::new(a, NAME), Cmp::Eq, 7));
+        q.conds
+            .push(Cond::against_const(ColRef::new(a, NAME), Cmp::Eq, 7));
         q.projection.push(ColRef::new(a, TID));
         let sql = q.to_sql_with(&db, &|r, v| {
             (r.col == NAME && v == 7).then(|| "'NP'".to_string())

@@ -39,28 +39,22 @@ struct QSpec {
 
 fn arb_spec() -> impl Strategy<Value = QSpec> {
     (1usize..=3).prop_flat_map(|aliases| {
-        let filters = prop::collection::vec(
-            (0..aliases, 0..NCOLS, 0u8..4, 0u32..6),
-            0..3,
-        );
-        let joins = prop::collection::vec(
-            (0..aliases, 0..NCOLS, 0..aliases, 0..NCOLS),
-            0..3,
-        );
+        let filters = prop::collection::vec((0..aliases, 0..NCOLS, 0u8..4, 0u32..6), 0..3);
+        let joins = prop::collection::vec((0..aliases, 0..NCOLS, 0..aliases, 0..NCOLS), 0..3);
         let ins = prop::collection::vec(
             (0..aliases, 0..NCOLS, prop::collection::vec(0u32..6, 0..4)),
             0..2,
         );
         let sub = prop::option::of((0..aliases, 0..NCOLS, any::<bool>()));
-        (Just(aliases), filters, joins, ins, sub).prop_map(
-            |(aliases, filters, joins, ins, sub)| QSpec {
+        (Just(aliases), filters, joins, ins, sub).prop_map(|(aliases, filters, joins, ins, sub)| {
+            QSpec {
                 aliases,
                 filters,
                 joins,
                 ins,
                 sub,
-            },
-        )
+            }
+        })
     })
 }
 
@@ -164,7 +158,7 @@ fn reference(spec: &QSpec, rows: &[[Value; NCOLS]]) -> Vec<Vec<Value>> {
         }
         if ok {
             if let Some((outer, col, negated)) = spec.sub {
-                let witness = rows.iter().any(|r| r[0] == binding[outer][col as usize]);
+                let witness = rows.iter().any(|r| r[0] == binding[outer][col]);
                 ok &= witness != negated;
             }
         }

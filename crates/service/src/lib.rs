@@ -60,7 +60,7 @@ pub mod shard;
 pub mod stats;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use lpath_core::Walker;
@@ -124,6 +124,11 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Result-cache capacity in entries; `0` disables result caching.
     pub result_cache_capacity: usize,
+    /// Plan-cache capacity in entries (each query may occupy two:
+    /// normalized form plus a raw-spelling alias); `0` disables plan
+    /// caching. Bounded so a long-lived service fed unbounded distinct
+    /// query strings cannot grow without limit.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -132,8 +137,16 @@ impl Default for ServiceConfig {
             shards: 4,
             threads: 0,
             result_cache_capacity: 512,
+            plan_cache_capacity: 2_048,
         }
     }
+}
+
+/// A plan-cache slot: the compiled query plus a recency stamp
+/// updatable under the map's read lock.
+struct PlanEntry {
+    compiled: Arc<CompiledQuery>,
+    stamp: AtomicU64,
 }
 
 /// Corpus-dependent state, replaced wholesale on swap and patched on
@@ -154,7 +167,8 @@ pub struct Service {
     cfg: ServiceConfig,
     threads: usize,
     state: RwLock<State>,
-    plans: RwLock<HashMap<String, Arc<CompiledQuery>>>,
+    plans: RwLock<HashMap<String, PlanEntry>>,
+    plan_tick: AtomicU64,
     results: Mutex<ResultCache>,
     counters: Counters,
 }
@@ -186,6 +200,7 @@ impl Service {
                 generation: 0,
             }),
             plans: RwLock::new(HashMap::new()),
+            plan_tick: AtomicU64::new(0),
             results: Mutex::new(ResultCache::new(cfg.result_cache_capacity)),
             counters: Counters::default(),
         }
@@ -200,30 +215,26 @@ impl Service {
     /// one entry via the normalized text.
     pub fn compile(&self, query: &str) -> Result<Arc<CompiledQuery>, ServiceError> {
         let key = query.trim();
-        if let Some(hit) = self.plans.read().unwrap().get(key) {
+        if let Some(hit) = self.plan_lookup(key) {
             Counters::bump(&self.counters.plan_hits);
-            return Ok(Arc::clone(hit));
+            return Ok(hit);
         }
         let ast = parse(key)?;
         let normalized = ast.to_string();
         if normalized != key {
-            if let Some(hit) = self.plans.read().unwrap().get(&normalized) {
+            if let Some(hit) = self.plan_lookup(&normalized) {
                 Counters::bump(&self.counters.plan_hits);
-                let hit = Arc::clone(hit);
                 // Alias the raw spelling for next time.
-                self.plans
-                    .write()
-                    .unwrap()
-                    .insert(key.to_string(), Arc::clone(&hit));
+                self.plan_insert(key.to_string(), Arc::clone(&hit));
                 return Ok(hit);
             }
         }
         Counters::bump(&self.counters.plan_misses);
         let (strategy, sql) = {
             let st = self.state.read().unwrap();
-            let engine = st.shards[0].engine();
-            match engine.translate(&ast) {
-                Ok(_) => (ExecStrategy::Relational, engine.sql(key).ok()),
+            // One translation decides both the strategy and the SQL.
+            match st.shards[0].engine().sql_ast(&ast) {
+                Ok(sql) => (ExecStrategy::Relational, Some(sql)),
                 Err(_) => (ExecStrategy::Walker, None),
             }
         };
@@ -234,12 +245,48 @@ impl Service {
             strategy,
             sql,
         });
-        let mut plans = self.plans.write().unwrap();
-        plans.insert(normalized, Arc::clone(&compiled));
+        self.plan_insert(normalized, Arc::clone(&compiled));
         if key != compiled.normalized {
-            plans.insert(key.to_string(), Arc::clone(&compiled));
+            self.plan_insert(key.to_string(), Arc::clone(&compiled));
         }
         Ok(compiled)
+    }
+
+    /// Plan-cache lookup, refreshing the entry's recency stamp (the
+    /// stamp is atomic, so hits stay on the shared read lock).
+    fn plan_lookup(&self, key: &str) -> Option<Arc<CompiledQuery>> {
+        let plans = self.plans.read().unwrap();
+        let entry = plans.get(key)?;
+        let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.stamp.store(tick, Ordering::Relaxed);
+        Some(Arc::clone(&entry.compiled))
+    }
+
+    /// Bounded plan-cache insert: when full, the least recently used
+    /// entry is evicted. Capacity zero disables plan caching.
+    fn plan_insert(&self, key: String, compiled: Arc<CompiledQuery>) {
+        let cap = self.cfg.plan_cache_capacity;
+        if cap == 0 {
+            return;
+        }
+        let mut plans = self.plans.write().unwrap();
+        if plans.len() >= cap && !plans.contains_key(&key) {
+            let victim = plans
+                .iter()
+                .min_by_key(|(_, e)| e.stamp.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                plans.remove(&v);
+            }
+        }
+        let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        plans.insert(
+            key,
+            PlanEntry {
+                compiled,
+                stamp: AtomicU64::new(tick),
+            },
+        );
     }
 
     /// The SQL the relational path executes for `query`, or `None`
@@ -258,9 +305,17 @@ impl Service {
     pub fn eval(&self, query: &str) -> Result<Arc<ResultSet>, ServiceError> {
         Counters::bump(&self.counters.queries);
         let compiled = self.compile(query)?;
+        let (shards, generation) = self.snapshot();
+        let all: Vec<u16> = (0..shards.len() as u16).collect();
+        Ok(self.eval_compiled(&shards, generation, &compiled, &all))
+    }
+
+    /// Snapshot the current shards and generation under a short read
+    /// lock, so evaluation never blocks writers (and writers never
+    /// stall readers behind them).
+    fn snapshot(&self) -> (Vec<Arc<Shard>>, u64) {
         let st = self.state.read().unwrap();
-        let all: Vec<u16> = (0..st.shards.len() as u16).collect();
-        Ok(self.eval_compiled(&st, &compiled, &all))
+        (st.shards.clone(), st.generation)
     }
 
     /// Evaluate one query over a subset of shards (sorted,
@@ -269,14 +324,14 @@ impl Service {
     pub fn eval_on(&self, query: &str, shard_ids: &[u16]) -> Result<Arc<ResultSet>, ServiceError> {
         Counters::bump(&self.counters.queries);
         let compiled = self.compile(query)?;
-        let st = self.state.read().unwrap();
+        let (shards, generation) = self.snapshot();
         let mut ids: Vec<u16> = shard_ids.to_vec();
         ids.sort_unstable();
         ids.dedup();
-        if let Some(&bad) = ids.iter().find(|&&i| i as usize >= st.shards.len()) {
+        if let Some(&bad) = ids.iter().find(|&&i| i as usize >= shards.len()) {
             return Err(ServiceError::BadShard(bad));
         }
-        Ok(self.eval_compiled(&st, &compiled, &ids))
+        Ok(self.eval_compiled(&shards, generation, &compiled, &ids))
     }
 
     /// Result size of `query` (the paper's reported measure).
@@ -295,20 +350,30 @@ impl Service {
         let compiled: Vec<Result<Arc<CompiledQuery>, ServiceError>> =
             queries.iter().map(|q| self.compile(q)).collect();
 
-        let st = self.state.read().unwrap();
-        let nshards = st.shards.len();
+        let (shards, generation) = self.snapshot();
+        let nshards = shards.len();
         let all: Vec<u16> = (0..nshards as u16).collect();
 
         let mut out: Vec<Option<Result<Arc<ResultSet>, ServiceError>>> =
             (0..queries.len()).map(|_| None).collect();
-        // Resolve errors and result-cache hits up front.
-        let mut misses: Vec<(usize, Arc<CompiledQuery>)> = Vec::new();
+        // Resolve errors and result-cache hits up front; duplicate
+        // queries in one batch collapse into a single miss evaluated
+        // once, feeding every occurrence.
+        let mut misses: Vec<(Vec<usize>, Arc<CompiledQuery>)> = Vec::new();
+        let mut miss_index: HashMap<String, usize> = HashMap::new();
         for (i, c) in compiled.into_iter().enumerate() {
             match c {
                 Err(e) => out[i] = Some(Err(e)),
                 Ok(c) => {
+                    if let Some(&mi) = miss_index.get(&c.normalized) {
+                        // Batch-local dedup: served from the sibling
+                        // occurrence's evaluation, not from the cache.
+                        Counters::bump(&self.counters.batch_dedup);
+                        misses[mi].0.push(i);
+                        continue;
+                    }
                     let key = (c.normalized.clone(), all.clone());
-                    let hit = self.results.lock().unwrap().get(&key, st.generation);
+                    let hit = self.results.lock().unwrap().get(&key, generation);
                     match hit {
                         Some(v) => {
                             Counters::bump(&self.counters.result_hits);
@@ -316,7 +381,8 @@ impl Service {
                         }
                         None => {
                             Counters::bump(&self.counters.result_misses);
-                            misses.push((i, c));
+                            miss_index.insert(c.normalized.clone(), misses.len());
+                            misses.push((vec![i], c));
                         }
                     }
                 }
@@ -326,91 +392,51 @@ impl Service {
         if !misses.is_empty() && nshards > 0 {
             // One task per (missed query, shard); workers pull tasks
             // off a shared counter.
-            let ntasks = misses.len() * nshards;
-            let threads = self.threads.min(ntasks).max(1);
-            let mut partials: Vec<Vec<ResultSet>> = misses
-                .iter()
-                .map(|_| (0..nshards).map(|_| Vec::new()).collect())
-                .collect();
-            if threads <= 1 {
-                for (mi, (_, c)) in misses.iter().enumerate() {
-                    for (si, shard) in st.shards.iter().enumerate() {
-                        partials[mi][si] = self.eval_one_shard(shard, c);
-                    }
-                }
-            } else {
-                let slots = Mutex::new(&mut partials);
-                let next = AtomicUsize::new(0);
-                let shards = &st.shards;
-                let misses_ref = &misses;
-                std::thread::scope(|scope| {
-                    for _ in 0..threads {
-                        scope.spawn(|| loop {
-                            let t = next.fetch_add(1, Ordering::Relaxed);
-                            if t >= ntasks {
-                                break;
-                            }
-                            let (mi, si) = (t / nshards, t % nshards);
-                            let rows = self.eval_one_shard(&shards[si], &misses_ref[mi].1);
-                            slots.lock().unwrap()[mi][si] = rows;
-                        });
-                    }
-                });
-            }
-            for (mi, (qi, c)) in misses.iter().enumerate() {
+            let mut partials = fan_out(self.threads, misses.len() * nshards, |t| {
+                let (mi, si) = (t / nshards, t % nshards);
+                self.eval_one_shard(&shards[si], &misses[mi].1)
+            });
+            for (mi, (occurrences, c)) in misses.iter().enumerate() {
                 let mut merged = Vec::new();
-                for rows in &mut partials[mi] {
+                for rows in &mut partials[mi * nshards..(mi + 1) * nshards] {
                     merged.append(rows);
                 }
                 let merged = Arc::new(merged);
                 self.results.lock().unwrap().insert(
                     (c.normalized.clone(), all.clone()),
-                    st.generation,
+                    generation,
                     Arc::clone(&merged),
                 );
-                out[*qi] = Some(Ok(merged));
+                for &qi in occurrences {
+                    out[qi] = Some(Ok(Arc::clone(&merged)));
+                }
             }
         }
-        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+        out.into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect()
     }
 
     /// Evaluate `compiled` over the (sorted) shard subset `ids`,
-    /// consulting and filling the result cache.
+    /// consulting and filling the result cache. Takes a lock-free
+    /// shard snapshot so long evaluations never block corpus writers.
     fn eval_compiled(
         &self,
-        st: &State,
+        shards: &[Arc<Shard>],
+        generation: u64,
         compiled: &Arc<CompiledQuery>,
         ids: &[u16],
     ) -> Arc<ResultSet> {
         let key = (compiled.normalized.clone(), ids.to_vec());
-        if let Some(hit) = self.results.lock().unwrap().get(&key, st.generation) {
+        if let Some(hit) = self.results.lock().unwrap().get(&key, generation) {
             Counters::bump(&self.counters.result_hits);
             return hit;
         }
         Counters::bump(&self.counters.result_misses);
-        let selected: Vec<&Arc<Shard>> = ids.iter().map(|&i| &st.shards[i as usize]).collect();
-        let threads = self.threads.min(selected.len()).max(1);
-        let mut partials: Vec<ResultSet> = (0..selected.len()).map(|_| Vec::new()).collect();
-        if threads <= 1 {
-            for (slot, shard) in partials.iter_mut().zip(&selected) {
-                *slot = self.eval_one_shard(shard, compiled);
-            }
-        } else {
-            let slots = Mutex::new(&mut partials);
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let si = next.fetch_add(1, Ordering::Relaxed);
-                        if si >= selected.len() {
-                            break;
-                        }
-                        let rows = self.eval_one_shard(selected[si], compiled);
-                        slots.lock().unwrap()[si] = rows;
-                    });
-                }
-            });
-        }
+        let selected: Vec<&Arc<Shard>> = ids.iter().map(|&i| &shards[i as usize]).collect();
+        let mut partials = fan_out(self.threads, selected.len(), |si| {
+            self.eval_one_shard(selected[si], compiled)
+        });
         let mut merged = Vec::new();
         for rows in &mut partials {
             merged.append(rows);
@@ -419,7 +445,7 @@ impl Service {
         self.results
             .lock()
             .unwrap()
-            .insert(key, st.generation, Arc::clone(&merged));
+            .insert(key, generation, Arc::clone(&merged));
         merged
     }
 
@@ -520,6 +546,7 @@ impl Service {
             result_cache_entries: self.results.lock().unwrap().len(),
             result_hits: load(&c.result_hits),
             result_misses: load(&c.result_misses),
+            batch_dedup: load(&c.batch_dedup),
             queries: load(&c.queries),
             batches: load(&c.batches),
             shard_evals: load(&c.shard_evals),
@@ -557,32 +584,42 @@ fn partition(n: usize, k: usize) -> Vec<(usize, usize)> {
 /// Build all shards, in parallel when `threads > 1`.
 fn build_shards(master: &Corpus, k: usize, threads: usize) -> Vec<Arc<Shard>> {
     let parts = partition(master.trees().len(), k);
-    if threads <= 1 || parts.len() <= 1 {
-        return parts
-            .into_iter()
-            .map(|(start, len)| Arc::new(Shard::build(master, start, len)))
-            .collect();
+    fan_out(threads, parts.len(), |i| {
+        let (start, len) = parts[i];
+        Arc::new(Shard::build(master, start, len))
+    })
+}
+
+/// Run `ntasks` independent tasks across up to `threads` scoped worker
+/// threads (inline when one suffices), returning results in task
+/// order. The single fan-out primitive behind shard builds, per-query
+/// shard evaluation and batch evaluation.
+fn fan_out<T, F>(threads: usize, ntasks: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.min(ntasks);
+    if threads <= 1 {
+        return (0..ntasks).map(task).collect();
     }
-    let mut shards: Vec<Option<Arc<Shard>>> = (0..parts.len()).map(|_| None).collect();
-    let slots = Mutex::new(&mut shards);
+    let mut out: Vec<Option<T>> = (0..ntasks).map(|_| None).collect();
+    let slots = Mutex::new(&mut out);
     let next = AtomicUsize::new(0);
-    let parts_ref = &parts;
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(parts.len()) {
+        for _ in 0..threads {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= parts_ref.len() {
+                if i >= ntasks {
                     break;
                 }
-                let (start, len) = parts_ref[i];
-                let shard = Arc::new(Shard::build(master, start, len));
-                slots.lock().unwrap()[i] = Some(shard);
+                let value = task(i);
+                slots.lock().unwrap()[i] = Some(value);
             });
         }
     });
-    shards
-        .into_iter()
-        .map(|s| s.expect("all shards built"))
+    out.into_iter()
+        .map(|v| v.expect("task completed"))
         .collect()
 }
 
@@ -608,6 +645,7 @@ mod tests {
                 shards,
                 threads: 1,
                 result_cache_capacity: 64,
+                ..ServiceConfig::default()
             },
         )
     }
@@ -634,7 +672,13 @@ mod tests {
         let engine = Engine::build(&corpus);
         for shards in [1, 2, 3, 8] {
             let svc = service(shards);
-            for q in ["//NP", "//VBD->NP", "//S{/VP$}", "//_[@lex=the]", "//NP[not(//DT)]"] {
+            for q in [
+                "//NP",
+                "//VBD->NP",
+                "//S{/VP$}",
+                "//_[@lex=the]",
+                "//NP[not(//DT)]",
+            ] {
                 assert_eq!(
                     *svc.eval(q).unwrap(),
                     engine.query(q).unwrap(),
@@ -689,7 +733,9 @@ mod tests {
         let before = svc.stats();
         assert_eq!(before.per_shard.len(), 2);
         let added = svc
-            .append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )\n( (S (NP (NN fish)) (VP (VBD swam))) )")
+            .append_ptb(
+                "( (S (NP (NN bird)) (VP (VBD flew))) )\n( (S (NP (NN fish)) (VP (VBD swam))) )",
+            )
             .unwrap();
         assert_eq!(added, 2);
         let after = svc.stats();
@@ -712,7 +758,10 @@ mod tests {
         assert!(svc.append_ptb("( (S (NP broken").is_err());
         assert_eq!(svc.trees(), trees);
         assert_eq!(svc.generation(), gen_before);
-        assert_eq!(*svc.eval("//NP").unwrap(), *service(2).eval("//NP").unwrap());
+        assert_eq!(
+            *svc.eval("//NP").unwrap(),
+            *service(2).eval("//NP").unwrap()
+        );
     }
 
     #[test]
@@ -781,6 +830,7 @@ mod tests {
                 shards: 2,
                 threads: 4,
                 result_cache_capacity: 0,
+                ..ServiceConfig::default()
             },
         );
         let engine = Engine::build(&corpus);

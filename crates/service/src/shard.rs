@@ -1,10 +1,11 @@
 //! One shard: a contiguous slice of the corpus with its own relational
 //! engine, symbol-presence index and tree-id offset.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use lpath_core::{Engine, Walker};
-use lpath_model::{Corpus, NodeId};
+use lpath_model::{label_tree, Corpus, Label, NodeId};
 
 use crate::plan::{CompiledQuery, ExecStrategy};
 use crate::stats::ShardStats;
@@ -20,6 +21,10 @@ use crate::stats::ShardStats;
 pub struct Shard {
     corpus: Corpus,
     engine: Engine,
+    /// Interval labels per tree, computed lazily on the first walker-
+    /// fallback query (purely relational workloads never pay for
+    /// them) and then reused for the shard's lifetime.
+    labels: OnceLock<Vec<Vec<Label>>>,
     base: u32,
     /// Symbol-presence bitset over the shard's interner ids: tag
     /// names, attribute names and attribute values that occur in this
@@ -32,11 +37,7 @@ impl Shard {
     /// Build a shard over `master.trees()[start..start + len]`.
     pub fn build(master: &Corpus, start: usize, len: usize) -> Shard {
         let t = Instant::now();
-        let mut corpus = Corpus::new();
-        *corpus.interner_mut() = master.interner().clone();
-        for tree in &master.trees()[start..start + len] {
-            corpus.add_tree(tree.clone());
-        }
+        let corpus = master.subcorpus(start..start + len);
         let mut present = vec![0u64; corpus.interner().len().div_ceil(64)];
         let mut mark = |raw: u32| {
             let (word, bit) = (raw as usize / 64, raw as usize % 64);
@@ -58,6 +59,7 @@ impl Shard {
         Shard {
             corpus,
             engine,
+            labels: OnceLock::new(),
             base: start as u32,
             present,
             build_time: t.elapsed(),
@@ -95,11 +97,15 @@ impl Shard {
         })
     }
 
+    /// The shard's interval labels, computed on first use.
+    fn labels(&self) -> &[Vec<Label>] {
+        self.labels
+            .get_or_init(|| self.corpus.trees().iter().map(label_tree).collect())
+    }
+
     fn contains_sym(&self, raw: u32) -> bool {
         let (word, bit) = (raw as usize / 64, raw as usize % 64);
-        self.present
-            .get(word)
-            .is_some_and(|w| w & (1 << bit) != 0)
+        self.present.get(word).is_some_and(|w| w & (1 << bit) != 0)
     }
 
     /// Evaluate a compiled query on this shard, returning matches with
@@ -108,15 +114,16 @@ impl Shard {
     /// The caller is expected to have consulted [`Shard::may_match`];
     /// evaluation is still correct without it, just slower.
     pub fn eval(&self, compiled: &CompiledQuery) -> Vec<(u32, NodeId)> {
+        let walker = || Walker::with_labels(&self.corpus, self.labels());
         let local = match compiled.strategy {
             ExecStrategy::Relational => match self.engine.query_ast(&compiled.ast) {
                 Ok(rows) => rows,
                 // The strategy was decided against an engine of the
                 // same dialect, so this arm should be unreachable;
                 // fall back to the walker rather than fail the query.
-                Err(_) => Walker::new(&self.corpus).eval(&compiled.ast),
+                Err(_) => walker().eval(&compiled.ast),
             },
-            ExecStrategy::Walker => Walker::new(&self.corpus).eval(&compiled.ast),
+            ExecStrategy::Walker => walker().eval(&compiled.ast),
         };
         local
             .into_iter()

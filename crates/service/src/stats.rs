@@ -10,6 +10,7 @@ pub(crate) struct Counters {
     pub plan_misses: AtomicU64,
     pub result_hits: AtomicU64,
     pub result_misses: AtomicU64,
+    pub batch_dedup: AtomicU64,
     pub queries: AtomicU64,
     pub batches: AtomicU64,
     pub shard_evals: AtomicU64,
@@ -66,6 +67,9 @@ pub struct ServiceStats {
     pub result_hits: u64,
     /// Result-cache misses (evaluations performed).
     pub result_misses: u64,
+    /// Duplicate queries within one batch served from a sibling
+    /// occurrence's evaluation (neither a cache hit nor a miss).
+    pub batch_dedup: u64,
     /// Queries answered (batch members count individually).
     pub queries: u64,
     /// Batch calls served.
@@ -121,6 +125,7 @@ mod tests {
             result_cache_entries: 0,
             result_hits: 3,
             result_misses: 1,
+            batch_dedup: 0,
             queries: 0,
             batches: 0,
             shard_evals: 0,

@@ -561,13 +561,13 @@ mod tests {
     #[test]
     fn total_steps_counts_scope_and_predicates() {
         let inner = Path::relative(vec![Step::new(Axis::Child, NodeTest::tag("V"))]);
-        let mut head = Path::absolute(vec![Step::new(
-            Axis::Descendant,
-            NodeTest::tag("VP"),
-        )]);
-        head.steps[0].predicates.push(Pred::exists(Path::relative(vec![
-            Step::new(Axis::Descendant, NodeTest::Any),
-        ])));
+        let mut head = Path::absolute(vec![Step::new(Axis::Descendant, NodeTest::tag("VP"))]);
+        head.steps[0]
+            .predicates
+            .push(Pred::exists(Path::relative(vec![Step::new(
+                Axis::Descendant,
+                NodeTest::Any,
+            )])));
         let q = head.scoped(inner);
         assert_eq!(q.total_steps(), 3);
     }
@@ -581,11 +581,13 @@ mod tests {
             NodeTest::tag("NP"),
         )]);
         assert!(imm.uses_lpath_extensions());
-        let scoped = Path::absolute(vec![Step::new(Axis::Descendant, NodeTest::tag("VP"))])
-            .scoped(Path::relative(vec![Step::new(Axis::Child, NodeTest::tag("V"))]));
+        let scoped = Path::absolute(vec![Step::new(Axis::Descendant, NodeTest::tag("VP"))]).scoped(
+            Path::relative(vec![Step::new(Axis::Child, NodeTest::tag("V"))]),
+        );
         assert!(scoped.uses_lpath_extensions());
-        let aligned = Path::absolute(vec![Step::new(Axis::Descendant, NodeTest::tag("NP"))
-            .aligned(false, true)]);
+        let aligned = Path::absolute(vec![
+            Step::new(Axis::Descendant, NodeTest::tag("NP")).aligned(false, true)
+        ]);
         assert!(aligned.uses_lpath_extensions());
     }
 }

@@ -37,7 +37,9 @@ impl fmt::Display for Path {
 fn needs_quoting(tag: &str) -> bool {
     tag.is_empty()
         || tag == "_"
-        || !tag.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        || !tag
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
         || tag.contains("->")
         || tag.contains("-->")
 }
@@ -167,8 +169,7 @@ mod tests {
     fn round_trip(src: &str) {
         let ast = parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
         let printed = ast.to_string();
-        let reparsed =
-            parse(&printed).unwrap_or_else(|e| panic!("printed {printed}: {e}"));
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("printed {printed}: {e}"));
         assert_eq!(ast, reparsed, "round trip failed: {src} → {printed}");
     }
 
@@ -241,14 +242,8 @@ mod tests {
 
     #[test]
     fn canonical_forms() {
-        assert_eq!(
-            parse("//VP{/NP$}").unwrap().to_string(),
-            "//VP{/NP$}"
-        );
-        assert_eq!(
-            parse("/descendant::NP").unwrap().to_string(),
-            "//NP"
-        );
+        assert_eq!(parse("//VP{/NP$}").unwrap().to_string(), "//VP{/NP$}");
+        assert_eq!(parse("/descendant::NP").unwrap().to_string(), "//NP");
         assert_eq!(parse("//X->+Y").unwrap().to_string(), "//X-->Y");
     }
 }

@@ -24,7 +24,11 @@ impl SyntaxError {
 
 impl fmt::Display for SyntaxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "syntax error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 

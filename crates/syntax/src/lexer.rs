@@ -246,7 +246,11 @@ mod tests {
     use Token::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -270,10 +274,7 @@ mod tests {
         assert_eq!(toks("//-DFL-"), [DoubleSlash, Name("-DFL-".into())]);
         assert_eq!(toks("NP-SBJ-2"), [Name("NP-SBJ-2".into())]);
         // …but an arrow right after a tag still splits.
-        assert_eq!(
-            toks("V->NP"),
-            [Name("V".into()), Arrow, Name("NP".into())]
-        );
+        assert_eq!(toks("V->NP"), [Name("V".into()), Arrow, Name("NP".into())]);
         assert_eq!(
             toks("ADVP-LOC-CLR->X"),
             [Name("ADVP-LOC-CLR".into()), Arrow, Name("X".into())]
@@ -350,10 +351,7 @@ mod tests {
 
     #[test]
     fn closure_markers() {
-        assert_eq!(
-            toks("->* =>+"),
-            [Arrow, Star, SibArrow, Plus]
-        );
+        assert_eq!(toks("->* =>+"), [Arrow, Star, SibArrow, Plus]);
     }
 
     #[test]
@@ -361,7 +359,13 @@ mod tests {
         assert_eq!(toks("1929"), [Name("1929".into())]);
         assert_eq!(
             toks("position()=1"),
-            [Name("position".into()), LParen, RParen, Eq, Name("1".into())]
+            [
+                Name("position".into()),
+                LParen,
+                RParen,
+                Eq,
+                Name("1".into())
+            ]
         );
     }
 
@@ -369,11 +373,21 @@ mod tests {
     fn axis_names_with_double_colon() {
         assert_eq!(
             toks("/descendant::NP"),
-            [Slash, Name("descendant".into()), ColonColon, Name("NP".into())]
+            [
+                Slash,
+                Name("descendant".into()),
+                ColonColon,
+                Name("NP".into())
+            ]
         );
         assert_eq!(
             toks("\\ancestor::S"),
-            [Backslash, Name("ancestor".into()), ColonColon, Name("S".into())]
+            [
+                Backslash,
+                Name("ancestor".into()),
+                ColonColon,
+                Name("S".into())
+            ]
         );
     }
 

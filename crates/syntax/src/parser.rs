@@ -23,10 +23,7 @@ use crate::token::Token;
 pub fn parse(src: &str) -> Result<Path, SyntaxError> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
-    let absolute = matches!(
-        p.peek(),
-        Some(Token::Slash) | Some(Token::DoubleSlash)
-    );
+    let absolute = matches!(p.peek(), Some(Token::Slash) | Some(Token::DoubleSlash));
     let mut path = p.path()?;
     path.absolute = absolute;
     if let Some(s) = p.tokens.get(p.pos) {
@@ -59,9 +56,7 @@ impl Parser {
         self.tokens
             .get(self.pos)
             .map(|s| s.offset)
-            .unwrap_or_else(|| {
-                self.tokens.last().map(|s| s.offset + 1).unwrap_or(0)
-            })
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.offset + 1).unwrap_or(0))
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -173,8 +168,7 @@ impl Parser {
             }
             Some(Token::Backslash) => {
                 self.pos += 1;
-                if let (Some(Token::Name(n)), Some(Token::ColonColon)) =
-                    (self.peek(), self.peek2())
+                if let (Some(Token::Name(n)), Some(Token::ColonColon)) = (self.peek(), self.peek2())
                 {
                     let name = n.clone();
                     match Axis::from_name(&name) {
@@ -207,7 +201,11 @@ impl Parser {
             }
             Some(Token::Arrow) => {
                 self.pos += 1;
-                self.closure(Axis::ImmediateFollowing, Axis::Following, Axis::FollowingOrSelf)
+                self.closure(
+                    Axis::ImmediateFollowing,
+                    Axis::Following,
+                    Axis::FollowingOrSelf,
+                )
             }
             Some(Token::LongArrow) => {
                 self.pos += 1;
@@ -277,9 +275,8 @@ impl Parser {
             Some(Token::Name(n)) => n,
             _ => unreachable!("caller checked"),
         };
-        let axis = Axis::from_name(&name).ok_or_else(|| {
-            SyntaxError::at(self.offset(), format!("unknown axis '{name}'"))
-        })?;
+        let axis = Axis::from_name(&name)
+            .ok_or_else(|| SyntaxError::at(self.offset(), format!("unknown axis '{name}'")))?;
         self.expect(&Token::ColonColon)?;
         self.finish_step(axis)
     }
@@ -403,9 +400,7 @@ impl Parser {
                 let value = self.number()?;
                 Ok(Pred::StrLen { path, op, value })
             }
-            (Some(Token::Name(n)), Some(Token::LParen))
-                if StrFunc::from_name(n).is_some() =>
-            {
+            (Some(Token::Name(n)), Some(Token::LParen)) if StrFunc::from_name(n).is_some() => {
                 let func = StrFunc::from_name(n).expect("guard checked");
                 self.pos += 2;
                 let path = self.function_path()?;
@@ -489,10 +484,7 @@ impl Parser {
     fn function_path(&mut self) -> Result<Path, SyntaxError> {
         let path = self.path()?;
         if path.steps.is_empty() && path.scope.is_none() {
-            return Err(SyntaxError::at(
-                self.offset(),
-                "expected a path argument",
-            ));
+            return Err(SyntaxError::at(self.offset(), "expected a path argument"));
         }
         Ok(path)
     }
@@ -600,22 +592,28 @@ mod tests {
 
     #[test]
     fn axis_selection() {
-        assert_eq!(axes(&q("//A/B\\C->D-->E=>F==>G")), [
-            Descendant,
-            Child,
-            Parent,
-            ImmediateFollowing,
-            Following,
-            ImmediateFollowingSibling,
-            FollowingSibling,
-        ]);
-        assert_eq!(axes(&q("//A<-B<--C<=D<==E")), [
-            Descendant,
-            ImmediatePreceding,
-            Preceding,
-            ImmediatePrecedingSibling,
-            PrecedingSibling,
-        ]);
+        assert_eq!(
+            axes(&q("//A/B\\C->D-->E=>F==>G")),
+            [
+                Descendant,
+                Child,
+                Parent,
+                ImmediateFollowing,
+                Following,
+                ImmediateFollowingSibling,
+                FollowingSibling,
+            ]
+        );
+        assert_eq!(
+            axes(&q("//A<-B<--C<=D<==E")),
+            [
+                Descendant,
+                ImmediatePreceding,
+                Preceding,
+                ImmediatePrecedingSibling,
+                PrecedingSibling,
+            ]
+        );
     }
 
     #[test]
@@ -647,10 +645,7 @@ mod tests {
         assert!(inner.scope.is_none());
 
         let nested = q("//S{//VP{/V}}");
-        assert_eq!(
-            axes(nested.scope.as_ref().unwrap()),
-            [Descendant]
-        );
+        assert_eq!(axes(nested.scope.as_ref().unwrap()), [Descendant]);
         assert!(nested.scope.as_ref().unwrap().scope.is_some());
     }
 

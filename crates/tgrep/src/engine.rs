@@ -68,10 +68,8 @@ impl TgrepEngine {
     /// summed over trees, using the label index to skip trees that
     /// cannot match.
     pub fn count_ast(&self, ast: &NodePattern) -> Result<usize, TgrepError> {
-        let (pattern, slots) = resolve(ast, &|label| {
-            self.interner.get(label).map(|s| s.raw())
-        })
-        .map_err(TgrepError::Pattern)?;
+        let (pattern, slots) = resolve(ast, &|label| self.interner.get(label).map(|s| s.raw()))
+            .map_err(TgrepError::Pattern)?;
 
         // Index pruning: scan only trees containing the rarest required
         // label (TGrep2's word-index trick).
@@ -114,10 +112,8 @@ impl TgrepEngine {
     /// Count without index pruning (the ablation baseline).
     pub fn count_unindexed(&self, pattern: &str) -> Result<usize, TgrepError> {
         let ast = parse_pattern(pattern)?;
-        let (pattern, slots) = resolve(&ast, &|label| {
-            self.interner.get(label).map(|s| s.raw())
-        })
-        .map_err(TgrepError::Pattern)?;
+        let (pattern, slots) = resolve(&ast, &|label| self.interner.get(label).map(|s| s.raw()))
+            .map_err(TgrepError::Pattern)?;
         Ok(self
             .image
             .trees
@@ -220,17 +216,11 @@ mod tests {
 
     #[test]
     fn index_pruning_equals_full_scan() {
-        let src = format!(
-            "{FIG1}\n( (S (NP (PRP he)) (VP (VBD left))) )\n{FIG1}"
-        );
+        let src = format!("{FIG1}\n( (S (NP (PRP he)) (VP (VBD left))) )\n{FIG1}");
         let c = parse_str(&src).unwrap();
         let e = TgrepEngine::build(&c);
         for q in ["S << saw", "NP , V", "VBD", "NP !<< Det"] {
-            assert_eq!(
-                e.count(q).unwrap(),
-                e.count_unindexed(q).unwrap(),
-                "{q}"
-            );
+            assert_eq!(e.count(q).unwrap(), e.count_unindexed(q).unwrap(), "{q}");
         }
     }
 
@@ -243,10 +233,7 @@ mod tests {
     #[test]
     fn backreference_errors() {
         let e = engine();
-        assert!(matches!(
-            e.count("NP < =x"),
-            Err(TgrepError::Pattern(_))
-        ));
+        assert!(matches!(e.count("NP < =x"), Err(TgrepError::Pattern(_))));
         assert!(matches!(
             e.count("NP=x < (V=x)"),
             Err(TgrepError::Pattern(_))

@@ -9,9 +9,7 @@
 //! characterizations differ.
 
 use lpath_model::{Corpus, Interner, NodeId};
-use lpath_relstore::{
-    self as rel, Database, PlannerConfig, Schema, Table, TableId, Value, NULL,
-};
+use lpath_relstore::{self as rel, Database, PlannerConfig, Schema, Table, TableId, Value, NULL};
 use lpath_syntax::{Path, SyntaxError};
 
 use crate::labeling::se_label_tree;
@@ -62,9 +60,7 @@ pub struct XPathEngine {
 impl XPathEngine {
     /// Label every tree with start/end positions, load, cluster, index.
     pub fn build(corpus: &Corpus) -> Self {
-        let schema = Schema::new(&[
-            "tid", "start", "end", "depth", "id", "pid", "name", "value",
-        ]);
+        let schema = Schema::new(&["tid", "start", "end", "depth", "id", "pid", "name", "value"]);
         let mut table = Table::new(schema);
         for (tid, tree) in corpus.trees().iter().enumerate() {
             let labels = se_label_tree(tree);

@@ -109,8 +109,7 @@ mod tests {
         let desc = |x: usize, c: usize| l[x].start > l[c].start && l[x].end < l[c].end;
         for x in 0..t.len() {
             for c in 0..t.len() {
-                let structurally =
-                    t.ancestors(NodeId(x as u32)).any(|a| a == NodeId(c as u32));
+                let structurally = t.ancestors(NodeId(x as u32)).any(|a| a == NodeId(c as u32));
                 assert_eq!(desc(x, c), structurally, "{x} in {c}");
             }
         }

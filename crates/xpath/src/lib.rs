@@ -26,7 +26,7 @@ pub mod queries;
 pub mod translate;
 
 pub use engine::{XPathEngine, XpathError};
-pub use queries::XPATH_QUERIES;
 pub use labeling::{se_label_tree, SeLabel};
 pub use parser::parse_xpath;
+pub use queries::XPATH_QUERIES;
 pub use translate::{SeCols, SeTranslator, XpathUnsupported};

@@ -22,7 +22,10 @@ pub fn parse_xpath(src: &str) -> Result<Path, SyntaxError> {
     let mut path = p.rel_path()?;
     path.absolute = absolute;
     if p.i < p.t.len() {
-        return Err(SyntaxError::at(0, format!("trailing tokens: {:?}", p.peek())));
+        return Err(SyntaxError::at(
+            0,
+            format!("trailing tokens: {:?}", p.peek()),
+        ));
     }
     if path.steps.is_empty() {
         return Err(SyntaxError::at(0, "empty XPath"));
@@ -135,8 +138,7 @@ fn lex(src: &str) -> Result<Vec<Tok>, SyntaxError> {
             }
             c if c.is_ascii_alphanumeric() || c == b'-' || c == b'_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'-' || b[i] == b'_')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'-' || b[i] == b'_')
                 {
                     i += 1;
                 }

@@ -115,10 +115,16 @@ impl<'a> SeTranslator<'a> {
             Ctx::Document
         } else {
             let r = q.add_alias(self.table);
-            q.conds
-                .push(Cond::against_const(ColRef::new(r, self.cols.depth), Cmp::Eq, 1));
-            q.conds
-                .push(Cond::against_const(ColRef::new(r, self.cols.value), Cmp::Eq, NULL));
+            q.conds.push(Cond::against_const(
+                ColRef::new(r, self.cols.depth),
+                Cmp::Eq,
+                1,
+            ));
+            q.conds.push(Cond::against_const(
+                ColRef::new(r, self.cols.value),
+                Cmp::Eq,
+                NULL,
+            ));
             Ctx::Alias(r)
         };
         let result = self.path_into(&mut q, path, ctx)?;
@@ -130,8 +136,11 @@ impl<'a> SeTranslator<'a> {
     }
 
     fn unsat(&self, q: &mut ConjQuery, alias: usize) {
-        q.conds
-            .push(Cond::against_const(ColRef::new(alias, self.cols.start), Cmp::Lt, 0));
+        q.conds.push(Cond::against_const(
+            ColRef::new(alias, self.cols.start),
+            Cmp::Lt,
+            0,
+        ));
     }
 
     fn path_into(
@@ -183,9 +192,11 @@ impl<'a> SeTranslator<'a> {
         // Node test.
         match (step.axis, &step.test) {
             (Axis::Attribute, NodeTest::Tag(t)) => match self.interner.get(&format!("@{t}")) {
-                Some(sym) => q
-                    .conds
-                    .push(Cond::against_const(cr(x, self.cols.name), Cmp::Eq, sym.raw())),
+                Some(sym) => q.conds.push(Cond::against_const(
+                    cr(x, self.cols.name),
+                    Cmp::Eq,
+                    sym.raw(),
+                )),
                 None => self.unsat(q, x),
             },
             (Axis::Attribute, NodeTest::Any) => {
@@ -193,9 +204,11 @@ impl<'a> SeTranslator<'a> {
                     .push(Cond::against_const(cr(x, self.cols.value), Cmp::Ne, NULL));
             }
             (_, NodeTest::Tag(t)) => match self.interner.get(t) {
-                Some(sym) => q
-                    .conds
-                    .push(Cond::against_const(cr(x, self.cols.name), Cmp::Eq, sym.raw())),
+                Some(sym) => q.conds.push(Cond::against_const(
+                    cr(x, self.cols.name),
+                    Cmp::Eq,
+                    sym.raw(),
+                )),
                 None => self.unsat(q, x),
             },
             (_, NodeTest::Any) => {
@@ -210,9 +223,7 @@ impl<'a> SeTranslator<'a> {
             match ctx {
                 Ctx::Alias(c) => Ok(Cond::between(cr(x, lhs), cmp, cr(c, rhs))),
                 Ctx::Outer(c) => Ok(Cond::new(cr(x, lhs), cmp, Operand::Outer(cr(c, rhs)))),
-                Ctx::Document => Err(XpathUnsupported(
-                    "axis from the document node".into(),
-                )),
+                Ctx::Document => Err(XpathUnsupported("axis from the document node".into())),
             }
         };
         let is_doc = matches!(ctx, Ctx::Document);
@@ -306,9 +317,7 @@ impl<'a> SeTranslator<'a> {
                 self.pred_into(q, b, context, false)
             }
             Pred::Not(p) => self.pred_into(q, p, context, !negated),
-            Pred::Or(..) | Pred::And(..) => {
-                Err(XpathUnsupported("disjunctive predicate".into()))
-            }
+            Pred::Or(..) | Pred::And(..) => Err(XpathUnsupported("disjunctive predicate".into())),
             Pred::Position(..) => Err(XpathUnsupported("position()/last()".into())),
             // Positive predicates inline as joins (DISTINCT absorbs
             // witness multiplicity), exactly as in the LPath engine —
@@ -332,17 +341,13 @@ impl<'a> SeTranslator<'a> {
                     CmpOp::Ne => Cmp::Ne,
                     _ => return Err(XpathUnsupported("ordered value comparison".into())),
                 };
-                if !path
-                    .steps
-                    .last()
-                    .is_some_and(|s| s.axis == Axis::Attribute)
-                {
+                if !path.steps.last().is_some_and(|s| s.axis == Axis::Attribute) {
                     return Err(XpathUnsupported(
                         "comparison on a non-attribute path".into(),
                     ));
                 }
-                let value_cond = |me: &Self, q: &mut ConjQuery, alias: usize| {
-                    match me.interner.get(value) {
+                let value_cond =
+                    |me: &Self, q: &mut ConjQuery, alias: usize| match me.interner.get(value) {
                         Some(sym) => q.conds.push(Cond::against_const(
                             ColRef::new(alias, me.cols.value),
                             cmp,
@@ -350,8 +355,7 @@ impl<'a> SeTranslator<'a> {
                         )),
                         None if cmp == Cmp::Eq => me.unsat(q, alias),
                         None => {}
-                    }
-                };
+                    };
                 if negated {
                     let mut sub = ConjQuery::default();
                     let result = self.path_into(&mut sub, path, Ctx::Outer(context))?;
@@ -419,11 +423,7 @@ impl<'a> SeTranslator<'a> {
         negated: bool,
         members: Vec<u32>,
     ) -> Result<(), XpathUnsupported> {
-        if !path
-            .steps
-            .last()
-            .is_some_and(|s| s.axis == Axis::Attribute)
-        {
+        if !path.steps.last().is_some_and(|s| s.axis == Axis::Attribute) {
             return Err(XpathUnsupported(
                 "string function on a non-attribute path".into(),
             ));

@@ -43,10 +43,7 @@ fn main() {
         analyses.len()
     );
     for a in &analyses {
-        let row: Vec<&str> = a
-            .iter()
-            .map(|&n| tiny.resolve(tree.node(n).name))
-            .collect();
+        let row: Vec<&str> = a.iter().map(|&n| tiny.resolve(tree.node(n).name)).collect();
         println!("  {}", row.join(" "));
     }
 }

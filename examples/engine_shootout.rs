@@ -25,7 +25,11 @@ fn main() {
     println!("build lpath engine  {:>9.1?}", t.elapsed());
     let t = Instant::now();
     let tgrep = TgrepEngine::build(&corpus);
-    println!("build tgrep image   {:>9.1?} ({} kB)", t.elapsed(), tgrep.image_bytes() / 1024);
+    println!(
+        "build tgrep image   {:>9.1?} ({} kB)",
+        t.elapsed(),
+        tgrep.image_bytes() / 1024
+    );
     let t = Instant::now();
     let xpath = XPathEngine::build(&corpus);
     println!("build xpath engine  {:>9.1?}", t.elapsed());

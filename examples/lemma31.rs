@@ -20,7 +20,10 @@ fn main() {
 
     // The target relation: NPs immediately following a verb.
     let target = walker.eval(&parse("//V->NP").unwrap());
-    println!("//V->NP matches {} node(s) on the witness trees\n", target.len());
+    println!(
+        "//V->NP matches {} node(s) on the witness trees\n",
+        target.len()
+    );
 
     // 1. Core XPath cannot keep up: every predicate-free chain of up to
     //    three Core XPath steps disagrees somewhere.

@@ -22,12 +22,18 @@ fn main() {
     // The example queries of Figure 2, with the paper's descriptions.
     let queries = [
         ("//S[//_[@lex=saw]]", "sentences containing the word 'saw'"),
-        ("//V=>NP", "NPs that are the immediate following sibling of a V"),
+        (
+            "//V=>NP",
+            "NPs that are the immediate following sibling of a V",
+        ),
         ("//V->NP", "NPs immediately following a V"),
         ("//VP/V-->N", "Ns following a V that is a child of a VP"),
         ("//VP{/V-->N}", "…same, but confined to the VP's subtree"),
         ("//VP{/NP$}", "NPs that are the rightmost child of a VP"),
-        ("//VP{//NP$}", "NPs that are the rightmost descendant of a VP"),
+        (
+            "//VP{//NP$}",
+            "NPs that are the rightmost descendant of a VP",
+        ),
     ];
 
     println!("Figure 2 — example linguistic queries\n");
@@ -37,15 +43,16 @@ fn main() {
             .iter()
             .map(|&(tid, node)| {
                 let tree = &corpus.trees()[tid as usize];
-                format!(
-                    "{}#{}",
-                    corpus.resolve(tree.node(node).name),
-                    node.0
-                )
+                format!("{}#{}", corpus.resolve(tree.node(node).name), node.0)
             })
             .collect();
         println!("{query:<18} {description}");
-        println!("{:<18} → {} match(es): {}\n", "", matches.len(), rendered.join(", "));
+        println!(
+            "{:<18} → {} match(es): {}\n",
+            "",
+            matches.len(),
+            rendered.join(", ")
+        );
     }
 
     // The walker answers the same queries without the relational store.

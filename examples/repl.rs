@@ -98,7 +98,10 @@ fn main() {
             },
             (".tree", n) => match n.trim().parse::<usize>() {
                 Ok(i) if i < corpus.trees().len() => {
-                    print!("{}", render_tree(&corpus.trees()[i], corpus.interner(), &[]));
+                    print!(
+                        "{}",
+                        render_tree(&corpus.trees()[i], corpus.interner(), &[])
+                    );
                 }
                 _ => println!("error: tree index 0..{}", corpus.trees().len()),
             },

@@ -29,7 +29,10 @@ fn main() {
         ("//VP{//NP$}", "NPs ending exactly where their VP ends"),
         // Lexical probes.
         ("//_[@lex=saw]", "occurrences of the word 'saw'"),
-        ("//S[{//_[@lex=what]->_[@lex=building]}]", "'what building' sentences"),
+        (
+            "//S[{//_[@lex=what]->_[@lex=building]}]",
+            "'what building' sentences",
+        ),
         // Negation.
         ("//NP[not(//JJ)]", "NPs with no adjective anywhere inside"),
         // Sibling adjacency.

@@ -511,8 +511,8 @@ pub mod prop {
 
 pub mod prelude {
     //! Everything tests import with `use proptest::prelude::*`.
-    pub use super::prop;
     pub use super::any;
+    pub use super::prop;
     pub use super::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use super::test_runner::Config as ProptestConfig;
     pub use super::test_runner::TestCaseError;

@@ -76,7 +76,7 @@ macro_rules! impl_sample_range {
                 let span = ((hi as i128 - lo as i128) as u64).wrapping_add(1);
                 if span == 0 {
                     // Full-width inclusive range.
-                    return (lo as i128).wrapping_add((draw() as i128)) as $t;
+                    return (lo as i128).wrapping_add(draw() as i128) as $t;
                 }
                 (lo as i128 + (draw() % span) as i128) as $t
             }

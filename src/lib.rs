@@ -14,6 +14,7 @@
 //! | [`tgrep`] | TGrep2-style baseline: binary corpus image + word index + backtracking matcher |
 //! | [`corpussearch`] | CorpusSearch-style baseline: full-scan search-function interpreter |
 //! | [`condxpath`] | Conditional XPath (Marx, PODS 2004): the expressiveness side of Lemma 3.1 |
+//! | [`service`] | sharded, cached, concurrent query service over the engines (plan/result caches, incremental ingest, batch fan-out) |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,11 @@
 //! // The SQL the paper's engine would emit.
 //! let sql = engine.sql("//VBD->NP").unwrap();
 //! assert!(sql.contains("n1.left = n0.right"));
+//!
+//! // Serving many queries? The service shards the corpus, caches
+//! // plans and results, and answers batches concurrently.
+//! let service = Service::build(&corpus);
+//! assert_eq!(service.count("//VBD->NP").unwrap(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -46,6 +52,7 @@ pub use lpath_core as core;
 pub use lpath_corpussearch as corpussearch;
 pub use lpath_model as model;
 pub use lpath_relstore as relstore;
+pub use lpath_service as service;
 pub use lpath_syntax as syntax;
 pub use lpath_tgrep as tgrep;
 pub use lpath_xpath as xpath;
@@ -56,6 +63,7 @@ pub mod prelude {
     pub use lpath_corpussearch::{CsEngine, CS_QUERIES};
     pub use lpath_model::ptb::{parse_into, parse_str};
     pub use lpath_model::{generate, Corpus, GenConfig, NodeId, Profile, Tree};
+    pub use lpath_service::{Service, ServiceConfig, ServiceError, ServiceStats};
     pub use lpath_syntax::{parse, Axis, Path};
     pub use lpath_tgrep::{TgrepEngine, TGREP_QUERIES};
     pub use lpath_xpath::XPathEngine;

@@ -115,7 +115,10 @@ fn function_library_agrees_across_dialects_and_labelings() {
         ("//_[string-length(@lex)>8]", "//*[string-length(@lex)>8]"),
         ("//NP[count(//JJ)=0]", "//NP[count(.//JJ)=0]"),
         ("//S[count(//VP)>0]", "//S[count(.//VP)>0]"),
-        ("//_[not(contains(@lex,e))][@lex]", "//*[not(contains(@lex,'e'))][@lex]"),
+        (
+            "//_[not(contains(@lex,e))][@lex]",
+            "//*[not(contains(@lex,'e'))][@lex]",
+        ),
     ] {
         let via_lpath = engine.count(lpath_q).unwrap();
         let via_walker = walker.count(&parse(lpath_q).unwrap());

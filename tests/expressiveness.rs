@@ -53,10 +53,7 @@ fn arb_subtree(depth: u32) -> BoxedStrategy<String> {
 
 fn arb_corpus() -> impl Strategy<Value = Corpus> {
     prop::collection::vec(arb_subtree(3), 1..3).prop_map(|trees| {
-        let text: String = trees
-            .iter()
-            .map(|t| format!("( (S {t} {t}) )\n"))
-            .collect();
+        let text: String = trees.iter().map(|t| format!("( (S {t} {t}) )\n")).collect();
         parse_str(&text).expect("generated treebank parses")
     })
 }
@@ -216,6 +213,9 @@ fn paper_2_2_3_edge_alignment_demonstration() {
     )
     .unwrap();
     let walker = Walker::new(&corpus);
-    assert_eq!(walker.count(&parse("//VP//_[last()][self::NP]").unwrap()), 0);
+    assert_eq!(
+        walker.count(&parse("//VP//_[last()][self::NP]").unwrap()),
+        0
+    );
     assert_eq!(walker.count(&parse("//VP{//NP$}").unwrap()), 2);
 }

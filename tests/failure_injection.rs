@@ -142,7 +142,7 @@ fn single_token_trees_work_everywhere() {
     for (q, want) in [
         ("//X", 1),
         ("//_", 4),
-        ("//X->Y", 0),  // different trees: nothing follows across trees
+        ("//X->Y", 0), // different trees: nothing follows across trees
         ("//S{/X$}", 1),
         ("//^X", 1),
         ("//_[@lex=w]", 1),
@@ -169,11 +169,11 @@ fn deep_unary_chains_label_and_query_correctly() {
     for (q, want) in [
         ("//A39", 1usize),
         ("//A0//A39", 1),
-        ("//A39\\\\A0", 1),   // ancestor
+        ("//A39\\\\A0", 1), // ancestor
         ("//A5/A6", 1),
         ("//A6\\A5", 1),
-        ("//A5->_", 0),       // nothing follows in a one-leaf tree
-        ("//^A17$", 1),       // every chain node spans the whole tree
+        ("//A5->_", 0), // nothing follows in a one-leaf tree
+        ("//^A17$", 1), // every chain node spans the whole tree
     ] {
         assert_eq!(engine.count(q).unwrap(), want, "{q}");
         assert_eq!(walker.count(&parse(q).unwrap()), want, "{q}");

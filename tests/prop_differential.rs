@@ -29,9 +29,7 @@ fn arb_subtree(depth: u32) -> BoxedStrategy<String> {
         Just("w".to_string()),
     ];
     if depth == 0 {
-        (tag, word)
-            .prop_map(|(t, w)| format!("({t} {w})"))
-            .boxed()
+        (tag, word).prop_map(|(t, w)| format!("({t} {w})")).boxed()
     } else {
         let leaf = (
             prop_oneof![
@@ -43,10 +41,7 @@ fn arb_subtree(depth: u32) -> BoxedStrategy<String> {
             word,
         )
             .prop_map(|(t, w)| format!("({t} {w})"));
-        let inner = (
-            tag,
-            prop::collection::vec(arb_subtree(depth - 1), 1..4),
-        )
+        let inner = (tag, prop::collection::vec(arb_subtree(depth - 1), 1..4))
             .prop_map(|(t, kids)| format!("({t} {})", kids.join(" ")));
         prop_oneof![3 => leaf, 2 => inner].boxed()
     }
@@ -55,10 +50,7 @@ fn arb_subtree(depth: u32) -> BoxedStrategy<String> {
 /// A corpus of one to three random trees.
 fn arb_corpus() -> impl Strategy<Value = Corpus> {
     prop::collection::vec(arb_subtree(3), 1..4).prop_map(|trees| {
-        let text: String = trees
-            .iter()
-            .map(|t| format!("( (S {t} {t}) )\n"))
-            .collect();
+        let text: String = trees.iter().map(|t| format!("( (S {t} {t}) )\n")).collect();
         parse_str(&text).expect("generated treebank parses")
     })
 }
@@ -99,9 +91,8 @@ fn arb_test() -> impl Strategy<Value = NodeTest> {
 fn arb_pred() -> impl Strategy<Value = Pred> {
     use lpath_syntax::{CmpOp, StrFunc};
     fn exists() -> impl Strategy<Value = Pred> {
-        (arb_axis(), arb_test()).prop_map(|(axis, test)| {
-            Pred::Exists(Path::relative(vec![Step::new(axis, test)]))
-        })
+        (arb_axis(), arb_test())
+            .prop_map(|(axis, test)| Pred::Exists(Path::relative(vec![Step::new(axis, test)])))
     }
     fn attr_path() -> Path {
         Path::relative(vec![Step::new(Axis::Attribute, NodeTest::tag("lex"))])

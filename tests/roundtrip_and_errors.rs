@@ -62,10 +62,16 @@ fn unknown_vocabulary_is_empty_not_an_error() {
     let engine = Engine::build(&corpus);
     assert_eq!(engine.count("//ZZZ-UNSEEN").unwrap(), 0);
     assert_eq!(engine.count("//_[@lex=zzzunseen]").unwrap(), 0);
-    assert_eq!(engine.count("//NP[not(//ZZZ)]").unwrap(), engine.count("//NP").unwrap());
+    assert_eq!(
+        engine.count("//NP[not(//ZZZ)]").unwrap(),
+        engine.count("//NP").unwrap()
+    );
     let tgrep = TgrepEngine::build(&corpus);
     assert_eq!(tgrep.count("ZZZ-UNSEEN").unwrap(), 0);
-    assert_eq!(tgrep.count("NP !<< ZZZ-UNSEEN").unwrap(), tgrep.count("NP").unwrap());
+    assert_eq!(
+        tgrep.count("NP !<< ZZZ-UNSEEN").unwrap(),
+        tgrep.count("NP").unwrap()
+    );
     let cs = CsEngine::new(&corpus);
     assert_eq!(cs.count("find x:ZZZ-UNSEEN").unwrap(), 0);
 }
@@ -91,7 +97,9 @@ fn sql_and_explain_render_for_all_evaluation_queries() {
     let corpus = generate(&GenConfig::wsj(40));
     let engine = Engine::build(&corpus);
     for q in QUERIES {
-        let sql = engine.sql(q.lpath).unwrap_or_else(|e| panic!("Q{}: {e}", q.id));
+        let sql = engine
+            .sql(q.lpath)
+            .unwrap_or_else(|e| panic!("Q{}: {e}", q.id));
         assert!(sql.starts_with("SELECT DISTINCT"), "Q{}: {sql}", q.id);
         assert!(sql.contains("FROM node"), "Q{}: {sql}", q.id);
         let plan = engine.explain(q.lpath).unwrap();

@@ -1,0 +1,146 @@
+//! Service ↔ engine parity: the sharded, cached, concurrent service
+//! must be answer-indistinguishable from one single-threaded
+//! [`Engine`] (and from the [`Walker`]) on the paper's whole
+//! evaluation query set — at every shard count, before and after
+//! cache warm-up, through batches, and across incremental appends.
+
+use std::sync::Arc;
+
+use lpath::prelude::*;
+use lpath::service::ExecStrategy;
+use lpath_core::EXTENDED_QUERIES;
+
+fn check_parity(corpus: &Corpus, shards: usize, label: &str) {
+    let engine = Engine::build(corpus);
+    let walker = Walker::new(corpus);
+    let service = Service::with_config(
+        corpus,
+        ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        },
+    );
+    assert_eq!(service.shard_count(), shards, "{label}");
+
+    let texts: Vec<&str> = QUERIES.iter().map(|q| q.lpath).collect();
+    let first: Vec<Arc<lpath::service::ResultSet>> = texts
+        .iter()
+        .map(|q| {
+            service
+                .eval(q)
+                .unwrap_or_else(|e| panic!("{label} {q}: {e}"))
+        })
+        .collect();
+
+    for (q, got) in QUERIES.iter().zip(&first) {
+        let via_engine = engine
+            .query(q.lpath)
+            .unwrap_or_else(|e| panic!("{label} Q{}: {e}", q.id));
+        assert_eq!(
+            **got, via_engine,
+            "{label} Q{}: service vs engine on {}",
+            q.id, q.lpath
+        );
+        let via_walker = walker.eval(&parse(q.lpath).unwrap());
+        assert_eq!(
+            **got, via_walker,
+            "{label} Q{}: service vs walker on {}",
+            q.id, q.lpath
+        );
+    }
+
+    // A cache-hit re-run returns identical (in fact shared) results.
+    let before = service.stats();
+    for (q, first_run) in texts.iter().zip(&first) {
+        let again = service.eval(q).unwrap();
+        assert_eq!(again, *first_run, "{label}: rerun differs on {q}");
+        assert!(
+            Arc::ptr_eq(&again, first_run),
+            "{label}: rerun of {q} was not a cache hit"
+        );
+    }
+    let after = service.stats();
+    assert_eq!(
+        after.result_hits,
+        before.result_hits + texts.len() as u64,
+        "{label}: rerun must be all result-cache hits"
+    );
+    assert_eq!(after.result_misses, before.result_misses, "{label}");
+
+    // The batch API answers exactly like the one-at-a-time API.
+    for (i, r) in service.eval_batch(&texts).into_iter().enumerate() {
+        assert_eq!(
+            *r.unwrap(),
+            *first[i],
+            "{label}: batch differs on {}",
+            texts[i]
+        );
+    }
+}
+
+#[test]
+fn service_matches_engine_and_walker_on_all_23_queries() {
+    let wsj = generate(&GenConfig::wsj(120));
+    check_parity(&wsj, 1, "wsj/1");
+    check_parity(&wsj, 4, "wsj/4");
+    let swb = generate(&GenConfig::swb(120));
+    check_parity(&swb, 1, "swb/1");
+    check_parity(&swb, 4, "swb/4");
+}
+
+#[test]
+fn walker_fallback_queries_agree_with_the_walker() {
+    // The extended set includes queries the relational translation
+    // rejects; the service must answer them via its walker fallback,
+    // identically to a walker over the full corpus.
+    let corpus = generate(&GenConfig::wsj(60));
+    let walker = Walker::new(&corpus);
+    let service = Service::with_config(
+        &corpus,
+        ServiceConfig {
+            shards: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut fallback_seen = 0;
+    for q in EXTENDED_QUERIES {
+        let compiled = service.compile(q.lpath).unwrap();
+        if !q.sql_supported {
+            assert_eq!(compiled.strategy, ExecStrategy::Walker, "E{}", q.id);
+            fallback_seen += 1;
+        }
+        let got = service.eval(q.lpath).unwrap();
+        let want = walker.eval(&parse(q.lpath).unwrap());
+        assert_eq!(*got, want, "E{}: {}", q.id, q.lpath);
+    }
+    assert!(fallback_seen >= 3, "extended set should exercise fallback");
+}
+
+#[test]
+fn incremental_append_matches_fresh_service() {
+    // Grow a service tree-batch by tree-batch; answers must always
+    // equal a service (and engine) built fresh over the same trees.
+    let full = generate(&GenConfig::wsj(80));
+    let cut = 60;
+    let prefix = full.subcorpus(0..cut);
+    let service = Service::with_config(
+        &prefix,
+        ServiceConfig {
+            shards: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let text = full.subcorpus(cut..full.trees().len()).to_ptb_string();
+    assert_eq!(service.append_ptb(&text).unwrap(), full.trees().len() - cut);
+
+    let engine = Engine::build(&full);
+    for q in QUERIES {
+        assert_eq!(
+            *service.eval(q.lpath).unwrap(),
+            engine.query(q.lpath).unwrap(),
+            "post-append Q{}: {}",
+            q.id,
+            q.lpath
+        );
+    }
+}
