@@ -3,13 +3,15 @@
 //! (7 runs, trimmed mean).
 //!
 //! ```text
-//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|all] [sentences]
+//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|all] [sentences]
 //! ```
 //!
 //! With no arguments, prints everything at the default scale (1/20 of
 //! the paper's corpus; see `lpath-bench`'s crate docs). The `service`
 //! mode additionally writes machine-readable throughput numbers to
-//! `BENCH_service.json` in the working directory.
+//! `BENCH_service.json`, and the `firstmatch` mode — first-match and
+//! page-1 latency versus full enumeration — writes
+//! `BENCH_firstmatch.json`, both in the working directory.
 
 use std::time::Instant;
 
@@ -54,6 +56,7 @@ fn main() {
         "extended" => extended(&wsj, &swb),
         "sql" => sql(&wsj),
         "service" => service(&wsj, wsj_n),
+        "firstmatch" => firstmatch(&wsj, wsj_n),
         "all" => {
             fig6a(&wsj, &swb);
             fig6b(&wsj, &swb);
@@ -65,11 +68,12 @@ fn main() {
             ablation(&wsj);
             extended(&wsj, &swb);
             service(&wsj, wsj_n);
+            firstmatch(&wsj, wsj_n);
         }
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected \
-                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|all"
+                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|all"
             );
             std::process::exit(2);
         }
@@ -522,6 +526,140 @@ fn service(wsj: &Corpus, wsj_n: usize) {
     match std::fs::write("BENCH_service.json", &json) {
         Ok(()) => println!("wrote BENCH_service.json\n"),
         Err(e) => eprintln!("could not write BENCH_service.json: {e}\n"),
+    }
+}
+
+/// One per-query row of the first-match benchmark.
+struct FirstMatchRow {
+    id: usize,
+    lpath: &'static str,
+    results: usize,
+    full_secs: f64,
+    exists_secs: f64,
+    engine_page1_secs: f64,
+    service_page1_secs: f64,
+}
+
+/// The `firstmatch` mode: interactive-workload latency. The paper
+/// measures full enumeration (§5), but a linguist *browsing* matches
+/// cares about the first match and the first page. Three early-exit
+/// paths against the full-enumeration baseline, per evaluation query:
+///
+/// * **exists** — [`Engine::exists`]: the streaming cursor stops at
+///   its first complete binding;
+/// * **engine page-1** — `Engine::query_limit(q, 0, 10)`: tid-range
+///   chunked evaluation covering just enough of the corpus;
+/// * **service page-1** — `Service::eval_page(q, 0, 10)` at 8 shards
+///   with result caching off: shard fan-out short-circuited once the
+///   page fills.
+///
+/// Writes `BENCH_firstmatch.json` with every number printed plus the
+/// count of queries whose first-match latency improves ≥ 10×.
+fn firstmatch(wsj: &Corpus, wsj_n: usize) {
+    println!("== First-match / page-1 latency vs full enumeration (WSJ) ==");
+    let engine = Engine::build(wsj);
+    let svc = Service::with_config(
+        wsj,
+        ServiceConfig {
+            shards: 8,
+            result_cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+    let mut rows: Vec<FirstMatchRow> = Vec::new();
+    for q in QUERIES {
+        let results = engine.count(q.lpath).expect("evaluation query");
+        let full = time7(|| {
+            engine.query(q.lpath).unwrap();
+        });
+        let exists = time7(|| {
+            engine.exists(q.lpath).unwrap();
+        });
+        let engine_page1 = time7(|| {
+            engine.query_limit(q.lpath, 0, 10).unwrap();
+        });
+        let service_page1 = time7(|| {
+            svc.eval_page(q.lpath, 0, 10).unwrap();
+        });
+        rows.push(FirstMatchRow {
+            id: q.id,
+            lpath: q.lpath,
+            results,
+            full_secs: full.as_secs_f64(),
+            exists_secs: exists.as_secs_f64(),
+            engine_page1_secs: engine_page1.as_secs_f64(),
+            service_page1_secs: service_page1.as_secs_f64(),
+        });
+    }
+
+    // Floor the denominator so an immeasurably fast early exit reads
+    // as a huge (finite, JSON-safe) speedup rather than 0×.
+    let speedup = |full: f64, fast: f64| full / fast.max(1e-12);
+    println!(
+        "{:<5}{:>12}{:>12}{:>13}{:>14}{:>10}{:>9}",
+        "Q", "full", "exists", "engine pg1", "service pg1", "exist ×", "results"
+    );
+    for r in &rows {
+        println!(
+            "{:<5}{:>12.6}{:>12.6}{:>13.6}{:>14.6}{:>10.1}{:>9}",
+            format!("Q{}", r.id),
+            r.full_secs,
+            r.exists_secs,
+            r.engine_page1_secs,
+            r.service_page1_secs,
+            speedup(r.full_secs, r.exists_secs),
+            r.results,
+        );
+    }
+    let ten_x = rows
+        .iter()
+        .filter(|r| r.results > 0 && speedup(r.full_secs, r.exists_secs) >= 10.0)
+        .count();
+    let page_ten_x = rows
+        .iter()
+        .filter(|r| {
+            r.results > 0
+                && speedup(r.full_secs, r.engine_page1_secs.min(r.service_page1_secs)) >= 10.0
+        })
+        .count();
+    println!(
+        "queries with first-match latency >= 10x faster than full enumeration: {ten_x} \
+         (page-1: {page_ten_x})\n"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"firstmatch\",\n");
+    json.push_str(&format!("  \"wsj_sentences\": {wsj_n},\n"));
+    json.push_str("  \"page_size\": 10,\n");
+    json.push_str("  \"service_shards\": 8,\n");
+    json.push_str("  \"per_query\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": {}, \"lpath\": {:?}, \"results\": {}, \"full_secs\": {:.9}, \
+             \"exists_secs\": {:.9}, \"engine_page1_secs\": {:.9}, \
+             \"service_page1_secs\": {:.9}, \"first_match_speedup\": {:.3}, \
+             \"page1_speedup\": {:.3}}}{}\n",
+            r.id,
+            r.lpath,
+            r.results,
+            r.full_secs,
+            r.exists_secs,
+            r.engine_page1_secs,
+            r.service_page1_secs,
+            speedup(r.full_secs, r.exists_secs),
+            speedup(r.full_secs, r.engine_page1_secs.min(r.service_page1_secs)),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"queries_first_match_10x\": {ten_x},\n  \"queries_page1_10x\": {page_ten_x}\n"
+    ));
+    json.push_str("}\n");
+    match std::fs::write("BENCH_firstmatch.json", &json) {
+        Ok(()) => println!("wrote BENCH_firstmatch.json\n"),
+        Err(e) => eprintln!("could not write BENCH_firstmatch.json: {e}\n"),
     }
 }
 

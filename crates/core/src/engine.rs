@@ -10,7 +10,7 @@
 
 use lpath_model::{label_tree, Corpus, Interner, NodeId};
 use lpath_relstore::{
-    self as rel, ColRef, Database, PlannerConfig, Schema, Table, TableId, Value, NULL,
+    self as rel, Cmp, ColRef, Cond, Database, PlannerConfig, Schema, Table, TableId, Value, NULL,
 };
 use lpath_syntax::{parse, Path, SyntaxError};
 
@@ -56,6 +56,7 @@ pub struct Engine {
     cols: NodeCols,
     interner: Interner,
     planner: PlannerConfig,
+    ntrees: usize,
 }
 
 impl Engine {
@@ -134,6 +135,7 @@ impl Engine {
             cols,
             interner: corpus.interner().clone(),
             planner,
+            ntrees: corpus.trees().len(),
         }
     }
 
@@ -199,24 +201,154 @@ impl Engine {
 
     /// Evaluate a parsed query.
     pub fn query_ast(&self, ast: &Path) -> Result<Vec<(u32, NodeId)>, EngineError> {
-        let cq = self.translate(ast)?;
-        let plan = rel::plan(&self.db, &cq, &self.planner);
-        let rows = rel::execute(&plan, &self.db);
-        let mut out: Vec<(u32, NodeId)> = rows
-            .into_iter()
-            .map(|row| {
-                debug_assert_eq!(row.len(), 2);
-                // Relational ids start at 2 (1 is the document node).
-                (row[0], NodeId(row[1] - 2))
-            })
-            .collect();
+        let plan = self.plan_ast(ast)?;
+        let mut out = rows_to_matches(rel::execute(&plan, &self.db));
         out.sort_unstable();
         Ok(out)
     }
 
-    /// Result size — the measure reported in Figure 6(c).
+    /// Translate and plan a parsed query.
+    fn plan_ast(&self, ast: &Path) -> Result<rel::Plan, EngineError> {
+        let cq = self.translate(ast)?;
+        Ok(rel::plan(&self.db, &cq, &self.planner))
+    }
+
+    /// Result size — the measure reported in Figure 6(c). Counts
+    /// through the streaming cursor: no match-set materialization, no
+    /// sort.
     pub fn count(&self, query: &str) -> Result<usize, EngineError> {
-        Ok(self.query(query)?.len())
+        let ast = parse(query)?;
+        self.count_ast(&ast)
+    }
+
+    /// Result size of an already-parsed query.
+    pub fn count_ast(&self, ast: &Path) -> Result<usize, EngineError> {
+        let plan = self.plan_ast(ast)?;
+        Ok(rel::count(&plan, &self.db))
+    }
+
+    /// Does the query match anywhere? Stops at the first witness —
+    /// Boolean evaluation is far cheaper than enumeration
+    /// (Gottlob–Koch–Schulz), and the cursor exploits exactly that gap.
+    pub fn exists(&self, query: &str) -> Result<bool, EngineError> {
+        let ast = parse(query)?;
+        self.exists_ast(&ast)
+    }
+
+    /// [`Engine::exists`] for an already-parsed query.
+    pub fn exists_ast(&self, ast: &Path) -> Result<bool, EngineError> {
+        let plan = self.plan_ast(ast)?;
+        Ok(rel::exists(&plan, &self.db))
+    }
+
+    /// A streaming iterator over the query's matches, yielded in
+    /// **pipeline order** (the order the index-nested-loop join
+    /// produces them) — *not* document order. Dropping the iterator
+    /// abandons the remaining enumeration; use [`Engine::query`] when
+    /// the sorted full set is wanted, [`Engine::query_limit`] for
+    /// document-ordered pages.
+    pub fn matches(&self, query: &str) -> Result<Matches<'_>, EngineError> {
+        let ast = parse(query)?;
+        self.matches_ast(&ast)
+    }
+
+    /// [`Engine::matches`] for an already-parsed query.
+    pub fn matches_ast(&self, ast: &Path) -> Result<Matches<'_>, EngineError> {
+        let plan = self.plan_ast(ast)?;
+        Ok(Matches {
+            cursor: rel::Cursor::owning(plan, &self.db),
+        })
+    }
+
+    /// The `[offset, offset + limit)` slice of [`Engine::query`]'s
+    /// document-ordered result, computed with early termination:
+    /// the corpus is evaluated in geometrically growing tree-id
+    /// ranges (a `tid` range filter pushed onto the plan's first join
+    /// step), each range's matches sorted and appended — ranges
+    /// partition the corpus, so concatenation *is* document order —
+    /// until the page is covered. Dense queries touch only a prefix
+    /// of the corpus; the worst case degrades to one extra pass over
+    /// the first step's candidates per range.
+    pub fn query_limit(
+        &self,
+        query: &str,
+        offset: usize,
+        limit: usize,
+    ) -> Result<Vec<(u32, NodeId)>, EngineError> {
+        let ast = parse(query)?;
+        self.query_limit_ast(&ast, offset, limit)
+    }
+
+    /// [`Engine::query_limit`] for an already-parsed query.
+    pub fn query_limit_ast(
+        &self,
+        ast: &Path,
+        offset: usize,
+        limit: usize,
+    ) -> Result<Vec<(u32, NodeId)>, EngineError> {
+        let plan = self.plan_ast(ast)?;
+        if limit == 0 {
+            return Ok(Vec::new());
+        }
+        let need = offset.saturating_add(limit);
+        if plan.steps.is_empty() {
+            // No join step to push the range filter onto (cannot
+            // happen for translated queries; defensive).
+            let mut all = rows_to_matches(rel::execute(&plan, &self.db));
+            all.sort_unstable();
+            all.truncate(need);
+            return Ok(all.split_off(offset.min(all.len())));
+        }
+        let tid = self.cols.col(NCol::Tid);
+        let mut out: Vec<(u32, NodeId)> = Vec::new();
+        let mut lo = 0usize;
+        let mut span = 8usize;
+        while lo < self.ntrees && out.len() < need {
+            let hi = lo.saturating_add(span).min(self.ntrees);
+            let mut ranged = plan.clone();
+            let step = &mut ranged.steps[0];
+            let anchor = ColRef::new(step.alias, tid);
+            step.residual
+                .push(Cond::against_const(anchor, Cmp::Ge, lo as Value));
+            step.residual
+                .push(Cond::against_const(anchor, Cmp::Lt, hi as Value));
+            let mut chunk = rows_to_matches(rel::execute(&ranged, &self.db));
+            chunk.sort_unstable();
+            out.extend(chunk);
+            lo = hi;
+            span = span.saturating_mul(2);
+        }
+        out.truncate(need);
+        Ok(out.split_off(offset.min(out.len())))
+    }
+}
+
+/// Convert relational `(tid, id)` rows to `(tree index, node)` matches.
+/// Relational ids start at 2 (1 is the document node).
+fn rows_to_matches(rows: Vec<Vec<Value>>) -> Vec<(u32, NodeId)> {
+    rows.into_iter()
+        .map(|row| {
+            debug_assert_eq!(row.len(), 2);
+            (row[0], NodeId(row[1] - 2))
+        })
+        .collect()
+}
+
+/// A streaming match iterator (see [`Engine::matches`]). Yields
+/// `(tree index, node)` pairs in pipeline order as the underlying
+/// [`rel::Cursor`] produces them.
+pub struct Matches<'e> {
+    cursor: rel::Cursor<'e>,
+}
+
+impl Iterator for Matches<'_> {
+    type Item = (u32, NodeId);
+
+    fn next(&mut self) -> Option<(u32, NodeId)> {
+        self.cursor.next().map(|row| {
+            debug_assert_eq!(row.len(), 2);
+            (row[0], NodeId(row[1] - 2))
+        })
     }
 }
 
@@ -378,6 +510,69 @@ mod tests {
         assert_eq!(got.len(), 6);
         for tid in 0..3u32 {
             assert_eq!(got.iter().filter(|(t, _)| *t == tid).count(), 2);
+        }
+    }
+
+    #[test]
+    fn exists_matches_nonempty_query() {
+        let e = engine();
+        for q in ["//NP", "//V->NP", "//NP[not(//Det)]", "//_[@lex=saw]"] {
+            assert!(e.exists(q).unwrap(), "{q}");
+        }
+        for q in ["//ZZZ", "//_[@lex=zzz]", "//NP/ZZZ"] {
+            assert!(!e.exists(q).unwrap(), "{q}");
+        }
+        assert!(e.exists("//VP[").is_err());
+    }
+
+    #[test]
+    fn matches_streams_the_full_set_in_some_order() {
+        let corpus = parse_str(&format!("{FIG1}\n{FIG1}")).unwrap();
+        let e = Engine::build(&corpus);
+        for q in ["//NP", "//V->NP", "//VP{//NP$}"] {
+            let mut streamed: Vec<(u32, NodeId)> = e.matches(q).unwrap().collect();
+            streamed.sort_unstable();
+            assert_eq!(streamed, e.query(q).unwrap(), "{q}");
+        }
+        // Pulling one match does not require the rest.
+        assert!(e.matches("//NP").unwrap().next().is_some());
+        assert!(e.matches("//ZZZ").unwrap().next().is_none());
+    }
+
+    #[test]
+    fn query_limit_is_a_prefix_slice() {
+        // 20 trees so the chunked evaluation crosses range boundaries.
+        let src: String = std::iter::repeat_n(FIG1, 20).collect::<Vec<_>>().join("\n");
+        let corpus = parse_str(&src).unwrap();
+        let e = Engine::build(&corpus);
+        for q in ["//NP", "//V->NP", "//NP[not(//Det)]", "//ZZZ"] {
+            let full = e.query(q).unwrap();
+            for (offset, limit) in [
+                (0, 0),
+                (0, 1),
+                (0, 5),
+                (3, 4),
+                (7, 100),
+                (full.len(), 3),
+                (full.len() + 10, 3),
+                (0, usize::MAX),
+            ] {
+                let want: Vec<(u32, NodeId)> =
+                    full.iter().skip(offset).take(limit).copied().collect();
+                assert_eq!(
+                    e.query_limit(q, offset, limit).unwrap(),
+                    want,
+                    "{q} offset {offset} limit {limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_avoids_materialization_but_agrees() {
+        let e = engine();
+        for q in ["//NP", "//V->NP", "//VP{//NP$}", "//ZZZ", "//_[@lex]"] {
+            assert_eq!(e.count(q).unwrap(), e.query(q).unwrap().len(), "{q}");
         }
     }
 }

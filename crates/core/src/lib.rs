@@ -34,7 +34,7 @@ pub mod queryset;
 pub mod translate;
 pub mod walker;
 
-pub use engine::{Engine, EngineError};
+pub use engine::{Engine, EngineError, Matches};
 pub use naive::NaiveEvaluator;
 pub use queryset::{BenchQuery, ExtQuery, EXTENDED_QUERIES, QUERIES};
 pub use translate::{Translator, Unsupported};

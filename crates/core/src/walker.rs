@@ -117,6 +117,36 @@ impl<'c> Walker<'c> {
         self.eval(query).len()
     }
 
+    /// Does the query match anywhere in the corpus? Trees are checked
+    /// in document order and the scan stops at the first tree with a
+    /// match — the walker's early-exit mirror of the relational
+    /// cursor's `exists`.
+    pub fn exists(&self, query: &Path) -> bool {
+        (0..self.corpus.trees().len()).any(|tid| !self.eval_tree(tid, query).is_empty())
+    }
+
+    /// The `[offset, offset + limit)` slice of [`Walker::eval`]'s
+    /// document-ordered result, stopping the corpus scan as soon as
+    /// enough matches have accumulated. Byte-identical to slicing the
+    /// full enumeration.
+    pub fn eval_limit(&self, query: &Path, offset: usize, limit: usize) -> Vec<(u32, NodeId)> {
+        if limit == 0 {
+            return Vec::new();
+        }
+        let need = offset.saturating_add(limit);
+        let mut out = Vec::new();
+        for tid in 0..self.corpus.trees().len() {
+            for node in self.eval_tree(tid, query) {
+                out.push((tid as u32, node));
+            }
+            if out.len() >= need {
+                break;
+            }
+        }
+        out.truncate(need);
+        out.split_off(offset.min(out.len()))
+    }
+
     /// Evaluate in parallel over `threads` worker threads, partitioning
     /// the corpus by tree — trees are independent, so this is an
     /// embarrassingly parallel scan. Results are identical to
@@ -680,6 +710,27 @@ mod tests {
         let seq: Vec<_> = queries.iter().map(|q| w.eval(q)).collect();
         for threads in [1, 2, 5, 16] {
             assert_eq!(w.eval_batch_parallel(&refs, threads), seq, "x{threads}");
+        }
+    }
+
+    #[test]
+    fn exists_and_eval_limit_agree_with_full_evaluation() {
+        let src: String = std::iter::repeat_n(FIG1, 9).collect::<Vec<_>>().join("\n");
+        let c = parse_str(&src).unwrap();
+        let w = Walker::new(&c);
+        for q in ["//V->NP", "//VP{//NP$}", "//NP[not(//Det)]", "//ZZZ"] {
+            let query = parse(q).unwrap();
+            let full = w.eval(&query);
+            assert_eq!(w.exists(&query), !full.is_empty(), "{q}");
+            for (offset, limit) in [(0, 0), (0, 3), (2, 4), (full.len(), 2), (999, 1), (0, 999)] {
+                let want: Vec<(u32, NodeId)> =
+                    full.iter().skip(offset).take(limit).copied().collect();
+                assert_eq!(
+                    w.eval_limit(&query, offset, limit),
+                    want,
+                    "{q} {offset}/{limit}"
+                );
+            }
         }
     }
 

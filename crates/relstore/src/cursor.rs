@@ -1,0 +1,478 @@
+//! Pull-based plan execution with early termination.
+//!
+//! [`Cursor`] is the streaming form of the pipelined
+//! index-nested-loop executor: instead of materializing the complete
+//! match set, it maintains the join state of [`crate::plan::Plan`]
+//! explicitly (one candidate source per pipeline stage) and yields one
+//! projected tuple per [`Iterator::next`] call. Everything downstream
+//! of it can therefore stop as early as it likes:
+//!
+//! * [`exists`] — stop at the very first result tuple (the
+//!   Boolean-evaluation gap of Gottlob–Koch–Schulz's *Conjunctive
+//!   Queries over Trees*);
+//! * [`count`] — enumerate without materializing tuples (the common
+//!   narrow projection dedups through a packed `u64` set);
+//! * [`execute_page`] — skip `offset` tuples, keep `limit`, stop;
+//! * [`execute`] — the classic collect-everything form, now a thin
+//!   wrapper over the cursor.
+//!
+//! Output order and dedup semantics are identical to the historical
+//! recursive executor: tuples appear in pipeline (depth-first join)
+//! order, and `DISTINCT` plans deduplicate on the **projected** tuple —
+//! never on the full wide binding — so the distinct set's size is
+//! bounded by the output, not by alias-count × width.
+
+use std::borrow::Cow;
+use std::collections::HashSet;
+
+use crate::catalog::Database;
+use crate::plan::{resolve_bound, run_check, satisfies, Frame, Plan};
+use crate::table::RowId;
+use crate::value::Value;
+
+/// Candidate rows of one opened pipeline stage.
+enum Cands<'a> {
+    /// Full table scan: the remaining physical row range.
+    Scan { next: u32, end: u32 },
+    /// Index probe: the matching (clustered-order) row slice.
+    Rows { rows: &'a [RowId], pos: usize },
+}
+
+impl Cands<'_> {
+    fn next(&mut self) -> Option<RowId> {
+        match self {
+            Cands::Scan { next, end } => {
+                if next < end {
+                    *next += 1;
+                    Some(RowId(*next - 1))
+                } else {
+                    None
+                }
+            }
+            Cands::Rows { rows, pos } => {
+                let row = rows.get(*pos).copied();
+                *pos += 1;
+                row
+            }
+        }
+    }
+}
+
+/// Where the state machine resumes.
+enum Mode {
+    /// Entering pipeline position `d`: run due checks, then either
+    /// emit (`d == steps.len()`) or open stage `d`'s candidates.
+    Enter(usize),
+    /// Pull the next candidate of the already-open stage `d`.
+    Advance(usize),
+}
+
+/// A streaming executor over one plan. Yields projected tuples (with
+/// the plan's `DISTINCT` applied) on demand; dropping it abandons the
+/// remaining enumeration at zero cost.
+pub struct Cursor<'a> {
+    plan: Cow<'a, Plan>,
+    db: &'a Database,
+    bindings: Vec<RowId>,
+    levels: Vec<Cands<'a>>,
+    primed: bool,
+    done: bool,
+    /// Narrow projections (≤ 2 columns, the common `(tid, id)`) dedup
+    /// through a packed `u64`, keeping duplicate emissions
+    /// allocation-free.
+    narrow: bool,
+    seen_narrow: HashSet<u64>,
+    seen_wide: HashSet<Vec<Value>>,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over a borrowed plan.
+    pub fn new(plan: &'a Plan, db: &'a Database) -> Self {
+        Self::build(Cow::Borrowed(plan), db)
+    }
+
+    /// A cursor that owns its plan — for iterators that must outlive
+    /// the planning scope (e.g. an engine handing a streaming result
+    /// to its caller).
+    pub fn owning(plan: Plan, db: &'a Database) -> Self {
+        Self::build(Cow::Owned(plan), db)
+    }
+
+    fn build(plan: Cow<'a, Plan>, db: &'a Database) -> Self {
+        let bindings = vec![RowId(0); plan.alias_tables.len()];
+        let narrow = plan.projection.len() <= 2;
+        Cursor {
+            plan,
+            db,
+            bindings,
+            levels: Vec::new(),
+            primed: false,
+            done: false,
+            narrow,
+            seen_narrow: HashSet::new(),
+            seen_wide: HashSet::new(),
+        }
+    }
+
+    fn frame(&self) -> Frame<'_> {
+        Frame {
+            plan: &self.plan,
+            bindings: &self.bindings,
+            outer: None,
+        }
+    }
+
+    /// Run the checks scheduled for pipeline position `depth`.
+    fn checks_pass(&self, depth: usize) -> bool {
+        self.plan
+            .checks
+            .iter()
+            .filter(|c| c.due_at(depth))
+            .all(|c| run_check(c, self.db, &self.frame()))
+    }
+
+    /// Open stage `d`: resolve its access path against the current
+    /// bindings and return its candidate rows.
+    fn open(&self, d: usize) -> Cands<'a> {
+        let db = self.db;
+        let step = &self.plan.steps[d];
+        let table = db.table(step.table);
+        match &step.access {
+            crate::plan::AccessPath::FullScan => Cands::Scan {
+                next: 0,
+                end: table.num_rows() as u32,
+            },
+            crate::plan::AccessPath::IndexRange { index, eq, lo, hi } => {
+                let frame = self.frame();
+                let mut key_buf = [0 as Value; 8];
+                debug_assert!(eq.len() <= key_buf.len());
+                for (slot, &op) in key_buf.iter_mut().zip(eq.iter()) {
+                    *slot = frame.resolve(db, op);
+                }
+                let lo_b = resolve_bound(&frame, db, lo);
+                let hi_b = resolve_bound(&frame, db, hi);
+                Cands::Rows {
+                    rows: db
+                        .index(*index)
+                        .range(table, &key_buf[..eq.len()], lo_b, hi_b),
+                    pos: 0,
+                }
+            }
+        }
+    }
+
+    /// Advance to the next complete (pre-`DISTINCT`) binding. Returns
+    /// `false` when the enumeration is exhausted. This is the
+    /// iterative mirror of the recursive depth-first join: `Enter(d)`
+    /// corresponds to calling `run(.., d, ..)`, `Advance(d)` to the
+    /// candidate loop of stage `d`, and check failure to pruning the
+    /// stage-`d-1` binding.
+    fn advance_match(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        let nsteps = self.plan.steps.len();
+        let mut mode = if !self.primed {
+            self.primed = true;
+            Mode::Enter(0)
+        } else if nsteps == 0 {
+            // A stepless plan emits exactly once.
+            self.done = true;
+            return false;
+        } else {
+            Mode::Advance(nsteps - 1)
+        };
+        loop {
+            match mode {
+                Mode::Enter(d) => {
+                    if !self.checks_pass(d) {
+                        if d == 0 {
+                            self.done = true;
+                            return false;
+                        }
+                        mode = Mode::Advance(d - 1);
+                    } else if d == nsteps {
+                        return true;
+                    } else {
+                        let cands = self.open(d);
+                        self.levels.push(cands);
+                        mode = Mode::Advance(d);
+                    }
+                }
+                Mode::Advance(d) => {
+                    debug_assert_eq!(self.levels.len(), d + 1);
+                    match self.levels[d].next() {
+                        None => {
+                            self.levels.pop();
+                            if d == 0 {
+                                self.done = true;
+                                return false;
+                            }
+                            mode = Mode::Advance(d - 1);
+                        }
+                        Some(row) => {
+                            let alias = self.plan.steps[d].alias;
+                            self.bindings[alias] = row;
+                            let ok = satisfies(&self.plan.steps[d], self.db, &self.frame());
+                            if ok {
+                                mode = Mode::Enter(d + 1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The projection of the current binding, packed into a `u64`
+    /// (valid only for narrow projections).
+    fn packed(&self) -> u64 {
+        let frame = self.frame();
+        let mut packed = 0u64;
+        for &c in &self.plan.projection {
+            packed = (packed << 32) | frame.value(self.db, c) as u64;
+        }
+        packed
+    }
+
+    /// Materialize the projection of the current binding.
+    fn project(&self) -> Vec<Value> {
+        let frame = self.frame();
+        self.plan
+            .projection
+            .iter()
+            .map(|&c| frame.value(self.db, c))
+            .collect()
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = Vec<Value>;
+
+    fn next(&mut self) -> Option<Vec<Value>> {
+        loop {
+            if !self.advance_match() {
+                return None;
+            }
+            if !self.plan.distinct {
+                return Some(self.project());
+            }
+            if self.narrow {
+                let key = self.packed();
+                if self.seen_narrow.insert(key) {
+                    return Some(self.project());
+                }
+            } else {
+                let tuple = self.project();
+                if self.seen_wide.insert(tuple.clone()) {
+                    return Some(tuple);
+                }
+            }
+        }
+    }
+}
+
+/// Run `plan` to completion, returning projected tuples (distinct if
+/// the plan says so, in first-encounter order).
+pub fn execute(plan: &Plan, db: &Database) -> Vec<Vec<Value>> {
+    Cursor::new(plan, db).collect()
+}
+
+/// Does `plan` produce at least one tuple? Stops at the first complete
+/// binding — no projection, no dedup, no materialization.
+pub fn exists(plan: &Plan, db: &Database) -> bool {
+    Cursor::new(plan, db).advance_match()
+}
+
+/// Number of (distinct) result tuples, without materializing an output
+/// vector. Narrow distinct projections count through the packed set;
+/// only wide distinct projections hash materialized tuples (and drop
+/// them immediately).
+pub fn count(plan: &Plan, db: &Database) -> usize {
+    let mut c = Cursor::new(plan, db);
+    let mut n = 0;
+    if !plan.distinct {
+        while c.advance_match() {
+            n += 1;
+        }
+    } else if c.narrow {
+        while c.advance_match() {
+            let key = c.packed();
+            if c.seen_narrow.insert(key) {
+                n += 1;
+            }
+        }
+    } else {
+        while c.advance_match() {
+            let tuple = c.project();
+            if c.seen_wide.insert(tuple) {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// The `[offset, offset + limit)` slice of `execute`'s output, stopping
+/// the enumeration as soon as the page is filled. Exactly equal to
+/// `execute(plan, db)[offset..][..limit]` (clamped at the end).
+pub fn execute_page(plan: &Plan, db: &Database, offset: usize, limit: usize) -> Vec<Vec<Value>> {
+    if limit == 0 {
+        return Vec::new();
+    }
+    Cursor::new(plan, db).skip(offset).take(limit).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Database, IndexId, TableId};
+    use crate::expr::{ColRef, Operand};
+    use crate::plan::{AccessPath, JoinStep, Plan};
+    use crate::schema::{ColId, Schema};
+    use crate::table::Table;
+
+    const GRP: ColId = ColId(0);
+    const VAL: ColId = ColId(1);
+
+    /// The same toy table as the plan tests: (grp, val).
+    fn setup() -> (Database, TableId, IndexId) {
+        let mut t = Table::new(Schema::new(&["grp", "val"]));
+        for row in [[1, 10], [1, 11], [1, 12], [2, 20], [2, 21], [3, 30]] {
+            t.push_row(&row);
+        }
+        t.cluster_by(&[ColId(0), ColId(1)]);
+        let mut db = Database::new();
+        let tid = db.add_table("t", t);
+        let idx = db.add_index(tid, "by_grp_val", vec![ColId(0), ColId(1)]);
+        (db, tid, idx)
+    }
+
+    fn scan_plan(tid: TableId, projection: Vec<ColRef>, distinct: bool) -> Plan {
+        Plan {
+            alias_tables: vec![tid],
+            steps: vec![JoinStep {
+                alias: 0,
+                table: tid,
+                access: AccessPath::FullScan,
+                residual: vec![],
+                sets: vec![],
+            }],
+            checks: vec![],
+            projection,
+            distinct,
+        }
+    }
+
+    #[test]
+    fn cursor_streams_execute_exactly() {
+        let (db, tid, idx) = setup();
+        // Self-join pairs, same shape as the plan test.
+        let plan = Plan {
+            alias_tables: vec![tid, tid],
+            steps: vec![
+                JoinStep {
+                    alias: 0,
+                    table: tid,
+                    access: AccessPath::FullScan,
+                    residual: vec![],
+                    sets: vec![],
+                },
+                JoinStep {
+                    alias: 1,
+                    table: tid,
+                    access: AccessPath::IndexRange {
+                        index: idx,
+                        eq: vec![Operand::Col(ColRef::new(0, GRP))],
+                        lo: Some((false, Operand::Col(ColRef::new(0, VAL)))),
+                        hi: None,
+                    },
+                    residual: vec![],
+                    sets: vec![],
+                },
+            ],
+            checks: vec![],
+            projection: vec![ColRef::new(0, VAL), ColRef::new(1, VAL)],
+            distinct: false,
+        };
+        let full = execute(&plan, &db);
+        let streamed: Vec<Vec<Value>> = Cursor::new(&plan, &db).collect();
+        assert_eq!(streamed, full);
+        assert_eq!(count(&plan, &db), full.len());
+        assert!(exists(&plan, &db));
+    }
+
+    #[test]
+    fn pages_are_prefix_slices() {
+        let (db, tid, _) = setup();
+        let plan = scan_plan(tid, vec![ColRef::new(0, VAL)], false);
+        let full = execute(&plan, &db);
+        assert_eq!(full.len(), 6);
+        for offset in 0..8 {
+            for limit in 0..8 {
+                let page = execute_page(&plan, &db, offset, limit);
+                let want: Vec<Vec<Value>> = full.iter().skip(offset).take(limit).cloned().collect();
+                assert_eq!(page, want, "offset {offset} limit {limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_dedups_on_the_projected_tuple() {
+        // Regression pin: duplicate *projected* tuples arising from
+        // distinct wide bindings must collapse. Rows (1,10), (1,11),
+        // (1,12) are three distinct bindings but one projected (grp,)
+        // tuple.
+        let (db, tid, _) = setup();
+        let plan = scan_plan(tid, vec![ColRef::new(0, GRP)], true);
+        assert_eq!(execute(&plan, &db), [[1], [2], [3]]);
+        assert_eq!(count(&plan, &db), 3);
+        // Same through a wide (> 2 column) projection: (grp, grp, grp).
+        let wide = scan_plan(
+            tid,
+            vec![
+                ColRef::new(0, GRP),
+                ColRef::new(0, GRP),
+                ColRef::new(0, GRP),
+            ],
+            true,
+        );
+        assert_eq!(execute(&wide, &db), [[1, 1, 1], [2, 2, 2], [3, 3, 3]]);
+        assert_eq!(count(&wide, &db), 3);
+        assert_eq!(execute_page(&wide, &db, 1, 1), [[2, 2, 2]]);
+    }
+
+    #[test]
+    fn exists_stops_before_enumerating() {
+        let (db, tid, _) = setup();
+        let plan = scan_plan(tid, vec![ColRef::new(0, VAL)], false);
+        let mut cursor = Cursor::new(&plan, &db);
+        assert!(cursor.advance_match());
+        // Only the first candidate of the first (and only) stage has
+        // been pulled.
+        match &cursor.levels[0] {
+            Cands::Scan { next, .. } => assert_eq!(*next, 1),
+            Cands::Rows { .. } => panic!("expected a scan"),
+        }
+    }
+
+    #[test]
+    fn stepless_plan_emits_once() {
+        let (db, _, _) = setup();
+        let plan = Plan::default();
+        assert_eq!(execute(&plan, &db), [Vec::<Value>::new()]);
+        assert_eq!(count(&plan, &db), 1);
+        assert!(exists(&plan, &db));
+        assert_eq!(execute_page(&plan, &db, 1, 5), Vec::<Vec<Value>>::new());
+    }
+
+    #[test]
+    fn empty_table_yields_nothing() {
+        let mut db = Database::new();
+        let tid = db.add_table("t", Table::new(Schema::new(&["grp", "val"])));
+        let plan = scan_plan(tid, vec![ColRef::new(0, VAL)], false);
+        assert!(!exists(&plan, &db));
+        assert_eq!(count(&plan, &db), 0);
+        assert_eq!(execute_page(&plan, &db, 0, 5), Vec::<Vec<Value>>::new());
+    }
+}

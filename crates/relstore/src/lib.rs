@@ -13,8 +13,11 @@
 //!   and their SQL text rendering;
 //! * [`planner`] — greedy statistics-driven join ordering and access
 //!   path selection;
-//! * [`mod@plan`] — pipelined index-nested-loop execution with correlated
-//!   semi/anti joins.
+//! * [`mod@plan`] — pipelined index-nested-loop plans with correlated
+//!   semi/anti joins;
+//! * [`cursor`] — pull-based streaming execution with early
+//!   termination (`exists`, materialization-free `count`,
+//!   `limit`/`offset` pages).
 //!
 //! Nothing here knows about trees or LPath: the query compiler in
 //! `lpath-core` lowers axis relations to plain column comparisons.
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod cursor;
 pub mod expr;
 pub mod index;
 pub mod plan;
@@ -33,9 +37,10 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Database, IndexId, TableId};
+pub use cursor::{count, execute, execute_page, exists, Cursor};
 pub use expr::{ColRef, Cond, InCond, Operand};
 pub use index::Index;
-pub use plan::{count, execute, AccessPath, JoinStep, Plan, SubCheck};
+pub use plan::{AccessPath, JoinStep, Plan, SubCheck};
 pub use planner::{plan, JoinOrder, PlannerConfig};
 pub use schema::{ColId, Schema};
 pub use sql::{ConjQuery, SubQuery};

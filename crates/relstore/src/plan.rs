@@ -9,7 +9,6 @@
 //! `NOT EXISTS` subqueries become recursive existence [`SubCheck`]s run
 //! as soon as every outer alias they reference is bound.
 
-use std::collections::HashSet;
 use std::fmt;
 use std::ops::Bound;
 
@@ -85,21 +84,24 @@ pub struct Plan {
     pub distinct: bool,
 }
 
-/// Execution context: the current bindings of one plan level plus a link
-/// to the enclosing level for `Outer` operands.
-struct Frame<'a> {
-    plan: &'a Plan,
-    bindings: Vec<RowId>,
-    outer: Option<&'a Frame<'a>>,
+/// Execution context *view*: the bindings of one plan level plus a link
+/// to the enclosing level for `Outer` operands. Borrowing (rather than
+/// owning) the binding vector lets both the recursive existence checks
+/// and the pull-based [`crate::cursor::Cursor`] share one resolution
+/// path without copying bindings.
+pub(crate) struct Frame<'a> {
+    pub(crate) plan: &'a Plan,
+    pub(crate) bindings: &'a [RowId],
+    pub(crate) outer: Option<&'a Frame<'a>>,
 }
 
 impl<'a> Frame<'a> {
-    fn value(&self, db: &Database, r: ColRef) -> Value {
+    pub(crate) fn value(&self, db: &Database, r: ColRef) -> Value {
         let table = self.plan.alias_tables[r.alias];
         db.table(table).value(self.bindings[r.alias], r.col)
     }
 
-    fn resolve(&self, db: &Database, op: Operand) -> Value {
+    pub(crate) fn resolve(&self, db: &Database, op: Operand) -> Value {
         match op {
             Operand::Const(v) => v,
             Operand::Col(r) => self.value(db, r),
@@ -111,83 +113,65 @@ impl<'a> Frame<'a> {
     }
 }
 
-/// Run `plan` to completion, returning projected tuples (distinct if the
-/// plan says so, in first-encounter order).
-pub fn execute(plan: &Plan, db: &Database) -> Vec<Vec<Value>> {
-    let mut out = Vec::new();
-    // Wide projections dedup on materialized tuples; the common
-    // two-column (tid, id) projection packs into a u64 to keep the hot
-    // path allocation-free for duplicate emissions.
-    let narrow = plan.projection.len() <= 2;
-    let mut seen_narrow: HashSet<u64> = HashSet::new();
-    let mut seen_wide: HashSet<Vec<Value>> = HashSet::new();
-    let mut frame = Frame {
-        plan,
-        bindings: vec![RowId(0); plan.alias_tables.len()],
-        outer: None,
-    };
-    run(plan, db, &mut frame, 0, &mut |frame| {
-        if plan.distinct && narrow {
-            let mut packed = 0u64;
-            for &c in &plan.projection {
-                packed = (packed << 32) | frame.value(db, c) as u64;
-            }
-            if !seen_narrow.insert(packed) {
-                return true;
-            }
-            out.push(
-                plan.projection
-                    .iter()
-                    .map(|&c| frame.value(db, c))
-                    .collect(),
-            );
-            return true;
-        }
-        let tuple: Vec<Value> = plan
-            .projection
-            .iter()
-            .map(|&c| frame.value(db, c))
-            .collect();
-        if !plan.distinct || seen_wide.insert(tuple.clone()) {
-            out.push(tuple);
-        }
-        true // keep enumerating
-    });
-    out
+/// Resolve a range bound's operand, if any.
+pub(crate) fn resolve_bound(
+    frame: &Frame<'_>,
+    db: &Database,
+    b: &Option<(bool, Operand)>,
+) -> Bound<Value> {
+    match b {
+        None => Bound::Unbounded,
+        Some((true, op)) => Bound::Included(frame.resolve(db, *op)),
+        Some((false, op)) => Bound::Excluded(frame.resolve(db, *op)),
+    }
 }
 
-/// Number of (distinct) result tuples.
-pub fn count(plan: &Plan, db: &Database) -> usize {
-    execute(plan, db).len()
-}
-
-/// Depth-first join enumeration. `emit` returns `false` to stop early
-/// (existence checks).
+/// Depth-first join enumeration for correlated existence checks.
+/// `emit` returns `false` to stop early (first witness).
 fn run(
     plan: &Plan,
     db: &Database,
-    frame: &mut Frame<'_>,
+    bindings: &mut Vec<RowId>,
+    outer: Option<&Frame<'_>>,
     step_idx: usize,
     emit: &mut dyn FnMut(&Frame<'_>) -> bool,
 ) -> bool {
     // Pending subquery checks at this point in the pipeline.
     for check in &plan.checks {
-        let due =
-            check.after_step + 1 == step_idx || (step_idx == 0 && check.after_step == usize::MAX);
-        if due && !run_check(check, db, frame) {
-            return true; // prune this binding, keep enumerating
+        if check.due_at(step_idx) {
+            let frame = Frame {
+                plan,
+                bindings,
+                outer,
+            };
+            if !run_check(check, db, &frame) {
+                return true; // prune this binding, keep enumerating
+            }
         }
     }
     if step_idx == plan.steps.len() {
-        return emit(frame);
+        let frame = Frame {
+            plan,
+            bindings,
+            outer,
+        };
+        return emit(&frame);
     }
     let step = &plan.steps[step_idx];
     let table = db.table(step.table);
     match &step.access {
         AccessPath::FullScan => {
             for row in table.scan() {
-                frame.bindings[step.alias] = row;
-                if satisfies(step, db, frame) && !run(plan, db, frame, step_idx + 1, emit) {
+                bindings[step.alias] = row;
+                let ok = {
+                    let frame = Frame {
+                        plan,
+                        bindings,
+                        outer,
+                    };
+                    satisfies(step, db, &frame)
+                };
+                if ok && !run(plan, db, bindings, outer, step_idx + 1, emit) {
                     return false;
                 }
             }
@@ -197,24 +181,30 @@ fn run(
             // node relation) — resolve into a stack buffer.
             let mut key_buf = [0 as Value; 8];
             debug_assert!(eq.len() <= key_buf.len());
-            for (slot, &op) in key_buf.iter_mut().zip(eq.iter()) {
-                *slot = frame.resolve(db, op);
-            }
+            let (lo_b, hi_b) = {
+                let frame = Frame {
+                    plan,
+                    bindings,
+                    outer,
+                };
+                for (slot, &op) in key_buf.iter_mut().zip(eq.iter()) {
+                    *slot = frame.resolve(db, op);
+                }
+                (resolve_bound(&frame, db, lo), resolve_bound(&frame, db, hi))
+            };
             let keys = &key_buf[..eq.len()];
-            let lo_b = match lo {
-                None => Bound::Unbounded,
-                Some((true, op)) => Bound::Included(frame.resolve(db, *op)),
-                Some((false, op)) => Bound::Excluded(frame.resolve(db, *op)),
-            };
-            let hi_b = match hi {
-                None => Bound::Unbounded,
-                Some((true, op)) => Bound::Included(frame.resolve(db, *op)),
-                Some((false, op)) => Bound::Excluded(frame.resolve(db, *op)),
-            };
             let rows: &[RowId] = db.index(*index).range(table, keys, lo_b, hi_b);
             for &row in rows {
-                frame.bindings[step.alias] = row;
-                if satisfies(step, db, frame) && !run(plan, db, frame, step_idx + 1, emit) {
+                bindings[step.alias] = row;
+                let ok = {
+                    let frame = Frame {
+                        plan,
+                        bindings,
+                        outer,
+                    };
+                    satisfies(step, db, &frame)
+                };
+                if ok && !run(plan, db, bindings, outer, step_idx + 1, emit) {
                     return false;
                 }
             }
@@ -223,7 +213,16 @@ fn run(
     true
 }
 
-fn satisfies(step: &JoinStep, db: &Database, frame: &Frame<'_>) -> bool {
+impl SubCheck {
+    /// Is this check scheduled to run on entering pipeline position
+    /// `step_idx`? (`after_step == usize::MAX` marks uncorrelated
+    /// checks that run before the first step binds.)
+    pub(crate) fn due_at(&self, step_idx: usize) -> bool {
+        self.after_step + 1 == step_idx || (step_idx == 0 && self.after_step == usize::MAX)
+    }
+}
+
+pub(crate) fn satisfies(step: &JoinStep, db: &Database, frame: &Frame<'_>) -> bool {
     step.residual.iter().all(|c| {
         let lhs = frame.value(db, c.left);
         let rhs = frame.resolve(db, c.right);
@@ -234,14 +233,10 @@ fn satisfies(step: &JoinStep, db: &Database, frame: &Frame<'_>) -> bool {
         .all(|ic| ic.matches(frame.value(db, ic.col)))
 }
 
-fn run_check(check: &SubCheck, db: &Database, outer: &Frame<'_>) -> bool {
-    let mut inner = Frame {
-        plan: &check.plan,
-        bindings: vec![RowId(0); check.plan.alias_tables.len()],
-        outer: Some(outer),
-    };
+pub(crate) fn run_check(check: &SubCheck, db: &Database, outer: &Frame<'_>) -> bool {
+    let mut bindings = vec![RowId(0); check.plan.alias_tables.len()];
     let mut found = false;
-    run(&check.plan, db, &mut inner, 0, &mut |_| {
+    run(&check.plan, db, &mut bindings, Some(outer), 0, &mut |_| {
         found = true;
         false // stop at first witness
     });
@@ -301,6 +296,7 @@ impl fmt::Display for Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cursor::{count, execute};
     use crate::schema::{ColId, Schema};
     use crate::table::Table;
     use crate::value::Cmp;

@@ -496,8 +496,8 @@ fn build_step(
 mod tests {
     use super::*;
     use crate::catalog::TableId;
+    use crate::cursor::execute;
     use crate::expr::ColRef;
-    use crate::plan::execute;
     use crate::schema::{ColId, Schema};
     use crate::table::Table;
 

@@ -183,7 +183,7 @@ fn reference(spec: &QSpec, rows: &[[Value; NCOLS]]) -> Vec<Vec<Value>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: ProptestConfig::cases_or_env(96), ..ProptestConfig::default() })]
 
     #[test]
     fn planner_matches_brute_force(rows in arb_table(), spec in arb_spec()) {

@@ -1,5 +1,7 @@
-//! The bounded result cache: `(normalized query, shard set)` →
-//! materialized match set, invalidated by corpus generation.
+//! Bounded, generation-invalidated LRU caches: `(normalized query,
+//! shard set)` → materialized match set, and — kept separate so
+//! counting never forces (or evicts) materialized results — the same
+//! key → result *count*.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -13,24 +15,31 @@ pub type ResultSet = Vec<(u32, NodeId)>;
 /// it was evaluated over.
 pub(crate) type Key = (String, Vec<u16>);
 
-struct Entry {
+struct Entry<V> {
     generation: u64,
     stamp: u64,
-    value: Arc<ResultSet>,
+    value: V,
 }
 
 /// A bounded least-recently-used map. Entries stamped with an older
 /// corpus generation are treated as absent (and dropped on contact),
 /// so a swap or append invalidates the whole cache in O(1).
-pub(crate) struct ResultCache {
+pub(crate) struct GenCache<V> {
     capacity: usize,
     tick: u64,
-    map: HashMap<Key, Entry>,
+    map: HashMap<Key, Entry<V>>,
 }
 
-impl ResultCache {
+/// The result cache: values are shared match sets.
+pub(crate) type ResultCache = GenCache<Arc<ResultSet>>;
+
+/// The count cache: values are plain result sizes, orders of magnitude
+/// smaller than the match sets they summarize.
+pub(crate) type CountCache = GenCache<usize>;
+
+impl<V: Clone + PartialEq> GenCache<V> {
     pub fn new(capacity: usize) -> Self {
-        ResultCache {
+        GenCache {
             capacity,
             tick: 0,
             map: HashMap::new(),
@@ -42,12 +51,12 @@ impl ResultCache {
     }
 
     /// Look up `key` at `generation`, refreshing its recency.
-    pub fn get(&mut self, key: &Key, generation: u64) -> Option<Arc<ResultSet>> {
+    pub fn get(&mut self, key: &Key, generation: u64) -> Option<V> {
         match self.map.get_mut(key) {
             Some(e) if e.generation == generation => {
                 self.tick += 1;
                 e.stamp = self.tick;
-                Some(Arc::clone(&e.value))
+                Some(e.value.clone())
             }
             Some(_) => {
                 // Stale generation: drop eagerly.
@@ -59,10 +68,19 @@ impl ResultCache {
     }
 
     /// Insert, evicting the least recently used entry when full.
-    /// Capacity zero disables the cache entirely.
-    pub fn insert(&mut self, key: Key, generation: u64, value: Arc<ResultSet>) {
+    /// Capacity zero disables the cache entirely. Re-inserting a value
+    /// identical to the cached one is a no-op — no recency re-stamp,
+    /// no eviction churn (racing evaluators of the same query would
+    /// otherwise keep promoting each other's entry and evicting
+    /// innocent neighbours).
+    pub fn insert(&mut self, key: Key, generation: u64, value: V) {
         if self.capacity == 0 {
             return;
+        }
+        if let Some(e) = self.map.get(&key) {
+            if e.generation == generation && e.value == value {
+                return;
+            }
         }
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
@@ -141,5 +159,44 @@ mod tests {
         c.insert(("q".into(), vec![0, 1]), 1, set(2));
         assert_eq!(c.get(&("q".into(), vec![0]), 1).unwrap()[0].0, 1);
         assert_eq!(c.get(&("q".into(), vec![0, 1]), 1).unwrap()[0].0, 2);
+    }
+
+    #[test]
+    fn identical_reinsert_does_not_restamp() {
+        let mut c = ResultCache::new(2);
+        c.insert(key("a"), 1, set(1));
+        c.insert(key("b"), 1, set(2));
+        // Re-inserting "a"'s identical value must NOT refresh its
+        // recency: "a" (stamped first) stays the LRU victim.
+        c.insert(key("a"), 1, set(1));
+        c.insert(key("c"), 1, set(3));
+        assert!(
+            c.get(&key("a"), 1).is_none(),
+            "identical re-insert restamped"
+        );
+        assert!(c.get(&key("b"), 1).is_some());
+        assert!(c.get(&key("c"), 1).is_some());
+    }
+
+    #[test]
+    fn changed_value_reinsert_does_restamp() {
+        let mut c = ResultCache::new(2);
+        c.insert(key("a"), 1, set(1));
+        c.insert(key("b"), 1, set(2));
+        // A *different* value under the same key is a real update.
+        c.insert(key("a"), 1, set(9));
+        c.insert(key("c"), 1, set(3));
+        assert_eq!(c.get(&key("a"), 1).unwrap()[0].0, 9);
+        assert!(c.get(&key("b"), 1).is_none());
+    }
+
+    #[test]
+    fn count_cache_counts() {
+        let mut c = CountCache::new(2);
+        c.insert(key("a"), 1, 41);
+        assert_eq!(c.get(&key("a"), 1), Some(41));
+        assert_eq!(c.get(&key("a"), 2), None);
+        c.insert(key("a"), 2, 42);
+        assert_eq!(c.get(&key("a"), 2), Some(42));
     }
 }

@@ -20,7 +20,14 @@
 //!   relational translation where it exists, the full-language tree
 //!   walker otherwise.
 //! * **Result cache** — a bounded LRU from `(query, shard set)` to the
-//!   materialized match set, invalidated by corpus generation.
+//!   materialized match set, invalidated by corpus generation. Counts
+//!   are cached separately ([`Service::count`] never materializes or
+//!   evicts match sets).
+//! * **Early termination** — [`Service::exists`] stops at the first
+//!   witness, and the paged [`Service::eval_page`] visits shards in
+//!   document order and short-circuits the fan-out once the page is
+//!   covered, so first-match and page-1 latency track the *selectivity*
+//!   of a query instead of its full result size.
 //! * **Shard pruning** — each shard records which symbols occur in it;
 //!   a query whose required symbols (conservatively extracted) are
 //!   absent from a shard skips that shard outright. Rare-construct
@@ -47,9 +54,12 @@
 //!     ServiceConfig { shards: 2, ..ServiceConfig::default() },
 //! );
 //! assert_eq!(service.count("//VBD->NP").unwrap(), 1);
-//! // Second time around it's a result-cache hit.
+//! // Second time around it's a count-cache hit.
 //! assert_eq!(service.count("//VBD->NP").unwrap(), 1);
-//! assert_eq!(service.stats().result_hits, 1);
+//! assert_eq!(service.stats().count_hits, 1);
+//! // First page of matches, shard fan-out short-circuited.
+//! assert_eq!(service.eval_page("//NP", 0, 1).unwrap().len(), 1);
+//! assert!(service.exists("//VBD").unwrap());
 //! ```
 
 #![warn(missing_docs)]
@@ -68,8 +78,8 @@ use lpath_model::ptb::parse_into;
 use lpath_model::{Corpus, ModelError};
 use lpath_syntax::{parse, SyntaxError};
 
-use cache::ResultCache;
 pub use cache::ResultSet;
+use cache::{CountCache, ResultCache};
 pub use plan::{required_symbols, CompiledQuery, ExecStrategy};
 pub use shard::Shard;
 use stats::Counters;
@@ -170,6 +180,7 @@ pub struct Service {
     plans: RwLock<HashMap<String, PlanEntry>>,
     plan_tick: AtomicU64,
     results: Mutex<ResultCache>,
+    counts: Mutex<CountCache>,
     counters: Counters,
 }
 
@@ -202,6 +213,7 @@ impl Service {
             plans: RwLock::new(HashMap::new()),
             plan_tick: AtomicU64::new(0),
             results: Mutex::new(ResultCache::new(cfg.result_cache_capacity)),
+            counts: Mutex::new(CountCache::new(cfg.result_cache_capacity)),
             counters: Counters::default(),
         }
     }
@@ -334,9 +346,145 @@ impl Service {
         Ok(self.eval_compiled(&shards, generation, &compiled, &ids))
     }
 
-    /// Result size of `query` (the paper's reported measure).
+    /// Result size of `query` (the paper's reported measure). Served
+    /// from the count cache when possible; a miss counts shard by
+    /// shard — the relational path counts through the streaming
+    /// cursor without materializing a match set (walker-fallback
+    /// queries still materialize per shard), and nothing is evicted
+    /// from the (separate) result cache to make room. Counting over
+    /// trees is far cheaper than enumerating (Bárcenas et al., *On
+    /// the Count of Trees*); this path exploits exactly that gap.
     pub fn count(&self, query: &str) -> Result<usize, ServiceError> {
-        Ok(self.eval(query)?.len())
+        Counters::bump(&self.counters.queries);
+        let compiled = self.compile(query)?;
+        let (shards, generation) = self.snapshot();
+        let all: Vec<u16> = (0..shards.len() as u16).collect();
+        let key = (compiled.normalized.clone(), all);
+        if let Some(n) = self.counts.lock().unwrap().get(&key, generation) {
+            Counters::bump(&self.counters.count_hits);
+            return Ok(n);
+        }
+        Counters::bump(&self.counters.count_misses);
+        // A cached full result set answers for free. (Bind the lookup
+        // before matching: a `match` scrutinee would hold the cache
+        // lock across the whole evaluation.)
+        let cached_full = self.results.lock().unwrap().get(&key, generation);
+        let n = match cached_full {
+            Some(full) => {
+                Counters::bump(&self.counters.result_hits);
+                full.len()
+            }
+            None => {
+                let partial = fan_out(self.threads, shards.len(), |si| {
+                    let shard = &shards[si];
+                    if !shard.may_match(&compiled.required) {
+                        Counters::bump(&self.counters.shards_pruned);
+                        return 0;
+                    }
+                    Counters::bump(&self.counters.shard_evals);
+                    shard.count(&compiled)
+                });
+                partial.iter().sum()
+            }
+        };
+        self.counts.lock().unwrap().insert(key, generation, n);
+        Ok(n)
+    }
+
+    /// Does `query` match anywhere in the corpus? A cached count or
+    /// full result set answers immediately; otherwise shards are
+    /// visited in document order and the scan stops at the first
+    /// shard with a witness — within a shard, evaluation itself stops
+    /// at the first match. On selective queries over large corpora
+    /// this is orders of magnitude cheaper than any enumeration.
+    pub fn exists(&self, query: &str) -> Result<bool, ServiceError> {
+        Counters::bump(&self.counters.queries);
+        let compiled = self.compile(query)?;
+        let (shards, generation) = self.snapshot();
+        let all: Vec<u16> = (0..shards.len() as u16).collect();
+        let key = (compiled.normalized.clone(), all);
+        if let Some(n) = self.counts.lock().unwrap().get(&key, generation) {
+            Counters::bump(&self.counters.count_hits);
+            return Ok(n > 0);
+        }
+        if let Some(full) = self.results.lock().unwrap().get(&key, generation) {
+            Counters::bump(&self.counters.result_hits);
+            return Ok(!full.is_empty());
+        }
+        Ok(shards.iter().any(|shard| {
+            if !shard.may_match(&compiled.required) {
+                Counters::bump(&self.counters.shards_pruned);
+                return false;
+            }
+            Counters::bump(&self.counters.shard_evals);
+            shard.exists(&compiled)
+        }))
+    }
+
+    /// The `[offset, offset + limit)` slice of [`Service::eval`]'s
+    /// document-ordered result, with the shard fan-out short-circuited
+    /// as soon as the page is covered: shards are visited in document
+    /// order (their concatenation *is* the full result), so a page
+    /// near the front touches only a prefix of the corpus. Per-shard
+    /// result sets computed along the way are cached under their
+    /// singleton shard key, so requesting the next page resumes where
+    /// the previous one stopped paying.
+    pub fn eval_page(
+        &self,
+        query: &str,
+        offset: usize,
+        limit: usize,
+    ) -> Result<ResultSet, ServiceError> {
+        Counters::bump(&self.counters.queries);
+        Counters::bump(&self.counters.pages);
+        let compiled = self.compile(query)?;
+        let (shards, generation) = self.snapshot();
+        if limit == 0 {
+            return Ok(Vec::new());
+        }
+        // Fast path: the full result set is already cached.
+        let all: Vec<u16> = (0..shards.len() as u16).collect();
+        let full_key = (compiled.normalized.clone(), all);
+        if let Some(full) = self.results.lock().unwrap().get(&full_key, generation) {
+            Counters::bump(&self.counters.result_hits);
+            return Ok(full.iter().skip(offset).take(limit).copied().collect());
+        }
+        let need = offset.saturating_add(limit);
+        let mut acc: ResultSet = Vec::new();
+        for (si, shard) in shards.iter().enumerate() {
+            if acc.len() >= need {
+                Counters::add(
+                    &self.counters.page_shards_skipped,
+                    (shards.len() - si) as u64,
+                );
+                break;
+            }
+            if !shard.may_match(&compiled.required) {
+                Counters::bump(&self.counters.shards_pruned);
+                continue;
+            }
+            let key = (compiled.normalized.clone(), vec![si as u16]);
+            let cached = self.results.lock().unwrap().get(&key, generation);
+            let rows = match cached {
+                Some(hit) => {
+                    Counters::bump(&self.counters.result_hits);
+                    hit
+                }
+                None => {
+                    Counters::bump(&self.counters.result_misses);
+                    Counters::bump(&self.counters.shard_evals);
+                    let fresh = Arc::new(shard.eval(&compiled));
+                    self.results
+                        .lock()
+                        .unwrap()
+                        .insert(key, generation, Arc::clone(&fresh));
+                    fresh
+                }
+            };
+            acc.extend(rows.iter().copied());
+        }
+        acc.truncate(need);
+        Ok(acc.split_off(offset.min(acc.len())))
     }
 
     /// Evaluate a batch of queries, fanning `(query, shard)` tasks out
@@ -506,6 +654,7 @@ impl Service {
     fn invalidate(&self) {
         self.plans.write().unwrap().clear();
         self.results.lock().unwrap().clear();
+        self.counts.lock().unwrap().clear();
     }
 
     // -----------------------------------------------------------------
@@ -546,9 +695,13 @@ impl Service {
             result_cache_entries: self.results.lock().unwrap().len(),
             result_hits: load(&c.result_hits),
             result_misses: load(&c.result_misses),
+            count_hits: load(&c.count_hits),
+            count_misses: load(&c.count_misses),
             batch_dedup: load(&c.batch_dedup),
             queries: load(&c.queries),
             batches: load(&c.batches),
+            pages: load(&c.pages),
+            page_shards_skipped: load(&c.page_shards_skipped),
             shard_evals: load(&c.shard_evals),
             shards_pruned: load(&c.shards_pruned),
             appends: load(&c.appends),
@@ -819,6 +972,96 @@ mod tests {
         // have been pruned outright.
         assert!(stats.shards_pruned > 0, "{stats:?}");
         assert!(stats.shard_evals < 4);
+    }
+
+    #[test]
+    fn count_uses_the_count_cache_not_the_result_cache() {
+        let svc = service(2);
+        assert_eq!(svc.count("//NP").unwrap(), 5);
+        assert_eq!(svc.count("//NP").unwrap(), 5);
+        let stats = svc.stats();
+        assert_eq!(stats.count_misses, 1);
+        assert_eq!(stats.count_hits, 1);
+        // Counting never touched the result cache.
+        assert_eq!(stats.result_cache_entries, 0);
+        assert_eq!(stats.result_hits, 0);
+        // A full eval feeds later counts too... after invalidation.
+        svc.append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )")
+            .unwrap();
+        svc.eval("//NP").unwrap();
+        assert_eq!(svc.count("//NP").unwrap(), 6);
+        assert_eq!(svc.stats().count_misses, 2);
+    }
+
+    #[test]
+    fn exists_agrees_with_eval_and_prunes() {
+        let svc = service(4);
+        for q in ["//NP", "//VBD->NP", "//_[@lex=nap]", "//ZZZ", "//VP["] {
+            let want = svc.eval(q).map(|r| !r.is_empty());
+            let got = svc.exists(q);
+            match (got, want) {
+                (Ok(g), Ok(w)) => assert_eq!(g, w, "{q}"),
+                (Err(_), Err(_)) => {}
+                (g, w) => panic!("{q}: {g:?} vs {w:?}"),
+            }
+        }
+        // Walker-fallback queries too.
+        assert!(svc.exists("//VP/_[last()]").unwrap());
+    }
+
+    #[test]
+    fn exists_serves_from_the_caches() {
+        let svc = service(2);
+        assert_eq!(svc.count("//NP").unwrap(), 5);
+        let evals = svc.stats().shard_evals;
+        assert!(svc.exists("//NP").unwrap());
+        // Answered off the cached count: no new shard work.
+        assert_eq!(svc.stats().shard_evals, evals);
+        assert_eq!(svc.stats().count_hits, 1);
+        // A cached full result set answers too.
+        svc.eval("//VBD->NP").unwrap();
+        let evals = svc.stats().shard_evals;
+        assert!(svc.exists("//VBD->NP").unwrap());
+        assert_eq!(svc.stats().shard_evals, evals);
+    }
+
+    #[test]
+    fn eval_page_is_a_prefix_slice_and_short_circuits() {
+        let svc = service(5);
+        let full = svc.eval("//NP").unwrap();
+        // Evict nothing: use a fresh service so the full set is not
+        // cached and paging takes the shard-by-shard path.
+        let paged = service(5);
+        for (offset, limit) in [(0, 0), (0, 1), (0, 3), (2, 2), (4, 10), (99, 3)] {
+            let want: ResultSet = full.iter().skip(offset).take(limit).copied().collect();
+            assert_eq!(
+                paged.eval_page("//NP", offset, limit).unwrap(),
+                want,
+                "offset {offset} limit {limit}"
+            );
+        }
+        // A page-1 request over 5 shards must have skipped some.
+        let fresh = service(5);
+        fresh.eval_page("//NP", 0, 1).unwrap();
+        assert!(fresh.stats().page_shards_skipped > 0);
+        // Paging again reuses the per-shard cache entries.
+        let before = fresh.stats().result_hits;
+        fresh.eval_page("//NP", 0, 1).unwrap();
+        assert!(fresh.stats().result_hits > before);
+    }
+
+    #[test]
+    fn eval_page_serves_from_a_cached_full_result() {
+        let svc = service(3);
+        let full = svc.eval("//NP").unwrap();
+        let page = svc.eval_page("//NP", 1, 2).unwrap();
+        assert_eq!(
+            page,
+            full.iter().skip(1).take(2).copied().collect::<Vec<_>>()
+        );
+        // Served off the cached full set: no new shard evaluations.
+        let stats = svc.stats();
+        assert_eq!(stats.shard_evals, 3);
     }
 
     #[test]

@@ -114,21 +114,48 @@ impl Shard {
     /// The caller is expected to have consulted [`Shard::may_match`];
     /// evaluation is still correct without it, just slower.
     pub fn eval(&self, compiled: &CompiledQuery) -> Vec<(u32, NodeId)> {
-        let walker = || Walker::with_labels(&self.corpus, self.labels());
         let local = match compiled.strategy {
             ExecStrategy::Relational => match self.engine.query_ast(&compiled.ast) {
                 Ok(rows) => rows,
                 // The strategy was decided against an engine of the
                 // same dialect, so this arm should be unreachable;
                 // fall back to the walker rather than fail the query.
-                Err(_) => walker().eval(&compiled.ast),
+                Err(_) => self.walker().eval(&compiled.ast),
             },
-            ExecStrategy::Walker => walker().eval(&compiled.ast),
+            ExecStrategy::Walker => self.walker().eval(&compiled.ast),
         };
         local
             .into_iter()
             .map(|(tid, node)| (tid + self.base, node))
             .collect()
+    }
+
+    /// Result count on this shard, without materializing the match
+    /// set (the relational path counts through the streaming cursor).
+    pub fn count(&self, compiled: &CompiledQuery) -> usize {
+        match compiled.strategy {
+            ExecStrategy::Relational => match self.engine.count_ast(&compiled.ast) {
+                Ok(n) => n,
+                Err(_) => self.walker().count(&compiled.ast),
+            },
+            ExecStrategy::Walker => self.walker().count(&compiled.ast),
+        }
+    }
+
+    /// Does the query match anywhere on this shard? Stops at the
+    /// first witness on both execution strategies.
+    pub fn exists(&self, compiled: &CompiledQuery) -> bool {
+        match compiled.strategy {
+            ExecStrategy::Relational => match self.engine.exists_ast(&compiled.ast) {
+                Ok(found) => found,
+                Err(_) => self.walker().exists(&compiled.ast),
+            },
+            ExecStrategy::Walker => self.walker().exists(&compiled.ast),
+        }
+    }
+
+    fn walker(&self) -> Walker<'_> {
+        Walker::with_labels(&self.corpus, self.labels())
     }
 
     /// Per-shard statistics snapshot.
@@ -200,5 +227,22 @@ mod tests {
         for q in ["//NP", "//VBD->NP", "//S{/VP$}", "//_[@lex=the]"] {
             assert_eq!(shard.eval(&compiled(q)), engine.query(q).unwrap(), "{q}");
         }
+    }
+
+    #[test]
+    fn count_and_exists_agree_with_eval() {
+        let master = parse_str(SRC).unwrap();
+        let shard = Shard::build(&master, 1, 2);
+        for q in ["//NP", "//VBD->NP", "//_[@lex=saw]", "//ZZZ"] {
+            let c = compiled(q);
+            let full = shard.eval(&c);
+            assert_eq!(shard.count(&c), full.len(), "{q}");
+            assert_eq!(shard.exists(&c), !full.is_empty(), "{q}");
+        }
+        // Walker strategy too.
+        let mut c = compiled("//VP/_[last()]");
+        c.strategy = ExecStrategy::Walker;
+        assert_eq!(shard.count(&c), shard.eval(&c).len());
+        assert_eq!(shard.exists(&c), !shard.eval(&c).is_empty());
     }
 }

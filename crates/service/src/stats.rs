@@ -10,9 +10,13 @@ pub(crate) struct Counters {
     pub plan_misses: AtomicU64,
     pub result_hits: AtomicU64,
     pub result_misses: AtomicU64,
+    pub count_hits: AtomicU64,
+    pub count_misses: AtomicU64,
     pub batch_dedup: AtomicU64,
     pub queries: AtomicU64,
     pub batches: AtomicU64,
+    pub pages: AtomicU64,
+    pub page_shards_skipped: AtomicU64,
     pub shard_evals: AtomicU64,
     pub shards_pruned: AtomicU64,
     pub appends: AtomicU64,
@@ -67,6 +71,10 @@ pub struct ServiceStats {
     pub result_hits: u64,
     /// Result-cache misses (evaluations performed).
     pub result_misses: u64,
+    /// Count-cache hits (counts served without any evaluation).
+    pub count_hits: u64,
+    /// Count-cache misses (counts actually computed).
+    pub count_misses: u64,
     /// Duplicate queries within one batch served from a sibling
     /// occurrence's evaluation (neither a cache hit nor a miss).
     pub batch_dedup: u64,
@@ -74,6 +82,11 @@ pub struct ServiceStats {
     pub queries: u64,
     /// Batch calls served.
     pub batches: u64,
+    /// Paged evaluations served ([`crate::Service::eval_page`]).
+    pub pages: u64,
+    /// Shards never visited because a page filled before reaching them
+    /// (the paging short-circuit at work).
+    pub page_shards_skipped: u64,
     /// Per-shard evaluations actually executed.
     pub shard_evals: u64,
     /// Per-shard evaluations skipped by symbol-presence pruning.
@@ -96,8 +109,22 @@ impl ServiceStats {
     pub fn result_hit_rate(&self) -> f64 {
         rate(self.result_hits, self.result_misses)
     }
+
+    /// Fraction of count computations avoided by the count cache.
+    pub fn count_hit_rate(&self) -> f64 {
+        rate(self.count_hits, self.count_misses)
+    }
+
+    /// Fraction of per-shard evaluations avoided by symbol-presence
+    /// pruning.
+    pub fn prune_rate(&self) -> f64 {
+        rate(self.shards_pruned, self.shard_evals)
+    }
 }
 
+/// Hit fraction, defined as `0.0` (not NaN) when nothing was looked up
+/// yet — a freshly built service must report a finite, serializable
+/// rate.
 fn rate(hits: u64, misses: u64) -> f64 {
     let total = hits + misses;
     if total == 0 {
@@ -125,16 +152,24 @@ mod tests {
             result_cache_entries: 0,
             result_hits: 3,
             result_misses: 1,
+            count_hits: 0,
+            count_misses: 0,
             batch_dedup: 0,
             queries: 0,
             batches: 0,
+            pages: 0,
+            page_shards_skipped: 0,
             shard_evals: 0,
             shards_pruned: 0,
             appends: 0,
             swaps: 0,
             per_shard: Vec::new(),
         };
+        // Zero-lookup rates must be finite zeros, never NaN or a panic.
         assert_eq!(s.plan_hit_rate(), 0.0);
+        assert_eq!(s.count_hit_rate(), 0.0);
+        assert_eq!(s.prune_rate(), 0.0);
+        assert!(s.plan_hit_rate().is_finite());
         assert!((s.result_hit_rate() - 0.75).abs() < 1e-12);
     }
 }

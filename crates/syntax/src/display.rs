@@ -44,6 +44,20 @@ fn needs_quoting(tag: &str) -> bool {
         || tag.contains("-->")
 }
 
+/// Write a single-quoted literal, escaping embedded quote characters
+/// by doubling them (`it's` → `'it''s'`), so `parse ∘ display` stays
+/// the identity on arbitrary strings.
+fn write_quoted(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("'")?;
+    for (i, part) in s.split('\'').enumerate() {
+        if i > 0 {
+            f.write_str("''")?;
+        }
+        f.write_str(part)?;
+    }
+    f.write_str("'")
+}
+
 /// Write a literal value, quoting when the lexer would otherwise
 /// misread it (metacharacters, keywords, wildcards).
 fn write_value(f: &mut fmt::Formatter<'_>, value: &str) -> fmt::Result {
@@ -54,7 +68,7 @@ fn write_value(f: &mut fmt::Formatter<'_>, value: &str) -> fmt::Result {
         || value == "_"
         || value.contains("->");
     if quoted {
-        write!(f, "'{value}'")
+        write_quoted(f, value)
     } else {
         f.write_str(value)
     }
@@ -63,7 +77,7 @@ fn write_value(f: &mut fmt::Formatter<'_>, value: &str) -> fmt::Result {
 fn write_test(f: &mut fmt::Formatter<'_>, test: &NodeTest) -> fmt::Result {
     match test {
         NodeTest::Any => f.write_str("_"),
-        NodeTest::Tag(t) if needs_quoting(t) => write!(f, "'{t}'"),
+        NodeTest::Tag(t) if needs_quoting(t) => write_quoted(f, t),
         NodeTest::Tag(t) => f.write_str(t),
     }
 }
@@ -237,6 +251,41 @@ mod tests {
             "//X[count(//Y)>1 and contains(@lex,z) or string-length(@lex)<4]",
         ] {
             round_trip(src);
+        }
+    }
+
+    #[test]
+    fn quote_characters_round_trip() {
+        use crate::ast::{Axis, CmpOp, NodeTest, Path, Pred, Step};
+        // Through concrete syntax with doubled-quote escapes.
+        for src in [
+            "//'it''s'",
+            "//_[@lex='it''s']",
+            "//_[@lex='''']",
+            "//_[contains(@lex,'a''b')]",
+            "//_[@lex='a\"b']",
+        ] {
+            round_trip(src);
+        }
+        let ast = parse("//_[@lex='o''clock']").unwrap();
+        assert_eq!(ast.to_string(), "//_[@lex='o''clock']");
+        // Synthetic ASTs whose literals hold every nasty character mix:
+        // display must produce re-parseable text that reproduces the AST.
+        for value in ["'", "''", "it's", "a\"b'c", "'start", "end'", "\"", " "] {
+            let mut step = Step::new(Axis::Descendant, NodeTest::tag(value));
+            step.predicates.push(Pred::Cmp {
+                path: Path::relative(vec![Step::new(Axis::Attribute, NodeTest::tag("lex"))]),
+                op: CmpOp::Eq,
+                value: value.to_string(),
+            });
+            let path = Path {
+                absolute: true,
+                steps: vec![step],
+                scope: None,
+            };
+            let printed = path.to_string();
+            let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{value:?} → {printed}: {e}"));
+            assert_eq!(path, reparsed, "{value:?} → {printed}");
         }
     }
 

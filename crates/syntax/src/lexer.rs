@@ -176,17 +176,31 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SyntaxError> {
             b'\'' | b'"' => {
                 let quote = b;
                 pos += 1;
-                let body_start = pos;
-                while pos < bytes.len() && bytes[pos] != quote {
-                    pos += 1;
+                // A doubled quote inside the literal is an escaped
+                // quote character (SQL style): 'it''s' reads as it's.
+                let mut body = Vec::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => {
+                            return Err(SyntaxError::at(start, "unterminated string literal"));
+                        }
+                        Some(&c) if c == quote => {
+                            if bytes.get(pos + 1) == Some(&quote) {
+                                body.push(quote);
+                                pos += 2;
+                            } else {
+                                pos += 1; // closing quote
+                                break;
+                            }
+                        }
+                        Some(&c) => {
+                            body.push(c);
+                            pos += 1;
+                        }
+                    }
                 }
-                if pos >= bytes.len() {
-                    return Err(SyntaxError::at(start, "unterminated string literal"));
-                }
-                let s = std::str::from_utf8(&bytes[body_start..pos])
-                    .map_err(|_| SyntaxError::at(start, "invalid UTF-8 in literal"))?
-                    .to_string();
-                pos += 1; // closing quote
+                let s = String::from_utf8(body)
+                    .map_err(|_| SyntaxError::at(start, "invalid UTF-8 in literal"))?;
                 Token::Literal(s)
             }
             c if is_name_char(c) => lex_name(bytes, &mut pos)?,
@@ -347,6 +361,20 @@ mod tests {
         assert_eq!(toks("'PRP$'"), [Literal("PRP$".into())]);
         assert_eq!(toks("\"hello world\""), [Literal("hello world".into())]);
         assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn doubled_quotes_escape_the_quote_character() {
+        assert_eq!(toks("'it''s'"), [Literal("it's".into())]);
+        assert_eq!(toks("\"say \"\"hi\"\"\""), [Literal("say \"hi\"".into())]);
+        // The other quote character needs no escape.
+        assert_eq!(toks("'a\"b'"), [Literal("a\"b".into())]);
+        assert_eq!(toks("\"a'b\""), [Literal("a'b".into())]);
+        // An escaped quote at the very end, and the empty literal.
+        assert_eq!(toks("''''"), [Literal("'".into())]);
+        assert_eq!(toks("''"), [Literal(String::new())]);
+        // A dangling doubled quote is still unterminated.
+        assert!(tokenize("'oops''").is_err());
     }
 
     #[test]

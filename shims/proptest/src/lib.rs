@@ -3,7 +3,7 @@
 //!
 //! The build environment has no crates registry, so this crate
 //! reimplements the subset of proptest the workspace's property tests
-//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! use: the [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
 //! `boxed`, strategies for ranges, tuples, arrays, collections,
 //! weighted booleans and options, regex-shaped string patterns, the
 //! [`prop_oneof!`] union, `any::<T>()`, and the [`proptest!`] /
@@ -32,10 +32,25 @@ pub mod test_runner {
         pub max_shrink_iters: u32,
     }
 
+    impl Config {
+        /// The `PROPTEST_CASES` environment variable when set, else
+        /// `default_cases` — for tests that pin a non-default baseline
+        /// but should still honor the deep-sweep override.
+        pub fn cases_or_env(default_cases: u32) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_cases)
+        }
+    }
+
     impl Default for Config {
+        /// 256 cases, overridable through the `PROPTEST_CASES`
+        /// environment variable (matching real proptest, so CI can run
+        /// a deeper sweep without touching test code).
         fn default() -> Self {
             Config {
-                cases: 256,
+                cases: Config::cases_or_env(256),
                 max_shrink_iters: 0,
             }
         }
@@ -222,7 +237,7 @@ pub mod strategy {
         }
     }
 
-    /// Weighted choice between boxed strategies ([`prop_oneof!`]).
+    /// Weighted choice between boxed strategies (the `prop_oneof!` macro).
     pub struct Union<V> {
         variants: Vec<(u32, BoxedStrategy<V>)>,
         total: u64,
@@ -362,7 +377,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

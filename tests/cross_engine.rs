@@ -129,6 +129,124 @@ fn function_library_agrees_across_dialects_and_labelings() {
 }
 
 #[test]
+fn early_termination_matches_full_enumeration_on_all_23_queries() {
+    // Acceptance: exists / limit / paged results must be byte-identical
+    // to prefixes of the full enumeration, on every evaluation query,
+    // for walker, engine and service alike.
+    let corpus = generate(&GenConfig::wsj(120));
+    let engine = Engine::build(&corpus);
+    let walker = Walker::new(&corpus);
+    let service = Service::with_config(
+        &corpus,
+        ServiceConfig {
+            shards: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    for q in QUERIES {
+        let ast = parse(q.lpath).unwrap();
+        let full = engine.query(q.lpath).unwrap();
+        assert_eq!(
+            engine.exists(q.lpath).unwrap(),
+            !full.is_empty(),
+            "Q{}",
+            q.id
+        );
+        assert_eq!(walker.exists(&ast), !full.is_empty(), "Q{}", q.id);
+        assert_eq!(
+            service.exists(q.lpath).unwrap(),
+            !full.is_empty(),
+            "Q{}",
+            q.id
+        );
+        assert_eq!(engine.count(q.lpath).unwrap(), full.len(), "Q{}", q.id);
+        assert_eq!(service.count(q.lpath).unwrap(), full.len(), "Q{}", q.id);
+        let mut streamed: Vec<(u32, NodeId)> = engine.matches(q.lpath).unwrap().collect();
+        streamed.sort_unstable();
+        assert_eq!(streamed, full, "Q{} streamed", q.id);
+        for (offset, limit) in [(0, 1), (0, 10), (5, 5), (full.len(), 4), (0, usize::MAX)] {
+            let want: Vec<(u32, NodeId)> = full.iter().skip(offset).take(limit).copied().collect();
+            assert_eq!(
+                engine.query_limit(q.lpath, offset, limit).unwrap(),
+                want,
+                "Q{} engine page {offset}/{limit}",
+                q.id
+            );
+            assert_eq!(
+                walker.eval_limit(&ast, offset, limit),
+                want,
+                "Q{} walker page {offset}/{limit}",
+                q.id
+            );
+            assert_eq!(
+                service.eval_page(q.lpath, offset, limit).unwrap(),
+                want,
+                "Q{} service page {offset}/{limit}",
+                q.id
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_inputs_agree_across_early_exit_paths() {
+    // Empty corpus: every layer must answer "nothing", not panic.
+    let empty = parse_str("").unwrap();
+    let engine = Engine::build(&empty);
+    let walker = Walker::new(&empty);
+    let service = Service::with_config(
+        &empty,
+        ServiceConfig {
+            shards: 3,
+            ..ServiceConfig::default()
+        },
+    );
+    let nothing: Vec<(u32, NodeId)> = Vec::new();
+    for q in ["//NP", "//_", "//NP[not(//JJ)]"] {
+        let ast = parse(q).unwrap();
+        assert!(!engine.exists(q).unwrap(), "{q}");
+        assert!(!walker.exists(&ast), "{q}");
+        assert!(!service.exists(q).unwrap(), "{q}");
+        assert_eq!(engine.query(q).unwrap(), nothing, "{q}");
+        assert_eq!(engine.query_limit(q, 0, 10).unwrap(), nothing, "{q}");
+        assert_eq!(walker.eval_limit(&ast, 0, 10), nothing, "{q}");
+        assert_eq!(service.eval_page(q, 0, 10).unwrap(), nothing, "{q}");
+        assert_eq!(engine.count(q).unwrap(), 0, "{q}");
+        assert_eq!(service.count(q).unwrap(), 0, "{q}");
+        // More worker threads than trees (zero trees!) must clamp.
+        assert_eq!(walker.eval_parallel(&ast, 64), nothing, "{q}");
+    }
+
+    // A tiny corpus: threads far beyond the tree count, limit 0, and
+    // offsets past the end, asserted equal across all three layers.
+    let tiny = generate(&GenConfig::wsj(3));
+    let engine = Engine::build(&tiny);
+    let walker = Walker::new(&tiny);
+    let service = Service::with_config(
+        &tiny,
+        ServiceConfig {
+            shards: 8, // more shards than trees
+            ..ServiceConfig::default()
+        },
+    );
+    for q in ["//NP", "//DT", "//ZZZ-UNSEEN"] {
+        let ast = parse(q).unwrap();
+        let full = engine.query(q).unwrap();
+        assert_eq!(walker.eval_parallel(&ast, 1024), full, "{q} threads>trees");
+        assert_eq!(walker.count_parallel(&ast, 1024), full.len(), "{q}");
+        // limit = 0 is the empty page everywhere.
+        assert_eq!(engine.query_limit(q, 0, 0).unwrap(), nothing, "{q}");
+        assert_eq!(walker.eval_limit(&ast, 0, 0), nothing, "{q}");
+        assert_eq!(service.eval_page(q, 0, 0).unwrap(), nothing, "{q}");
+        // Offset past the end is the empty page everywhere.
+        let past = full.len() + 100;
+        assert_eq!(engine.query_limit(q, past, 5).unwrap(), nothing, "{q}");
+        assert_eq!(walker.eval_limit(&ast, past, 5), nothing, "{q}");
+        assert_eq!(service.eval_page(q, past, 5).unwrap(), nothing, "{q}");
+    }
+}
+
+#[test]
 fn counts_scale_linearly_under_replication() {
     // The paper's §5.3 replication methodology: per-tree queries scale
     // exactly linearly because every copy contributes the same matches.

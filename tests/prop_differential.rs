@@ -198,7 +198,7 @@ fn arb_query() -> impl Strategy<Value = Path> {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 64,
+        cases: ProptestConfig::cases_or_env(64),
         ..ProptestConfig::default()
     })]
 

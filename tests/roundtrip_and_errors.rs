@@ -130,3 +130,82 @@ fn display_round_trip_on_evaluation_queries() {
         assert_eq!(ast, reparsed, "Q{}: {} → {}", q.id, q.lpath, printed);
     }
 }
+
+mod literal_roundtrip_properties {
+    //! Print→parse round-trips for string literals holding arbitrary
+    //! characters — most importantly the quote characters themselves,
+    //! which the printer escapes by doubling.
+
+    use lpath::syntax::{parse, Axis, CmpOp, NodeTest, Path, Pred, Step, StrFunc};
+    use proptest::prelude::*;
+
+    /// Strings over an alphabet that stresses the lexer: quotes of
+    /// both kinds, metacharacters, spaces, names.
+    fn arb_literal() -> impl Strategy<Value = String> {
+        prop::collection::vec(
+            prop_oneof![
+                Just('\''),
+                Just('"'),
+                Just('a'),
+                Just('B'),
+                Just('-'),
+                Just('_'),
+                Just(' '),
+                Just('$'),
+                Just('>'),
+                Just('['),
+            ],
+            0..8,
+        )
+        .prop_map(|cs| cs.into_iter().collect())
+    }
+
+    fn attr_path() -> Path {
+        Path::relative(vec![Step::new(Axis::Attribute, NodeTest::tag("lex"))])
+    }
+
+    proptest! {
+        #[test]
+        fn value_literals_round_trip(value in arb_literal()) {
+            let mut step = Step::new(Axis::Descendant, NodeTest::Any);
+            step.predicates.push(Pred::Cmp {
+                path: attr_path(),
+                op: CmpOp::Eq,
+                value: value.clone(),
+            });
+            let path = Path { absolute: true, steps: vec![step], scope: None };
+            let printed = path.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("{value:?} printed as {printed}: {e}"));
+            prop_assert_eq!(&path, &reparsed, "{:?} -> {}", value, printed);
+        }
+
+        #[test]
+        fn tag_literals_round_trip(tag in arb_literal()) {
+            let path = Path {
+                absolute: true,
+                steps: vec![Step::new(Axis::Descendant, NodeTest::tag(tag.clone()))],
+                scope: None,
+            };
+            let printed = path.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("{tag:?} printed as {printed}: {e}"));
+            prop_assert_eq!(&path, &reparsed, "{:?} -> {}", tag, printed);
+        }
+
+        #[test]
+        fn string_function_arguments_round_trip(arg in arb_literal()) {
+            let mut step = Step::new(Axis::Descendant, NodeTest::Any);
+            step.predicates.push(Pred::StrCmp {
+                func: StrFunc::Contains,
+                path: attr_path(),
+                arg: arg.clone(),
+            });
+            let path = Path { absolute: true, steps: vec![step], scope: None };
+            let printed = path.to_string();
+            let reparsed = parse(&printed)
+                .unwrap_or_else(|e| panic!("{arg:?} printed as {printed}: {e}"));
+            prop_assert_eq!(&path, &reparsed, "{:?} -> {}", arg, printed);
+        }
+    }
+}

@@ -117,6 +117,71 @@ fn walker_fallback_queries_agree_with_the_walker() {
 }
 
 #[test]
+fn paged_and_existence_results_survive_appends_and_fallback() {
+    // Pages, counts and existence checks must stay prefix-exact across
+    // corpus generations (append invalidates both caches) and on
+    // walker-fallback queries.
+    let base = generate(&GenConfig::wsj(60));
+    let extra = generate(&GenConfig::wsj(20).with_seed(7));
+    let combined = parse_str(&format!(
+        "{}\n{}",
+        base.to_ptb_string(),
+        extra.to_ptb_string()
+    ))
+    .unwrap();
+    let service = Service::with_config(
+        &base,
+        ServiceConfig {
+            shards: 4,
+            ..ServiceConfig::default()
+        },
+    );
+    let check = |label: &str, master: &Corpus| {
+        let engine = Engine::build(master);
+        let walker = Walker::new(master);
+        for q in QUERIES {
+            let full = engine.query(q.lpath).unwrap();
+            assert_eq!(
+                service.count(q.lpath).unwrap(),
+                full.len(),
+                "{label} Q{} count",
+                q.id
+            );
+            assert_eq!(
+                service.exists(q.lpath).unwrap(),
+                !full.is_empty(),
+                "{label} Q{} exists",
+                q.id
+            );
+            for (offset, limit) in [(0, 7), (2, 3)] {
+                let want: Vec<(u32, NodeId)> =
+                    full.iter().skip(offset).take(limit).copied().collect();
+                assert_eq!(
+                    service.eval_page(q.lpath, offset, limit).unwrap(),
+                    want,
+                    "{label} Q{} page {offset}/{limit}",
+                    q.id
+                );
+            }
+        }
+        // Walker-fallback queries page identically too.
+        for q in EXTENDED_QUERIES.iter().filter(|q| !q.sql_supported) {
+            let full = walker.eval(&parse(q.lpath).unwrap());
+            let want: Vec<(u32, NodeId)> = full.iter().take(5).copied().collect();
+            assert_eq!(
+                service.eval_page(q.lpath, 0, 5).unwrap(),
+                want,
+                "{label} E{} fallback page",
+                q.id
+            );
+        }
+    };
+    check("gen0", &base);
+    service.append_ptb(&extra.to_ptb_string()).unwrap();
+    check("gen1", &combined);
+}
+
+#[test]
 fn incremental_append_matches_fresh_service() {
     // Grow a service tree-batch by tree-batch; answers must always
     // equal a service (and engine) built fresh over the same trees.
