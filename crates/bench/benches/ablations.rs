@@ -30,6 +30,7 @@ fn join_order(c: &mut Criterion) {
         &corpus,
         PlannerConfig {
             order: JoinOrder::Syntactic,
+            ..Default::default()
         },
     );
     let mut group = c.benchmark_group("ablation_join_order");

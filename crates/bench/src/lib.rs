@@ -16,13 +16,20 @@
 
 #![warn(missing_docs)]
 
+// The cross-dialect query alignment is shared with the repository's
+// integration tests — one fixture, consumed from both compilation
+// contexts.
+#[path = "../../../tests/fixtures/mod.rs"]
+pub mod fixtures;
+
 use std::time::{Duration, Instant};
 
-use lpath_core::{Engine, QUERIES};
-use lpath_corpussearch::{CsEngine, CS_QUERIES};
+use fixtures::eval_case;
+use lpath_core::Engine;
+use lpath_corpussearch::CsEngine;
 use lpath_model::{generate, Corpus, GenConfig};
-use lpath_tgrep::{TgrepEngine, TGREP_QUERIES};
-use lpath_xpath::{XPathEngine, XPATH_QUERIES};
+use lpath_tgrep::TgrepEngine;
+use lpath_xpath::XPathEngine;
 
 /// WSJ sentences at the default benchmark scale.
 pub fn default_wsj_sentences() -> usize {
@@ -73,11 +80,11 @@ impl<'c> Engines<'c> {
     /// Run query `id` (1-based) on every engine, returning
     /// (lpath, tgrep, corpussearch) counts — they must agree.
     pub fn counts(&self, id: usize) -> (usize, usize, usize) {
-        let i = id - 1;
+        let case = eval_case(id);
         (
-            self.lpath.count(QUERIES[i].lpath).expect("lpath query"),
-            self.tgrep.count(TGREP_QUERIES[i]).expect("tgrep query"),
-            self.cs.count(CS_QUERIES[i]).expect("cs query"),
+            self.lpath.count(case.lpath).expect("lpath query"),
+            self.tgrep.count(case.tgrep).expect("tgrep query"),
+            self.cs.count(case.cs).expect("cs query"),
         )
     }
 }
@@ -119,23 +126,22 @@ pub struct QueryTiming {
 
 /// Time all 23 queries on all three engines (Figures 7/8 rows).
 pub fn figure7_rows(engines: &Engines<'_>) -> Vec<QueryTiming> {
-    QUERIES
+    fixtures::eval_cases()
         .iter()
-        .map(|q| {
-            let i = q.id - 1;
-            let (n1, n2, n3) = engines.counts(q.id);
-            assert_eq!(n1, n2, "Q{} lpath vs tgrep", q.id);
-            assert_eq!(n1, n3, "Q{} lpath vs corpussearch", q.id);
+        .map(|case| {
+            let (n1, n2, n3) = engines.counts(case.id);
+            assert_eq!(n1, n2, "Q{} lpath vs tgrep", case.id);
+            assert_eq!(n1, n3, "Q{} lpath vs corpussearch", case.id);
             QueryTiming {
-                id: q.id,
+                id: case.id,
                 lpath: time7(|| {
-                    engines.lpath.count(q.lpath).unwrap();
+                    engines.lpath.count(case.lpath).unwrap();
                 }),
                 tgrep: time7(|| {
-                    engines.tgrep.count(TGREP_QUERIES[i]).unwrap();
+                    engines.tgrep.count(case.tgrep).unwrap();
                 }),
                 cs: time7(|| {
-                    engines.cs.count(CS_QUERIES[i]).unwrap();
+                    engines.cs.count(case.cs).unwrap();
                 }),
                 result_size: n1,
             }
@@ -157,10 +163,10 @@ pub struct LabelingTiming {
 pub fn figure10_rows(corpus: &Corpus) -> Vec<LabelingTiming> {
     let lp = Engine::build(corpus);
     let xp = XPathEngine::build(corpus);
-    XPATH_QUERIES
+    fixtures::eval_cases()
         .iter()
-        .map(|&(id, xq)| {
-            let lq = lpath_core::queryset::by_id(id).lpath;
+        .filter_map(|case| case.xpath.map(|xq| (case.id, case.lpath, xq)))
+        .map(|(id, lq, xq)| {
             let a = lp.count(lq).unwrap();
             let b = xp.count(xq).unwrap();
             assert_eq!(a, b, "Q{id} labeling schemes disagree");
@@ -180,6 +186,7 @@ pub fn figure10_rows(corpus: &Corpus) -> Vec<LabelingTiming> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lpath_core::QUERIES;
 
     #[test]
     fn engines_bundle_agrees_on_a_tiny_corpus() {

@@ -10,7 +10,8 @@
 
 use lpath_model::{label_tree, Corpus, Interner, NodeId};
 use lpath_relstore::{
-    self as rel, Cmp, ColRef, Cond, Database, PlannerConfig, Schema, Table, TableId, Value, NULL,
+    self as rel, Cmp, ColRef, Cond, Database, OptGoal, PlannerConfig, Schema, Table, TableId,
+    Value, NULL,
 };
 use lpath_syntax::{parse, Path, SyntaxError};
 
@@ -262,13 +263,18 @@ impl Engine {
 
     /// The `[offset, offset + limit)` slice of [`Engine::query`]'s
     /// document-ordered result, computed with early termination:
-    /// the corpus is evaluated in geometrically growing tree-id
-    /// ranges (a `tid` range filter pushed onto the plan's first join
-    /// step), each range's matches sorted and appended — ranges
-    /// partition the corpus, so concatenation *is* document order —
-    /// until the page is covered. Dense queries touch only a prefix
-    /// of the corpus; the worst case degrades to one extra pass over
-    /// the first step's candidates per range.
+    /// the corpus is evaluated in tree-id ranges, each range's matches
+    /// sorted and appended — ranges partition the corpus, so
+    /// concatenation *is* document order — until the page is covered.
+    ///
+    /// The limit is pushed all the way down: the plan is re-planned
+    /// with [`OptGoal::FirstRows`] (startup-cost join order), the
+    /// initial range is sized from the planner's selectivity estimate
+    /// so the expected number of rounds is ~1 for dense *and* sparse
+    /// queries, and the range bounds become **index range bounds** on
+    /// the first join step whenever its access path's next key column
+    /// is `tid` — each round then touches only its slice of the
+    /// anchor's candidates instead of rescanning them all.
     pub fn query_limit(
         &self,
         query: &str,
@@ -286,10 +292,35 @@ impl Engine {
         offset: usize,
         limit: usize,
     ) -> Result<Vec<(u32, NodeId)>, EngineError> {
-        let plan = self.plan_ast(ast)?;
+        let need = offset.saturating_add(limit).max(1);
+        self.query_limit_with(ast, offset, limit, OptGoal::FirstRows(need))
+    }
+
+    /// [`Engine::query_limit_ast`] with an explicit optimization goal —
+    /// the A/B switch of the `page` benchmark. [`OptGoal::AllRows`]
+    /// reproduces the pre-limit-aware behavior exactly (the plan the
+    /// engine uses for full enumeration, a fixed initial span of 8
+    /// trees doubling per round, range bounds as residual filters);
+    /// [`OptGoal::FirstRows`] is the limit-aware path described on
+    /// [`Engine::query_limit`]. Both return identical pages.
+    pub fn query_limit_with(
+        &self,
+        ast: &Path,
+        offset: usize,
+        limit: usize,
+        goal: OptGoal,
+    ) -> Result<Vec<(u32, NodeId)>, EngineError> {
+        let cfg = PlannerConfig {
+            order: self.planner.order,
+            goal,
+        };
+        let cq = self.translate(ast)?;
         if limit == 0 {
+            // Untranslatable queries still error above; translatable
+            // ones skip planning for the empty page.
             return Ok(Vec::new());
         }
+        let plan = rel::plan(&self.db, &cq, &cfg);
         let need = offset.saturating_add(limit);
         if plan.steps.is_empty() {
             // No join step to push the range filter onto (cannot
@@ -299,28 +330,97 @@ impl Engine {
             all.truncate(need);
             return Ok(all.split_off(offset.min(all.len())));
         }
-        let tid = self.cols.col(NCol::Tid);
+        let adaptive = !matches!(goal, OptGoal::AllRows);
         let mut out: Vec<(u32, NodeId)> = Vec::new();
         let mut lo = 0usize;
-        let mut span = 8usize;
+        let mut span = if adaptive {
+            initial_span(need, plan.estimated_result, self.ntrees)
+        } else {
+            8
+        };
         while lo < self.ntrees && out.len() < need {
             let hi = lo.saturating_add(span).min(self.ntrees);
             let mut ranged = plan.clone();
-            let step = &mut ranged.steps[0];
-            let anchor = ColRef::new(step.alias, tid);
-            step.residual
-                .push(Cond::against_const(anchor, Cmp::Ge, lo as Value));
-            step.residual
-                .push(Cond::against_const(anchor, Cmp::Lt, hi as Value));
+            self.push_tid_range(&mut ranged, lo as Value, hi as Value, adaptive);
             let mut chunk = rows_to_matches(rel::execute(&ranged, &self.db));
             chunk.sort_unstable();
             out.extend(chunk);
             lo = hi;
-            span = span.saturating_mul(2);
+            span = if adaptive {
+                next_span(out.len(), lo, need, self.ntrees)
+            } else {
+                span.saturating_mul(2)
+            };
         }
         out.truncate(need);
         Ok(out.split_off(offset.min(out.len())))
     }
+
+    /// Constrain the plan's first join step to anchor rows with
+    /// `lo <= tid < hi`. When `into_index` and the step probes an index
+    /// whose key column right after the equality prefix is `tid` (the
+    /// clustered `name`-led index, `value_tid_id`, …), the bounds become
+    /// index range bounds — the probe itself skips every other tree.
+    /// Otherwise (full scans, exhausted keys, pre-existing bounds) they
+    /// fall back to residual filters, which is always correct.
+    fn push_tid_range(&self, plan: &mut rel::Plan, lo: Value, hi: Value, into_index: bool) {
+        let tid = self.cols.col(NCol::Tid);
+        let step = &mut plan.steps[0];
+        if into_index {
+            if let rel::AccessPath::IndexRange {
+                index,
+                eq,
+                lo: plo,
+                hi: phi,
+            } = &mut step.access
+            {
+                if plo.is_none()
+                    && phi.is_none()
+                    && self.db.index(*index).key().get(eq.len()) == Some(&tid)
+                {
+                    *plo = Some((true, rel::Operand::Const(lo)));
+                    *phi = Some((false, rel::Operand::Const(hi)));
+                    return;
+                }
+            }
+        }
+        let anchor = ColRef::new(step.alias, tid);
+        step.residual.push(Cond::against_const(anchor, Cmp::Ge, lo));
+        step.residual.push(Cond::against_const(anchor, Cmp::Lt, hi));
+    }
+}
+
+/// First tree-id span of the adaptive chunk schedule: the number of
+/// trees expected to hold `need` matches (from the planner's result
+/// estimate), doubled for slack. An estimate of zero means "probably
+/// nothing anywhere" — cover the whole corpus in one round instead of
+/// crawling through O(log n) empty rounds.
+fn initial_span(need: usize, estimated_result: usize, ntrees: usize) -> usize {
+    if estimated_result == 0 {
+        return ntrees.max(1);
+    }
+    let trees = need.saturating_mul(ntrees) / estimated_result;
+    trees
+        .saturating_add(1)
+        .saturating_mul(2)
+        .clamp(1, ntrees.max(1))
+}
+
+/// Span of the next round, re-estimated from the density observed so
+/// far: `found` matches over `scanned` trees leaves `need - found` to
+/// cover, again doubled for slack. A round that found nothing means the
+/// estimate was wrong — finish the corpus in one go. Growth is clamped
+/// below by the trees already scanned, so even an adversarial corpus
+/// sees O(log n) rounds.
+fn next_span(found: usize, scanned: usize, need: usize, ntrees: usize) -> usize {
+    let remaining = ntrees.saturating_sub(scanned);
+    if found == 0 {
+        return remaining.max(1);
+    }
+    let predicted = need.saturating_sub(found).saturating_mul(scanned) / found;
+    // The caller clamps `lo + span` to the corpus, so only the lower
+    // bound matters here.
+    predicted.saturating_add(1).saturating_mul(2).max(scanned)
 }
 
 /// Convert relational `(tid, id)` rows to `(tree index, node)` matches.
@@ -495,6 +595,7 @@ mod tests {
             &corpus,
             PlannerConfig {
                 order: rel::JoinOrder::Syntactic,
+                ..Default::default()
             },
         );
         for q in ["//V->NP", "//VP{/NP$}", "//S[//NP/PP]", "//NP[not(//Det)]"] {
@@ -566,6 +667,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn query_limit_goals_agree_and_push_ranges_into_the_index() {
+        let src: String = std::iter::repeat_n(FIG1, 30).collect::<Vec<_>>().join("\n");
+        let corpus = parse_str(&src).unwrap();
+        let e = Engine::build(&corpus);
+        for q in ["//NP", "//V->NP", "//NP[not(//Det)]", "//_", "//ZZZ"] {
+            let ast = lpath_syntax::parse(q).unwrap();
+            let full = e.query(q).unwrap();
+            for (offset, limit) in [(0, 1), (0, 10), (3, 4), (full.len(), 2), (0, usize::MAX)] {
+                let want: Vec<(u32, NodeId)> =
+                    full.iter().skip(offset).take(limit).copied().collect();
+                for goal in [
+                    OptGoal::AllRows,
+                    OptGoal::FirstRows(offset.saturating_add(limit)),
+                    OptGoal::FirstRows(1),
+                ] {
+                    assert_eq!(
+                        e.query_limit_with(&ast, offset, limit, goal).unwrap(),
+                        want,
+                        "{q} offset {offset} limit {limit} goal {goal:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tid_bounds_become_index_bounds_on_name_anchored_plans() {
+        let e = engine();
+        let ast = lpath_syntax::parse("//NP").unwrap();
+        let cq = e.translate(&ast).unwrap();
+        let mut plan = rel::plan(
+            &e.db,
+            &cq,
+            &PlannerConfig {
+                goal: OptGoal::FirstRows(1),
+                ..Default::default()
+            },
+        );
+        e.push_tid_range(&mut plan, 0, 1, true);
+        // The clustered index is keyed (name, tid, …): the bounds must
+        // have landed on the index probe, not the residual.
+        let rel::AccessPath::IndexRange { lo, hi, .. } = &plan.steps[0].access else {
+            panic!("expected an index probe: {plan}");
+        };
+        assert!(lo.is_some() && hi.is_some(), "{plan}");
+        assert_eq!(plan.steps[0].residual.len(), 0, "{plan}");
+        // The legacy (AllRows) path keeps bounds as residual filters.
+        let cq = e.translate(&ast).unwrap();
+        let mut plan = rel::plan(&e.db, &cq, &PlannerConfig::default());
+        let residual_before = plan.steps[0].residual.len();
+        e.push_tid_range(&mut plan, 0, 1, false);
+        assert_eq!(plan.steps[0].residual.len(), residual_before + 2);
+    }
+
+    #[test]
+    fn adaptive_spans_cover_dense_and_sparse_in_one_round() {
+        // Dense: plenty of matches per tree — the span stays small.
+        assert!(initial_span(10, 1_000, 100) <= 4);
+        // Sparse: few matches corpus-wide — the span covers most of
+        // the corpus at once.
+        assert!(initial_span(10, 2, 100) >= 100);
+        // Nothing expected at all: one round over everything.
+        assert_eq!(initial_span(10, 0, 100), 100);
+        assert_eq!(initial_span(5, 7, 0), 1);
+        // Next rounds extrapolate the observed density...
+        assert!(next_span(5, 10, 10, 1_000) >= 10);
+        // ...and a dry round finishes the corpus.
+        assert_eq!(next_span(0, 10, 10, 1_000), 990);
     }
 
     #[test]

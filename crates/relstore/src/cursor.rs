@@ -361,6 +361,7 @@ mod tests {
             checks: vec![],
             projection,
             distinct,
+            ..Plan::default()
         }
     }
 
@@ -394,6 +395,7 @@ mod tests {
             checks: vec![],
             projection: vec![ColRef::new(0, VAL), ColRef::new(1, VAL)],
             distinct: false,
+            ..Plan::default()
         };
         let full = execute(&plan, &db);
         let streamed: Vec<Vec<Value>> = Cursor::new(&plan, &db).collect();

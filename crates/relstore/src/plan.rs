@@ -82,6 +82,18 @@ pub struct Plan {
     pub projection: Vec<ColRef>,
     /// Deduplicate output tuples.
     pub distinct: bool,
+    /// Planner estimate of the cost (candidate rows × probes) to
+    /// produce the *first* output tuple; includes a constant penalty
+    /// for plans whose anchor is not the output alias, whose pages must
+    /// be materialized and sorted chunk-wise. Zero for hand-built
+    /// plans.
+    pub estimated_startup: usize,
+    /// Planner estimate of the total enumeration cost (intermediate
+    /// tuples summed over the pipeline). Zero for hand-built plans.
+    pub estimated_total: usize,
+    /// Planner estimate of the result cardinality (the smallest alias
+    /// input — joins only filter). Zero for hand-built plans.
+    pub estimated_result: usize,
 }
 
 /// Execution context *view*: the bindings of one plan level plus a link
@@ -289,6 +301,13 @@ impl fmt::Display for Plan {
                 c.plan.steps.len()
             )?;
         }
+        if self.estimated_total > 0 {
+            writeln!(
+                f,
+                "estimates: startup {}, total {}, result {}",
+                self.estimated_startup, self.estimated_total, self.estimated_result
+            )?;
+        }
         Ok(())
     }
 }
@@ -337,6 +356,7 @@ mod tests {
             checks: vec![],
             projection: vec![ColRef::new(0, VAL)],
             distinct: false,
+            ..Plan::default()
         };
         assert_eq!(execute(&plan, &db), [[11], [12]]);
     }
@@ -377,6 +397,7 @@ mod tests {
             checks: vec![],
             projection: vec![ColRef::new(0, VAL), ColRef::new(1, VAL)],
             distinct: false,
+            ..Plan::default()
         };
         assert_eq!(execute(&plan, &db), [[10, 11], [10, 12], [11, 12]]);
     }
@@ -396,6 +417,7 @@ mod tests {
             checks: vec![],
             projection: vec![ColRef::new(0, VAL)],
             distinct: false,
+            ..Plan::default()
         };
         assert_eq!(execute(&plan, &db), [[20], [21], [30]]);
     }
@@ -415,6 +437,7 @@ mod tests {
             checks: vec![],
             projection: vec![ColRef::new(0, GRP)],
             distinct: true,
+            ..Plan::default()
         };
         assert_eq!(execute(&plan, &db), [[1], [2], [3]]);
         assert_eq!(count(&plan, &db), 3);
@@ -441,6 +464,7 @@ mod tests {
             checks: vec![],
             projection: vec![],
             distinct: false,
+            ..Plan::default()
         };
         let mk = |negated: bool| Plan {
             alias_tables: vec![tid],
@@ -458,6 +482,7 @@ mod tests {
             }],
             projection: vec![ColRef::new(0, GRP)],
             distinct: true,
+            ..Plan::default()
         };
         assert_eq!(execute(&mk(false), &db), [[1], [2], [3]]);
         let empty: Vec<Vec<Value>> = vec![];
@@ -481,6 +506,7 @@ mod tests {
             checks: vec![],
             projection: vec![],
             distinct: false,
+            ..Plan::default()
         };
         let mut with = mk(false);
         with.checks[0].plan = sub25.clone();
@@ -511,6 +537,7 @@ mod tests {
             checks: vec![],
             projection: vec![],
             distinct: false,
+            ..Plan::default()
         };
         let s = plan.to_string();
         assert!(s.contains("index #0 eq [1] <= 5"), "{s}");

@@ -42,11 +42,35 @@ pub enum JoinOrder {
     Syntactic,
 }
 
+/// What the plan should optimize for.
+///
+/// `AllRows` is the classical objective: the cheapest *complete*
+/// enumeration, which the greedy order approximates by binding the
+/// smallest estimated input first. `FirstRows(k)` instead minimizes the
+/// estimated cost of the first `k` output tuples — the objective of an
+/// interactive, page-1-dominated workload. A first-rows plan prefers to
+/// anchor the pipeline on the **output alias** when that is
+/// competitive: scanning the output alias in index (document) order
+/// means tuples emerge roughly in document order, so a paged executor
+/// can stop after a bounded prefix instead of enumerating and sorting
+/// everything. Both goals produce plans with identical result sets —
+/// only cost (and emission order) may differ.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum OptGoal {
+    /// Minimize estimated total enumeration cost (the default).
+    #[default]
+    AllRows,
+    /// Minimize the estimated cost of the first `k` tuples.
+    FirstRows(usize),
+}
+
 /// Planner configuration.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct PlannerConfig {
     /// Join-order policy.
     pub order: JoinOrder,
+    /// Optimization goal (all rows vs first rows).
+    pub goal: OptGoal,
 }
 
 /// Union-find over `(alias, column)` pairs, built from `Eq`
@@ -140,10 +164,19 @@ impl EqClasses {
 /// Compile `q` against `db`.
 pub fn plan(db: &Database, q: &ConjQuery, cfg: &PlannerConfig) -> Plan {
     let classes = EqClasses::build(q);
+    let est: Vec<usize> = (0..q.aliases.len()).map(|a| estimate(db, q, a)).collect();
     let order = match cfg.order {
         JoinOrder::Syntactic => (0..q.aliases.len()).collect::<Vec<_>>(),
-        JoinOrder::GreedyStats => greedy_order(db, q, &classes),
+        JoinOrder::GreedyStats => {
+            let seed = match cfg.goal {
+                OptGoal::AllRows => None,
+                OptGoal::FirstRows(k) => first_rows_anchor(q, &est, k),
+            };
+            greedy_order(q, &classes, &est, seed)
+        }
     };
+    let (estimated_startup, estimated_total, estimated_result) =
+        plan_estimates(q, &classes, &est, &order);
 
     let mut bound: Vec<bool> = vec![false; q.aliases.len()];
     let mut consumed: Vec<bool> = vec![false; q.conds.len()];
@@ -194,6 +227,9 @@ pub fn plan(db: &Database, q: &ConjQuery, cfg: &PlannerConfig) -> Plan {
         checks,
         projection: q.projection.clone(),
         distinct: q.distinct,
+        estimated_startup,
+        estimated_total,
+        estimated_result,
     }
 }
 
@@ -257,38 +293,156 @@ fn estimate(db: &Database, q: &ConjQuery, a: usize) -> usize {
     best
 }
 
-/// Greedy connected ordering by cardinality estimate.
-fn greedy_order(db: &Database, q: &ConjQuery, classes: &EqClasses) -> Vec<usize> {
+/// How alias `a` relates to the already-bound set: `0` — joined by a
+/// *direct* condition; `1` — only transitively, through an equality
+/// class (typically the tid chain); `2` — not at all.
+fn connectivity(q: &ConjQuery, classes: &EqClasses, bound: &[bool], a: usize) -> usize {
+    let direct = q.conds.iter().any(|c| {
+        let mentions_a = c.left.alias == a || matches!(c.right, Operand::Col(r) if r.alias == a);
+        let mentions_bound = (c.left.alias != a && bound[c.left.alias])
+            || matches!(c.right, Operand::Col(r) if r.alias != a && bound[r.alias]);
+        mentions_a && mentions_bound
+    });
+    if direct {
+        0
+    } else if (0..bound.len()).any(|b| b != a && bound[b] && classes.aliases_linked(a, b)) {
+        1
+    } else {
+        2
+    }
+}
+
+/// Greedy connected ordering by cardinality estimate. `seed`, when
+/// given, is forced to bind first (the first-rows anchor), and the
+/// completion prefers *directly* conditioned aliases over
+/// closure-only ones: an anchor in the middle of a structural chain
+/// must be extended along the chain, not jumped across — a
+/// closure-only join degenerates to a same-tree cross product.
+/// (Unseeded orders keep the historical behavior: any connectivity
+/// qualifies equally, selectivity decides.)
+fn greedy_order(
+    q: &ConjQuery,
+    classes: &EqClasses,
+    est: &[usize],
+    seed: Option<usize>,
+) -> Vec<usize> {
     let n = q.aliases.len();
-    let est: Vec<usize> = (0..n).map(|a| estimate(db, q, a)).collect();
+    let prefer_direct = seed.is_some();
     let mut order = Vec::with_capacity(n);
     let mut bound = vec![false; n];
+    if let Some(s) = seed {
+        bound[s] = true;
+        order.push(s);
+    }
     while order.len() < n {
-        // Candidates connected to the bound set — directly by a
-        // condition or transitively through an equality class — get
-        // priority; otherwise any unbound alias qualifies.
-        let connected = |a: usize| {
-            let direct = q.conds.iter().any(|c| {
-                let mentions_a =
-                    c.left.alias == a || matches!(c.right, Operand::Col(r) if r.alias == a);
-                let mentions_bound = (c.left.alias != a && bound[c.left.alias])
-                    || matches!(c.right, Operand::Col(r) if r.alias != a && bound[r.alias]);
-                mentions_a && mentions_bound
-            });
-            direct || (0..n).any(|b| b != a && bound[b] && classes.aliases_linked(a, b))
-        };
+        // Candidates connected to the bound set get priority;
+        // otherwise any unbound alias qualifies.
         let pick = (0..n)
             .filter(|&a| !bound[a])
             .min_by_key(|&a| {
-                let conn = !order.is_empty() && connected(a);
-                // Prefer connected aliases strongly, then by estimate.
-                (if order.is_empty() || conn { 0usize } else { 1 }, est[a], a)
+                let class = if order.is_empty() {
+                    0
+                } else {
+                    let c = connectivity(q, classes, &bound, a);
+                    if prefer_direct {
+                        c
+                    } else {
+                        // Historical two-way split: connected or not.
+                        usize::from(c == 2)
+                    }
+                };
+                (class, est[a], a)
             })
             .expect("an unbound alias remains");
         bound[pick] = true;
         order.push(pick);
     }
     order
+}
+
+/// Penalty factor for first-rows anchors that are *not* the output
+/// alias: their tuples emerge out of document order, so a paged
+/// executor must evaluate and sort whole corpus chunks (and rescan the
+/// anchor's candidates once per chunk round) instead of streaming a
+/// document-ordered prefix.
+const CHUNK_PENALTY: usize = 2;
+
+/// Estimated cost of the first `k` output tuples when the pipeline is
+/// anchored on alias `a`.
+///
+/// Model: the join only filters, so the result size is roughly
+/// `m = min_a est[a]`. Scanning anchor `a` in index order, matches are
+/// spread across its `est[a]` rows, so the first `min(k, m)` tuples
+/// cost about `est[a] · min(k, m) / m` candidate rows, each paying one
+/// index probe per remaining alias. Non-output anchors additionally pay
+/// [`CHUNK_PENALTY`] for chunked (sort-and-rescan) emission.
+fn startup_cost(est: &[usize], k: usize, a: usize, out: Option<usize>) -> usize {
+    let n = est.len().max(1);
+    let m = est.iter().copied().min().unwrap_or(0).max(1);
+    let k = k.max(1);
+    let rows = est[a].saturating_mul(k.min(m)) / m;
+    let cost = rows.saturating_mul(n).max(1);
+    if Some(a) == out {
+        cost
+    } else {
+        cost.saturating_mul(CHUNK_PENALTY)
+    }
+}
+
+/// The anchor (first bound alias) minimizing [`startup_cost`], ties
+/// broken toward the output alias (document-order emission), then the
+/// smaller estimate, then the alias id.
+fn first_rows_anchor(q: &ConjQuery, est: &[usize], k: usize) -> Option<usize> {
+    let out = q.projection.first().map(|c| c.alias);
+    (0..q.aliases.len()).min_by_key(|&a| {
+        (
+            startup_cost(est, k, a, out),
+            usize::from(Some(a) != out),
+            est[a],
+            a,
+        )
+    })
+}
+
+/// The plan-level cost estimates surfaced on [`Plan`]:
+/// `(startup, total, result)`.
+///
+/// * `startup` — [`startup_cost`] of the chosen anchor for `k = 1`
+///   (comparable across goals: it includes the chunked-emission
+///   penalty for plans not anchored on the output alias);
+/// * `total` — a crude left-deep enumeration estimate: the anchor
+///   contributes its full input, each later alias multiplies the
+///   intermediate size by its fan-out (1 when it joins the bound set
+///   through an equality — near-point probes — else its own input);
+/// * `result` — the smallest alias estimate, the "joins only filter"
+///   proxy for the output cardinality.
+fn plan_estimates(
+    q: &ConjQuery,
+    classes: &EqClasses,
+    est: &[usize],
+    order: &[usize],
+) -> (usize, usize, usize) {
+    if order.is_empty() {
+        // A stepless plan emits exactly one (empty) tuple.
+        return (1, 1, 1);
+    }
+    let out = q.projection.first().map(|c| c.alias);
+    let startup = startup_cost(est, 1, order[0], out);
+    let mut bound = vec![false; q.aliases.len()];
+    let mut inter = 1usize;
+    let mut total = 0usize;
+    for (i, &a) in order.iter().enumerate() {
+        let fan = if i == 0 || connectivity(q, classes, &bound, a) == 2 {
+            est[a]
+        } else {
+            1
+        };
+        inter = inter.saturating_mul(fan.max(1));
+        total = total.saturating_add(inter);
+        bound[a] = true;
+    }
+    let result = est.iter().copied().min().unwrap_or(1);
+    (startup, total, result)
 }
 
 /// An available condition for a step: either an original query
@@ -527,6 +681,7 @@ mod tests {
             q,
             &PlannerConfig {
                 order: JoinOrder::Syntactic,
+                ..Default::default()
             },
         );
         let mut a = execute(&p1, db);
@@ -600,6 +755,7 @@ mod tests {
             &q,
             &PlannerConfig {
                 order: JoinOrder::Syntactic,
+                ..Default::default()
             },
         );
         assert_eq!(p_syn.steps[0].alias, a);
@@ -756,6 +912,95 @@ mod tests {
         q.distinct = true;
         let p = plan(&db, &q, &PlannerConfig::default());
         assert_eq!(p.steps[0].alias, b);
+    }
+
+    #[test]
+    fn first_rows_flips_the_anchor_to_the_output_alias() {
+        // Skew: the output alias (grp = 5, 6 rows) is slightly less
+        // selective than its join partner (grp = 4, 5 rows). AllRows
+        // anchors the smaller input; FirstRows pays the small input
+        // premium to anchor the output alias and emit in scan order.
+        let (db, tid) = setup();
+        let mut q = ConjQuery::default();
+        let a = q.add_alias(tid);
+        let b = q.add_alias(tid);
+        q.conds
+            .push(Cond::against_const(ColRef::new(a, GRP), Cmp::Eq, 5));
+        q.conds
+            .push(Cond::against_const(ColRef::new(b, GRP), Cmp::Eq, 4));
+        q.conds.push(Cond::between(
+            ColRef::new(a, VAL),
+            Cmp::Eq,
+            ColRef::new(b, VAL),
+        ));
+        q.projection.push(ColRef::new(a, VAL));
+        let all = plan(&db, &q, &PlannerConfig::default());
+        assert_eq!(all.steps[0].alias, b, "{all}");
+        let first = plan(
+            &db,
+            &q,
+            &PlannerConfig {
+                goal: OptGoal::FirstRows(10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(first.steps[0].alias, a, "{first}");
+        // The goal may change the order, never the answers.
+        let (mut x, mut y) = (execute(&all, &db), execute(&first, &db));
+        x.sort();
+        y.sort();
+        assert_eq!(x, y);
+        // FirstRows minimizes the surfaced startup estimate.
+        assert!(first.estimated_startup <= all.estimated_startup);
+    }
+
+    #[test]
+    fn first_rows_keeps_a_dominant_selective_anchor() {
+        // When a join partner is orders of magnitude more selective
+        // than the output alias, first-rows cost is still minimized by
+        // anchoring the selective alias — document order is not worth
+        // scanning the whole output input.
+        let (db, tid) = setup();
+        let mut q = ConjQuery::default();
+        let a = q.add_alias(tid); // output: unfiltered, 55 rows
+        let b = q.add_alias(tid); // point: grp = 0, 1 row
+        q.conds
+            .push(Cond::against_const(ColRef::new(b, GRP), Cmp::Eq, 0));
+        q.conds.push(Cond::between(
+            ColRef::new(a, GRP),
+            Cmp::Eq,
+            ColRef::new(b, VAL),
+        ));
+        q.projection.push(ColRef::new(a, VAL));
+        for k in [1, 10, usize::MAX] {
+            let p = plan(
+                &db,
+                &q,
+                &PlannerConfig {
+                    goal: OptGoal::FirstRows(k),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(p.steps[0].alias, b, "k = {k}: {p}");
+        }
+    }
+
+    #[test]
+    fn plans_surface_cost_estimates() {
+        let (db, tid) = setup();
+        let mut q = ConjQuery::default();
+        let a = q.add_alias(tid);
+        q.conds
+            .push(Cond::against_const(ColRef::new(a, GRP), Cmp::Eq, 4));
+        q.projection.push(ColRef::new(a, VAL));
+        let p = plan(&db, &q, &PlannerConfig::default());
+        // grp = 4 has exactly 5 rows; the estimates must reflect it.
+        assert_eq!(p.estimated_result, 5);
+        assert_eq!(p.estimated_total, 5);
+        assert!(p.estimated_startup >= 1);
+        assert!(p.to_string().contains("estimates:"), "{p}");
+        // Hand-built plans carry no estimates and print none.
+        assert_eq!(Plan::default().estimated_total, 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use lpath_relstore::{
     execute, plan, Cmp, ColId, ColRef, Cond, ConjQuery, Database, InCond, JoinOrder, Operand,
-    PlannerConfig, Schema, SubQuery, Table, TableId, Value,
+    OptGoal, PlannerConfig, Schema, SubQuery, Table, TableId, Value,
 };
 use proptest::prelude::*;
 
@@ -191,10 +191,12 @@ proptest! {
         let q = build_query(&spec, tid);
         let want = reference(&spec, &rows);
         for order in [JoinOrder::GreedyStats, JoinOrder::Syntactic] {
-            let p = plan(&db, &q, &PlannerConfig { order });
-            let mut got = execute(&p, &db);
-            got.sort();
-            prop_assert_eq!(&got, &want, "order {:?} on {:?}", order, spec);
+            for goal in [OptGoal::AllRows, OptGoal::FirstRows(1), OptGoal::FirstRows(7)] {
+                let p = plan(&db, &q, &PlannerConfig { order, goal });
+                let mut got = execute(&p, &db);
+                got.sort();
+                prop_assert_eq!(&got, &want, "order {:?} goal {:?} on {:?}", order, goal, spec);
+            }
         }
     }
 

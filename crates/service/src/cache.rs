@@ -27,6 +27,13 @@ struct Entry<V> {
 pub(crate) struct GenCache<V> {
     capacity: usize,
     tick: u64,
+    /// Prefer evicting entries whose generation differs from the one
+    /// being inserted. Right for caches stamped with the (single,
+    /// monotonic) corpus generation; wrong — and disabled via
+    /// [`GenCache::new_plain_lru`] — for caches stamped with per-shard
+    /// build ids, where valid entries legitimately carry different
+    /// stamps and "differs" does not mean "stale".
+    stale_first: bool,
     map: HashMap<Key, Entry<V>>,
 }
 
@@ -42,7 +49,17 @@ impl<V: Clone + PartialEq> GenCache<V> {
         GenCache {
             capacity,
             tick: 0,
+            stale_first: true,
             map: HashMap::new(),
+        }
+    }
+
+    /// A cache that evicts purely by recency — for values scoped to
+    /// per-shard build ids rather than the corpus generation.
+    pub fn new_plain_lru(capacity: usize) -> Self {
+        GenCache {
+            stale_first: false,
+            ..Self::new(capacity)
         }
     }
 
@@ -84,11 +101,13 @@ impl<V: Clone + PartialEq> GenCache<V> {
         }
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            // Evict: stale generations first, else the oldest stamp.
+            // Evict: stale generations first (when the stamp really is
+            // the corpus generation), else the oldest stamp.
+            let stale_first = self.stale_first;
             let victim = self
                 .map
                 .iter()
-                .min_by_key(|(_, e)| (e.generation == generation, e.stamp))
+                .min_by_key(|(_, e)| (stale_first && e.generation == generation, e.stamp))
                 .map(|(k, _)| k.clone());
             if let Some(v) = victim {
                 self.map.remove(&v);
@@ -102,6 +121,12 @@ impl<V: Clone + PartialEq> GenCache<V> {
                 value,
             },
         );
+    }
+
+    /// Drop one entry (e.g. a page prefix superseded by its promotion
+    /// to the full result), freeing its capacity slot.
+    pub fn remove(&mut self, key: &Key) {
+        self.map.remove(key);
     }
 
     pub fn clear(&mut self) {
@@ -188,6 +213,32 @@ mod tests {
         c.insert(key("c"), 1, set(3));
         assert_eq!(c.get(&key("a"), 1).unwrap()[0].0, 9);
         assert!(c.get(&key("b"), 1).is_none());
+    }
+
+    #[test]
+    fn plain_lru_does_not_treat_foreign_stamps_as_stale() {
+        // Build-id-scoped entries: simultaneously-valid entries carry
+        // different stamps. The victim must be the LRU entry, not
+        // whichever entry's stamp differs from the insert's.
+        let mut c = CountCache::new_plain_lru(2);
+        c.insert(key("head"), 7, 10); // build id 7
+        c.insert(key("mid"), 8, 20); // build id 8
+        assert!(c.get(&key("head"), 7).is_some()); // refresh "head"
+                                                   // Insert under build id 8: the stale-first policy would evict
+                                                   // "head" (stamp differs from 8 — "looks stale"); plain LRU must
+                                                   // evict the least recently used "mid" instead.
+        c.insert(key("tail"), 8, 30);
+        assert_eq!(c.get(&key("head"), 7), Some(10), "valid entry evicted");
+        assert!(c.get(&key("mid"), 8).is_none());
+        assert_eq!(c.get(&key("tail"), 8), Some(30));
+        // The generation-scoped default keeps preferring stale stamps.
+        let mut c = CountCache::new(2);
+        c.insert(key("old"), 1, 10); // stale generation
+        c.insert(key("a"), 2, 20);
+        assert!(c.get(&key("a"), 2).is_some());
+        c.insert(key("b"), 2, 30); // evicts "old", not the LRU "a"
+        assert!(c.get(&key("a"), 2).is_some());
+        assert!(c.get(&key("b"), 2).is_some());
     }
 
     #[test]

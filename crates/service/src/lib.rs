@@ -181,7 +181,25 @@ pub struct Service {
     plan_tick: AtomicU64,
     results: Mutex<ResultCache>,
     counts: Mutex<CountCache>,
+    /// Per-shard counts, scoped to each shard's *build id* rather than
+    /// the corpus generation: an append rebuilds only the tail shard,
+    /// so every other shard's cached count stays valid across the
+    /// generation bump and only the tail is recounted.
+    shard_counts: Mutex<CountCache>,
     counters: Counters,
+}
+
+/// Marker appended to a prefix key's shard-id vector. Result-set keys
+/// always carry a *validated* shard subset (every id is below the
+/// shard count, and `u16::MAX` shards is beyond the service's id
+/// space), so `[si, PREFIX_MARK]` can never collide with a real
+/// shard-set key — including for adversarial query texts, which are
+/// used verbatim as the key's string component.
+const PREFIX_MARK: u16 = u16::MAX;
+
+/// Per-shard result-*prefix* cache key (see [`PREFIX_MARK`]).
+fn prefix_key(normalized: &str, shard: u16) -> cache::Key {
+    (normalized.to_string(), vec![shard, PREFIX_MARK])
 }
 
 impl Service {
@@ -192,7 +210,10 @@ impl Service {
 
     /// Build a service over `corpus` with an explicit configuration.
     pub fn with_config(corpus: &Corpus, mut cfg: ServiceConfig) -> Self {
-        cfg.shards = cfg.shards.max(1);
+        // Shard ids live in `u16` (cache keys, the public shard-subset
+        // API); keep the count inside that id space, reserving
+        // [`PREFIX_MARK`].
+        cfg.shards = cfg.shards.clamp(1, PREFIX_MARK as usize - 1);
         let threads = if cfg.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -214,6 +235,7 @@ impl Service {
             plan_tick: AtomicU64::new(0),
             results: Mutex::new(ResultCache::new(cfg.result_cache_capacity)),
             counts: Mutex::new(CountCache::new(cfg.result_cache_capacity)),
+            shard_counts: Mutex::new(CountCache::new_plain_lru(cfg.result_cache_capacity)),
             counters: Counters::default(),
         }
     }
@@ -348,7 +370,10 @@ impl Service {
 
     /// Result size of `query` (the paper's reported measure). Served
     /// from the count cache when possible; a miss counts shard by
-    /// shard — the relational path counts through the streaming
+    /// shard through a **per-shard count cache** scoped to each
+    /// shard's build id — after an [`Service::append_ptb`] only the
+    /// rebuilt tail shard is recounted, every other shard's count is
+    /// reused. The relational path counts through the streaming
     /// cursor without materializing a match set (walker-fallback
     /// queries still materialize per shard), and nothing is evicted
     /// from the (separate) result cache to make room. Counting over
@@ -376,19 +401,50 @@ impl Service {
             }
             None => {
                 let partial = fan_out(self.threads, shards.len(), |si| {
-                    let shard = &shards[si];
-                    if !shard.may_match(&compiled.required) {
-                        Counters::bump(&self.counters.shards_pruned);
-                        return 0;
-                    }
-                    Counters::bump(&self.counters.shard_evals);
-                    shard.count(&compiled)
+                    self.count_one_shard(&shards[si], si as u16, generation, &compiled)
                 });
                 partial.iter().sum()
             }
         };
         self.counts.lock().unwrap().insert(key, generation, n);
         Ok(n)
+    }
+
+    /// One shard's count, served from the build-id-scoped per-shard
+    /// count cache when its content has not changed since it was
+    /// computed — or from a cached per-shard *result* (e.g. one
+    /// promoted by [`Service::eval_page`]), whose length is the count.
+    fn count_one_shard(
+        &self,
+        shard: &Shard,
+        si: u16,
+        generation: u64,
+        compiled: &CompiledQuery,
+    ) -> usize {
+        if !shard.may_match(&compiled.required) {
+            Counters::bump(&self.counters.shards_pruned);
+            return 0;
+        }
+        let key = (compiled.normalized.clone(), vec![si]);
+        let build = shard.build_id();
+        if let Some(n) = self.shard_counts.lock().unwrap().get(&key, build) {
+            Counters::bump(&self.counters.shard_count_hits);
+            return n;
+        }
+        Counters::bump(&self.counters.shard_count_misses);
+        let cached_rows = self.results.lock().unwrap().get(&key, generation);
+        let n = match cached_rows {
+            Some(rows) => {
+                Counters::bump(&self.counters.result_hits);
+                rows.len()
+            }
+            None => {
+                Counters::bump(&self.counters.shard_evals);
+                shard.count(compiled)
+            }
+        };
+        self.shard_counts.lock().unwrap().insert(key, build, n);
+        n
     }
 
     /// Does `query` match anywhere in the corpus? A cached count or
@@ -422,13 +478,17 @@ impl Service {
     }
 
     /// The `[offset, offset + limit)` slice of [`Service::eval`]'s
-    /// document-ordered result, with the shard fan-out short-circuited
-    /// as soon as the page is covered: shards are visited in document
-    /// order (their concatenation *is* the full result), so a page
-    /// near the front touches only a prefix of the corpus. Per-shard
-    /// result sets computed along the way are cached under their
-    /// singleton shard key, so requesting the next page resumes where
-    /// the previous one stopped paying.
+    /// document-ordered result, with the page bounds pushed **into**
+    /// the shards: shards are visited in document order (their
+    /// concatenation *is* the full result), the fan-out is
+    /// short-circuited as soon as the page is covered, and each shard
+    /// visited evaluates through [`Shard::eval_limit`] — per-shard
+    /// work is bounded by what the page still needs, not by the
+    /// shard's full result size. Prefixes computed along the way are
+    /// cached (a prefix that came back short proves itself complete
+    /// and is promoted to the full per-shard result, where
+    /// [`Service::eval`] and [`Service::count`] reuse it), so
+    /// re-requesting a page is cache-served.
     pub fn eval_page(
         &self,
         query: &str,
@@ -463,25 +523,47 @@ impl Service {
                 Counters::bump(&self.counters.shards_pruned);
                 continue;
             }
+            let remaining = need - acc.len();
+            // A cached full per-shard result serves any page.
             let key = (compiled.normalized.clone(), vec![si as u16]);
             let cached = self.results.lock().unwrap().get(&key, generation);
-            let rows = match cached {
-                Some(hit) => {
-                    Counters::bump(&self.counters.result_hits);
-                    hit
-                }
-                None => {
-                    Counters::bump(&self.counters.result_misses);
-                    Counters::bump(&self.counters.shard_evals);
-                    let fresh = Arc::new(shard.eval(&compiled));
-                    self.results
-                        .lock()
-                        .unwrap()
-                        .insert(key, generation, Arc::clone(&fresh));
-                    fresh
-                }
-            };
-            acc.extend(rows.iter().copied());
+            if let Some(hit) = cached {
+                Counters::bump(&self.counters.result_hits);
+                acc.extend(hit.iter().take(remaining).copied());
+                continue;
+            }
+            // A cached prefix serves if it is at least as deep as this
+            // page reaches into the shard.
+            let pkey = prefix_key(&compiled.normalized, si as u16);
+            let prefix = self.results.lock().unwrap().get(&pkey, generation);
+            if let Some(hit) = prefix.as_ref().filter(|p| p.len() >= remaining) {
+                Counters::bump(&self.counters.page_prefix_hits);
+                acc.extend(hit.iter().take(remaining).copied());
+                continue;
+            }
+            Counters::bump(&self.counters.result_misses);
+            Counters::bump(&self.counters.page_partial_evals);
+            // Outgrown prefixes are recomputed from the shard's start,
+            // so ask for at least double the cached depth: a client
+            // sweeping pages pays O(log) recomputations totalling
+            // O(shard result), not one-per-page totalling O(pages ×
+            // result). Page 1 (no prefix) stays bounded by the page.
+            let ask = remaining.max(prefix.map_or(0, |p| p.len().saturating_mul(2)));
+            let rows = Arc::new(shard.eval_limit(&compiled, ask));
+            if rows.len() < ask {
+                // Short of the bound: the prefix is the complete shard
+                // result — promote it to the full per-shard entry and
+                // drop the now-superseded prefix slot.
+                let mut results = self.results.lock().unwrap();
+                results.insert(key, generation, Arc::clone(&rows));
+                results.remove(&pkey);
+            } else {
+                self.results
+                    .lock()
+                    .unwrap()
+                    .insert(pkey, generation, Arc::clone(&rows));
+            }
+            acc.extend(rows.iter().take(remaining).copied());
         }
         acc.truncate(need);
         Ok(acc.split_off(offset.min(acc.len())))
@@ -542,7 +624,7 @@ impl Service {
             // off a shared counter.
             let mut partials = fan_out(self.threads, misses.len() * nshards, |t| {
                 let (mi, si) = (t / nshards, t % nshards);
-                self.eval_one_shard(&shards[si], &misses[mi].1)
+                self.eval_one_shard(&shards[si], si as u16, generation, &misses[mi].1)
             });
             for (mi, (occurrences, c)) in misses.iter().enumerate() {
                 let mut merged = Vec::new();
@@ -581,9 +663,9 @@ impl Service {
             return hit;
         }
         Counters::bump(&self.counters.result_misses);
-        let selected: Vec<&Arc<Shard>> = ids.iter().map(|&i| &shards[i as usize]).collect();
-        let mut partials = fan_out(self.threads, selected.len(), |si| {
-            self.eval_one_shard(selected[si], compiled)
+        let mut partials = fan_out(self.threads, ids.len(), |i| {
+            let si = ids[i];
+            self.eval_one_shard(&shards[si as usize], si, generation, compiled)
         });
         let mut merged = Vec::new();
         for rows in &mut partials {
@@ -597,11 +679,26 @@ impl Service {
         merged
     }
 
-    /// Evaluate on one shard, with symbol-presence pruning.
-    fn eval_one_shard(&self, shard: &Shard, compiled: &CompiledQuery) -> ResultSet {
+    /// Evaluate on one shard, with symbol-presence pruning. A full
+    /// per-shard result already cached under the singleton key — by
+    /// [`Service::eval_on`], or promoted from an exhausted
+    /// [`Service::eval_page`] prefix — is reused instead of
+    /// re-evaluating.
+    fn eval_one_shard(
+        &self,
+        shard: &Shard,
+        si: u16,
+        generation: u64,
+        compiled: &CompiledQuery,
+    ) -> ResultSet {
         if !shard.may_match(&compiled.required) {
             Counters::bump(&self.counters.shards_pruned);
             return Vec::new();
+        }
+        let key = (compiled.normalized.clone(), vec![si]);
+        if let Some(hit) = self.results.lock().unwrap().get(&key, generation) {
+            Counters::bump(&self.counters.result_hits);
+            return (*hit).clone();
         }
         Counters::bump(&self.counters.shard_evals);
         shard.eval(compiled)
@@ -635,7 +732,11 @@ impl Service {
         st.generation += 1;
         Counters::bump(&self.counters.appends);
         drop(st);
-        self.invalidate();
+        // The per-shard count cache survives an append: its entries
+        // are scoped to shard build ids, and only the tail shard got a
+        // new one — head shards keep serving their cached counts,
+        // stale tail entries invalidate themselves on contact.
+        self.invalidate_generation_scoped();
         Ok(added)
     }
 
@@ -651,10 +752,19 @@ impl Service {
         self.invalidate();
     }
 
-    fn invalidate(&self) {
+    /// Drop every generation-scoped cache (plans, result sets, corpus-
+    /// level counts). Per-shard counts are *not* touched: they scope
+    /// themselves to shard build ids.
+    fn invalidate_generation_scoped(&self) {
         self.plans.write().unwrap().clear();
         self.results.lock().unwrap().clear();
         self.counts.lock().unwrap().clear();
+    }
+
+    /// Drop everything — for swaps, where every shard is rebuilt.
+    fn invalidate(&self) {
+        self.invalidate_generation_scoped();
+        self.shard_counts.lock().unwrap().clear();
     }
 
     // -----------------------------------------------------------------
@@ -697,11 +807,15 @@ impl Service {
             result_misses: load(&c.result_misses),
             count_hits: load(&c.count_hits),
             count_misses: load(&c.count_misses),
+            shard_count_hits: load(&c.shard_count_hits),
+            shard_count_misses: load(&c.shard_count_misses),
             batch_dedup: load(&c.batch_dedup),
             queries: load(&c.queries),
             batches: load(&c.batches),
             pages: load(&c.pages),
             page_shards_skipped: load(&c.page_shards_skipped),
+            page_partial_evals: load(&c.page_partial_evals),
+            page_prefix_hits: load(&c.page_prefix_hits),
             shard_evals: load(&c.shard_evals),
             shards_pruned: load(&c.shards_pruned),
             appends: load(&c.appends),
@@ -1044,10 +1158,15 @@ mod tests {
         let fresh = service(5);
         fresh.eval_page("//NP", 0, 1).unwrap();
         assert!(fresh.stats().page_shards_skipped > 0);
-        // Paging again reuses the per-shard cache entries.
-        let before = fresh.stats().result_hits;
+        // Paging again reuses the cached per-shard prefixes (or full
+        // sets, for shards whose prefix proved complete).
+        let s = fresh.stats();
+        let before = s.result_hits + s.page_prefix_hits;
         fresh.eval_page("//NP", 0, 1).unwrap();
-        assert!(fresh.stats().result_hits > before);
+        let s = fresh.stats();
+        assert!(s.result_hits + s.page_prefix_hits > before);
+        // The visited shards were evaluated under the page bound.
+        assert!(s.page_partial_evals > 0);
     }
 
     #[test]
@@ -1062,6 +1181,71 @@ mod tests {
         // Served off the cached full set: no new shard evaluations.
         let stats = svc.stats();
         assert_eq!(stats.shard_evals, 3);
+    }
+
+    #[test]
+    fn page_pushdown_bounds_shard_work_and_promotes_complete_prefixes() {
+        let svc = service(2);
+        // Page 1 of "//NP" fills within the first shard: the first
+        // shard is evaluated under the page bound, the second never
+        // touched.
+        let full = service(2).eval("//NP").unwrap();
+        let page = svc.eval_page("//NP", 0, 2).unwrap();
+        assert_eq!(page, full[..2]);
+        let s = svc.stats();
+        assert_eq!(s.page_partial_evals, 1);
+        assert_eq!(s.shard_evals, 0, "page bound did not reach the shard");
+        // A page past the shard's result exhausts it: the short prefix
+        // is promoted to the full per-shard set, which eval() then
+        // combines with the remaining shard.
+        let all = svc.eval_page("//NP", 0, 99).unwrap();
+        assert_eq!(all, *full);
+        let evals_before = svc.stats().shard_evals;
+        assert_eq!(*svc.eval("//NP").unwrap(), *full);
+        let s = svc.stats();
+        assert!(
+            s.result_hits >= 2,
+            "promoted prefixes must serve eval(): {s:?}"
+        );
+        assert_eq!(s.shard_evals, evals_before, "no re-evaluation: {s:?}");
+    }
+
+    #[test]
+    fn prefix_cache_keys_never_collide_with_adversarial_query_text() {
+        // A quoted attribute literal can put any bytes — including a
+        // NUL — into a normalized query, so prefix entries must be
+        // distinguished structurally, not by string mangling. The
+        // second query matches nothing and must not be served the
+        // first query's cached page prefix.
+        let svc = service(2);
+        let page = svc.eval_page("//NN@lex", 0, 2).unwrap();
+        assert_eq!(page.len(), 2);
+        assert_eq!(
+            svc.eval_page("//NN@'lex\u{0}page'", 0, 100).unwrap(),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn append_recounts_only_the_tail_shard() {
+        let svc = service(2);
+        assert_eq!(svc.count("//NP").unwrap(), 5);
+        let s = svc.stats();
+        assert_eq!(s.shard_count_misses, 2);
+        assert_eq!(s.shard_count_hits, 0);
+        svc.append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )")
+            .unwrap();
+        assert_eq!(svc.count("//NP").unwrap(), 6);
+        let s = svc.stats();
+        // Head shard served from its build-scoped cache; only the
+        // rebuilt tail was recounted.
+        assert_eq!(s.shard_count_hits, 1);
+        assert_eq!(s.shard_count_misses, 3);
+        // A swap rebuilds everything: no stale reuse.
+        svc.swap_corpus(&parse_str(SRC).unwrap());
+        assert_eq!(svc.count("//NP").unwrap(), 5);
+        assert_eq!(svc.stats().shard_count_hits, 1);
+        assert_eq!(svc.stats().shard_count_misses, 5);
     }
 
     #[test]

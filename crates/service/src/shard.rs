@@ -1,6 +1,7 @@
 //! One shard: a contiguous slice of the corpus with its own relational
 //! engine, symbol-presence index and tree-id offset.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -30,8 +31,16 @@ pub struct Shard {
     /// names, attribute names and attribute values that occur in this
     /// shard's trees.
     present: Vec<u64>,
+    /// Process-unique id of this build, used to scope caches to the
+    /// shard's *content*: an append rebuilds only the tail shard, so
+    /// the other shards keep their build id — and everything cached
+    /// against it — across the corpus generation bump.
+    build_id: u64,
     build_time: Duration,
 }
+
+/// Process-wide build-id counter (never reused, never zero).
+static NEXT_BUILD_ID: AtomicU64 = AtomicU64::new(1);
 
 impl Shard {
     /// Build a shard over `master.trees()[start..start + len]`.
@@ -62,6 +71,7 @@ impl Shard {
             labels: OnceLock::new(),
             base: start as u32,
             present,
+            build_id: NEXT_BUILD_ID.fetch_add(1, Ordering::Relaxed),
             build_time: t.elapsed(),
         }
     }
@@ -69,6 +79,11 @@ impl Shard {
     /// The shard's first global tree id.
     pub fn base(&self) -> u32 {
         self.base
+    }
+
+    /// Process-unique id of this shard build (see the field docs).
+    pub fn build_id(&self) -> u64 {
+        self.build_id
     }
 
     /// Number of trees owned by the shard.
@@ -123,6 +138,32 @@ impl Shard {
                 Err(_) => self.walker().eval(&compiled.ast),
             },
             ExecStrategy::Walker => self.walker().eval(&compiled.ast),
+        };
+        local
+            .into_iter()
+            .map(|(tid, node)| (tid + self.base, node))
+            .collect()
+    }
+
+    /// The first `limit` matches of the shard's document-ordered
+    /// result — the page bound pushed *into* the shard, so a page-1
+    /// request over a large shard pays for a bounded prefix instead of
+    /// a full [`Shard::eval`]. On the relational strategy this rides
+    /// [`lpath_core::Engine::query_limit_ast`]'s limit-aware planning
+    /// (first-rows join order, adaptive tree-id chunks); the walker
+    /// strategy stops its tree scan once the page is covered.
+    ///
+    /// Returning *fewer* than `limit` matches proves the prefix is the
+    /// shard's complete result.
+    pub fn eval_limit(&self, compiled: &CompiledQuery, limit: usize) -> Vec<(u32, NodeId)> {
+        let local = match compiled.strategy {
+            ExecStrategy::Relational => {
+                match self.engine.query_limit_ast(&compiled.ast, 0, limit) {
+                    Ok(rows) => rows,
+                    Err(_) => self.walker().eval_limit(&compiled.ast, 0, limit),
+                }
+            }
+            ExecStrategy::Walker => self.walker().eval_limit(&compiled.ast, 0, limit),
         };
         local
             .into_iter()
@@ -227,6 +268,34 @@ mod tests {
         for q in ["//NP", "//VBD->NP", "//S{/VP$}", "//_[@lex=the]"] {
             assert_eq!(shard.eval(&compiled(q)), engine.query(q).unwrap(), "{q}");
         }
+    }
+
+    #[test]
+    fn eval_limit_is_a_prefix_of_eval() {
+        let master = parse_str(SRC).unwrap();
+        let shard = Shard::build(&master, 1, 2);
+        for q in ["//NP", "//VBD->NP", "//_[@lex=saw]", "//ZZZ"] {
+            let c = compiled(q);
+            let full = shard.eval(&c);
+            for limit in 0..=full.len() + 2 {
+                let got = shard.eval_limit(&c, limit);
+                assert_eq!(got, full[..limit.min(full.len())], "{q} limit {limit}");
+            }
+        }
+        // The walker strategy pushes the bound too.
+        let mut c = compiled("//VP/_[last()]");
+        c.strategy = ExecStrategy::Walker;
+        let full = shard.eval(&c);
+        assert_eq!(shard.eval_limit(&c, 1), full[..1.min(full.len())]);
+    }
+
+    #[test]
+    fn rebuilds_get_fresh_build_ids() {
+        let master = parse_str(SRC).unwrap();
+        let a = Shard::build(&master, 0, 2);
+        let b = Shard::build(&master, 0, 2);
+        assert_ne!(a.build_id(), b.build_id());
+        assert_ne!(a.build_id(), 0);
     }
 
     #[test]

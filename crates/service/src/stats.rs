@@ -12,11 +12,15 @@ pub(crate) struct Counters {
     pub result_misses: AtomicU64,
     pub count_hits: AtomicU64,
     pub count_misses: AtomicU64,
+    pub shard_count_hits: AtomicU64,
+    pub shard_count_misses: AtomicU64,
     pub batch_dedup: AtomicU64,
     pub queries: AtomicU64,
     pub batches: AtomicU64,
     pub pages: AtomicU64,
     pub page_shards_skipped: AtomicU64,
+    pub page_partial_evals: AtomicU64,
+    pub page_prefix_hits: AtomicU64,
     pub shard_evals: AtomicU64,
     pub shards_pruned: AtomicU64,
     pub appends: AtomicU64,
@@ -75,6 +79,12 @@ pub struct ServiceStats {
     pub count_hits: u64,
     /// Count-cache misses (counts actually computed).
     pub count_misses: u64,
+    /// Per-shard count-cache hits: shard counts reused on a corpus-
+    /// level count miss. After an append, every shard but the rebuilt
+    /// tail serves its count from here.
+    pub shard_count_hits: u64,
+    /// Per-shard count-cache misses: shard counts actually recomputed.
+    pub shard_count_misses: u64,
     /// Duplicate queries within one batch served from a sibling
     /// occurrence's evaluation (neither a cache hit nor a miss).
     pub batch_dedup: u64,
@@ -87,6 +97,12 @@ pub struct ServiceStats {
     /// Shards never visited because a page filled before reaching them
     /// (the paging short-circuit at work).
     pub page_shards_skipped: u64,
+    /// Page-bounded shard evaluations ([`crate::Shard::eval_limit`]
+    /// calls): shards visited by a page whose work was capped at the
+    /// page size instead of a full evaluation.
+    pub page_partial_evals: u64,
+    /// Pages (partially) served from a cached per-shard result prefix.
+    pub page_prefix_hits: u64,
     /// Per-shard evaluations actually executed.
     pub shard_evals: u64,
     /// Per-shard evaluations skipped by symbol-presence pruning.
@@ -154,11 +170,15 @@ mod tests {
             result_misses: 1,
             count_hits: 0,
             count_misses: 0,
+            shard_count_hits: 0,
+            shard_count_misses: 0,
             batch_dedup: 0,
             queries: 0,
             batches: 0,
             pages: 0,
             page_shards_skipped: 0,
+            page_partial_evals: 0,
+            page_prefix_hits: 0,
             shard_evals: 0,
             shards_pruned: 0,
             appends: 0,

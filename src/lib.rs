@@ -63,6 +63,7 @@ pub mod prelude {
     pub use lpath_corpussearch::{CsEngine, CS_QUERIES};
     pub use lpath_model::ptb::{parse_into, parse_str};
     pub use lpath_model::{generate, Corpus, GenConfig, NodeId, Profile, Tree};
+    pub use lpath_relstore::{JoinOrder, OptGoal, PlannerConfig};
     pub use lpath_service::{Service, ServiceConfig, ServiceError, ServiceStats};
     pub use lpath_syntax::{parse, Axis, Path};
     pub use lpath_tgrep::{TgrepEngine, TGREP_QUERIES};

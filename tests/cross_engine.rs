@@ -16,6 +16,8 @@
 
 use lpath::prelude::*;
 
+mod fixtures;
+
 fn check_corpus(corpus: &Corpus, label: &str) {
     let engine = Engine::build(corpus);
     let walker = Walker::new(corpus);
@@ -23,43 +25,42 @@ fn check_corpus(corpus: &Corpus, label: &str) {
     let cs = CsEngine::new(corpus);
     let xp = XPathEngine::build(corpus);
 
-    for q in QUERIES {
-        let i = q.id - 1;
+    for case in fixtures::eval_cases() {
         let lpath_count = engine
-            .count(q.lpath)
-            .unwrap_or_else(|e| panic!("{label} Q{}: {e}", q.id));
-        let walker_count = walker.count(&parse(q.lpath).unwrap());
+            .count(case.lpath)
+            .unwrap_or_else(|e| panic!("{label} Q{}: {e}", case.id));
+        let walker_count = walker.count(&parse(case.lpath).unwrap());
         assert_eq!(
             lpath_count, walker_count,
             "{label} Q{}: engine {lpath_count} vs walker {walker_count} ({})",
-            q.id, q.lpath
+            case.id, case.lpath
         );
         let tgrep_count = tgrep
-            .count(TGREP_QUERIES[i])
-            .unwrap_or_else(|e| panic!("{label} Q{} tgrep: {e}", q.id));
+            .count(case.tgrep)
+            .unwrap_or_else(|e| panic!("{label} Q{} tgrep: {e}", case.id));
         assert_eq!(
             lpath_count, tgrep_count,
             "{label} Q{}: lpath {lpath_count} vs tgrep {tgrep_count} ({} / {})",
-            q.id, q.lpath, TGREP_QUERIES[i]
+            case.id, case.lpath, case.tgrep
         );
         let cs_count = cs
-            .count(CS_QUERIES[i])
-            .unwrap_or_else(|e| panic!("{label} Q{} cs: {e}", q.id));
+            .count(case.cs)
+            .unwrap_or_else(|e| panic!("{label} Q{} cs: {e}", case.id));
         assert_eq!(
             lpath_count, cs_count,
             "{label} Q{}: lpath {lpath_count} vs corpussearch {cs_count} ({} / {})",
-            q.id, q.lpath, CS_QUERIES[i]
+            case.id, case.lpath, case.cs
         );
-    }
-
-    for (id, xq) in lpath_xpath::XPATH_QUERIES {
-        let lp = Engine::build(corpus)
-            .count(lpath_core::queryset::by_id(id).lpath)
-            .unwrap();
-        let x = xp
-            .count(xq)
-            .unwrap_or_else(|e| panic!("{label} Q{id} xpath: {e}"));
-        assert_eq!(lp, x, "{label} Q{id}: lpath {lp} vs xpath {x} ({xq})");
+        if let Some(xq) = case.xpath {
+            let x = xp
+                .count(xq)
+                .unwrap_or_else(|e| panic!("{label} Q{} xpath: {e}", case.id));
+            assert_eq!(
+                lpath_count, x,
+                "{label} Q{}: lpath {lpath_count} vs xpath {x} ({xq})",
+                case.id
+            );
+        }
     }
 }
 

@@ -212,6 +212,52 @@ fn xml_error_offsets_are_within_input() {
 }
 
 #[test]
+fn append_recounts_only_the_tail_shard_and_invalidates_stale_counts() {
+    // Three shards over six trees, every shard containing an NP so no
+    // count is pruned away.
+    let src: String = (0..6)
+        .map(|i| format!("( (S (NP (NN w{i})) (VP (VBD ran))) )\n"))
+        .collect();
+    let corpus = parse_str(&src).unwrap();
+    let svc = Service::with_config(
+        &corpus,
+        ServiceConfig {
+            shards: 3,
+            threads: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    assert_eq!(svc.count("//NP").unwrap(), 6);
+    let s = svc.stats();
+    assert_eq!((s.shard_count_misses, s.shard_count_hits), (3, 0));
+
+    // Append one tree: the corpus-level count entry is generation-
+    // invalidated, but of the per-shard counts only the rebuilt tail's
+    // is stale — exactly one shard is recounted.
+    svc.append_ptb("( (S (NP (NN extra)) (VP (VBD sat))) )")
+        .unwrap();
+    assert_eq!(svc.count("//NP").unwrap(), 7);
+    let s = svc.stats();
+    assert_eq!(
+        (s.shard_count_misses, s.shard_count_hits),
+        (4, 2),
+        "only the tail may recount: {s:?}"
+    );
+
+    // A failed append must not disturb the cached counts either.
+    assert!(svc.append_ptb("( (S (NP broken").is_err());
+    assert_eq!(svc.count("//NP").unwrap(), 7);
+    let s = svc.stats();
+    assert_eq!(s.shard_count_misses, 4, "failed append recounted: {s:?}");
+
+    // A swap rebuilds every shard: every per-shard count is stale.
+    svc.swap_corpus(&corpus);
+    assert_eq!(svc.count("//NP").unwrap(), 6);
+    let s = svc.stats();
+    assert_eq!((s.shard_count_misses, s.shard_count_hits), (7, 2));
+}
+
+#[test]
 fn editor_handles_stay_invalid_after_delete() {
     use lpath::model::TreeEditor;
     let corpus = parse_str("( (S (A (B x) (C y)) (D z)) )").unwrap();

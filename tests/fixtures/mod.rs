@@ -1,0 +1,78 @@
+//! The shared evaluation fixture: the paper's 23 queries (Figure 6(c))
+//! zipped across all four dialects, with the golden result sizes the
+//! paper reports.
+//!
+//! This is the **single source** for cross-dialect query alignment —
+//! consumed by the benchmark harness (`crates/bench`), the
+//! `cross_engine` agreement tests and the `prop_pagination` suite,
+//! which previously each zipped `QUERIES` with `TGREP_QUERIES[i]` /
+//! `CS_QUERIES[i]` by hand. The arrays themselves still live with their
+//! engines; this module owns the *correspondence*.
+//!
+//! Shared from two compilation contexts (the root package's
+//! integration tests via `mod fixtures;`, the bench crate via a
+//! `#[path]` include), so every consumer uses only a subset of it.
+#![allow(dead_code)]
+
+use lpath_core::queryset::QUERIES;
+use lpath_corpussearch::CS_QUERIES;
+use lpath_tgrep::TGREP_QUERIES;
+use lpath_xpath::XPATH_QUERIES;
+
+/// One evaluation query in every dialect it exists in, plus the golden
+/// result sizes of the paper's full-scale corpora.
+pub struct EvalCase {
+    /// 1-based query id (Q1–Q23).
+    pub id: usize,
+    /// The LPath spelling (Figure 6(c), verbatim).
+    pub lpath: &'static str,
+    /// The TGrep2-dialect spelling.
+    pub tgrep: &'static str,
+    /// The CorpusSearch-dialect spelling.
+    pub cs: &'static str,
+    /// The XPath 1.0 spelling, for the 11 XPath-expressible queries.
+    pub xpath: Option<&'static str>,
+    /// Result size the paper reports on the full WSJ corpus.
+    pub paper_wsj: usize,
+    /// Result size the paper reports on the full Switchboard corpus.
+    pub paper_swb: usize,
+}
+
+/// The evaluation query aligned across dialects, by 1-based id.
+pub fn eval_case(id: usize) -> EvalCase {
+    let q = &QUERIES[id - 1];
+    EvalCase {
+        id: q.id,
+        lpath: q.lpath,
+        tgrep: TGREP_QUERIES[id - 1],
+        cs: CS_QUERIES[id - 1],
+        xpath: XPATH_QUERIES
+            .iter()
+            .find(|&&(xid, _)| xid == q.id)
+            .map(|&(_, x)| x),
+        paper_wsj: q.paper_wsj,
+        paper_swb: q.paper_swb,
+    }
+}
+
+/// All 23 evaluation queries, aligned across dialects.
+pub fn eval_cases() -> Vec<EvalCase> {
+    QUERIES.iter().map(|q| eval_case(q.id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_align_one_to_one() {
+        let cases = eval_cases();
+        assert_eq!(cases.len(), 23);
+        let xpath_expressible = cases.iter().filter(|c| c.xpath.is_some()).count();
+        assert_eq!(xpath_expressible, 11);
+        for (i, c) in cases.iter().enumerate() {
+            assert_eq!(c.id, i + 1);
+            assert!(!c.lpath.is_empty() && !c.tgrep.is_empty() && !c.cs.is_empty());
+        }
+    }
+}

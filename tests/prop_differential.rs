@@ -410,10 +410,84 @@ proptest! {
         let greedy = Engine::build(&corpus);
         let syntactic = Engine::with_config(
             &corpus,
-            PlannerConfig { order: JoinOrder::Syntactic },
+            PlannerConfig { order: JoinOrder::Syntactic, ..Default::default() },
         );
         let a = greedy.query_ast(&query).unwrap();
         let b = syntactic.query_ast(&query).unwrap();
         prop_assert_eq!(a, b, "join order changed results on {}", query);
     }
+
+    #[test]
+    fn first_rows_and_all_rows_goals_agree(
+        corpus in arb_corpus(),
+        query in arb_query(),
+        k in 1usize..10,
+    ) {
+        // The optimization goal reorders joins for startup cost; the
+        // result set — full or any prefix — must be unchanged.
+        use lpath_relstore::{OptGoal, PlannerConfig};
+        let all_rows = Engine::build(&corpus);
+        let first_rows = Engine::with_config(
+            &corpus,
+            PlannerConfig { goal: OptGoal::FirstRows(k), ..Default::default() },
+        );
+        let a = all_rows.query_ast(&query).unwrap();
+        let b = first_rows.query_ast(&query).unwrap();
+        prop_assert_eq!(&a, &b, "goal changed results on {}", query);
+        let page = first_rows.query_limit_ast(&query, 0, k).unwrap();
+        prop_assert_eq!(&page[..], &a[..k.min(a.len())], "goal changed page on {}", query);
+    }
+}
+
+#[test]
+fn first_rows_flips_the_join_order_on_a_skewed_corpus() {
+    use lpath_relstore::{OptGoal, PlannerConfig};
+    // Skew the tag frequencies: A occurs 100 times, its B children 150
+    // times. AllRows anchors the smaller input (A); FirstRows pays the
+    // 1.5× input premium to anchor the *output* alias (B) and emit in
+    // scan order.
+    let src: String = (0..100)
+        .map(|i| {
+            if i % 2 == 0 {
+                "( (S (A (B u) (B v))) )\n"
+            } else {
+                "( (S (A (B u))) )\n"
+            }
+        })
+        .collect();
+    let corpus = parse_str(&src).unwrap();
+    let engine = Engine::build(&corpus);
+    let query = parse("//A/B").unwrap();
+    let cq = engine.translate(&query).unwrap();
+    let out = cq.projection[0].alias;
+    let all = lpath_relstore::plan(engine.database(), &cq, &PlannerConfig::default());
+    let first = lpath_relstore::plan(
+        engine.database(),
+        &cq,
+        &PlannerConfig {
+            goal: OptGoal::FirstRows(10),
+            ..Default::default()
+        },
+    );
+    assert_ne!(
+        all.steps[0].alias, first.steps[0].alias,
+        "goal did not flip the anchor:\n{all}\n{first}"
+    );
+    assert_eq!(
+        first.steps[0].alias, out,
+        "FirstRows must anchor the output alias:\n{first}"
+    );
+    assert!(first.estimated_startup <= all.estimated_startup);
+    // Different orders, identical answers.
+    let first_engine = Engine::with_config(
+        &corpus,
+        PlannerConfig {
+            goal: OptGoal::FirstRows(10),
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        engine.query_ast(&query).unwrap(),
+        first_engine.query_ast(&query).unwrap()
+    );
 }
