@@ -3,16 +3,18 @@
 //! (7 runs, trimmed mean).
 //!
 //! ```text
-//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|all] [sentences]
+//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|all] [sentences]
 //! ```
 //!
 //! With no arguments, prints everything at the default scale (1/20 of
-//! the paper's corpus; see `lpath-bench`'s crate docs). Three modes
+//! the paper's corpus; see `lpath-bench`'s crate docs). Four modes
 //! additionally write machine-readable numbers to the working
 //! directory: `service` (`BENCH_service.json`), `firstmatch`
-//! (`BENCH_firstmatch.json`) and `page` — page-1 latency of the
+//! (`BENCH_firstmatch.json`), `page` — page-1 latency of the
 //! limit-aware `FirstRows` pipeline against the `AllRows` baseline —
-//! (`BENCH_page.json`).
+//! (`BENCH_page.json`) and `sweep` — a page-1 → page-K sweep on the
+//! resumable executor against per-page recomputation —
+//! (`BENCH_sweep.json`).
 
 use std::time::Instant;
 
@@ -59,6 +61,7 @@ fn main() {
         "service" => service(&wsj, wsj_n),
         "firstmatch" => firstmatch(&wsj, wsj_n),
         "page" => page(&wsj, wsj_n),
+        "sweep" => sweep(&wsj, wsj_n),
         "all" => {
             fig6a(&wsj, &swb);
             fig6b(&wsj, &swb);
@@ -72,11 +75,12 @@ fn main() {
             service(&wsj, wsj_n);
             firstmatch(&wsj, wsj_n);
             page(&wsj, wsj_n);
+            sweep(&wsj, wsj_n);
         }
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected \
-                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|all"
+                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|all"
             );
             std::process::exit(2);
         }
@@ -801,6 +805,192 @@ fn page(wsj: &Corpus, wsj_n: usize) {
     match std::fs::write("BENCH_page.json", &json) {
         Ok(()) => println!("wrote BENCH_page.json\n"),
         Err(e) => eprintln!("could not write BENCH_page.json: {e}\n"),
+    }
+}
+
+/// One per-query row of the sweep benchmark.
+struct SweepRow {
+    id: usize,
+    lpath: &'static str,
+    results: usize,
+    pages: usize,
+    recompute_secs: f64,
+    resume_secs: f64,
+    service_cold_secs: f64,
+    service_warm_secs: f64,
+    page_resumes: u64,
+    page_partial_evals: u64,
+}
+
+/// The `sweep` mode: the interactive paging workload — a user walks
+/// pages 1 → K of a query — on the resumable executor against
+/// per-page recomputation, per evaluation query:
+///
+/// * **recompute** — `Engine::query_limit(q, k·10, 10)` for each page
+///   `k`: every deeper page re-derives its whole prefix, O(page ×
+///   prefix) over the sweep (the PR-3-era cost model);
+/// * **resume** — the same pages through `Engine::query_resume`
+///   checkpoints: each page enumerates only its own rows, amortized
+///   O(rows emitted) over the sweep;
+/// * **service cold** — `Service::eval_page` sweeping a fresh
+///   8-shard service: deeper pages extend each shard's cached,
+///   checkpointed prefix (`page_resumes` counts the extensions;
+///   `shard_evals` staying 0 proves no shard was ever fully
+///   evaluated);
+/// * **service warm** — re-sweeping the same pages, now served
+///   entirely from the prefix/result caches.
+///
+/// Writes `BENCH_sweep.json` with every number printed plus the count
+/// of queries the resumable sweep improves — CI smoke-runs this as a
+/// regression canary for the resumable executor.
+fn sweep(wsj: &Corpus, wsj_n: usize) {
+    println!("== Page-1 → page-K sweep: resumable executor vs per-page recompute (WSJ) ==");
+    const PAGE: usize = 10;
+    const MAX_PAGES: usize = 20;
+    let engine = Engine::build(wsj);
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for case in lpath_bench::fixtures::eval_cases() {
+        let ast = lpath_syntax::parse(case.lpath).expect("evaluation query parses");
+        let results = engine.count(case.lpath).expect("evaluation query");
+        let pages = results.div_ceil(PAGE).clamp(1, MAX_PAGES);
+
+        // Correctness pin: the resumable sweep is byte-identical to
+        // the recomputed pages.
+        {
+            let mut ckpt = None;
+            for k in 0..pages {
+                let (chunk, next) = engine.query_resume(&ast, ckpt.take(), PAGE).unwrap();
+                assert_eq!(
+                    chunk,
+                    engine.query_limit_ast(&ast, k * PAGE, PAGE).unwrap(),
+                    "Q{} page {k}: resume and recompute disagree",
+                    case.id
+                );
+                match next {
+                    Some(c) => ckpt = Some(c),
+                    None => break,
+                }
+            }
+        }
+
+        let recompute = time7(|| {
+            for k in 0..pages {
+                engine.query_limit_ast(&ast, k * PAGE, PAGE).unwrap();
+            }
+        });
+        let resume = time7(|| {
+            let mut ckpt = None;
+            for _ in 0..pages {
+                let (_, next) = engine.query_resume(&ast, ckpt.take(), PAGE).unwrap();
+                match next {
+                    Some(c) => ckpt = Some(c),
+                    None => break,
+                }
+            }
+        });
+
+        // Service sweep: cold (prefixes built page by page), then warm
+        // (pure cache).
+        let svc = Service::with_config(
+            wsj,
+            ServiceConfig {
+                shards: 8,
+                ..ServiceConfig::default()
+            },
+        );
+        let t = Instant::now();
+        for k in 0..pages {
+            svc.eval_page(case.lpath, k * PAGE, PAGE).unwrap();
+        }
+        let service_cold = t.elapsed();
+        let stats = svc.stats();
+        assert_eq!(
+            stats.shard_evals, 0,
+            "Q{}: the sweep must never fully evaluate a shard",
+            case.id
+        );
+        let service_warm = time7(|| {
+            for k in 0..pages {
+                svc.eval_page(case.lpath, k * PAGE, PAGE).unwrap();
+            }
+        });
+        rows.push(SweepRow {
+            id: case.id,
+            lpath: case.lpath,
+            results,
+            pages,
+            recompute_secs: recompute.as_secs_f64(),
+            resume_secs: resume.as_secs_f64(),
+            service_cold_secs: service_cold.as_secs_f64(),
+            service_warm_secs: service_warm.as_secs_f64(),
+            page_resumes: stats.page_resumes,
+            page_partial_evals: stats.page_partial_evals,
+        });
+    }
+
+    let speedup = |base: f64, fast: f64| base / fast.max(1e-12);
+    println!(
+        "{:<5}{:>7}{:>12}{:>12}{:>13}{:>13}{:>8}{:>9}",
+        "Q", "pages", "recompute", "resume", "svc cold", "svc warm", "×", "results"
+    );
+    for r in &rows {
+        println!(
+            "{:<5}{:>7}{:>12.6}{:>12.6}{:>13.6}{:>13.6}{:>8.2}{:>9}",
+            format!("Q{}", r.id),
+            r.pages,
+            r.recompute_secs,
+            r.resume_secs,
+            r.service_cold_secs,
+            r.service_warm_secs,
+            speedup(r.recompute_secs, r.resume_secs),
+            r.results,
+        );
+    }
+    let improved = rows
+        .iter()
+        .filter(|r| r.pages > 1 && r.resume_secs < r.recompute_secs)
+        .count();
+    let multi = rows.iter().filter(|r| r.pages > 1).count();
+    println!(
+        "multi-page queries whose sweep the resumable executor improves: {improved} of {multi}\n"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"sweep\",\n");
+    json.push_str(&format!("  \"wsj_sentences\": {wsj_n},\n"));
+    json.push_str(&format!("  \"page_size\": {PAGE},\n"));
+    json.push_str(&format!("  \"max_pages\": {MAX_PAGES},\n"));
+    json.push_str("  \"service_shards\": 8,\n");
+    json.push_str("  \"per_query\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": {}, \"lpath\": {:?}, \"results\": {}, \"pages\": {}, \
+             \"sweep_recompute_secs\": {:.9}, \"sweep_resume_secs\": {:.9}, \
+             \"service_cold_sweep_secs\": {:.9}, \"service_warm_sweep_secs\": {:.9}, \
+             \"page_resumes\": {}, \"page_partial_evals\": {}, \"speedup\": {:.3}}}{}\n",
+            r.id,
+            r.lpath,
+            r.results,
+            r.pages,
+            r.recompute_secs,
+            r.resume_secs,
+            r.service_cold_secs,
+            r.service_warm_secs,
+            r.page_resumes,
+            r.page_partial_evals,
+            speedup(r.recompute_secs, r.resume_secs),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"queries_improved\": {improved},\n  \"queries_multi_page\": {multi}\n"
+    ));
+    json.push_str("}\n");
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => println!("wrote BENCH_sweep.json\n"),
+        Err(e) => eprintln!("could not write BENCH_sweep.json: {e}\n"),
     }
 }
 

@@ -13,6 +13,15 @@
 //! `LPATH_BENCH_SENTENCES` (WSJ sentences; SWB is scaled to match the
 //! paper's ratio) to change it, e.g. the paper-scale
 //! `LPATH_BENCH_SENTENCES=49000`.
+//!
+//! ```
+//! use lpath_bench::{fixtures, wsj_corpus};
+//!
+//! // A tiny synthetic WSJ slice plus the 23-query alignment fixture.
+//! let corpus = wsj_corpus(5);
+//! assert_eq!(corpus.trees().len(), 5);
+//! assert_eq!(fixtures::eval_cases().len(), 23);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -285,15 +285,249 @@ impl Engine {
         self.query_limit_ast(&ast, offset, limit)
     }
 
-    /// [`Engine::query_limit`] for an already-parsed query.
+    /// [`Engine::query_limit`] for an already-parsed query. Runs on
+    /// the resumable executor ([`Engine::query_resume`]) — a one-shot
+    /// page is simply a resumable enumeration whose checkpoint is
+    /// dropped.
     pub fn query_limit_ast(
         &self,
         ast: &Path,
         offset: usize,
         limit: usize,
     ) -> Result<Vec<(u32, NodeId)>, EngineError> {
-        let need = offset.saturating_add(limit).max(1);
-        self.query_limit_with(ast, offset, limit, OptGoal::FirstRows(need))
+        if limit == 0 {
+            // Untranslatable queries still error; translatable ones
+            // skip all evaluation for the empty page.
+            self.translate(ast)?;
+            return Ok(Vec::new());
+        }
+        let need = offset.saturating_add(limit);
+        let (mut rows, _) = self.query_resume(ast, None, need)?;
+        Ok(rows.split_off(offset.min(rows.len())))
+    }
+
+    /// Resume (or begin) a **document-ordered** enumeration: return up
+    /// to `limit` further matches after `checkpoint` — from the start
+    /// when `None` — plus the checkpoint to continue from, or `None`
+    /// once the enumeration is known complete. Concatenating the
+    /// chunks of successive calls is byte-identical to
+    /// [`Engine::query_ast`], whatever the per-call limits; no tree is
+    /// re-evaluated and no match re-enumerated across calls.
+    ///
+    /// Two execution strategies, chosen at the first call and carried
+    /// in the checkpoint:
+    ///
+    /// * **suspended pipeline** — when the plan's anchor probes an
+    ///   index keyed `(…, tid, …)` right after its equality prefix,
+    ///   candidate rows (and hence matches — every alias of a match
+    ///   shares the anchor's tree) arrive in non-decreasing tree-id
+    ///   order. One [`lpath_relstore::Cursor`] then serves every page:
+    ///   trees retire monotonically, finished trees are sorted and
+    ///   emitted, and suspension captures the cursor mid-probe via
+    ///   [`lpath_relstore::Cursor::suspend`] together with the
+    ///   in-flight tree's partial match buffer.
+    /// * **chunked** — otherwise, the adaptive tree-id-range schedule
+    ///   of [`Engine::query_limit`], with the next unscanned tree id
+    ///   carried in the checkpoint so deeper pages continue where the
+    ///   last one stopped instead of rescanning from tree 0.
+    ///
+    /// Either way, rows enumerated beyond `limit` (the tail of a
+    /// sorted chunk or tree) ride along in the checkpoint and are
+    /// served first on the next call.
+    ///
+    /// A checkpoint is only meaningful against the engine (and query)
+    /// it came from; callers that cache checkpoints must key them
+    /// accordingly.
+    pub fn query_resume(
+        &self,
+        ast: &Path,
+        checkpoint: Option<QueryCheckpoint>,
+        limit: usize,
+    ) -> Result<Resumed, EngineError> {
+        let ckpt = match checkpoint {
+            Some(c) => c,
+            None => {
+                let cq = self.translate(ast)?;
+                let cfg = PlannerConfig {
+                    order: self.planner.order,
+                    goal: OptGoal::FirstRows(limit.clamp(1, usize::MAX / 2)),
+                };
+                let plan = rel::plan(&self.db, &cq, &cfg);
+                let state = if self.tid_ordered_anchor(&plan) {
+                    let cursor = rel::Cursor::new(&plan, &self.db).suspend();
+                    ResumeState::Stream {
+                        plan: Box::new(plan),
+                        cursor,
+                        buf: Vec::new(),
+                    }
+                } else {
+                    ResumeState::Chunked {
+                        plan: Box::new(plan),
+                        next_tree: 0,
+                    }
+                };
+                QueryCheckpoint {
+                    pending: Vec::new(),
+                    state,
+                }
+            }
+        };
+        // Rows already enumerated by an earlier call are served first;
+        // when they cover the whole page, no strategy work runs at
+        // all (no re-plan, no cursor resume).
+        let mut ready = ckpt.pending;
+        let (state, exhausted) = if ready.len() >= limit {
+            let exhausted = matches!(ckpt.state, ResumeState::Drained);
+            (ckpt.state, exhausted)
+        } else {
+            match ckpt.state {
+                ResumeState::Drained => (ResumeState::Drained, true),
+                ResumeState::Stream { plan, cursor, buf } => {
+                    self.advance_stream(plan, cursor, buf, &mut ready, limit)
+                }
+                ResumeState::Chunked { plan, next_tree } => {
+                    self.advance_chunked(plan, next_tree, &mut ready, limit)
+                }
+            }
+        };
+        let out: Vec<(u32, NodeId)> = ready.drain(..limit.min(ready.len())).collect();
+        let next = if exhausted && ready.is_empty() {
+            None
+        } else {
+            Some(QueryCheckpoint {
+                pending: ready,
+                state: if exhausted {
+                    ResumeState::Drained
+                } else {
+                    state
+                },
+            })
+        };
+        Ok((out, next))
+    }
+
+    /// Pull the suspended pipeline until `ready` covers `limit`,
+    /// retiring (sorting and appending) each tree as the cursor's
+    /// anchor moves past it. Returns the successor state and whether
+    /// the enumeration completed.
+    fn advance_stream(
+        &self,
+        plan: Box<rel::Plan>,
+        cursor: rel::CursorCheckpoint,
+        mut buf: Vec<(u32, NodeId)>,
+        ready: &mut Vec<(u32, NodeId)>,
+        limit: usize,
+    ) -> (ResumeState, bool) {
+        let mut live = rel::Cursor::resume(&plan, &self.db, cursor);
+        let mut exhausted = false;
+        while ready.len() < limit {
+            match live.next() {
+                Some(row) => {
+                    debug_assert_eq!(row.len(), 2);
+                    let m = (row[0], NodeId(row[1] - 2));
+                    if let Some(&(tree, _)) = buf.first() {
+                        debug_assert!(m.0 >= tree, "anchor emitted trees out of order");
+                        if m.0 != tree {
+                            buf.sort_unstable();
+                            ready.append(&mut buf);
+                        }
+                    }
+                    buf.push(m);
+                }
+                None => {
+                    buf.sort_unstable();
+                    ready.append(&mut buf);
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        let state = if exhausted {
+            ResumeState::Drained
+        } else {
+            ResumeState::Stream {
+                cursor: live.into_checkpoint(),
+                plan,
+                buf,
+            }
+        };
+        (state, exhausted)
+    }
+
+    /// Evaluate adaptive tree-id chunks starting at `next_tree` until
+    /// `ready` covers `limit`, mirroring [`Engine::query_limit_with`]'s
+    /// schedule but re-entrant: the plan rides in the checkpoint
+    /// (like the stream strategy's, so resumed calls never re-plan)
+    /// and the returned state records the next unscanned tree.
+    fn advance_chunked(
+        &self,
+        plan: Box<rel::Plan>,
+        next_tree: usize,
+        ready: &mut Vec<(u32, NodeId)>,
+        limit: usize,
+    ) -> (ResumeState, bool) {
+        if plan.steps.is_empty() {
+            // No join step to push a range onto (cannot happen for
+            // translated queries; defensive): evaluate fully, once.
+            if next_tree == 0 {
+                let mut all = rows_to_matches(rel::execute(&plan, &self.db));
+                all.sort_unstable();
+                ready.append(&mut all);
+            }
+            return (
+                ResumeState::Chunked {
+                    plan,
+                    next_tree: self.ntrees,
+                },
+                true,
+            );
+        }
+        let carried = ready.len();
+        let mut lo = next_tree;
+        let mut span = initial_span(limit, plan.estimated_result, self.ntrees);
+        while lo < self.ntrees && ready.len() < limit {
+            let hi = lo.saturating_add(span).min(self.ntrees);
+            let mut ranged = plan.clone();
+            self.push_tid_range(&mut ranged, lo as Value, hi as Value, true);
+            let mut chunk = rows_to_matches(rel::execute(&ranged, &self.db));
+            chunk.sort_unstable();
+            ready.append(&mut chunk);
+            lo = hi;
+            span = next_span(
+                ready.len() - carried,
+                lo - next_tree,
+                limit.saturating_sub(carried),
+                self.ntrees,
+            );
+        }
+        let exhausted = lo >= self.ntrees;
+        (
+            ResumeState::Chunked {
+                plan,
+                next_tree: lo,
+            },
+            exhausted,
+        )
+    }
+
+    /// Does the streaming cursor emit this plan's matches in
+    /// non-decreasing tree-id order? True when the anchor step probes
+    /// an index whose key column right after the equality prefix is
+    /// `tid` with no pre-existing range bounds: its candidates arrive
+    /// in `(tid, …)` clustered order, and the translation's implicit
+    /// same-tree equalities give every later alias the anchor's tid.
+    fn tid_ordered_anchor(&self, plan: &rel::Plan) -> bool {
+        let Some(step) = plan.steps.first() else {
+            return false;
+        };
+        match &step.access {
+            rel::AccessPath::IndexRange { index, eq, lo, hi } => {
+                lo.is_none()
+                    && hi.is_none()
+                    && self.db.index(*index).key().get(eq.len()) == Some(&self.cols.col(NCol::Tid))
+            }
+            rel::AccessPath::FullScan => false,
+        }
     }
 
     /// [`Engine::query_limit_ast`] with an explicit optimization goal —
@@ -432,6 +666,75 @@ fn rows_to_matches(rows: Vec<Vec<Value>>) -> Vec<(u32, NodeId)> {
             (row[0], NodeId(row[1] - 2))
         })
         .collect()
+}
+
+/// One [`Engine::query_resume`] step: the document-ordered rows this
+/// call produced, plus the checkpoint to continue from (`None` once
+/// the enumeration is known complete).
+pub type Resumed = (Vec<(u32, NodeId)>, Option<QueryCheckpoint>);
+
+/// A suspended document-order enumeration (see
+/// [`Engine::query_resume`]): rows already enumerated but not yet
+/// emitted, plus whatever the chosen execution strategy needs to
+/// continue — a suspended relational pipeline
+/// ([`lpath_relstore::CursorCheckpoint`] + the in-flight tree's
+/// partial buffer + the plan it belongs to) or the next unscanned
+/// tree id of the chunked schedule.
+///
+/// Checkpoints are plain owned data: they can be cached, cloned and
+/// resumed long after the call that produced them (the service keeps
+/// one per cached result prefix). They are only meaningful against
+/// the same engine and query they were suspended from.
+#[derive(Clone, Debug)]
+pub struct QueryCheckpoint {
+    /// Document-ordered rows enumerated past the last emitted page.
+    pending: Vec<(u32, NodeId)>,
+    state: ResumeState,
+}
+
+impl QueryCheckpoint {
+    /// Rows already enumerated and awaiting emission — served (for
+    /// free) by the next [`Engine::query_resume`] call before any
+    /// further evaluation.
+    pub fn buffered(&self) -> usize {
+        self.pending.len() + self.stream_buffered()
+    }
+
+    /// Is this checkpoint on the suspended-pipeline strategy (as
+    /// opposed to chunked re-planning or a fully drained state)?
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.state, ResumeState::Stream { .. })
+    }
+
+    fn stream_buffered(&self) -> usize {
+        match &self.state {
+            ResumeState::Stream { buf, .. } => buf.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// The strategy-specific half of a [`QueryCheckpoint`].
+#[derive(Clone, Debug)]
+enum ResumeState {
+    /// One suspended pipeline serves every page: the plan, the
+    /// suspended cursor over it, and the matches of the tree the
+    /// cursor is currently inside (complete only once the anchor
+    /// moves past it).
+    Stream {
+        plan: Box<rel::Plan>,
+        cursor: rel::CursorCheckpoint,
+        buf: Vec<(u32, NodeId)>,
+    },
+    /// Chunked evaluation: the plan the chunks range over, plus the
+    /// watermark — everything below `next_tree` has been enumerated
+    /// (and sits in `pending` if not yet emitted).
+    Chunked {
+        plan: Box<rel::Plan>,
+        next_tree: usize,
+    },
+    /// The enumeration is complete; only `pending` rows remain.
+    Drained,
 }
 
 /// A streaming match iterator (see [`Engine::matches`]). Yields
@@ -738,6 +1041,69 @@ mod tests {
         assert!(next_span(5, 10, 10, 1_000) >= 10);
         // ...and a dry round finishes the corpus.
         assert_eq!(next_span(0, 10, 10, 1_000), 990);
+    }
+
+    #[test]
+    fn query_resume_concatenation_is_exact_at_every_boundary() {
+        let src: String = std::iter::repeat_n(FIG1, 12).collect::<Vec<_>>().join("\n");
+        let corpus = parse_str(&src).unwrap();
+        let e = Engine::build(&corpus);
+        // Streamable anchors and chunked fallbacks alike.
+        for q in ["//NP", "//V->NP", "//NP[not(//Det)]", "//_", "//ZZZ"] {
+            let ast = lpath_syntax::parse(q).unwrap();
+            let full = e.query(q).unwrap();
+            // Two-call split at every row boundary.
+            for split in 0..=full.len() {
+                let (head, ckpt) = e.query_resume(&ast, None, split.max(1)).unwrap();
+                let cut = split.max(1).min(full.len());
+                assert_eq!(head, full[..cut], "{q} split {split}");
+                let Some(ckpt) = ckpt else {
+                    assert_eq!(cut, full.len(), "{q} split {split}");
+                    continue;
+                };
+                let (tail, end) = e.query_resume(&ast, Some(ckpt), usize::MAX).unwrap();
+                assert_eq!(tail, full[cut..], "{q} split {split}");
+                assert!(end.is_none(), "{q} split {split}");
+            }
+            // Page-at-a-time sweep, page size 3.
+            let mut got = Vec::new();
+            let mut ckpt = None;
+            loop {
+                let (rows, next) = e.query_resume(&ast, ckpt, 3).unwrap();
+                got.extend(rows);
+                match next {
+                    Some(c) => ckpt = Some(c),
+                    None => break,
+                }
+            }
+            assert_eq!(got, full, "{q} sweep");
+        }
+    }
+
+    #[test]
+    fn name_anchored_queries_resume_on_the_suspended_pipeline() {
+        let src: String = std::iter::repeat_n(FIG1, 8).collect::<Vec<_>>().join("\n");
+        let corpus = parse_str(&src).unwrap();
+        let e = Engine::build(&corpus);
+        // `//NP` anchors on the clustered (name, tid, …) index: the
+        // stream strategy applies and pages come from one suspended
+        // cursor, not from re-planned chunks.
+        let ast = lpath_syntax::parse("//NP").unwrap();
+        let (page, ckpt) = e.query_resume(&ast, None, 2).unwrap();
+        assert_eq!(page.len(), 2);
+        let ckpt = ckpt.expect("more NPs remain");
+        assert!(ckpt.is_streaming());
+        let (more, _) = e.query_resume(&ast, Some(ckpt), 2).unwrap();
+        assert_eq!(more, e.query("//NP").unwrap()[2..4]);
+    }
+
+    #[test]
+    fn query_resume_errors_on_unsupported_queries() {
+        let e = engine();
+        assert!(matches!(
+            e.query_resume(&lpath_syntax::parse("//VP/_[last()]").unwrap(), None, 5),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //! ).unwrap();
 //! let engine = Engine::build(&corpus);
 //! assert_eq!(engine.count("//VP{/NP$}").unwrap(), 1);
+//!
+//! // Document-ordered enumeration is resumable: stop after a page,
+//! // keep the checkpoint, continue later with nothing replayed.
+//! let ast = lpath_syntax::parse("//_").unwrap();
+//! let (page1, ckpt) = engine.query_resume(&ast, None, 3).unwrap();
+//! let (rest, done) = engine.query_resume(&ast, ckpt, usize::MAX).unwrap();
+//! assert!(done.is_none());
+//! let mut all = page1; all.extend(rest);
+//! assert_eq!(all, engine.query("//_").unwrap());
 //! ```
 
 #![warn(missing_docs)]
@@ -34,8 +43,8 @@ pub mod queryset;
 pub mod translate;
 pub mod walker;
 
-pub use engine::{Engine, EngineError, Matches};
+pub use engine::{Engine, EngineError, Matches, QueryCheckpoint};
 pub use naive::NaiveEvaluator;
 pub use queryset::{BenchQuery, ExtQuery, EXTENDED_QUERIES, QUERIES};
 pub use translate::{Translator, Unsupported};
-pub use walker::Walker;
+pub use walker::{Walker, WalkerCheckpoint};

@@ -31,6 +31,16 @@ impl Point {
     }
 }
 
+/// A suspended [`Walker::eval_resume`] enumeration: the next tree to
+/// evaluate plus any matches already found past the last emitted page.
+/// Tree-granular (trees are cheap to evaluate individually), owned,
+/// and valid only against the corpus it was produced over.
+#[derive(Clone, Debug)]
+pub struct WalkerCheckpoint {
+    next_tree: usize,
+    pending: Vec<(u32, NodeId)>,
+}
+
 /// Tree-walking evaluator over a corpus. Labels every tree once at
 /// construction (or borrows labels a caller computed once and keeps —
 /// see [`Walker::with_labels`]).
@@ -133,18 +143,44 @@ impl<'c> Walker<'c> {
         if limit == 0 {
             return Vec::new();
         }
-        let need = offset.saturating_add(limit);
-        let mut out = Vec::new();
-        for tid in 0..self.corpus.trees().len() {
-            for node in self.eval_tree(tid, query) {
-                out.push((tid as u32, node));
+        let (mut rows, _) = self.eval_resume(query, None, offset.saturating_add(limit));
+        rows.split_off(offset.min(rows.len()))
+    }
+
+    /// Resume (or begin) a document-ordered enumeration: up to `limit`
+    /// further matches after `checkpoint` (from the start when
+    /// `None`), plus the checkpoint to continue from — `None` once the
+    /// corpus is known exhausted. Concatenating the chunks of
+    /// successive calls is byte-identical to [`Walker::eval`]; no tree
+    /// is re-evaluated across calls. The walker-strategy mirror of
+    /// [`crate::Engine::query_resume`].
+    pub fn eval_resume(
+        &self,
+        query: &Path,
+        checkpoint: Option<WalkerCheckpoint>,
+        limit: usize,
+    ) -> (Vec<(u32, NodeId)>, Option<WalkerCheckpoint>) {
+        let (mut ready, mut next_tree) = match checkpoint {
+            Some(c) => (c.pending, c.next_tree),
+            None => (Vec::new(), 0),
+        };
+        let ntrees = self.corpus.trees().len();
+        while next_tree < ntrees && ready.len() < limit {
+            for node in self.eval_tree(next_tree, query) {
+                ready.push((next_tree as u32, node));
             }
-            if out.len() >= need {
-                break;
-            }
+            next_tree += 1;
         }
-        out.truncate(need);
-        out.split_off(offset.min(out.len()))
+        let out: Vec<(u32, NodeId)> = ready.drain(..limit.min(ready.len())).collect();
+        let next = if next_tree >= ntrees && ready.is_empty() {
+            None
+        } else {
+            Some(WalkerCheckpoint {
+                next_tree,
+                pending: ready,
+            })
+        };
+        (out, next)
     }
 
     /// Evaluate in parallel over `threads` worker threads, partitioning
@@ -731,6 +767,39 @@ mod tests {
                     "{q} {offset}/{limit}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn eval_resume_concatenation_is_exact_at_every_boundary() {
+        let src: String = std::iter::repeat_n(FIG1, 9).collect::<Vec<_>>().join("\n");
+        let c = parse_str(&src).unwrap();
+        let w = Walker::new(&c);
+        for q in ["//V->NP", "//VP/_[last()]", "//NP[not(//Det)]", "//ZZZ"] {
+            let query = parse(q).unwrap();
+            let full = w.eval(&query);
+            for split in 1..=full.len().max(1) {
+                let (head, ckpt) = w.eval_resume(&query, None, split);
+                assert_eq!(head, full[..split.min(full.len())], "{q} split {split}");
+                let Some(ckpt) = ckpt else {
+                    assert_eq!(split, full.len().max(split), "{q}");
+                    continue;
+                };
+                let (tail, end) = w.eval_resume(&query, Some(ckpt), usize::MAX);
+                assert_eq!(tail, full[split.min(full.len())..], "{q} split {split}");
+                assert!(end.is_none(), "{q} split {split}");
+            }
+            // Page-at-a-time sweep.
+            let (mut got, mut ckpt) = (Vec::new(), None);
+            loop {
+                let (rows, next) = w.eval_resume(&query, ckpt, 2);
+                got.extend(rows);
+                match next {
+                    Some(c) => ckpt = Some(c),
+                    None => break,
+                }
+            }
+            assert_eq!(got, full, "{q} sweep");
         }
     }
 

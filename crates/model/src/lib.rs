@@ -18,6 +18,19 @@
 //! All tag names, attribute names and lexical values are interned
 //! ([`symbols`]) so that the relational layer can treat every column as a
 //! `u32`.
+//!
+//! ```
+//! use lpath_model::{label_tree, ptb::parse_str};
+//!
+//! let corpus = parse_str("( (S (NP (DT the) (NN dog)) (VP (VBD ran))) )").unwrap();
+//! let tree = &corpus.trees()[0];
+//! let labels = label_tree(tree);
+//! // Definition 4.1: the root spans every leaf (1-based ordinals),
+//! // ids are preorder.
+//! let root = &labels[tree.root().index()];
+//! assert_eq!((root.left, root.right), (1, 4));
+//! assert_eq!(root.id, 2); // id 1 is the implicit document node
+//! ```
 
 #![warn(missing_docs)]
 

@@ -14,7 +14,41 @@
 //!   narrow projection dedups through a packed `u64` set);
 //! * [`execute_page`] — skip `offset` tuples, keep `limit`, stop;
 //! * [`execute`] — the classic collect-everything form, now a thin
-//!   wrapper over the cursor.
+//!   wrapper over the cursor;
+//! * [`execute_resume`] — stop after `limit` tuples **and keep the
+//!   right to continue**: the enumeration suspends into a
+//!   [`CursorCheckpoint`] and a later call picks up exactly where it
+//!   stopped, paying nothing for the tuples already emitted.
+//!
+//! Suspension captures the complete join state — the binding of every
+//! alias, each open stage's candidate position, and the `DISTINCT`
+//! watermark — as plain owned data ([`CursorCheckpoint`]), so a
+//! checkpoint can outlive the cursor, the plan borrow, and the calling
+//! frame (e.g. live in a service's cache between page requests).
+//!
+//! ```
+//! use lpath_relstore::{execute, execute_resume, Cursor};
+//! # use lpath_relstore::{AccessPath, ColRef, Database, JoinStep, Plan, Schema, Table, ColId};
+//! # let mut t = Table::new(Schema::new(&["grp", "val"]));
+//! # for row in [[1, 10], [1, 11], [2, 20]] { t.push_row(&row); }
+//! # let mut db = Database::new();
+//! # let tid = db.add_table("t", t);
+//! # let plan = Plan {
+//! #     alias_tables: vec![tid],
+//! #     steps: vec![JoinStep { alias: 0, table: tid, access: AccessPath::FullScan,
+//! #                            residual: vec![], sets: vec![] }],
+//! #     checks: vec![], projection: vec![ColRef::new(0, ColId(1))], distinct: false,
+//! #     ..Plan::default()
+//! # };
+//! // Two tuples now…
+//! let (first, ckpt) = execute_resume(&plan, &db, None, 2);
+//! assert_eq!(first.len(), 2);
+//! // …the rest later, with no replay of the first two.
+//! let (rest, done) = execute_resume(&plan, &db, ckpt, usize::MAX);
+//! assert!(done.is_none());
+//! let mut all = first; all.extend(rest);
+//! assert_eq!(all, execute(&plan, &db));
+//! ```
 //!
 //! Output order and dedup semantics are identical to the historical
 //! recursive executor: tuples appear in pipeline (depth-first join)
@@ -39,6 +73,14 @@ enum Cands<'a> {
 }
 
 impl Cands<'_> {
+    /// The suspendable half of this stage's state (see [`LevelPos`]).
+    fn pos(&self) -> LevelPos {
+        match self {
+            Cands::Scan { next, .. } => LevelPos::Scan { next: *next },
+            Cands::Rows { pos, .. } => LevelPos::Rows { pos: *pos },
+        }
+    }
+
     fn next(&mut self) -> Option<RowId> {
         match self {
             Cands::Scan { next, end } => {
@@ -55,6 +97,63 @@ impl Cands<'_> {
                 row
             }
         }
+    }
+}
+
+/// The suspendable position of one open pipeline stage — the owned
+/// mirror of [`Cands`], minus everything re-derivable from the plan
+/// and database (the scan's end, the index probe's row slice).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LevelPos {
+    /// Next physical row of a full scan.
+    Scan { next: u32 },
+    /// Position within an index probe's candidate slice.
+    Rows { pos: usize },
+}
+
+/// A suspended [`Cursor`]: the complete join state as plain owned data.
+///
+/// Produced by [`Cursor::suspend`]; turned back into a live cursor by
+/// [`Cursor::resume`] / [`Cursor::resume_owning`]. A checkpoint holds
+///
+/// * the current binding of **every** alias (the join `Frame` the
+///   recursive checker and the cursor share),
+/// * each open stage's candidate position (scan offset or index-probe
+///   position — the probe itself is re-run on resume and lands on the
+///   same clustered-order slice, since the bindings it is keyed by are
+///   restored first),
+/// * the emitted-tuple `DISTINCT` watermark (packed for narrow
+///   projections, materialized for wide ones), so duplicates spanning
+///   a suspension are still suppressed.
+///
+/// A checkpoint is only meaningful against the **same plan over the
+/// same database contents** it was suspended from. Callers that cache
+/// checkpoints must scope them accordingly (the service scopes them to
+/// a shard's immutable build); resuming against a structurally
+/// different plan panics, resuming against different *data* silently
+/// yields garbage.
+#[derive(Clone, Debug)]
+pub struct CursorCheckpoint {
+    bindings: Vec<RowId>,
+    levels: Vec<LevelPos>,
+    primed: bool,
+    done: bool,
+    seen_narrow: HashSet<u64>,
+    seen_wide: HashSet<Vec<Value>>,
+}
+
+impl CursorCheckpoint {
+    /// Has the suspended enumeration already finished? A resumed
+    /// cursor over a finished checkpoint yields nothing (cheaply).
+    pub fn exhausted(&self) -> bool {
+        self.done
+    }
+
+    /// Number of distinct tuples emitted before suspension (the dedup
+    /// watermark's size). Zero for non-`DISTINCT` plans, whose
+    /// emissions are not tracked.
+    pub fn distinct_emitted(&self) -> usize {
+        self.seen_narrow.len() + self.seen_wide.len()
     }
 }
 
@@ -112,6 +211,99 @@ impl<'a> Cursor<'a> {
             seen_narrow: HashSet::new(),
             seen_wide: HashSet::new(),
         }
+    }
+
+    /// Capture the complete join state as owned data, leaving the
+    /// cursor untouched. Valid at any point between [`Iterator::next`]
+    /// calls — before the first pull, mid-enumeration, or after
+    /// exhaustion.
+    pub fn suspend(&self) -> CursorCheckpoint {
+        CursorCheckpoint {
+            bindings: self.bindings.clone(),
+            levels: self.levels.iter().map(Cands::pos).collect(),
+            primed: self.primed,
+            done: self.done,
+            seen_narrow: self.seen_narrow.clone(),
+            seen_wide: self.seen_wide.clone(),
+        }
+    }
+
+    /// [`Cursor::suspend`] by move: consumes the cursor and hands its
+    /// state over without copying the `DISTINCT` watermark — the
+    /// right form when the cursor is done being polled (a paging loop
+    /// suspending between requests), where cloning a large emitted
+    /// set per page would make suspension itself O(rows emitted).
+    pub fn into_checkpoint(self) -> CursorCheckpoint {
+        CursorCheckpoint {
+            levels: self.levels.iter().map(Cands::pos).collect(),
+            bindings: self.bindings,
+            primed: self.primed,
+            done: self.done,
+            seen_narrow: self.seen_narrow,
+            seen_wide: self.seen_wide,
+        }
+    }
+
+    /// Rebuild a live cursor from a checkpoint taken over the same
+    /// `plan` and `db`. The continuation is exact: the resumed cursor
+    /// yields precisely the tuples the suspended one would have yielded
+    /// next, in the same order, with the same `DISTINCT` suppression.
+    ///
+    /// # Panics
+    ///
+    /// If the checkpoint's shape does not match `plan` (different alias
+    /// count, more open stages than steps, or a stage whose recorded
+    /// position kind disagrees with the plan's access path).
+    pub fn resume(plan: &'a Plan, db: &'a Database, checkpoint: CursorCheckpoint) -> Self {
+        Self::restore(Cow::Borrowed(plan), db, checkpoint)
+    }
+
+    /// [`Cursor::resume`] with an owned plan (see [`Cursor::owning`]).
+    pub fn resume_owning(plan: Plan, db: &'a Database, checkpoint: CursorCheckpoint) -> Self {
+        Self::restore(Cow::Owned(plan), db, checkpoint)
+    }
+
+    fn restore(plan: Cow<'a, Plan>, db: &'a Database, ckpt: CursorCheckpoint) -> Self {
+        assert_eq!(
+            ckpt.bindings.len(),
+            plan.alias_tables.len(),
+            "checkpoint does not belong to this plan (alias count)"
+        );
+        assert!(
+            ckpt.levels.len() <= plan.steps.len(),
+            "checkpoint does not belong to this plan (open stages)"
+        );
+        let narrow = plan.projection.len() <= 2;
+        let mut cursor = Cursor {
+            plan,
+            db,
+            bindings: ckpt.bindings,
+            levels: Vec::with_capacity(ckpt.levels.len()),
+            primed: ckpt.primed,
+            done: ckpt.done,
+            narrow,
+            seen_narrow: ckpt.seen_narrow,
+            seen_wide: ckpt.seen_wide,
+        };
+        // Reopen each suspended stage against the restored bindings.
+        // While stage `d` is open, the bindings of steps `< d` are
+        // fixed (only deeper stages mutate deeper aliases), so the
+        // re-run probe resolves to the same candidate slice the
+        // suspended stage was iterating — only the position needs
+        // fast-forwarding.
+        for (d, saved) in ckpt.levels.iter().enumerate() {
+            let mut cands = cursor.open(d);
+            match (&mut cands, saved) {
+                (Cands::Scan { next, .. }, LevelPos::Scan { next: n }) => *next = *n,
+                (Cands::Rows { rows, pos }, LevelPos::Rows { pos: p }) => {
+                    debug_assert!(*p <= rows.len());
+                    *pos = *p;
+                }
+                _ => panic!("checkpoint stage {d} disagrees with the plan's access path"),
+            }
+            cursor.levels.push(cands);
+        }
+        cursor
     }
 
     fn frame(&self) -> Frame<'_> {
@@ -323,12 +515,41 @@ pub fn execute_page(plan: &Plan, db: &Database, offset: usize, limit: usize) -> 
     Cursor::new(plan, db).skip(offset).take(limit).collect()
 }
 
+/// Up to `limit` further tuples of `plan`'s output, continuing from
+/// `checkpoint` (or from the start when `None`), plus the checkpoint
+/// to continue from *next* — `None` once the enumeration is known
+/// exhausted. Concatenating the row chunks of successive calls is
+/// byte-identical to [`execute`], whatever the per-call limits.
+///
+/// A full page may coincide with the end of the enumeration; the call
+/// then still returns a checkpoint, and the following call returns
+/// `(vec![], None)` — "no more rows" is only ever discovered by asking.
+pub fn execute_resume(
+    plan: &Plan,
+    db: &Database,
+    checkpoint: Option<CursorCheckpoint>,
+    limit: usize,
+) -> (Vec<Vec<Value>>, Option<CursorCheckpoint>) {
+    let mut cursor = match checkpoint {
+        Some(ckpt) => Cursor::resume(plan, db, ckpt),
+        None => Cursor::new(plan, db),
+    };
+    let mut rows = Vec::new();
+    while rows.len() < limit {
+        match cursor.next() {
+            Some(row) => rows.push(row),
+            None => return (rows, None),
+        }
+    }
+    (rows, Some(cursor.into_checkpoint()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::catalog::{Database, IndexId, TableId};
     use crate::expr::{ColRef, Operand};
-    use crate::plan::{AccessPath, JoinStep, Plan};
+    use crate::plan::{AccessPath, JoinStep, Plan, SubCheck};
     use crate::schema::{ColId, Schema};
     use crate::table::Table;
 
@@ -466,6 +687,163 @@ mod tests {
         assert_eq!(count(&plan, &db), 1);
         assert!(exists(&plan, &db));
         assert_eq!(execute_page(&plan, &db, 1, 5), Vec::<Vec<Value>>::new());
+    }
+
+    /// Every plan shape the suspension tests sweep: scans, probes,
+    /// joins, distinct narrow/wide projections, existence checks.
+    fn checkpoint_plans(db: &Database, tid: TableId, idx: IndexId) -> Vec<Plan> {
+        let _ = db;
+        let join = Plan {
+            alias_tables: vec![tid, tid],
+            steps: vec![
+                JoinStep {
+                    alias: 0,
+                    table: tid,
+                    access: AccessPath::FullScan,
+                    residual: vec![],
+                    sets: vec![],
+                },
+                JoinStep {
+                    alias: 1,
+                    table: tid,
+                    access: AccessPath::IndexRange {
+                        index: idx,
+                        eq: vec![Operand::Col(ColRef::new(0, GRP))],
+                        lo: Some((false, Operand::Col(ColRef::new(0, VAL)))),
+                        hi: None,
+                    },
+                    residual: vec![],
+                    sets: vec![],
+                },
+            ],
+            checks: vec![],
+            projection: vec![ColRef::new(0, VAL), ColRef::new(1, VAL)],
+            distinct: false,
+            ..Plan::default()
+        };
+        let sub = Plan {
+            alias_tables: vec![tid],
+            steps: vec![JoinStep {
+                alias: 0,
+                table: tid,
+                access: AccessPath::IndexRange {
+                    index: idx,
+                    eq: vec![Operand::Outer(ColRef::new(0, GRP))],
+                    lo: Some((false, Operand::Const(11))),
+                    hi: None,
+                },
+                residual: vec![],
+                sets: vec![],
+            }],
+            checks: vec![],
+            projection: vec![],
+            distinct: false,
+            ..Plan::default()
+        };
+        let mut checked = scan_plan(tid, vec![ColRef::new(0, GRP)], true);
+        checked.checks.push(SubCheck {
+            after_step: 0,
+            negated: false,
+            plan: sub,
+        });
+        vec![
+            scan_plan(tid, vec![ColRef::new(0, VAL)], false),
+            scan_plan(tid, vec![ColRef::new(0, GRP)], true), // narrow distinct
+            scan_plan(
+                tid,
+                vec![
+                    ColRef::new(0, GRP),
+                    ColRef::new(0, GRP),
+                    ColRef::new(0, GRP),
+                ],
+                true,
+            ), // wide distinct
+            join,
+            checked,
+            Plan::default(), // stepless
+        ]
+    }
+
+    #[test]
+    fn suspend_resume_at_every_row_boundary_is_exact() {
+        let (db, tid, idx) = setup();
+        for (pi, plan) in checkpoint_plans(&db, tid, idx).iter().enumerate() {
+            let full = execute(plan, &db);
+            // Split the enumeration at every boundary, including 0
+            // (suspend before the first pull) and len (suspend after
+            // the last row but before discovering exhaustion).
+            for split in 0..=full.len() {
+                let (head, ckpt) = execute_resume(plan, &db, None, split);
+                assert_eq!(head, full[..split], "plan {pi} split {split}");
+                let Some(ckpt) = ckpt else {
+                    // Only possible when the head already exhausted
+                    // the enumeration.
+                    assert_eq!(split, full.len(), "plan {pi}");
+                    continue;
+                };
+                let (tail, end) = execute_resume(plan, &db, Some(ckpt), usize::MAX);
+                assert_eq!(tail, full[split..], "plan {pi} split {split}");
+                assert!(end.is_none(), "plan {pi} split {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_in_single_steps_matches_execute() {
+        let (db, tid, idx) = setup();
+        for (pi, plan) in checkpoint_plans(&db, tid, idx).iter().enumerate() {
+            let full = execute(plan, &db);
+            // Row-at-a-time resumption across fresh cursors each time.
+            let mut got = Vec::new();
+            let mut ckpt = None;
+            loop {
+                let (rows, next) = execute_resume(plan, &db, ckpt, 1);
+                got.extend(rows);
+                match next {
+                    Some(c) => ckpt = Some(c),
+                    None => break,
+                }
+            }
+            assert_eq!(got, full, "plan {pi}");
+        }
+    }
+
+    #[test]
+    fn distinct_watermark_survives_suspension() {
+        // Rows (1,10), (1,11), (1,12) project to one distinct (grp,)
+        // tuple; suspending between them must not re-emit it.
+        let (db, tid, _) = setup();
+        let plan = scan_plan(tid, vec![ColRef::new(0, GRP)], true);
+        let (head, ckpt) = execute_resume(&plan, &db, None, 1);
+        assert_eq!(head, [[1]]);
+        let ckpt = ckpt.unwrap();
+        assert_eq!(ckpt.distinct_emitted(), 1);
+        assert!(!ckpt.exhausted());
+        let (tail, _) = execute_resume(&plan, &db, Some(ckpt), usize::MAX);
+        assert_eq!(tail, [[2], [3]]);
+    }
+
+    #[test]
+    fn suspending_an_exhausted_cursor_resumes_to_nothing() {
+        let (db, tid, _) = setup();
+        let plan = scan_plan(tid, vec![ColRef::new(0, VAL)], false);
+        let mut cursor = Cursor::new(&plan, &db);
+        while cursor.next().is_some() {}
+        let ckpt = cursor.suspend();
+        assert!(ckpt.exhausted());
+        let (rows, end) = execute_resume(&plan, &db, Some(ckpt), 10);
+        assert_eq!(rows, Vec::<Vec<Value>>::new());
+        assert!(end.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "alias count")]
+    fn resuming_against_a_different_plan_panics() {
+        let (db, tid, idx) = setup();
+        let one = scan_plan(tid, vec![ColRef::new(0, VAL)], false);
+        let (_, ckpt) = execute_resume(&one, &db, None, 1);
+        let other = &checkpoint_plans(&db, tid, idx)[3]; // two aliases
+        let _ = Cursor::resume(other, &db, ckpt.unwrap());
     }
 
     #[test]

@@ -17,10 +17,45 @@
 //!   semi/anti joins;
 //! * [`cursor`] — pull-based streaming execution with early
 //!   termination (`exists`, materialization-free `count`,
-//!   `limit`/`offset` pages).
+//!   `limit`/`offset` pages) and **suspension**: a [`Cursor`] can be
+//!   checkpointed mid-enumeration ([`Cursor::suspend`]) and resumed
+//!   later ([`Cursor::resume`]) with nothing replayed.
 //!
 //! Nothing here knows about trees or LPath: the query compiler in
 //! `lpath-core` lowers axis relations to plain column comparisons.
+//!
+//! ```
+//! use lpath_relstore::{AccessPath, ColId, ColRef, Cursor, Database,
+//!                      JoinStep, Plan, Schema, Table};
+//!
+//! // A two-column table and a single-step scan plan over it.
+//! let mut t = Table::new(Schema::new(&["grp", "val"]));
+//! for row in [[1, 10], [1, 11], [2, 20]] {
+//!     t.push_row(&row);
+//! }
+//! let mut db = Database::new();
+//! let tid = db.add_table("t", t);
+//! let plan = Plan {
+//!     alias_tables: vec![tid],
+//!     steps: vec![JoinStep {
+//!         alias: 0,
+//!         table: tid,
+//!         access: AccessPath::FullScan,
+//!         residual: vec![],
+//!         sets: vec![],
+//!     }],
+//!     projection: vec![ColRef::new(0, ColId(1))],
+//!     ..Plan::default()
+//! };
+//!
+//! // Pull one tuple, suspend, resume later: nothing is replayed.
+//! let mut cursor = Cursor::new(&plan, &db);
+//! assert_eq!(cursor.next(), Some(vec![10]));
+//! let checkpoint = cursor.suspend();
+//! drop(cursor);
+//! let resumed: Vec<_> = Cursor::resume(&plan, &db, checkpoint).collect();
+//! assert_eq!(resumed, [[11], [20]]);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -37,7 +72,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Database, IndexId, TableId};
-pub use cursor::{count, execute, execute_page, exists, Cursor};
+pub use cursor::{count, execute, execute_page, execute_resume, exists, Cursor, CursorCheckpoint};
 pub use expr::{ColRef, Cond, InCond, Operand};
 pub use index::Index;
 pub use plan::{AccessPath, JoinStep, Plan, SubCheck};

@@ -8,8 +8,32 @@ use std::sync::Arc;
 
 use lpath_model::NodeId;
 
+use crate::shard::ShardCheckpoint;
+
 /// A materialized, document-ordered match set.
 pub type ResultSet = Vec<(u32, NodeId)>;
+
+/// A cached, *extendable* result prefix of one shard: the rows
+/// enumerated so far plus the suspended execution state that continues
+/// the enumeration right after them. Entries are stamped with the
+/// shard's build id (the same scope the checkpoint itself is tagged
+/// with), so head-shard prefixes survive `append_ptb` untouched.
+#[derive(Clone)]
+pub(crate) struct PrefixEntry {
+    /// The shard's first `rows.len()` matches, global tree ids.
+    pub rows: Arc<ResultSet>,
+    /// Resumes the shard's enumeration at row `rows.len()`.
+    pub ckpt: Arc<ShardCheckpoint>,
+}
+
+/// "Identical re-insert" for the LRU's no-restamp rule: same shared
+/// allocations. Every prefix extension allocates fresh `Arc`s, so
+/// only true no-op re-inserts compare equal.
+impl PartialEq for PrefixEntry {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows) && Arc::ptr_eq(&self.ckpt, &other.ckpt)
+    }
+}
 
 /// Cache key: the normalized query text plus the (sorted) shard subset
 /// it was evaluated over.
@@ -43,6 +67,10 @@ pub(crate) type ResultCache = GenCache<Arc<ResultSet>>;
 /// The count cache: values are plain result sizes, orders of magnitude
 /// smaller than the match sets they summarize.
 pub(crate) type CountCache = GenCache<usize>;
+
+/// The per-shard prefix cache: checkpointed result prefixes, stamped
+/// with shard build ids (use [`GenCache::new_plain_lru`]).
+pub(crate) type PrefixCache = GenCache<PrefixEntry>;
 
 impl<V: Clone + PartialEq> GenCache<V> {
     pub fn new(capacity: usize) -> Self {
@@ -127,6 +155,18 @@ impl<V: Clone + PartialEq> GenCache<V> {
     /// to the full result), freeing its capacity slot.
     pub fn remove(&mut self, key: &Key) {
         self.map.remove(key);
+    }
+
+    /// Compare-and-remove: drop `key`'s entry only if the cached value
+    /// is still `value`. Used to take an *observed* entry back out of
+    /// the cache without discarding a replacement a concurrent caller
+    /// installed in the meantime.
+    pub fn remove_match(&mut self, key: &Key, value: &V) {
+        if let Some(e) = self.map.get(key) {
+            if e.value == *value {
+                self.map.remove(key);
+            }
+        }
     }
 
     pub fn clear(&mut self) {

@@ -20,14 +20,24 @@
 //!   relational translation where it exists, the full-language tree
 //!   walker otherwise.
 //! * **Result cache** — a bounded LRU from `(query, shard set)` to the
-//!   materialized match set, invalidated by corpus generation. Counts
-//!   are cached separately ([`Service::count`] never materializes or
-//!   evicts match sets).
+//!   materialized match set, invalidated by corpus generation —
+//!   backed by a **per-shard** result cache scoped to each shard's
+//!   *build id*, so per-shard results survive appends that did not
+//!   touch their shard. Counts are cached separately
+//!   ([`Service::count`] never materializes or evicts match sets).
 //! * **Early termination** — [`Service::exists`] stops at the first
 //!   witness, and the paged [`Service::eval_page`] visits shards in
 //!   document order and short-circuits the fan-out once the page is
 //!   covered, so first-match and page-1 latency track the *selectivity*
 //!   of a query instead of its full result size.
+//! * **Resumable paging** — each shard's enumerated prefix is cached
+//!   with the suspended execution state that continues right after it
+//!   (a [`ShardCheckpoint`] riding `lpath-relstore`'s suspendable
+//!   cursor); a deeper page extends the prefix by exactly the missing
+//!   rows, so sweeping pages 1…K re-enumerates nothing (Gottlob, Koch
+//!   & Schulz's join state, suspended between requests; pages and
+//!   counts served from incremental state rather than re-enumeration,
+//!   as *On the Count of Trees* prescribes).
 //! * **Shard pruning** — each shard records which symbols occur in it;
 //!   a query whose required symbols (conservatively extracted) are
 //!   absent from a shard skips that shard outright. Rare-construct
@@ -79,9 +89,9 @@ use lpath_model::{Corpus, ModelError};
 use lpath_syntax::{parse, SyntaxError};
 
 pub use cache::ResultSet;
-use cache::{CountCache, ResultCache};
+use cache::{CountCache, PrefixCache, PrefixEntry, ResultCache};
 pub use plan::{required_symbols, CompiledQuery, ExecStrategy};
-pub use shard::Shard;
+pub use shard::{Shard, ShardCheckpoint};
 use stats::Counters;
 pub use stats::{ServiceStats, ShardStats};
 
@@ -179,6 +189,8 @@ pub struct Service {
     state: RwLock<State>,
     plans: RwLock<HashMap<String, PlanEntry>>,
     plan_tick: AtomicU64,
+    /// Multi-shard result sets (`(query, shard set)` keys), scoped to
+    /// the corpus generation: any append or swap invalidates them.
     results: Mutex<ResultCache>,
     counts: Mutex<CountCache>,
     /// Per-shard counts, scoped to each shard's *build id* rather than
@@ -186,21 +198,25 @@ pub struct Service {
     /// so every other shard's cached count stays valid across the
     /// generation bump and only the tail is recounted.
     shard_counts: Mutex<CountCache>,
+    /// *Complete* per-shard result sets (singleton `(query, [shard])`
+    /// keys), build-id scoped like the counts: head-shard results
+    /// survive `append_ptb`, so a post-append [`Service::eval`] only
+    /// re-evaluates the rebuilt tail shard.
+    shard_results: Mutex<ResultCache>,
+    /// *Incomplete* per-shard results: a monotonically growing,
+    /// checkpointed prefix per `(query, shard)` ([`PrefixEntry`]).
+    /// Deeper pages resume the suspended enumeration right after the
+    /// cached rows instead of recomputing from the shard's start;
+    /// build-id scoping keeps head-shard prefixes (and their
+    /// checkpoints, which are only valid against that exact build)
+    /// alive across appends.
+    prefixes: Mutex<PrefixCache>,
     counters: Counters,
 }
 
-/// Marker appended to a prefix key's shard-id vector. Result-set keys
-/// always carry a *validated* shard subset (every id is below the
-/// shard count, and `u16::MAX` shards is beyond the service's id
-/// space), so `[si, PREFIX_MARK]` can never collide with a real
-/// shard-set key — including for adversarial query texts, which are
-/// used verbatim as the key's string component.
-const PREFIX_MARK: u16 = u16::MAX;
-
-/// Per-shard result-*prefix* cache key (see [`PREFIX_MARK`]).
-fn prefix_key(normalized: &str, shard: u16) -> cache::Key {
-    (normalized.to_string(), vec![shard, PREFIX_MARK])
-}
+/// Shard ids live in `u16` (cache keys, the public shard-subset API);
+/// the shard count is clamped into that id space.
+const MAX_SHARDS: usize = u16::MAX as usize - 1;
 
 impl Service {
     /// Build a service over `corpus` with the default configuration.
@@ -210,10 +226,7 @@ impl Service {
 
     /// Build a service over `corpus` with an explicit configuration.
     pub fn with_config(corpus: &Corpus, mut cfg: ServiceConfig) -> Self {
-        // Shard ids live in `u16` (cache keys, the public shard-subset
-        // API); keep the count inside that id space, reserving
-        // [`PREFIX_MARK`].
-        cfg.shards = cfg.shards.clamp(1, PREFIX_MARK as usize - 1);
+        cfg.shards = cfg.shards.clamp(1, MAX_SHARDS);
         let threads = if cfg.threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -236,6 +249,8 @@ impl Service {
             results: Mutex::new(ResultCache::new(cfg.result_cache_capacity)),
             counts: Mutex::new(CountCache::new(cfg.result_cache_capacity)),
             shard_counts: Mutex::new(CountCache::new_plain_lru(cfg.result_cache_capacity)),
+            shard_results: Mutex::new(ResultCache::new_plain_lru(cfg.result_cache_capacity)),
+            prefixes: Mutex::new(PrefixCache::new_plain_lru(cfg.result_cache_capacity)),
             counters: Counters::default(),
         }
     }
@@ -401,7 +416,7 @@ impl Service {
             }
             None => {
                 let partial = fan_out(self.threads, shards.len(), |si| {
-                    self.count_one_shard(&shards[si], si as u16, generation, &compiled)
+                    self.count_one_shard(&shards[si], si as u16, &compiled)
                 });
                 partial.iter().sum()
             }
@@ -414,13 +429,7 @@ impl Service {
     /// count cache when its content has not changed since it was
     /// computed — or from a cached per-shard *result* (e.g. one
     /// promoted by [`Service::eval_page`]), whose length is the count.
-    fn count_one_shard(
-        &self,
-        shard: &Shard,
-        si: u16,
-        generation: u64,
-        compiled: &CompiledQuery,
-    ) -> usize {
+    fn count_one_shard(&self, shard: &Shard, si: u16, compiled: &CompiledQuery) -> usize {
         if !shard.may_match(&compiled.required) {
             Counters::bump(&self.counters.shards_pruned);
             return 0;
@@ -432,7 +441,7 @@ impl Service {
             return n;
         }
         Counters::bump(&self.counters.shard_count_misses);
-        let cached_rows = self.results.lock().unwrap().get(&key, generation);
+        let cached_rows = self.shard_results.lock().unwrap().get(&key, build);
         let n = match cached_rows {
             Some(rows) => {
                 Counters::bump(&self.counters.result_hits);
@@ -482,13 +491,22 @@ impl Service {
     /// the shards: shards are visited in document order (their
     /// concatenation *is* the full result), the fan-out is
     /// short-circuited as soon as the page is covered, and each shard
-    /// visited evaluates through [`Shard::eval_limit`] — per-shard
+    /// visited evaluates through [`Shard::eval_resume`] — per-shard
     /// work is bounded by what the page still needs, not by the
-    /// shard's full result size. Prefixes computed along the way are
-    /// cached (a prefix that came back short proves itself complete
-    /// and is promoted to the full per-shard result, where
-    /// [`Service::eval`] and [`Service::count`] reuse it), so
-    /// re-requesting a page is cache-served.
+    /// shard's full result size.
+    ///
+    /// Paging is **resumable end to end**: each shard's enumerated
+    /// prefix is cached together with the suspended execution state
+    /// that continues right after it ([`ShardCheckpoint`]), so a
+    /// deeper page *extends* the cached prefix — enumerating only the
+    /// delta — instead of recomputing from the shard's start. A
+    /// page-1 → page-K sweep therefore costs amortized O(rows
+    /// emitted), not O(page × shard result). A prefix whose
+    /// enumeration completes is promoted to the full per-shard result
+    /// (where [`Service::eval`] and [`Service::count`] reuse it);
+    /// both prefix and promoted entries are scoped to the shard's
+    /// *build id*, so head-shard pages survive
+    /// [`Service::append_ptb`].
     pub fn eval_page(
         &self,
         query: &str,
@@ -524,44 +542,84 @@ impl Service {
                 continue;
             }
             let remaining = need - acc.len();
-            // A cached full per-shard result serves any page.
             let key = (compiled.normalized.clone(), vec![si as u16]);
-            let cached = self.results.lock().unwrap().get(&key, generation);
+            let build = shard.build_id();
+            // A complete per-shard result serves any page depth.
+            let cached = self.shard_results.lock().unwrap().get(&key, build);
             if let Some(hit) = cached {
                 Counters::bump(&self.counters.result_hits);
                 acc.extend(hit.iter().take(remaining).copied());
                 continue;
             }
-            // A cached prefix serves if it is at least as deep as this
-            // page reaches into the shard.
-            let pkey = prefix_key(&compiled.normalized, si as u16);
-            let prefix = self.results.lock().unwrap().get(&pkey, generation);
-            if let Some(hit) = prefix.as_ref().filter(|p| p.len() >= remaining) {
-                Counters::bump(&self.counters.page_prefix_hits);
-                acc.extend(hit.iter().take(remaining).copied());
-                continue;
-            }
-            Counters::bump(&self.counters.result_misses);
-            Counters::bump(&self.counters.page_partial_evals);
-            // Outgrown prefixes are recomputed from the shard's start,
-            // so ask for at least double the cached depth: a client
-            // sweeping pages pays O(log) recomputations totalling
-            // O(shard result), not one-per-page totalling O(pages ×
-            // result). Page 1 (no prefix) stays bounded by the page.
-            let ask = remaining.max(prefix.map_or(0, |p| p.len().saturating_mul(2)));
-            let rows = Arc::new(shard.eval_limit(&compiled, ask));
-            if rows.len() < ask {
-                // Short of the bound: the prefix is the complete shard
-                // result — promote it to the full per-shard entry and
-                // drop the now-superseded prefix slot.
-                let mut results = self.results.lock().unwrap();
-                results.insert(key, generation, Arc::clone(&rows));
-                results.remove(&pkey);
-            } else {
-                self.results
-                    .lock()
-                    .unwrap()
-                    .insert(pkey, generation, Arc::clone(&rows));
+            // A cached prefix at least as deep as the page serves
+            // outright; a shallower one is *extended* from its
+            // checkpoint — only the missing rows are enumerated,
+            // nothing already cached is replayed.
+            let prefix = self.prefixes.lock().unwrap().get(&key, build);
+            let (rows, ckpt) = match prefix {
+                Some(entry) if entry.rows.len() >= remaining => {
+                    Counters::bump(&self.counters.page_prefix_hits);
+                    acc.extend(entry.rows.iter().take(remaining).copied());
+                    continue;
+                }
+                Some(entry) => {
+                    Counters::bump(&self.counters.page_resumes);
+                    let delta = remaining - entry.rows.len();
+                    // Take the observed entry back out of the cache
+                    // (only it — a deeper prefix a concurrent sweep
+                    // just installed must survive): both `Arc`s are
+                    // then unique in the common single-client case,
+                    // so the row buffer and the checkpoint (whose
+                    // dedup watermark is O(rows emitted)) *move*
+                    // through the extension instead of being copied
+                    // per page. Concurrency degrades this to one
+                    // copy, never to a wrong answer.
+                    self.prefixes.lock().unwrap().remove_match(&key, &entry);
+                    let PrefixEntry { rows, ckpt } = entry;
+                    let ckpt = Arc::try_unwrap(ckpt).unwrap_or_else(|shared| (*shared).clone());
+                    let (more, next) = shard.eval_resume(&compiled, Some(ckpt), delta);
+                    let mut rows = Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone());
+                    rows.extend(more);
+                    (rows, next)
+                }
+                None => {
+                    Counters::bump(&self.counters.result_misses);
+                    Counters::bump(&self.counters.page_partial_evals);
+                    shard.eval_resume(&compiled, None, remaining)
+                }
+            };
+            let rows = Arc::new(rows);
+            match ckpt {
+                None => {
+                    // The enumeration completed: the prefix is the
+                    // whole shard result — promote it and drop the
+                    // superseded prefix slot.
+                    self.shard_results.lock().unwrap().insert(
+                        key.clone(),
+                        build,
+                        Arc::clone(&rows),
+                    );
+                    self.prefixes.lock().unwrap().remove(&key);
+                }
+                Some(next) => {
+                    let mut prefixes = self.prefixes.lock().unwrap();
+                    // Concurrent sweeps of the same query: cached
+                    // depth only grows — never overwrite a deeper
+                    // prefix with a shallower one.
+                    let deeper_cached = prefixes
+                        .get(&key, build)
+                        .is_some_and(|e| e.rows.len() >= rows.len());
+                    if !deeper_cached {
+                        prefixes.insert(
+                            key,
+                            build,
+                            PrefixEntry {
+                                rows: Arc::clone(&rows),
+                                ckpt: Arc::new(next),
+                            },
+                        );
+                    }
+                }
             }
             acc.extend(rows.iter().take(remaining).copied());
         }
@@ -622,14 +680,14 @@ impl Service {
         if !misses.is_empty() && nshards > 0 {
             // One task per (missed query, shard); workers pull tasks
             // off a shared counter.
-            let mut partials = fan_out(self.threads, misses.len() * nshards, |t| {
+            let partials = fan_out(self.threads, misses.len() * nshards, |t| {
                 let (mi, si) = (t / nshards, t % nshards);
-                self.eval_one_shard(&shards[si], si as u16, generation, &misses[mi].1)
+                self.eval_one_shard(&shards[si], si as u16, &misses[mi].1)
             });
             for (mi, (occurrences, c)) in misses.iter().enumerate() {
                 let mut merged = Vec::new();
-                for rows in &mut partials[mi * nshards..(mi + 1) * nshards] {
-                    merged.append(rows);
+                for rows in &partials[mi * nshards..(mi + 1) * nshards] {
+                    merged.extend(rows.iter().copied());
                 }
                 let merged = Arc::new(merged);
                 self.results.lock().unwrap().insert(
@@ -663,13 +721,13 @@ impl Service {
             return hit;
         }
         Counters::bump(&self.counters.result_misses);
-        let mut partials = fan_out(self.threads, ids.len(), |i| {
+        let partials = fan_out(self.threads, ids.len(), |i| {
             let si = ids[i];
-            self.eval_one_shard(&shards[si as usize], si, generation, compiled)
+            self.eval_one_shard(&shards[si as usize], si, compiled)
         });
-        let mut merged = Vec::new();
-        for rows in &mut partials {
-            merged.append(rows);
+        let mut merged = Vec::with_capacity(partials.iter().map(|r| r.len()).sum());
+        for rows in &partials {
+            merged.extend(rows.iter().copied());
         }
         let merged = Arc::new(merged);
         self.results
@@ -679,29 +737,30 @@ impl Service {
         merged
     }
 
-    /// Evaluate on one shard, with symbol-presence pruning. A full
-    /// per-shard result already cached under the singleton key — by
-    /// [`Service::eval_on`], or promoted from an exhausted
-    /// [`Service::eval_page`] prefix — is reused instead of
-    /// re-evaluating.
-    fn eval_one_shard(
-        &self,
-        shard: &Shard,
-        si: u16,
-        generation: u64,
-        compiled: &CompiledQuery,
-    ) -> ResultSet {
+    /// Evaluate on one shard, with symbol-presence pruning, through
+    /// the build-id-scoped per-shard result cache: a complete result
+    /// already cached — by an earlier eval, [`Service::eval_on`], or
+    /// promoted from an exhausted [`Service::eval_page`] prefix — is
+    /// reused instead of re-evaluating, and stays reusable across
+    /// [`Service::append_ptb`] for every shard but the rebuilt tail.
+    fn eval_one_shard(&self, shard: &Shard, si: u16, compiled: &CompiledQuery) -> Arc<ResultSet> {
         if !shard.may_match(&compiled.required) {
             Counters::bump(&self.counters.shards_pruned);
-            return Vec::new();
+            return Arc::new(Vec::new());
         }
         let key = (compiled.normalized.clone(), vec![si]);
-        if let Some(hit) = self.results.lock().unwrap().get(&key, generation) {
+        let build = shard.build_id();
+        if let Some(hit) = self.shard_results.lock().unwrap().get(&key, build) {
             Counters::bump(&self.counters.result_hits);
-            return (*hit).clone();
+            return hit;
         }
         Counters::bump(&self.counters.shard_evals);
-        shard.eval(compiled)
+        let rows = Arc::new(shard.eval(compiled));
+        self.shard_results
+            .lock()
+            .unwrap()
+            .insert(key, build, Arc::clone(&rows));
+        rows
     }
 
     // -----------------------------------------------------------------
@@ -752,9 +811,12 @@ impl Service {
         self.invalidate();
     }
 
-    /// Drop every generation-scoped cache (plans, result sets, corpus-
-    /// level counts). Per-shard counts are *not* touched: they scope
-    /// themselves to shard build ids.
+    /// Drop every generation-scoped cache (plans, multi-shard result
+    /// sets, corpus-level counts). Per-shard counts, results and
+    /// checkpointed prefixes are *not* touched: they scope themselves
+    /// to shard build ids, so entries of untouched shards keep
+    /// serving and entries of the rebuilt tail invalidate themselves
+    /// on contact.
     fn invalidate_generation_scoped(&self) {
         self.plans.write().unwrap().clear();
         self.results.lock().unwrap().clear();
@@ -765,6 +827,8 @@ impl Service {
     fn invalidate(&self) {
         self.invalidate_generation_scoped();
         self.shard_counts.lock().unwrap().clear();
+        self.shard_results.lock().unwrap().clear();
+        self.prefixes.lock().unwrap().clear();
     }
 
     // -----------------------------------------------------------------
@@ -803,6 +867,8 @@ impl Service {
             plan_hits: load(&c.plan_hits),
             plan_misses: load(&c.plan_misses),
             result_cache_entries: self.results.lock().unwrap().len(),
+            shard_result_cache_entries: self.shard_results.lock().unwrap().len(),
+            prefix_cache_entries: self.prefixes.lock().unwrap().len(),
             result_hits: load(&c.result_hits),
             result_misses: load(&c.result_misses),
             count_hits: load(&c.count_hits),
@@ -816,6 +882,7 @@ impl Service {
             page_shards_skipped: load(&c.page_shards_skipped),
             page_partial_evals: load(&c.page_partial_evals),
             page_prefix_hits: load(&c.page_prefix_hits),
+            page_resumes: load(&c.page_resumes),
             shard_evals: load(&c.shard_evals),
             shards_pruned: load(&c.shards_pruned),
             appends: load(&c.appends),
@@ -976,12 +1043,16 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(svc.stats().result_hits, 1);
         assert!(Arc::ptr_eq(&a, &b));
-        // Append invalidates: the third eval recomputes.
+        // Append invalidates the generation-scoped full set, but the
+        // untouched head shard's build-scoped result survives: the
+        // third eval re-evaluates only the rebuilt tail shard.
         svc.append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )")
             .unwrap();
+        let evals = svc.stats().shard_evals;
         let c = svc.eval("//NP").unwrap();
         assert_eq!(c.len(), a.len() + 1);
-        assert_eq!(svc.stats().result_hits, 1);
+        assert_eq!(svc.stats().result_hits, 2, "head shard served from cache");
+        assert_eq!(svc.stats().shard_evals, evals + 1, "only the tail re-ran");
     }
 
     #[test]
@@ -1208,6 +1279,67 @@ mod tests {
             "promoted prefixes must serve eval(): {s:?}"
         );
         assert_eq!(s.shard_evals, evals_before, "no re-evaluation: {s:?}");
+    }
+
+    #[test]
+    fn page_sweep_extends_checkpoints_and_never_re_enumerates() {
+        // Page-1 → page-K sweep, page size 1: each shard is evaluated
+        // from scratch exactly once; every deeper page either extends
+        // a cached prefix through its checkpoint (enumerating only
+        // the missing row) or reads the cache.
+        let svc = service(2);
+        let full = service(2).eval("//NP").unwrap();
+        let mut got: ResultSet = Vec::new();
+        loop {
+            let page = svc.eval_page("//NP", got.len(), 1).unwrap();
+            if page.is_empty() {
+                break;
+            }
+            got.extend(page);
+        }
+        assert_eq!(got, *full);
+        let s = svc.stats();
+        assert_eq!(s.page_partial_evals, 2, "one cold start per shard: {s:?}");
+        assert!(s.page_resumes >= 2, "deeper pages must resume: {s:?}");
+        assert_eq!(s.shard_evals, 0, "no full shard evaluation: {s:?}");
+        // Re-sweeping the same pages is pure cache.
+        let resumes = s.page_resumes;
+        let partials = s.page_partial_evals;
+        for offset in 0..full.len() {
+            svc.eval_page("//NP", offset, 1).unwrap();
+        }
+        let s = svc.stats();
+        assert_eq!(s.page_resumes, resumes);
+        assert_eq!(s.page_partial_evals, partials);
+    }
+
+    #[test]
+    fn pages_and_prefixes_survive_append_for_untouched_shards() {
+        let svc = service(2);
+        // Covers shard 0 completely (promoted) and leaves shard 1 as
+        // a checkpointed prefix.
+        svc.eval_page("//NP", 0, 3).unwrap();
+        let before = svc.stats();
+        assert!(before.shard_result_cache_entries > 0, "{before:?}");
+        assert!(before.prefix_cache_entries > 0, "{before:?}");
+        svc.append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )")
+            .unwrap();
+        // The tail shard was rebuilt; the head shard's promoted result
+        // still serves — deep-paging the grown corpus re-evaluates
+        // only the tail, and agrees with a from-scratch reference.
+        let all = svc.eval_page("//NP", 0, 99).unwrap();
+        assert_eq!(all, svc.reference_eval("//NP").unwrap());
+        let s = svc.stats();
+        assert!(
+            s.result_hits > before.result_hits,
+            "head shard cached: {s:?}"
+        );
+        assert_eq!(s.shard_evals, 0, "page path never fully evaluates: {s:?}");
+        assert_eq!(
+            s.page_partial_evals,
+            before.page_partial_evals + 1,
+            "only the rebuilt tail restarted: {s:?}"
+        );
     }
 
     #[test]

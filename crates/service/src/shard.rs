@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use lpath_core::{Engine, Walker};
+use lpath_core::{Engine, QueryCheckpoint, Walker, WalkerCheckpoint};
 use lpath_model::{label_tree, Corpus, Label, NodeId};
 
 use crate::plan::{CompiledQuery, ExecStrategy};
@@ -41,6 +41,37 @@ pub struct Shard {
 
 /// Process-wide build-id counter (never reused, never zero).
 static NEXT_BUILD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A suspended per-shard page enumeration: the execution strategy's
+/// own checkpoint ([`lpath_core::QueryCheckpoint`] for the relational
+/// engine, [`lpath_core::WalkerCheckpoint`] for the walker fallback)
+/// tagged with the [`Shard::build_id`] it belongs to.
+///
+/// The tag makes misuse loud: a checkpoint resumed against a shard
+/// whose content has changed (the tail shard after an
+/// `append_ptb`-triggered rebuild) would silently yield rows of the
+/// wrong corpus slice, so [`Shard::eval_resume`] panics instead.
+/// The service never trips this — its prefix cache scopes entries to
+/// the same build id — but the assertion keeps the contract honest
+/// for direct callers.
+#[derive(Clone, Debug)]
+pub struct ShardCheckpoint {
+    build_id: u64,
+    inner: Resume,
+}
+
+impl ShardCheckpoint {
+    /// The shard build this checkpoint is valid against.
+    pub fn build_id(&self) -> u64 {
+        self.build_id
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Resume {
+    Engine(QueryCheckpoint),
+    Walker(WalkerCheckpoint),
+}
 
 impl Shard {
     /// Build a shard over `master.trees()[start..start + len]`.
@@ -148,27 +179,93 @@ impl Shard {
     /// The first `limit` matches of the shard's document-ordered
     /// result — the page bound pushed *into* the shard, so a page-1
     /// request over a large shard pays for a bounded prefix instead of
-    /// a full [`Shard::eval`]. On the relational strategy this rides
-    /// [`lpath_core::Engine::query_limit_ast`]'s limit-aware planning
-    /// (first-rows join order, adaptive tree-id chunks); the walker
-    /// strategy stops its tree scan once the page is covered.
+    /// a full [`Shard::eval`] — plus the checkpoint to continue from
+    /// ([`Shard::eval_resume`] with `None`).
     ///
-    /// Returning *fewer* than `limit` matches proves the prefix is the
-    /// shard's complete result.
-    pub fn eval_limit(&self, compiled: &CompiledQuery, limit: usize) -> Vec<(u32, NodeId)> {
-        let local = match compiled.strategy {
-            ExecStrategy::Relational => {
-                match self.engine.query_limit_ast(&compiled.ast, 0, limit) {
-                    Ok(rows) => rows,
-                    Err(_) => self.walker().eval_limit(&compiled.ast, 0, limit),
+    /// A returned checkpoint of `None` proves the prefix is the
+    /// shard's complete result (so does coming back short, which
+    /// always yields `None`).
+    pub fn eval_limit(
+        &self,
+        compiled: &CompiledQuery,
+        limit: usize,
+    ) -> (Vec<(u32, NodeId)>, Option<ShardCheckpoint>) {
+        self.eval_resume(compiled, None, limit)
+    }
+
+    /// Resume (or begin) the shard's document-ordered enumeration: up
+    /// to `limit` further matches after `checkpoint` (from the start
+    /// when `None`), with *global* tree ids, plus the checkpoint to
+    /// continue from — `None` once the shard is known exhausted.
+    /// Concatenating the chunks of successive calls is byte-identical
+    /// to [`Shard::eval`]; already-returned matches are never
+    /// re-enumerated. On the relational strategy this rides
+    /// [`lpath_core::Engine::query_resume`] (a suspended pipeline for
+    /// tree-id-ordered anchors, resumable adaptive chunks otherwise);
+    /// the walker strategy resumes its tree scan at the next
+    /// unvisited tree.
+    ///
+    /// # Panics
+    ///
+    /// If `checkpoint` carries a different [`Shard::build_id`] — it
+    /// was taken over different shard content and cannot be continued
+    /// correctly.
+    pub fn eval_resume(
+        &self,
+        compiled: &CompiledQuery,
+        checkpoint: Option<ShardCheckpoint>,
+        limit: usize,
+    ) -> (Vec<(u32, NodeId)>, Option<ShardCheckpoint>) {
+        if let Some(c) = &checkpoint {
+            assert_eq!(
+                c.build_id, self.build_id,
+                "checkpoint belongs to another shard build"
+            );
+        }
+        // Dispatch on the checkpoint's own strategy when resuming (a
+        // first call that fell back to the walker must *stay* on the
+        // walker), on the compiled strategy when starting fresh. The
+        // checkpoint is consumed, not cloned: its pending rows and
+        // dedup watermark move straight back into the executor.
+        let (local, inner) = match (checkpoint.map(|c| c.inner), compiled.strategy) {
+            (Some(Resume::Walker(ck)), _) => {
+                let (rows, next) = self.walker().eval_resume(&compiled.ast, Some(ck), limit);
+                (rows, next.map(Resume::Walker))
+            }
+            (Some(Resume::Engine(ck)), _) => {
+                let (rows, next) = self
+                    .engine
+                    .query_resume(&compiled.ast, Some(ck), limit)
+                    .expect("a resumed query translated before");
+                (rows, next.map(Resume::Engine))
+            }
+            (None, ExecStrategy::Relational) => {
+                match self.engine.query_resume(&compiled.ast, None, limit) {
+                    Ok((rows, next)) => (rows, next.map(Resume::Engine)),
+                    // The strategy was decided against an engine of
+                    // the same dialect, so this arm should be
+                    // unreachable; fall back to the walker rather
+                    // than fail the query.
+                    Err(_) => {
+                        let (rows, next) = self.walker().eval_resume(&compiled.ast, None, limit);
+                        (rows, next.map(Resume::Walker))
+                    }
                 }
             }
-            ExecStrategy::Walker => self.walker().eval_limit(&compiled.ast, 0, limit),
+            (None, ExecStrategy::Walker) => {
+                let (rows, next) = self.walker().eval_resume(&compiled.ast, None, limit);
+                (rows, next.map(Resume::Walker))
+            }
         };
-        local
+        let rows = local
             .into_iter()
             .map(|(tid, node)| (tid + self.base, node))
-            .collect()
+            .collect();
+        let next = inner.map(|inner| ShardCheckpoint {
+            build_id: self.build_id,
+            inner,
+        });
+        (rows, next)
     }
 
     /// Result count on this shard, without materializing the match
@@ -278,15 +375,53 @@ mod tests {
             let c = compiled(q);
             let full = shard.eval(&c);
             for limit in 0..=full.len() + 2 {
-                let got = shard.eval_limit(&c, limit);
+                let (got, ckpt) = shard.eval_limit(&c, limit);
                 assert_eq!(got, full[..limit.min(full.len())], "{q} limit {limit}");
+                // Coming back short proves completeness.
+                if got.len() < limit {
+                    assert!(ckpt.is_none(), "{q} limit {limit}");
+                }
             }
         }
         // The walker strategy pushes the bound too.
         let mut c = compiled("//VP/_[last()]");
         c.strategy = ExecStrategy::Walker;
         let full = shard.eval(&c);
-        assert_eq!(shard.eval_limit(&c, 1), full[..1.min(full.len())]);
+        assert_eq!(shard.eval_limit(&c, 1).0, full[..1.min(full.len())]);
+    }
+
+    #[test]
+    fn eval_resume_extends_without_replay_on_both_strategies() {
+        let master = parse_str(SRC).unwrap();
+        let shard = Shard::build(&master, 1, 2);
+        let mut walker_q = compiled("//VP/_[last()]");
+        walker_q.strategy = ExecStrategy::Walker;
+        for c in [compiled("//NP"), compiled("//VBD->NP"), walker_q] {
+            let full = shard.eval(&c);
+            for split in 1..=full.len().max(1) {
+                let (head, ckpt) = shard.eval_resume(&c, None, split);
+                assert_eq!(head, full[..split.min(full.len())]);
+                let Some(ckpt) = ckpt else { continue };
+                assert_eq!(ckpt.build_id(), shard.build_id());
+                let (tail, end) = shard.eval_resume(&c, Some(ckpt), usize::MAX);
+                assert_eq!(tail, full[split.min(full.len())..]);
+                assert!(end.is_none());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "another shard build")]
+    fn resuming_against_a_rebuilt_shard_panics() {
+        let master = parse_str(SRC).unwrap();
+        let a = Shard::build(&master, 0, 2);
+        let b = Shard::build(&master, 0, 2);
+        // One VBD per tree: stopping after the first leaves a live
+        // checkpoint.
+        let c = compiled("//VBD");
+        let (_, ckpt) = a.eval_resume(&c, None, 1);
+        assert!(ckpt.is_some());
+        let _ = b.eval_resume(&c, ckpt, 1);
     }
 
     #[test]

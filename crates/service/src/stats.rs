@@ -21,6 +21,7 @@ pub(crate) struct Counters {
     pub page_shards_skipped: AtomicU64,
     pub page_partial_evals: AtomicU64,
     pub page_prefix_hits: AtomicU64,
+    pub page_resumes: AtomicU64,
     pub shard_evals: AtomicU64,
     pub shards_pruned: AtomicU64,
     pub appends: AtomicU64,
@@ -69,8 +70,15 @@ pub struct ServiceStats {
     pub plan_hits: u64,
     /// Plan-cache misses (compilations performed).
     pub plan_misses: u64,
-    /// Entries currently in the result cache.
+    /// Entries currently in the (generation-scoped, multi-shard)
+    /// result cache.
     pub result_cache_entries: usize,
+    /// Entries currently in the build-id-scoped per-shard result
+    /// cache (complete per-shard match sets).
+    pub shard_result_cache_entries: usize,
+    /// Entries currently in the build-id-scoped prefix cache
+    /// (checkpointed, extendable per-shard prefixes).
+    pub prefix_cache_entries: usize,
     /// Result-cache hits.
     pub result_hits: u64,
     /// Result-cache misses (evaluations performed).
@@ -97,12 +105,21 @@ pub struct ServiceStats {
     /// Shards never visited because a page filled before reaching them
     /// (the paging short-circuit at work).
     pub page_shards_skipped: u64,
-    /// Page-bounded shard evaluations ([`crate::Shard::eval_limit`]
-    /// calls): shards visited by a page whose work was capped at the
-    /// page size instead of a full evaluation.
+    /// Page-bounded shard evaluations started **from scratch**
+    /// ([`crate::Shard::eval_resume`] without a checkpoint): shards
+    /// visited by a page with no cached prefix to build on. In a
+    /// page-1 → page-K sweep this stays at one per shard — every
+    /// deeper page extends instead (see
+    /// [`ServiceStats::page_resumes`]).
     pub page_partial_evals: u64,
-    /// Pages (partially) served from a cached per-shard result prefix.
+    /// Pages (partially) served from a cached per-shard result prefix
+    /// without any new enumeration.
     pub page_prefix_hits: u64,
+    /// Cached prefixes *extended* through their suspended checkpoint:
+    /// the page needed rows beyond the cached depth and only the
+    /// missing delta was enumerated — the no-re-enumeration signal of
+    /// resumable paging.
+    pub page_resumes: u64,
     /// Per-shard evaluations actually executed.
     pub shard_evals: u64,
     /// Per-shard evaluations skipped by symbol-presence pruning.
@@ -166,6 +183,8 @@ mod tests {
             plan_hits: 0,
             plan_misses: 0,
             result_cache_entries: 0,
+            shard_result_cache_entries: 0,
+            prefix_cache_entries: 0,
             result_hits: 3,
             result_misses: 1,
             count_hits: 0,
@@ -179,6 +198,7 @@ mod tests {
             page_shards_skipped: 0,
             page_partial_evals: 0,
             page_prefix_hits: 0,
+            page_resumes: 0,
             shard_evals: 0,
             shards_pruned: 0,
             appends: 0,

@@ -57,6 +57,22 @@ pub use lpath_syntax as syntax;
 pub use lpath_tgrep as tgrep;
 pub use lpath_xpath as xpath;
 
+/// The architecture guide — layer map, data flow of a paged query,
+/// and the cache inventory with invalidation scopes — rendered from
+/// `docs/ARCHITECTURE.md` so its examples compile and run as
+/// doctests.
+///
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub mod architecture {}
+
+/// The LPath dialect reference — operators, the 23-query translation
+/// table across TGrep2/CorpusSearch/XPath, and the EXPLAIN output
+/// format — rendered from `docs/DIALECT.md` so its examples compile
+/// and run as doctests.
+///
+#[doc = include_str!("../docs/DIALECT.md")]
+pub mod dialect {}
+
 /// The common imports for working with LPath.
 pub mod prelude {
     pub use lpath_core::{Engine, EngineError, NaiveEvaluator, Walker, QUERIES};
