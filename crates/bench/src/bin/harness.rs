@@ -3,18 +3,21 @@
 //! (7 runs, trimmed mean).
 //!
 //! ```text
-//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|all] [sentences]
+//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|all] [sentences]
 //! ```
 //!
 //! With no arguments, prints everything at the default scale (1/20 of
-//! the paper's corpus; see `lpath-bench`'s crate docs). Four modes
+//! the paper's corpus; see `lpath-bench`'s crate docs). Five modes
 //! additionally write machine-readable numbers to the working
 //! directory: `service` (`BENCH_service.json`), `firstmatch`
 //! (`BENCH_firstmatch.json`), `page` — page-1 latency of the
 //! limit-aware `FirstRows` pipeline against the `AllRows` baseline —
-//! (`BENCH_page.json`) and `sweep` — a page-1 → page-K sweep on the
+//! (`BENCH_page.json`), `sweep` — a page-1 → page-K sweep on the
 //! resumable executor against per-page recomputation —
-//! (`BENCH_sweep.json`).
+//! (`BENCH_sweep.json`), and `metrics` — per-query latency
+//! percentiles under the instrumented service, `EXPLAIN ANALYZE`
+//! estimate errors, and the instrumentation-overhead comparison —
+//! (`BENCH_metrics.json`).
 
 use std::time::Instant;
 
@@ -62,6 +65,7 @@ fn main() {
         "firstmatch" => firstmatch(&wsj, wsj_n),
         "page" => page(&wsj, wsj_n),
         "sweep" => sweep(&wsj, wsj_n),
+        "metrics" => metrics(&wsj, wsj_n),
         "all" => {
             fig6a(&wsj, &swb);
             fig6b(&wsj, &swb);
@@ -76,11 +80,12 @@ fn main() {
             firstmatch(&wsj, wsj_n);
             page(&wsj, wsj_n);
             sweep(&wsj, wsj_n);
+            metrics(&wsj, wsj_n);
         }
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected \
-                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|all"
+                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|all"
             );
             std::process::exit(2);
         }
@@ -1004,5 +1009,118 @@ fn sql(wsj: &Corpus) {
             Ok(sql) => println!("   {sql}\n"),
             Err(err) => println!("   (unsupported: {err})\n"),
         }
+    }
+}
+
+/// Per-query latency percentiles under the instrumented service,
+/// estimate-vs-actual row counts from `EXPLAIN ANALYZE`, and the
+/// instrumentation-overhead comparison (metrics on vs off over the
+/// same 23-query page sweep). Writes `BENCH_metrics.json`.
+fn metrics(wsj: &Corpus, wsj_n: usize) {
+    println!("== Query metrics: latency percentiles, estimate error, overhead (WSJ) ==");
+    const ITERS: usize = 9;
+    const SHARDS: usize = 8;
+    let engine = Engine::build(wsj);
+    let svc = Service::with_config(
+        wsj,
+        ServiceConfig {
+            shards: SHARDS,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let mut rows: Vec<lpath_bench::metrics::QueryMetricsRow> = Vec::new();
+    for q in QUERIES {
+        // Distribution over a cold first page then warm repeats — the
+        // shape a live service sees; the histogram is the same
+        // primitive the service records into.
+        let hist = lpath_obs::Histogram::new();
+        for _ in 0..ITERS {
+            let t = Instant::now();
+            svc.eval_page(q.lpath, 0, 10).unwrap();
+            hist.record_duration(t.elapsed());
+        }
+        let snap = hist.snapshot();
+        let ea = engine.explain_analyze(q.lpath).expect("evaluation query");
+        rows.push(lpath_bench::metrics::QueryMetricsRow {
+            id: q.id,
+            lpath: q.lpath,
+            results: ea.actual_rows,
+            p50_ns: snap.p50,
+            p90_ns: snap.p90,
+            p99_ns: snap.p99,
+            max_ns: snap.max,
+            estimated_rows: ea.estimated_rows,
+            actual_rows: ea.actual_rows,
+            estimate_error: ea.estimate_error,
+        });
+    }
+
+    println!(
+        "{:<5}{:>12}{:>12}{:>12}{:>10}{:>10}{:>8}",
+        "Q", "p50", "p90", "p99", "est", "actual", "q-err"
+    );
+    for r in &rows {
+        println!(
+            "{:<5}{:>12}{:>12}{:>12}{:>10}{:>10}{:>8.2}",
+            format!("Q{}", r.id),
+            r.p50_ns,
+            r.p90_ns,
+            r.p99_ns,
+            r.estimated_rows,
+            r.actual_rows,
+            r.estimate_error,
+        );
+    }
+
+    // Overhead: the identical 23-query page sweep against two fresh
+    // uncached services, one recording latencies, one with metrics
+    // off (caches disabled so every run does real evaluation work).
+    let sweep_cfg = |metrics: bool| ServiceConfig {
+        shards: SHARDS,
+        result_cache_capacity: 0,
+        metrics,
+        ..ServiceConfig::default()
+    };
+    let svc_on = Service::with_config(wsj, sweep_cfg(true));
+    let svc_off = Service::with_config(wsj, sweep_cfg(false));
+    let run = |svc: &Service| {
+        for q in QUERIES {
+            svc.eval_page(q.lpath, 0, 10).unwrap();
+        }
+    };
+    let instrumented = time7(|| run(&svc_on));
+    let baseline = time7(|| run(&svc_off));
+    let overhead_pct =
+        (instrumented.as_secs_f64() / baseline.as_secs_f64().max(1e-12) - 1.0) * 100.0;
+    println!(
+        "\n23-query sweep: instrumented {}s, baseline {}s, overhead {overhead_pct:.2}%",
+        fmt_secs(instrumented),
+        fmt_secs(baseline)
+    );
+    let m = svc_on.metrics();
+    println!(
+        "service histograms: {} classes recorded, {} slow queries retained\n",
+        m.classes
+            .iter()
+            .filter(|c| c.hits.count + c.misses.count > 0)
+            .count(),
+        m.slow_queries.len()
+    );
+
+    let report = lpath_bench::metrics::MetricsReport {
+        wsj_sentences: wsj_n,
+        iterations: ITERS,
+        shards: SHARDS,
+        per_query: rows,
+        instrumented_secs: instrumented.as_secs_f64(),
+        baseline_secs: baseline.as_secs_f64(),
+        overhead_pct,
+    };
+    let json = report.to_json();
+    lpath_bench::metrics::validate(&json).expect("metrics report shape");
+    match std::fs::write("BENCH_metrics.json", &json) {
+        Ok(()) => println!("wrote BENCH_metrics.json\n"),
+        Err(e) => eprintln!("could not write BENCH_metrics.json: {e}\n"),
     }
 }

@@ -31,6 +31,8 @@
 #[path = "../../../tests/fixtures/mod.rs"]
 pub mod fixtures;
 
+pub mod metrics;
+
 use std::time::{Duration, Instant};
 
 use fixtures::eval_case;
@@ -205,6 +207,33 @@ mod tests {
             let (a, b, c) = engines.counts(q.id);
             assert_eq!(a, b, "Q{}", q.id);
             assert_eq!(a, c, "Q{}", q.id);
+        }
+    }
+
+    #[test]
+    fn explain_analyze_is_finite_on_all_23_queries() {
+        let corpus = wsj_corpus(60);
+        let engine = Engine::build(&corpus);
+        for q in QUERIES {
+            let ea = engine.explain_analyze(q.lpath).expect("evaluation query");
+            assert!(
+                ea.estimate_error.is_finite() && ea.estimate_error >= 1.0,
+                "Q{}: estimate_error {}",
+                q.id,
+                ea.estimate_error
+            );
+            assert_eq!(
+                ea.actual_rows,
+                engine.count(q.lpath).unwrap(),
+                "Q{}: analyzed row count disagrees with count()",
+                q.id
+            );
+            // Walker-fallback queries have no plan steps; relational
+            // ones emit at most what survived the final step (plan-
+            // level checks and dedup may still discard rows after it).
+            if let Some(last) = ea.steps.last() {
+                assert!(last.actual_rows as usize >= ea.actual_rows, "Q{}", q.id);
+            }
         }
     }
 

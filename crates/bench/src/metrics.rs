@@ -1,0 +1,228 @@
+//! The `metrics` harness mode's report: per-query latency percentiles
+//! measured under the instrumented service, estimate-vs-actual row
+//! counts from `EXPLAIN ANALYZE`, and the instrumentation-overhead
+//! comparison — plus the shape validator CI runs over the emitted
+//! `BENCH_metrics.json`.
+//!
+//! The builder and the validator live together (and in the library,
+//! not the harness binary) so the checked-in validator test exercises
+//! exactly the code the harness emits with.
+
+/// One query's row in `BENCH_metrics.json`.
+pub struct QueryMetricsRow {
+    /// Query id (Q1–Q23).
+    pub id: usize,
+    /// The LPath query text.
+    pub lpath: &'static str,
+    /// Full result size.
+    pub results: usize,
+    /// Latency percentiles over the measured iterations, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile latency.
+    pub p90_ns: u64,
+    /// 99th percentile latency.
+    pub p99_ns: u64,
+    /// Slowest observed iteration.
+    pub max_ns: u64,
+    /// The planner's estimated result cardinality.
+    pub estimated_rows: usize,
+    /// The observed result cardinality.
+    pub actual_rows: usize,
+    /// The +1-smoothed q-error of the estimate (finite, ≥ 1).
+    pub estimate_error: f64,
+}
+
+/// Everything the `metrics` mode measures.
+pub struct MetricsReport {
+    /// WSJ corpus scale (sentences).
+    pub wsj_sentences: usize,
+    /// Timed iterations per query behind the percentiles.
+    pub iterations: usize,
+    /// Service shard count.
+    pub shards: usize,
+    /// Per-query measurements, Q1–Q23.
+    pub per_query: Vec<QueryMetricsRow>,
+    /// 23-query sweep time with metrics recording on (seconds).
+    pub instrumented_secs: f64,
+    /// The same sweep with metrics recording off.
+    pub baseline_secs: f64,
+    /// Instrumentation overhead, percent of the baseline.
+    pub overhead_pct: f64,
+}
+
+impl MetricsReport {
+    /// Render the report in the repository's `BENCH_*.json` house
+    /// style (hand-built, one `per_query` object per line).
+    pub fn to_json(&self) -> String {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"metrics\",\n");
+        json.push_str(&format!("  \"wsj_sentences\": {},\n", self.wsj_sentences));
+        json.push_str(&format!("  \"iterations\": {},\n", self.iterations));
+        json.push_str(&format!("  \"service_shards\": {},\n", self.shards));
+        json.push_str("  \"per_query\": [\n");
+        for (i, r) in self.per_query.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": {}, \"lpath\": {:?}, \"results\": {}, \"p50_ns\": {}, \
+                 \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"estimated_rows\": {}, \
+                 \"actual_rows\": {}, \"estimate_error\": {:.4}}}{}\n",
+                r.id,
+                r.lpath,
+                r.results,
+                r.p50_ns,
+                r.p90_ns,
+                r.p99_ns,
+                r.max_ns,
+                r.estimated_rows,
+                r.actual_rows,
+                r.estimate_error,
+                if i + 1 < self.per_query.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"instrumented_secs\": {:.9},\n  \"baseline_secs\": {:.9},\n  \
+             \"overhead_pct\": {:.3}\n",
+            self.instrumented_secs, self.baseline_secs, self.overhead_pct,
+        ));
+        json.push_str("}\n");
+        json
+    }
+}
+
+/// Extract the number following `"key": ` on `line` (the house JSON
+/// style puts each `per_query` object on one line).
+fn field<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validate the shape of a `BENCH_metrics.json` document: required
+/// keys present, at least one per-query row, every row's percentiles
+/// monotone (`p50 ≤ p90 ≤ p99 ≤ max`) and its estimate error finite
+/// and ≥ 1, and the overhead figures present. Returns the first
+/// problem found.
+pub fn validate(json: &str) -> Result<(), String> {
+    for key in [
+        "\"bench\": \"metrics\"",
+        "\"per_query\"",
+        "\"instrumented_secs\"",
+        "\"baseline_secs\"",
+        "\"overhead_pct\"",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing {key}"));
+        }
+    }
+    let mut rows = 0;
+    for line in json.lines().filter(|l| l.contains("\"p50_ns\"")) {
+        rows += 1;
+        let get = |key: &str| -> Result<u64, String> {
+            field(line, key).ok_or_else(|| format!("row missing {key}: {line}"))
+        };
+        let (p50, p90, p99, max) = (
+            get("p50_ns")?,
+            get("p90_ns")?,
+            get("p99_ns")?,
+            get("max_ns")?,
+        );
+        if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+            return Err(format!(
+                "percentiles not monotone (p50 {p50}, p90 {p90}, p99 {p99}, max {max}): {line}"
+            ));
+        }
+        let err: f64 = field(line, "estimate_error")
+            .ok_or_else(|| format!("row missing estimate_error: {line}"))?;
+        if !err.is_finite() || err < 1.0 {
+            return Err(format!("estimate_error {err} not finite and >= 1: {line}"));
+        }
+    }
+    if rows == 0 {
+        return Err("no per-query rows".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MetricsReport {
+        MetricsReport {
+            wsj_sentences: 300,
+            iterations: 9,
+            shards: 8,
+            per_query: vec![
+                QueryMetricsRow {
+                    id: 1,
+                    lpath: "//VP",
+                    results: 42,
+                    p50_ns: 1_000,
+                    p90_ns: 2_000,
+                    p99_ns: 4_000,
+                    max_ns: 4_096,
+                    estimated_rows: 40,
+                    actual_rows: 42,
+                    estimate_error: 1.0465,
+                },
+                QueryMetricsRow {
+                    id: 2,
+                    lpath: "//NP[@lex=\"man\"]",
+                    results: 0,
+                    p50_ns: 500,
+                    p90_ns: 500,
+                    p99_ns: 500,
+                    max_ns: 500,
+                    estimated_rows: 3,
+                    actual_rows: 0,
+                    estimate_error: 4.0,
+                },
+            ],
+            instrumented_secs: 0.101,
+            baseline_secs: 0.100,
+            overhead_pct: 1.0,
+        }
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        let json = report().to_json();
+        validate(&json).unwrap();
+        // Quoted query text survives the round trip escaped.
+        assert!(json.contains("\\\"man\\\""));
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_percentiles() {
+        let mut r = report();
+        r.per_query[0].p90_ns = 100; // below p50
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_bad_estimate_error() {
+        let mut r = report();
+        r.per_query[1].estimate_error = 0.5;
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("estimate_error"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_missing_keys_and_empty_reports() {
+        assert!(validate("{}").is_err());
+        let mut r = report();
+        r.per_query.clear();
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("no per-query rows"), "{err}");
+    }
+}

@@ -9,6 +9,7 @@
 //! in-process.
 
 use lpath_model::{label_tree, Corpus, Interner, NodeId};
+use lpath_obs::{Recorder, Span};
 use lpath_relstore::{
     self as rel, Cmp, ColRef, Cond, Database, OptGoal, PlannerConfig, Schema, Table, TableId,
     Value, NULL,
@@ -191,6 +192,65 @@ impl Engine {
         let cq = self.translate(&ast)?;
         let plan = rel::plan(&self.db, &cq, &self.planner);
         Ok(plan.to_string())
+    }
+
+    /// EXPLAIN ANALYZE: execute `query` under full instrumentation and
+    /// report the plan annotated with *observed* behavior — per-step
+    /// actual rows, index probes, residual evaluations and attributed
+    /// wall-clock time — alongside the planner's estimates, plus stage
+    /// spans for parse / plan / execute and the plan-level
+    /// [`ExplainAnalyze::estimate_error`] ratio.
+    pub fn explain_analyze(&self, query: &str) -> Result<ExplainAnalyze, EngineError> {
+        let stages = StageLog::default();
+        let span = Span::enter("parse", &stages);
+        let ast = parse(query)?;
+        span.finish();
+        let span = Span::enter("plan", &stages);
+        let plan = self.plan_ast(&ast)?;
+        span.finish();
+        let span = Span::enter("execute", &stages);
+        let (rows, obs, step_nanos) = rel::execute_analyzed(&plan, &self.db);
+        span.finish();
+        let nanos_of = |name: &str| stages.take(name);
+
+        // Pair each rendered `step N:` line of the EXPLAIN output with
+        // its observed counts; keep the check lines as-is.
+        let rendered = plan.to_string();
+        let mut steps = Vec::with_capacity(obs.len());
+        let mut checks = Vec::new();
+        for line in rendered.lines() {
+            if line.starts_with("step ") {
+                let i = steps.len();
+                steps.push(StepReport {
+                    text: line.to_string(),
+                    probes: obs[i].probes,
+                    candidates: obs[i].candidates,
+                    residual_evals: obs[i].residual_evals,
+                    actual_rows: obs[i].rows_out,
+                    nanos: step_nanos[i],
+                });
+            } else if line.starts_with("check ") {
+                checks.push(line.to_string());
+            }
+        }
+        debug_assert_eq!(steps.len(), obs.len());
+
+        let estimated_rows = plan.estimated_result;
+        let actual_rows = rows.len();
+        // The q-error of the cardinality estimate, +1-smoothed so empty
+        // results stay finite: max over both ratio directions, ≥ 1.
+        let (e, a) = (estimated_rows as f64 + 1.0, actual_rows as f64 + 1.0);
+        let estimate_error = (e / a).max(a / e);
+        Ok(ExplainAnalyze {
+            steps,
+            checks,
+            parse_nanos: nanos_of("parse"),
+            plan_nanos: nanos_of("plan"),
+            execute_nanos: nanos_of("execute"),
+            estimated_rows,
+            actual_rows,
+            estimate_error,
+        })
     }
 
     /// Evaluate a query string, returning `(tree index, node)` matches
@@ -624,6 +684,121 @@ impl Engine {
     }
 }
 
+/// A stage-span sink for [`Engine::explain_analyze`]: collects the
+/// completed parse / plan / execute spans by name.
+#[derive(Default)]
+struct StageLog(std::sync::Mutex<Vec<(&'static str, u64)>>);
+
+impl StageLog {
+    /// The recorded nanoseconds of stage `name` (0 if it never ran).
+    fn take(&self, name: &str) -> u64 {
+        self.0
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, nanos)| nanos)
+    }
+}
+
+impl Recorder for StageLog {
+    fn record(&self, name: &'static str, nanos: u64) {
+        self.0.lock().unwrap().push((name, nanos));
+    }
+}
+
+/// One plan step of an [`ExplainAnalyze`] report: the EXPLAIN line
+/// paired with the step's observed execution counts and time.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// The `step N: bind …` line of the EXPLAIN rendering.
+    pub text: String,
+    /// Access-path openings (index probes / scan starts).
+    pub probes: u64,
+    /// Candidate rows pulled from the access path.
+    pub candidates: u64,
+    /// Residual / set-filter conditions evaluated.
+    pub residual_evals: u64,
+    /// Candidates that survived the step's filters.
+    pub actual_rows: u64,
+    /// Wall-clock nanoseconds attributed to the step.
+    pub nanos: u64,
+}
+
+/// The result of [`Engine::explain_analyze`]: the plan's EXPLAIN
+/// rendering annotated with observed per-step behavior, the
+/// parse/plan/execute stage spans, and the estimated-vs-actual result
+/// cardinality with its error ratio.
+///
+/// The [`std::fmt::Display`] impl renders the classic two-line-per-step
+/// EXPLAIN ANALYZE form.
+#[derive(Clone, Debug)]
+pub struct ExplainAnalyze {
+    /// Annotated plan steps, in pipeline order.
+    pub steps: Vec<StepReport>,
+    /// The plan's correlated-subquery check lines, verbatim.
+    pub checks: Vec<String>,
+    /// Time spent parsing the query text.
+    pub parse_nanos: u64,
+    /// Time spent translating and planning.
+    pub plan_nanos: u64,
+    /// Time spent executing the plan to completion.
+    pub execute_nanos: u64,
+    /// The planner's estimated result cardinality.
+    pub estimated_rows: usize,
+    /// The observed result cardinality.
+    pub actual_rows: usize,
+    /// The +1-smoothed q-error of the cardinality estimate:
+    /// `max((est+1)/(act+1), (act+1)/(est+1))`. Always finite, ≥ 1,
+    /// and 1.0 exactly when the estimate was spot-on.
+    pub estimate_error: f64,
+}
+
+/// Render nanoseconds at a human scale (`ns`/`µs`/`ms`/`s`).
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}µs", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+impl std::fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.steps {
+            writeln!(f, "{}", s.text)?;
+            writeln!(
+                f,
+                "    actual: rows {}, probes {}, candidates {}, residual evals {}, time {}",
+                s.actual_rows,
+                s.probes,
+                s.candidates,
+                s.residual_evals,
+                fmt_nanos(s.nanos)
+            )?;
+        }
+        for c in &self.checks {
+            writeln!(f, "{c}")?;
+        }
+        writeln!(
+            f,
+            "stages: parse {}, plan {}, execute {}",
+            fmt_nanos(self.parse_nanos),
+            fmt_nanos(self.plan_nanos),
+            fmt_nanos(self.execute_nanos)
+        )?;
+        writeln!(
+            f,
+            "rows: estimated {}, actual {}, estimate error {:.2}x",
+            self.estimated_rows, self.actual_rows, self.estimate_error
+        )
+    }
+}
+
 /// First tree-id span of the adaptive chunk schedule: the number of
 /// trees expected to hold `need` matches (from the planner's result
 /// estimate), doubled for slack. An estimate of zero means "probably
@@ -772,6 +947,43 @@ mod tests {
         let e = engine();
         // 15 elements + 9 @lex attributes.
         assert_eq!(e.relation_size(), 24);
+    }
+
+    #[test]
+    fn explain_analyze_annotates_actuals_per_step() {
+        let e = engine();
+        let ea = e.explain_analyze("//VP//NP[not(//Det)]").unwrap();
+        // Actual result cardinality matches the plain query.
+        assert_eq!(
+            ea.actual_rows,
+            e.query("//VP//NP[not(//Det)]").unwrap().len()
+        );
+        // One annotated report per plan step, each echoing the EXPLAIN
+        // line, and the negated subquery shows up as a check line.
+        assert!(!ea.steps.is_empty());
+        for (i, s) in ea.steps.iter().enumerate() {
+            assert!(s.text.starts_with(&format!("step {i}:")), "{}", s.text);
+            assert!(s.candidates >= s.actual_rows);
+        }
+        assert!(ea.checks.iter().any(|c| c.contains("NOT EXISTS")));
+        // The last pipeline step's survivors bound the output from
+        // above (DISTINCT can only shrink it further).
+        assert!(ea.steps.last().unwrap().actual_rows as usize >= ea.actual_rows);
+        assert!(ea.estimate_error.is_finite() && ea.estimate_error >= 1.0);
+        // Rendering carries the annotation vocabulary.
+        let text = ea.to_string();
+        assert!(text.contains("actual: rows"));
+        assert!(text.contains("stages: parse"));
+        assert!(text.contains("estimate error"));
+    }
+
+    #[test]
+    fn explain_analyze_is_finite_on_empty_results() {
+        let e = engine();
+        let ea = e.explain_analyze("//ZZZ").unwrap();
+        assert_eq!(ea.actual_rows, 0);
+        assert!(ea.estimate_error.is_finite());
+        assert!(e.explain_analyze("//(").is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod queryset;
 pub mod translate;
 pub mod walker;
 
-pub use engine::{Engine, EngineError, Matches, QueryCheckpoint};
+pub use engine::{Engine, EngineError, ExplainAnalyze, Matches, QueryCheckpoint, StepReport};
 pub use naive::NaiveEvaluator;
 pub use queryset::{BenchQuery, ExtQuery, EXTENDED_QUERIES, QUERIES};
 pub use translate::{Translator, Unsupported};

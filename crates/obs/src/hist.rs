@@ -1,0 +1,210 @@
+//! Log-bucketed latency histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The number of power-of-two buckets. Bucket 0 holds the value 0;
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so 64 buckets
+/// cover the full `u64` range of nanosecond latencies.
+const BUCKETS: usize = 64;
+
+/// A lock-free latency histogram with power-of-two buckets.
+///
+/// Recording is one relaxed `fetch_add` into the value's log2 bucket
+/// (plus count/sum/max bookkeeping) — cheap enough for per-request
+/// call sites and safe from any thread. Quantiles are *read-side*
+/// work: [`Histogram::snapshot`] copies the buckets and resolves
+/// p50/p90/p99 to the upper bound of the covering bucket, clamped to
+/// the exact observed maximum. The log-bucket scheme bounds the
+/// relative quantile error at 2×, which is ample for latency
+/// reporting where the interesting differences are orders of
+/// magnitude.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, else `floor(log2 v) + 1`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The largest value bucket `i` can hold.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// The number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy with quantiles resolved.
+    ///
+    /// Concurrent writers may land between the bucket loads; the
+    /// snapshot is exact whenever the histogram is quiescent (the only
+    /// time quantiles are worth reading).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max = self.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // The smallest rank covering fraction `q` of observations.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_upper(i).min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time view of a [`Histogram`] with quantiles resolved.
+///
+/// Quantiles are upper bounds of their covering log-bucket, clamped
+/// to the observed maximum, so `p50 ≤ p90 ≤ p99 ≤ max` always holds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping only past `u64::MAX`).
+    pub sum: u64,
+    /// Exact largest recorded value.
+    pub max: u64,
+    /// 50th-percentile estimate.
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Every bucket's upper bound maps back into that bucket.
+        for i in 1..BUCKETS {
+            assert_eq!(bucket_of(bucket_upper(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap, HistogramSnapshot::default());
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotonic_and_bounded_by_max() {
+        let h = Histogram::new();
+        for v in [3u64, 17, 1000, 65_000, 1_000_000, 1_000_001, 12] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.max, 1_000_001);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        // The p50 of 7 values is the 4th: 1000, whose bucket tops out
+        // at 1023.
+        assert_eq!(s.p50, 1023);
+    }
+
+    #[test]
+    fn single_value_pins_all_quantiles() {
+        let h = Histogram::new();
+        h.record(777);
+        let s = h.snapshot();
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (777, 777, 777, 777));
+        assert_eq!(s.mean(), 777.0);
+    }
+
+    #[test]
+    fn durations_record_as_nanos() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(5));
+        assert_eq!(h.snapshot().max, 5_000);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Helpers for hand-rendered JSON snapshots.
+//!
+//! The workspace writes its benchmark and metrics artifacts as
+//! hand-built JSON strings (no serde under the offline-shim policy);
+//! the one part that is easy to get wrong is string escaping, so it
+//! lives here once.
+
+/// Escape `s` for embedding inside a JSON string literal (quotes not
+/// included). Escapes `"`, `\` and all control characters per RFC
+/// 8259; everything else — including multi-byte UTF-8 — passes
+/// through unchanged.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_passes_through() {
+        assert_eq!(escape("//VBD->NP"), "//VBD->NP");
+    }
+
+    #[test]
+    fn quotes_backslashes_and_controls_escape() {
+        assert_eq!(escape("a\"b\\c\nd\te\u{1}"), "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn multibyte_utf8_is_untouched() {
+        assert_eq!(escape("Bäume → Wälder"), "Bäume → Wälder");
+    }
+}

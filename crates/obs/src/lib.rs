@@ -1,0 +1,46 @@
+//! # lpath-obs — observability primitives for the LPath workspace
+//!
+//! Zero-dependency building blocks (std only, consistent with the
+//! offline-shim policy) that the engine, service and benchmark layers
+//! share to answer "where does time go":
+//!
+//! * [`Counter`] — a monotonic, relaxed-ordering atomic counter;
+//! * [`Histogram`] — a lock-free log-bucketed latency histogram with
+//!   `p50/p90/p99/max` extraction via [`HistogramSnapshot`];
+//! * [`Span`] / [`Recorder`] — scope timers that report their elapsed
+//!   nanoseconds to a pluggable, thread-cheap sink on drop;
+//! * [`Stopwatch`] — the span's manual cousin for straight-line code;
+//! * [`Ring`] — a fixed-capacity ring buffer, used by the service's
+//!   slow-query log;
+//! * [`json`] — string escaping for hand-rendered JSON snapshots.
+//!
+//! Everything here is safe to call from concurrent request paths: the
+//! counters and histogram buckets are relaxed atomics (one
+//! `fetch_add` per event), and the ring takes a short mutex only when
+//! an entry is actually pushed.
+//!
+//! ```
+//! use lpath_obs::{Histogram, Recorder, Span};
+//!
+//! let lat = Histogram::new();
+//! for _ in 0..100 {
+//!     let _span = Span::enter("request", &lat); // records on drop
+//! }
+//! let snap = lat.snapshot();
+//! assert_eq!(snap.count, 100);
+//! assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99 && snap.p99 <= snap.max);
+//! ```
+
+#![warn(missing_docs)]
+
+mod counter;
+mod hist;
+mod ring;
+mod span;
+
+pub mod json;
+
+pub use counter::Counter;
+pub use hist::{Histogram, HistogramSnapshot};
+pub use ring::Ring;
+pub use span::{NoopRecorder, Recorder, Span, Stopwatch};

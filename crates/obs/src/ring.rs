@@ -1,0 +1,87 @@
+//! A fixed-capacity ring buffer for "last N interesting events" logs.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded, thread-safe ring buffer: pushing to a full ring evicts
+/// the oldest entry. Backs the service's slow-query log, where the
+/// recent tail is the valuable part and unbounded growth is the
+/// failure mode being designed out.
+#[derive(Debug)]
+pub struct Ring<T> {
+    cap: usize,
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `cap` entries (at least one).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Ring {
+            cap,
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+        }
+    }
+
+    /// Append an entry, evicting the oldest if the ring is full.
+    pub fn push(&self, item: T) {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(item);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+impl<T: Clone> Ring<T> {
+    /// The retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.inner.lock().unwrap().iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_newest_cap_entries() {
+        let r = Ring::new(3);
+        for i in 0..7 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.snapshot(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn zero_capacity_is_promoted_to_one() {
+        let r = Ring::new(0);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.snapshot(), vec!["b"]);
+    }
+
+    #[test]
+    fn empty_ring() {
+        let r: Ring<u8> = Ring::new(4);
+        assert!(r.is_empty());
+        assert!(r.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Scope timers and the sink they report to.
+
+use std::time::{Duration, Instant};
+
+use crate::Histogram;
+
+/// A sink for completed span timings.
+///
+/// Deliberately minimal — one method, no registration, `&self` — so a
+/// recorder can be a histogram, a counter set, or a test vector, and
+/// so recording from many threads needs no coordination beyond what
+/// the implementor already does. `Histogram` implements it directly
+/// (the span name is implicit in which histogram you hand out), as
+/// does [`NoopRecorder`] for uninstrumented paths.
+pub trait Recorder {
+    /// Accept one completed span: its static name and elapsed time.
+    fn record(&self, name: &'static str, nanos: u64);
+}
+
+/// A recorder that discards everything — the uninstrumented path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _name: &'static str, _nanos: u64) {}
+}
+
+impl Recorder for Histogram {
+    /// Record the elapsed nanoseconds; the name is implied by which
+    /// histogram the span was pointed at.
+    fn record(&self, _name: &'static str, nanos: u64) {
+        Histogram::record(self, nanos);
+    }
+}
+
+/// A scope timer: started by [`Span::enter`], it reports its elapsed
+/// nanoseconds to its [`Recorder`] when dropped (or explicitly via
+/// [`Span::finish`], which also returns the measurement).
+pub struct Span<'r> {
+    name: &'static str,
+    start: Instant,
+    recorder: &'r dyn Recorder,
+}
+
+impl<'r> Span<'r> {
+    /// Start timing a named scope.
+    pub fn enter(name: &'static str, recorder: &'r dyn Recorder) -> Self {
+        Span {
+            name,
+            start: Instant::now(),
+            recorder,
+        }
+    }
+
+    /// Elapsed nanoseconds so far, without ending the span.
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// End the span now, record it, and return the elapsed nanoseconds.
+    pub fn finish(self) -> u64 {
+        let nanos = self.elapsed_nanos();
+        self.recorder.record(self.name, nanos);
+        std::mem::forget(self); // drop would record a second time
+        nanos
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.recorder.record(self.name, self.elapsed_nanos());
+    }
+}
+
+/// A manual timer for straight-line code that wants the number rather
+/// than a recorder callback.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed nanoseconds since start (saturating).
+    pub fn nanos(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Log(Mutex<Vec<(&'static str, u64)>>);
+
+    impl Recorder for Log {
+        fn record(&self, name: &'static str, nanos: u64) {
+            self.0.lock().unwrap().push((name, nanos));
+        }
+    }
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let log = Log(Mutex::new(Vec::new()));
+        {
+            let _s = Span::enter("parse", &log);
+        }
+        let entries = log.0.lock().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "parse");
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_elapsed() {
+        let log = Log(Mutex::new(Vec::new()));
+        let nanos = Span::enter("exec", &log).finish();
+        let entries = log.0.lock().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0], ("exec", nanos));
+    }
+
+    #[test]
+    fn span_feeds_histogram_directly() {
+        let h = Histogram::new();
+        Span::enter("any", &h).finish();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let w = Stopwatch::start();
+        let a = w.nanos();
+        let b = w.nanos();
+        assert!(b >= a);
+    }
+}

@@ -58,11 +58,57 @@
 
 use std::borrow::Cow;
 use std::collections::HashSet;
+use std::time::Instant;
 
 use crate::catalog::Database;
-use crate::plan::{resolve_bound, run_check, satisfies, Frame, Plan};
+use crate::plan::{resolve_bound, run_check, Frame, JoinStep, Plan};
 use crate::table::RowId;
 use crate::value::Value;
+
+/// Observed per-step execution counts — the *actual* side of the
+/// planner's estimated costs, maintained by every cursor at the price
+/// of a few plain integer increments per candidate row.
+///
+/// One `StepObs` per [`JoinStep`], carried across [`Cursor::suspend`] /
+/// [`Cursor::resume`] so a paged enumeration accumulates the same
+/// totals as an uninterrupted one (modulo the re-run probe each resume
+/// performs, which is counted honestly as a probe).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepObs {
+    /// Access-path openings: index range probes (or scan starts),
+    /// including the re-probe a resume performs per suspended stage.
+    pub probes: u64,
+    /// Candidate rows pulled from the step's scan or probe slice.
+    pub candidates: u64,
+    /// Residual and set-filter conditions actually evaluated on those
+    /// candidates (short-circuiting, so ≤ candidates × conditions).
+    pub residual_evals: u64,
+    /// Candidates that survived the step's filters — the step's
+    /// observed output rows (pre-`DISTINCT`).
+    pub rows_out: u64,
+}
+
+/// [`crate::plan::satisfies`] with an evaluation tally: counts each
+/// residual / set condition actually evaluated, short-circuiting
+/// exactly like the original.
+fn satisfies_counting(step: &JoinStep, db: &Database, frame: &Frame<'_>, evals: &mut u64) -> bool {
+    for c in &step.residual {
+        *evals += 1;
+        if !c
+            .cmp
+            .eval(frame.value(db, c.left), frame.resolve(db, c.right))
+        {
+            return false;
+        }
+    }
+    for ic in &step.sets {
+        *evals += 1;
+        if !ic.matches(frame.value(db, ic.col)) {
+            return false;
+        }
+    }
+    true
+}
 
 /// Candidate rows of one opened pipeline stage.
 enum Cands<'a> {
@@ -140,6 +186,7 @@ pub struct CursorCheckpoint {
     done: bool,
     seen_narrow: HashSet<u64>,
     seen_wide: HashSet<Vec<Value>>,
+    obs: Vec<StepObs>,
 }
 
 impl CursorCheckpoint {
@@ -147,6 +194,12 @@ impl CursorCheckpoint {
     /// cursor over a finished checkpoint yields nothing (cheaply).
     pub fn exhausted(&self) -> bool {
         self.done
+    }
+
+    /// The per-step observed counts accumulated up to the suspension
+    /// (restored into the cursor on resume, so they keep growing).
+    pub fn step_observations(&self) -> &[StepObs] {
+        &self.obs
     }
 
     /// Number of distinct tuples emitted before suspension (the dedup
@@ -182,6 +235,12 @@ pub struct Cursor<'a> {
     narrow: bool,
     seen_narrow: HashSet<u64>,
     seen_wide: HashSet<Vec<Value>>,
+    /// Per-step observed counts (always on: plain integer increments).
+    obs: Vec<StepObs>,
+    /// Attribute wall-clock time to steps? Off by default — only
+    /// EXPLAIN ANALYZE pays for a clock read per state transition.
+    timed: bool,
+    step_nanos: Vec<u64>,
 }
 
 impl<'a> Cursor<'a> {
@@ -200,6 +259,7 @@ impl<'a> Cursor<'a> {
     fn build(plan: Cow<'a, Plan>, db: &'a Database) -> Self {
         let bindings = vec![RowId(0); plan.alias_tables.len()];
         let narrow = plan.projection.len() <= 2;
+        let obs = vec![StepObs::default(); plan.steps.len()];
         Cursor {
             plan,
             db,
@@ -210,7 +270,30 @@ impl<'a> Cursor<'a> {
             narrow,
             seen_narrow: HashSet::new(),
             seen_wide: HashSet::new(),
+            obs,
+            timed: false,
+            step_nanos: Vec::new(),
         }
+    }
+
+    /// Enable per-step wall-clock attribution (EXPLAIN ANALYZE mode).
+    /// Costs one monotonic clock read per state-machine transition, so
+    /// it is opt-in; the counted observations are always maintained.
+    pub fn with_timing(mut self) -> Self {
+        self.timed = true;
+        self.step_nanos = vec![0; self.plan.steps.len()];
+        self
+    }
+
+    /// The per-step observed counts accumulated so far.
+    pub fn step_observations(&self) -> &[StepObs] {
+        &self.obs
+    }
+
+    /// Nanoseconds attributed to each step so far. Empty unless the
+    /// cursor was built [`Cursor::with_timing`].
+    pub fn step_nanos(&self) -> &[u64] {
+        &self.step_nanos
     }
 
     /// Capture the complete join state as owned data, leaving the
@@ -225,6 +308,7 @@ impl<'a> Cursor<'a> {
             done: self.done,
             seen_narrow: self.seen_narrow.clone(),
             seen_wide: self.seen_wide.clone(),
+            obs: self.obs.clone(),
         }
     }
 
@@ -241,6 +325,7 @@ impl<'a> Cursor<'a> {
             done: self.done,
             seen_narrow: self.seen_narrow,
             seen_wide: self.seen_wide,
+            obs: self.obs,
         }
     }
 
@@ -274,6 +359,7 @@ impl<'a> Cursor<'a> {
             "checkpoint does not belong to this plan (open stages)"
         );
         let narrow = plan.projection.len() <= 2;
+        debug_assert_eq!(ckpt.obs.len(), plan.steps.len());
         let mut cursor = Cursor {
             plan,
             db,
@@ -284,6 +370,9 @@ impl<'a> Cursor<'a> {
             narrow,
             seen_narrow: ckpt.seen_narrow,
             seen_wide: ckpt.seen_wide,
+            obs: ckpt.obs,
+            timed: false,
+            step_nanos: Vec::new(),
         };
         // Reopen each suspended stage against the restored bindings.
         // While stage `d` is open, the bindings of steps `< d` are
@@ -293,6 +382,7 @@ impl<'a> Cursor<'a> {
         // fast-forwarding.
         for (d, saved) in ckpt.levels.iter().enumerate() {
             let mut cands = cursor.open(d);
+            cursor.obs[d].probes += 1; // the re-run probe is real work
             match (&mut cands, saved) {
                 (Cands::Scan { next, .. }, LevelPos::Scan { next: n }) => *next = *n,
                 (Cands::Rows { rows, pos }, LevelPos::Rows { pos: p }) => {
@@ -375,17 +465,31 @@ impl<'a> Cursor<'a> {
             Mode::Advance(nsteps - 1)
         };
         loop {
+            // In EXPLAIN ANALYZE mode, attribute each transition's wall
+            // clock to the step it works for (check-and-emit work at
+            // `Enter(d)` goes to the step that produced the binding).
+            let timer = (self.timed && nsteps > 0).then(|| {
+                let at = match mode {
+                    Mode::Enter(d) => d.min(nsteps - 1),
+                    Mode::Advance(d) => d,
+                };
+                (Instant::now(), at)
+            });
+            // `Some(emitted)` ends the enumeration step for the caller.
+            let mut outcome = None;
             match mode {
                 Mode::Enter(d) => {
                     if !self.checks_pass(d) {
                         if d == 0 {
                             self.done = true;
-                            return false;
+                            outcome = Some(false);
+                        } else {
+                            mode = Mode::Advance(d - 1);
                         }
-                        mode = Mode::Advance(d - 1);
                     } else if d == nsteps {
-                        return true;
+                        outcome = Some(true);
                     } else {
+                        self.obs[d].probes += 1;
                         let cands = self.open(d);
                         self.levels.push(cands);
                         mode = Mode::Advance(d);
@@ -398,20 +502,38 @@ impl<'a> Cursor<'a> {
                             self.levels.pop();
                             if d == 0 {
                                 self.done = true;
-                                return false;
+                                outcome = Some(false);
+                            } else {
+                                mode = Mode::Advance(d - 1);
                             }
-                            mode = Mode::Advance(d - 1);
                         }
                         Some(row) => {
                             let alias = self.plan.steps[d].alias;
                             self.bindings[alias] = row;
-                            let ok = satisfies(&self.plan.steps[d], self.db, &self.frame());
+                            let mut evals = 0u64;
+                            let ok = satisfies_counting(
+                                &self.plan.steps[d],
+                                self.db,
+                                &self.frame(),
+                                &mut evals,
+                            );
+                            let o = &mut self.obs[d];
+                            o.candidates += 1;
+                            o.residual_evals += evals;
                             if ok {
+                                o.rows_out += 1;
                                 mode = Mode::Enter(d + 1);
                             }
                         }
                     }
                 }
+            }
+            if let Some((start, at)) = timer {
+                self.step_nanos[at] +=
+                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+            if let Some(emitted) = outcome {
+                return emitted;
             }
         }
     }
@@ -468,6 +590,16 @@ impl Iterator for Cursor<'_> {
 /// the plan says so, in first-encounter order).
 pub fn execute(plan: &Plan, db: &Database) -> Vec<Vec<Value>> {
     Cursor::new(plan, db).collect()
+}
+
+/// [`execute`] under full instrumentation: the tuples, plus per-step
+/// observed counts and per-step attributed nanoseconds — the raw
+/// material of EXPLAIN ANALYZE.
+pub fn execute_analyzed(plan: &Plan, db: &Database) -> (Vec<Vec<Value>>, Vec<StepObs>, Vec<u64>) {
+    let mut cursor = Cursor::new(plan, db).with_timing();
+    let rows: Vec<Vec<Value>> = cursor.by_ref().collect();
+    let nanos = std::mem::take(&mut cursor.step_nanos);
+    (rows, cursor.obs, nanos)
 }
 
 /// Does `plan` produce at least one tuple? Stops at the first complete
@@ -844,6 +976,113 @@ mod tests {
         let (_, ckpt) = execute_resume(&one, &db, None, 1);
         let other = &checkpoint_plans(&db, tid, idx)[3]; // two aliases
         let _ = Cursor::resume(other, &db, ckpt.unwrap());
+    }
+
+    #[test]
+    fn observations_count_candidates_rows_and_probes() {
+        let (db, tid, idx) = setup();
+        let join = &checkpoint_plans(&db, tid, idx)[3]; // scan ⋈ probe
+        let (rows, obs, nanos) = execute_analyzed(join, &db);
+        assert_eq!(rows, execute(join, &db));
+        assert_eq!(obs.len(), 2);
+        assert_eq!(nanos.len(), 2);
+        // Step 0 scans the table once: 6 candidates, all pass (no
+        // residual conditions), so 6 observed rows and 0 evaluations.
+        assert_eq!(
+            obs[0],
+            StepObs {
+                probes: 1,
+                candidates: 6,
+                residual_evals: 0,
+                rows_out: 6
+            }
+        );
+        // Step 1 probes once per outer row and its observed rows are
+        // exactly the join's output.
+        assert_eq!(obs[1].probes, 6);
+        assert_eq!(obs[1].rows_out as usize, rows.len());
+        assert_eq!(obs[1].candidates, obs[1].rows_out);
+    }
+
+    #[test]
+    fn residual_evaluations_are_counted_per_condition() {
+        use crate::expr::Cond;
+        use crate::value::Cmp;
+        let (db, tid, _) = setup();
+        let mut plan = scan_plan(tid, vec![ColRef::new(0, VAL)], false);
+        plan.steps[0].residual.push(Cond {
+            left: ColRef::new(0, GRP),
+            cmp: Cmp::Eq,
+            right: Operand::Const(1),
+        });
+        let (rows, obs, _) = execute_analyzed(&plan, &db);
+        assert_eq!(rows.len(), 3);
+        // One condition evaluated for each of the 6 candidates; 3 pass.
+        assert_eq!(obs[0].candidates, 6);
+        assert_eq!(obs[0].residual_evals, 6);
+        assert_eq!(obs[0].rows_out, 3);
+    }
+
+    #[test]
+    fn observations_accumulate_across_suspend_resume() {
+        let (db, tid, idx) = setup();
+        for (pi, plan) in checkpoint_plans(&db, tid, idx).iter().enumerate() {
+            let (_, straight, _) = execute_analyzed(plan, &db);
+            // Row-at-a-time sweep: every boundary suspends and resumes.
+            let mut ckpt: Option<CursorCheckpoint> = None;
+            let final_obs = loop {
+                let (_, next) = execute_resume(plan, &db, ckpt.clone(), 1);
+                match next {
+                    Some(c) => ckpt = Some(c),
+                    // Exhaustion drops the cursor; the last checkpoint
+                    // before it carries the accumulated counts.
+                    None => break ckpt.take(),
+                }
+            };
+            // The checkpoint right before exhaustion already accounts
+            // for every candidate pulled so far; compare the row/eval
+            // totals (probes legitimately exceed the straight run by
+            // the per-resume re-probes).
+            if let Some(c) = final_obs {
+                for (d, (got, want)) in c.step_observations().iter().zip(&straight).enumerate() {
+                    assert!(
+                        got.candidates <= want.candidates && got.rows_out <= want.rows_out,
+                        "plan {pi} step {d}: suspended sweep overshot the straight run"
+                    );
+                    assert!(
+                        got.probes >= want.probes,
+                        "plan {pi} step {d}: resumes must re-probe"
+                    );
+                }
+            }
+            // And a single mid-way suspension, drained to the end,
+            // lands on exactly the straight-run candidate totals.
+            let (_, ckpt) = execute_resume(plan, &db, None, 1);
+            if let Some(ckpt) = ckpt {
+                let mut cursor = Cursor::resume(plan, &db, ckpt);
+                while cursor.next().is_some() {}
+                for (d, (got, want)) in cursor.step_observations().iter().zip(&straight).enumerate()
+                {
+                    assert_eq!(
+                        (got.candidates, got.residual_evals, got.rows_out),
+                        (want.candidates, want.residual_evals, want.rows_out),
+                        "plan {pi} step {d}: split run diverged from straight run"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timing_is_opt_in() {
+        let (db, tid, _) = setup();
+        let plan = scan_plan(tid, vec![ColRef::new(0, VAL)], false);
+        let mut plain = Cursor::new(&plan, &db);
+        while plain.next().is_some() {}
+        assert!(plain.step_nanos().is_empty());
+        let mut timed = Cursor::new(&plan, &db).with_timing();
+        while timed.next().is_some() {}
+        assert_eq!(timed.step_nanos().len(), 1);
     }
 
     #[test]

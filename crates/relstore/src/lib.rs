@@ -72,7 +72,10 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Database, IndexId, TableId};
-pub use cursor::{count, execute, execute_page, execute_resume, exists, Cursor, CursorCheckpoint};
+pub use cursor::{
+    count, execute, execute_analyzed, execute_page, execute_resume, exists, Cursor,
+    CursorCheckpoint, StepObs,
+};
 pub use expr::{ColRef, Cond, InCond, Operand};
 pub use index::Index;
 pub use plan::{AccessPath, JoinStep, Plan, SubCheck};

@@ -82,6 +82,7 @@ pub mod stats;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 use lpath_core::Walker;
 use lpath_model::ptb::parse_into;
@@ -90,10 +91,11 @@ use lpath_syntax::{parse, SyntaxError};
 
 pub use cache::ResultSet;
 use cache::{CountCache, PrefixCache, PrefixEntry, ResultCache};
+pub use lpath_obs::HistogramSnapshot;
 pub use plan::{required_symbols, CompiledQuery, ExecStrategy};
 pub use shard::{Shard, ShardCheckpoint};
-use stats::Counters;
-pub use stats::{ServiceStats, ShardStats};
+use stats::{Class, Counters, Instruments};
+pub use stats::{ClassMetrics, Metrics, ServiceStats, ShardStats, SlowQuery};
 
 /// Everything that can go wrong answering a service request.
 ///
@@ -149,6 +151,19 @@ pub struct ServiceConfig {
     /// caching. Bounded so a long-lived service fed unbounded distinct
     /// query strings cannot grow without limit.
     pub plan_cache_capacity: usize,
+    /// Record per-query-class latency histograms and the slow-query
+    /// log ([`Service::metrics`]). Disabling skips every clock read on
+    /// the request paths; the cheap event counters ([`Service::stats`])
+    /// stay on regardless.
+    pub metrics: bool,
+    /// Requests whose end-to-end latency reaches this threshold are
+    /// captured in the slow-query log with their stage timings,
+    /// fan-out width and resume count. `Duration::ZERO` logs every
+    /// request (useful in tests).
+    pub slow_query_threshold: Duration,
+    /// Slow-query log retention: the newest this many slow requests
+    /// are kept (min 1).
+    pub slow_query_log_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -158,6 +173,9 @@ impl Default for ServiceConfig {
             threads: 0,
             result_cache_capacity: 512,
             plan_cache_capacity: 2_048,
+            metrics: true,
+            slow_query_threshold: Duration::from_millis(50),
+            slow_query_log_capacity: 32,
         }
     }
 }
@@ -212,6 +230,7 @@ pub struct Service {
     /// alive across appends.
     prefixes: Mutex<PrefixCache>,
     counters: Counters,
+    instr: Instruments,
 }
 
 /// Shard ids live in `u16` (cache keys, the public shard-subset API);
@@ -252,6 +271,11 @@ impl Service {
             shard_results: Mutex::new(ResultCache::new_plain_lru(cfg.result_cache_capacity)),
             prefixes: Mutex::new(PrefixCache::new_plain_lru(cfg.result_cache_capacity)),
             counters: Counters::default(),
+            instr: Instruments::new(
+                cfg.metrics,
+                cfg.slow_query_threshold,
+                cfg.slow_query_log_capacity,
+            ),
         }
     }
 
@@ -265,20 +289,20 @@ impl Service {
     pub fn compile(&self, query: &str) -> Result<Arc<CompiledQuery>, ServiceError> {
         let key = query.trim();
         if let Some(hit) = self.plan_lookup(key) {
-            Counters::bump(&self.counters.plan_hits);
+            self.counters.plan_hits.bump();
             return Ok(hit);
         }
         let ast = parse(key)?;
         let normalized = ast.to_string();
         if normalized != key {
             if let Some(hit) = self.plan_lookup(&normalized) {
-                Counters::bump(&self.counters.plan_hits);
+                self.counters.plan_hits.bump();
                 // Alias the raw spelling for next time.
                 self.plan_insert(key.to_string(), Arc::clone(&hit));
                 return Ok(hit);
             }
         }
-        Counters::bump(&self.counters.plan_misses);
+        self.counters.plan_misses.bump();
         let (strategy, sql) = {
             let st = self.state.read().unwrap();
             // One translation decides both the strategy and the SQL.
@@ -352,11 +376,18 @@ impl Service {
     /// `(global tree id, node)` in document order — byte-identical to
     /// a single [`lpath_core::Engine`] over the same corpus.
     pub fn eval(&self, query: &str) -> Result<Arc<ResultSet>, ServiceError> {
-        Counters::bump(&self.counters.queries);
+        self.counters.queries.bump();
+        let mut timer = self.instr.begin();
         let compiled = self.compile(query)?;
+        if let Some(t) = timer.as_mut() {
+            t.mark_compiled();
+        }
         let (shards, generation) = self.snapshot();
         let all: Vec<u16> = (0..shards.len() as u16).collect();
-        Ok(self.eval_compiled(&shards, generation, &compiled, &all))
+        let (rows, hit) = self.eval_compiled(&shards, generation, &compiled, &all);
+        let fanout = if hit { 0 } else { shards.len() };
+        self.instr.finish(timer, Class::Eval, hit, query, fanout, 0);
+        Ok(rows)
     }
 
     /// Snapshot the current shards and generation under a short read
@@ -371,8 +402,12 @@ impl Service {
     /// deduplicated internally). The result covers exactly the trees
     /// those shards own.
     pub fn eval_on(&self, query: &str, shard_ids: &[u16]) -> Result<Arc<ResultSet>, ServiceError> {
-        Counters::bump(&self.counters.queries);
+        self.counters.queries.bump();
+        let mut timer = self.instr.begin();
         let compiled = self.compile(query)?;
+        if let Some(t) = timer.as_mut() {
+            t.mark_compiled();
+        }
         let (shards, generation) = self.snapshot();
         let mut ids: Vec<u16> = shard_ids.to_vec();
         ids.sort_unstable();
@@ -380,7 +415,10 @@ impl Service {
         if let Some(&bad) = ids.iter().find(|&&i| i as usize >= shards.len()) {
             return Err(ServiceError::BadShard(bad));
         }
-        Ok(self.eval_compiled(&shards, generation, &compiled, &ids))
+        let (rows, hit) = self.eval_compiled(&shards, generation, &compiled, &ids);
+        let fanout = if hit { 0 } else { ids.len() };
+        self.instr.finish(timer, Class::Eval, hit, query, fanout, 0);
+        Ok(rows)
     }
 
     /// Result size of `query` (the paper's reported measure). Served
@@ -395,33 +433,40 @@ impl Service {
     /// trees is far cheaper than enumerating (Bárcenas et al., *On
     /// the Count of Trees*); this path exploits exactly that gap.
     pub fn count(&self, query: &str) -> Result<usize, ServiceError> {
-        Counters::bump(&self.counters.queries);
+        self.counters.queries.bump();
+        let mut timer = self.instr.begin();
         let compiled = self.compile(query)?;
+        if let Some(t) = timer.as_mut() {
+            t.mark_compiled();
+        }
         let (shards, generation) = self.snapshot();
         let all: Vec<u16> = (0..shards.len() as u16).collect();
         let key = (compiled.normalized.clone(), all);
         if let Some(n) = self.counts.lock().unwrap().get(&key, generation) {
-            Counters::bump(&self.counters.count_hits);
+            self.counters.count_hits.bump();
+            self.instr.finish(timer, Class::Count, true, query, 0, 0);
             return Ok(n);
         }
-        Counters::bump(&self.counters.count_misses);
+        self.counters.count_misses.bump();
         // A cached full result set answers for free. (Bind the lookup
         // before matching: a `match` scrutinee would hold the cache
         // lock across the whole evaluation.)
         let cached_full = self.results.lock().unwrap().get(&key, generation);
-        let n = match cached_full {
+        let (n, hit, fanout) = match cached_full {
             Some(full) => {
-                Counters::bump(&self.counters.result_hits);
-                full.len()
+                self.counters.result_hits.bump();
+                (full.len(), true, 0)
             }
             None => {
                 let partial = fan_out(self.threads, shards.len(), |si| {
                     self.count_one_shard(&shards[si], si as u16, &compiled)
                 });
-                partial.iter().sum()
+                (partial.iter().sum(), false, shards.len())
             }
         };
         self.counts.lock().unwrap().insert(key, generation, n);
+        self.instr
+            .finish(timer, Class::Count, hit, query, fanout, 0);
         Ok(n)
     }
 
@@ -431,24 +476,24 @@ impl Service {
     /// promoted by [`Service::eval_page`]), whose length is the count.
     fn count_one_shard(&self, shard: &Shard, si: u16, compiled: &CompiledQuery) -> usize {
         if !shard.may_match(&compiled.required) {
-            Counters::bump(&self.counters.shards_pruned);
+            self.counters.shards_pruned.bump();
             return 0;
         }
         let key = (compiled.normalized.clone(), vec![si]);
         let build = shard.build_id();
         if let Some(n) = self.shard_counts.lock().unwrap().get(&key, build) {
-            Counters::bump(&self.counters.shard_count_hits);
+            self.counters.shard_count_hits.bump();
             return n;
         }
-        Counters::bump(&self.counters.shard_count_misses);
+        self.counters.shard_count_misses.bump();
         let cached_rows = self.shard_results.lock().unwrap().get(&key, build);
         let n = match cached_rows {
             Some(rows) => {
-                Counters::bump(&self.counters.result_hits);
+                self.counters.result_hits.bump();
                 rows.len()
             }
             None => {
-                Counters::bump(&self.counters.shard_evals);
+                self.counters.shard_evals.bump();
                 shard.count(compiled)
             }
         };
@@ -463,25 +508,25 @@ impl Service {
     /// at the first match. On selective queries over large corpora
     /// this is orders of magnitude cheaper than any enumeration.
     pub fn exists(&self, query: &str) -> Result<bool, ServiceError> {
-        Counters::bump(&self.counters.queries);
+        self.counters.queries.bump();
         let compiled = self.compile(query)?;
         let (shards, generation) = self.snapshot();
         let all: Vec<u16> = (0..shards.len() as u16).collect();
         let key = (compiled.normalized.clone(), all);
         if let Some(n) = self.counts.lock().unwrap().get(&key, generation) {
-            Counters::bump(&self.counters.count_hits);
+            self.counters.count_hits.bump();
             return Ok(n > 0);
         }
         if let Some(full) = self.results.lock().unwrap().get(&key, generation) {
-            Counters::bump(&self.counters.result_hits);
+            self.counters.result_hits.bump();
             return Ok(!full.is_empty());
         }
         Ok(shards.iter().any(|shard| {
             if !shard.may_match(&compiled.required) {
-                Counters::bump(&self.counters.shards_pruned);
+                self.counters.shards_pruned.bump();
                 return false;
             }
-            Counters::bump(&self.counters.shard_evals);
+            self.counters.shard_evals.bump();
             shard.exists(&compiled)
         }))
     }
@@ -513,41 +558,50 @@ impl Service {
         offset: usize,
         limit: usize,
     ) -> Result<ResultSet, ServiceError> {
-        Counters::bump(&self.counters.queries);
-        Counters::bump(&self.counters.pages);
+        self.counters.queries.bump();
+        self.counters.pages.bump();
+        let mut timer = self.instr.begin();
         let compiled = self.compile(query)?;
+        if let Some(t) = timer.as_mut() {
+            t.mark_compiled();
+        }
         let (shards, generation) = self.snapshot();
         if limit == 0 {
+            self.instr.finish(timer, Class::EvalPage, true, query, 0, 0);
             return Ok(Vec::new());
         }
         // Fast path: the full result set is already cached.
         let all: Vec<u16> = (0..shards.len() as u16).collect();
         let full_key = (compiled.normalized.clone(), all);
         if let Some(full) = self.results.lock().unwrap().get(&full_key, generation) {
-            Counters::bump(&self.counters.result_hits);
+            self.counters.result_hits.bump();
+            self.instr.finish(timer, Class::EvalPage, true, query, 0, 0);
             return Ok(full.iter().skip(offset).take(limit).copied().collect());
         }
         let need = offset.saturating_add(limit);
+        // Request-local trace: how wide this page fanned out, how many
+        // cached prefixes it extended, whether any shard enumerated.
+        let (mut visited, mut resumes, mut evals) = (0usize, 0u64, 0u64);
         let mut acc: ResultSet = Vec::new();
         for (si, shard) in shards.iter().enumerate() {
             if acc.len() >= need {
-                Counters::add(
-                    &self.counters.page_shards_skipped,
-                    (shards.len() - si) as u64,
-                );
+                self.counters
+                    .page_shards_skipped
+                    .add((shards.len() - si) as u64);
                 break;
             }
             if !shard.may_match(&compiled.required) {
-                Counters::bump(&self.counters.shards_pruned);
+                self.counters.shards_pruned.bump();
                 continue;
             }
             let remaining = need - acc.len();
+            visited += 1;
             let key = (compiled.normalized.clone(), vec![si as u16]);
             let build = shard.build_id();
             // A complete per-shard result serves any page depth.
             let cached = self.shard_results.lock().unwrap().get(&key, build);
             if let Some(hit) = cached {
-                Counters::bump(&self.counters.result_hits);
+                self.counters.result_hits.bump();
                 acc.extend(hit.iter().take(remaining).copied());
                 continue;
             }
@@ -558,12 +612,13 @@ impl Service {
             let prefix = self.prefixes.lock().unwrap().get(&key, build);
             let (rows, ckpt) = match prefix {
                 Some(entry) if entry.rows.len() >= remaining => {
-                    Counters::bump(&self.counters.page_prefix_hits);
+                    self.counters.page_prefix_hits.bump();
                     acc.extend(entry.rows.iter().take(remaining).copied());
                     continue;
                 }
                 Some(entry) => {
-                    Counters::bump(&self.counters.page_resumes);
+                    self.counters.page_resumes.bump();
+                    resumes += 1;
                     let delta = remaining - entry.rows.len();
                     // Take the observed entry back out of the cache
                     // (only it — a deeper prefix a concurrent sweep
@@ -583,8 +638,9 @@ impl Service {
                     (rows, next)
                 }
                 None => {
-                    Counters::bump(&self.counters.result_misses);
-                    Counters::bump(&self.counters.page_partial_evals);
+                    self.counters.result_misses.bump();
+                    self.counters.page_partial_evals.bump();
+                    evals += 1;
                     shard.eval_resume(&compiled, None, remaining)
                 }
             };
@@ -623,6 +679,11 @@ impl Service {
             }
             acc.extend(rows.iter().take(remaining).copied());
         }
+        // A page is a "hit" when it was served entirely from cached
+        // state — no shard enumerated anything, not even a delta.
+        let hit = resumes == 0 && evals == 0;
+        self.instr
+            .finish(timer, Class::EvalPage, hit, query, visited, resumes);
         acc.truncate(need);
         Ok(acc.split_off(offset.min(acc.len())))
     }
@@ -633,10 +694,14 @@ impl Service {
     /// pays thread startup once and keeps every worker busy across
     /// queries of uneven cost.
     pub fn eval_batch(&self, queries: &[&str]) -> Vec<Result<Arc<ResultSet>, ServiceError>> {
-        Counters::bump(&self.counters.batches);
-        Counters::add(&self.counters.queries, queries.len() as u64);
+        self.counters.batches.bump();
+        self.counters.queries.add(queries.len() as u64);
+        let mut timer = self.instr.begin();
         let compiled: Vec<Result<Arc<CompiledQuery>, ServiceError>> =
             queries.iter().map(|q| self.compile(q)).collect();
+        if let Some(t) = timer.as_mut() {
+            t.mark_compiled();
+        }
 
         let (shards, generation) = self.snapshot();
         let nshards = shards.len();
@@ -656,7 +721,7 @@ impl Service {
                     if let Some(&mi) = miss_index.get(&c.normalized) {
                         // Batch-local dedup: served from the sibling
                         // occurrence's evaluation, not from the cache.
-                        Counters::bump(&self.counters.batch_dedup);
+                        self.counters.batch_dedup.bump();
                         misses[mi].0.push(i);
                         continue;
                     }
@@ -664,11 +729,11 @@ impl Service {
                     let hit = self.results.lock().unwrap().get(&key, generation);
                     match hit {
                         Some(v) => {
-                            Counters::bump(&self.counters.result_hits);
+                            self.counters.result_hits.bump();
                             out[i] = Some(Ok(v));
                         }
                         None => {
-                            Counters::bump(&self.counters.result_misses);
+                            self.counters.result_misses.bump();
                             miss_index.insert(c.normalized.clone(), misses.len());
                             misses.push((vec![i], c));
                         }
@@ -700,6 +765,21 @@ impl Service {
                 }
             }
         }
+        if timer.is_some() {
+            // One histogram sample per batch call (members already
+            // count as queries); a batch is a hit when every member
+            // was served from cache or batch-local dedup.
+            let hit = misses.is_empty();
+            let fanout = misses.len() * nshards;
+            self.instr.finish(
+                timer,
+                Class::EvalBatch,
+                hit,
+                &queries.join(" ; "),
+                fanout,
+                0,
+            );
+        }
         out.into_iter()
             .map(|r| r.expect("all slots filled"))
             .collect()
@@ -708,19 +788,21 @@ impl Service {
     /// Evaluate `compiled` over the (sorted) shard subset `ids`,
     /// consulting and filling the result cache. Takes a lock-free
     /// shard snapshot so long evaluations never block corpus writers.
+    /// The returned flag says whether the top-level result cache
+    /// answered (the latency histograms' hit/miss attribution).
     fn eval_compiled(
         &self,
         shards: &[Arc<Shard>],
         generation: u64,
         compiled: &Arc<CompiledQuery>,
         ids: &[u16],
-    ) -> Arc<ResultSet> {
+    ) -> (Arc<ResultSet>, bool) {
         let key = (compiled.normalized.clone(), ids.to_vec());
         if let Some(hit) = self.results.lock().unwrap().get(&key, generation) {
-            Counters::bump(&self.counters.result_hits);
-            return hit;
+            self.counters.result_hits.bump();
+            return (hit, true);
         }
-        Counters::bump(&self.counters.result_misses);
+        self.counters.result_misses.bump();
         let partials = fan_out(self.threads, ids.len(), |i| {
             let si = ids[i];
             self.eval_one_shard(&shards[si as usize], si, compiled)
@@ -734,7 +816,7 @@ impl Service {
             .lock()
             .unwrap()
             .insert(key, generation, Arc::clone(&merged));
-        merged
+        (merged, false)
     }
 
     /// Evaluate on one shard, with symbol-presence pruning, through
@@ -745,16 +827,16 @@ impl Service {
     /// [`Service::append_ptb`] for every shard but the rebuilt tail.
     fn eval_one_shard(&self, shard: &Shard, si: u16, compiled: &CompiledQuery) -> Arc<ResultSet> {
         if !shard.may_match(&compiled.required) {
-            Counters::bump(&self.counters.shards_pruned);
+            self.counters.shards_pruned.bump();
             return Arc::new(Vec::new());
         }
         let key = (compiled.normalized.clone(), vec![si]);
         let build = shard.build_id();
         if let Some(hit) = self.shard_results.lock().unwrap().get(&key, build) {
-            Counters::bump(&self.counters.result_hits);
+            self.counters.result_hits.bump();
             return hit;
         }
-        Counters::bump(&self.counters.shard_evals);
+        self.counters.shard_evals.bump();
         let rows = Arc::new(shard.eval(compiled));
         self.shard_results
             .lock()
@@ -789,7 +871,7 @@ impl Service {
         let tail_len = st.master.trees().len() - tail_start;
         st.shards[tail] = Arc::new(Shard::build(&st.master, tail_start, tail_len));
         st.generation += 1;
-        Counters::bump(&self.counters.appends);
+        self.counters.appends.bump();
         drop(st);
         // The per-shard count cache survives an append: its entries
         // are scoped to shard build ids, and only the tail shard got a
@@ -806,7 +888,7 @@ impl Service {
         st.master = corpus.clone();
         st.shards = build_shards(&st.master, self.cfg.shards, self.threads);
         st.generation += 1;
-        Counters::bump(&self.counters.swaps);
+        self.counters.swaps.bump();
         drop(st);
         self.invalidate();
     }
@@ -856,7 +938,7 @@ impl Service {
         let st = self.state.read().unwrap();
         let per_shard: Vec<ShardStats> = st.shards.iter().map(|s| s.stats()).collect();
         let c = &self.counters;
-        let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
+        let load = |a: &lpath_obs::Counter| a.get();
         ServiceStats {
             generation: st.generation,
             shards: st.shards.len(),
@@ -888,6 +970,22 @@ impl Service {
             appends: load(&c.appends),
             swaps: load(&c.swaps),
             per_shard,
+        }
+    }
+
+    /// A JSON-renderable latency snapshot: per-query-class hit/miss
+    /// histograms (p50/p90/p99/max, nanoseconds) plus the retained
+    /// slow-query log — the distribution-level companion to the
+    /// counter-level [`Service::stats`]. With
+    /// [`ServiceConfig::metrics`] off the shape is identical but every
+    /// histogram is empty and the log stays silent.
+    pub fn metrics(&self) -> Metrics {
+        Metrics {
+            generation: self.state.read().unwrap().generation,
+            queries: self.counters.queries.get(),
+            enabled: self.instr.enabled(),
+            classes: self.instr.class_metrics(),
+            slow_queries: self.instr.slow_snapshot(),
         }
     }
 
@@ -1403,5 +1501,128 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// A service that logs every request as slow, for metrics tests.
+    fn traced_service(shards: usize) -> Service {
+        let corpus = parse_str(SRC).unwrap();
+        Service::with_config(
+            &corpus,
+            ServiceConfig {
+                shards,
+                threads: 1,
+                slow_query_threshold: Duration::ZERO,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn class<'m>(m: &'m Metrics, name: &str) -> &'m ClassMetrics {
+        m.classes.iter().find(|c| c.class == name).unwrap()
+    }
+
+    #[test]
+    fn latencies_attribute_hits_and_misses_per_class() {
+        let svc = traced_service(2);
+        svc.eval("//NP").unwrap(); // miss
+        svc.eval("//NP").unwrap(); // result-cache hit
+        svc.count("//VP").unwrap(); // miss
+        svc.count("//VP").unwrap(); // count-cache hit
+        svc.eval_batch(&["//DT", "//DT"]); // one miss + one dedup = batch miss
+        svc.eval_batch(&["//DT"]); // all cached = batch hit
+        let m = svc.metrics();
+        assert!(m.enabled);
+        let eval = class(&m, "eval");
+        assert_eq!((eval.misses.count, eval.hits.count), (1, 1));
+        let count = class(&m, "count");
+        assert_eq!((count.misses.count, count.hits.count), (1, 1));
+        let batch = class(&m, "eval_batch");
+        assert_eq!((batch.misses.count, batch.hits.count), (1, 1));
+        // Histogram totals equal the requests recorded, and every
+        // snapshot keeps p50 <= p90 <= p99 <= max.
+        for c in &m.classes {
+            for h in [&c.hits, &c.misses] {
+                assert!(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max);
+            }
+        }
+        let json = m.to_json();
+        assert!(json.contains("\"eval_batch\""));
+    }
+
+    #[test]
+    fn page_metrics_track_fanout_and_resumes() {
+        let svc = traced_service(2);
+        // Page 1 enumerates from scratch (miss), page 2 extends the
+        // cached prefix through its checkpoint (miss, with a resume),
+        // replaying page 1 is pure cache (hit).
+        svc.eval_page("//NP", 0, 1).unwrap();
+        svc.eval_page("//NP", 0, 2).unwrap();
+        svc.eval_page("//NP", 0, 1).unwrap();
+        let m = svc.metrics();
+        let page = class(&m, "eval_page");
+        assert_eq!(page.misses.count, 2);
+        assert_eq!(page.hits.count, 1);
+        // Every request crossed the zero threshold into the slow log,
+        // newest last, carrying the fan-out and resume trace.
+        let slow: Vec<_> = m
+            .slow_queries
+            .iter()
+            .filter(|q| q.class == "eval_page")
+            .collect();
+        assert_eq!(slow.len(), 3);
+        assert!(slow.iter().all(|q| q.query == "//NP"));
+        assert!(slow.iter().all(|q| q.fanout >= 1));
+        assert_eq!(slow[1].resumes, 1, "page 2 extended one prefix");
+        assert_eq!(slow[2].resumes, 0, "replay resumed nothing");
+        assert!(slow.iter().all(|q| q.total_ns >= q.compile_ns));
+    }
+
+    #[test]
+    fn metrics_can_be_disabled() {
+        let corpus = parse_str(SRC).unwrap();
+        let svc = Service::with_config(
+            &corpus,
+            ServiceConfig {
+                shards: 2,
+                threads: 1,
+                metrics: false,
+                slow_query_threshold: Duration::ZERO,
+                ..ServiceConfig::default()
+            },
+        );
+        svc.eval("//NP").unwrap();
+        svc.eval_page("//NP", 0, 2).unwrap();
+        svc.count("//VP").unwrap();
+        let m = svc.metrics();
+        assert!(!m.enabled);
+        assert!(m
+            .classes
+            .iter()
+            .all(|c| c.hits.count == 0 && c.misses.count == 0));
+        assert!(m.slow_queries.is_empty());
+        // The counter-level stats stay on regardless.
+        assert_eq!(m.queries, 3);
+        assert_eq!(svc.stats().queries, 3);
+    }
+
+    #[test]
+    fn slow_log_ring_keeps_the_newest() {
+        let corpus = parse_str(SRC).unwrap();
+        let svc = Service::with_config(
+            &corpus,
+            ServiceConfig {
+                shards: 1,
+                threads: 1,
+                slow_query_threshold: Duration::ZERO,
+                slow_query_log_capacity: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        for q in ["//NP", "//VP", "//DT", "//NN"] {
+            svc.count(q).unwrap();
+        }
+        let m = svc.metrics();
+        let texts: Vec<&str> = m.slow_queries.iter().map(|q| q.query.as_str()).collect();
+        assert_eq!(texts, ["//DT", "//NN"]);
     }
 }

@@ -1,40 +1,271 @@
-//! Service observability: lock-free counters and their snapshot form.
+//! Service observability: counters, per-class latency histograms, the
+//! slow-query log, and their snapshot forms.
+//!
+//! The primitives come from `lpath-obs` ([`Counter`], [`Histogram`],
+//! [`Ring`]); this module owns which events the service counts, how
+//! requests are classified (eval / eval_page / count / eval_batch,
+//! each split cache-hit vs miss), and the [`Metrics`] JSON rendering.
+//! The long-standing [`ServiceStats`] snapshot API is unchanged — it
+//! is now populated from `lpath-obs` counters instead of bespoke
+//! atomics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Internal atomic counters, bumped on the hot paths without locks.
+use lpath_obs::{json, Counter, Histogram, HistogramSnapshot, Ring};
+
+/// Internal monotonic counters, bumped on the hot paths without locks.
 #[derive(Default)]
 pub(crate) struct Counters {
-    pub plan_hits: AtomicU64,
-    pub plan_misses: AtomicU64,
-    pub result_hits: AtomicU64,
-    pub result_misses: AtomicU64,
-    pub count_hits: AtomicU64,
-    pub count_misses: AtomicU64,
-    pub shard_count_hits: AtomicU64,
-    pub shard_count_misses: AtomicU64,
-    pub batch_dedup: AtomicU64,
-    pub queries: AtomicU64,
-    pub batches: AtomicU64,
-    pub pages: AtomicU64,
-    pub page_shards_skipped: AtomicU64,
-    pub page_partial_evals: AtomicU64,
-    pub page_prefix_hits: AtomicU64,
-    pub page_resumes: AtomicU64,
-    pub shard_evals: AtomicU64,
-    pub shards_pruned: AtomicU64,
-    pub appends: AtomicU64,
-    pub swaps: AtomicU64,
+    pub plan_hits: Counter,
+    pub plan_misses: Counter,
+    pub result_hits: Counter,
+    pub result_misses: Counter,
+    pub count_hits: Counter,
+    pub count_misses: Counter,
+    pub shard_count_hits: Counter,
+    pub shard_count_misses: Counter,
+    pub batch_dedup: Counter,
+    pub queries: Counter,
+    pub batches: Counter,
+    pub pages: Counter,
+    pub page_shards_skipped: Counter,
+    pub page_partial_evals: Counter,
+    pub page_prefix_hits: Counter,
+    pub page_resumes: Counter,
+    pub shard_evals: Counter,
+    pub shards_pruned: Counter,
+    pub appends: Counter,
+    pub swaps: Counter,
 }
 
-impl Counters {
-    pub fn bump(field: &AtomicU64) {
-        field.fetch_add(1, Ordering::Relaxed);
+/// The service's latency-classified request kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Class {
+    Eval,
+    EvalPage,
+    Count,
+    EvalBatch,
+}
+
+impl Class {
+    pub(crate) fn name(self) -> &'static str {
+        match self {
+            Class::Eval => "eval",
+            Class::EvalPage => "eval_page",
+            Class::Count => "count",
+            Class::EvalBatch => "eval_batch",
+        }
     }
 
-    pub fn add(field: &AtomicU64, n: u64) {
-        field.fetch_add(n, Ordering::Relaxed);
+    const ALL: [Class; 4] = [Class::Eval, Class::EvalPage, Class::Count, Class::EvalBatch];
+}
+
+/// A request in flight: started by [`Instruments::begin`], finished by
+/// [`Instruments::finish`]. `None` when metrics are disabled — the
+/// uninstrumented path never reads the clock.
+pub(crate) struct ReqTimer {
+    start: Instant,
+    compiled_at: Option<Instant>,
+}
+
+impl ReqTimer {
+    /// Mark the end of the compile stage (plan-cache lookup included).
+    pub(crate) fn mark_compiled(&mut self) {
+        self.compiled_at = Some(Instant::now());
+    }
+}
+
+/// Everything the request paths report into: per-class hit/miss
+/// latency histograms plus the slow-query ring.
+pub(crate) struct Instruments {
+    enabled: bool,
+    threshold: Duration,
+    /// `[class][hit]` latency histograms, nanoseconds.
+    lat: [[Histogram; 2]; 4],
+    slow: Ring<SlowQuery>,
+}
+
+impl Instruments {
+    pub(crate) fn new(enabled: bool, threshold: Duration, slow_capacity: usize) -> Self {
+        Instruments {
+            enabled,
+            threshold,
+            lat: std::array::from_fn(|_| std::array::from_fn(|_| Histogram::new())),
+            slow: Ring::new(slow_capacity),
+        }
+    }
+
+    /// Start timing a request; `None` (and zero further cost) when
+    /// metrics are disabled.
+    pub(crate) fn begin(&self) -> Option<ReqTimer> {
+        self.enabled.then(|| ReqTimer {
+            start: Instant::now(),
+            compiled_at: None,
+        })
+    }
+
+    /// Finish a request: record its latency under `(class, hit)` and,
+    /// past the slow threshold, log it with its trace detail.
+    pub(crate) fn finish(
+        &self,
+        timer: Option<ReqTimer>,
+        class: Class,
+        hit: bool,
+        query: &str,
+        fanout: usize,
+        resumes: u64,
+    ) {
+        let Some(timer) = timer else { return };
+        let total = timer.start.elapsed();
+        self.lat[class as usize][usize::from(hit)].record_duration(total);
+        if total >= self.threshold {
+            let compile = timer
+                .compiled_at
+                .map_or(Duration::ZERO, |at| at.duration_since(timer.start));
+            self.slow.push(SlowQuery {
+                query: clip(query),
+                class: class.name(),
+                total_ns: as_nanos(total),
+                compile_ns: as_nanos(compile),
+                execute_ns: as_nanos(total.saturating_sub(compile)),
+                fanout,
+                resumes,
+            });
+        }
+    }
+
+    pub(crate) fn class_metrics(&self) -> Vec<ClassMetrics> {
+        Class::ALL
+            .iter()
+            .map(|&c| ClassMetrics {
+                class: c.name(),
+                misses: self.lat[c as usize][0].snapshot(),
+                hits: self.lat[c as usize][1].snapshot(),
+            })
+            .collect()
+    }
+
+    pub(crate) fn slow_snapshot(&self) -> Vec<SlowQuery> {
+        self.slow.snapshot()
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+fn as_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Bound slow-log query text (batches join many queries).
+fn clip(q: &str) -> String {
+    const MAX: usize = 256;
+    if q.len() <= MAX {
+        return q.to_string();
+    }
+    let cut = (1..=MAX)
+        .rev()
+        .find(|&i| q.is_char_boundary(i))
+        .unwrap_or(0);
+    format!("{}…", &q[..cut])
+}
+
+/// One slow-query log entry: a request whose total latency crossed the
+/// configured threshold, with enough trace detail to see where the
+/// time went without re-running it.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// The query text (batches: the joined texts, clipped).
+    pub query: String,
+    /// Request class (`eval` / `eval_page` / `count` / `eval_batch`).
+    pub class: &'static str,
+    /// End-to-end latency, nanoseconds.
+    pub total_ns: u64,
+    /// Compile stage (parse + plan-cache) share of the total.
+    pub compile_ns: u64,
+    /// Execution share of the total (everything after compile).
+    pub execute_ns: u64,
+    /// Shard fan-out width: shards the request actually visited.
+    pub fanout: usize,
+    /// Checkpoint resumes performed (paged requests extending cached
+    /// prefixes through their suspended cursors).
+    pub resumes: u64,
+}
+
+/// Latency snapshots of one request class, split by cache outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassMetrics {
+    /// Class name (`eval` / `eval_page` / `count` / `eval_batch`).
+    pub class: &'static str,
+    /// Requests answered from a cache (or batch-deduplicated).
+    pub hits: HistogramSnapshot,
+    /// Requests that performed evaluation work.
+    pub misses: HistogramSnapshot,
+}
+
+/// A JSON-renderable metrics snapshot: per-class latency percentiles
+/// plus the retained slow-query log. The counter-level view stays on
+/// [`ServiceStats`]; this is the latency-distribution side.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    /// Corpus generation at snapshot time.
+    pub generation: u64,
+    /// Total queries answered (all classes).
+    pub queries: u64,
+    /// Whether latency recording was enabled (when `false` the
+    /// histograms are structurally present but empty).
+    pub enabled: bool,
+    /// Per-class latency snapshots, fixed order: eval, eval_page,
+    /// count, eval_batch.
+    pub classes: Vec<ClassMetrics>,
+    /// The slow-query ring's retained entries, oldest first.
+    pub slow_queries: Vec<SlowQuery>,
+}
+
+impl Metrics {
+    /// Render the snapshot as a JSON object string (no external
+    /// serializer under the offline-shim policy; strings go through
+    /// [`lpath_obs::json::escape`]).
+    pub fn to_json(&self) -> String {
+        let hist = |h: &HistogramSnapshot| {
+            format!(
+                "{{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"mean_ns\": {:.1}}}",
+                h.count, h.p50, h.p90, h.p99, h.max, h.mean()
+            )
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"generation\": {},\n", self.generation));
+        s.push_str(&format!("  \"queries\": {},\n", self.queries));
+        s.push_str(&format!("  \"enabled\": {},\n", self.enabled));
+        s.push_str("  \"classes\": {\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {{\"hit\": {}, \"miss\": {}}}{}\n",
+                c.class,
+                hist(&c.hits),
+                hist(&c.misses),
+                if i + 1 < self.classes.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"slow_queries\": [\n");
+        for (i, q) in self.slow_queries.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"query\": \"{}\", \"class\": \"{}\", \"total_ns\": {}, \"compile_ns\": {}, \"execute_ns\": {}, \"fanout\": {}, \"resumes\": {}}}{}\n",
+                json::escape(&q.query),
+                q.class,
+                q.total_ns,
+                q.compile_ns,
+                q.execute_ns,
+                q.fanout,
+                q.resumes,
+                if i + 1 < self.slow_queries.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
     }
 }
 
@@ -211,5 +442,89 @@ mod tests {
         assert_eq!(s.prune_rate(), 0.0);
         assert!(s.plan_hit_rate().is_finite());
         assert!((s.result_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_instruments_record_nothing() {
+        let instr = Instruments::new(false, Duration::ZERO, 4);
+        let t = instr.begin();
+        assert!(t.is_none());
+        instr.finish(t, Class::Eval, false, "//A", 3, 0);
+        assert!(instr
+            .class_metrics()
+            .iter()
+            .all(|c| c.hits.count == 0 && c.misses.count == 0));
+        assert!(instr.slow_snapshot().is_empty());
+    }
+
+    #[test]
+    fn slow_queries_cross_the_threshold_with_stages() {
+        let instr = Instruments::new(true, Duration::ZERO, 4);
+        let mut t = instr.begin();
+        if let Some(t) = t.as_mut() {
+            t.mark_compiled();
+        }
+        instr.finish(t, Class::EvalPage, false, "//VP//NP", 2, 5);
+        let slow = instr.slow_snapshot();
+        assert_eq!(slow.len(), 1);
+        let q = &slow[0];
+        assert_eq!((q.class, q.fanout, q.resumes), ("eval_page", 2, 5));
+        assert!(q.total_ns >= q.compile_ns);
+        assert_eq!(q.total_ns, q.compile_ns + q.execute_ns);
+        // And the latency landed in the eval_page miss histogram.
+        let classes = instr.class_metrics();
+        let page = classes.iter().find(|c| c.class == "eval_page").unwrap();
+        assert_eq!(page.misses.count, 1);
+        assert_eq!(page.hits.count, 0);
+    }
+
+    #[test]
+    fn an_unreachable_threshold_logs_nothing() {
+        let instr = Instruments::new(true, Duration::from_secs(3600), 4);
+        let t = instr.begin();
+        instr.finish(t, Class::Count, true, "//A", 1, 0);
+        assert!(instr.slow_snapshot().is_empty());
+        let classes = instr.class_metrics();
+        let count = classes.iter().find(|c| c.class == "count").unwrap();
+        assert_eq!(count.hits.count, 1);
+    }
+
+    #[test]
+    fn metrics_render_valid_shape() {
+        let instr = Instruments::new(true, Duration::ZERO, 4);
+        instr.finish(instr.begin(), Class::Eval, false, "//A \"quoted\"", 4, 0);
+        let m = Metrics {
+            generation: 1,
+            queries: 1,
+            enabled: true,
+            classes: instr.class_metrics(),
+            slow_queries: instr.slow_snapshot(),
+        };
+        let j = m.to_json();
+        for key in [
+            "\"generation\"",
+            "\"classes\"",
+            "\"eval\"",
+            "\"eval_page\"",
+            "\"count\"",
+            "\"eval_batch\"",
+            "\"p50_ns\"",
+            "\"p90_ns\"",
+            "\"p99_ns\"",
+            "\"max_ns\"",
+            "\"slow_queries\"",
+            "\\\"quoted\\\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn clip_respects_char_boundaries() {
+        let long = "ä".repeat(300);
+        let clipped = clip(&long);
+        assert!(clipped.len() <= 260);
+        assert!(clipped.ends_with('…'));
+        assert_eq!(clip("short"), "short");
     }
 }

@@ -4,10 +4,14 @@
 //! count, the translated SQL, and the first few matches rendered in
 //! their tree context. Dot-commands:
 //!
-//! * `.sql QUERY`     — show the SQL only;
-//! * `.plan QUERY`    — show the physical plan (EXPLAIN);
-//! * `.tree N`        — render tree N;
-//! * `.stats`         — corpus statistics (Figure 6(a) shape);
+//! * `.sql QUERY`      — show the SQL only;
+//! * `.plan QUERY`     — show the physical plan (EXPLAIN);
+//! * `:analyze QUERY`  — run the query and show the plan annotated
+//!   with actual rows, probes and per-step time (EXPLAIN ANALYZE);
+//! * `:metrics`        — the service's latency/slow-query snapshot
+//!   (plain queries are served through an instrumented service);
+//! * `.tree N`         — render tree N;
+//! * `.stats`          — corpus statistics (Figure 6(a) shape);
 //! * `.help`, `.quit`
 //!
 //! ```sh
@@ -49,6 +53,9 @@ fn main() {
         ),
     };
     let engine = Engine::build(&corpus);
+    // Plain queries go through an instrumented service, so `:metrics`
+    // reflects the session's actual traffic.
+    let service = Service::build(&corpus);
     let stats = corpus.stats();
     println!(
         "loaded {origin}: {} trees, {} nodes, {} unique tags",
@@ -74,11 +81,13 @@ fn main() {
             (".quit" | ".exit", _) => break,
             (".help", _) => {
                 println!(
-                    ".sql QUERY   show translated SQL\n\
-                     .plan QUERY  show the physical plan\n\
-                     .tree N      render tree N\n\
-                     .stats       corpus statistics\n\
-                     .quit        leave"
+                    ".sql QUERY      show translated SQL\n\
+                     .plan QUERY     show the physical plan\n\
+                     :analyze QUERY  execute and show the annotated plan\n\
+                     :metrics        service latency/slow-query snapshot\n\
+                     .tree N         render tree N\n\
+                     .stats          corpus statistics\n\
+                     .quit           leave"
                 );
             }
             (".stats", _) => {
@@ -96,6 +105,13 @@ fn main() {
                 Ok(plan) => print!("{plan}"),
                 Err(e) => println!("error: {e}"),
             },
+            (":analyze" | ".analyze", q) => match engine.explain_analyze(q) {
+                Ok(report) => print!("{report}"),
+                Err(e) => println!("error: {e}"),
+            },
+            (":metrics" | ".metrics", _) => {
+                print!("{}", service.metrics().to_json());
+            }
             (".tree", n) => match n.trim().parse::<usize>() {
                 Ok(i) if i < corpus.trees().len() => {
                     print!(
@@ -105,14 +121,14 @@ fn main() {
                 }
                 _ => println!("error: tree index 0..{}", corpus.trees().len()),
             },
-            _ => run_query(&corpus, &engine, line),
+            _ => run_query(&corpus, &service, line),
         }
     }
     println!();
 }
 
-fn run_query(corpus: &Corpus, engine: &Engine, query: &str) {
-    let matches = match engine.query(query) {
+fn run_query(corpus: &Corpus, service: &Service, query: &str) {
+    let matches = match service.eval(query) {
         Ok(m) => m,
         Err(e) => {
             println!("error: {e}");

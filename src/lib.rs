@@ -15,6 +15,7 @@
 //! | [`corpussearch`] | CorpusSearch-style baseline: full-scan search-function interpreter |
 //! | [`condxpath`] | Conditional XPath (Marx, PODS 2004): the expressiveness side of Lemma 3.1 |
 //! | [`service`] | sharded, cached, concurrent query service over the engines (plan/result caches, incremental ingest, batch fan-out) |
+//! | [`obs`] | observability primitives: span timers, log-bucketed histograms, counters, the slow-query ring |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use lpath_condxpath as condxpath;
 pub use lpath_core as core;
 pub use lpath_corpussearch as corpussearch;
 pub use lpath_model as model;
+pub use lpath_obs as obs;
 pub use lpath_relstore as relstore;
 pub use lpath_service as service;
 pub use lpath_syntax as syntax;
