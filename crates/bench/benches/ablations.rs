@@ -42,10 +42,10 @@ fn join_order(c: &mut Criterion) {
     for qid in [3usize, 4, 7, 10, 18, 19, 22] {
         let q = by_id(qid);
         group.bench_with_input(BenchmarkId::new("greedy", qid), &qid, |b, _| {
-            b.iter(|| greedy.count(q.lpath).unwrap())
+            b.iter(|| greedy.count(q.lpath).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("syntactic", qid), &qid, |b, _| {
-            b.iter(|| syntactic.count(q.lpath).unwrap())
+            b.iter(|| syntactic.count(q.lpath).unwrap());
         });
     }
     group.finish();
@@ -63,10 +63,10 @@ fn tgrep_index(c: &mut Criterion) {
     for qid in [12usize, 13, 1, 2] {
         let pat = TGREP_QUERIES[qid - 1];
         group.bench_with_input(BenchmarkId::new("indexed", qid), &qid, |b, _| {
-            b.iter(|| engine.count(pat).unwrap())
+            b.iter(|| engine.count(pat).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("full_scan", qid), &qid, |b, _| {
-            b.iter(|| engine.count_unindexed(pat).unwrap())
+            b.iter(|| engine.count_unindexed(pat).unwrap());
         });
     }
     group.finish();
@@ -78,7 +78,7 @@ fn build_cost(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("lpath_engine_build", |b| b.iter(|| Engine::build(&corpus)));
     group.bench_function("tgrep_image_build", |b| {
-        b.iter(|| TgrepEngine::build(&corpus))
+        b.iter(|| TgrepEngine::build(&corpus));
     });
     group.finish();
 }

@@ -35,10 +35,10 @@ fn fig10(c: &mut Criterion) {
             "Q{id} disagreement"
         );
         group.bench_with_input(BenchmarkId::new("lpath_label", id), &id, |b, _| {
-            b.iter(|| lpath.count(lq).unwrap())
+            b.iter(|| lpath.count(lq).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("xpath_label", id), &id, |b, _| {
-            b.iter(|| xpath.count(xq).unwrap())
+            b.iter(|| xpath.count(xq).unwrap());
         });
     }
     group.finish();

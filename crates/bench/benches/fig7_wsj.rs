@@ -31,13 +31,13 @@ fn fig7(c: &mut Criterion) {
     for q in QUERIES {
         let i = q.id - 1;
         group.bench_with_input(BenchmarkId::new("lpath", q.id), &q.id, |b, _| {
-            b.iter(|| engines.lpath.count(q.lpath).unwrap())
+            b.iter(|| engines.lpath.count(q.lpath).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("tgrep", q.id), &q.id, |b, _| {
-            b.iter(|| engines.tgrep.count(TGREP_QUERIES[i]).unwrap())
+            b.iter(|| engines.tgrep.count(TGREP_QUERIES[i]).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("corpussearch", q.id), &q.id, |b, _| {
-            b.iter(|| engines.cs.count(CS_QUERIES[i]).unwrap())
+            b.iter(|| engines.cs.count(CS_QUERIES[i]).unwrap());
         });
     }
     group.finish();

@@ -15,8 +15,7 @@ fn bench_sentences() -> usize {
     std::env::var("LPATH_BENCH_SENTENCES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .map(|wsj: usize| wsj * 110 / 49)
-        .unwrap_or(1_800)
+        .map_or(1_800, |wsj: usize| wsj * 110 / 49)
 }
 
 fn fig8(c: &mut Criterion) {
@@ -30,13 +29,13 @@ fn fig8(c: &mut Criterion) {
     for q in QUERIES {
         let i = q.id - 1;
         group.bench_with_input(BenchmarkId::new("lpath", q.id), &q.id, |b, _| {
-            b.iter(|| engines.lpath.count(q.lpath).unwrap())
+            b.iter(|| engines.lpath.count(q.lpath).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("tgrep", q.id), &q.id, |b, _| {
-            b.iter(|| engines.tgrep.count(TGREP_QUERIES[i]).unwrap())
+            b.iter(|| engines.tgrep.count(TGREP_QUERIES[i]).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("corpussearch", q.id), &q.id, |b, _| {
-            b.iter(|| engines.cs.count(CS_QUERIES[i]).unwrap())
+            b.iter(|| engines.cs.count(CS_QUERIES[i]).unwrap());
         });
     }
     group.finish();

@@ -3,21 +3,23 @@
 //! (7 runs, trimmed mean).
 //!
 //! ```text
-//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|all] [sentences]
+//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|all] [sentences]
 //! ```
 //!
 //! With no arguments, prints everything at the default scale (1/20 of
-//! the paper's corpus; see `lpath-bench`'s crate docs). Five modes
+//! the paper's corpus; see `lpath-bench`'s crate docs). Six modes
 //! additionally write machine-readable numbers to the working
 //! directory: `service` (`BENCH_service.json`), `firstmatch`
 //! (`BENCH_firstmatch.json`), `page` — page-1 latency of the
 //! limit-aware `FirstRows` pipeline against the `AllRows` baseline —
 //! (`BENCH_page.json`), `sweep` — a page-1 → page-K sweep on the
 //! resumable executor against per-page recomputation —
-//! (`BENCH_sweep.json`), and `metrics` — per-query latency
+//! (`BENCH_sweep.json`), `metrics` — per-query latency
 //! percentiles under the instrumented service, `EXPLAIN ANALYZE`
 //! estimate errors, and the instrumentation-overhead comparison —
-//! (`BENCH_metrics.json`).
+//! (`BENCH_metrics.json`), and `check` — static-analysis cost per
+//! evaluation query plus the constant-empty fast path against a full
+//! walker scan proving emptiness dynamically — (`BENCH_check.json`).
 
 use std::time::Instant;
 
@@ -34,7 +36,7 @@ use lpath_tgrep::TGREP_QUERIES;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let what = args.first().map_or("all", String::as_str);
     let wsj_n = args
         .get(1)
         .and_then(|v| v.parse().ok())
@@ -66,6 +68,7 @@ fn main() {
         "page" => page(&wsj, wsj_n),
         "sweep" => sweep(&wsj, wsj_n),
         "metrics" => metrics(&wsj, wsj_n),
+        "check" => check(&wsj, wsj_n),
         "all" => {
             fig6a(&wsj, &swb);
             fig6b(&wsj, &swb);
@@ -81,11 +84,12 @@ fn main() {
             page(&wsj, wsj_n);
             sweep(&wsj, wsj_n);
             metrics(&wsj, wsj_n);
+            check(&wsj, wsj_n);
         }
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected \
-                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|all"
+                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|all"
             );
             std::process::exit(2);
         }
@@ -136,8 +140,8 @@ fn fig6b(wsj: &Corpus, swb: &Corpus) {
         "#", "WSJ tag", "freq", "SWB tag", "freq"
     );
     for i in 0..10 {
-        let (wt, wf) = w.get(i).map(|(t, f)| (t.as_str(), *f)).unwrap_or(("-", 0));
-        let (st, sf) = s.get(i).map(|(t, f)| (t.as_str(), *f)).unwrap_or(("-", 0));
+        let (wt, wf) = w.get(i).map_or(("-", 0), |(t, f)| (t.as_str(), *f));
+        let (st, sf) = s.get(i).map_or(("-", 0), |(t, f)| (t.as_str(), *f));
         println!("{:<4}{:<14}{:>10}   {:<14}{:>10}", i + 1, wt, wf, st, sf);
     }
     println!(
@@ -495,9 +499,7 @@ fn service(wsj: &Corpus, wsj_n: usize) {
     println!(
         "ingest+query speedup 1 -> 4 shards: {speedup_1_to_4:.2}x \
          (pure query: {query_speedup_1_to_4:.2}x on {} worker threads)\n",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
     );
 
     // Machine-readable trajectory record.
@@ -507,9 +509,7 @@ fn service(wsj: &Corpus, wsj_n: usize) {
     json.push_str(&format!("  \"wsj_sentences\": {wsj_n},\n"));
     json.push_str(&format!(
         "  \"worker_threads\": {},\n",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     ));
     json.push_str(&format!("  \"rounds\": {rounds},\n"));
     json.push_str(&format!("  \"queries_per_batch\": {},\n", texts.len()));
@@ -1122,5 +1122,110 @@ fn metrics(wsj: &Corpus, wsj_n: usize) {
     match std::fs::write("BENCH_metrics.json", &json) {
         Ok(()) => println!("wrote BENCH_metrics.json\n"),
         Err(e) => eprintln!("could not write BENCH_metrics.json: {e}\n"),
+    }
+}
+
+/// The `check` mode: what the static-analysis front door costs and
+/// what it buys.
+///
+/// * cost — `Engine::check` latency for each of the 23 evaluation
+///   queries (the pass runs on every compile, so it must be orders of
+///   magnitude below plan+execute);
+/// * payoff — end-to-end latency of statically-empty queries through
+///   the service's constant-empty fast path, against a full walker
+///   scan proving the same emptiness dynamically.
+///
+/// Writes `BENCH_check.json`.
+fn check(wsj: &Corpus, wsj_n: usize) {
+    println!("== Static analysis: per-query check cost, constant-empty payoff (WSJ) ==");
+    let engine = Engine::build(wsj);
+    let svc = Service::build(wsj);
+
+    println!("{:<5}{:>14}{:>8}{:>8}", "Q", "check", "lints", "empty");
+    let mut cost_rows = Vec::new();
+    for q in QUERIES {
+        let secs = time7(|| {
+            engine.check(q.lpath).unwrap();
+        });
+        let report = engine.check(q.lpath).unwrap();
+        let lints = report.diagnostics.len();
+        println!(
+            "{:<5}{:>13}s{:>8}{:>8}",
+            format!("Q{}", q.id),
+            fmt_secs(secs),
+            lints,
+            report.statically_empty,
+        );
+        cost_rows.push((
+            q.id,
+            q.lpath,
+            secs.as_secs_f64(),
+            lints,
+            report.statically_empty,
+        ));
+    }
+
+    // Statically-empty queries: unknown vocabulary, an impossible
+    // position, and contradictory attribute values on one node.
+    let empty_queries = [
+        "//QQQZ",
+        "//_[@lex=qqqzz]",
+        "//NP[position()=0]",
+        "//_[@lex=alpha and @lex=beta]",
+    ];
+    let walker = Walker::new(wsj);
+    println!(
+        "\n{:<34}{:>14}{:>14}{:>10}",
+        "statically-empty query", "fast path", "walker scan", "×"
+    );
+    let mut payoff_rows = Vec::new();
+    for q in &empty_queries {
+        let fast = time7(|| {
+            assert!(svc.eval(q).unwrap().is_empty());
+        });
+        let ast = lpath_syntax::parse(q).unwrap();
+        let scan = time7(|| {
+            assert!(walker.eval(&ast).is_empty());
+        });
+        let speedup = scan.as_secs_f64() / fast.as_secs_f64().max(1e-12);
+        println!(
+            "{:<34}{:>13}s{:>13}s{:>10.1}",
+            q,
+            fmt_secs(fast),
+            fmt_secs(scan),
+            speedup
+        );
+        payoff_rows.push((*q, fast.as_secs_f64(), scan.as_secs_f64(), speedup));
+    }
+    let served = svc.stats().statically_empty;
+    println!("service requests answered by the constant-empty fast path: {served}\n");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"check\",\n");
+    json.push_str(&format!("  \"wsj_sentences\": {wsj_n},\n"));
+    json.push_str("  \"check_cost\": [\n");
+    for (i, (id, lpath, secs, lints, empty)) in cost_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": {id}, \"lpath\": {lpath:?}, \"check_secs\": {secs:.9}, \
+             \"diagnostics\": {lints}, \"statically_empty\": {empty}}}{}\n",
+            if i + 1 < cost_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"constant_empty_payoff\": [\n");
+    for (i, (lpath, fast, scan, speedup)) in payoff_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"lpath\": {lpath:?}, \"fastpath_secs\": {fast:.9}, \
+             \"walker_secs\": {scan:.9}, \"speedup\": {speedup:.3}}}{}\n",
+            if i + 1 < payoff_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"statically_empty_served\": {served}\n"));
+    json.push_str("}\n");
+    match std::fs::write("BENCH_check.json", &json) {
+        Ok(()) => println!("wrote BENCH_check.json\n"),
+        Err(e) => eprintln!("could not write BENCH_check.json: {e}\n"),
     }
 }

@@ -23,6 +23,7 @@
 //! assert_eq!(fixtures::eval_cases().len(), 23);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 // The cross-dialect query alignment is shared with the repository's

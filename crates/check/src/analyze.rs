@@ -1,0 +1,782 @@
+//! The conservative emptiness/contradiction analyzer.
+//!
+//! Every rule here is justified against the walker's reference
+//! semantics (and the relational translation agrees on each):
+//!
+//! * evaluation of an **absolute** path starts at the document node,
+//!   whose only non-empty axes are `child` (the root) and
+//!   `descendant`/`descendant-or-self`;
+//! * a `self` step keeps the context node, so a tag test conflicting
+//!   with the previous step's tag test can never hold;
+//! * node tests and attribute names resolve through the corpus symbol
+//!   interner — a symbol absent from the interner matches nothing;
+//! * predicates filter a step's candidate list *sequentially*, with
+//!   positions renumbered between brackets; after a `position()=n`
+//!   (or `last()`) bracket at most one candidate survives, so later
+//!   brackets see `position() = last() = 1`;
+//! * `path op literal`, `contains`/`starts-with`/`ends-with` and
+//!   `string-length` inspect *string values*, which only attribute
+//!   points carry: a comparison over a path that does not end on an
+//!   attribute step is always false;
+//! * a node holds at most one value per attribute name, so
+//!   `@a=x and @a=y` (x ≠ y) on a single-step attribute path is a
+//!   contradiction.
+
+use lpath_syntax::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Span, Step};
+
+use crate::{CheckReport, Diagnostic, Severity};
+
+/// Analyze `query` without vocabulary: structural lints only
+/// (contradictions, impossible positions, unsatisfiable axes).
+pub fn check(query: &Path) -> CheckReport {
+    run(query, None)
+}
+
+/// Analyze `query` against a corpus vocabulary. `in_vocab` answers
+/// whether a symbol is interned anywhere in the corpus; attribute
+/// names are queried with their leading `@` (e.g. `@lex`), matching
+/// the interner convention.
+pub fn check_with(query: &Path, in_vocab: impl Fn(&str) -> bool) -> CheckReport {
+    run(query, Some(&in_vocab))
+}
+
+fn run(query: &Path, vocab: Option<&dyn Fn(&str) -> bool>) -> CheckReport {
+    let mut a = Analyzer {
+        vocab,
+        diags: Vec::new(),
+    };
+    let empty = a.spine(query, query.absolute);
+    if empty {
+        let span = a
+            .diags
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+            .map_or_else(Span::default, |d| d.span);
+        a.diag(
+            Severity::Note,
+            "statically-empty",
+            "the query is provably empty: execution will be skipped",
+            span,
+        );
+    }
+    CheckReport {
+        statically_empty: empty,
+        diagnostics: a.diags,
+    }
+}
+
+/// Three-valued verdict for a predicate expression.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Truth {
+    False,
+    True,
+    Unknown,
+}
+
+impl Truth {
+    fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    fn not(self) -> Truth {
+        match self {
+            Truth::False => Truth::True,
+            Truth::True => Truth::False,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+}
+
+struct Analyzer<'a> {
+    vocab: Option<&'a dyn Fn(&str) -> bool>,
+    diags: Vec<Diagnostic>,
+}
+
+impl Analyzer<'_> {
+    fn diag(
+        &mut self,
+        severity: Severity,
+        code: &'static str,
+        message: impl Into<String>,
+        span: Span,
+    ) {
+        self.diags.push(Diagnostic {
+            severity,
+            code,
+            message: message.into(),
+            span,
+        });
+    }
+
+    /// Analyze a result spine (the head steps plus every scoped
+    /// continuation — all of them produce the final answer). Returns
+    /// whether the whole query is provably empty. `doc_context` is
+    /// true only for the top-level absolute path: that is the one
+    /// place evaluation starts at the document node.
+    fn spine(&mut self, path: &Path, doc_context: bool) -> bool {
+        let mut empty = false;
+        let mut prev: Option<&Step> = None;
+        for (i, step) in path.steps.iter().enumerate() {
+            if doc_context
+                && i == 0
+                && !matches!(
+                    step.axis,
+                    Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+                )
+            {
+                self.diag(
+                    Severity::Error,
+                    "unsatisfiable-axis",
+                    format!(
+                        "axis '{}' never matches from the document node \
+                         (only child and descendant do)",
+                        step.axis.name()
+                    ),
+                    step.span,
+                );
+                empty = true;
+            }
+            empty |= self.step(step, prev, Severity::Error);
+            prev = Some(step);
+        }
+        if let Some(scope) = &path.scope {
+            // The continuation runs from each head result (an element
+            // context), and its results *are* the query's results.
+            empty |= self.spine(scope, false);
+        }
+        empty
+    }
+
+    /// Analyze one step — its node test against the vocabulary, a
+    /// `self`-axis conflict with the preceding step, and its predicate
+    /// brackets. `sev` is `Error` on the result spine and `Warning`
+    /// inside predicate sub-paths (where emptiness only falsifies the
+    /// enclosing predicate). Returns whether the step provably matches
+    /// nothing.
+    fn step(&mut self, step: &Step, prev: Option<&Step>, sev: Severity) -> bool {
+        let mut empty = false;
+        // `self::T2` directly after a step testing T1: the context node
+        // is unchanged, so conflicting tags can never both hold. (An
+        // attribute step is exempt: navigation from an attribute point
+        // continues from its *owner element*, whose tag is unrelated.)
+        if step.axis == Axis::SelfAxis {
+            if let Some(p) = prev {
+                if p.axis != Axis::Attribute {
+                    if let (NodeTest::Tag(t1), NodeTest::Tag(t2)) = (&p.test, &step.test) {
+                        if t1 != t2 {
+                            self.diag(
+                                sev,
+                                "unsatisfiable-axis",
+                                format!(
+                                    "self step tests '{t2}' but the context node \
+                                     is already known to be '{t1}'"
+                                ),
+                                step.span,
+                            );
+                            empty = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Vocabulary: a symbol absent from the corpus interner matches
+        // nothing, whatever the axis.
+        if let Some(vocab) = self.vocab {
+            match (step.axis, &step.test) {
+                (Axis::Attribute, NodeTest::Tag(t)) => {
+                    if !vocab(&format!("@{t}")) {
+                        self.diag(
+                            sev,
+                            "unknown-attribute",
+                            format!("no node in the corpus has an attribute '@{t}'"),
+                            step.span,
+                        );
+                        empty = true;
+                    }
+                }
+                (Axis::Attribute, NodeTest::Any) => {}
+                (_, NodeTest::Tag(t)) => {
+                    if !vocab(t) {
+                        self.diag(
+                            sev,
+                            "unknown-tag",
+                            format!("no node in the corpus is tagged '{t}'"),
+                            step.span,
+                        );
+                        empty = true;
+                    }
+                }
+                (_, NodeTest::Any) => {}
+            }
+        }
+        // Predicate brackets filter sequentially. `pinned` becomes true
+        // once a bracket's top-level conjunction contains a positional
+        // equality: at most one candidate survives it, so every later
+        // bracket sees position() = last() = 1.
+        let mut pinned = false;
+        for pred in &step.predicates {
+            match self.truth(pred, step, pinned) {
+                Truth::False => {
+                    self.diag(
+                        sev,
+                        "always-false-predicate",
+                        "this predicate can never hold, so the step matches nothing",
+                        step.span,
+                    );
+                    empty = true;
+                }
+                Truth::True => {
+                    self.diag(
+                        Severity::Warning,
+                        "always-true-predicate",
+                        "this predicate always holds and filters nothing",
+                        step.span,
+                    );
+                }
+                Truth::Unknown => {}
+            }
+            if conjuncts(pred)
+                .iter()
+                .any(|c| matches!(c, Pred::Position(CmpOp::Eq, _)))
+            {
+                pinned = true;
+            }
+        }
+        empty
+    }
+
+    /// Is this predicate sub-path provably empty (it can never select
+    /// anything from any candidate node)? `owner` is the step the
+    /// predicate hangs off — its tag feeds the `self`-axis conflict
+    /// rule for the sub-path's first step.
+    fn sub_path_empty(&mut self, path: &Path, owner: &Step) -> bool {
+        let mut empty = false;
+        let mut prev = Some(owner);
+        for step in &path.steps {
+            empty |= self.step(step, prev, Severity::Warning);
+            prev = Some(step);
+        }
+        if let Some(scope) = &path.scope {
+            let scope_owner = path.steps.last().unwrap_or(owner);
+            empty |= self.sub_path_empty(scope, scope_owner);
+        }
+        empty
+    }
+
+    /// The three-valued verdict of one predicate expression over the
+    /// candidates of `owner`.
+    fn truth(&mut self, pred: &Pred, owner: &Step, pinned: bool) -> Truth {
+        match pred {
+            Pred::And(..) => {
+                let cs = conjuncts(pred);
+                for (i, a) in cs.iter().enumerate() {
+                    for b in &cs[i + 1..] {
+                        if let Some((code, msg)) = contradicts(a, b) {
+                            self.diag(Severity::Warning, code, msg, owner.span);
+                            // Still evaluate both sides for their own
+                            // diagnostics, but the verdict is fixed.
+                            for c in &cs {
+                                let _ = self.truth(c, owner, pinned);
+                            }
+                            return Truth::False;
+                        }
+                    }
+                }
+                let mut t = Truth::True;
+                for c in cs {
+                    t = t.and(self.truth(c, owner, pinned));
+                }
+                t
+            }
+            Pred::Or(a, b) => {
+                if negation_pair(a, b) {
+                    self.diag(
+                        Severity::Warning,
+                        "always-true-predicate",
+                        "'p or not(p)' is a tautology",
+                        owner.span,
+                    );
+                    return Truth::True;
+                }
+                let ta = self.truth(a, owner, pinned);
+                let tb = self.truth(b, owner, pinned);
+                match (ta, tb) {
+                    (Truth::False, Truth::False) => Truth::False,
+                    (Truth::True, _) | (_, Truth::True) => Truth::True,
+                    (Truth::False, _) | (_, Truth::False) => {
+                        self.diag(
+                            Severity::Warning,
+                            "dead-or-branch",
+                            "one side of this 'or' can never hold",
+                            owner.span,
+                        );
+                        Truth::Unknown
+                    }
+                    _ => Truth::Unknown,
+                }
+            }
+            // Positions are unaffected by negation: the bracket's
+            // candidate list (and so `pinned`) is the same inside.
+            Pred::Not(inner) => self.truth(inner, owner, pinned).not(),
+            Pred::Exists(path) => {
+                if self.sub_path_empty(path, owner) {
+                    Truth::False
+                } else {
+                    Truth::Unknown
+                }
+            }
+            Pred::Position(op, rhs) => {
+                let t = position_truth(*op, *rhs, pinned);
+                if t == Truth::False {
+                    self.diag(
+                        Severity::Warning,
+                        "impossible-position",
+                        format!(
+                            "position(){}{} can never hold here (positions are \
+                             1-based{})",
+                            op.symbol(),
+                            match rhs {
+                                PosRhs::Const(n) => n.to_string(),
+                                PosRhs::Last => "last()".into(),
+                            },
+                            if pinned {
+                                " and an earlier positional bracket left at most \
+                                 one candidate"
+                            } else {
+                                ""
+                            }
+                        ),
+                        owner.span,
+                    );
+                }
+                t
+            }
+            Pred::Cmp { path, op, value } => {
+                if self.sub_path_empty(path, owner) {
+                    return Truth::False;
+                }
+                match effective_final(path) {
+                    Some(fin) if fin.axis != Axis::Attribute => {
+                        self.diag(
+                            Severity::Warning,
+                            "non-string-path",
+                            "comparison over a path that does not end on an \
+                             attribute: elements carry no string value, so this \
+                             is always false",
+                            pick_span(fin.span, owner.span),
+                        );
+                        Truth::False
+                    }
+                    Some(fin) => {
+                        if *op == CmpOp::Eq {
+                            if let Some(vocab) = self.vocab {
+                                if !vocab(value) {
+                                    self.diag(
+                                        Severity::Warning,
+                                        "unknown-value",
+                                        format!(
+                                            "the literal '{value}' occurs nowhere \
+                                             in the corpus, so this equality is \
+                                             always false"
+                                        ),
+                                        pick_span(fin.span, owner.span),
+                                    );
+                                    return Truth::False;
+                                }
+                            }
+                        }
+                        Truth::Unknown
+                    }
+                    None => Truth::Unknown,
+                }
+            }
+            Pred::Count { path, op, value } => {
+                if *op == CmpOp::Lt && *value == 0 {
+                    self.diag(
+                        Severity::Warning,
+                        "impossible-count",
+                        "count() is never negative, so 'count(..)<0' is always false",
+                        owner.span,
+                    );
+                    return Truth::False;
+                }
+                if self.sub_path_empty(path, owner) {
+                    // The counted set is provably empty: the predicate
+                    // reduces to `0 op value`.
+                    let holds = match op {
+                        CmpOp::Eq => 0 == *value,
+                        CmpOp::Ne => 0 != *value,
+                        CmpOp::Lt => 0 < *value,
+                        CmpOp::Gt => false,
+                    };
+                    return if holds { Truth::True } else { Truth::False };
+                }
+                Truth::Unknown
+            }
+            Pred::StrCmp { path, .. } | Pred::StrLen { path, .. } => {
+                if self.sub_path_empty(path, owner) {
+                    return Truth::False;
+                }
+                match effective_final(path) {
+                    Some(fin) if fin.axis != Axis::Attribute => {
+                        self.diag(
+                            Severity::Warning,
+                            "non-string-path",
+                            "string function over a path that does not end on an \
+                             attribute: elements carry no string value, so this \
+                             is always false",
+                            pick_span(fin.span, owner.span),
+                        );
+                        Truth::False
+                    }
+                    _ => Truth::Unknown,
+                }
+            }
+        }
+    }
+}
+
+/// Flatten a conjunction into its top-level conjuncts.
+fn conjuncts(p: &Pred) -> Vec<&Pred> {
+    match p {
+        Pred::And(a, b) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Are `a` and `b` structural negations of each other?
+fn negation_pair(a: &Pred, b: &Pred) -> bool {
+    matches!(b, Pred::Not(inner) if **inner == *a) || matches!(a, Pred::Not(inner) if **inner == *b)
+}
+
+/// A single-step `@name` path (no scope): the one shape where a node
+/// holds at most one value, making equality contradictions sound.
+fn single_attr_step(p: &Path) -> bool {
+    p.scope.is_none()
+        && p.steps.len() == 1
+        && p.steps[0].axis == Axis::Attribute
+        && matches!(p.steps[0].test, NodeTest::Tag(_))
+}
+
+/// Do two conjuncts contradict each other outright?
+fn contradicts(a: &Pred, b: &Pred) -> Option<(&'static str, String)> {
+    if negation_pair(a, b) {
+        return Some(("contradiction", "'p and not(p)' can never hold".to_string()));
+    }
+    if let (
+        Pred::Cmp {
+            path: p1,
+            op: CmpOp::Eq,
+            value: v1,
+        },
+        Pred::Cmp {
+            path: p2,
+            op: CmpOp::Eq,
+            value: v2,
+        },
+    ) = (a, b)
+    {
+        // Sound only for a single `@name` step: a node has at most one
+        // value per attribute name, while longer paths select values
+        // from *several* nodes and may satisfy both equalities.
+        if single_attr_step(p1) && p1 == p2 && v1 != v2 {
+            return Some((
+                "contradictory-attributes",
+                format!("an attribute cannot equal both '{v1}' and '{v2}'"),
+            ));
+        }
+    }
+    if let (Pred::Position(op1, PosRhs::Const(n1)), Pred::Position(op2, PosRhs::Const(n2))) = (a, b)
+    {
+        let clash = match (op1, op2) {
+            (CmpOp::Eq, CmpOp::Eq) => n1 != n2,
+            (CmpOp::Eq, CmpOp::Lt) => n1 >= n2,
+            (CmpOp::Eq, CmpOp::Gt) => n1 <= n2,
+            (CmpOp::Lt, CmpOp::Eq) => n2 >= n1,
+            (CmpOp::Gt, CmpOp::Eq) => n2 <= n1,
+            _ => false,
+        };
+        if clash {
+            return Some((
+                "impossible-position",
+                format!(
+                    "position(){}{n1} and position(){}{n2} cannot both hold",
+                    op1.symbol(),
+                    op2.symbol()
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// The step whose values a string comparison inspects: the last step of
+/// the innermost scope (scope results are the path's results).
+fn effective_final(path: &Path) -> Option<&Step> {
+    match &path.scope {
+        Some(inner) => effective_final(inner),
+        None => path.steps.last(),
+    }
+}
+
+/// Prefer a real source span over the empty programmatic one.
+fn pick_span(primary: Span, fallback: Span) -> Span {
+    if primary.is_unknown() {
+        fallback
+    } else {
+        primary
+    }
+}
+
+/// `position() op rhs` over a candidate list. Without `pinned` we only
+/// know positions are 1-based and at most `last()`; with it (an earlier
+/// positional-equality bracket) the list has at most one element, so
+/// `position() = last() = 1` exactly.
+fn position_truth(op: CmpOp, rhs: PosRhs, pinned: bool) -> Truth {
+    if pinned {
+        return match (op, rhs) {
+            (CmpOp::Eq, PosRhs::Const(n)) => from_bool(n == 1),
+            (CmpOp::Ne, PosRhs::Const(n)) => from_bool(n != 1),
+            (CmpOp::Lt, PosRhs::Const(n)) => from_bool(1 < n),
+            (CmpOp::Gt, PosRhs::Const(n)) => from_bool(n == 0),
+            (CmpOp::Eq, PosRhs::Last) => Truth::True,
+            (CmpOp::Ne | CmpOp::Lt | CmpOp::Gt, PosRhs::Last) => Truth::False,
+        };
+    }
+    match (op, rhs) {
+        (CmpOp::Eq, PosRhs::Const(0)) => Truth::False,
+        (CmpOp::Lt, PosRhs::Const(0 | 1)) => Truth::False,
+        (CmpOp::Gt, PosRhs::Const(0)) => Truth::True,
+        (CmpOp::Ne, PosRhs::Const(0)) => Truth::True,
+        (CmpOp::Gt, PosRhs::Last) => Truth::False,
+        _ => Truth::Unknown,
+    }
+}
+
+fn from_bool(b: bool) -> Truth {
+    if b {
+        Truth::True
+    } else {
+        Truth::False
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_syntax::parse;
+
+    const VOCAB: [&str; 8] = ["S", "NP", "VP", "VB", "@lex", "@pos", "saw", "man"];
+
+    fn vocab_check(src: &str) -> CheckReport {
+        check_with(&parse(src).unwrap(), |s| VOCAB.contains(&s))
+    }
+
+    fn codes(r: &CheckReport) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_queries_stay_clean() {
+        for src in [
+            "//NP",
+            "//S[//NP]/VP",
+            "//NP[@lex=saw]",
+            "//VP{/VB$}",
+            "//NP[position()=2]",
+            "//NP[count(//VB)>0]",
+            "//NP[not(//VB)]",
+            "//S[//NP or //VB]",
+            "//NP[contains(@lex,zzz)]", // substring needs no vocab hit
+            "//NP[@lex!=zzz]",          // != of unknown value is satisfiable
+        ] {
+            let r = vocab_check(src);
+            assert!(!r.statically_empty, "{src}: {:?}", r.diagnostics);
+            assert!(r.is_clean(), "{src}: {:?}", r.diagnostics);
+        }
+    }
+
+    #[test]
+    fn unknown_vocabulary_is_empty() {
+        let r = vocab_check("//ZZZ");
+        assert!(r.statically_empty);
+        assert_eq!(codes(&r), ["unknown-tag", "statically-empty"]);
+
+        let r = vocab_check("//NP@case");
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"unknown-attribute"));
+
+        let r = vocab_check("//NP[@lex=zzz]");
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"unknown-value"));
+        assert!(codes(&r).contains(&"always-false-predicate"));
+    }
+
+    #[test]
+    fn unknown_vocab_in_predicate_is_warning_not_error() {
+        // `not(//ZZZ)` is always TRUE — the query is satisfiable.
+        let r = vocab_check("//NP[not(//ZZZ)]");
+        assert!(!r.statically_empty, "{:?}", r.diagnostics);
+        assert!(codes(&r).contains(&"unknown-tag"));
+        assert!(codes(&r).contains(&"always-true-predicate"));
+        assert!(r.errors().next().is_none());
+
+        // But positively required, it falsifies the bracket.
+        let r = vocab_check("//NP[//ZZZ]");
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"always-false-predicate"));
+    }
+
+    #[test]
+    fn impossible_positions() {
+        for src in [
+            "//NP[position()=0]",
+            "//NP[position()<1]",
+            "//NP[position()>last()]",
+            "//NP[position()=1][position()=2]", // pinned to 1 candidate
+            "//NP[position()=1 and position()=2]",
+            "//NP[position()=3 and position()<2]",
+        ] {
+            let r = check(&parse(src).unwrap());
+            assert!(r.statically_empty, "{src}: {:?}", r.diagnostics);
+            assert!(codes(&r).contains(&"impossible-position"), "{src}");
+        }
+        // The reverse order `[2][1]` is satisfiable (renumbering makes
+        // the second bracket a tautology, not a contradiction).
+        let r = check(&parse("//NP[position()=2][position()=1]").unwrap());
+        assert!(!r.statically_empty, "{:?}", r.diagnostics);
+        assert!(codes(&r).contains(&"always-true-predicate"));
+        // And `[1][1]` is a tautological second bracket, not an error.
+        let r = check(&parse("//NP[position()=1][position()=1]").unwrap());
+        assert!(!r.statically_empty);
+        assert!(codes(&r).contains(&"always-true-predicate"));
+    }
+
+    #[test]
+    fn contradictions_and_tautologies() {
+        let r = vocab_check("//NP[@lex=saw and @lex=man]");
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"contradictory-attributes"));
+
+        let r = vocab_check("//NP[//VB and not(//VB)]");
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"contradiction"));
+
+        let r = vocab_check("//NP[//VB or not(//VB)]");
+        assert!(!r.statically_empty);
+        assert!(codes(&r).contains(&"always-true-predicate"));
+
+        // Inside not(), a contradiction flips to an always-true bracket.
+        let r = vocab_check("//NP[not(//VB and not(//VB))]");
+        assert!(!r.statically_empty, "{:?}", r.diagnostics);
+        assert!(codes(&r).contains(&"always-true-predicate"));
+
+        // Longer attribute paths select values from several nodes:
+        // both equalities can hold, so no contradiction is reported.
+        let r = vocab_check("//S[//_@lex=saw and //_@lex=man]");
+        assert!(!r.statically_empty, "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn dead_or_branch_is_a_warning() {
+        let r = vocab_check("//S[//ZZZ or //NP]");
+        assert!(!r.statically_empty, "{:?}", r.diagnostics);
+        assert!(codes(&r).contains(&"dead-or-branch"));
+        // Both branches dead: the bracket is false, the query empty.
+        let r = vocab_check("//S[//ZZZ or //YYY]");
+        assert!(r.statically_empty);
+    }
+
+    #[test]
+    fn unsatisfiable_axes() {
+        // Absolute paths start at the document node.
+        for src in ["/self::NP", "/parent::NP", "/following::NP"] {
+            let r = check(&parse(src).unwrap());
+            assert!(r.statically_empty, "{src}: {:?}", r.diagnostics);
+            assert!(codes(&r).contains(&"unsatisfiable-axis"), "{src}");
+        }
+        // A relative path evaluates from the root element: fine.
+        let r = check(&parse("self::NP").unwrap());
+        assert!(!r.statically_empty, "{:?}", r.diagnostics);
+
+        // Conflicting self-axis tag test.
+        let r = check(&parse("//NP/self::VP").unwrap());
+        assert!(r.statically_empty);
+        // …also against the owner step from inside a predicate.
+        let r = check(&parse("//NP[self::VP]").unwrap());
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"always-false-predicate"));
+        // Matching or wildcard self tests are fine.
+        assert!(!check(&parse("//NP/self::NP").unwrap()).statically_empty);
+        assert!(!check(&parse("//NP[self::NP]").unwrap()).statically_empty);
+        assert!(!check(&parse("//NP/.").unwrap()).statically_empty);
+    }
+
+    #[test]
+    fn non_string_paths_are_always_false() {
+        let r = check(&parse("//S[//NP=saw]").unwrap());
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"non-string-path"));
+
+        let r = check(&parse("//S[contains(//NP,x)]").unwrap());
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"non-string-path"));
+
+        let r = check(&parse("//S[string-length(//NP)=3]").unwrap());
+        assert!(r.statically_empty);
+
+        // Attribute-final paths — directly or through a scope — are fine.
+        assert!(!check(&parse("//S[//_@lex=saw]").unwrap()).statically_empty);
+        assert!(!check(&parse("//S[//_{@lex}=saw]").unwrap()).statically_empty);
+    }
+
+    #[test]
+    fn count_over_empty_path_folds_to_a_constant() {
+        // count(//ZZZ) = 0, so =0 is always true…
+        let r = vocab_check("//NP[count(//ZZZ)=0]");
+        assert!(!r.statically_empty, "{:?}", r.diagnostics);
+        assert!(codes(&r).contains(&"always-true-predicate"));
+        // …and >0 always false.
+        let r = vocab_check("//NP[count(//ZZZ)>0]");
+        assert!(r.statically_empty);
+        // count is unsigned: <0 can never hold.
+        let r = check(&parse("//NP[count(//VB)<0]").unwrap());
+        assert!(r.statically_empty);
+        assert!(codes(&r).contains(&"impossible-count"));
+    }
+
+    #[test]
+    fn scope_spine_emptiness_propagates() {
+        // The scoped continuation produces the results; if it names an
+        // unknown tag the whole query is empty.
+        let r = vocab_check("//VP{/ZZZ}");
+        assert!(r.statically_empty);
+        // A dead head also empties the query.
+        let r = vocab_check("//ZZZ{/NP}");
+        assert!(r.statically_empty);
+    }
+
+    #[test]
+    fn diagnostics_carry_real_spans() {
+        let src = "//S[//_[@lex=saw]]/ZZZ";
+        let r = vocab_check(src);
+        let d = r.errors().next().unwrap();
+        assert_eq!(&src[d.span.start..d.span.end], "/ZZZ");
+    }
+
+    #[test]
+    fn structural_check_without_vocab_ignores_names() {
+        // Without a vocabulary, unknown tags cannot be diagnosed.
+        let r = check(&parse("//TOTALLY-UNKNOWN").unwrap());
+        assert!(!r.statically_empty);
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,227 @@
+//! Static analysis for LPath queries.
+//!
+//! A conservative analyzer over the parsed AST that runs before
+//! planning. It reports *spanned diagnostics* — contradictions,
+//! impossible positional constraints, unsatisfiable axis compositions,
+//! dead or tautological predicate branches — and, when given the
+//! corpus vocabulary (the symbol interner that already powers shard
+//! pruning), proves some queries **statically empty**: a node test
+//! naming a tag absent from the whole corpus can never match, however
+//! large the corpus.
+//!
+//! The analysis is sound but incomplete: `statically_empty` is only
+//! set when emptiness is provable from the AST (and vocabulary) alone,
+//! so a query the analyzer passes may still return nothing — but a
+//! query it rejects is *guaranteed* to return nothing, which lets the
+//! engine swap in a constant-empty plan and the service skip shard
+//! fan-out and cache insertion entirely.
+//!
+//! ```
+//! use lpath_check::{check, check_with, Severity};
+//! use lpath_syntax::parse;
+//!
+//! // Structural analysis needs no corpus:
+//! let q = parse("//NP[position()=0]").unwrap();
+//! let report = check(&q);
+//! assert!(report.statically_empty);
+//! assert_eq!(report.diagnostics[0].code, "impossible-position");
+//!
+//! // Vocabulary-aware emptiness needs the corpus symbol table:
+//! let q = parse("//ZZZ").unwrap();
+//! let vocab = ["S", "NP", "VP"];
+//! let report = check_with(&q, |sym| vocab.contains(&sym));
+//! assert!(report.statically_empty);
+//! assert_eq!(report.errors().next().unwrap().code, "unknown-tag");
+//!
+//! // A clean query produces no diagnostics:
+//! let q = parse("//NP/VP").unwrap();
+//! assert!(check_with(&q, |sym| vocab.contains(&sym)).is_clean());
+//! # let _ = Severity::Note;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+
+pub use analyze::{check, check_with};
+
+use std::fmt;
+
+use lpath_syntax::{snippet, Span};
+
+/// How serious a diagnostic is.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// The query (or a provably load-bearing part of it) can never
+    /// match: evaluation is pointless.
+    Error,
+    /// A part of the query is dead, tautological, or locally
+    /// unsatisfiable without making the whole query empty.
+    Warning,
+    /// Supplementary information (e.g. the statically-empty verdict).
+    Note,
+}
+
+impl Severity {
+    /// The lowercase name used in renderings and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One finding, anchored to a byte range of the query source.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// The lint code (stable, kebab-case; listed in `docs/DIALECT.md`).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Source range the finding points at (the empty span on
+    /// programmatically built ASTs).
+    pub span: Span,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} @ {}..{}",
+            self.severity.name(),
+            self.code,
+            self.message,
+            self.span.start,
+            self.span.end
+        )
+    }
+}
+
+/// The result of analyzing one query.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct CheckReport {
+    /// Proven to return zero rows on the corpus the vocabulary came
+    /// from (always sound, never merely suspected).
+    pub statically_empty: bool,
+    /// All findings, in source order of discovery.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CheckReport {
+    /// No findings at all?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Render every diagnostic with a caret snippet into `src` (the
+    /// query text the analyzed AST was parsed from):
+    ///
+    /// ```text
+    /// error[unknown-tag]: no node in the corpus is tagged 'ZZZ'
+    ///   | //ZZZ
+    ///   | ^^^^^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(d.severity.name());
+            out.push('[');
+            out.push_str(d.code);
+            out.push_str("]: ");
+            out.push_str(&d.message);
+            out.push('\n');
+            out.push_str(&snippet(src, d.span.start, d.span.end));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The report as hand-rendered JSON (the same serde-free style as
+    /// `Service::metrics()`):
+    ///
+    /// ```json
+    /// {"statically_empty":true,"diagnostics":[
+    ///   {"severity":"error","code":"unknown-tag",
+    ///    "message":"...","span":{"start":2,"end":5}}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"statically_empty\":");
+        out.push_str(if self.statically_empty {
+            "true"
+        } else {
+            "false"
+        });
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"code\":\"{}\",\"message\":\"{}\",\"span\":{{\"start\":{},\"end\":{}}}}}",
+                d.severity.name(),
+                lpath_obs::json::escape(d.code),
+                lpath_obs::json::escape(&d.message),
+                d.span.start,
+                d.span.end
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpath_syntax::parse;
+
+    #[test]
+    fn report_renders_with_carets() {
+        let q = parse("//NP[position()=0]").unwrap();
+        let r = check(&q);
+        let text = r.render("//NP[position()=0]");
+        assert!(text.contains("impossible-position"), "{text}");
+        assert!(text.contains('^'), "{text}");
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let q = parse("//'a\"b'").unwrap();
+        let r = check_with(&q, |_| false);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"statically_empty\":true"), "{json}");
+        assert!(json.contains("\\\""), "quote must be escaped: {json}");
+        assert!(json.ends_with("]}"), "{json}");
+        // Balanced braces/brackets (cheap well-formedness probe).
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count(), "{json}");
+    }
+
+    #[test]
+    fn clean_report_is_empty_json() {
+        let r = CheckReport::default();
+        assert_eq!(
+            r.to_json(),
+            "{\"statically_empty\":false,\"diagnostics\":[]}"
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! parsed, translated to conjunctive SQL, planned and executed
 //! in-process.
 
+use lpath_check::CheckReport;
 use lpath_model::{label_tree, Corpus, Interner, NodeId};
 use lpath_obs::{Recorder, Span};
 use lpath_relstore::{
@@ -160,6 +161,18 @@ impl Engine {
         self.translator().translate(query)
     }
 
+    /// Statically analyze a query against this engine's corpus
+    /// vocabulary: spanned diagnostics plus the emptiness verdict (see
+    /// [`lpath_check`]). Never errors — analysis needs only the AST.
+    pub fn check_ast(&self, ast: &Path) -> CheckReport {
+        lpath_check::check_with(ast, |sym| self.interner.get(sym).is_some())
+    }
+
+    /// [`Engine::check_ast`] from query text (spans index into it).
+    pub fn check(&self, query: &str) -> Result<CheckReport, EngineError> {
+        Ok(self.check_ast(&parse(query)?))
+    }
+
     /// The SQL statement the paper's engine would send to its RDBMS,
     /// with symbolic names resolved for readability.
     pub fn sql(&self, query: &str) -> Result<String, EngineError> {
@@ -186,12 +199,24 @@ impl Engine {
         }))
     }
 
-    /// An EXPLAIN-style rendering of the physical plan.
+    /// An EXPLAIN-style rendering of the physical plan, followed by a
+    /// `LINT:` section when the static analyzer has findings (a
+    /// proven-empty query shows the constant-empty plan it will run).
     pub fn explain(&self, query: &str) -> Result<String, EngineError> {
         let ast = parse(query)?;
         let cq = self.translate(&ast)?;
-        let plan = rel::plan(&self.db, &cq, &self.planner);
-        Ok(plan.to_string())
+        let report = self.check_ast(&ast);
+        let plan = if report.statically_empty {
+            rel::Plan::constant_empty()
+        } else {
+            rel::plan(&self.db, &cq, &self.planner)
+        };
+        let mut out = plan.to_string();
+        if !report.is_clean() {
+            out.push_str("LINT:\n");
+            out.push_str(&report.render(query));
+        }
+        Ok(out)
     }
 
     /// EXPLAIN ANALYZE: execute `query` under full instrumentation and
@@ -268,9 +293,15 @@ impl Engine {
         Ok(out)
     }
 
-    /// Translate and plan a parsed query.
+    /// Translate and plan a parsed query. Runs the static analyzer
+    /// *after* translation (so unsupported queries keep their error)
+    /// and replaces proven-empty queries with the constant-empty plan:
+    /// no index probes, no scans, a cursor born exhausted.
     fn plan_ast(&self, ast: &Path) -> Result<rel::Plan, EngineError> {
         let cq = self.translate(ast)?;
+        if self.check_ast(ast).statically_empty {
+            return Ok(rel::Plan::constant_empty());
+        }
         Ok(rel::plan(&self.db, &cq, &self.planner))
     }
 
@@ -412,7 +443,11 @@ impl Engine {
                     order: self.planner.order,
                     goal: OptGoal::FirstRows(limit.clamp(1, usize::MAX / 2)),
                 };
-                let plan = rel::plan(&self.db, &cq, &cfg);
+                let plan = if self.check_ast(ast).statically_empty {
+                    rel::Plan::constant_empty()
+                } else {
+                    rel::plan(&self.db, &cq, &cfg)
+                };
                 let state = if self.tid_ordered_anchor(&plan) {
                     let cursor = rel::Cursor::new(&plan, &self.db).suspend();
                     ResumeState::Stream {
@@ -612,6 +647,9 @@ impl Engine {
         if limit == 0 {
             // Untranslatable queries still error above; translatable
             // ones skip planning for the empty page.
+            return Ok(Vec::new());
+        }
+        if self.check_ast(ast).statically_empty {
             return Ok(Vec::new());
         }
         let plan = rel::plan(&self.db, &cq, &cfg);
@@ -1316,6 +1354,57 @@ mod tests {
             e.query_resume(&lpath_syntax::parse("//VP/_[last()]").unwrap(), None, 5),
             Err(EngineError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn check_uses_the_corpus_vocabulary() {
+        let e = engine();
+        // Unknown tag: proven empty with a spanned diagnostic.
+        let r = e.check("//ZZZ").unwrap();
+        assert!(r.statically_empty);
+        assert_eq!(r.errors().next().unwrap().code, "unknown-tag");
+        // Known tags pass clean.
+        assert!(e.check("//NP/VP").unwrap().is_clean());
+        // Unknown lexeme under equality: proven empty.
+        assert!(e.check("//_[@lex=zzz]").unwrap().statically_empty);
+        // Structural contradiction needs no vocabulary (check works
+        // even on queries the relational translator rejects).
+        assert!(e.check("//NP[position()=0]").unwrap().statically_empty);
+        // Syntax errors still surface.
+        assert!(e.check("//VP[").is_err());
+    }
+
+    #[test]
+    fn statically_empty_queries_run_the_constant_empty_plan() {
+        let e = engine();
+        for q in ["//ZZZ", "//_[@lex=zzz]", "//_[@lex=saw and @lex=the]"] {
+            let plan = e.plan_ast(&lpath_syntax::parse(q).unwrap()).unwrap();
+            assert!(plan.const_empty, "{q}");
+            assert!(plan.steps.is_empty(), "{q}");
+            assert_eq!(e.query(q).unwrap(), Vec::new(), "{q}");
+            assert_eq!(e.count(q).unwrap(), 0, "{q}");
+            assert!(!e.exists(q).unwrap(), "{q}");
+            assert_eq!(e.query_limit(q, 0, 10).unwrap(), Vec::new(), "{q}");
+        }
+        // A satisfiable query still plans normally.
+        let plan = e.plan_ast(&lpath_syntax::parse("//NP").unwrap()).unwrap();
+        assert!(!plan.const_empty && !plan.steps.is_empty());
+    }
+
+    #[test]
+    fn explain_reports_lints_and_constant_empty_plans() {
+        let e = engine();
+        let text = e.explain("//ZZZ").unwrap();
+        assert!(text.contains("constant empty"), "{text}");
+        assert!(text.contains("LINT:"), "{text}");
+        assert!(text.contains("unknown-tag"), "{text}");
+        assert!(text.contains('^'), "caret snippet expected: {text}");
+        // Warnings show up even when the query is satisfiable.
+        let text = e.explain("//NP[count(//ZZZ)=0]").unwrap();
+        assert!(text.contains("always-true-predicate"), "{text}");
+        assert!(text.contains("step 0:"), "plan still rendered: {text}");
+        // Clean queries get no LINT section.
+        assert!(!e.explain("//V->NP").unwrap().contains("LINT:"));
     }
 
     #[test]

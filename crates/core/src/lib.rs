@@ -34,6 +34,7 @@
 //! assert_eq!(all, engine.query("//_").unwrap());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compile;

@@ -173,7 +173,7 @@ struct TreeEval<'a> {
     corpus: &'a Corpus,
 }
 
-impl<'a> TreeEval<'a> {
+impl TreeEval<'_> {
     /// Does `x` stand in `axis` relation to context `c`? Computed from
     /// parent pointers and leaf ordinals (no interval labels).
     fn axis_holds(&self, axis: Axis, x: NodeId, c: NodeId) -> bool {

@@ -64,8 +64,8 @@ pub const QUERIES: [BenchQuery; 23] = [
     BenchQuery {
         id: 6,
         lpath: "//VP{//NP$}",
-        paper_wsj: 215104,
-        paper_swb: 112159,
+        paper_wsj: 215_104,
+        paper_swb: 112_159,
         xpath_expressible: false,
         description: "NPs that are the rightmost descendant of a VP",
     },
@@ -88,8 +88,8 @@ pub const QUERIES: [BenchQuery; 23] = [
     BenchQuery {
         id: 9,
         lpath: "//NP[not(//JJ)]",
-        paper_wsj: 211392,
-        paper_swb: 109311,
+        paper_wsj: 211_392,
+        paper_swb: 109_311,
         xpath_expressible: true,
         description: "NPs containing no adjective",
     },

@@ -457,7 +457,7 @@ impl<'a> Translator<'a> {
                 // translate; true cardinality thresholds would need
                 // GROUP BY/HAVING, which the conjunctive target lacks.
                 let exists = match (op, value) {
-                    (CmpOp::Gt, 0) | (CmpOp::Ne, 0) => true,
+                    (CmpOp::Gt | CmpOp::Ne, 0) => true,
                     (CmpOp::Eq, 0) | (CmpOp::Lt, 1) => false,
                     _ => {
                         return Err(Unsupported(

@@ -301,7 +301,7 @@ struct TreeCtx<'a> {
     corpus: &'a Corpus,
 }
 
-impl<'a> TreeCtx<'a> {
+impl TreeCtx<'_> {
     fn label(&self, n: NodeId) -> &Label {
         &self.labels[n.index()]
     }

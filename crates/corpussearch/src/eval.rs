@@ -166,7 +166,7 @@ fn count_tree(corpus: &Corpus, tree: &Tree, q: &CsQuery) -> usize {
     let mut bound = vec![u32::MAX; q.vars.len()];
     let mut found = 0usize;
     let head_cands = std::mem::take(&mut cands[0]);
-    'heads: for &h in &head_cands {
+    for &h in &head_cands {
         bound[0] = h;
         if assign(
             1,
@@ -181,7 +181,6 @@ fn count_tree(corpus: &Corpus, tree: &Tree, q: &CsQuery) -> usize {
             corpus,
         ) {
             found += 1;
-            continue 'heads;
         }
     }
     found
@@ -189,6 +188,8 @@ fn count_tree(corpus: &Corpus, tree: &Tree, q: &CsQuery) -> usize {
 
 /// Bind positive variables `v..` depth-first; returns true on the first
 /// complete satisfying assignment.
+// The recursion threads the full matcher state; bundling it in a struct
+// would only rename the arguments.
 #[allow(clippy::too_many_arguments)]
 fn assign(
     v: usize,

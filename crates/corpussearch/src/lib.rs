@@ -19,6 +19,7 @@
 //! assert_eq!(engine.count("find n:NP, v:VBD where v iPrecedes n").unwrap(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

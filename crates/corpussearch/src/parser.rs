@@ -88,7 +88,7 @@ struct P<'a> {
     i: usize,
 }
 
-impl<'a> P<'a> {
+impl P<'_> {
     fn err(&self, m: impl Into<String>) -> CsParseError {
         CsParseError {
             offset: self.i,

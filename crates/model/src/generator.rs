@@ -103,7 +103,7 @@ pub fn generate(cfg: &GenConfig) -> Corpus {
     let mut g = Gen::new(cfg, &mut corpus);
     let plan = g.injection_plan();
     for i in 0..cfg.sentences {
-        let inj = plan.get(&i).map(|v| v.as_slice()).unwrap_or(&[]);
+        let inj = plan.get(&i).map_or(&[][..], std::vec::Vec::as_slice);
         let tree = g.sentence(inj);
         g.corpus.add_tree(tree);
     }
@@ -464,19 +464,19 @@ impl<'a> Gen<'a> {
         let deep = depth >= MAX_DEPTH - 2;
         match () {
             // Trace (empty category): -NONE- ranks ninth in WSJ.
-            _ if roll < 0.13 => {
+            () if roll < 0.13 => {
                 self.leaf_word(t, np, "-NONE-", "*");
             }
-            _ if roll < 0.28 => {
+            () if roll < 0.28 => {
                 self.leaf(t, np, "DT", Cat::Det);
                 self.leaf(t, np, "NN", Cat::Noun);
             }
-            _ if roll < 0.40 => {
+            () if roll < 0.40 => {
                 self.leaf(t, np, "DT", Cat::Det);
                 self.leaf(t, np, "JJ", Cat::Adj);
                 self.leaf(t, np, "NN", Cat::Noun);
             }
-            _ if roll < 0.55 => {
+            () if roll < 0.55 => {
                 self.leaf(t, np, "NNP", Cat::ProperNoun);
                 if self.rng.gen_bool(0.60) {
                     self.leaf(t, np, "NNP", Cat::ProperNoun);
@@ -485,34 +485,34 @@ impl<'a> Gen<'a> {
                     }
                 }
             }
-            _ if roll < 0.62 => {
+            () if roll < 0.62 => {
                 self.leaf(t, np, "PRP", Cat::Pron);
             }
             // NP → NP PP recursion (drives the NP count to #1 in WSJ).
-            _ if roll < 0.76 && !deep => {
+            () if roll < 0.76 && !deep => {
                 self.np(t, np, depth + 1, false);
                 self.pp(t, np, depth + 1);
             }
             // NP → NP SBAR (relative clause).
-            _ if roll < 0.82 && !deep => {
+            () if roll < 0.82 && !deep => {
                 self.np(t, np, depth + 1, false);
                 self.sbar(t, np, depth + 1);
             }
-            _ if roll < 0.87 => {
+            () if roll < 0.87 => {
                 self.leaf(t, np, "CD", Cat::Number);
                 self.leaf(t, np, "NN", Cat::Noun);
             }
-            _ if roll < 0.91 => {
+            () if roll < 0.91 => {
                 self.leaf(t, np, "DT", Cat::Det);
                 let adjp = self.inner(t, np, "ADJP");
                 self.leaf(t, adjp, "JJ", Cat::Adj);
                 self.leaf(t, np, "NN", Cat::Noun);
             }
-            _ if roll < 0.95 => {
+            () if roll < 0.95 => {
                 self.leaf(t, np, "NN", Cat::Noun);
                 self.leaf(t, np, "NN", Cat::Noun);
             }
-            _ => {
+            () => {
                 self.leaf(t, np, "NN", Cat::Noun);
             }
         }
@@ -525,50 +525,50 @@ impl<'a> Gen<'a> {
         let deep = depth >= MAX_DEPTH - 2;
         match () {
             // VB NP — the //VB->NP workhorse (Q2).
-            _ if roll < 0.18 => {
+            () if roll < 0.18 => {
                 self.leaf(t, vp, "VB", Cat::Verb);
                 self.np(t, vp, depth + 1, false);
             }
             // VB NP PP — VP-spanning triple, satisfies Q7's alignment.
-            _ if roll < 0.30 => {
+            () if roll < 0.30 => {
                 self.leaf(t, vp, "VB", Cat::Verb);
                 self.np(t, vp, depth + 1, false);
                 self.pp(t, vp, depth + 1);
             }
             // Auxiliary chain VP → MD VP (drives Q19's VP/VP/VP and
             // lifts VP to rank two of Figure 6(b)).
-            _ if roll < 0.60 && !deep => {
+            () if roll < 0.60 && !deep => {
                 self.leaf(t, vp, "MD", Cat::Modal);
                 self.vp(t, vp, depth + 1);
             }
-            _ if roll < 0.68 => {
+            () if roll < 0.68 => {
                 self.leaf(t, vp, "VBD", Cat::PastVerb);
                 self.np(t, vp, depth + 1, false);
             }
             // Clausal complement.
-            _ if roll < 0.80 && !deep => {
+            () if roll < 0.80 && !deep => {
                 self.leaf(t, vp, "VBD", Cat::PastVerb);
                 self.sbar(t, vp, depth + 1);
             }
             // Small-clause complement (embedded S without SBAR).
-            _ if roll < 0.85 && !deep => {
+            () if roll < 0.85 && !deep => {
                 self.leaf(t, vp, "VB", Cat::Verb);
                 let s = self.inner(t, vp, "S");
                 self.wsj_clause_body(t, s, depth + 1);
             }
-            _ if roll < 0.90 => {
+            () if roll < 0.90 => {
                 self.leaf(t, vp, "VB", Cat::Verb);
                 self.pp(t, vp, depth + 1);
             }
-            _ if roll < 0.94 => {
+            () if roll < 0.94 => {
                 self.leaf(t, vp, "VB", Cat::Verb);
                 let adjp = self.inner(t, vp, "ADJP");
                 self.leaf(t, adjp, "JJ", Cat::Adj);
             }
-            _ if roll < 0.97 => {
+            () if roll < 0.97 => {
                 self.leaf(t, vp, "VBD", Cat::PastVerb);
             }
-            _ => {
+            () => {
                 self.leaf(t, vp, "VB", Cat::Verb);
             }
         }
@@ -670,7 +670,7 @@ impl<'a> Gen<'a> {
         let roll: f64 = self.rng.gen();
         let deep = depth >= MAX_DEPTH - 2;
         match () {
-            _ if roll < 0.28 => {
+            () if roll < 0.28 => {
                 self.leaf(t, vp, "VBP", Cat::Verb);
                 let np = self.inner(t, vp, "NP");
                 if self.rng.gen_bool(0.6) {
@@ -682,14 +682,14 @@ impl<'a> Gen<'a> {
             }
             // Auxiliary chains are very frequent in speech ("I do n't
             // think I would have …") — VP is tag #2 in SWB.
-            _ if roll < 0.55 && !deep => {
+            () if roll < 0.55 && !deep => {
                 self.leaf(t, vp, "MD", Cat::Modal);
                 if self.rng.gen_bool(0.25) {
                     self.leaf(t, vp, "RB", Cat::Adv);
                 }
                 self.swb_vp(t, vp, depth + 1);
             }
-            _ if roll < 0.70 && !deep => {
+            () if roll < 0.70 && !deep => {
                 self.leaf(t, vp, "VBP", Cat::Verb);
                 let sbar = self.inner(t, vp, "SBAR");
                 let s = self.inner(t, sbar, "S");
@@ -697,16 +697,16 @@ impl<'a> Gen<'a> {
                 self.leaf(t, sbj, "PRP", Cat::Pron);
                 self.swb_vp(t, s, depth + 2);
             }
-            _ if roll < 0.80 => {
+            () if roll < 0.80 => {
                 self.leaf(t, vp, "VB", Cat::Verb);
                 self.pp(t, vp, depth + 1);
             }
-            _ if roll < 0.88 => {
+            () if roll < 0.88 => {
                 self.leaf(t, vp, "VB", Cat::Verb);
                 let np = self.inner(t, vp, "NP");
                 self.leaf(t, np, "NN", Cat::Noun);
             }
-            _ => {
+            () => {
                 self.leaf(t, vp, "VBD", Cat::PastVerb);
             }
         }

@@ -66,7 +66,6 @@ pub fn label_tree(tree: &Tree) -> Vec<Label> {
     // The arena is preorder by construction; parents precede children.
     // (Indexing `labels[..idx]` while writing `labels[idx]` forces the
     // index loop.)
-    #[allow(clippy::needless_range_loop)]
     for idx in 0..n {
         let node = tree.node(NodeId(idx as u32));
         let (depth, pid) = match node.parent {

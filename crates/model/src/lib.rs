@@ -32,6 +32,7 @@
 //! assert_eq!(root.id, 2); // id 1 is the implicit document node
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod corpus;

@@ -62,7 +62,7 @@ enum SExpr {
     Word(String),
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn at_end(&self) -> bool {
         self.pos >= self.src.len()
     }

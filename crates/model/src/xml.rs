@@ -245,7 +245,7 @@ struct XmlParser<'a> {
     pos: usize,
 }
 
-impl<'a> XmlParser<'a> {
+impl XmlParser<'_> {
     fn err(&self, message: impl Into<String>) -> ModelError {
         ModelError::Xml {
             offset: self.pos,

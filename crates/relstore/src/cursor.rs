@@ -260,13 +260,17 @@ impl<'a> Cursor<'a> {
         let bindings = vec![RowId(0); plan.alias_tables.len()];
         let narrow = plan.projection.len() <= 2;
         let obs = vec![StepObs::default(); plan.steps.len()];
+        // A constant-empty plan's cursor is born exhausted: every
+        // entry point (execute, count, exists, paging, resume) funnels
+        // through `advance_match`, whose first check is `done`.
+        let done = plan.const_empty;
         Cursor {
             plan,
             db,
             bindings,
             levels: Vec::new(),
             primed: false,
-            done: false,
+            done,
             narrow,
             seen_narrow: HashSet::new(),
             seen_wide: HashSet::new(),
@@ -360,13 +364,14 @@ impl<'a> Cursor<'a> {
         );
         let narrow = plan.projection.len() <= 2;
         debug_assert_eq!(ckpt.obs.len(), plan.steps.len());
+        let done = ckpt.done || plan.const_empty;
         let mut cursor = Cursor {
             plan,
             db,
             bindings: ckpt.bindings,
             levels: Vec::with_capacity(ckpt.levels.len()),
             primed: ckpt.primed,
-            done: ckpt.done,
+            done,
             narrow,
             seen_narrow: ckpt.seen_narrow,
             seen_wide: ckpt.seen_wide,
@@ -544,7 +549,7 @@ impl<'a> Cursor<'a> {
         let frame = self.frame();
         let mut packed = 0u64;
         for &c in &self.plan.projection {
-            packed = (packed << 32) | frame.value(self.db, c) as u64;
+            packed = (packed << 32) | u64::from(frame.value(self.db, c));
         }
         packed
     }
@@ -1093,5 +1098,28 @@ mod tests {
         assert!(!exists(&plan, &db));
         assert_eq!(count(&plan, &db), 0);
         assert_eq!(execute_page(&plan, &db, 0, 5), Vec::<Vec<Value>>::new());
+    }
+
+    #[test]
+    fn constant_empty_plan_yields_nothing_everywhere() {
+        let (db, _, _) = setup();
+        let plan = Plan::constant_empty();
+        // A steps-less plan normally emits the single all-bound row;
+        // the flag must override that.
+        assert_eq!(execute(&plan, &db), Vec::<Vec<Value>>::new());
+        assert!(!exists(&plan, &db));
+        assert_eq!(count(&plan, &db), 0);
+        assert_eq!(execute_page(&plan, &db, 0, 5), Vec::<Vec<Value>>::new());
+        let (rows, obs, nanos) = execute_analyzed(&plan, &db);
+        assert!(rows.is_empty() && obs.is_empty() && nanos.is_empty());
+        // Paged/resumed execution stays empty and reports exhaustion.
+        let (rows, ckpt) = execute_resume(&plan, &db, None, 10);
+        assert!(rows.is_empty());
+        assert!(ckpt.is_none(), "a constant-empty cursor is exhausted");
+        // A checkpoint restored over a constant-empty plan never runs.
+        let live = Cursor::new(&plan, &db);
+        let ckpt = live.suspend();
+        let mut resumed = Cursor::resume(&plan, &db, ckpt);
+        assert!(resumed.next().is_none());
     }
 }

@@ -57,6 +57,7 @@
 //! assert_eq!(resumed, [[11], [20]]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;

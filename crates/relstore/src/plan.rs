@@ -94,6 +94,22 @@ pub struct Plan {
     /// Planner estimate of the result cardinality (the smallest alias
     /// input — joins only filter). Zero for hand-built plans.
     pub estimated_result: usize,
+    /// The query was proven empty before planning (static analysis):
+    /// every cursor built from this plan is born exhausted and yields
+    /// nothing, whatever the steps say. An explicit flag — not an
+    /// empty `steps` list, which means "emit the single all-bound row".
+    pub const_empty: bool,
+}
+
+impl Plan {
+    /// The plan for a query proven empty before planning: no steps, no
+    /// output, and cursors that never yield.
+    pub fn constant_empty() -> Plan {
+        Plan {
+            const_empty: true,
+            ..Plan::default()
+        }
+    }
 }
 
 /// Execution context *view*: the bindings of one plan level plus a link
@@ -107,7 +123,7 @@ pub(crate) struct Frame<'a> {
     pub(crate) outer: Option<&'a Frame<'a>>,
 }
 
-impl<'a> Frame<'a> {
+impl Frame<'_> {
     pub(crate) fn value(&self, db: &Database, r: ColRef) -> Value {
         let table = self.plan.alias_tables[r.alias];
         db.table(table).value(self.bindings[r.alias], r.col)
@@ -264,6 +280,9 @@ impl fmt::Display for Plan {
                 Operand::Col(r) => format!("n{}.c{}", r.alias, r.col.0),
                 Operand::Outer(r) => format!("outer n{}.c{}", r.alias, r.col.0),
             }
+        }
+        if self.const_empty {
+            return writeln!(f, "constant empty (proven by static analysis)");
         }
         for (i, s) in self.steps.iter().enumerate() {
             write!(f, "step {i}: bind n{} via ", s.alias)?;

@@ -230,6 +230,7 @@ pub fn plan(db: &Database, q: &ConjQuery, cfg: &PlannerConfig) -> Plan {
         estimated_startup,
         estimated_total,
         estimated_result,
+        const_empty: false,
     }
 }
 
@@ -537,8 +538,7 @@ fn build_step(
             est = match a.cond.right {
                 Operand::Const(v) => db
                     .stats(table)
-                    .map(|s| est.min(s.est_eq(kc, v)))
-                    .unwrap_or(est / 10),
+                    .map_or(est / 10, |s| est.min(s.est_eq(kc, v))),
                 // Correlated or bound-column probes: assume a strong
                 // but not perfect reduction per key column.
                 _ => (est / 50).max(1),
@@ -661,7 +661,7 @@ mod tests {
     fn setup() -> (Database, TableId) {
         let mut t = Table::new(Schema::new(&["grp", "val"]));
         for g in 0..10u32 {
-            for v in 0..(g + 1) {
+            for v in 0..=g {
                 t.push_row(&[g, v]);
             }
         }

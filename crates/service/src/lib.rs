@@ -72,6 +72,7 @@
 //! assert!(service.exists("//VBD").unwrap());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -91,6 +92,7 @@ use lpath_syntax::{parse, SyntaxError};
 
 pub use cache::ResultSet;
 use cache::{CountCache, PrefixCache, PrefixEntry, ResultCache};
+pub use lpath_check::{CheckReport, Diagnostic, Severity};
 pub use lpath_obs::HistogramSnapshot;
 pub use plan::{required_symbols, CompiledQuery, ExecStrategy};
 pub use shard::{Shard, ShardCheckpoint};
@@ -247,9 +249,7 @@ impl Service {
     pub fn with_config(corpus: &Corpus, mut cfg: ServiceConfig) -> Self {
         cfg.shards = cfg.shards.clamp(1, MAX_SHARDS);
         let threads = if cfg.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         } else {
             cfg.threads
         };
@@ -303,12 +303,17 @@ impl Service {
             }
         }
         self.counters.plan_misses.bump();
-        let (strategy, sql) = {
+        let (strategy, sql, statically_empty) = {
             let st = self.state.read().unwrap();
+            // Static analysis against the master vocabulary: a proven
+            // verdict lets every request path skip execution outright.
+            let verdict =
+                lpath_check::check_with(&ast, |sym| st.master.interner().get(sym).is_some())
+                    .statically_empty;
             // One translation decides both the strategy and the SQL.
             match st.shards[0].engine().sql_ast(&ast) {
-                Ok(sql) => (ExecStrategy::Relational, Some(sql)),
-                Err(_) => (ExecStrategy::Walker, None),
+                Ok(sql) => (ExecStrategy::Relational, Some(sql), verdict),
+                Err(_) => (ExecStrategy::Walker, None, verdict),
             }
         };
         let compiled = Arc::new(CompiledQuery {
@@ -317,6 +322,7 @@ impl Service {
             ast,
             strategy,
             sql,
+            statically_empty,
         });
         self.plan_insert(normalized, Arc::clone(&compiled));
         if key != compiled.normalized {
@@ -368,6 +374,21 @@ impl Service {
         Ok(self.compile(query)?.sql.clone())
     }
 
+    /// Statically analyze `query` against the master corpus
+    /// vocabulary: spanned diagnostics (render with
+    /// [`CheckReport::render`] over the same `query` text, or
+    /// [`CheckReport::to_json`]) plus the emptiness verdict the
+    /// request paths act on. Parses fresh rather than going through
+    /// the plan cache so the diagnostic spans index into *this*
+    /// spelling of the query, not the normalized one.
+    pub fn check(&self, query: &str) -> Result<CheckReport, ServiceError> {
+        let ast = parse(query)?;
+        let st = self.state.read().unwrap();
+        Ok(lpath_check::check_with(&ast, |sym| {
+            st.master.interner().get(sym).is_some()
+        }))
+    }
+
     // -----------------------------------------------------------------
     // Evaluation
     // -----------------------------------------------------------------
@@ -381,6 +402,11 @@ impl Service {
         let compiled = self.compile(query)?;
         if let Some(t) = timer.as_mut() {
             t.mark_compiled();
+        }
+        if compiled.statically_empty {
+            self.counters.statically_empty.bump();
+            self.instr.finish(timer, Class::Eval, true, query, 0, 0);
+            return Ok(Arc::new(Vec::new()));
         }
         let (shards, generation) = self.snapshot();
         let all: Vec<u16> = (0..shards.len() as u16).collect();
@@ -415,6 +441,11 @@ impl Service {
         if let Some(&bad) = ids.iter().find(|&&i| i as usize >= shards.len()) {
             return Err(ServiceError::BadShard(bad));
         }
+        if compiled.statically_empty {
+            self.counters.statically_empty.bump();
+            self.instr.finish(timer, Class::Eval, true, query, 0, 0);
+            return Ok(Arc::new(Vec::new()));
+        }
         let (rows, hit) = self.eval_compiled(&shards, generation, &compiled, &ids);
         let fanout = if hit { 0 } else { ids.len() };
         self.instr.finish(timer, Class::Eval, hit, query, fanout, 0);
@@ -438,6 +469,11 @@ impl Service {
         let compiled = self.compile(query)?;
         if let Some(t) = timer.as_mut() {
             t.mark_compiled();
+        }
+        if compiled.statically_empty {
+            self.counters.statically_empty.bump();
+            self.instr.finish(timer, Class::Count, true, query, 0, 0);
+            return Ok(0);
         }
         let (shards, generation) = self.snapshot();
         let all: Vec<u16> = (0..shards.len() as u16).collect();
@@ -510,6 +546,10 @@ impl Service {
     pub fn exists(&self, query: &str) -> Result<bool, ServiceError> {
         self.counters.queries.bump();
         let compiled = self.compile(query)?;
+        if compiled.statically_empty {
+            self.counters.statically_empty.bump();
+            return Ok(false);
+        }
         let (shards, generation) = self.snapshot();
         let all: Vec<u16> = (0..shards.len() as u16).collect();
         let key = (compiled.normalized.clone(), all);
@@ -564,6 +604,11 @@ impl Service {
         let compiled = self.compile(query)?;
         if let Some(t) = timer.as_mut() {
             t.mark_compiled();
+        }
+        if compiled.statically_empty {
+            self.counters.statically_empty.bump();
+            self.instr.finish(timer, Class::EvalPage, true, query, 0, 0);
+            return Ok(Vec::new());
         }
         let (shards, generation) = self.snapshot();
         if limit == 0 {
@@ -718,6 +763,13 @@ impl Service {
             match c {
                 Err(e) => out[i] = Some(Err(e)),
                 Ok(c) => {
+                    if c.statically_empty {
+                        // The analyzer's verdict answers without any
+                        // shard work or cache traffic.
+                        self.counters.statically_empty.bump();
+                        out[i] = Some(Ok(Arc::new(Vec::new())));
+                        continue;
+                    }
                     if let Some(&mi) = miss_index.get(&c.normalized) {
                         // Batch-local dedup: served from the sibling
                         // occurrence's evaluation, not from the cache.
@@ -967,6 +1019,7 @@ impl Service {
             page_resumes: load(&c.page_resumes),
             shard_evals: load(&c.shard_evals),
             shards_pruned: load(&c.shards_pruned),
+            statically_empty: load(&c.statically_empty),
             appends: load(&c.appends),
             swaps: load(&c.swaps),
             per_shard,
@@ -1306,6 +1359,65 @@ mod tests {
         let evals = svc.stats().shard_evals;
         assert!(svc.exists("//VBD->NP").unwrap());
         assert_eq!(svc.stats().shard_evals, evals);
+    }
+
+    #[test]
+    fn statically_empty_queries_skip_execution_and_caches() {
+        let svc = service(3);
+        // Unknown tag, unknown lexeme, structural contradiction — the
+        // last is a walker-strategy query, skipped all the same.
+        for q in [
+            "//ZZZ",
+            "//_[@lex=zzzz]",
+            "//NP[position()=0]",
+            "//_[@lex=saw and @lex=man]",
+        ] {
+            assert!(svc.check(q).unwrap().statically_empty, "{q}");
+            assert!(svc.eval(q).unwrap().is_empty(), "{q}");
+            assert_eq!(svc.count(q).unwrap(), 0, "{q}");
+            assert!(!svc.exists(q).unwrap(), "{q}");
+            assert!(svc.eval_page(q, 0, 5).unwrap().is_empty(), "{q}");
+            let batch = svc.eval_batch(&[q, q]);
+            assert!(batch.iter().all(|r| r.as_ref().unwrap().is_empty()));
+        }
+        let stats = svc.stats();
+        // The acceptance bar: zero shard evaluations, zero cache
+        // insertions — the verdict answered everything.
+        assert_eq!(stats.shard_evals, 0, "{stats:?}");
+        assert_eq!(stats.result_cache_entries, 0, "{stats:?}");
+        assert_eq!(stats.shard_result_cache_entries, 0, "{stats:?}");
+        assert_eq!(stats.prefix_cache_entries, 0, "{stats:?}");
+        assert_eq!(stats.result_misses, 0, "{stats:?}");
+        // 6 requests per query (batch members count individually).
+        assert_eq!(stats.statically_empty, 4 * 6, "{stats:?}");
+        // The verdicts agree with the walker reference on every query.
+        for q in ["//ZZZ", "//NP[position()=0]"] {
+            assert!(svc.reference_eval(q).unwrap().is_empty(), "{q}");
+        }
+    }
+
+    #[test]
+    fn check_reports_spanned_diagnostics() {
+        let svc = service(2);
+        let src = "//NP[@lex=zzzz]";
+        let r = svc.check(src).unwrap();
+        assert!(r.statically_empty);
+        assert!(!r.is_clean());
+        let rendered = r.render(src);
+        assert!(rendered.contains("unknown-value"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+        assert!(r.to_json().starts_with("{\"statically_empty\":true"));
+        // Satisfiable queries come back clean and still execute.
+        assert!(svc.check("//NP").unwrap().is_clean());
+        assert!(!svc.eval("//NP").unwrap().is_empty());
+        // The verdict stays sound across appends: "ZZZ" enters the
+        // vocabulary, the stale plan-cache entry is invalidated, and
+        // the query executes for real.
+        assert!(svc.eval("//ZZZ").unwrap().is_empty());
+        svc.append_ptb("( (S (ZZZ (NN pop))) )").unwrap();
+        assert!(!svc.check("//ZZZ").unwrap().statically_empty);
+        assert_eq!(svc.eval("//ZZZ").unwrap().len(), 1);
+        assert_eq!(svc.count("//ZZZ").unwrap(), 1);
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub struct CompiledQuery {
     /// match — the shard-pruning requirements (conservative, positive
     /// conjunctive context only).
     pub required: Vec<String>,
+    /// The static analyzer proved the query empty against the master
+    /// corpus vocabulary at compile time: every request path returns
+    /// the empty answer without visiting a shard or writing a cache
+    /// entry. Sound because the plan cache is cleared on every corpus
+    /// mutation (append and swap both invalidate generation-scoped
+    /// state), so a cached verdict never outlives the vocabulary it
+    /// was proven against.
+    pub statically_empty: bool,
 }
 
 /// Collect the conservative symbol requirements of a query: tag names

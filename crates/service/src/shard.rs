@@ -327,6 +327,7 @@ mod tests {
             ast,
             strategy: ExecStrategy::Relational,
             sql: None,
+            statically_empty: false,
         }
     }
 

@@ -34,6 +34,7 @@ pub(crate) struct Counters {
     pub page_resumes: Counter,
     pub shard_evals: Counter,
     pub shards_pruned: Counter,
+    pub statically_empty: Counter,
     pub appends: Counter,
     pub swaps: Counter,
 }
@@ -355,6 +356,10 @@ pub struct ServiceStats {
     pub shard_evals: u64,
     /// Per-shard evaluations skipped by symbol-presence pruning.
     pub shards_pruned: u64,
+    /// Requests answered by the static analyzer's constant-empty fast
+    /// path: the query was proven empty at compile time, so no shard
+    /// was visited and no cache entry was written.
+    pub statically_empty: u64,
     /// Incremental appends applied.
     pub appends: u64,
     /// Full corpus swaps applied.
@@ -432,6 +437,7 @@ mod tests {
             page_resumes: 0,
             shard_evals: 0,
             shards_pruned: 0,
+            statically_empty: 0,
             appends: 0,
             swaps: 0,
             per_shard: Vec::new(),
@@ -480,7 +486,7 @@ mod tests {
 
     #[test]
     fn an_unreachable_threshold_logs_nothing() {
-        let instr = Instruments::new(true, Duration::from_secs(3600), 4);
+        let instr = Instruments::new(true, Duration::from_hours(1), 4);
         let t = instr.begin();
         instr.finish(t, Class::Count, true, "//A", 1, 0);
         assert!(instr.slow_snapshot().is_empty());

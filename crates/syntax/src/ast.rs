@@ -364,10 +364,37 @@ impl Pred {
     }
 }
 
+/// A half-open byte range `[start, end)` into the query source text.
+///
+/// Spans are carried by [`Step`]s for diagnostics (parser errors and
+/// the `lpath-check` lints point back into the query). They are *not*
+/// part of a step's structural identity: equality ignores them, and
+/// programmatically built steps get the empty default span.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Does this span carry no source attribution (the default on
+    /// programmatically built ASTs)?
+    pub fn is_unknown(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+}
+
 /// One location step: axis, optional left alignment, node test, optional
 /// right alignment, predicates (Figure 4's `S ::= A '::' LA NodeTest RA
 /// Predicates*`).
-#[derive(Clone, PartialEq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Step {
     /// The navigation axis.
     pub axis: Axis,
@@ -380,6 +407,22 @@ pub struct Step {
     pub right_align: bool,
     /// Bracketed predicates, applied in order.
     pub predicates: Vec<Pred>,
+    /// Source range of the step's concrete syntax (including its
+    /// predicates); the empty span when built programmatically.
+    pub span: Span,
+}
+
+impl PartialEq for Step {
+    /// Structural equality. `span` is deliberately excluded so that
+    /// `parse ∘ display` round-trips compare equal even though the
+    /// printed text lays tokens out at different offsets.
+    fn eq(&self, other: &Self) -> bool {
+        self.axis == other.axis
+            && self.test == other.test
+            && self.left_align == other.left_align
+            && self.right_align == other.right_align
+            && self.predicates == other.predicates
+    }
 }
 
 impl Step {
@@ -391,6 +434,7 @@ impl Step {
             left_align: false,
             right_align: false,
             predicates: Vec::new(),
+            span: Span::default(),
         }
     }
 

@@ -1,4 +1,5 @@
-//! Error type shared by the lexer and parser.
+//! Error type shared by the lexer and parser, plus the source-snippet
+//! rendering shared with `lpath-check` diagnostics.
 
 use std::fmt;
 
@@ -20,6 +21,29 @@ impl SyntaxError {
             message: message.into(),
         }
     }
+
+    /// The 1-based (line, column) of this error in `src` (the query
+    /// text the failing parse was given).
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        line_col(src, self.offset)
+    }
+
+    /// A multi-line rendering with the offending source line and a
+    /// caret pointing at the error position:
+    ///
+    /// ```text
+    /// syntax error at line 1, column 6: expected '::'
+    ///   | //NP/:x
+    ///   |      ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.line_col(src);
+        format!(
+            "syntax error at line {line}, column {col}: {}\n{}",
+            self.message,
+            snippet(src, self.offset, self.offset + 1),
+        )
+    }
 }
 
 impl fmt::Display for SyntaxError {
@@ -33,3 +57,73 @@ impl fmt::Display for SyntaxError {
 }
 
 impl std::error::Error for SyntaxError {}
+
+/// The 1-based (line, column) of byte `offset` in `src`. Columns count
+/// characters, not bytes; an offset at or past the end of `src` maps
+/// to one past the last character of the last line.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let before = &src[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let col = before[line_start..].chars().count() + 1;
+    (line, col)
+}
+
+/// Render the source line containing `[start, end)` with a caret line
+/// underneath marking the range — the snippet shape shared by parser
+/// errors and `lpath-check` diagnostics. The range is clamped to the
+/// line; a degenerate range still gets one caret.
+pub fn snippet(src: &str, start: usize, end: usize) -> String {
+    let start = start.min(src.len());
+    let line_start = src[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = src[line_start..]
+        .find('\n')
+        .map_or(src.len(), |i| line_start + i);
+    let line = &src[line_start..line_end];
+    let lead = src[line_start..start].chars().count();
+    let marked = src[start..end.clamp(start, line_end)].chars().count();
+    format!(
+        "  | {line}\n  | {}{}",
+        " ".repeat(lead),
+        "^".repeat(marked.max(1)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_lines_and_chars() {
+        assert_eq!(line_col("//NP", 0), (1, 1));
+        assert_eq!(line_col("//NP", 2), (1, 3));
+        // Past the end clamps to one past the last character.
+        assert_eq!(line_col("//NP", 99), (1, 5));
+        // Lines split on newlines; columns restart.
+        assert_eq!(line_col("//NP\n//VP", 5), (2, 1));
+        assert_eq!(line_col("//NP\n//VP", 7), (2, 3));
+        // Columns count characters, not bytes.
+        assert_eq!(line_col("//Bäume", 99), (1, 8));
+    }
+
+    #[test]
+    fn snippet_marks_the_range() {
+        assert_eq!(snippet("//NP/VP", 5, 7), "  | //NP/VP\n  |      ^^");
+        // Degenerate ranges still get one caret.
+        assert_eq!(snippet("//NP", 2, 2), "  | //NP\n  |   ^");
+        // Only the offending line is shown.
+        assert_eq!(snippet("//A\n//BB\n//C", 6, 8), "  | //BB\n  |   ^^");
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let err = crate::parser::parse("//NP[@lex=]").unwrap_err();
+        let r = err.render("//NP[@lex=]");
+        assert!(r.contains("line 1, column"), "{r}");
+        assert!(r.contains("  | //NP[@lex=]"), "{r}");
+        let (line, col) = err.line_col("//NP[@lex=]");
+        assert_eq!(line, 1);
+        assert!(col >= 11, "caret at or after the ']': {col}");
+    }
+}

@@ -14,13 +14,15 @@
 use crate::error::SyntaxError;
 use crate::token::Token;
 
-/// A token plus its byte offset in the source.
+/// A token plus its byte range in the source.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
     /// Byte offset of the token's first character.
     pub offset: usize,
+    /// Byte offset one past the token's last character.
+    pub end: usize,
 }
 
 /// Tokenize a full query string.
@@ -214,6 +216,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, SyntaxError> {
         out.push(Spanned {
             token,
             offset: start,
+            end: pos,
         });
     }
     Ok(out)
@@ -433,5 +436,13 @@ mod tests {
         assert_eq!(spans[1].offset, 2);
         assert_eq!(spans[2].offset, 5);
         assert_eq!(spans[3].offset, 7);
+        // End offsets are one past the token's last character.
+        assert_eq!(spans[0].end, 2);
+        assert_eq!(spans[1].end, 4);
+        assert_eq!(spans[2].end, 7);
+        assert_eq!(spans[3].end, 9);
+        // A quoted literal's span covers the quotes.
+        let spans = tokenize("'PRP$'").unwrap();
+        assert_eq!((spans[0].offset, spans[0].end), (0, 6));
     }
 }

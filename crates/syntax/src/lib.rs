@@ -22,6 +22,7 @@
 //! assert_eq!(q.to_string(), "//VP{/VB-->NN}");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
@@ -31,8 +32,8 @@ pub mod lexer;
 pub mod parser;
 pub mod token;
 
-pub use ast::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step, StrFunc};
-pub use error::SyntaxError;
+pub use ast::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Span, Step, StrFunc};
+pub use error::{line_col, snippet, SyntaxError};
 pub use lexer::tokenize;
 pub use parser::parse;
 pub use token::Token;

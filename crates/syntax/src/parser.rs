@@ -14,7 +14,7 @@
 //!   compatibility; engines may reject them where the paper's relational
 //!   translation has no counterpart.
 
-use crate::ast::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step, StrFunc};
+use crate::ast::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Span, Step, StrFunc};
 use crate::error::SyntaxError;
 use crate::lexer::{tokenize, Spanned};
 use crate::token::Token;
@@ -23,7 +23,7 @@ use crate::token::Token;
 pub fn parse(src: &str) -> Result<Path, SyntaxError> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
-    let absolute = matches!(p.peek(), Some(Token::Slash) | Some(Token::DoubleSlash));
+    let absolute = matches!(p.peek(), Some(Token::Slash | Token::DoubleSlash));
     let mut path = p.path()?;
     path.absolute = absolute;
     if let Some(s) = p.tokens.get(p.pos) {
@@ -53,10 +53,19 @@ impl Parser {
     }
 
     fn offset(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .map(|s| s.offset)
-            .unwrap_or_else(|| self.tokens.last().map(|s| s.offset + 1).unwrap_or(0))
+        self.tokens.get(self.pos).map_or_else(
+            || self.tokens.last().map_or(0, |s| s.offset + 1),
+            |s| s.offset,
+        )
+    }
+
+    /// Byte offset one past the last consumed token (0 before any).
+    fn last_end(&self) -> usize {
+        if self.pos == 0 {
+            0
+        } else {
+            self.tokens[self.pos - 1].end
+        }
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -91,12 +100,11 @@ impl Parser {
         // A relative path may begin with a bare name or wildcard
         // (implicit child axis, XPath style) — but only as the very
         // first step.
-        if let Some(Token::Name(_)) | Some(Token::Literal(_)) | Some(Token::Underscore) =
-            self.peek()
-        {
-            if !matches!(self.peek2(), Some(Token::ColonColon) | Some(Token::LParen))
+        if let Some(Token::Name(_) | Token::Literal(_) | Token::Underscore) = self.peek() {
+            if !matches!(self.peek2(), Some(Token::ColonColon | Token::LParen))
                 || matches!(self.peek(), Some(Token::Underscore))
             {
+                let start = self.offset();
                 let test = self.node_test()?;
                 let mut step = Step::new(Axis::Child, test);
                 if matches!(self.peek(), Some(Token::Dollar)) {
@@ -104,6 +112,7 @@ impl Parser {
                     step.right_align = true;
                 }
                 self.predicates(&mut step)?;
+                step.span = Span::new(start, self.last_end());
                 steps.push(step);
             } else if matches!(self.peek2(), Some(Token::ColonColon)) {
                 // `self::NP` style named-axis first step.
@@ -134,6 +143,7 @@ impl Parser {
 
     /// Parse one step if the next token starts one.
     fn try_step(&mut self) -> Result<Option<Step>, SyntaxError> {
+        let start = self.offset();
         let axis = match self.peek() {
             Some(Token::Slash) => {
                 // `/descendant::X` and friends: slash + axis name.
@@ -249,7 +259,7 @@ impl Parser {
             }
             _ => return Ok(None),
         };
-        Ok(Some(self.finish_step(axis)?))
+        Ok(Some(self.finish_step(axis, start)?))
     }
 
     /// Apply a postfix closure marker (`+` transitive, `*` reflexive
@@ -271,6 +281,7 @@ impl Parser {
     /// A first step written `axis::test` with no leading slash
     /// (`self::NP` in predicates).
     fn named_axis_step(&mut self) -> Result<Step, SyntaxError> {
+        let start = self.offset();
         let name = match self.bump() {
             Some(Token::Name(n)) => n,
             _ => unreachable!("caller checked"),
@@ -278,11 +289,12 @@ impl Parser {
         let axis = Axis::from_name(&name)
             .ok_or_else(|| SyntaxError::at(self.offset(), format!("unknown axis '{name}'")))?;
         self.expect(&Token::ColonColon)?;
-        self.finish_step(axis)
+        self.finish_step(axis, start)
     }
 
-    /// Alignment, node test, alignment, predicates.
-    fn finish_step(&mut self, axis: Axis) -> Result<Step, SyntaxError> {
+    /// Alignment, node test, alignment, predicates. `start` is the byte
+    /// offset where the step's concrete syntax began (its axis token).
+    fn finish_step(&mut self, axis: Axis, start: usize) -> Result<Step, SyntaxError> {
         let left_align = if matches!(self.peek(), Some(Token::Caret)) {
             self.pos += 1;
             true
@@ -292,9 +304,7 @@ impl Parser {
         let test = if axis == Axis::SelfAxis {
             // `.` may stand alone as a complete step.
             match self.peek() {
-                Some(Token::Name(_)) | Some(Token::Underscore) | Some(Token::Literal(_)) => {
-                    self.node_test()?
-                }
+                Some(Token::Name(_) | Token::Underscore | Token::Literal(_)) => self.node_test()?,
                 _ => NodeTest::Any,
             }
         } else {
@@ -312,8 +322,10 @@ impl Parser {
             left_align,
             right_align,
             predicates: Vec::new(),
+            span: Span::default(),
         };
         self.predicates(&mut step)?;
+        step.span = Span::new(start, self.last_end());
         Ok(step)
     }
 
@@ -413,7 +425,7 @@ impl Parser {
                             self.offset(),
                             format!(
                                 "expected a string argument, found {}",
-                                other.map_or("end of query".into(), |t| format!("'{t}'"))
+                                other.map_or_else(|| "end of query".into(), |t| format!("'{t}'"))
                             ),
                         ))
                     }
@@ -438,7 +450,7 @@ impl Parser {
                 // Optional comparison against a literal.
                 if matches!(
                     self.peek(),
-                    Some(Token::Eq) | Some(Token::Ne) | Some(Token::Lt) | Some(Token::Gt)
+                    Some(Token::Eq | Token::Ne | Token::Lt | Token::Gt)
                 ) {
                     let op = self.cmp_op()?;
                     let value = match self.bump() {
@@ -450,7 +462,10 @@ impl Parser {
                                 self.offset(),
                                 format!(
                                     "expected a literal value, found {}",
-                                    other.map_or("end of query".into(), |t| format!("'{t}'"))
+                                    other.map_or_else(
+                                        || "end of query".into(),
+                                        |t| format!("'{t}'")
+                                    )
                                 ),
                             ))
                         }
@@ -473,7 +488,7 @@ impl Parser {
                 self.offset(),
                 format!(
                     "expected a comparison operator, found {}",
-                    other.map_or("end of query".into(), |t| format!("'{t}'"))
+                    other.map_or_else(|| "end of query".into(), |t| format!("'{t}'"))
                 ),
             )),
         }
@@ -502,7 +517,7 @@ impl Parser {
                 self.offset(),
                 format!(
                     "expected a number, found {}",
-                    other.map_or("end of query".into(), |t| format!("'{t}'"))
+                    other.map_or_else(|| "end of query".into(), |t| format!("'{t}'"))
                 ),
             )),
         }
@@ -843,6 +858,43 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "should fail: {bad}");
         }
+    }
+
+    #[test]
+    fn step_spans_cover_their_concrete_syntax() {
+        let src = "//VP[@lex=saw]/NP$";
+        let p = q(src);
+        // First step: `//VP[@lex=saw]` — axis through closing bracket.
+        assert_eq!((p.steps[0].span.start, p.steps[0].span.end), (0, 14));
+        assert_eq!(
+            &src[p.steps[0].span.start..p.steps[0].span.end],
+            "//VP[@lex=saw]"
+        );
+        // Second step: `/NP$`.
+        assert_eq!(&src[p.steps[1].span.start..p.steps[1].span.end], "/NP$");
+        // The attribute sub-path inside the predicate has its own span.
+        let Pred::Cmp { path, .. } = &p.steps[0].predicates[0] else {
+            panic!("expected cmp")
+        };
+        assert_eq!(
+            &src[path.steps[0].span.start..path.steps[0].span.end],
+            "@lex"
+        );
+        // Scope continuations and bare-name first steps are spanned too.
+        let src = "VP{/V->NP}";
+        let p = q(src);
+        assert_eq!(&src[p.steps[0].span.start..p.steps[0].span.end], "VP");
+        let inner = p.scope.as_ref().unwrap();
+        assert_eq!(
+            &src[inner.steps[1].span.start..inner.steps[1].span.end],
+            "->NP"
+        );
+        // Spans are ignored by structural equality.
+        let mut a = q("//NP");
+        let b = Path::absolute(vec![Step::new(Axis::Descendant, NodeTest::tag("NP"))]);
+        assert_eq!(a, b);
+        a.steps[0].span = crate::ast::Span::default();
+        assert_eq!(a, b);
     }
 
     #[test]

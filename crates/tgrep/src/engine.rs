@@ -68,8 +68,10 @@ impl TgrepEngine {
     /// summed over trees, using the label index to skip trees that
     /// cannot match.
     pub fn count_ast(&self, ast: &NodePattern) -> Result<usize, TgrepError> {
-        let (pattern, slots) = resolve(ast, &|label| self.interner.get(label).map(|s| s.raw()))
-            .map_err(TgrepError::Pattern)?;
+        let (pattern, slots) = resolve(ast, &|label| {
+            self.interner.get(label).map(lpath_model::Sym::raw)
+        })
+        .map_err(TgrepError::Pattern)?;
 
         // Index pruning: scan only trees containing the rarest required
         // label (TGrep2's word-index trick).
@@ -86,8 +88,7 @@ impl TgrepEngine {
                         .image
                         .postings
                         .get(&sym.raw())
-                        .map(|v| v.as_slice())
-                        .unwrap_or(&[]);
+                        .map_or(&[][..], std::vec::Vec::as_slice);
                     if best.is_none_or(|b| postings.len() < b.len()) {
                         best = Some(postings);
                     }
@@ -112,8 +113,10 @@ impl TgrepEngine {
     /// Count without index pruning (the ablation baseline).
     pub fn count_unindexed(&self, pattern: &str) -> Result<usize, TgrepError> {
         let ast = parse_pattern(pattern)?;
-        let (pattern, slots) = resolve(&ast, &|label| self.interner.get(label).map(|s| s.raw()))
-            .map_err(TgrepError::Pattern)?;
+        let (pattern, slots) = resolve(&ast, &|label| {
+            self.interner.get(label).map(lpath_model::Sym::raw)
+        })
+        .map_err(TgrepError::Pattern)?;
         Ok(self
             .image
             .trees

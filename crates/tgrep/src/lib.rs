@@ -20,6 +20,7 @@
 //! assert_eq!(engine.count("NP , VBD").unwrap(), 1);  // NP right after a VBD
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

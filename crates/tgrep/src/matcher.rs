@@ -87,7 +87,7 @@ pub fn count_tree(tree: &TreeImage, pattern: &RPattern, slots: usize) -> usize {
         if match_node(tree, n, pattern, &mut bindings, &mut |_| true) {
             count += 1;
         }
-        bindings.iter_mut().for_each(|b| *b = NONE);
+        bindings.fill(NONE);
     }
     count
 }

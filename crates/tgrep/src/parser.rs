@@ -54,7 +54,7 @@ struct P<'a> {
     i: usize,
 }
 
-impl<'a> P<'a> {
+impl P<'_> {
     fn err(&self, m: impl Into<String>) -> TgrepParseError {
         TgrepParseError {
             offset: self.i,

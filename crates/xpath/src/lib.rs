@@ -17,6 +17,7 @@
 //! assert_eq!(engine.count("//S[.//*[@lex='saw']]").unwrap(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

@@ -18,7 +18,7 @@ use lpath_syntax::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step, SyntaxError}
 pub fn parse_xpath(src: &str) -> Result<Path, SyntaxError> {
     let tokens = lex(src)?;
     let mut p = P { t: tokens, i: 0 };
-    let absolute = matches!(p.peek(), Some(Tok::Slash) | Some(Tok::DSlash));
+    let absolute = matches!(p.peek(), Some(Tok::Slash | Tok::DSlash));
     let mut path = p.rel_path()?;
     path.absolute = absolute;
     if p.i < p.t.len() {
@@ -366,7 +366,7 @@ impl P {
                 let path = self.predicate_path()?;
                 self.expect(Tok::Comma)?;
                 let arg = match self.t.get(self.i).cloned() {
-                    Some(Tok::Literal(s)) | Some(Tok::Name(s)) => {
+                    Some(Tok::Literal(s) | Tok::Name(s)) => {
                         self.i += 1;
                         s
                     }
@@ -390,12 +390,12 @@ impl P {
                 // A relative path; `.//X` and `//X` both mean
                 // descendant-of-context here.
                 if self.peek() == Some(&Tok::Dot)
-                    && matches!(self.peek2(), Some(Tok::DSlash) | Some(Tok::Slash))
+                    && matches!(self.peek2(), Some(Tok::DSlash | Tok::Slash))
                 {
                     self.i += 1; // swallow the `.`; the separator drives the axis
                 }
                 let path = self.rel_path()?;
-                if matches!(self.peek(), Some(Tok::Eq) | Some(Tok::Ne)) {
+                if matches!(self.peek(), Some(Tok::Eq | Tok::Ne)) {
                     let op = self.cmp_op()?;
                     let value = match self.t.get(self.i).cloned() {
                         Some(Tok::Name(n)) => {
@@ -449,8 +449,7 @@ impl P {
     /// A relative path argument inside a function call, with the same
     /// leading-`.` normalization as predicate paths.
     fn predicate_path(&mut self) -> Result<Path, SyntaxError> {
-        if self.peek() == Some(&Tok::Dot)
-            && matches!(self.peek2(), Some(Tok::DSlash) | Some(Tok::Slash))
+        if self.peek() == Some(&Tok::Dot) && matches!(self.peek2(), Some(Tok::DSlash | Tok::Slash))
         {
             self.i += 1;
         }

@@ -374,7 +374,7 @@ impl<'a> SeTranslator<'a> {
                 // As in the LPath engine: only existence thresholds fit
                 // the conjunctive target.
                 let exists = match (op, value) {
-                    (CmpOp::Gt, 0) | (CmpOp::Ne, 0) => true,
+                    (CmpOp::Gt | CmpOp::Ne, 0) => true,
                     (CmpOp::Eq, 0) | (CmpOp::Lt, 1) => false,
                     _ => {
                         return Err(XpathUnsupported(

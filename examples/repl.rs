@@ -8,6 +8,8 @@
 //! * `.plan QUERY`     — show the physical plan (EXPLAIN);
 //! * `:analyze QUERY`  — run the query and show the plan annotated
 //!   with actual rows, probes and per-step time (EXPLAIN ANALYZE);
+//! * `:check QUERY`    — static analysis only: spanned lints plus the
+//!   vocabulary-aware emptiness verdict, without executing anything;
 //! * `:metrics`        — the service's latency/slow-query snapshot
 //!   (plain queries are served through an instrumented service);
 //! * `.tree N`         — render tree N;
@@ -84,6 +86,7 @@ fn main() {
                     ".sql QUERY      show translated SQL\n\
                      .plan QUERY     show the physical plan\n\
                      :analyze QUERY  execute and show the annotated plan\n\
+                     :check QUERY    static lints + emptiness verdict (no execution)\n\
                      :metrics        service latency/slow-query snapshot\n\
                      .tree N         render tree N\n\
                      .stats          corpus statistics\n\
@@ -107,6 +110,21 @@ fn main() {
             },
             (":analyze" | ".analyze", q) => match engine.explain_analyze(q) {
                 Ok(report) => print!("{report}"),
+                Err(e) => println!("error: {e}"),
+            },
+            (":check" | ".check", q) => match service.check(q) {
+                Ok(report) => {
+                    if report.is_clean() {
+                        println!("clean: no lints, not statically empty");
+                    } else {
+                        print!("{}", report.render(q));
+                        if report.statically_empty {
+                            println!(
+                                "verdict: statically empty (would run the constant-empty plan)"
+                            );
+                        }
+                    }
+                }
                 Err(e) => println!("error: {e}"),
             },
             (":metrics" | ".metrics", _) => {

@@ -10,6 +10,7 @@
 //! `sample_size` timed runs bounded by `measurement_time`, reporting
 //! the mean and min per benchmark. No statistics, plots or baselines.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;

@@ -18,6 +18,7 @@
 //!   repetition shapes used here (`\PC{m,n}`-style): a printable
 //!   string with length drawn from `{m,n}`.
 
+#![forbid(unsafe_code)]
 use std::sync::Arc;
 
 pub mod test_runner {
@@ -92,7 +93,7 @@ pub mod test_runner {
             // FNV-1a over the label.
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in label.bytes() {
-                h ^= b as u64;
+                h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
             TestRng { state: h }
@@ -255,7 +256,7 @@ pub mod strategy {
     impl<V> Union<V> {
         /// A union over `(weight, strategy)` pairs.
         pub fn new(variants: Vec<(u32, BoxedStrategy<V>)>) -> Self {
-            let total: u64 = variants.iter().map(|(w, _)| *w as u64).sum();
+            let total: u64 = variants.iter().map(|(w, _)| u64::from(*w)).sum();
             assert!(total > 0, "prop_oneof! needs at least one positive weight");
             Union { variants, total }
         }
@@ -266,10 +267,10 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> V {
             let mut pick = rng.below(self.total);
             for (w, s) in &self.variants {
-                if pick < *w as u64 {
+                if pick < u64::from(*w) {
                     return s.sample(rng);
                 }
-                pick -= *w as u64;
+                pick -= u64::from(*w);
             }
             unreachable!("weights sum exceeded")
         }
@@ -279,6 +280,9 @@ pub mod strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
                 type Value = $t;
+                // `as u64` must stay: the macro covers signed widths
+                // with no `From<$t> for u64`.
+                #[allow(clippy::cast_lossless)]
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     assert!(self.start < self.end, "empty range strategy");
                     let span = (self.end - self.start) as u64;
@@ -287,6 +291,7 @@ pub mod strategy {
             }
             impl Strategy for RangeInclusive<$t> {
                 type Value = $t;
+                #[allow(clippy::cast_lossless)] // same: signed widths
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     let (lo, hi) = (*self.start(), *self.end());
                     assert!(lo <= hi, "empty range strategy");

@@ -11,6 +11,7 @@
 //! sound 64-bit PRNG, which is all the synthetic treebank generator
 //! needs. Determinism per seed is the only contract callers rely on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};
@@ -63,6 +64,9 @@ pub trait SampleRange<T> {
 macro_rules! impl_sample_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
+            // `as i128` must stay: `From<usize>` does not exist for
+            // `i128`, and the macro covers every integer width.
+            #[allow(clippy::cast_lossless)]
             fn sample(self, draw: &mut dyn FnMut() -> u64) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as i128 - self.start as i128) as u64;
@@ -70,6 +74,7 @@ macro_rules! impl_sample_range {
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_lossless)] // same: no `From<usize> for i128`
             fn sample(self, draw: &mut dyn FnMut() -> u64) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");

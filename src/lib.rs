@@ -8,6 +8,7 @@
 //! |---|---|
 //! | [`model`] | ordered trees, interval labeling (Def. 4.1), Penn Treebank I/O, synthetic WSJ/SWB corpora |
 //! | [`syntax`] | the LPath language: lexer, parser, AST, printer |
+//! | [`check`] | static query analysis: spanned lint diagnostics, vocabulary-aware emptiness |
 //! | [`relstore`] | embedded relational engine: columnar tables, ordered indexes, planner, executor |
 //! | [`core`] | the LPath engine: translation to SQL (Table 2), walker and naive oracles, the 23 evaluation queries |
 //! | [`xpath`] | XPath 1.0 baseline over the DeHaan start/end labeling (Figure 10) |
@@ -46,8 +47,10 @@
 //! assert_eq!(service.count("//VBD->NP").unwrap(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use lpath_check as check;
 pub use lpath_condxpath as condxpath;
 pub use lpath_core as core;
 pub use lpath_corpussearch as corpussearch;
@@ -77,6 +80,7 @@ pub mod dialect {}
 
 /// The common imports for working with LPath.
 pub mod prelude {
+    pub use lpath_check::{CheckReport, Diagnostic, Severity};
     pub use lpath_core::{Engine, EngineError, NaiveEvaluator, Walker, QUERIES};
     pub use lpath_corpussearch::{CsEngine, CS_QUERIES};
     pub use lpath_model::ptb::{parse_into, parse_str};

@@ -170,12 +170,10 @@ fn arb_step(first: bool) -> impl Strategy<Value = Step> {
         prop::bool::weighted(0.12),
         prop::bool::weighted(0.12),
     )
-        .prop_map(|(axis, test, predicates, la, ra)| Step {
-            axis,
-            test,
-            left_align: la,
-            right_align: ra,
-            predicates,
+        .prop_map(|(axis, test, predicates, la, ra)| {
+            let mut step = Step::new(axis, test).aligned(la, ra);
+            step.predicates = predicates;
+            step
         })
 }
 
