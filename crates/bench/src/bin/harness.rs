@@ -3,7 +3,7 @@
 //! (7 runs, trimmed mean).
 //!
 //! ```text
-//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|all] [sentences]
+//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|server|all] [sentences]
 //! ```
 //!
 //! With no arguments, prints everything at the default scale (1/20 of
@@ -17,10 +17,15 @@
 //! (`BENCH_sweep.json`), `metrics` — per-query latency
 //! percentiles under the instrumented service, `EXPLAIN ANALYZE`
 //! estimate errors, and the instrumentation-overhead comparison —
-//! (`BENCH_metrics.json`), and `check` — static-analysis cost per
+//! (`BENCH_metrics.json`), `check` — static-analysis cost per
 //! evaluation query plus the constant-empty fast path against a full
-//! walker scan proving emptiness dynamically — (`BENCH_check.json`).
+//! walker scan proving emptiness dynamically — (`BENCH_check.json`),
+//! and `server` — round-trip latency of the line-delimited JSON
+//! protocol over a real loopback socket: token sweeps at 1/2/4/8
+//! concurrent connections plus the cold-first-page vs
+//! deep-token-page comparison — (`BENCH_server.json`).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use lpath_bench::{
@@ -31,6 +36,7 @@ use lpath_core::{Engine, Walker, EXTENDED_QUERIES, QUERIES};
 use lpath_corpussearch::CS_QUERIES;
 use lpath_model::{Corpus, Profile};
 use lpath_relstore::{JoinOrder, OptGoal, PlannerConfig};
+use lpath_server::{serve, Client, ServerConfig};
 use lpath_service::{Service, ServiceConfig};
 use lpath_tgrep::TGREP_QUERIES;
 
@@ -69,6 +75,7 @@ fn main() {
         "sweep" => sweep(&wsj, wsj_n),
         "metrics" => metrics(&wsj, wsj_n),
         "check" => check(&wsj, wsj_n),
+        "server" => server(&wsj, wsj_n),
         "all" => {
             fig6a(&wsj, &swb);
             fig6b(&wsj, &swb);
@@ -85,11 +92,12 @@ fn main() {
             sweep(&wsj, wsj_n);
             metrics(&wsj, wsj_n);
             check(&wsj, wsj_n);
+            server(&wsj, wsj_n);
         }
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected \
-                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|all"
+                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|server|all"
             );
             std::process::exit(2);
         }
@@ -1227,5 +1235,179 @@ fn check(wsj: &Corpus, wsj_n: usize) {
     match std::fs::write("BENCH_check.json", &json) {
         Ok(()) => println!("wrote BENCH_check.json\n"),
         Err(e) => eprintln!("could not write BENCH_check.json: {e}\n"),
+    }
+}
+
+/// The `server` mode: round-trip latency of the network edge. Starts
+/// a real `lpath-server` on a loopback port, then measures:
+///
+/// * concurrency — 1/2/4/8 client connections each run the full
+///   23-query token sweep; every `eval_page` round trip is one
+///   latency sample (percentiles plus aggregate throughput);
+/// * cold vs deep — the highest-cardinality evaluation query at
+///   page 1 (parse + plan + first rows) and at its deepest token
+///   (checkpoint resume), each re-issued repeatedly — stateless
+///   tokens make any page repeatable.
+///
+/// Writes `BENCH_server.json`.
+fn server(wsj: &Corpus, wsj_n: usize) {
+    println!("== lpath-server: socket round trips under concurrency, cold vs deep pages (WSJ) ==");
+    const SHARDS: usize = 4;
+    const PAGE: usize = 25;
+    const PHASE_ITERS: usize = 40;
+    // No result cache: every round trip pays for real evaluation, so
+    // cold-vs-deep measures the token machinery, not cache hits.
+    let svc = Arc::new(Service::with_config(
+        wsj,
+        ServiceConfig {
+            shards: SHARDS,
+            result_cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    ));
+    let handle = serve(
+        Arc::clone(&svc),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 32,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind a loopback port");
+    let addr = handle.addr();
+
+    // Warm the plan cache so every level measures steady state.
+    let mut probe = Client::connect(addr).expect("connect to own server");
+    for q in QUERIES {
+        probe.eval_sweep(q.lpath, PAGE).unwrap();
+    }
+
+    println!(
+        "{:<6}{:>10}{:>12}{:>12}{:>12}{:>12}{:>10}",
+        "conns", "requests", "p50", "p90", "p99", "max", "req/s"
+    );
+    let mut per_concurrency = Vec::new();
+    for connections in [1usize, 2, 4, 8] {
+        let started = Instant::now();
+        // The collect is the fan-out: without it the spawns would be
+        // driven lazily by the join loop and the "concurrent" clients
+        // would run one at a time.
+        #[allow(clippy::needless_collect)]
+        let workers: Vec<_> = (0..connections)
+            .map(|_| {
+                std::thread::spawn(move || -> Vec<u64> {
+                    let mut client = Client::connect(addr).expect("connect to own server");
+                    let mut samples = Vec::new();
+                    for q in QUERIES {
+                        let mut token: Option<String> = None;
+                        loop {
+                            let t = Instant::now();
+                            let page = client.eval_page(q.lpath, token.as_deref(), PAGE).unwrap();
+                            samples.push(t.elapsed().as_nanos() as u64);
+                            match page.token {
+                                Some(next) => token = Some(next),
+                                None => break,
+                            }
+                        }
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let mut samples: Vec<u64> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("load thread"))
+            .collect();
+        let wall = started.elapsed().as_secs_f64();
+        samples.sort_unstable();
+        let p = |pct| lpath_bench::server::percentile(&samples, pct);
+        let row = lpath_bench::server::ConcurrencyRow {
+            connections,
+            requests: samples.len(),
+            p50_ns: p(50.0),
+            p90_ns: p(90.0),
+            p99_ns: p(99.0),
+            max_ns: *samples.last().unwrap_or(&0),
+            throughput_rps: samples.len() as f64 / wall.max(1e-12),
+        };
+        println!(
+            "{:<6}{:>10}{:>12}{:>12}{:>12}{:>12}{:>10.0}",
+            row.connections,
+            row.requests,
+            row.p50_ns,
+            row.p90_ns,
+            row.p99_ns,
+            row.max_ns,
+            row.throughput_rps,
+        );
+        per_concurrency.push(row);
+    }
+
+    // Cold vs deep on the widest query: walk its sweep once to find
+    // the deepest token, then re-issue each fixed page repeatedly
+    // (stateless tokens answer the same page every time).
+    let widest = QUERIES
+        .iter()
+        .max_by_key(|q| svc.count(q.lpath).unwrap())
+        .expect("23 evaluation queries");
+    let mut deep_token: Option<String> = None;
+    let mut page_depth = 0usize;
+    let mut token: Option<String> = None;
+    loop {
+        let page = probe
+            .eval_page(widest.lpath, token.as_deref(), PAGE)
+            .unwrap();
+        match page.token {
+            Some(next) => {
+                page_depth += 1;
+                deep_token = Some(next.clone());
+                token = Some(next);
+            }
+            None => break,
+        }
+    }
+    let mut measure = |phase: &'static str, token: Option<&str>, depth: usize| {
+        let mut samples: Vec<u64> = (0..PHASE_ITERS)
+            .map(|_| {
+                let t = Instant::now();
+                probe.eval_page(widest.lpath, token, PAGE).unwrap();
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        samples.sort_unstable();
+        let p = |pct| lpath_bench::server::percentile(&samples, pct);
+        lpath_bench::server::PhaseRow {
+            phase,
+            lpath: widest.lpath.to_string(),
+            page_depth: depth,
+            p50_ns: p(50.0),
+            p90_ns: p(90.0),
+            p99_ns: p(99.0),
+            max_ns: *samples.last().unwrap_or(&0),
+        }
+    };
+    let cold = measure("cold_page", None, 0);
+    let deep = measure("deep_page", deep_token.as_deref(), page_depth);
+    println!(
+        "\ncold vs deep (Q{} {}, {} pages): cold p50 {}ns, deep p50 {}ns\n",
+        widest.id,
+        widest.lpath,
+        page_depth + 1,
+        cold.p50_ns,
+        deep.p50_ns,
+    );
+
+    let report = lpath_bench::server::ServerReport {
+        wsj_sentences: wsj_n,
+        shards: SHARDS,
+        page_limit: PAGE,
+        per_concurrency,
+        page_phases: vec![cold, deep],
+    };
+    let json = report.to_json();
+    lpath_bench::server::validate(&json).expect("server report shape");
+    match std::fs::write("BENCH_server.json", &json) {
+        Ok(()) => println!("wrote BENCH_server.json\n"),
+        Err(e) => eprintln!("could not write BENCH_server.json: {e}\n"),
     }
 }

@@ -33,6 +33,7 @@
 pub mod fixtures;
 
 pub mod metrics;
+pub mod server;
 
 use std::time::{Duration, Instant};
 

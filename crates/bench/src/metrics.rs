@@ -95,8 +95,9 @@ impl MetricsReport {
 }
 
 /// Extract the number following `"key": ` on `line` (the house JSON
-/// style puts each `per_query` object on one line).
-fn field<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {
+/// style puts each `per_query` object on one line). Shared with the
+/// `server` report validator.
+pub(crate) fn field<T: std::str::FromStr>(line: &str, key: &str) -> Option<T> {
     let needle = format!("\"{key}\": ");
     let at = line.find(&needle)? + needle.len();
     let rest = &line[at..];

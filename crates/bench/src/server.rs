@@ -1,0 +1,270 @@
+//! The `server` harness mode's report: per-request latency
+//! percentiles of the line-delimited JSON protocol measured over a
+//! real loopback socket at several concurrency levels, plus the
+//! cold-first-page vs deep-token-page comparison — and the shape
+//! validator CI runs over the emitted `BENCH_server.json`.
+//!
+//! The builder and the validator live together (and in the library,
+//! not the harness binary) so the checked-in validator test exercises
+//! exactly the code the harness emits with.
+
+/// One concurrency level's row in `BENCH_server.json`: `connections`
+/// clients each run the full 23-query token sweep; every `eval_page`
+/// round trip is one latency sample.
+pub struct ConcurrencyRow {
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total round trips measured across all connections.
+    pub requests: usize,
+    /// Median round-trip latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile round-trip latency.
+    pub p90_ns: u64,
+    /// 99th percentile round-trip latency.
+    pub p99_ns: u64,
+    /// Slowest observed round trip.
+    pub max_ns: u64,
+    /// Aggregate request throughput across the level's connections.
+    pub throughput_rps: f64,
+}
+
+/// One page-phase row: the same query measured at a fixed sweep
+/// position — `cold_page` (no token, page 1: parse + plan + first
+/// rows) or `deep_page` (the deepest token of the sweep, re-issued;
+/// stateless tokens make any page repeatable).
+pub struct PhaseRow {
+    /// Phase name: `cold_page` or `deep_page`.
+    pub phase: &'static str,
+    /// The measured LPath query.
+    pub lpath: String,
+    /// How many pages into the sweep the measured token sits
+    /// (0 for the cold page).
+    pub page_depth: usize,
+    /// Median round-trip latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 90th percentile round-trip latency.
+    pub p90_ns: u64,
+    /// 99th percentile round-trip latency.
+    pub p99_ns: u64,
+    /// Slowest observed round trip.
+    pub max_ns: u64,
+}
+
+/// Everything the `server` mode measures.
+pub struct ServerReport {
+    /// WSJ corpus scale (sentences).
+    pub wsj_sentences: usize,
+    /// Service shard count behind the server.
+    pub shards: usize,
+    /// Page limit used for every `eval_page` request.
+    pub page_limit: usize,
+    /// Latency under 1, 2, 4, 8 concurrent connections.
+    pub per_concurrency: Vec<ConcurrencyRow>,
+    /// Cold first page vs deepest token page.
+    pub page_phases: Vec<PhaseRow>,
+}
+
+impl ServerReport {
+    /// Render the report in the repository's `BENCH_*.json` house
+    /// style (hand-built, one row object per line).
+    pub fn to_json(&self) -> String {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"server\",\n");
+        json.push_str(&format!("  \"wsj_sentences\": {},\n", self.wsj_sentences));
+        json.push_str(&format!("  \"service_shards\": {},\n", self.shards));
+        json.push_str(&format!("  \"page_limit\": {},\n", self.page_limit));
+        json.push_str("  \"per_concurrency\": [\n");
+        for (i, r) in self.per_concurrency.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"connections\": {}, \"requests\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {}, \"throughput_rps\": {:.3}}}{}\n",
+                r.connections,
+                r.requests,
+                r.p50_ns,
+                r.p90_ns,
+                r.p99_ns,
+                r.max_ns,
+                r.throughput_rps,
+                if i + 1 < self.per_concurrency.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str("  \"page_phases\": [\n");
+        for (i, r) in self.page_phases.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"phase\": {:?}, \"lpath\": {:?}, \"page_depth\": {}, \"p50_ns\": {}, \
+                 \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+                r.phase,
+                r.lpath,
+                r.page_depth,
+                r.p50_ns,
+                r.p90_ns,
+                r.p99_ns,
+                r.max_ns,
+                if i + 1 < self.page_phases.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        json.push_str("  ]\n");
+        json.push_str("}\n");
+        json
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set.
+/// Returns 0 for an empty set (an empty level is caught by the
+/// validator, not here).
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Validate the shape of a `BENCH_server.json` document: required
+/// keys present, every percentile row monotone
+/// (`p50 ≤ p90 ≤ p99 ≤ max`), at least one concurrency level with
+/// ≥ 4 connections (the acceptance bar), and both page phases
+/// present. Returns the first problem found.
+pub fn validate(json: &str) -> Result<(), String> {
+    for key in [
+        "\"bench\": \"server\"",
+        "\"per_concurrency\"",
+        "\"page_phases\"",
+        "\"throughput_rps\"",
+        "\"cold_page\"",
+        "\"deep_page\"",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing {key}"));
+        }
+    }
+    let mut rows = 0;
+    let mut max_connections = 0u64;
+    for line in json.lines().filter(|l| l.contains("\"p50_ns\"")) {
+        rows += 1;
+        let get = |key: &str| -> Result<u64, String> {
+            crate::metrics::field(line, key).ok_or_else(|| format!("row missing {key}: {line}"))
+        };
+        let (p50, p90, p99, max) = (
+            get("p50_ns")?,
+            get("p90_ns")?,
+            get("p99_ns")?,
+            get("max_ns")?,
+        );
+        if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+            return Err(format!(
+                "percentiles not monotone (p50 {p50}, p90 {p90}, p99 {p99}, max {max}): {line}"
+            ));
+        }
+        if let Some(connections) = crate::metrics::field::<u64>(line, "connections") {
+            max_connections = max_connections.max(connections);
+            let rps: f64 = crate::metrics::field(line, "throughput_rps")
+                .ok_or_else(|| format!("row missing throughput_rps: {line}"))?;
+            if !rps.is_finite() || rps <= 0.0 {
+                return Err(format!("throughput_rps {rps} not finite and > 0: {line}"));
+            }
+        }
+    }
+    if rows == 0 {
+        return Err("no percentile rows".to_string());
+    }
+    if max_connections < 4 {
+        return Err(format!(
+            "no concurrency level with >= 4 connections (max seen: {max_connections})"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServerReport {
+        let level = |connections: usize| ConcurrencyRow {
+            connections,
+            requests: 230 * connections,
+            p50_ns: 40_000,
+            p90_ns: 90_000,
+            p99_ns: 200_000,
+            max_ns: 1_000_000,
+            throughput_rps: 12_000.0,
+        };
+        ServerReport {
+            wsj_sentences: 300,
+            shards: 4,
+            page_limit: 25,
+            per_concurrency: vec![level(1), level(2), level(4), level(8)],
+            page_phases: vec![
+                PhaseRow {
+                    phase: "cold_page",
+                    lpath: "//NP".into(),
+                    page_depth: 0,
+                    p50_ns: 60_000,
+                    p90_ns: 80_000,
+                    p99_ns: 120_000,
+                    max_ns: 130_000,
+                },
+                PhaseRow {
+                    phase: "deep_page",
+                    lpath: "//NP".into(),
+                    page_depth: 37,
+                    p50_ns: 45_000,
+                    p90_ns: 70_000,
+                    p99_ns: 100_000,
+                    max_ns: 110_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        validate(&report().to_json()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_percentiles() {
+        let mut r = report();
+        r.per_concurrency[2].p99_ns = 1; // below p90
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn validator_requires_four_concurrent_connections() {
+        let mut r = report();
+        r.per_concurrency.retain(|row| row.connections < 4);
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains(">= 4 connections"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_missing_keys_and_zero_throughput() {
+        assert!(validate("{}").is_err());
+        let mut r = report();
+        r.per_concurrency[0].throughput_rps = 0.0;
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("throughput_rps"), "{err}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [10, 20, 30, 40];
+        assert_eq!(percentile(&sorted, 50.0), 20);
+        assert_eq!(percentile(&sorted, 90.0), 40);
+        assert_eq!(percentile(&sorted, 99.0), 40);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+}

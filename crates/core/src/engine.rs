@@ -12,7 +12,7 @@ use lpath_check::CheckReport;
 use lpath_model::{label_tree, Corpus, Interner, NodeId};
 use lpath_obs::{Recorder, Span};
 use lpath_relstore::{
-    self as rel, Cmp, ColRef, Cond, Database, OptGoal, PlannerConfig, Schema, Table, TableId,
+    self as rel, wire, Cmp, ColRef, Cond, Database, OptGoal, PlannerConfig, Schema, Table, TableId,
     Value, NULL,
 };
 use lpath_syntax::{parse, Path, SyntaxError};
@@ -439,9 +439,10 @@ impl Engine {
             Some(c) => c,
             None => {
                 let cq = self.translate(ast)?;
+                let plan_k = limit.clamp(1, usize::MAX / 2);
                 let cfg = PlannerConfig {
                     order: self.planner.order,
-                    goal: OptGoal::FirstRows(limit.clamp(1, usize::MAX / 2)),
+                    goal: OptGoal::FirstRows(plan_k),
                 };
                 let plan = if self.check_ast(ast).statically_empty {
                     rel::Plan::constant_empty()
@@ -463,10 +464,12 @@ impl Engine {
                 };
                 QueryCheckpoint {
                     pending: Vec::new(),
+                    plan_k,
                     state,
                 }
             }
         };
+        let plan_k = ckpt.plan_k;
         // Rows already enumerated by an earlier call are served first;
         // when they cover the whole page, no strategy work runs at
         // all (no re-plan, no cursor resume).
@@ -491,6 +494,7 @@ impl Engine {
         } else {
             Some(QueryCheckpoint {
                 pending: ready,
+                plan_k,
                 state: if exhausted {
                     ResumeState::Drained
                 } else {
@@ -623,6 +627,75 @@ impl Engine {
             }
             rel::AccessPath::FullScan => false,
         }
+    }
+
+    /// Decode a [`QueryCheckpoint`] for `ast` from untrusted bytes.
+    ///
+    /// The strategy's plan is rebuilt here — translate, then plan with
+    /// the `FirstRows(k)` goal the token carries — exactly as the
+    /// first [`Engine::query_resume`] call built it, so over the same
+    /// engine content the resumed execution is byte-identical to one
+    /// that never left the process. Every structural claim the token
+    /// makes is validated against that rebuilt plan (see
+    /// [`lpath_relstore::CursorCheckpoint::decode`]); any mismatch —
+    /// truncation, corruption, a token from a different query or
+    /// different corpus content — is a [`wire::WireError`], never a
+    /// panic.
+    pub fn decode_checkpoint(
+        &self,
+        ast: &Path,
+        r: &mut wire::Reader<'_>,
+    ) -> Result<QueryCheckpoint, wire::WireError> {
+        use wire::WireError::Malformed;
+        let plan_k = r.usize()?;
+        if plan_k == 0 || plan_k > usize::MAX / 2 {
+            return Err(Malformed("plan goal out of range"));
+        }
+        let pending = decode_rows(r)?;
+        let state = match r.u8()? {
+            0 => ResumeState::Drained,
+            tag @ (1 | 2) => {
+                let cq = self
+                    .translate(ast)
+                    .map_err(|_| Malformed("query has no relational translation"))?;
+                let cfg = PlannerConfig {
+                    order: self.planner.order,
+                    goal: OptGoal::FirstRows(plan_k),
+                };
+                let plan = if self.check_ast(ast).statically_empty {
+                    rel::Plan::constant_empty()
+                } else {
+                    rel::plan(&self.db, &cq, &cfg)
+                };
+                if tag == 1 {
+                    if !self.tid_ordered_anchor(&plan) {
+                        return Err(Malformed("stream checkpoint for a non-streaming plan"));
+                    }
+                    let cursor = rel::CursorCheckpoint::decode(r, &plan, &self.db)?;
+                    let buf = decode_rows(r)?;
+                    ResumeState::Stream {
+                        plan: Box::new(plan),
+                        cursor,
+                        buf,
+                    }
+                } else {
+                    if self.tid_ordered_anchor(&plan) {
+                        return Err(Malformed("chunked checkpoint for a streaming plan"));
+                    }
+                    let next_tree = r.usize()?;
+                    ResumeState::Chunked {
+                        plan: Box::new(plan),
+                        next_tree: next_tree.min(self.ntrees),
+                    }
+                }
+            }
+            _ => return Err(Malformed("resume strategy tag")),
+        };
+        Ok(QueryCheckpoint {
+            pending,
+            plan_k,
+            state,
+        })
     }
 
     /// [`Engine::query_limit_ast`] with an explicit optimization goal —
@@ -902,6 +975,12 @@ pub type Resumed = (Vec<(u32, NodeId)>, Option<QueryCheckpoint>);
 pub struct QueryCheckpoint {
     /// Document-ordered rows enumerated past the last emitted page.
     pending: Vec<(u32, NodeId)>,
+    /// The `FirstRows(k)` goal the strategy's plan was built with at
+    /// the first call. Carried so a checkpoint serialized to the wire
+    /// does not need to carry the plan itself: decoding re-plans the
+    /// same query with the same goal over the same engine content,
+    /// which is deterministic and lands on the identical plan.
+    plan_k: usize,
     state: ResumeState,
 }
 
@@ -925,6 +1004,50 @@ impl QueryCheckpoint {
             _ => 0,
         }
     }
+
+    /// Serialize this checkpoint into `w`.
+    ///
+    /// The plan is **not** written: tokens carry the `FirstRows(k)`
+    /// goal it was built with instead, and
+    /// [`Engine::decode_checkpoint`] re-plans deterministically. That
+    /// keeps tokens small and — more importantly — means a decoded
+    /// token can never inject a forged plan: the plan that executes is
+    /// always the server's own.
+    pub fn encode_into(&self, w: &mut wire::Writer) {
+        w.usize(self.plan_k);
+        encode_rows(w, &self.pending);
+        match &self.state {
+            ResumeState::Drained => w.u8(0),
+            ResumeState::Stream { cursor, buf, .. } => {
+                w.u8(1);
+                cursor.encode_into(w);
+                encode_rows(w, buf);
+            }
+            ResumeState::Chunked { next_tree, .. } => {
+                w.u8(2);
+                w.usize(*next_tree);
+            }
+        }
+    }
+}
+
+/// Write a `(tree id, node)` row list, length-prefixed.
+fn encode_rows(w: &mut wire::Writer, rows: &[(u32, NodeId)]) {
+    w.usize(rows.len());
+    for &(tid, node) in rows {
+        w.u32(tid);
+        w.u32(node.0);
+    }
+}
+
+/// Read a row list written by [`encode_rows`] from untrusted bytes.
+fn decode_rows(r: &mut wire::Reader<'_>) -> Result<Vec<(u32, NodeId)>, wire::WireError> {
+    let n = r.seq_len(8)?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push((r.u32()?, NodeId(r.u32()?)));
+    }
+    Ok(rows)
 }
 
 /// The strategy-specific half of a [`QueryCheckpoint`].

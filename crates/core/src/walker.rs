@@ -8,6 +8,7 @@
 //! is differentially tested against.
 
 use lpath_model::{label, label_tree, Corpus, Label, NodeId, Tree};
+use lpath_relstore::wire;
 use lpath_syntax::{Axis, CmpOp, NodeTest, Path, PosRhs, Pred, Step};
 
 use crate::compile::{axis_rel, is_reverse_axis};
@@ -39,6 +40,35 @@ impl Point {
 pub struct WalkerCheckpoint {
     next_tree: usize,
     pending: Vec<(u32, NodeId)>,
+}
+
+impl WalkerCheckpoint {
+    /// Serialize this checkpoint into `w` (the walker-strategy half of
+    /// a wire token; see [`crate::QueryCheckpoint::encode_into`]).
+    pub fn encode_into(&self, w: &mut wire::Writer) {
+        w.usize(self.next_tree);
+        w.usize(self.pending.len());
+        for &(tid, node) in &self.pending {
+            w.u32(tid);
+            w.u32(node.0);
+        }
+    }
+
+    /// Decode a checkpoint from untrusted bytes. `ntrees` bounds the
+    /// scan position: a resume point past the corpus is clamped to
+    /// "exhausted" rather than trusted.
+    pub fn decode(
+        r: &mut wire::Reader<'_>,
+        ntrees: usize,
+    ) -> Result<WalkerCheckpoint, wire::WireError> {
+        let next_tree = r.usize()?.min(ntrees);
+        let n = r.seq_len(8)?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending.push((r.u32()?, NodeId(r.u32()?)));
+        }
+        Ok(WalkerCheckpoint { next_tree, pending })
+    }
 }
 
 /// Tree-walking evaluator over a corpus. Labels every tree once at

@@ -64,6 +64,7 @@ use crate::catalog::Database;
 use crate::plan::{resolve_bound, run_check, Frame, JoinStep, Plan};
 use crate::table::RowId;
 use crate::value::Value;
+use crate::wire;
 
 /// Observed per-step execution counts — the *actual* side of the
 /// planner's estimated costs, maintained by every cursor at the price
@@ -194,6 +195,149 @@ impl CursorCheckpoint {
     /// cursor over a finished checkpoint yields nothing (cheaply).
     pub fn exhausted(&self) -> bool {
         self.done
+    }
+
+    /// Serialize the checkpoint into `w` (the deterministic half of a
+    /// wire token: the dedup watermarks are written sorted, so
+    /// encoding the same logical state always yields the same bytes).
+    pub fn encode_into(&self, w: &mut wire::Writer) {
+        w.usize(self.bindings.len());
+        for b in &self.bindings {
+            w.u32(b.0);
+        }
+        w.usize(self.levels.len());
+        for level in &self.levels {
+            match level {
+                LevelPos::Scan { next } => {
+                    w.u8(0);
+                    w.u64(u64::from(*next));
+                }
+                LevelPos::Rows { pos } => {
+                    w.u8(1);
+                    w.usize(*pos);
+                }
+            }
+        }
+        w.bool(self.primed);
+        w.bool(self.done);
+        let mut narrow: Vec<u64> = self.seen_narrow.iter().copied().collect();
+        narrow.sort_unstable();
+        w.usize(narrow.len());
+        for v in narrow {
+            w.u64(v);
+        }
+        let mut wide: Vec<&Vec<Value>> = self.seen_wide.iter().collect();
+        wide.sort_unstable();
+        w.usize(wide.len());
+        for tuple in wide {
+            w.usize(tuple.len());
+            for &v in tuple {
+                w.u32(v);
+            }
+        }
+        w.usize(self.obs.len());
+        for o in &self.obs {
+            w.u64(o.probes);
+            w.u64(o.candidates);
+            w.u64(o.residual_evals);
+            w.u64(o.rows_out);
+        }
+    }
+
+    /// Decode a checkpoint from untrusted bytes, validated against the
+    /// `plan` and `db` it claims to resume over: the alias count must
+    /// match the plan, each open stage's recorded kind must agree with
+    /// the plan's access path, and every binding an open stage has
+    /// fixed must reference a real row of its alias's table. A
+    /// checkpoint this accepts can be fed to [`Cursor::resume`]
+    /// without tripping its shape assertions.
+    pub fn decode(
+        r: &mut wire::Reader<'_>,
+        plan: &Plan,
+        db: &Database,
+    ) -> Result<CursorCheckpoint, wire::WireError> {
+        use wire::WireError::Malformed;
+        let nbind = r.seq_len(4)?;
+        if nbind != plan.alias_tables.len() {
+            return Err(Malformed("alias count does not match plan"));
+        }
+        let mut bindings = Vec::with_capacity(nbind);
+        for _ in 0..nbind {
+            bindings.push(RowId(r.u32()?));
+        }
+        let nlevels = r.seq_len(2)?;
+        if nlevels > plan.steps.len() {
+            return Err(Malformed("more open stages than plan steps"));
+        }
+        let mut levels = Vec::with_capacity(nlevels);
+        for d in 0..nlevels {
+            let level = match r.u8()? {
+                0 => LevelPos::Scan {
+                    next: u32::try_from(r.u64()?).unwrap_or(u32::MAX),
+                },
+                1 => LevelPos::Rows { pos: r.usize()? },
+                _ => return Err(Malformed("level kind")),
+            };
+            let scan = matches!(level, LevelPos::Scan { .. });
+            let wants_scan = matches!(plan.steps[d].access, crate::plan::AccessPath::FullScan);
+            if scan != wants_scan {
+                return Err(Malformed("stage kind disagrees with plan access path"));
+            }
+            levels.push(level);
+        }
+        // Every alias a suspended open stage has bound must point at a
+        // real row — those bindings are read when checks run and when
+        // deeper probes resolve their keys. Aliases beyond the open
+        // stages keep their placeholder and are never read before
+        // being rebound, so they need no constraint.
+        for step in &plan.steps[..nlevels] {
+            let rows = db.table(step.table).num_rows();
+            if bindings[step.alias].0 as usize >= rows {
+                return Err(Malformed("binding references a missing row"));
+            }
+        }
+        let primed = r.bool()?;
+        let done = r.bool()?;
+        if !primed && nlevels > 0 {
+            return Err(Malformed("open stages on an unprimed cursor"));
+        }
+        let n_narrow = r.seq_len(8)?;
+        let mut seen_narrow = HashSet::with_capacity(n_narrow);
+        for _ in 0..n_narrow {
+            seen_narrow.insert(r.u64()?);
+        }
+        let n_wide = r.seq_len(8)?;
+        let mut seen_wide = HashSet::with_capacity(n_wide);
+        for _ in 0..n_wide {
+            let tlen = r.seq_len(4)?;
+            let mut tuple = Vec::with_capacity(tlen);
+            for _ in 0..tlen {
+                tuple.push(r.u32()?);
+            }
+            seen_wide.insert(tuple);
+        }
+        let nobs = r.seq_len(32)?;
+        if nobs != plan.steps.len() {
+            return Err(Malformed("observation count does not match plan"));
+        }
+        let mut obs = Vec::with_capacity(nobs);
+        for _ in 0..nobs {
+            obs.push(StepObs {
+                probes: r.u64()?,
+                candidates: r.u64()?,
+                residual_evals: r.u64()?,
+                rows_out: r.u64()?,
+            });
+        }
+        Ok(CursorCheckpoint {
+            bindings,
+            levels,
+            primed,
+            done,
+            seen_narrow,
+            seen_wide,
+            obs,
+        })
     }
 
     /// The per-step observed counts accumulated up to the suspension
@@ -391,8 +535,12 @@ impl<'a> Cursor<'a> {
             match (&mut cands, saved) {
                 (Cands::Scan { next, .. }, LevelPos::Scan { next: n }) => *next = *n,
                 (Cands::Rows { rows, pos }, LevelPos::Rows { pos: p }) => {
-                    debug_assert!(*p <= rows.len());
-                    *pos = *p;
+                    // A legitimate checkpoint's position is always
+                    // within the re-run probe's slice; clamping (not
+                    // asserting) keeps decoded-from-the-wire state —
+                    // validated structurally, but not against this
+                    // probe — safe: past-the-end means exhausted.
+                    *pos = (*p).min(rows.len());
                 }
                 _ => panic!("checkpoint stage {d} disagrees with the plan's access path"),
             }

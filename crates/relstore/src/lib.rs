@@ -71,6 +71,7 @@ pub mod sql;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod wire;
 
 pub use catalog::{Database, IndexId, TableId};
 pub use cursor::{
@@ -86,3 +87,4 @@ pub use sql::{ConjQuery, SubQuery};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{RowId, Table};
 pub use value::{Cmp, Value, NULL};
+pub use wire::WireError;

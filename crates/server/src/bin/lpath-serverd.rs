@@ -1,0 +1,82 @@
+//! `lpath-serverd` — serve a treebank over the line-delimited JSON
+//! protocol.
+//!
+//! ```text
+//! lpath-serverd [--addr HOST:PORT] [--shards N] [--max-conns N] [CORPUS.ptb]
+//! ```
+//!
+//! Without a corpus file, a deterministic synthetic WSJ-profile
+//! corpus of 500 sentences is served (handy for smoke tests).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use lpath_model::ptb::parse_str;
+use lpath_model::{generate, GenConfig};
+use lpath_server::{serve, ServerConfig};
+use lpath_service::{Service, ServiceConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("lpath-serverd: {msg}");
+            eprintln!(
+                "usage: lpath-serverd [--addr HOST:PORT] [--shards N] [--max-conns N] [CORPUS.ptb]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut svc_cfg = ServiceConfig::default();
+    let mut srv_cfg = ServerConfig::default();
+    let mut corpus_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag_value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = flag_value("--addr")?,
+            "--shards" => {
+                svc_cfg.shards = flag_value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--max-conns" => {
+                srv_cfg.max_connections = flag_value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--help" | "-h" => return Err("help requested".into()),
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            path => corpus_path = Some(path.to_string()),
+        }
+    }
+
+    let corpus = match &corpus_path {
+        Some(path) => {
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            parse_str(&src).map_err(|e| format!("cannot parse {path}: {e}"))?
+        }
+        None => generate(&GenConfig::wsj(500)),
+    };
+    eprintln!(
+        "lpath-serverd: serving {} trees ({}) on {addr}",
+        corpus.trees().len(),
+        corpus_path.as_deref().unwrap_or("synthetic WSJ profile"),
+    );
+    let svc = Arc::new(Service::with_config(&corpus, svc_cfg));
+    let handle = serve(svc, addr.as_str(), srv_cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    eprintln!("lpath-serverd: listening on {}", handle.addr());
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,184 @@
+//! Request dispatch and response rendering: one untrusted JSON line
+//! in, one JSON line out. All rendering is hand-built on
+//! [`lpath_obs::json::escape`]; all parsing goes through the bounded
+//! [`lpath_obs::json::parse`].
+
+use lpath_model::NodeId;
+use lpath_obs::json::{self, Value};
+use lpath_service::{Service, ServiceError};
+
+use crate::ServerConfig;
+
+/// Error codes the protocol can answer with. Stable strings: clients
+/// branch on them (`bad_token` → drop the token and restart the
+/// sweep; `overloaded` → back off and retry).
+const CODE_BAD_REQUEST: &str = "bad_request";
+
+/// Handle one request line, returning the response line (no trailing
+/// newline). Never panics: every malformed input maps to a typed
+/// error response.
+pub(crate) fn handle(svc: &Service, line: &[u8], cfg: &ServerConfig) -> String {
+    let Ok(text) = std::str::from_utf8(line) else {
+        return error_line(None, CODE_BAD_REQUEST, "request is not UTF-8");
+    };
+    let req = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return error_line(None, CODE_BAD_REQUEST, &e.to_string()),
+    };
+    let id = req.get("id").and_then(Value::as_u64);
+    let Some(method) = req.get("method").and_then(Value::as_str) else {
+        return error_line(id, CODE_BAD_REQUEST, "missing string field 'method'");
+    };
+    let params = req.get("params");
+    match dispatch(svc, method, params, cfg) {
+        Ok(result) => {
+            let mut out = String::with_capacity(result.len() + 32);
+            out.push_str("{\"id\": ");
+            push_id(&mut out, id);
+            out.push_str(", \"ok\": true, \"result\": ");
+            out.push_str(&result);
+            out.push('}');
+            out
+        }
+        Err((code, message)) => error_line(id, code, &message),
+    }
+}
+
+/// Render an error response line (no trailing newline).
+pub(crate) fn error_line(id: Option<u64>, code: &str, message: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\": ");
+    push_id(&mut out, id);
+    out.push_str(&format!(
+        ", \"ok\": false, \"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
+        json::escape(code),
+        json::escape(message)
+    ));
+    out
+}
+
+fn push_id(out: &mut String, id: Option<u64>) {
+    match id {
+        Some(n) => out.push_str(&n.to_string()),
+        None => out.push_str("null"),
+    }
+}
+
+type MethodError = (&'static str, String);
+
+fn dispatch(
+    svc: &Service,
+    method: &str,
+    params: Option<&Value>,
+    cfg: &ServerConfig,
+) -> Result<String, MethodError> {
+    match method {
+        "eval" => {
+            let rows = svc.eval(query_param(params)?).map_err(service_error)?;
+            Ok(format!(
+                "{{\"rows\": {}, \"n\": {}}}",
+                rows_json(&rows),
+                rows.len()
+            ))
+        }
+        "eval_page" => {
+            let query = query_param(params)?;
+            let token = match params.and_then(|p| p.get("token")) {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(t)) => Some(t.as_str()),
+                Some(_) => return Err(bad_request("field 'token' must be a string")),
+            };
+            let limit =
+                match params.and_then(|p| p.get("limit")) {
+                    None => cfg.default_page_limit,
+                    Some(v) => usize::try_from(v.as_u64().ok_or_else(|| {
+                        bad_request("field 'limit' must be a non-negative integer")
+                    })?)
+                    .map_err(|_| bad_request("field 'limit' out of range"))?,
+                };
+            let page = svc
+                .eval_page_token(query, token, limit)
+                .map_err(service_error)?;
+            let token_json = page.token.map_or_else(
+                || "null".to_string(),
+                |t| format!("\"{}\"", json::escape(&t)),
+            );
+            Ok(format!(
+                "{{\"rows\": {}, \"token\": {token_json}}}",
+                rows_json(&page.rows)
+            ))
+        }
+        "count" => {
+            let n = svc.count(query_param(params)?).map_err(service_error)?;
+            Ok(format!("{{\"count\": {n}}}"))
+        }
+        "exists" => {
+            let found = svc.exists(query_param(params)?).map_err(service_error)?;
+            Ok(format!("{{\"exists\": {found}}}"))
+        }
+        "check" => {
+            let report = svc.check(query_param(params)?).map_err(service_error)?;
+            Ok(format!("{{\"report\": {}}}", one_line(&report.to_json())))
+        }
+        "metrics" => Ok(format!(
+            "{{\"metrics\": {}}}",
+            one_line(&svc.metrics().to_json())
+        )),
+        "append_ptb" => {
+            let src = params
+                .and_then(|p| p.get("src"))
+                .and_then(Value::as_str)
+                .ok_or_else(|| bad_request("missing string field 'src'"))?;
+            let added = svc.append_ptb(src).map_err(service_error)?;
+            Ok(format!(
+                "{{\"added\": {added}, \"generation\": {}}}",
+                svc.generation()
+            ))
+        }
+        other => Err(bad_request(&format!("unknown method '{other}'"))),
+    }
+}
+
+fn query_param(params: Option<&Value>) -> Result<&str, MethodError> {
+    params
+        .and_then(|p| p.get("query"))
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad_request("missing string field 'query'"))
+}
+
+fn bad_request(message: &str) -> MethodError {
+    (CODE_BAD_REQUEST, message.to_string())
+}
+
+/// Map service failures onto stable protocol codes.
+fn service_error(e: ServiceError) -> MethodError {
+    let code = match &e {
+        ServiceError::Syntax(_) => "syntax",
+        ServiceError::Corpus(_) => "corpus",
+        ServiceError::BadShard(_) => "bad_shard",
+        ServiceError::BadToken(_) => "bad_token",
+    };
+    (code, e.to_string())
+}
+
+/// `[[tid, node], …]` — the match list in document order.
+fn rows_json(rows: &[(u32, NodeId)]) -> String {
+    let mut out = String::with_capacity(rows.len() * 8 + 2);
+    out.push('[');
+    for (i, (tid, node)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("[{tid}, {}]", node.index()));
+    }
+    out.push(']');
+    out
+}
+
+/// Collapse a multi-line JSON rendering (the house `to_json` style is
+/// indented) onto one protocol line. Safe because [`json::escape`]
+/// never leaves a raw newline inside a string literal — every `\n` in
+/// the rendering is structural whitespace.
+fn one_line(s: &str) -> String {
+    s.replace('\n', " ")
+}

@@ -79,6 +79,7 @@ pub mod cache;
 pub mod plan;
 pub mod shard;
 pub mod stats;
+pub mod token;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -95,9 +96,10 @@ use cache::{CountCache, PrefixCache, PrefixEntry, ResultCache};
 pub use lpath_check::{CheckReport, Diagnostic, Severity};
 pub use lpath_obs::HistogramSnapshot;
 pub use plan::{required_symbols, CompiledQuery, ExecStrategy};
-pub use shard::{Shard, ShardCheckpoint};
+pub use shard::{Shard, ShardCheckpoint, StaleCheckpoint};
 use stats::{Class, Counters, Instruments};
 pub use stats::{ClassMetrics, Metrics, ServiceStats, ShardStats, SlowQuery};
+pub use token::Page;
 
 /// Everything that can go wrong answering a service request.
 ///
@@ -112,6 +114,11 @@ pub enum ServiceError {
     Corpus(ModelError),
     /// A requested shard id is out of range.
     BadShard(u16),
+    /// An echoed paging token is malformed: truncated, corrupted,
+    /// version-skewed, or minted for a different query. (A merely
+    /// *stale* token — valid bytes from before an append — is not an
+    /// error: [`Service::eval_page_token`] recovers from it silently.)
+    BadToken(lpath_relstore::WireError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -120,6 +127,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Syntax(e) => e.fmt(f),
             ServiceError::Corpus(e) => e.fmt(f),
             ServiceError::BadShard(id) => write!(f, "shard {id} out of range"),
+            ServiceError::BadToken(e) => write!(f, "bad paging token: {e}"),
         }
     }
 }
@@ -254,7 +262,7 @@ impl Service {
             cfg.threads
         };
         let master = corpus.clone();
-        let shards = build_shards(&master, cfg.shards, threads);
+        let shards = build_shards(&master, cfg.shards, threads, 0);
         Service {
             cfg,
             threads,
@@ -677,16 +685,29 @@ impl Service {
                     self.prefixes.lock().unwrap().remove_match(&key, &entry);
                     let PrefixEntry { rows, ckpt } = entry;
                     let ckpt = Arc::try_unwrap(ckpt).unwrap_or_else(|shared| (*shared).clone());
-                    let (more, next) = shard.eval_resume(&compiled, Some(ckpt), delta);
-                    let mut rows = Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone());
-                    rows.extend(more);
-                    (rows, next)
+                    match shard.eval_resume(&compiled, Some(ckpt), delta) {
+                        Ok((more, next)) => {
+                            let mut rows =
+                                Arc::try_unwrap(rows).unwrap_or_else(|shared| (*shared).clone());
+                            rows.extend(more);
+                            (rows, next)
+                        }
+                        // The prefix cache is keyed by build id, so a
+                        // stale checkpoint here means the entry raced a
+                        // rebuild; its rows belong to the old content
+                        // too. Degrade to a fresh bounded evaluation.
+                        Err(_) => {
+                            self.counters.stale_checkpoints.bump();
+                            evals += 1;
+                            shard.eval_limit(&compiled, remaining)
+                        }
+                    }
                 }
                 None => {
                     self.counters.result_misses.bump();
                     self.counters.page_partial_evals.bump();
                     evals += 1;
-                    shard.eval_resume(&compiled, None, remaining)
+                    shard.eval_limit(&compiled, remaining)
                 }
             };
             let rows = Arc::new(rows);
@@ -921,8 +942,13 @@ impl Service {
         let tail = st.shards.len() - 1;
         let tail_start = st.shards[tail].base() as usize;
         let tail_len = st.master.trees().len() - tail_start;
-        st.shards[tail] = Arc::new(Shard::build(&st.master, tail_start, tail_len));
         st.generation += 1;
+        st.shards[tail] = Arc::new(Shard::build(
+            &st.master,
+            tail_start,
+            tail_len,
+            st.generation,
+        ));
         self.counters.appends.bump();
         drop(st);
         // The per-shard count cache survives an append: its entries
@@ -938,8 +964,8 @@ impl Service {
     pub fn swap_corpus(&self, corpus: &Corpus) {
         let mut st = self.state.write().unwrap();
         st.master = corpus.clone();
-        st.shards = build_shards(&st.master, self.cfg.shards, self.threads);
         st.generation += 1;
+        st.shards = build_shards(&st.master, self.cfg.shards, self.threads, st.generation);
         self.counters.swaps.bump();
         drop(st);
         self.invalidate();
@@ -1020,6 +1046,9 @@ impl Service {
             shard_evals: load(&c.shard_evals),
             shards_pruned: load(&c.shards_pruned),
             statically_empty: load(&c.statically_empty),
+            stale_checkpoints: load(&c.stale_checkpoints),
+            tokens_minted: load(&c.tokens_minted),
+            tokens_rejected: load(&c.tokens_rejected),
             appends: load(&c.appends),
             swaps: load(&c.swaps),
             per_shard,
@@ -1066,12 +1095,13 @@ fn partition(n: usize, k: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Build all shards, in parallel when `threads > 1`.
-fn build_shards(master: &Corpus, k: usize, threads: usize) -> Vec<Arc<Shard>> {
+/// Build all shards, in parallel when `threads > 1`, stamped with the
+/// corpus `generation` they belong to (see [`Shard::build_id`]).
+fn build_shards(master: &Corpus, k: usize, threads: usize, generation: u64) -> Vec<Arc<Shard>> {
     let parts = partition(master.trees().len(), k);
     fan_out(threads, parts.len(), |i| {
         let (start, len) = parts[i];
-        Arc::new(Shard::build(master, start, len))
+        Arc::new(Shard::build(master, start, len, generation))
     })
 }
 

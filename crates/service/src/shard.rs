@@ -1,12 +1,12 @@
 //! One shard: a contiguous slice of the corpus with its own relational
 //! engine, symbol-presence index and tree-id offset.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use lpath_core::{Engine, QueryCheckpoint, Walker, WalkerCheckpoint};
 use lpath_model::{label_tree, Corpus, Label, NodeId};
+use lpath_relstore::wire;
 
 use crate::plan::{CompiledQuery, ExecStrategy};
 use crate::stats::ShardStats;
@@ -31,51 +31,156 @@ pub struct Shard {
     /// names, attribute names and attribute values that occur in this
     /// shard's trees.
     present: Vec<u64>,
-    /// Process-unique id of this build, used to scope caches to the
-    /// shard's *content*: an append rebuilds only the tail shard, so
-    /// the other shards keep their build id — and everything cached
-    /// against it — across the corpus generation bump.
+    /// Content-derived id of this build, used to scope caches — and
+    /// serialized checkpoint tokens — to the shard's *content*: an
+    /// append rebuilds only the tail shard, so the other shards keep
+    /// their build id (and everything cached against it) across the
+    /// corpus generation bump. Derived by a stable hash over the
+    /// shard's tree data plus the corpus generation it was built at,
+    /// so the same content in a different process yields the same id:
+    /// a token minted before a restart resumes against an identical
+    /// rebuild and is deterministically rejected against anything
+    /// else. (A process-local counter here would make cross-restart
+    /// tokens meaningless — and, worse, could spuriously *match* a
+    /// fresh process's counter.)
     build_id: u64,
     build_time: Duration,
 }
-
-/// Process-wide build-id counter (never reused, never zero).
-static NEXT_BUILD_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A suspended per-shard page enumeration: the execution strategy's
 /// own checkpoint ([`lpath_core::QueryCheckpoint`] for the relational
 /// engine, [`lpath_core::WalkerCheckpoint`] for the walker fallback)
 /// tagged with the [`Shard::build_id`] it belongs to.
 ///
-/// The tag makes misuse loud: a checkpoint resumed against a shard
-/// whose content has changed (the tail shard after an
+/// The tag makes misuse *recoverable*: a checkpoint resumed against a
+/// shard whose content has changed (the tail shard after an
 /// `append_ptb`-triggered rebuild) would silently yield rows of the
-/// wrong corpus slice, so [`Shard::eval_resume`] panics instead.
-/// The service never trips this — its prefix cache scopes entries to
-/// the same build id — but the assertion keeps the contract honest
-/// for direct callers.
+/// wrong corpus slice, so [`Shard::eval_resume`] returns a typed
+/// [`StaleCheckpoint`] error instead — never a panic, because with
+/// serialized tokens a stale checkpoint is an expected runtime event
+/// (an echoed token from before an append), not a caller bug. The
+/// service degrades to a fresh evaluation when it sees one.
 #[derive(Clone, Debug)]
 pub struct ShardCheckpoint {
     build_id: u64,
     inner: Resume,
 }
 
+/// A checkpoint was presented to a shard build it does not belong to
+/// — its suspended positions index into different content and cannot
+/// be continued correctly. Recoverable: re-evaluate the shard from
+/// the start and skip the rows already served.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StaleCheckpoint {
+    /// The build the checkpoint was suspended against.
+    pub checkpoint_build: u64,
+    /// The build of the shard it was presented to.
+    pub shard_build: u64,
+}
+
+impl std::fmt::Display for StaleCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale checkpoint: suspended against shard build {:#x}, presented to {:#x}",
+            self.checkpoint_build, self.shard_build
+        )
+    }
+}
+
+impl std::error::Error for StaleCheckpoint {}
+
 impl ShardCheckpoint {
     /// The shard build this checkpoint is valid against.
     pub fn build_id(&self) -> u64 {
         self.build_id
     }
+
+    /// Serialize this checkpoint into `w`: the build id it is scoped
+    /// to, the execution strategy, and the strategy's own suspended
+    /// state. [`Shard::decode_checkpoint`] reverses it.
+    pub fn encode_into(&self, w: &mut wire::Writer) {
+        w.u64(self.build_id);
+        match &self.inner {
+            Resume::Engine(c) => {
+                w.u8(0);
+                c.encode_into(w);
+            }
+            Resume::Walker(c) => {
+                w.u8(1);
+                c.encode_into(w);
+            }
+        }
+    }
+}
+
+/// Why a serialized shard checkpoint could not be turned back into a
+/// live one.
+#[derive(Debug)]
+pub enum CheckpointDecodeError {
+    /// The bytes are well-formed but belong to a different shard
+    /// build — recover by re-evaluating (see [`StaleCheckpoint`]).
+    Stale(StaleCheckpoint),
+    /// The bytes are truncated, corrupted or structurally inconsistent
+    /// with this shard's plan for the query — a protocol error.
+    Wire(wire::WireError),
+}
+
+impl From<wire::WireError> for CheckpointDecodeError {
+    fn from(e: wire::WireError) -> Self {
+        CheckpointDecodeError::Wire(e)
+    }
 }
 
 #[derive(Clone, Debug)]
 enum Resume {
-    Engine(QueryCheckpoint),
+    // Boxed: a suspended pipeline is much larger than a walker's
+    // tree index, and checkpoints travel inside cache entries.
+    Engine(Box<QueryCheckpoint>),
     Walker(WalkerCheckpoint),
 }
 
+/// One chunk of a shard's enumeration: rows with *global* tree ids,
+/// plus the checkpoint to continue from (`None` once exhausted).
+pub type ShardPage = (Vec<(u32, NodeId)>, Option<ShardCheckpoint>);
+
+/// FNV-1a over `u32` words — the stable content hash behind
+/// [`Shard::build_id`]. Seeded with the shard's base tree id and the
+/// corpus generation, then fed every node's preorder position data
+/// (interned name, child count, attributes): two builds hash equal
+/// exactly when they cover the same slice of identical tree data at
+/// the same generation — the precise condition under which a
+/// suspended checkpoint (whose positions index into the engine built
+/// from that data) remains resumable.
+struct ContentHash(u64);
+
+impl ContentHash {
+    fn new(base: u32, generation: u64) -> Self {
+        let mut h = ContentHash(0xcbf2_9ce4_8422_2325);
+        h.word(base);
+        h.word(generation as u32);
+        h.word((generation >> 32) as u32);
+        h
+    }
+
+    fn word(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The final id; never zero, so callers can use zero as "no build".
+    fn finish(&self) -> u64 {
+        self.0.max(1)
+    }
+}
+
 impl Shard {
-    /// Build a shard over `master.trees()[start..start + len]`.
-    pub fn build(master: &Corpus, start: usize, len: usize) -> Shard {
+    /// Build a shard over `master.trees()[start..start + len]`, built
+    /// at corpus `generation` (stamped into the content-derived
+    /// [`Shard::build_id`]).
+    pub fn build(master: &Corpus, start: usize, len: usize, generation: u64) -> Shard {
         let t = Instant::now();
         let corpus = master.subcorpus(start..start + len);
         let mut present = vec![0u64; corpus.interner().len().div_ceil(64)];
@@ -85,13 +190,21 @@ impl Shard {
                 *w |= 1 << bit;
             }
         };
+        // One pass feeds both the symbol-presence bitset and the
+        // content hash behind the build id.
+        let mut hash = ContentHash::new(start as u32, generation);
         for tree in corpus.trees() {
+            hash.word(tree.len() as u32);
             for id in tree.preorder() {
                 let node = tree.node(id);
                 mark(node.name.raw());
+                hash.word(node.name.raw());
+                hash.word(node.children.len() as u32);
                 for &(aname, aval) in &node.attrs {
                     mark(aname.raw());
                     mark(aval.raw());
+                    hash.word(aname.raw());
+                    hash.word(aval.raw());
                 }
             }
         }
@@ -102,7 +215,7 @@ impl Shard {
             labels: OnceLock::new(),
             base: start as u32,
             present,
-            build_id: NEXT_BUILD_ID.fetch_add(1, Ordering::Relaxed),
+            build_id: hash.finish(),
             build_time: t.elapsed(),
         }
     }
@@ -185,12 +298,13 @@ impl Shard {
     /// A returned checkpoint of `None` proves the prefix is the
     /// shard's complete result (so does coming back short, which
     /// always yields `None`).
-    pub fn eval_limit(
-        &self,
-        compiled: &CompiledQuery,
-        limit: usize,
-    ) -> (Vec<(u32, NodeId)>, Option<ShardCheckpoint>) {
-        self.eval_resume(compiled, None, limit)
+    pub fn eval_limit(&self, compiled: &CompiledQuery, limit: usize) -> ShardPage {
+        // Starting fresh presents no checkpoint, so staleness is
+        // impossible.
+        match self.eval_resume(compiled, None, limit) {
+            Ok(page) => page,
+            Err(stale) => unreachable!("fresh evaluation reported {stale}"),
+        }
     }
 
     /// Resume (or begin) the shard's document-ordered enumeration: up
@@ -205,22 +319,27 @@ impl Shard {
     /// the walker strategy resumes its tree scan at the next
     /// unvisited tree.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If `checkpoint` carries a different [`Shard::build_id`] — it
-    /// was taken over different shard content and cannot be continued
-    /// correctly.
+    /// [`StaleCheckpoint`] if `checkpoint` carries a different
+    /// [`Shard::build_id`] — it was taken over different shard content
+    /// (an echoed token from before an append, say) and cannot be
+    /// continued correctly. Nothing has been evaluated when this
+    /// returns; the caller recovers by re-enumerating from the start
+    /// and skipping the rows it already served.
     pub fn eval_resume(
         &self,
         compiled: &CompiledQuery,
         checkpoint: Option<ShardCheckpoint>,
         limit: usize,
-    ) -> (Vec<(u32, NodeId)>, Option<ShardCheckpoint>) {
+    ) -> Result<ShardPage, StaleCheckpoint> {
         if let Some(c) = &checkpoint {
-            assert_eq!(
-                c.build_id, self.build_id,
-                "checkpoint belongs to another shard build"
-            );
+            if c.build_id != self.build_id {
+                return Err(StaleCheckpoint {
+                    checkpoint_build: c.build_id,
+                    shard_build: self.build_id,
+                });
+            }
         }
         // Dispatch on the checkpoint's own strategy when resuming (a
         // first call that fell back to the walker must *stay* on the
@@ -235,13 +354,13 @@ impl Shard {
             (Some(Resume::Engine(ck)), _) => {
                 let (rows, next) = self
                     .engine
-                    .query_resume(&compiled.ast, Some(ck), limit)
+                    .query_resume(&compiled.ast, Some(*ck), limit)
                     .expect("a resumed query translated before");
-                (rows, next.map(Resume::Engine))
+                (rows, next.map(|c| Resume::Engine(Box::new(c))))
             }
             (None, ExecStrategy::Relational) => {
                 match self.engine.query_resume(&compiled.ast, None, limit) {
-                    Ok((rows, next)) => (rows, next.map(Resume::Engine)),
+                    Ok((rows, next)) => (rows, next.map(|c| Resume::Engine(Box::new(c)))),
                     // The strategy was decided against an engine of
                     // the same dialect, so this arm should be
                     // unreachable; fall back to the walker rather
@@ -265,7 +384,40 @@ impl Shard {
             build_id: self.build_id,
             inner,
         });
-        (rows, next)
+        Ok((rows, next))
+    }
+
+    /// Decode a [`ShardCheckpoint`] for `compiled` from untrusted
+    /// bytes — the validate half of the token API. The build id is
+    /// checked first: a mismatch is [`CheckpointDecodeError::Stale`]
+    /// without touching the strategy payload (which is only meaningful
+    /// against the build that wrote it). A matching build then
+    /// validates the payload structurally against this shard's engine
+    /// (see [`lpath_core::Engine::decode_checkpoint`]); any
+    /// inconsistency is a recoverable [`CheckpointDecodeError::Wire`],
+    /// never a panic.
+    pub fn decode_checkpoint(
+        &self,
+        compiled: &CompiledQuery,
+        r: &mut wire::Reader<'_>,
+    ) -> Result<ShardCheckpoint, CheckpointDecodeError> {
+        let build_id = r.u64()?;
+        if build_id != self.build_id {
+            return Err(CheckpointDecodeError::Stale(StaleCheckpoint {
+                checkpoint_build: build_id,
+                shard_build: self.build_id,
+            }));
+        }
+        let inner = match r.u8()? {
+            0 => Resume::Engine(Box::new(self.engine.decode_checkpoint(&compiled.ast, r)?)),
+            1 => Resume::Walker(WalkerCheckpoint::decode(r, self.corpus.trees().len())?),
+            _ => {
+                return Err(CheckpointDecodeError::Wire(wire::WireError::Malformed(
+                    "shard resume strategy tag",
+                )))
+            }
+        };
+        Ok(ShardCheckpoint { build_id, inner })
     }
 
     /// Result count on this shard, without materializing the match
@@ -334,7 +486,7 @@ mod tests {
     #[test]
     fn shard_offsets_global_tids() {
         let master = parse_str(SRC).unwrap();
-        let tail = Shard::build(&master, 1, 2);
+        let tail = Shard::build(&master, 1, 2, 0);
         assert_eq!(tail.base(), 1);
         let got = tail.eval(&compiled("//VBD"));
         let tids: Vec<u32> = got.iter().map(|(t, _)| *t).collect();
@@ -344,8 +496,8 @@ mod tests {
     #[test]
     fn presence_pruning_is_sound() {
         let master = parse_str(SRC).unwrap();
-        let head = Shard::build(&master, 0, 1);
-        let tail = Shard::build(&master, 1, 2);
+        let head = Shard::build(&master, 0, 1, 0);
+        let tail = Shard::build(&master, 1, 2, 0);
         // "saw" occurs only in tree 0.
         let q = compiled("//_[@lex=saw]");
         assert!(head.may_match(&q.required));
@@ -361,7 +513,7 @@ mod tests {
     #[test]
     fn shard_equals_engine_on_its_slice() {
         let master = parse_str(SRC).unwrap();
-        let shard = Shard::build(&master, 0, 3);
+        let shard = Shard::build(&master, 0, 3, 0);
         let engine = Engine::build(&master);
         for q in ["//NP", "//VBD->NP", "//S{/VP$}", "//_[@lex=the]"] {
             assert_eq!(shard.eval(&compiled(q)), engine.query(q).unwrap(), "{q}");
@@ -371,7 +523,7 @@ mod tests {
     #[test]
     fn eval_limit_is_a_prefix_of_eval() {
         let master = parse_str(SRC).unwrap();
-        let shard = Shard::build(&master, 1, 2);
+        let shard = Shard::build(&master, 1, 2, 0);
         for q in ["//NP", "//VBD->NP", "//_[@lex=saw]", "//ZZZ"] {
             let c = compiled(q);
             let full = shard.eval(&c);
@@ -394,17 +546,17 @@ mod tests {
     #[test]
     fn eval_resume_extends_without_replay_on_both_strategies() {
         let master = parse_str(SRC).unwrap();
-        let shard = Shard::build(&master, 1, 2);
+        let shard = Shard::build(&master, 1, 2, 0);
         let mut walker_q = compiled("//VP/_[last()]");
         walker_q.strategy = ExecStrategy::Walker;
         for c in [compiled("//NP"), compiled("//VBD->NP"), walker_q] {
             let full = shard.eval(&c);
             for split in 1..=full.len().max(1) {
-                let (head, ckpt) = shard.eval_resume(&c, None, split);
+                let (head, ckpt) = shard.eval_resume(&c, None, split).unwrap();
                 assert_eq!(head, full[..split.min(full.len())]);
                 let Some(ckpt) = ckpt else { continue };
                 assert_eq!(ckpt.build_id(), shard.build_id());
-                let (tail, end) = shard.eval_resume(&c, Some(ckpt), usize::MAX);
+                let (tail, end) = shard.eval_resume(&c, Some(ckpt), usize::MAX).unwrap();
                 assert_eq!(tail, full[split.min(full.len())..]);
                 assert!(end.is_none());
             }
@@ -412,32 +564,109 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "another shard build")]
-    fn resuming_against_a_rebuilt_shard_panics() {
+    fn resuming_against_a_different_build_is_a_typed_error() {
         let master = parse_str(SRC).unwrap();
-        let a = Shard::build(&master, 0, 2);
-        let b = Shard::build(&master, 0, 2);
+        let a = Shard::build(&master, 0, 2, 0);
+        // Same slice, different generation: different content stamp.
+        let b = Shard::build(&master, 0, 2, 1);
         // One VBD per tree: stopping after the first leaves a live
         // checkpoint.
         let c = compiled("//VBD");
-        let (_, ckpt) = a.eval_resume(&c, None, 1);
-        assert!(ckpt.is_some());
-        let _ = b.eval_resume(&c, ckpt, 1);
+        let (_, ckpt) = a.eval_resume(&c, None, 1).unwrap();
+        let ckpt = ckpt.unwrap();
+        let stale = b.eval_resume(&c, Some(ckpt), 1).unwrap_err();
+        assert_eq!(stale.checkpoint_build, a.build_id());
+        assert_eq!(stale.shard_build, b.build_id());
     }
 
     #[test]
-    fn rebuilds_get_fresh_build_ids() {
+    fn build_ids_derive_from_content() {
         let master = parse_str(SRC).unwrap();
-        let a = Shard::build(&master, 0, 2);
-        let b = Shard::build(&master, 0, 2);
-        assert_ne!(a.build_id(), b.build_id());
+        // Identical content at the same generation: the same id, even
+        // across separate builds (the cross-restart resume guarantee).
+        let a = Shard::build(&master, 0, 2, 0);
+        let b = Shard::build(&master, 0, 2, 0);
+        assert_eq!(a.build_id(), b.build_id());
         assert_ne!(a.build_id(), 0);
+        // Different content, base, or generation: different ids.
+        assert_ne!(a.build_id(), Shard::build(&master, 0, 3, 0).build_id());
+        assert_ne!(a.build_id(), Shard::build(&master, 1, 2, 0).build_id());
+        assert_ne!(a.build_id(), Shard::build(&master, 0, 2, 1).build_id());
+    }
+
+    #[test]
+    fn checkpoints_round_trip_through_the_wire() {
+        let master = parse_str(SRC).unwrap();
+        let shard = Shard::build(&master, 0, 3, 0);
+        let mut walker_q = compiled("//VP/_[last()]");
+        walker_q.strategy = ExecStrategy::Walker;
+        for c in [compiled("//NP"), walker_q] {
+            let full = shard.eval(&c);
+            let (head, ckpt) = shard.eval_resume(&c, None, 1).unwrap();
+            let ckpt = ckpt.expect("more rows remain");
+            let mut w = wire::Writer::new();
+            ckpt.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = wire::Reader::new(&bytes);
+            let decoded = match shard.decode_checkpoint(&c, &mut r) {
+                Ok(d) => d,
+                Err(e) => panic!("decode failed: {e:?}"),
+            };
+            assert!(r.finished());
+            let (tail, _) = shard.eval_resume(&c, Some(decoded), usize::MAX).unwrap();
+            let mut joined = head.clone();
+            joined.extend(tail);
+            assert_eq!(joined, full);
+        }
+    }
+
+    #[test]
+    fn decoding_against_a_rebuilt_shard_reports_stale() {
+        let master = parse_str(SRC).unwrap();
+        let a = Shard::build(&master, 0, 3, 0);
+        let b = Shard::build(&master, 0, 3, 7);
+        let c = compiled("//NP");
+        let (_, ckpt) = a.eval_resume(&c, None, 1).unwrap();
+        let mut w = wire::Writer::new();
+        ckpt.unwrap().encode_into(&mut w);
+        let bytes = w.into_bytes();
+        match b.decode_checkpoint(&c, &mut wire::Reader::new(&bytes)) {
+            Err(CheckpointDecodeError::Stale(s)) => {
+                assert_eq!(s.checkpoint_build, a.build_id());
+                assert_eq!(s.shard_build, b.build_id());
+            }
+            other => panic!("expected stale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_checkpoint_bytes_never_panic() {
+        let master = parse_str(SRC).unwrap();
+        let shard = Shard::build(&master, 0, 3, 0);
+        let c = compiled("//NP");
+        let (_, ckpt) = shard.eval_resume(&c, None, 1).unwrap();
+        let mut w = wire::Writer::new();
+        ckpt.unwrap().encode_into(&mut w);
+        let bytes = w.into_bytes();
+        // Every truncation decodes to an error, not a panic.
+        for cut in 0..bytes.len() {
+            let _ = shard.decode_checkpoint(&c, &mut wire::Reader::new(&bytes[..cut]));
+        }
+        // Every single-byte corruption either decodes (and can then
+        // only yield bounded garbage) or errors — never panics.
+        for i in 0..bytes.len() {
+            for delta in [1u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] = bad[i].wrapping_add(delta);
+                let _ = shard.decode_checkpoint(&c, &mut wire::Reader::new(&bad));
+            }
+        }
     }
 
     #[test]
     fn count_and_exists_agree_with_eval() {
         let master = parse_str(SRC).unwrap();
-        let shard = Shard::build(&master, 1, 2);
+        let shard = Shard::build(&master, 1, 2, 0);
         for q in ["//NP", "//VBD->NP", "//_[@lex=saw]", "//ZZZ"] {
             let c = compiled(q);
             let full = shard.eval(&c);

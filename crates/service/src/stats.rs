@@ -35,6 +35,9 @@ pub(crate) struct Counters {
     pub shard_evals: Counter,
     pub shards_pruned: Counter,
     pub statically_empty: Counter,
+    pub stale_checkpoints: Counter,
+    pub tokens_minted: Counter,
+    pub tokens_rejected: Counter,
     pub appends: Counter,
     pub swaps: Counter,
 }
@@ -360,6 +363,19 @@ pub struct ServiceStats {
     /// path: the query was proven empty at compile time, so no shard
     /// was visited and no cache entry was written.
     pub statically_empty: u64,
+    /// Stale checkpoints encountered and recovered from: a suspended
+    /// enumeration (cached prefix or echoed paging token) presented to
+    /// a shard build it does not belong to — the service degraded to a
+    /// fresh bounded evaluation instead of resuming. Nonzero values
+    /// are expected operational events around appends and restarts,
+    /// never errors.
+    pub stale_checkpoints: u64,
+    /// Serialized paging tokens minted ([`crate::Service::eval_page_token`]).
+    pub tokens_minted: u64,
+    /// Echoed paging tokens rejected as malformed (truncated,
+    /// corrupted, version-skewed, or for a different query) — protocol
+    /// errors, as opposed to the recoverable staleness above.
+    pub tokens_rejected: u64,
     /// Incremental appends applied.
     pub appends: u64,
     /// Full corpus swaps applied.
@@ -438,6 +454,9 @@ mod tests {
             shard_evals: 0,
             shards_pruned: 0,
             statically_empty: 0,
+            stale_checkpoints: 0,
+            tokens_minted: 0,
+            tokens_rejected: 0,
             appends: 0,
             swaps: 0,
             per_shard: Vec::new(),

@@ -1,0 +1,572 @@
+//! Opaque, stateless paging tokens: the serialized form of a
+//! suspended [`Service::eval_page`] sweep, minted by
+//! [`Service::eval_page_token`] and echoed back by the client.
+//!
+//! A token carries everything needed to continue the enumeration —
+//! the query's fingerprint, a stamp of the corpus content it was
+//! minted against, the global row offset already served, and (in the
+//! common *positioned* mode) the current shard plus that shard's
+//! serialized [`ShardCheckpoint`] — so the server keeps **no**
+//! per-client session state: any server process holding the same
+//! corpus can continue any client's sweep from the token alone.
+//!
+//! # Wire format
+//!
+//! URL-safe base64 (no padding) over:
+//!
+//! ```text
+//! ver          u16   token format version (currently 1)
+//! query_fp     u64   FNV-1a of the normalized query text
+//! corpus_stamp u64   FNV-1a over all shard build ids, in shard order
+//! emitted      u64   rows already served before this token
+//! mode         u8    0 = positioned, 1 = offset-only
+//! -- mode 0 only --
+//! shard        u16   shard the enumeration is suspended in
+//! shard_emitted u64  rows already served from that shard
+//! has_ckpt     u8    0|1
+//! ckpt         ...   ShardCheckpoint::encode_into, when has_ckpt = 1
+//! -- always --
+//! checksum     u64   FNV-1a over every preceding byte
+//! ```
+//!
+//! # Trust boundary
+//!
+//! Tokens cross the network, so decoding treats them as hostile:
+//! every length prefix is validated before allocation, the checksum
+//! gates structural parsing, and the embedded checkpoint is decoded
+//! by [`Shard::decode_checkpoint`], which re-validates it against the
+//! shard's *current* plan for the query — a forged token can make the
+//! server do bounded extra work or return an error, never panic and
+//! never execute a plan it did not build itself. Three outcomes:
+//!
+//! * **valid** — the sweep continues exactly where it left off;
+//! * **stale** — well-formed bytes whose corpus stamp or build id no
+//!   longer matches (the corpus was appended to, or the server
+//!   restarted onto different content): recovered silently by
+//!   re-entering at the token's global offset
+//!   ([`ServiceStats::stale_checkpoints`] advances);
+//! * **malformed** — truncated / corrupted / version-skewed / minted
+//!   for a different query: a typed [`ServiceError::BadToken`]
+//!   ([`ServiceStats::tokens_rejected`] advances).
+
+use std::sync::Arc;
+
+use lpath_relstore::wire;
+
+use crate::plan::CompiledQuery;
+use crate::shard::{CheckpointDecodeError, Shard, ShardCheckpoint};
+use crate::{ResultSet, Service, ServiceError};
+
+#[cfg(doc)]
+use crate::ServiceStats;
+
+/// Token format version; bumped on any envelope layout change so old
+/// tokens are rejected with [`wire::WireError::Version`] instead of
+/// being misparsed.
+pub const TOKEN_VERSION: u16 = 1;
+
+/// One page of a token-driven sweep: the rows plus the opaque token
+/// that continues the enumeration — `None` once the result set is
+/// known exhausted.
+#[derive(Clone, Debug)]
+pub struct Page {
+    /// The page's matches, in document order.
+    pub rows: ResultSet,
+    /// Echo this to [`Service::eval_page_token`] for the next page;
+    /// `None` means the sweep is complete.
+    pub token: Option<String>,
+}
+
+/// The decoded, validated interior of a token.
+struct TokenState {
+    /// Rows already served across all prior pages.
+    emitted: u64,
+    /// `Some` when the token pins an exact resume position; `None`
+    /// for offset-only tokens (the stale-recovery mode).
+    pos: Option<TokenPos>,
+}
+
+struct TokenPos {
+    shard: u16,
+    shard_emitted: u64,
+    ckpt: Option<ShardCheckpoint>,
+}
+
+/// Why a presented token could not be opened as-is.
+enum OpenError {
+    /// Well-formed, but minted against different corpus content.
+    /// Recoverable: re-enter at `emitted`.
+    Stale { emitted: u64 },
+    /// Not a token (or not one of ours): a protocol error.
+    Bad(wire::WireError),
+}
+
+impl From<wire::WireError> for OpenError {
+    fn from(e: wire::WireError) -> Self {
+        OpenError::Bad(e)
+    }
+}
+
+/// FNV-1a fingerprint of the normalized query text — ties a token to
+/// the query it pages, so echoing it with a different query is a
+/// typed error instead of silently wrong rows.
+fn query_fp(compiled: &CompiledQuery) -> u64 {
+    wire::fnv1a(compiled.normalized.as_bytes())
+}
+
+/// FNV-1a over all shard build ids in shard order: one word that
+/// changes whenever any shard's content does. Validates the
+/// *positionless* parts of a token (global offset, shard index) that
+/// no individual build id covers — a checkpoint suspended exactly on
+/// a shard boundary carries no [`ShardCheckpoint`], so this stamp is
+/// what detects that the boundary itself moved.
+fn corpus_stamp(shards: &[Arc<Shard>]) -> u64 {
+    let mut w = wire::Writer::new();
+    for s in shards {
+        w.u64(s.build_id());
+    }
+    wire::fnv1a(w.bytes())
+}
+
+impl Service {
+    /// One page of the query's document-ordered result, driven by an
+    /// opaque resumption token instead of a numeric offset.
+    ///
+    /// Pass `token: None` for the first page; echo the returned
+    /// [`Page::token`] for each subsequent one. Concatenating the
+    /// pages of a full sweep is byte-identical to [`Service::eval`]
+    /// (and to an offset sweep through [`Service::eval_page`]) over
+    /// unchanged content. Unlike offset paging, a deep page does not
+    /// re-enumerate its prefix even with every cache cold: the token
+    /// embeds the suspended execution state, so continuation is O(new
+    /// rows) on *any* server process holding the same corpus.
+    ///
+    /// A stale token (minted before an [`Service::append_ptb`] or
+    /// against a different build of the corpus) is not an error: the
+    /// sweep re-enters at the token's global offset against current
+    /// content, [`ServiceStats::stale_checkpoints`] advances, and the
+    /// freshly minted token is positioned again.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadToken`] when `token` is present but
+    /// malformed (truncated, corrupted, wrong version, or minted for
+    /// a different query); [`ServiceError::Syntax`] when the query
+    /// does not parse.
+    pub fn eval_page_token(
+        &self,
+        query: &str,
+        token: Option<&str>,
+        limit: usize,
+    ) -> Result<Page, ServiceError> {
+        let compiled = self.compile(query)?;
+        if compiled.statically_empty || limit == 0 {
+            return Ok(Page {
+                rows: Vec::new(),
+                token: None,
+            });
+        }
+        let (shards, _) = self.snapshot();
+        let state = match token {
+            None => TokenState {
+                emitted: 0,
+                pos: Some(TokenPos {
+                    shard: 0,
+                    shard_emitted: 0,
+                    ckpt: None,
+                }),
+            },
+            Some(t) => match open_token(t, &compiled, &shards) {
+                Ok(state) => state,
+                Err(OpenError::Stale { emitted }) => {
+                    self.counters.stale_checkpoints.bump();
+                    TokenState { emitted, pos: None }
+                }
+                Err(OpenError::Bad(e)) => {
+                    self.counters.tokens_rejected.bump();
+                    return Err(ServiceError::BadToken(e));
+                }
+            },
+        };
+        match state.pos {
+            Some(pos) => Ok(self.page_positioned(&compiled, &shards, state.emitted, pos, limit)),
+            None => self.page_offset(query, &compiled, &shards, state.emitted, limit),
+        }
+    }
+
+    /// Continue a positioned sweep: resume the suspended shard (or
+    /// start the next one) and walk forward until the page fills or
+    /// the shards run out.
+    fn page_positioned(
+        &self,
+        compiled: &CompiledQuery,
+        shards: &[Arc<Shard>],
+        emitted: u64,
+        pos: TokenPos,
+        limit: usize,
+    ) -> Page {
+        self.counters.queries.bump();
+        self.counters.pages.bump();
+        let mut acc: ResultSet = Vec::new();
+        let mut si = pos.shard as usize;
+        let mut shard_emitted = pos.shard_emitted;
+        let mut ckpt = pos.ckpt;
+        while si < shards.len() && acc.len() < limit {
+            let shard = &shards[si];
+            if ckpt.is_none() && shard_emitted == 0 && !shard.may_match(&compiled.required) {
+                self.counters.shards_pruned.bump();
+                si += 1;
+                continue;
+            }
+            let remaining = limit - acc.len();
+            let (rows, next) = match shard.eval_resume(compiled, ckpt.take(), remaining) {
+                Ok(page) => page,
+                // Unreachable when the corpus stamp matched (the
+                // checkpoint's build id is covered by the stamp), but
+                // recover locally anyway: re-enumerate this shard and
+                // drop the rows the client already has.
+                Err(_) => {
+                    self.counters.stale_checkpoints.bump();
+                    let already = usize::try_from(shard_emitted).unwrap_or(usize::MAX);
+                    let (mut rows, next) =
+                        shard.eval_limit(compiled, already.saturating_add(remaining));
+                    rows.drain(..already.min(rows.len()));
+                    (rows, next)
+                }
+            };
+            shard_emitted += rows.len() as u64;
+            acc.extend(rows);
+            match next {
+                // The page filled mid-shard; `eval_resume` coming
+                // back short always yields `None`, so `Some` here
+                // implies the page is complete.
+                Some(next) => {
+                    ckpt = Some(next);
+                    break;
+                }
+                None => {
+                    si += 1;
+                    shard_emitted = 0;
+                }
+            }
+        }
+        let exhausted = si >= shards.len() && ckpt.is_none();
+        let token = (!exhausted).then(|| {
+            self.counters.tokens_minted.bump();
+            seal_token(
+                compiled,
+                shards,
+                emitted + acc.len() as u64,
+                Some(&TokenPos {
+                    shard: si.min(u16::MAX as usize) as u16,
+                    shard_emitted,
+                    ckpt,
+                }),
+            )
+        });
+        Page { rows: acc, token }
+    }
+
+    /// Stale-token recovery: serve the page by global offset through
+    /// [`Service::eval_page`] (whose build-id-scoped prefix cache
+    /// keeps repeated recoveries from re-enumerating), then mint an
+    /// offset-only token. The *next* echo of that token lands here
+    /// again, so a client that was mid-sweep when the corpus changed
+    /// keeps paging seamlessly — against the new content, as the
+    /// offset contract requires.
+    fn page_offset(
+        &self,
+        query: &str,
+        compiled: &CompiledQuery,
+        shards: &[Arc<Shard>],
+        emitted: u64,
+        limit: usize,
+    ) -> Result<Page, ServiceError> {
+        let offset = usize::try_from(emitted).unwrap_or(usize::MAX);
+        let rows = self.eval_page(query, offset, limit)?;
+        // Coming back short proves the offset sweep is complete.
+        let token = (rows.len() == limit).then(|| {
+            self.counters.tokens_minted.bump();
+            seal_token(compiled, shards, emitted + rows.len() as u64, None)
+        });
+        Ok(Page { rows, token })
+    }
+}
+
+/// Serialize and seal a token: envelope, FNV-1a checksum, base64.
+fn seal_token(
+    compiled: &CompiledQuery,
+    shards: &[Arc<Shard>],
+    emitted: u64,
+    pos: Option<&TokenPos>,
+) -> String {
+    let mut w = wire::Writer::new();
+    w.u16(TOKEN_VERSION);
+    w.u64(query_fp(compiled));
+    w.u64(corpus_stamp(shards));
+    w.u64(emitted);
+    match pos {
+        None => w.u8(1),
+        Some(p) => {
+            w.u8(0);
+            w.u16(p.shard);
+            w.u64(p.shard_emitted);
+            match &p.ckpt {
+                Some(c) => {
+                    w.u8(1);
+                    c.encode_into(&mut w);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+    let sum = wire::fnv1a(w.bytes());
+    w.u64(sum);
+    wire::b64_encode(w.bytes())
+}
+
+/// Open and validate an echoed token against the current compiled
+/// query and shard snapshot. Hostile input is the normal case here:
+/// every failure is a typed [`OpenError`], never a panic.
+fn open_token(
+    token: &str,
+    compiled: &CompiledQuery,
+    shards: &[Arc<Shard>],
+) -> Result<TokenState, OpenError> {
+    let bytes = wire::b64_decode(token)?;
+    let Some(body_len) = bytes.len().checked_sub(8) else {
+        return Err(OpenError::Bad(wire::WireError::Truncated));
+    };
+    let (body, sum) = bytes.split_at(body_len);
+    let declared = u64::from_le_bytes(sum.try_into().expect("split_at leaves 8 bytes"));
+    if wire::fnv1a(body) != declared {
+        return Err(OpenError::Bad(wire::WireError::Checksum));
+    }
+    let mut r = wire::Reader::new(body);
+    let ver = r.u16()?;
+    if ver != TOKEN_VERSION {
+        return Err(OpenError::Bad(wire::WireError::Version(ver)));
+    }
+    if r.u64()? != query_fp(compiled) {
+        return Err(OpenError::Bad(wire::WireError::Malformed(
+            "token minted for a different query",
+        )));
+    }
+    let stale = r.u64()? != corpus_stamp(shards);
+    let emitted = r.u64()?;
+    match r.u8()? {
+        // Offset-only: the global offset is meaningful against any
+        // content, so staleness is irrelevant — offset paging already
+        // promises "current content at this offset".
+        1 => {
+            if !r.finished() {
+                return Err(OpenError::Bad(wire::WireError::Malformed(
+                    "trailing bytes after offset token",
+                )));
+            }
+            Ok(TokenState { emitted, pos: None })
+        }
+        0 => {
+            let shard = r.u16()?;
+            let shard_emitted = r.u64()?;
+            let has_ckpt = r.bool()?;
+            if stale {
+                // The suspended position indexes into content that is
+                // gone; don't decode the checkpoint against shards it
+                // does not belong to.
+                return Err(OpenError::Stale { emitted });
+            }
+            let Some(target) = shards.get(shard as usize) else {
+                return Err(OpenError::Bad(wire::WireError::Malformed(
+                    "token shard index out of range",
+                )));
+            };
+            let ckpt = if has_ckpt {
+                match target.decode_checkpoint(compiled, &mut r) {
+                    Ok(c) => Some(c),
+                    Err(CheckpointDecodeError::Stale(_)) => {
+                        return Err(OpenError::Stale { emitted })
+                    }
+                    Err(CheckpointDecodeError::Wire(e)) => return Err(OpenError::Bad(e)),
+                }
+            } else {
+                None
+            };
+            if !r.finished() {
+                return Err(OpenError::Bad(wire::WireError::Malformed(
+                    "trailing bytes after checkpoint",
+                )));
+            }
+            Ok(TokenState {
+                emitted,
+                pos: Some(TokenPos {
+                    shard,
+                    shard_emitted,
+                    ckpt,
+                }),
+            })
+        }
+        _ => Err(OpenError::Bad(wire::WireError::Malformed("token mode"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use lpath_model::ptb::parse_str;
+
+    const SRC: &str = "\
+( (S (NP-SBJ (PRP I)) (VP (VBD saw) (NP (DT the) (NN man))) (. .)) )
+( (S (NP-SBJ (DT the) (NN man)) (VP (VBD left))) )
+( (S (NP-SBJ (PRP we)) (VP (VBD ran) (NP (NN home)))) )
+( (S (NP (NN rain)) (VP (VBD fell) (NP (DT the) (NN night)))) )
+";
+
+    fn service(shards: usize) -> Service {
+        let corpus = parse_str(SRC).unwrap();
+        Service::with_config(
+            &corpus,
+            ServiceConfig {
+                shards,
+                threads: 1,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    fn sweep(svc: &Service, query: &str, page: usize) -> ResultSet {
+        let mut all = Vec::new();
+        let mut token: Option<String> = None;
+        loop {
+            let p = svc.eval_page_token(query, token.as_deref(), page).unwrap();
+            all.extend(p.rows);
+            match p.token {
+                Some(t) => token = Some(t),
+                None => return all,
+            }
+        }
+    }
+
+    #[test]
+    fn token_sweep_equals_eval_at_every_page_size() {
+        let svc = service(3);
+        for q in ["//NP", "//VBD->NP", "//_[@lex=the]", "//ZZZ"] {
+            let full = (*svc.eval(q).unwrap()).clone();
+            for page in 1..=full.len() + 2 {
+                assert_eq!(sweep(&svc, q, page), full, "{q} page {page}");
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_are_opaque_strings_and_terminate() {
+        let svc = service(2);
+        let p = svc.eval_page_token("//NP", None, 1).unwrap();
+        let t = p.token.expect("more pages remain");
+        // URL-safe base64: no '+', '/', '=', whitespace.
+        assert!(t
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_'));
+        // Zero limit and empty results terminate at once.
+        assert!(svc
+            .eval_page_token("//NP", None, 0)
+            .unwrap()
+            .token
+            .is_none());
+        let empty = svc.eval_page_token("//ZZZ", None, 5).unwrap();
+        assert!(empty.rows.is_empty() && empty.token.is_none());
+    }
+
+    #[test]
+    fn malformed_tokens_are_typed_errors_never_panics() {
+        let svc = service(2);
+        let t = svc.eval_page_token("//NP", None, 1).unwrap().token.unwrap();
+        // Wrong query for a valid token.
+        match svc.eval_page_token("//VP", Some(&t), 1) {
+            Err(ServiceError::BadToken(_)) => {}
+            other => panic!("expected BadToken, got {other:?}"),
+        }
+        // Truncations at every character boundary.
+        for cut in 0..t.len() {
+            let _ = svc.eval_page_token("//NP", Some(&t[..cut]), 1);
+        }
+        // Single-character corruption everywhere.
+        let mut rejected = 0u32;
+        for i in 0..t.len() {
+            let mut bad = t.clone().into_bytes();
+            bad[i] = if bad[i] == b'A' { b'B' } else { b'A' };
+            let bad = String::from_utf8(bad).unwrap();
+            if svc.eval_page_token("//NP", Some(&bad), 1).is_err() {
+                rejected += 1;
+            }
+        }
+        // The checksum makes random corruption overwhelmingly a
+        // rejection, and the counter saw every one of them.
+        assert!(rejected > 0);
+        assert!(svc.stats().tokens_rejected >= u64::from(rejected));
+        // Outright garbage.
+        for junk in ["", "!!!", "AAAA", "zzzzzzzzzzzzzzzzzzzzzzzz"] {
+            assert!(svc.eval_page_token("//NP", Some(junk), 1).is_err() || junk.is_empty());
+        }
+    }
+
+    #[test]
+    fn stale_tokens_recover_and_count() {
+        let svc = service(2);
+        let full_before = (*svc.eval("//VBD").unwrap()).clone();
+        let p1 = svc.eval_page_token("//VBD", None, 1).unwrap();
+        let t = p1.token.expect("three more VBDs");
+        // Appending rebuilds the tail shard: the token's corpus stamp
+        // no longer matches.
+        svc.append_ptb("( (S (NP (NN snow)) (VP (VBD melted))) )")
+            .unwrap();
+        let p2 = svc
+            .eval_page_token("//VBD", Some(&t), usize::MAX - 1)
+            .unwrap();
+        assert!(svc.stats().stale_checkpoints >= 1);
+        // Recovery re-enters at the global offset against current
+        // content: rows 1.. of the *new* result, which extends the old.
+        let full_after = (*svc.eval("//VBD").unwrap()).clone();
+        assert_eq!(full_after.len(), full_before.len() + 1);
+        let mut joined = p1.rows;
+        joined.extend(p2.rows.iter().copied());
+        assert_eq!(joined, full_after);
+        assert!(p2.token.is_none());
+    }
+
+    #[test]
+    fn offset_tokens_keep_paging_after_recovery() {
+        let svc = service(2);
+        let p1 = svc.eval_page_token("//NP", None, 1).unwrap();
+        let t1 = p1.token.unwrap();
+        svc.append_ptb("( (S (NP (NN fog))) )").unwrap();
+        // Recovery mints an offset-only token; echoing it pages on.
+        let p2 = svc.eval_page_token("//NP", Some(&t1), 1).unwrap();
+        let t2 = p2.token.expect("more NPs remain");
+        let p3 = svc
+            .eval_page_token("//NP", Some(&t2), usize::MAX - 1)
+            .unwrap();
+        let full = (*svc.eval("//NP").unwrap()).clone();
+        let mut joined = p1.rows;
+        joined.extend(p2.rows.iter().copied());
+        joined.extend(p3.rows.iter().copied());
+        assert_eq!(joined, full);
+    }
+
+    #[test]
+    fn tokens_resume_across_identical_service_builds() {
+        // The cross-restart guarantee: a different Service over the
+        // same corpus accepts the token (content-derived build ids).
+        let a = service(2);
+        let b = service(2);
+        let p1 = a.eval_page_token("//NP", None, 2).unwrap();
+        let p2 = b
+            .eval_page_token("//NP", p1.token.as_deref(), usize::MAX - 1)
+            .unwrap();
+        let full = (*a.eval("//NP").unwrap()).clone();
+        let mut joined = p1.rows;
+        joined.extend(p2.rows.iter().copied());
+        assert_eq!(joined, full);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`corpussearch`] | CorpusSearch-style baseline: full-scan search-function interpreter |
 //! | [`condxpath`] | Conditional XPath (Marx, PODS 2004): the expressiveness side of Lemma 3.1 |
 //! | [`service`] | sharded, cached, concurrent query service over the engines (plan/result caches, incremental ingest, batch fan-out) |
+//! | [`server`] | network edge: line-delimited JSON protocol with stateless, serialized paging tokens |
 //! | [`obs`] | observability primitives: span timers, log-bucketed histograms, counters, the slow-query ring |
 //!
 //! ## Quickstart
@@ -57,6 +58,7 @@ pub use lpath_corpussearch as corpussearch;
 pub use lpath_model as model;
 pub use lpath_obs as obs;
 pub use lpath_relstore as relstore;
+pub use lpath_server as server;
 pub use lpath_service as service;
 pub use lpath_syntax as syntax;
 pub use lpath_tgrep as tgrep;
@@ -86,6 +88,7 @@ pub mod prelude {
     pub use lpath_model::ptb::{parse_into, parse_str};
     pub use lpath_model::{generate, Corpus, GenConfig, NodeId, Profile, Tree};
     pub use lpath_relstore::{JoinOrder, OptGoal, PlannerConfig};
+    pub use lpath_server::{serve, Client, ServerConfig};
     pub use lpath_service::{Service, ServiceConfig, ServiceError, ServiceStats};
     pub use lpath_syntax::{parse, Axis, Path};
     pub use lpath_tgrep::{TgrepEngine, TGREP_QUERIES};

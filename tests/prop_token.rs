@@ -1,0 +1,286 @@
+//! Serialized-token invariants, property-tested across every layer.
+//!
+//! A paging token is a suspended enumeration flattened to hostile
+//! bytes, so three things must hold for any corpus, query and page
+//! schedule: (1) encoding a genuine checkpoint and decoding it back
+//! is the identity — at the walker, engine and shard layers the
+//! re-encoded bytes are identical and the resumed rows match the
+//! never-serialized resume exactly; (2) a token sweep through
+//! [`Service::eval_page_token`] is byte-identical to in-process
+//! offset paging at *every* row boundary, and re-issuing a token is
+//! deterministic (the statelessness contract); (3) corrupted,
+//! truncated or version-bumped tokens are typed rejections — or, when
+//! a corruption happens to decode to the same bytes, harmless — and
+//! never a panic.
+//!
+//! `PROPTEST_CASES` scales the case count (CI's nightly sweep raises
+//! it); the default here is the acceptance floor of 256.
+
+use proptest::prelude::*;
+
+use lpath::prelude::*;
+use lpath_relstore::wire;
+use lpath_service::shard::CheckpointDecodeError;
+use lpath_service::{ResultSet, Shard};
+
+/// A random subtree of bounded depth/width in bracketed form.
+fn arb_subtree(depth: u32) -> BoxedStrategy<String> {
+    let tag = prop_oneof![
+        Just("A".to_string()),
+        Just("B".to_string()),
+        Just("C".to_string()),
+    ];
+    let word = prop_oneof![
+        Just("u".to_string()),
+        Just("v".to_string()),
+        Just("w".to_string()),
+    ];
+    if depth == 0 {
+        (tag, word).prop_map(|(t, w)| format!("({t} {w})")).boxed()
+    } else {
+        let leaf = (
+            prop_oneof![
+                Just("A".to_string()),
+                Just("B".to_string()),
+                Just("C".to_string()),
+            ],
+            word,
+        )
+            .prop_map(|(t, w)| format!("({t} {w})"));
+        let inner = (tag, prop::collection::vec(arb_subtree(depth - 1), 1..3))
+            .prop_map(|(t, kids)| format!("({t} {})", kids.join(" ")));
+        prop_oneof![2 => leaf, 2 => inner].boxed()
+    }
+}
+
+/// Bracketed text for one to five random trees.
+fn arb_treebank() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_subtree(2), 1..6)
+        .prop_map(|trees| trees.iter().map(|t| format!("( (S {t}) )")).collect())
+}
+
+/// Queries spanning the serializable checkpoint variants: streamable
+/// name anchors (cursor state), chunked fallbacks (tree watermark),
+/// attribute filters, the walker fallback, and empty results.
+const POOL: [&str; 8] = [
+    "//A",
+    "//_",
+    "//S//B",
+    "//A->B",
+    "//A[not(//B)]",
+    "//_[@lex=u]",
+    "//S/_[last()]", // no SQL translation: walker-strategy checkpoints
+    "//ZZZ",         // matches nothing anywhere
+];
+
+/// The URL-safe base64 alphabet tokens are written in.
+const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+fn service_over(corpus: &Corpus, shards: usize) -> Service {
+    Service::with_config(
+        corpus,
+        ServiceConfig {
+            shards,
+            threads: 1,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: ProptestConfig::cases_or_env(256),
+        ..ProptestConfig::default()
+    })]
+
+    /// Encode → decode → encode is the identity at every layer that
+    /// serializes a checkpoint, and the decoded checkpoint resumes to
+    /// exactly the rows the live one would have produced.
+    #[test]
+    fn checkpoint_wire_round_trips_at_every_layer(
+        trees in arb_treebank(),
+        qi in 0usize..POOL.len(),
+        split in 1usize..12,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let q = POOL[qi];
+        let ast = parse(q).unwrap();
+
+        // Walker checkpoints.
+        let walker = Walker::new(&corpus);
+        let (_, ckpt) = walker.eval_resume(&ast, None, split);
+        if let Some(ckpt) = ckpt {
+            let mut w = wire::Writer::new();
+            ckpt.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = wire::Reader::new(&bytes);
+            let decoded = lpath_core::WalkerCheckpoint::decode(&mut r, corpus.trees().len())
+                .expect("genuine walker checkpoint decodes");
+            prop_assert!(r.finished(), "walker checkpoint fully consumed on {}", q);
+            let mut w2 = wire::Writer::new();
+            decoded.encode_into(&mut w2);
+            prop_assert_eq!(&bytes, &w2.into_bytes(), "walker re-encode on {}", q);
+            let (live, _) = walker.eval_resume(&ast, Some(ckpt), usize::MAX);
+            let (thawed, _) = walker.eval_resume(&ast, Some(decoded), usize::MAX);
+            prop_assert_eq!(live, thawed, "walker resume through the wire on {}", q);
+        }
+
+        // Engine checkpoints (translatable queries only).
+        let engine = Engine::build(&corpus);
+        if engine.query_ast(&ast).is_ok() {
+            let (_, ckpt) = engine.query_resume(&ast, None, split).unwrap();
+            if let Some(ckpt) = ckpt {
+                let mut w = wire::Writer::new();
+                ckpt.encode_into(&mut w);
+                let bytes = w.into_bytes();
+                let mut r = wire::Reader::new(&bytes);
+                let decoded = engine
+                    .decode_checkpoint(&ast, &mut r)
+                    .expect("genuine engine checkpoint decodes");
+                prop_assert!(r.finished(), "engine checkpoint fully consumed on {}", q);
+                let mut w2 = wire::Writer::new();
+                decoded.encode_into(&mut w2);
+                prop_assert_eq!(&bytes, &w2.into_bytes(), "engine re-encode on {}", q);
+                let (live, _) = engine.query_resume(&ast, Some(ckpt), usize::MAX / 4).unwrap();
+                let (thawed, _) = engine.query_resume(&ast, Some(decoded), usize::MAX / 4).unwrap();
+                prop_assert_eq!(live, thawed, "engine resume through the wire on {}", q);
+            }
+        }
+
+        // Shard checkpoints (build-id tagged, strategy dispatched).
+        let svc = service_over(&corpus, 1);
+        let compiled = svc.compile(q).unwrap();
+        let shard = Shard::build(&corpus, 0, corpus.trees().len(), 0);
+        let (_, ckpt) = shard.eval_resume(&compiled, None, split).unwrap();
+        if let Some(ckpt) = ckpt {
+            let mut w = wire::Writer::new();
+            ckpt.encode_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = wire::Reader::new(&bytes);
+            let decoded = match shard.decode_checkpoint(&compiled, &mut r) {
+                Ok(c) => c,
+                Err(CheckpointDecodeError::Stale(s)) => {
+                    return Err(TestCaseError::fail(format!("own checkpoint stale: {s}")))
+                }
+                Err(CheckpointDecodeError::Wire(e)) => {
+                    return Err(TestCaseError::fail(format!("own checkpoint malformed: {e}")))
+                }
+            };
+            prop_assert!(r.finished(), "shard checkpoint fully consumed on {}", q);
+            let mut w2 = wire::Writer::new();
+            decoded.encode_into(&mut w2);
+            prop_assert_eq!(&bytes, &w2.into_bytes(), "shard re-encode on {}", q);
+            let (live, _) = shard.eval_resume(&compiled, Some(ckpt), usize::MAX / 4).unwrap();
+            let (thawed, _) = shard.eval_resume(&compiled, Some(decoded), usize::MAX / 4).unwrap();
+            prop_assert_eq!(live, thawed, "shard resume through the wire on {}", q);
+        }
+    }
+
+    /// A token handed out at any row boundary continues to exactly the
+    /// rows in-process offset paging serves from that boundary — and
+    /// re-issuing the same token is deterministic, which is the
+    /// statelessness contract (nothing server-side distinguishes the
+    /// first echo from the second).
+    #[test]
+    fn token_resume_matches_in_process_paging_at_every_boundary(
+        trees in arb_treebank(),
+        qi in 0usize..POOL.len(),
+        shards in 1usize..4,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let q = POOL[qi];
+        let svc = service_over(&corpus, shards);
+        let full = (*svc.eval(q).unwrap()).clone();
+        for boundary in 1..=full.len() {
+            let head = svc.eval_page_token(q, None, boundary).unwrap();
+            prop_assert_eq!(&head.rows[..], &full[..boundary], "head at {} on {}", boundary, q);
+            let Some(token) = head.token else {
+                prop_assert_eq!(boundary, full.len(), "early exhaustion on {}", q);
+                continue;
+            };
+            let tail = svc.eval_page_token(q, Some(&token), usize::MAX - 1).unwrap();
+            prop_assert_eq!(&tail.rows[..], &full[boundary..], "tail at {} on {}", boundary, q);
+            prop_assert!(tail.token.is_none(), "tail exhausts on {}", q);
+            let again = svc.eval_page_token(q, Some(&token), usize::MAX - 1).unwrap();
+            prop_assert_eq!(&tail.rows, &again.rows, "re-issue at {} on {}", boundary, q);
+            prop_assert_eq!(&tail.token, &again.token, "re-issued token at {} on {}", boundary, q);
+            let offset: ResultSet = svc.eval_page(q, boundary, full.len() - boundary + 1).unwrap();
+            prop_assert_eq!(&tail.rows, &offset, "offset parity at {} on {}", boundary, q);
+        }
+    }
+
+    /// Single-character corruption anywhere in a token either fails
+    /// with a typed [`ServiceError::BadToken`] or (when the flipped
+    /// bits are padding the decoder ignores) serves exactly the
+    /// original continuation — and never panics. Truncation at every
+    /// boundary is likewise panic-free.
+    #[test]
+    fn corrupted_and_truncated_tokens_never_panic(
+        trees in arb_treebank(),
+        qi in 0usize..POOL.len(),
+        at in 0usize..4096,
+        sub in 0usize..64,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let q = POOL[qi];
+        let svc = service_over(&corpus, 2);
+        let Some(token) = svc.eval_page_token(q, None, 1).unwrap().token else {
+            return Ok(()); // single-row or empty result: nothing to corrupt
+        };
+        let reference = svc.eval_page_token(q, Some(&token), 3).unwrap();
+
+        let i = at % token.len();
+        let replacement = ALPHABET[sub % ALPHABET.len()];
+        let mut bad = token.clone().into_bytes();
+        if bad[i] == replacement {
+            return Ok(()); // identity substitution: nothing corrupted
+        }
+        bad[i] = replacement;
+        let bad = String::from_utf8(bad).unwrap();
+        match svc.eval_page_token(q, Some(&bad), 3) {
+            Err(ServiceError::BadToken(_)) => {}
+            Ok(page) => {
+                prop_assert_eq!(&page.rows, &reference.rows, "harmless corruption on {}", q);
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("unexpected error class: {other}")))
+            }
+        }
+
+        for cut in 0..token.len() {
+            let _ = svc.eval_page_token(q, Some(&token[..cut]), 3);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Version skew, deterministically
+// ---------------------------------------------------------------
+
+/// A token whose envelope version was bumped — with the checksum
+/// recomputed so only the version check can reject it — fails with
+/// exactly [`wire::WireError::Version`], and the rejection counter
+/// advances.
+#[test]
+fn version_bumped_tokens_are_rejected_with_the_version() {
+    let corpus = generate(&GenConfig::wsj(10).with_seed(3));
+    let svc = service_over(&corpus, 2);
+    let token = svc
+        .eval_page_token("//NP", None, 1)
+        .unwrap()
+        .token
+        .expect("a 10-sentence corpus has many NPs");
+    let mut bytes = wire::b64_decode(&token).unwrap();
+    let body_len = bytes.len() - 8;
+    let bumped = u16::from_le_bytes([bytes[0], bytes[1]]) + 1;
+    bytes[0..2].copy_from_slice(&bumped.to_le_bytes());
+    let sum = wire::fnv1a(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+    let forged = wire::b64_encode(&bytes);
+    let before = svc.stats().tokens_rejected;
+    match svc.eval_page_token("//NP", Some(&forged), 1) {
+        Err(ServiceError::BadToken(wire::WireError::Version(v))) => assert_eq!(v, bumped),
+        other => panic!("expected a version rejection, got {other:?}"),
+    }
+    assert_eq!(svc.stats().tokens_rejected, before + 1);
+}
