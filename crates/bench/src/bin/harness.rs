@@ -3,7 +3,7 @@
 //! (7 runs, trimmed mean).
 //!
 //! ```text
-//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|server|all] [sentences]
+//! harness [fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|count|server|all] [sentences]
 //! ```
 //!
 //! With no arguments, prints everything at the default scale (1/20 of
@@ -20,6 +20,9 @@
 //! (`BENCH_metrics.json`), `check` — static-analysis cost per
 //! evaluation query plus the constant-empty fast path against a full
 //! walker scan proving emptiness dynamically — (`BENCH_check.json`),
+//! `count` — result-size latency three ways (index-level aggregate
+//! count, streaming-cursor count, full enumeration) plus the
+//! checkpointed count sweep — (`BENCH_count.json`),
 //! and `server` — round-trip latency of the line-delimited JSON
 //! protocol over a real loopback socket: token sweeps at 1/2/4/8
 //! concurrent connections plus the cold-first-page vs
@@ -75,6 +78,7 @@ fn main() {
         "sweep" => sweep(&wsj, wsj_n),
         "metrics" => metrics(&wsj, wsj_n),
         "check" => check(&wsj, wsj_n),
+        "count" => count(&wsj, wsj_n),
         "server" => server(&wsj, wsj_n),
         "all" => {
             fig6a(&wsj, &swb);
@@ -92,12 +96,13 @@ fn main() {
             sweep(&wsj, wsj_n);
             metrics(&wsj, wsj_n);
             check(&wsj, wsj_n);
+            count(&wsj, wsj_n);
             server(&wsj, wsj_n);
         }
         other => {
             eprintln!(
                 "unknown figure '{other}'; expected \
-                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|server|all"
+                 fig6a|fig6b|fig6c|fig7|fig8|fig9|fig10|ablation|extended|sql|service|firstmatch|page|sweep|metrics|check|count|server|all"
             );
             std::process::exit(2);
         }
@@ -1235,6 +1240,133 @@ fn check(wsj: &Corpus, wsj_n: usize) {
     match std::fs::write("BENCH_check.json", &json) {
         Ok(()) => println!("wrote BENCH_check.json\n"),
         Err(e) => eprintln!("could not write BENCH_check.json: {e}\n"),
+    }
+}
+
+/// The `count` mode: result-size latency three ways, per evaluation
+/// query:
+///
+/// * **index count** — `Service::count` with every cache disabled:
+///   queries that classify into the per-shard aggregate tables are
+///   answered in O(index lookup) — no cursor, no rows (the `fast`
+///   column, observed through the `count_fast` stats delta); the rest
+///   run the per-shard counting cursor;
+/// * **cursor count** — `Engine::count`: the streaming cursor tallies
+///   matches without materializing them;
+/// * **full eval** — `Engine::query`: materialize and sort
+///   everything, then take the length (the pre-counting cost model).
+///
+/// Also walks one budgeted `Service::count_token` sweep per query —
+/// the checkpointed count a client drives over the wire — timing the
+/// whole token round and pinning its total to the one-shot count.
+/// Writes `BENCH_count.json`; CI smoke-runs this as the aggregate-
+/// table regression canary.
+fn count(wsj: &Corpus, wsj_n: usize) {
+    println!("== Count: index-level aggregates vs cursor count vs full enumeration (WSJ) ==");
+    const SHARDS: usize = 8;
+    const SWEEP_BUDGET: usize = 2_000;
+    let engine = Engine::build(wsj);
+    // Every cache off: each timed iteration pays the real cost.
+    let svc = Service::with_config(
+        wsj,
+        ServiceConfig {
+            shards: SHARDS,
+            result_cache_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let mut rows: Vec<lpath_bench::count::CountRow> = Vec::new();
+    for q in QUERIES {
+        let results = engine.count(q.lpath).expect("evaluation query");
+        assert_eq!(
+            svc.count(q.lpath).unwrap(),
+            results,
+            "Q{}: service and engine counts must agree",
+            q.id
+        );
+        let fast_before = svc.stats().count_fast;
+        svc.count(q.lpath).unwrap();
+        let fast = svc.stats().count_fast > fast_before;
+
+        let index_count = time7(|| {
+            svc.count(q.lpath).unwrap();
+        });
+        let cursor_count = time7(|| {
+            engine.count(q.lpath).unwrap();
+        });
+        let full_eval = time7(|| {
+            engine.query(q.lpath).unwrap();
+        });
+
+        // One checkpointed sweep, driven purely by echoed tokens.
+        let t = Instant::now();
+        let mut sweep_pages = 0usize;
+        let mut token: Option<String> = None;
+        let total = loop {
+            let page = svc
+                .count_token(q.lpath, token.as_deref(), SWEEP_BUDGET)
+                .unwrap();
+            sweep_pages += 1;
+            match page.total {
+                Some(n) => break n,
+                None => token = Some(page.token.expect("unfinished sweep mints a token")),
+            }
+        };
+        let sweep_secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            total, results as u64,
+            "Q{}: the checkpointed sweep must land on the one-shot count",
+            q.id
+        );
+
+        rows.push(lpath_bench::count::CountRow {
+            id: q.id,
+            lpath: q.lpath,
+            results,
+            fast,
+            index_count_secs: index_count.as_secs_f64(),
+            cursor_count_secs: cursor_count.as_secs_f64(),
+            full_eval_secs: full_eval.as_secs_f64(),
+            sweep_pages,
+            sweep_secs,
+        });
+    }
+
+    println!(
+        "{:<5}{:>6}{:>13}{:>13}{:>13}{:>9}{:>7}{:>9}",
+        "Q", "fast", "index", "cursor", "full eval", "×full", "pages", "results"
+    );
+    for r in &rows {
+        println!(
+            "{:<5}{:>6}{:>13.6}{:>13.6}{:>13.6}{:>9.1}{:>7}{:>9}",
+            format!("Q{}", r.id),
+            r.fast,
+            r.index_count_secs,
+            r.cursor_count_secs,
+            r.full_eval_secs,
+            r.speedup_vs_full(),
+            r.sweep_pages,
+            r.results,
+        );
+    }
+    let report = lpath_bench::count::CountReport {
+        wsj_sentences: wsj_n,
+        shards: SHARDS,
+        sweep_budget: SWEEP_BUDGET,
+        per_query: rows,
+    };
+    println!(
+        "fast-path queries: {} of {}; counts >= 10x faster than full enumeration: {}\n",
+        report.per_query.iter().filter(|r| r.fast).count(),
+        report.per_query.len(),
+        report.queries_faster_than(10.0)
+    );
+    let json = report.to_json();
+    lpath_bench::count::validate(&json).expect("count report shape");
+    match std::fs::write("BENCH_count.json", &json) {
+        Ok(()) => println!("wrote BENCH_count.json\n"),
+        Err(e) => eprintln!("could not write BENCH_count.json: {e}\n"),
     }
 }
 

@@ -1,0 +1,251 @@
+//! The `count` harness mode's report: per-query latency of the three
+//! ways to learn a result size — the service's index-level count
+//! (O(index) when the query classifies into the aggregate tables),
+//! the engine's streaming-cursor count (no materialization), and full
+//! enumeration — plus the budgeted, checkpointed count sweep; and the
+//! shape validator CI runs over the emitted `BENCH_count.json`.
+//!
+//! The builder and the validator live together (and in the library,
+//! not the harness binary) so the checked-in validator test exercises
+//! exactly the code the harness emits with.
+
+use crate::metrics::field;
+
+/// One query's row in `BENCH_count.json`.
+pub struct CountRow {
+    /// Query id (Q1–Q23).
+    pub id: usize,
+    /// The LPath query text.
+    pub lpath: &'static str,
+    /// Full result size (the number every path must agree on).
+    pub results: usize,
+    /// Whether the service answered from the aggregate tables
+    /// (observed through the `count_fast` stats delta, not inferred
+    /// from the query's shape).
+    pub fast: bool,
+    /// Service count latency, seconds (the aggregate fast path when
+    /// `fast`, the per-shard counting cursor otherwise).
+    pub index_count_secs: f64,
+    /// Engine streaming-cursor count latency (no materialization).
+    pub cursor_count_secs: f64,
+    /// Full enumeration latency (materialize + sort).
+    pub full_eval_secs: f64,
+    /// Pages a budgeted checkpointed count sweep took.
+    pub sweep_pages: usize,
+    /// Wall time of that whole token-driven sweep, seconds.
+    pub sweep_secs: f64,
+}
+
+impl CountRow {
+    /// How much faster the service count is than full enumeration.
+    pub fn speedup_vs_full(&self) -> f64 {
+        self.full_eval_secs / self.index_count_secs.max(1e-12)
+    }
+}
+
+/// Everything the `count` mode measures.
+pub struct CountReport {
+    /// WSJ corpus scale (sentences).
+    pub wsj_sentences: usize,
+    /// Service shard count.
+    pub shards: usize,
+    /// Per-sweep-call match budget.
+    pub sweep_budget: usize,
+    /// Per-query measurements, Q1–Q23.
+    pub per_query: Vec<CountRow>,
+}
+
+impl CountReport {
+    /// Queries whose count is at least `factor`× faster than full
+    /// enumeration.
+    pub fn queries_faster_than(&self, factor: f64) -> usize {
+        self.per_query
+            .iter()
+            .filter(|r| r.speedup_vs_full() >= factor)
+            .count()
+    }
+
+    /// Render the report in the repository's `BENCH_*.json` house
+    /// style (hand-built, one `per_query` object per line).
+    pub fn to_json(&self) -> String {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"count\",\n");
+        json.push_str(&format!("  \"wsj_sentences\": {},\n", self.wsj_sentences));
+        json.push_str(&format!("  \"service_shards\": {},\n", self.shards));
+        json.push_str(&format!("  \"sweep_budget\": {},\n", self.sweep_budget));
+        json.push_str("  \"per_query\": [\n");
+        for (i, r) in self.per_query.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": {}, \"lpath\": {:?}, \"results\": {}, \"fast\": {}, \
+                 \"index_count_secs\": {:.9}, \"cursor_count_secs\": {:.9}, \
+                 \"full_eval_secs\": {:.9}, \"sweep_pages\": {}, \"sweep_secs\": {:.9}, \
+                 \"speedup_vs_full\": {:.3}}}{}\n",
+                r.id,
+                r.lpath,
+                r.results,
+                r.fast,
+                r.index_count_secs,
+                r.cursor_count_secs,
+                r.full_eval_secs,
+                r.sweep_pages,
+                r.sweep_secs,
+                r.speedup_vs_full(),
+                if i + 1 < self.per_query.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        json.push_str("  ],\n");
+        json.push_str(&format!(
+            "  \"queries_fast_path\": {},\n",
+            self.per_query.iter().filter(|r| r.fast).count()
+        ));
+        json.push_str(&format!(
+            "  \"queries_10x\": {}\n",
+            self.queries_faster_than(10.0)
+        ));
+        json.push_str("}\n");
+        json
+    }
+}
+
+/// Validate the shape of a `BENCH_count.json` document: required keys
+/// present, at least one per-query row, every row's timings positive
+/// and its speedup finite and consistent with them, at least one
+/// fast-path row, and a sweep that took at least one page. Returns
+/// the first problem found.
+pub fn validate(json: &str) -> Result<(), String> {
+    for key in [
+        "\"bench\": \"count\"",
+        "\"per_query\"",
+        "\"sweep_budget\"",
+        "\"queries_fast_path\"",
+        "\"queries_10x\"",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing {key}"));
+        }
+    }
+    let mut rows = 0;
+    let mut fast_rows = 0;
+    for line in json.lines().filter(|l| l.contains("\"index_count_secs\"")) {
+        rows += 1;
+        let get = |key: &str| -> Result<f64, String> {
+            field(line, key).ok_or_else(|| format!("row missing {key}: {line}"))
+        };
+        let (index, cursor, full) = (
+            get("index_count_secs")?,
+            get("cursor_count_secs")?,
+            get("full_eval_secs")?,
+        );
+        for (name, v) in [
+            ("index_count_secs", index),
+            ("cursor_count_secs", cursor),
+            ("full_eval_secs", full),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} {v} not finite and positive: {line}"));
+            }
+        }
+        let speedup = get("speedup_vs_full")?;
+        if !speedup.is_finite() || speedup <= 0.0 {
+            return Err(format!("speedup_vs_full {speedup} not positive: {line}"));
+        }
+        let pages: u64 =
+            field(line, "sweep_pages").ok_or_else(|| format!("row missing sweep_pages: {line}"))?;
+        if pages == 0 {
+            return Err(format!("sweep took zero pages: {line}"));
+        }
+        if line.contains("\"fast\": true") {
+            fast_rows += 1;
+        }
+    }
+    if rows == 0 {
+        return Err("no per-query rows".to_string());
+    }
+    if fast_rows == 0 {
+        return Err("no query took the aggregate fast path".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CountReport {
+        CountReport {
+            wsj_sentences: 300,
+            shards: 8,
+            sweep_budget: 2_000,
+            per_query: vec![
+                CountRow {
+                    id: 12,
+                    lpath: "//VB",
+                    results: 9_000,
+                    fast: true,
+                    index_count_secs: 0.000_001,
+                    cursor_count_secs: 0.000_900,
+                    full_eval_secs: 0.001_100,
+                    sweep_pages: 5,
+                    sweep_secs: 0.000_800,
+                },
+                CountRow {
+                    id: 1,
+                    lpath: "//VP[//VB]//NP",
+                    results: 120,
+                    fast: false,
+                    index_count_secs: 0.000_400,
+                    cursor_count_secs: 0.000_350,
+                    full_eval_secs: 0.000_500,
+                    sweep_pages: 1,
+                    sweep_secs: 0.000_450,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        let r = report();
+        validate(&r.to_json()).unwrap();
+        assert_eq!(r.queries_faster_than(10.0), 1);
+        assert_eq!(r.queries_faster_than(1.0), 2);
+    }
+
+    #[test]
+    fn validator_rejects_nonpositive_timings() {
+        let mut r = report();
+        r.per_query[0].index_count_secs = 0.0;
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("index_count_secs"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_zero_page_sweeps() {
+        let mut r = report();
+        r.per_query[1].sweep_pages = 0;
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("zero pages"), "{err}");
+    }
+
+    #[test]
+    fn validator_requires_a_fast_path_row() {
+        let mut r = report();
+        r.per_query[0].fast = false;
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("fast path"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_missing_keys_and_empty_reports() {
+        assert!(validate("{}").is_err());
+        let mut r = report();
+        r.per_query.clear();
+        let err = validate(&r.to_json()).unwrap_err();
+        assert!(err.contains("no per-query rows"), "{err}");
+    }
+}

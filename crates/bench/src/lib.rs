@@ -32,6 +32,7 @@
 #[path = "../../../tests/fixtures/mod.rs"]
 pub mod fixtures;
 
+pub mod count;
 pub mod metrics;
 pub mod server;
 

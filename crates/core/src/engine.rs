@@ -15,7 +15,8 @@ use lpath_relstore::{
     self as rel, wire, Cmp, ColRef, Cond, Database, OptGoal, PlannerConfig, Schema, Table, TableId,
     Value, NULL,
 };
-use lpath_syntax::{parse, Path, SyntaxError};
+use lpath_syntax::{parse, Axis, NodeTest, Path, SyntaxError};
+use std::collections::HashMap;
 
 use crate::compile::NCol;
 use crate::translate::{NodeCols, Translator, Unsupported};
@@ -60,7 +61,17 @@ pub struct Engine {
     interner: Interner,
     planner: PlannerConfig,
     ntrees: usize,
+    /// Exact element-occurrence histogram per name symbol, gathered
+    /// during the build pass: corpus total plus a sparse per-tree
+    /// breakdown `(tid, count)` sorted by tree id (only trees that
+    /// contain the symbol appear). Drives [`Engine::refine_estimate`]
+    /// and the density-aware chunk schedule.
+    tag_density: HashMap<u32, TagDensity>,
 }
+
+/// Occurrence histogram of one element name: `(corpus total,
+/// per-tree counts sorted by tree id)`.
+type TagDensity = (u64, Vec<(u32, u32)>);
 
 impl Engine {
     /// Label, load, cluster, index and analyze `corpus`.
@@ -80,11 +91,18 @@ impl Engine {
             row_count += t.len();
         }
         table.reserve(row_count);
+        let mut tag_density: HashMap<u32, TagDensity> = HashMap::new();
         for (tid, tree) in corpus.trees().iter().enumerate() {
             let labels = label_tree(tree);
             for id in tree.preorder() {
                 let l = &labels[id.index()];
                 let node = tree.node(id);
+                let d = tag_density.entry(node.name.raw()).or_default();
+                d.0 += 1;
+                match d.1.last_mut() {
+                    Some(e) if e.0 == tid as u32 => e.1 += 1,
+                    _ => d.1.push((tid as u32, 1)),
+                }
                 let base = [
                     tid as Value,
                     l.left,
@@ -139,6 +157,7 @@ impl Engine {
             interner: corpus.interner().clone(),
             planner,
             ntrees: corpus.trees().len(),
+            tag_density,
         }
     }
 
@@ -302,7 +321,9 @@ impl Engine {
         if self.check_ast(ast).statically_empty {
             return Ok(rel::Plan::constant_empty());
         }
-        Ok(rel::plan(&self.db, &cq, &self.planner))
+        let mut plan = rel::plan(&self.db, &cq, &self.planner);
+        self.refine_estimate(ast, &mut plan);
+        Ok(plan)
     }
 
     /// Result size — the measure reported in Figure 6(c). Counts
@@ -317,6 +338,43 @@ impl Engine {
     pub fn count_ast(&self, ast: &Path) -> Result<usize, EngineError> {
         let plan = self.plan_ast(ast)?;
         Ok(rel::count(&plan, &self.db))
+    }
+
+    /// Resume (or begin) a **count** of the query's matches: tally up
+    /// to `budget` further matches and return the count found this
+    /// call plus the checkpoint to continue from, or `None` once the
+    /// count is known complete. Counting pulls the same streaming
+    /// cursor as enumeration but materializes no output rows —
+    /// dedup-free plans (see [`lpath_relstore::ConjQuery::dedup_free`])
+    /// skip the distinct watermark sets entirely, and others carry
+    /// only the watermarks in the checkpoint. Summing the counts of
+    /// successive calls equals [`Engine::count_ast`], whatever the
+    /// per-call budgets.
+    pub fn count_resume(
+        &self,
+        ast: &Path,
+        checkpoint: Option<rel::CursorCheckpoint>,
+        budget: usize,
+    ) -> Result<(u64, Option<rel::CursorCheckpoint>), EngineError> {
+        let plan = self.plan_ast(ast)?;
+        Ok(rel::count_resume(&plan, &self.db, checkpoint, budget))
+    }
+
+    /// Decode a count checkpoint (a bare
+    /// [`lpath_relstore::CursorCheckpoint`]) for `ast` from untrusted
+    /// bytes. The plan is rebuilt deterministically — exactly as
+    /// [`Engine::count_resume`] builds it — and every structural claim
+    /// the bytes make is validated against it; any mismatch is a
+    /// [`wire::WireError`], never a panic.
+    pub fn decode_count_checkpoint(
+        &self,
+        ast: &Path,
+        r: &mut wire::Reader<'_>,
+    ) -> Result<rel::CursorCheckpoint, wire::WireError> {
+        let plan = self
+            .plan_ast(ast)
+            .map_err(|_| wire::WireError::Malformed("query has no relational translation"))?;
+        rel::CursorCheckpoint::decode(r, &plan, &self.db)
     }
 
     /// Does the query match anywhere? Stops at the first witness —
@@ -444,11 +502,12 @@ impl Engine {
                     order: self.planner.order,
                     goal: OptGoal::FirstRows(plan_k),
                 };
-                let plan = if self.check_ast(ast).statically_empty {
+                let mut plan = if self.check_ast(ast).statically_empty {
                     rel::Plan::constant_empty()
                 } else {
                     rel::plan(&self.db, &cq, &cfg)
                 };
+                self.refine_estimate(ast, &mut plan);
                 let state = if self.tid_ordered_anchor(&plan) {
                     let cursor = rel::Cursor::new(&plan, &self.db).suspend();
                     ResumeState::Stream {
@@ -484,7 +543,7 @@ impl Engine {
                     self.advance_stream(plan, cursor, buf, &mut ready, limit)
                 }
                 ResumeState::Chunked { plan, next_tree } => {
-                    self.advance_chunked(plan, next_tree, &mut ready, limit)
+                    self.advance_chunked(ast, plan, next_tree, &mut ready, limit)
                 }
             }
         };
@@ -560,6 +619,7 @@ impl Engine {
     /// and the returned state records the next unscanned tree.
     fn advance_chunked(
         &self,
+        ast: &Path,
         plan: Box<rel::Plan>,
         next_tree: usize,
         ready: &mut Vec<(u32, NodeId)>,
@@ -583,7 +643,7 @@ impl Engine {
         }
         let carried = ready.len();
         let mut lo = next_tree;
-        let mut span = initial_span(limit, plan.estimated_result, self.ntrees);
+        let mut span = self.density_span(ast, limit, next_tree, plan.estimated_result);
         while lo < self.ntrees && ready.len() < limit {
             let hi = lo.saturating_add(span).min(self.ntrees);
             let mut ranged = plan.clone();
@@ -662,11 +722,12 @@ impl Engine {
                     order: self.planner.order,
                     goal: OptGoal::FirstRows(plan_k),
                 };
-                let plan = if self.check_ast(ast).statically_empty {
+                let mut plan = if self.check_ast(ast).statically_empty {
                     rel::Plan::constant_empty()
                 } else {
                     rel::plan(&self.db, &cq, &cfg)
                 };
+                self.refine_estimate(ast, &mut plan);
                 if tag == 1 {
                     if !self.tid_ordered_anchor(&plan) {
                         return Err(Malformed("stream checkpoint for a non-streaming plan"));
@@ -725,7 +786,11 @@ impl Engine {
         if self.check_ast(ast).statically_empty {
             return Ok(Vec::new());
         }
-        let plan = rel::plan(&self.db, &cq, &cfg);
+        let mut plan = rel::plan(&self.db, &cq, &cfg);
+        let adaptive = !matches!(goal, OptGoal::AllRows);
+        if adaptive {
+            self.refine_estimate(ast, &mut plan);
+        }
         let need = offset.saturating_add(limit);
         if plan.steps.is_empty() {
             // No join step to push the range filter onto (cannot
@@ -735,11 +800,10 @@ impl Engine {
             all.truncate(need);
             return Ok(all.split_off(offset.min(all.len())));
         }
-        let adaptive = !matches!(goal, OptGoal::AllRows);
         let mut out: Vec<(u32, NodeId)> = Vec::new();
         let mut lo = 0usize;
         let mut span = if adaptive {
-            initial_span(need, plan.estimated_result, self.ntrees)
+            self.density_span(ast, need, 0, plan.estimated_result)
         } else {
             8
         };
@@ -792,6 +856,87 @@ impl Engine {
         let anchor = ColRef::new(step.alias, tid);
         step.residual.push(Cond::against_const(anchor, Cmp::Ge, lo));
         step.residual.push(Cond::against_const(anchor, Cmp::Lt, hi));
+    }
+
+    /// Sharpen the planner's result-cardinality estimate with the
+    /// build-time occurrence histogram: every match binds each step of
+    /// the main path (and its scope continuation) inside one tree, so
+    /// the scarcest step symbol's **exact** corpus total caps how many
+    /// matches can exist — often far below the planner's per-column
+    /// frequency extrapolation for multi-step queries.
+    pub fn refine_estimate(&self, ast: &Path, plan: &mut rel::Plan) {
+        if let Some(&(total, _)) = self.scarcest_density(ast) {
+            plan.estimated_result = plan.estimated_result.min(total as usize);
+        }
+    }
+
+    /// Exact number of elements named `tag` in the corpus, from the
+    /// build-time histogram (0 for symbols that never occur).
+    pub fn tag_total(&self, tag: &str) -> u64 {
+        self.interner
+            .get(tag)
+            .and_then(|s| self.tag_density.get(&s.raw()))
+            .map_or(0, |d| d.0)
+    }
+
+    /// The occurrence histogram of the query's scarcest element-name
+    /// symbol, or `None` when the query names no concrete element tag
+    /// (wildcards and attribute tests say nothing about element
+    /// density).
+    fn scarcest_density(&self, ast: &Path) -> Option<&TagDensity> {
+        static EMPTY: TagDensity = (0, Vec::new());
+        let mut best: Option<&TagDensity> = None;
+        let mut path = Some(ast);
+        while let Some(p) = path {
+            for step in &p.steps {
+                if step.axis == Axis::Attribute {
+                    continue;
+                }
+                let NodeTest::Tag(tag) = &step.test else {
+                    continue;
+                };
+                let d = self
+                    .interner
+                    .get(tag)
+                    .and_then(|s| self.tag_density.get(&s.raw()))
+                    .unwrap_or(&EMPTY);
+                if best.is_none_or(|b| d.0 < b.0) {
+                    best = Some(d);
+                }
+            }
+            path = p.scope.as_deref();
+        }
+        best
+    }
+
+    /// Density-aware first span of the adaptive chunk schedule: the
+    /// shortest tree prefix (counting from `start`) whose occurrence
+    /// count of the query's scarcest symbol reaches `need`, doubled
+    /// for slack. A tree without the symbol cannot hold a match, so
+    /// the histogram walk skips sparse regions that the uniform
+    /// extrapolation of [`initial_span`] would schedule round after
+    /// round; queries with no tag information fall back to it.
+    fn density_span(&self, ast: &Path, need: usize, start: usize, estimated: usize) -> usize {
+        let Some(&(total, ref per_tree)) = self.scarcest_density(ast) else {
+            return initial_span(need, estimated, self.ntrees);
+        };
+        if total == 0 {
+            // The symbol never occurs: prove emptiness in one round.
+            return self.ntrees.max(1);
+        }
+        let mut acc = 0u64;
+        for &(tid, n) in per_tree {
+            if (tid as usize) < start {
+                continue;
+            }
+            acc += u64::from(n);
+            if acc >= need as u64 {
+                let trees = (tid as usize + 1).saturating_sub(start);
+                return trees.saturating_mul(2).clamp(1, self.ntrees.max(1));
+            }
+        }
+        // Fewer occurrences remain than `need`: finish in one round.
+        self.ntrees.max(1)
     }
 }
 
@@ -1536,5 +1681,76 @@ mod tests {
         for q in ["//NP", "//V->NP", "//VP{//NP$}", "//ZZZ", "//_[@lex]"] {
             assert_eq!(e.count(q).unwrap(), e.query(q).unwrap().len(), "{q}");
         }
+    }
+
+    #[test]
+    fn build_histogram_has_exact_tag_totals() {
+        let e = engine();
+        // Figure 1: four NPs, three Ns, a single VP.
+        assert_eq!(e.tag_total("NP"), 4);
+        assert_eq!(e.tag_total("N"), 3);
+        assert_eq!(e.tag_total("VP"), 1);
+        assert_eq!(e.tag_total("ZZZ"), 0);
+        // Attribute names are not element occurrences.
+        assert_eq!(e.tag_total("@lex"), 0);
+    }
+
+    #[test]
+    fn refined_estimate_is_capped_by_the_scarcest_symbol() {
+        let e = engine();
+        // //VP//NP: at most one VP exists, so the refined estimate
+        // cannot exceed the scarcest symbol's total.
+        let plan = e
+            .plan_ast(&lpath_syntax::parse("//VP//NP").unwrap())
+            .unwrap();
+        assert!(plan.estimated_result <= 1, "{}", plan.estimated_result);
+        // Paging still returns the correct full result under the
+        // density-driven schedule.
+        assert_eq!(
+            e.query_limit("//VP//NP", 0, 100).unwrap(),
+            e.query("//VP//NP").unwrap()
+        );
+    }
+
+    #[test]
+    fn count_resume_sums_to_one_shot_count() {
+        let e = engine();
+        // `//V->NP` exercises the dedup path (2 distinct matches from
+        // 2 pipeline rows), `//NP/_` the dedup-free fast path.
+        for q in ["//NP", "//V->NP", "//VP{//NP$}", "//NP/_", "//ZZZ"] {
+            let ast = lpath_syntax::parse(q).unwrap();
+            let total = e.count(q).unwrap() as u64;
+            for budget in 1..4 {
+                let mut sum = 0;
+                let mut ckpt = None;
+                let mut rounds = 0;
+                loop {
+                    let (n, next) = e.count_resume(&ast, ckpt, budget).unwrap();
+                    sum += n;
+                    rounds += 1;
+                    assert!(rounds < 100, "count_resume failed to converge");
+                    match next {
+                        Some(c) => ckpt = Some(c),
+                        None => break,
+                    }
+                }
+                assert_eq!(sum, total, "{q} with budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_free_plans_really_skip_the_watermarks() {
+        let e = engine();
+        // A reverse-functional chain: provably duplicate-free.
+        let plan = e
+            .plan_ast(&lpath_syntax::parse("//NP/NP").unwrap())
+            .unwrap();
+        assert!(plan.dedup_free);
+        // `->` can reach one node from several left neighbors.
+        let plan = e
+            .plan_ast(&lpath_syntax::parse("//V->NP").unwrap())
+            .unwrap();
+        assert!(!plan.dedup_free);
     }
 }

@@ -116,6 +116,7 @@ impl<'a> Translator<'a> {
             ColRef::new(result, self.cols.col(NCol::Tid)),
             ColRef::new(result, self.cols.col(NCol::Id)),
         ];
+        q.dedup_free = dedup_free_path(path, true);
         Ok(q)
     }
 
@@ -598,6 +599,75 @@ impl<'a> Translator<'a> {
     }
 }
 
+/// Is the translated join provably duplicate-free, so `DISTINCT` is a
+/// no-op and counting may skip the dedup watermark sets?
+///
+/// The projection is the final step's alias; duplicates arise exactly
+/// when some *other* alias can bind more than one way for a fixed
+/// output binding. Walking the step chain backwards from the output,
+/// a context binding is uniquely recoverable from its step's binding
+/// for `Child` (the parent), the immediate-sibling axes (the adjacent
+/// sibling) and `Attribute` (the owning element); the document start
+/// and the per-tree root/alignment aliases are unique given the
+/// output's tree. Positive predicates inline witness aliases (the
+/// paper's DISTINCT absorbs their multiplicity), so only fully
+/// negated predicates — which compile to `NOT EXISTS` subqueries with
+/// no top-level alias — qualify. Conservative by design: `false`
+/// merely means "dedup as usual".
+fn dedup_free_path(path: &Path, outermost: bool) -> bool {
+    for (i, step) in path.steps.iter().enumerate() {
+        if !step.predicates.iter().all(|p| pred_negated_only(p, false)) {
+            return false;
+        }
+        // The outermost first step hangs off the document (absolute)
+        // or the per-tree root (relative) — unique either way. Every
+        // later link must be reverse-functional. A scope continuation's
+        // first step hangs off the scope head, which is an ordinary
+        // chain link.
+        let anchored = outermost && i == 0;
+        if !anchored && !reverse_functional(step.axis) {
+            return false;
+        }
+    }
+    match &path.scope {
+        Some(inner) => dedup_free_path(inner, false),
+        None => true,
+    }
+}
+
+/// Axes whose context binding is a function of the step binding.
+fn reverse_functional(axis: Axis) -> bool {
+    matches!(
+        axis,
+        Axis::Child
+            | Axis::ImmediateFollowingSibling
+            | Axis::ImmediatePrecedingSibling
+            | Axis::Attribute
+    )
+}
+
+/// Does this predicate compile to (NOT) EXISTS subqueries only, adding
+/// no top-level alias? Mirrors [`Translator::pred_into`]'s negation
+/// bookkeeping, including the `count()` existence folding.
+fn pred_negated_only(p: &Pred, negated: bool) -> bool {
+    match p {
+        Pred::Not(inner) => pred_negated_only(inner, !negated),
+        // The translator only accepts positive conjunctions; a negated
+        // one is untranslatable, so the hint does not matter.
+        Pred::And(a, b) if !negated => pred_negated_only(a, false) && pred_negated_only(b, false),
+        Pred::Exists(_) | Pred::Cmp { .. } | Pred::StrCmp { .. } | Pred::StrLen { .. } => negated,
+        Pred::Count { op, value, .. } => {
+            let exists = match (op, value) {
+                (CmpOp::Gt | CmpOp::Ne, 0) => true,
+                (CmpOp::Eq, 0) | (CmpOp::Lt, 1) => false,
+                _ => return false,
+            };
+            negated == exists
+        }
+        Pred::And(..) | Pred::Or(..) | Pred::Position(..) => false,
+    }
+}
+
 /// A constraint on the `value` column of a predicate path's final alias.
 enum ValueConstraint<'a> {
     /// Compare against one literal.
@@ -740,6 +810,49 @@ mod tests {
     fn wildcard_excludes_attribute_rows() {
         let sql = sql_of("//_").unwrap();
         assert!(sql.contains(&format!("n0.value = {NULL}")), "{sql}");
+    }
+
+    fn dedup_free_of(q: &str) -> bool {
+        let (db, t, i) = setup();
+        let cols = NodeCols::resolve(&db, t);
+        let tr = Translator::new(t, cols, &i);
+        tr.translate(&parse(q).unwrap()).unwrap().dedup_free
+    }
+
+    #[test]
+    fn dedup_free_classification() {
+        // Provably duplicate-free: one free axis, then only
+        // reverse-functional links; negated predicates add no aliases.
+        for q in [
+            "//NP",
+            "/S",
+            "//_",
+            "//NP/NP/NP",
+            "//PP=>S",
+            "//NP<=VP",
+            "//VP{/NP$}",
+            "//NP[not(//V)]",
+            "//NP[count(//V)=0]",
+            "//NP[not(count(//V)>0)]/N",
+        ] {
+            assert!(dedup_free_of(q), "should be dedup-free: {q}");
+        }
+        // Duplicates possible: a later step re-reaches the same output
+        // binding from several contexts, or a positive predicate joins
+        // in a witness alias whose multiplicity DISTINCT must absorb.
+        for q in [
+            "//S//NP",
+            "//V->NP",  // nested nodes can share a right edge
+            "//V-->NP", // order is many-to-many
+            "//S/VP//NP",
+            "//S[//V]",
+            "//_[@lex=saw]",      // positive attr predicate joins a witness
+            "//NP[count(//V)>0]", // folds to positive existence
+            "//VP{//NP$}",        // scope continuation is not reverse-functional
+            "//NP[not(//V)][//N]",
+        ] {
+            assert!(!dedup_free_of(q), "should not be dedup-free: {q}");
+        }
     }
 
     #[test]

@@ -713,6 +713,55 @@ impl<'a> Cursor<'a> {
     }
 }
 
+impl Cursor<'_> {
+    /// Count the tuples this cursor has yet to produce, without
+    /// materializing an output vector. Non-distinct plans count every
+    /// complete binding; distinct plans count first-encounter tuples
+    /// through the watermark sets — unless the plan is
+    /// [`dedup_free`](Plan::dedup_free), in which case duplicates are
+    /// provably impossible and both the projection and the watermark
+    /// sets are skipped (the count pushdown fast path).
+    pub fn count_remaining(&mut self) -> u64 {
+        self.count_up_to(u64::MAX).0
+    }
+
+    /// Count at most `budget` further tuples. Returns the number
+    /// counted plus whether the enumeration is exhausted (`false`
+    /// means the budget ran out and the cursor can be suspended).
+    fn count_up_to(&mut self, budget: u64) -> (u64, bool) {
+        let mut n = 0u64;
+        if !self.plan.distinct || self.plan.dedup_free {
+            while n < budget {
+                if !self.advance_match() {
+                    return (n, true);
+                }
+                n += 1;
+            }
+        } else if self.narrow {
+            while n < budget {
+                if !self.advance_match() {
+                    return (n, true);
+                }
+                let key = self.packed();
+                if self.seen_narrow.insert(key) {
+                    n += 1;
+                }
+            }
+        } else {
+            while n < budget {
+                if !self.advance_match() {
+                    return (n, true);
+                }
+                let tuple = self.project();
+                if self.seen_wide.insert(tuple) {
+                    n += 1;
+                }
+            }
+        }
+        (n, false)
+    }
+}
+
 impl Iterator for Cursor<'_> {
     type Item = Vec<Value>;
 
@@ -766,28 +815,32 @@ pub fn exists(plan: &Plan, db: &Database) -> bool {
 /// only wide distinct projections hash materialized tuples (and drop
 /// them immediately).
 pub fn count(plan: &Plan, db: &Database) -> usize {
-    let mut c = Cursor::new(plan, db);
-    let mut n = 0;
-    if !plan.distinct {
-        while c.advance_match() {
-            n += 1;
-        }
-    } else if c.narrow {
-        while c.advance_match() {
-            let key = c.packed();
-            if c.seen_narrow.insert(key) {
-                n += 1;
-            }
-        }
+    Cursor::new(plan, db).count_remaining() as usize
+}
+
+/// Count up to `budget` further tuples of `plan`'s output, continuing
+/// from `checkpoint` (or from the start when `None`), plus the
+/// checkpoint to continue from next — `None` once the enumeration is
+/// known exhausted. Summing the counts of successive calls equals
+/// [`count`], whatever the per-call budgets: the checkpoint carries
+/// the distinct watermark sets, so resumed counting never double- or
+/// under-counts across a suspension boundary.
+pub fn count_resume(
+    plan: &Plan,
+    db: &Database,
+    checkpoint: Option<CursorCheckpoint>,
+    budget: usize,
+) -> (u64, Option<CursorCheckpoint>) {
+    let mut cursor = match checkpoint {
+        Some(ckpt) => Cursor::resume(plan, db, ckpt),
+        None => Cursor::new(plan, db),
+    };
+    let (n, exhausted) = cursor.count_up_to(budget as u64);
+    if exhausted {
+        (n, None)
     } else {
-        while c.advance_match() {
-            let tuple = c.project();
-            if c.seen_wide.insert(tuple) {
-                n += 1;
-            }
-        }
+        (n, Some(cursor.into_checkpoint()))
     }
-    n
 }
 
 /// The `[offset, offset + limit)` slice of `execute`'s output, stopping

@@ -75,7 +75,7 @@ pub mod wire;
 
 pub use catalog::{Database, IndexId, TableId};
 pub use cursor::{
-    count, execute, execute_analyzed, execute_page, execute_resume, exists, Cursor,
+    count, count_resume, execute, execute_analyzed, execute_page, execute_resume, exists, Cursor,
     CursorCheckpoint, StepObs,
 };
 pub use expr::{ColRef, Cond, InCond, Operand};

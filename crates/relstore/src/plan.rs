@@ -82,6 +82,10 @@ pub struct Plan {
     pub projection: Vec<ColRef>,
     /// Deduplicate output tuples.
     pub distinct: bool,
+    /// Duplicates are provably impossible (see
+    /// [`crate::ConjQuery::dedup_free`]): counting may skip the
+    /// distinct watermark sets. Never set on hand-built plans.
+    pub dedup_free: bool,
     /// Planner estimate of the cost (candidate rows × probes) to
     /// produce the *first* output tuple; includes a constant penalty
     /// for plans whose anchor is not the output alias, whose pages must

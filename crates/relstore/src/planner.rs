@@ -227,6 +227,7 @@ pub fn plan(db: &Database, q: &ConjQuery, cfg: &PlannerConfig) -> Plan {
         checks,
         projection: q.projection.clone(),
         distinct: q.distinct,
+        dedup_free: q.dedup_free,
         estimated_startup,
         estimated_total,
         estimated_result,

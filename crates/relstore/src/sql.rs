@@ -39,6 +39,12 @@ pub struct ConjQuery {
     pub projection: Vec<ColRef>,
     /// Emit `SELECT DISTINCT`.
     pub distinct: bool,
+    /// The translator proved that enumeration cannot produce duplicate
+    /// projected tuples (every non-output alias is functionally
+    /// determined by the output alias). `DISTINCT` is then a no-op, so
+    /// counting paths may skip the dedup watermark sets entirely.
+    /// Purely an optimization hint: `false` is always sound.
+    pub dedup_free: bool,
 }
 
 impl ConjQuery {

@@ -61,6 +61,29 @@ pub struct RemotePage {
     pub token: Option<String>,
 }
 
+/// One step of a remote budgeted count sweep.
+#[derive(Clone, Debug)]
+pub struct RemoteCountPage {
+    /// Matches counted so far across the sweep.
+    pub so_far: u64,
+    /// The complete count, once the sweep finished.
+    pub total: Option<u64>,
+    /// Echo to the next [`Client::count_page`] call; `None` = done.
+    pub token: Option<String>,
+}
+
+/// A remote query histogram: the match set aggregated per tree and
+/// per label; both breakdowns sum to `total`.
+#[derive(Clone, Debug)]
+pub struct RemoteHistogram {
+    /// Total matches (equals the server's `count`).
+    pub total: u64,
+    /// `(global tree id, count)`, tid-ascending, non-zero only.
+    pub per_tree: Vec<(u32, u64)>,
+    /// `(label, count)`, label-ascending, non-zero only.
+    pub per_label: Vec<(String, u64)>,
+}
+
 impl Client {
     /// Connect to a server.
     ///
@@ -206,6 +229,99 @@ impl Client {
             .get("count")
             .and_then(Value::as_u64)
             .ok_or_else(|| ClientError::Protocol("count response without count".into()))
+    }
+
+    /// One budgeted step of a remote count sweep. Pass `token: None`
+    /// to start, then echo [`RemoteCountPage::token`] until
+    /// [`RemoteCountPage::total`] arrives.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`]; a corrupt echoed token is
+    /// [`ClientError::Remote`] with code `bad_token`.
+    pub fn count_page(
+        &mut self,
+        query: &str,
+        token: Option<&str>,
+        budget: usize,
+    ) -> Result<RemoteCountPage, ClientError> {
+        let mut params = format!(
+            "{{\"query\": \"{}\", \"budget\": {budget}",
+            json::escape(query)
+        );
+        if let Some(t) = token {
+            params.push_str(&format!(", \"token\": \"{}\"", json::escape(t)));
+        }
+        params.push('}');
+        let result = self.call("count", &params)?;
+        let so_far = result
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("count response without count".into()))?;
+        let total = match result.get("total") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| ClientError::Protocol("total is not an integer".into()))?,
+            ),
+        };
+        let token = match result.get("token") {
+            Some(Value::Str(t)) => Some(t.clone()),
+            Some(Value::Null) | None => None,
+            Some(_) => {
+                return Err(ClientError::Protocol(
+                    "token field is neither string nor null".into(),
+                ))
+            }
+        };
+        Ok(RemoteCountPage {
+            so_far,
+            total,
+            token,
+        })
+    }
+
+    /// The query's match histogram (total, per-tree, per-label).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn hist(&mut self, query: &str) -> Result<RemoteHistogram, ClientError> {
+        let result = self.call("hist", &query_params(query))?;
+        let total = result
+            .get("total")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Protocol("hist response without total".into()))?;
+        let bad = || ClientError::Protocol("hist breakdown is not [[key, n], …]".into());
+        let pairs = |field: &str| -> Result<Vec<(Value, u64)>, ClientError> {
+            let items = result.get(field).and_then(Value::as_arr).ok_or_else(bad)?;
+            items
+                .iter()
+                .map(|pair| match pair.as_arr().ok_or_else(bad)? {
+                    [k, n] => Ok((k.clone(), n.as_u64().ok_or_else(bad)?)),
+                    _ => Err(bad()),
+                })
+                .collect()
+        };
+        let per_tree = pairs("per_tree")?
+            .into_iter()
+            .map(|(k, n)| {
+                let tid = k.as_u64().and_then(|v| u32::try_from(v).ok());
+                tid.map(|t| (t, n)).ok_or_else(bad)
+            })
+            .collect::<Result<_, _>>()?;
+        let per_label = pairs("per_label")?
+            .into_iter()
+            .map(|(k, n)| match k {
+                Value::Str(s) => Ok((s, n)),
+                _ => Err(bad()),
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(RemoteHistogram {
+            total,
+            per_tree,
+            per_label,
+        })
     }
 
     /// Does the query match anywhere?

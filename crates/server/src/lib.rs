@@ -4,13 +4,22 @@
 //! TCP, one request per line, one response per line, both sides plain
 //! JSON (hand-parsed by [`lpath_obs::json`] — no serde under the
 //! offline-shim policy). It exposes the full [`lpath_service::Service`]
-//! surface — `eval`, `eval_page`, `count`, `exists`, `check`,
+//! surface — `eval`, `eval_page`, `count`, `hist`, `exists`, `check`,
 //! `metrics`, `append_ptb` — where every paged response carries an
 //! **opaque resumption token** ([`lpath_service::Page`]): the
 //! serialized, checksummed, corpus-stamped execution checkpoint. The
 //! client echoes the token; the server keeps *no* per-client session
 //! state, so deep paging survives reconnects, server restarts onto the
 //! same corpus, and load-balancing across identical replicas.
+//!
+//! `count` comes in two shapes: the bare `{"query"}` form answers
+//! `{"count": n}` in one shot (O(index) when the query hits the
+//! aggregate tables), while a `budget` and/or `token` param turns it
+//! into a resumable sweep whose `{"count", "total", "token"}`
+//! responses carry a count token ([`lpath_service::CountPage`]) the
+//! client echoes until `total` arrives. `hist` returns the GROUP
+//! BY-style match histogram: total plus per-tree and per-label
+//! breakdowns.
 //!
 //! # Protocol
 //!
@@ -46,7 +55,7 @@
 pub mod client;
 mod proto;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RemoteCountPage, RemoteHistogram};
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};

@@ -109,8 +109,65 @@ fn dispatch(
             ))
         }
         "count" => {
-            let n = svc.count(query_param(params)?).map_err(service_error)?;
-            Ok(format!("{{\"count\": {n}}}"))
+            let query = query_param(params)?;
+            let token = match params.and_then(|p| p.get("token")) {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(t)) => Some(t.as_str()),
+                Some(_) => return Err(bad_request("field 'token' must be a string")),
+            };
+            let budget = match params.and_then(|p| p.get("budget")) {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    usize::try_from(v.as_u64().ok_or_else(|| {
+                        bad_request("field 'budget' must be a non-negative integer")
+                    })?)
+                    .map_err(|_| bad_request("field 'budget' out of range"))?,
+                ),
+            };
+            // One-shot form (no token, no budget) keeps the original
+            // `{"count": n}` shape; the budgeted form drives the
+            // stateless count-token sweep.
+            if token.is_none() && budget.is_none() {
+                let n = svc.count(query).map_err(service_error)?;
+                return Ok(format!("{{\"count\": {n}}}"));
+            }
+            let page = svc
+                .count_token(query, token, budget.unwrap_or(usize::MAX))
+                .map_err(service_error)?;
+            let total = page
+                .total
+                .map_or_else(|| "null".to_string(), |n| n.to_string());
+            let token_json = page.token.map_or_else(
+                || "null".to_string(),
+                |t| format!("\"{}\"", json::escape(&t)),
+            );
+            Ok(format!(
+                "{{\"count\": {}, \"total\": {total}, \"token\": {token_json}}}",
+                page.so_far
+            ))
+        }
+        "hist" => {
+            let h = svc.hist(query_param(params)?).map_err(service_error)?;
+            let mut per_tree = String::from("[");
+            for (i, (tid, n)) in h.per_tree.iter().enumerate() {
+                if i > 0 {
+                    per_tree.push_str(", ");
+                }
+                per_tree.push_str(&format!("[{tid}, {n}]"));
+            }
+            per_tree.push(']');
+            let mut per_label = String::from("[");
+            for (i, (label, n)) in h.per_label.iter().enumerate() {
+                if i > 0 {
+                    per_label.push_str(", ");
+                }
+                per_label.push_str(&format!("[\"{}\", {n}]", json::escape(label)));
+            }
+            per_label.push(']');
+            Ok(format!(
+                "{{\"total\": {}, \"per_tree\": {per_tree}, \"per_label\": {per_label}}}",
+                h.total
+            ))
         }
         "exists" => {
             let found = svc.exists(query_param(params)?).map_err(service_error)?;

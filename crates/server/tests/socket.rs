@@ -107,6 +107,49 @@ fn sweep_survives_interleaved_appends() {
     assert_eq!(rows, now);
 }
 
+/// The budgeted count sweep over the socket: only echoed count tokens,
+/// reconnecting mid-sweep, lands on the same total as a one-shot
+/// `count` — and `hist` agrees with both and with the in-process
+/// service.
+#[test]
+fn count_sweep_and_hist_match_one_shot_counts() {
+    let (handle, svc) = start(60, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for (qi, q) in QUERIES.iter().enumerate() {
+        let reference = svc.count(q.lpath).unwrap() as u64;
+        assert_eq!(client.count(q.lpath).unwrap(), reference, "Q{}", q.id);
+        let mut token: Option<String> = None;
+        let mut pages = 0usize;
+        let total = loop {
+            if qi % 3 == 0 && pages % 2 == 1 {
+                client = Client::connect(handle.addr()).unwrap();
+            }
+            let page = client.count_page(q.lpath, token.as_deref(), 64).unwrap();
+            pages += 1;
+            match page.total {
+                Some(t) => {
+                    assert_eq!(page.so_far, t, "a final page reports the total");
+                    assert!(page.token.is_none(), "no token after the total");
+                    break t;
+                }
+                None => token = Some(page.token.expect("an unfinished sweep mints a token")),
+            }
+        };
+        assert_eq!(total, reference, "Q{} {}", q.id, q.lpath);
+        let hist = client.hist(q.lpath).unwrap();
+        assert_eq!(hist.total, reference, "Q{} hist total", q.id);
+        let tree_sum: u64 = hist.per_tree.iter().map(|&(_, n)| n).sum();
+        let label_sum: u64 = hist.per_label.iter().map(|&(_, n)| n).sum();
+        assert_eq!(tree_sum, reference, "Q{} per-tree sum", q.id);
+        assert_eq!(label_sum, reference, "Q{} per-label sum", q.id);
+    }
+    // A corrupt count token answers with the stable bad_token code.
+    match client.count_page("//NP", Some("???not-base64"), 8) {
+        Err(ClientError::Remote { code, .. }) => assert_eq!(code, "bad_token"),
+        other => panic!("expected bad_token, got {other:?}"),
+    }
+}
+
 /// All non-paged methods round-trip over the socket.
 #[test]
 fn full_method_surface_round_trips() {

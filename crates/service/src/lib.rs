@@ -75,6 +75,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agg;
 pub mod cache;
 pub mod plan;
 pub mod shard;
@@ -91,15 +92,16 @@ use lpath_model::ptb::parse_into;
 use lpath_model::{Corpus, ModelError};
 use lpath_syntax::{parse, SyntaxError};
 
+pub use agg::{AggTables, FastClass};
 pub use cache::ResultSet;
 use cache::{CountCache, PrefixCache, PrefixEntry, ResultCache};
 pub use lpath_check::{CheckReport, Diagnostic, Severity};
 pub use lpath_obs::HistogramSnapshot;
 pub use plan::{required_symbols, CompiledQuery, ExecStrategy};
-pub use shard::{Shard, ShardCheckpoint, StaleCheckpoint};
+pub use shard::{Shard, ShardCheckpoint, ShardCountCheckpoint, StaleCheckpoint};
 use stats::{Class, Counters, Instruments};
 pub use stats::{ClassMetrics, Metrics, ServiceStats, ShardStats, SlowQuery};
-pub use token::Page;
+pub use token::{CountPage, Page};
 
 /// Everything that can go wrong answering a service request.
 ///
@@ -195,6 +197,34 @@ impl Default for ServiceConfig {
 struct PlanEntry {
     compiled: Arc<CompiledQuery>,
     stamp: AtomicU64,
+}
+
+/// A suspended [`Service::count_resume`] sweep: the shard the count
+/// is parked in, how much of that shard has already been counted
+/// (the recovery offset if the shard is rebuilt mid-sweep), and the
+/// shard's own suspended counting state. Sealed into the stateless
+/// count-token envelope by [`Service::count_token`].
+#[derive(Clone, Debug)]
+pub struct CountCheckpoint {
+    shard: u16,
+    /// Matches already counted within `shard` — lets a stale resume
+    /// recover by offset instead of double-counting.
+    shard_counted: u64,
+    inner: Option<ShardCountCheckpoint>,
+}
+
+/// The GROUP BY-style result shape of [`Service::hist`]: one query's
+/// match set aggregated two ways. Both breakdowns sum to `total`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryHistogram {
+    /// Total matches — equals [`Service::count`] of the same query.
+    pub total: u64,
+    /// Matches per tree: `(global tree id, count)`, tid-ascending,
+    /// non-zero entries only.
+    pub per_tree: Vec<(u32, u64)>,
+    /// Matches per matched-node label, label-ascending, non-zero
+    /// entries only.
+    pub per_label: Vec<(String, u64)>,
 }
 
 /// Corpus-dependent state, replaced wholesale on swap and patched on
@@ -326,6 +356,7 @@ impl Service {
         };
         let compiled = Arc::new(CompiledQuery {
             required: required_symbols(&ast),
+            fast: agg::classify(&ast),
             normalized: normalized.clone(),
             ast,
             strategy,
@@ -523,6 +554,14 @@ impl Service {
             self.counters.shards_pruned.bump();
             return 0;
         }
+        // Aggregate-table fast path: a tabulated query shape is a
+        // hash lookup per shard — cheaper than the cache probes it
+        // replaces, so it sits in front of them.
+        if let Some(fast) = &compiled.fast {
+            self.counters.count_fast.bump();
+            let n = shard.agg().count(fast, shard.corpus().interner());
+            return usize::try_from(n).unwrap_or(usize::MAX);
+        }
         let key = (compiled.normalized.clone(), vec![si]);
         let build = shard.build_id();
         if let Some(n) = self.shard_counts.lock().unwrap().get(&key, build) {
@@ -543,6 +582,249 @@ impl Service {
         };
         self.shard_counts.lock().unwrap().insert(key, build, n);
         n
+    }
+
+    /// Resume (or begin) a budgeted count sweep: up to roughly
+    /// `budget` further matches counted after `checkpoint` (from the
+    /// start when `None`), plus the checkpoint to continue from —
+    /// `None` once the count is complete. Summing the chunks of
+    /// successive calls equals [`Service::count`] over unchanged
+    /// content; no match is counted twice. This is the counting
+    /// analogue of [`Service::eval_page`]'s resumable enumeration:
+    /// each call does O(budget) work (shards whose shape the
+    /// aggregate tables cover are counted in O(1) regardless of
+    /// budget, which may overshoot it — the budget bounds *work*, not
+    /// the returned number), so a very large count can be spread
+    /// across many small, interruptible requests.
+    ///
+    /// If the corpus is mutated between calls, the suspended position
+    /// is stale: the sweep recovers by recounting the affected shard
+    /// in full and reporting only the part not yet reported
+    /// ([`ServiceStats::stale_checkpoints`] advances) — the total
+    /// converges to the current content's count of that shard plus
+    /// whatever earlier shards contributed when they were counted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Syntax`] when the query does not parse.
+    pub fn count_resume(
+        &self,
+        query: &str,
+        checkpoint: Option<CountCheckpoint>,
+        budget: usize,
+    ) -> Result<(u64, Option<CountCheckpoint>), ServiceError> {
+        self.counters.queries.bump();
+        self.counters.count_resumes.bump();
+        let compiled = self.compile(query)?;
+        if compiled.statically_empty {
+            self.counters.statically_empty.bump();
+            return Ok((0, None));
+        }
+        let (shards, _) = self.snapshot();
+        Ok(self.count_advance(&compiled, &shards, checkpoint, budget))
+    }
+
+    /// The shared engine of [`Service::count_resume`] and the token
+    /// form ([`Service::count_token`]): advance the sweep by up to
+    /// `budget` counted matches, returning the chunk and the position
+    /// to continue from.
+    pub(crate) fn count_advance(
+        &self,
+        compiled: &CompiledQuery,
+        shards: &[Arc<Shard>],
+        checkpoint: Option<CountCheckpoint>,
+        budget: usize,
+    ) -> (u64, Option<CountCheckpoint>) {
+        let (mut si, mut shard_counted, mut inner) = match checkpoint {
+            Some(c) => (c.shard as usize, c.shard_counted, c.inner),
+            None => (0, 0, None),
+        };
+        let mut counted = 0u64;
+        while si < shards.len() {
+            if counted >= budget as u64 {
+                return (
+                    counted,
+                    Some(CountCheckpoint {
+                        shard: si as u16,
+                        shard_counted,
+                        inner,
+                    }),
+                );
+            }
+            let shard = &shards[si];
+            let fresh = inner.is_none() && shard_counted == 0;
+            if fresh && !shard.may_match(&compiled.required) {
+                self.counters.shards_pruned.bump();
+                si += 1;
+                continue;
+            }
+            // A whole untouched shard is O(1) when the aggregate
+            // tables cover the query — take it regardless of budget.
+            if fresh {
+                if let Some(fast) = &compiled.fast {
+                    self.counters.count_fast.bump();
+                    counted += shard.agg().count(fast, shard.corpus().interner());
+                    si += 1;
+                    continue;
+                }
+            }
+            let room = usize::try_from(budget as u64 - counted).unwrap_or(usize::MAX);
+            match shard.count_resume(compiled, inner.take(), room) {
+                Ok((n, next)) => {
+                    counted += n;
+                    shard_counted += n;
+                    match next {
+                        Some(c) => inner = Some(c),
+                        None => {
+                            si += 1;
+                            shard_counted = 0;
+                        }
+                    }
+                }
+                Err(_) => {
+                    // The corpus changed between calls and this
+                    // shard's suspended position indexes content that
+                    // is gone. Recover by offset: count the current
+                    // content in full (cheap — the per-shard count
+                    // cache or aggregate tables usually answer) and
+                    // report only what the sweep has not yet seen.
+                    self.counters.stale_checkpoints.bump();
+                    let full = self.count_one_shard(shard, si as u16, compiled) as u64;
+                    counted += full.saturating_sub(shard_counted);
+                    si += 1;
+                    shard_counted = 0;
+                }
+            }
+        }
+        (counted, None)
+    }
+
+    /// GROUP BY-style aggregation of `query`'s match set: the total
+    /// count, the matches per tree (global tree id, non-zero entries
+    /// only, tid-ascending) and the matches per node label
+    /// (label-ascending). Invariants, property-tested in
+    /// `prop_histogram`: the per-tree counts and the per-label counts
+    /// each sum to `total`, which equals [`Service::count`].
+    ///
+    /// Single-axis shapes the aggregate tables tabulate per tree
+    /// (`//_`, `//TAG`, `/_`, `/TAG`) are answered in O(index) without
+    /// visiting a single node ([`ServiceStats::count_fast`] advances
+    /// per shard); everything else aggregates an evaluation served
+    /// through the result caches.
+    pub fn hist(&self, query: &str) -> Result<QueryHistogram, ServiceError> {
+        self.counters.queries.bump();
+        self.counters.hists.bump();
+        let mut timer = self.instr.begin();
+        let compiled = self.compile(query)?;
+        if let Some(t) = timer.as_mut() {
+            t.mark_compiled();
+        }
+        if compiled.statically_empty {
+            self.counters.statically_empty.bump();
+            self.instr.finish(timer, Class::Hist, true, query, 0, 0);
+            return Ok(QueryHistogram::default());
+        }
+        let (shards, generation) = self.snapshot();
+        if let Some(h) = self.hist_fast(&compiled, &shards) {
+            self.instr.finish(timer, Class::Hist, true, query, 0, 0);
+            return Ok(h);
+        }
+        let ids: Vec<u16> = (0..shards.len() as u16).collect();
+        let (rows, hit) = self.eval_compiled(&shards, generation, &compiled, &ids);
+        let mut h = QueryHistogram {
+            total: rows.len() as u64,
+            per_tree: Vec::new(),
+            per_label: Vec::new(),
+        };
+        // Rows are in document order: per-tree runs accumulate
+        // directly; labels resolve against the shard owning each tree.
+        let mut labels: HashMap<String, u64> = HashMap::new();
+        let mut owner = 0usize;
+        for &(tid, node) in rows.iter() {
+            match h.per_tree.last_mut() {
+                Some(e) if e.0 == tid => e.1 += 1,
+                _ => h.per_tree.push((tid, 1)),
+            }
+            while owner + 1 < shards.len() && shards[owner + 1].base() <= tid {
+                owner += 1;
+            }
+            let shard = &shards[owner];
+            let tree = shard.corpus().tree((tid - shard.base()) as usize);
+            let name = shard.corpus().resolve(tree.node(node).name);
+            *labels.entry(name.to_string()).or_default() += 1;
+        }
+        h.per_label = labels.into_iter().collect();
+        h.per_label.sort();
+        let fanout = if hit { 0 } else { ids.len() };
+        self.instr.finish(timer, Class::Hist, hit, query, fanout, 0);
+        Ok(h)
+    }
+
+    /// Aggregate-table histogram: the classes whose *per-tree*
+    /// distribution the tables carry. Returns `None` for everything
+    /// else (including tabulated count-only classes like `//A/B`,
+    /// whose per-tree spread is not stored).
+    fn hist_fast(&self, compiled: &CompiledQuery, shards: &[Arc<Shard>]) -> Option<QueryHistogram> {
+        match compiled.fast.as_ref()? {
+            FastClass::AllNodes
+            | FastClass::Tag(_)
+            | FastClass::RootAny
+            | FastClass::RootTag(_) => {}
+            _ => return None,
+        }
+        let fast = compiled.fast.as_ref()?;
+        let mut h = QueryHistogram::default();
+        let mut labels: HashMap<String, u64> = HashMap::new();
+        for shard in shards {
+            self.counters.count_fast.bump();
+            let agg = shard.agg();
+            let interner = shard.corpus().interner();
+            let base = shard.base();
+            match fast {
+                FastClass::AllNodes => {
+                    for (ltid, &n) in agg.nodes_per_tree().iter().enumerate() {
+                        if n > 0 {
+                            h.per_tree.push((base + ltid as u32, u64::from(n)));
+                        }
+                    }
+                    for (sym, n) in agg.tag_totals() {
+                        *labels.entry(interner.resolve(sym).to_string()).or_default() += n;
+                    }
+                    h.total += agg.nodes_total();
+                }
+                FastClass::Tag(t) => {
+                    let Some(sym) = interner.get(t) else { continue };
+                    for &(ltid, n) in agg.tag_per_tree(sym) {
+                        h.per_tree.push((base + ltid, u64::from(n)));
+                        h.total += u64::from(n);
+                        *labels.entry(t.clone()).or_default() += u64::from(n);
+                    }
+                }
+                FastClass::RootAny => {
+                    for (ltid, &root) in agg.roots().iter().enumerate() {
+                        h.per_tree.push((base + ltid as u32, 1));
+                        *labels
+                            .entry(interner.resolve(root).to_string())
+                            .or_default() += 1;
+                        h.total += 1;
+                    }
+                }
+                FastClass::RootTag(t) => {
+                    let Some(sym) = interner.get(t) else { continue };
+                    for (ltid, &root) in agg.roots().iter().enumerate() {
+                        if root == sym {
+                            h.per_tree.push((base + ltid as u32, 1));
+                            *labels.entry(t.clone()).or_default() += 1;
+                            h.total += 1;
+                        }
+                    }
+                }
+                _ => unreachable!("filtered above"),
+            }
+        }
+        h.per_label = labels.into_iter().collect();
+        h.per_label.sort();
+        Some(h)
     }
 
     /// Does `query` match anywhere in the corpus? A cached count or
@@ -1035,6 +1317,9 @@ impl Service {
             count_misses: load(&c.count_misses),
             shard_count_hits: load(&c.shard_count_hits),
             shard_count_misses: load(&c.shard_count_misses),
+            count_fast: load(&c.count_fast),
+            count_resumes: load(&c.count_resumes),
+            hists: load(&c.hists),
             batch_dedup: load(&c.batch_dedup),
             queries: load(&c.queries),
             batches: load(&c.batches),
@@ -1067,6 +1352,9 @@ impl Service {
             queries: self.counters.queries.get(),
             enabled: self.instr.enabled(),
             classes: self.instr.class_metrics(),
+            count_fast: self.counters.count_fast.get(),
+            count_resumes: self.counters.count_resumes.get(),
+            hists: self.counters.hists.get(),
             slow_queries: self.instr.slow_snapshot(),
         }
     }
@@ -1600,14 +1888,19 @@ mod tests {
 
     #[test]
     fn append_recounts_only_the_tail_shard() {
+        // A descendant chain is outside the aggregate tables'
+        // classes, so counting it exercises the per-shard count
+        // cache (the tabulated classes never touch it — see
+        // `fast_counts_bypass_the_count_caches`).
         let svc = service(2);
-        assert_eq!(svc.count("//NP").unwrap(), 5);
+        assert_eq!(svc.count("//VP//NP").unwrap(), 3);
         let s = svc.stats();
         assert_eq!(s.shard_count_misses, 2);
         assert_eq!(s.shard_count_hits, 0);
-        svc.append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )")
+        assert_eq!(s.count_fast, 0);
+        svc.append_ptb("( (S (NP (NN bird)) (VP (VBD flew) (NP (NN home)))) )")
             .unwrap();
-        assert_eq!(svc.count("//NP").unwrap(), 6);
+        assert_eq!(svc.count("//VP//NP").unwrap(), 4);
         let s = svc.stats();
         // Head shard served from its build-scoped cache; only the
         // rebuilt tail was recounted.
@@ -1615,9 +1908,34 @@ mod tests {
         assert_eq!(s.shard_count_misses, 3);
         // A swap rebuilds everything: no stale reuse.
         svc.swap_corpus(&parse_str(SRC).unwrap());
-        assert_eq!(svc.count("//NP").unwrap(), 5);
+        assert_eq!(svc.count("//VP//NP").unwrap(), 3);
         assert_eq!(svc.stats().shard_count_hits, 1);
         assert_eq!(svc.stats().shard_count_misses, 5);
+    }
+
+    #[test]
+    fn fast_counts_bypass_the_count_caches() {
+        let svc = service(2);
+        assert_eq!(svc.count("//NP").unwrap(), 5);
+        let s = svc.stats();
+        // Both shards answered from their aggregate tables: no
+        // per-shard count-cache traffic, no shard evaluation.
+        assert_eq!(s.count_fast, 2);
+        assert_eq!(s.shard_count_misses, 0);
+        assert_eq!(s.shard_evals, 0);
+        // The corpus-level count cache still serves repeats.
+        assert_eq!(svc.count("//NP").unwrap(), 5);
+        assert_eq!(svc.stats().count_fast, 2);
+        assert_eq!(svc.stats().count_hits, 1);
+        // After an append the rebuilt tail's tables answer directly:
+        // still no count-cache misses anywhere.
+        svc.append_ptb("( (S (NP (NN bird)) (VP (VBD flew))) )")
+            .unwrap();
+        assert_eq!(svc.count("//NP").unwrap(), 6);
+        let s = svc.stats();
+        assert_eq!(s.count_fast, 4);
+        assert_eq!(s.shard_count_misses, 0);
+        assert_eq!(s.shard_evals, 0);
     }
 
     #[test]

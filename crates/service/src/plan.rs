@@ -9,6 +9,8 @@
 
 use lpath_syntax::{Axis, CmpOp, NodeTest, Path, Pred};
 
+use crate::agg::FastClass;
+
 /// How a compiled query executes on each shard — mirroring
 /// [`lpath_core::Engine`]'s fallback contract: everything the
 /// relational translation accepts runs as indexed joins; the rest
@@ -39,6 +41,11 @@ pub struct CompiledQuery {
     /// match — the shard-pruning requirements (conservative, positive
     /// conjunctive context only).
     pub required: Vec<String>,
+    /// The query's aggregate-table classification, when its shape is
+    /// one the per-shard tables answer exactly ([`crate::agg::classify`]):
+    /// counts and histograms are then O(index) per shard, skipping
+    /// caches, cursors and walkers alike.
+    pub fast: Option<FastClass>,
     /// The static analyzer proved the query empty against the master
     /// corpus vocabulary at compile time: every request path returns
     /// the empty answer without visiting a shard or writing a cache

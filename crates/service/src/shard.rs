@@ -6,8 +6,10 @@ use std::time::{Duration, Instant};
 
 use lpath_core::{Engine, QueryCheckpoint, Walker, WalkerCheckpoint};
 use lpath_model::{label_tree, Corpus, Label, NodeId};
-use lpath_relstore::wire;
+use lpath_relstore::{wire, CursorCheckpoint};
+use lpath_syntax::Path;
 
+use crate::agg::AggTables;
 use crate::plan::{CompiledQuery, ExecStrategy};
 use crate::stats::ShardStats;
 
@@ -45,6 +47,9 @@ pub struct Shard {
     /// fresh process's counter.)
     build_id: u64,
     build_time: Duration,
+    /// Aggregate tables precomputed by the build pass: O(1) exact
+    /// counts for the tabulated query shapes (see [`crate::agg`]).
+    agg: AggTables,
 }
 
 /// A suspended per-shard page enumeration: the execution strategy's
@@ -144,6 +149,49 @@ enum Resume {
 /// plus the checkpoint to continue from (`None` once exhausted).
 pub type ShardPage = (Vec<(u32, NodeId)>, Option<ShardCheckpoint>);
 
+/// A suspended per-shard *count* sweep: the counting analogue of
+/// [`ShardCheckpoint`], scoped to the same build id with the same
+/// staleness contract. The relational strategy suspends the streaming
+/// cursor itself ([`lpath_relstore::CursorCheckpoint`] — no rows
+/// materialized, only the join position and dedup watermark); the
+/// walker fallback suspends its tree scan.
+#[derive(Clone, Debug)]
+pub struct ShardCountCheckpoint {
+    build_id: u64,
+    inner: CountResume,
+}
+
+#[derive(Clone, Debug)]
+enum CountResume {
+    Engine(CursorCheckpoint),
+    Walker(WalkerCheckpoint),
+}
+
+impl ShardCountCheckpoint {
+    /// The shard build this checkpoint is valid against.
+    pub fn build_id(&self) -> u64 {
+        self.build_id
+    }
+
+    /// Serialize this checkpoint into `w`; mirrors
+    /// [`ShardCheckpoint::encode_into`] (build id, strategy tag,
+    /// strategy payload). [`Shard::decode_count_checkpoint`] reverses
+    /// it.
+    pub fn encode_into(&self, w: &mut wire::Writer) {
+        w.u64(self.build_id);
+        match &self.inner {
+            CountResume::Engine(c) => {
+                w.u8(0);
+                c.encode_into(w);
+            }
+            CountResume::Walker(c) => {
+                w.u8(1);
+                c.encode_into(w);
+            }
+        }
+    }
+}
+
 /// FNV-1a over `u32` words — the stable content hash behind
 /// [`Shard::build_id`]. Seeded with the shard's base tree id and the
 /// corpus generation, then fed every node's preorder position data
@@ -190,11 +238,13 @@ impl Shard {
                 *w |= 1 << bit;
             }
         };
-        // One pass feeds both the symbol-presence bitset and the
-        // content hash behind the build id.
+        // One pass feeds the symbol-presence bitset, the content hash
+        // behind the build id, and the aggregate count tables.
         let mut hash = ContentHash::new(start as u32, generation);
+        let mut agg = AggTables::default();
         for tree in corpus.trees() {
             hash.word(tree.len() as u32);
+            agg.observe_tree(tree);
             for id in tree.preorder() {
                 let node = tree.node(id);
                 mark(node.name.raw());
@@ -217,6 +267,7 @@ impl Shard {
             present,
             build_id: hash.finish(),
             build_time: t.elapsed(),
+            agg,
         }
     }
 
@@ -432,6 +483,107 @@ impl Shard {
         }
     }
 
+    /// Resume (or begin) a materialization-free count of the shard's
+    /// result: up to `budget` further matches counted after
+    /// `checkpoint` (from the start when `None`), plus the checkpoint
+    /// to continue from — `None` once the shard's count is complete.
+    /// Summing the chunks of successive calls equals [`Shard::count`];
+    /// no match is ever counted twice. The relational strategy counts
+    /// through the suspended cursor (dedup-free plans skip row
+    /// materialization entirely); the walker fallback counts its
+    /// tree-granular pages.
+    ///
+    /// # Errors
+    ///
+    /// [`StaleCheckpoint`] exactly as [`Shard::eval_resume`]: the
+    /// checkpoint belongs to different shard content, and nothing has
+    /// been counted when this returns.
+    pub fn count_resume(
+        &self,
+        compiled: &CompiledQuery,
+        checkpoint: Option<ShardCountCheckpoint>,
+        budget: usize,
+    ) -> Result<(u64, Option<ShardCountCheckpoint>), StaleCheckpoint> {
+        if let Some(c) = &checkpoint {
+            if c.build_id != self.build_id {
+                return Err(StaleCheckpoint {
+                    checkpoint_build: c.build_id,
+                    shard_build: self.build_id,
+                });
+            }
+        }
+        // Same dispatch contract as `eval_resume`: the checkpoint's
+        // own strategy wins when resuming, the compiled strategy
+        // decides a fresh start (falling back to the walker if the
+        // relational translation unexpectedly fails).
+        let (n, inner) = match (checkpoint.map(|c| c.inner), compiled.strategy) {
+            (Some(CountResume::Walker(ck)), _) => {
+                self.count_resume_walker(&compiled.ast, Some(ck), budget)
+            }
+            (Some(CountResume::Engine(ck)), _) => {
+                let (n, next) = self
+                    .engine
+                    .count_resume(&compiled.ast, Some(ck), budget)
+                    .expect("a resumed count translated before");
+                (n, next.map(CountResume::Engine))
+            }
+            (None, ExecStrategy::Relational) => {
+                match self.engine.count_resume(&compiled.ast, None, budget) {
+                    Ok((n, next)) => (n, next.map(CountResume::Engine)),
+                    Err(_) => self.count_resume_walker(&compiled.ast, None, budget),
+                }
+            }
+            (None, ExecStrategy::Walker) => self.count_resume_walker(&compiled.ast, None, budget),
+        };
+        let next = inner.map(|inner| ShardCountCheckpoint {
+            build_id: self.build_id,
+            inner,
+        });
+        Ok((n, next))
+    }
+
+    fn count_resume_walker(
+        &self,
+        ast: &Path,
+        checkpoint: Option<WalkerCheckpoint>,
+        budget: usize,
+    ) -> (u64, Option<CountResume>) {
+        let (rows, next) = self.walker().eval_resume(ast, checkpoint, budget);
+        (rows.len() as u64, next.map(CountResume::Walker))
+    }
+
+    /// Decode a [`ShardCountCheckpoint`] from untrusted bytes — the
+    /// count-token mirror of [`Shard::decode_checkpoint`], with the
+    /// same build-id-first staleness gate and structural validation.
+    pub fn decode_count_checkpoint(
+        &self,
+        compiled: &CompiledQuery,
+        r: &mut wire::Reader<'_>,
+    ) -> Result<ShardCountCheckpoint, CheckpointDecodeError> {
+        let build_id = r.u64()?;
+        if build_id != self.build_id {
+            return Err(CheckpointDecodeError::Stale(StaleCheckpoint {
+                checkpoint_build: build_id,
+                shard_build: self.build_id,
+            }));
+        }
+        let inner = match r.u8()? {
+            0 => CountResume::Engine(self.engine.decode_count_checkpoint(&compiled.ast, r)?),
+            1 => CountResume::Walker(WalkerCheckpoint::decode(r, self.corpus.trees().len())?),
+            _ => {
+                return Err(CheckpointDecodeError::Wire(wire::WireError::Malformed(
+                    "shard count resume strategy tag",
+                )))
+            }
+        };
+        Ok(ShardCountCheckpoint { build_id, inner })
+    }
+
+    /// The shard's precomputed aggregate tables (see [`crate::agg`]).
+    pub fn agg(&self) -> &AggTables {
+        &self.agg
+    }
+
     /// Does the query match anywhere on this shard? Stops at the
     /// first witness on both execution strategies.
     pub fn exists(&self, compiled: &CompiledQuery) -> bool {
@@ -476,6 +628,7 @@ mod tests {
         CompiledQuery {
             normalized: ast.to_string(),
             required: required_symbols(&ast),
+            fast: crate::agg::classify(&ast),
             ast,
             strategy: ExecStrategy::Relational,
             sql: None,

@@ -24,6 +24,9 @@ pub(crate) struct Counters {
     pub count_misses: Counter,
     pub shard_count_hits: Counter,
     pub shard_count_misses: Counter,
+    pub count_fast: Counter,
+    pub count_resumes: Counter,
+    pub hists: Counter,
     pub batch_dedup: Counter,
     pub queries: Counter,
     pub batches: Counter,
@@ -49,6 +52,7 @@ pub(crate) enum Class {
     EvalPage,
     Count,
     EvalBatch,
+    Hist,
 }
 
 impl Class {
@@ -58,10 +62,17 @@ impl Class {
             Class::EvalPage => "eval_page",
             Class::Count => "count",
             Class::EvalBatch => "eval_batch",
+            Class::Hist => "hist",
         }
     }
 
-    const ALL: [Class; 4] = [Class::Eval, Class::EvalPage, Class::Count, Class::EvalBatch];
+    const ALL: [Class; 5] = [
+        Class::Eval,
+        Class::EvalPage,
+        Class::Count,
+        Class::EvalBatch,
+        Class::Hist,
+    ];
 }
 
 /// A request in flight: started by [`Instruments::begin`], finished by
@@ -85,7 +96,7 @@ pub(crate) struct Instruments {
     enabled: bool,
     threshold: Duration,
     /// `[class][hit]` latency histograms, nanoseconds.
-    lat: [[Histogram; 2]; 4],
+    lat: [[Histogram; 2]; 5],
     slow: Ring<SlowQuery>,
 }
 
@@ -221,8 +232,18 @@ pub struct Metrics {
     /// histograms are structurally present but empty).
     pub enabled: bool,
     /// Per-class latency snapshots, fixed order: eval, eval_page,
-    /// count, eval_batch.
+    /// count, eval_batch, hist.
     pub classes: Vec<ClassMetrics>,
+    /// Counts (and fast histograms) answered straight from the
+    /// aggregate tables — the O(index) fast path. Surfaced here (not
+    /// only on [`ServiceStats`]) so `:metrics` and the server's
+    /// `metrics` method make the fast path observable.
+    pub count_fast: u64,
+    /// Budgeted count-sweep calls served (`count_resume` /
+    /// `count_token`).
+    pub count_resumes: u64,
+    /// Histogram requests served.
+    pub hists: u64,
     /// The slow-query ring's retained entries, oldest first.
     pub slow_queries: Vec<SlowQuery>,
 }
@@ -254,6 +275,10 @@ impl Metrics {
             ));
         }
         s.push_str("  },\n");
+        s.push_str(&format!(
+            "  \"aggregation\": {{\"count_fast\": {}, \"count_resumes\": {}, \"hists\": {}}},\n",
+            self.count_fast, self.count_resumes, self.hists
+        ));
         s.push_str("  \"slow_queries\": [\n");
         for (i, q) in self.slow_queries.iter().enumerate() {
             s.push_str(&format!(
@@ -328,6 +353,16 @@ pub struct ServiceStats {
     pub shard_count_hits: u64,
     /// Per-shard count-cache misses: shard counts actually recomputed.
     pub shard_count_misses: u64,
+    /// Per-shard counts (and fast histograms) answered from the
+    /// aggregate tables in O(index lookup): no cache probe, no cursor,
+    /// no walker, no materialization.
+    pub count_fast: u64,
+    /// Budgeted count-sweep calls served
+    /// ([`crate::Service::count_resume`] and
+    /// [`crate::Service::count_token`]).
+    pub count_resumes: u64,
+    /// Histogram requests served ([`crate::Service::hist`]).
+    pub hists: u64,
     /// Duplicate queries within one batch served from a sibling
     /// occurrence's evaluation (neither a cache hit nor a miss).
     pub batch_dedup: u64,
@@ -443,6 +478,9 @@ mod tests {
             count_misses: 0,
             shard_count_hits: 0,
             shard_count_misses: 0,
+            count_fast: 0,
+            count_resumes: 0,
+            hists: 0,
             batch_dedup: 0,
             queries: 0,
             batches: 0,
@@ -523,6 +561,9 @@ mod tests {
             queries: 1,
             enabled: true,
             classes: instr.class_metrics(),
+            count_fast: 2,
+            count_resumes: 1,
+            hists: 1,
             slow_queries: instr.slow_snapshot(),
         };
         let j = m.to_json();
@@ -533,6 +574,9 @@ mod tests {
             "\"eval_page\"",
             "\"count\"",
             "\"eval_batch\"",
+            "\"hist\"",
+            "\"aggregation\"",
+            "\"count_fast\": 2",
             "\"p50_ns\"",
             "\"p90_ns\"",
             "\"p99_ns\"",

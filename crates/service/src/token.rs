@@ -55,7 +55,7 @@ use lpath_relstore::wire;
 
 use crate::plan::CompiledQuery;
 use crate::shard::{CheckpointDecodeError, Shard, ShardCheckpoint};
-use crate::{ResultSet, Service, ServiceError};
+use crate::{CountCheckpoint, ResultSet, Service, ServiceError};
 
 #[cfg(doc)]
 use crate::ServiceStats;
@@ -64,6 +64,13 @@ use crate::ServiceStats;
 /// tokens are rejected with [`wire::WireError::Version`] instead of
 /// being misparsed.
 pub const TOKEN_VERSION: u16 = 1;
+
+/// Count-token format version. Deliberately distinct from
+/// [`TOKEN_VERSION`]: a paging token echoed to the count endpoint (or
+/// vice versa) fails the version gate outright instead of being
+/// misparsed as the other envelope — both layouts checksum cleanly,
+/// so the version word is what keeps them apart.
+pub const COUNT_TOKEN_VERSION: u16 = 2;
 
 /// One page of a token-driven sweep: the rows plus the opaque token
 /// that continues the enumeration — `None` once the result set is
@@ -74,6 +81,22 @@ pub struct Page {
     pub rows: ResultSet,
     /// Echo this to [`Service::eval_page_token`] for the next page;
     /// `None` means the sweep is complete.
+    pub token: Option<String>,
+}
+
+/// One step of a token-driven count sweep: the cumulative count plus
+/// the opaque token that continues it — `None` once the count is
+/// complete.
+#[derive(Clone, Debug)]
+pub struct CountPage {
+    /// Matches counted so far across the whole sweep, this call
+    /// included.
+    pub so_far: u64,
+    /// The complete count, once the sweep finished (then equal to
+    /// `so_far`); `None` while matches remain uncounted.
+    pub total: Option<u64>,
+    /// Echo this to [`Service::count_token`] to continue; `None` means
+    /// the count is complete.
     pub token: Option<String>,
 }
 
@@ -291,6 +314,82 @@ impl Service {
         });
         Ok(Page { rows, token })
     }
+
+    /// One budgeted step of a token-driven count: the stateless form
+    /// of [`Service::count_resume`], for clients across a network
+    /// edge. Pass `token: None` to start; echo [`CountPage::token`]
+    /// until [`CountPage::total`] arrives. Over unchanged content the
+    /// final `total` equals [`Service::count`]; each call does
+    /// O(budget) work (aggregate-table shards are O(1), so `so_far`
+    /// may overshoot the budget — it bounds work, not the count).
+    ///
+    /// A stale token (the corpus changed mid-sweep) is not an error:
+    /// the parked position indexes content that is gone, so the sweep
+    /// finishes by recounting current content outright — cheap, since
+    /// the count caches and aggregate tables answer — and returns a
+    /// final page ([`ServiceStats::stale_checkpoints`] advances).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadToken`] when `token` is present but
+    /// malformed (truncated, corrupted, version-skewed — including a
+    /// *paging* token echoed here — or minted for a different query);
+    /// [`ServiceError::Syntax`] when the query does not parse.
+    pub fn count_token(
+        &self,
+        query: &str,
+        token: Option<&str>,
+        budget: usize,
+    ) -> Result<CountPage, ServiceError> {
+        self.counters.queries.bump();
+        self.counters.count_resumes.bump();
+        let compiled = self.compile(query)?;
+        if compiled.statically_empty {
+            self.counters.statically_empty.bump();
+            return Ok(CountPage {
+                so_far: 0,
+                total: Some(0),
+                token: None,
+            });
+        }
+        let (shards, _) = self.snapshot();
+        let (prior, ckpt) = match token {
+            None => (0, None),
+            Some(t) => match open_count_token(t, &compiled, &shards) {
+                Ok((counted, pos)) => (counted, Some(pos)),
+                Err(OpenError::Stale { .. }) => {
+                    self.counters.stale_checkpoints.bump();
+                    let total = self.count(query)? as u64;
+                    return Ok(CountPage {
+                        so_far: total,
+                        total: Some(total),
+                        token: None,
+                    });
+                }
+                Err(OpenError::Bad(e)) => {
+                    self.counters.tokens_rejected.bump();
+                    return Err(ServiceError::BadToken(e));
+                }
+            },
+        };
+        let (n, next) = self.count_advance(&compiled, &shards, ckpt, budget);
+        let so_far = prior + n;
+        match next {
+            None => Ok(CountPage {
+                so_far,
+                total: Some(so_far),
+                token: None,
+            }),
+            Some(pos) => {
+                self.counters.tokens_minted.bump();
+                Ok(CountPage {
+                    so_far,
+                    total: None,
+                    token: Some(seal_count_token(&compiled, &shards, so_far, &pos)),
+                })
+            }
+        }
+    }
 }
 
 /// Serialize and seal a token: envelope, FNV-1a checksum, base64.
@@ -323,6 +422,104 @@ fn seal_token(
     let sum = wire::fnv1a(w.bytes());
     w.u64(sum);
     wire::b64_encode(w.bytes())
+}
+
+/// Serialize and seal a count token. Envelope, after the shared
+/// `[ver, query_fp, corpus_stamp]` prefix: the cumulative count, the
+/// parked shard, that shard's already-counted offset, and (when the
+/// shard is suspended mid-count) its serialized
+/// [`crate::ShardCountCheckpoint`]; FNV-1a checksum, base64.
+fn seal_count_token(
+    compiled: &CompiledQuery,
+    shards: &[Arc<Shard>],
+    counted: u64,
+    pos: &CountCheckpoint,
+) -> String {
+    let mut w = wire::Writer::new();
+    w.u16(COUNT_TOKEN_VERSION);
+    w.u64(query_fp(compiled));
+    w.u64(corpus_stamp(shards));
+    w.u64(counted);
+    w.u16(pos.shard);
+    w.u64(pos.shard_counted);
+    match &pos.inner {
+        Some(c) => {
+            w.u8(1);
+            c.encode_into(&mut w);
+        }
+        None => w.u8(0),
+    }
+    let sum = wire::fnv1a(w.bytes());
+    w.u64(sum);
+    wire::b64_encode(w.bytes())
+}
+
+/// Open and validate an echoed count token: the counting mirror of
+/// [`open_token`], with the same trust boundary. Returns the
+/// cumulative count plus the live resume position.
+fn open_count_token(
+    token: &str,
+    compiled: &CompiledQuery,
+    shards: &[Arc<Shard>],
+) -> Result<(u64, CountCheckpoint), OpenError> {
+    let bytes = wire::b64_decode(token)?;
+    let Some(body_len) = bytes.len().checked_sub(8) else {
+        return Err(OpenError::Bad(wire::WireError::Truncated));
+    };
+    let (body, sum) = bytes.split_at(body_len);
+    let declared = u64::from_le_bytes(sum.try_into().expect("split_at leaves 8 bytes"));
+    if wire::fnv1a(body) != declared {
+        return Err(OpenError::Bad(wire::WireError::Checksum));
+    }
+    let mut r = wire::Reader::new(body);
+    let ver = r.u16()?;
+    if ver != COUNT_TOKEN_VERSION {
+        return Err(OpenError::Bad(wire::WireError::Version(ver)));
+    }
+    if r.u64()? != query_fp(compiled) {
+        return Err(OpenError::Bad(wire::WireError::Malformed(
+            "token minted for a different query",
+        )));
+    }
+    let stale = r.u64()? != corpus_stamp(shards);
+    let counted = r.u64()?;
+    let shard = r.u16()?;
+    let shard_counted = r.u64()?;
+    let has_inner = r.bool()?;
+    if stale {
+        // The parked position indexes content that is gone; don't
+        // decode the checkpoint against shards it does not belong to.
+        return Err(OpenError::Stale { emitted: counted });
+    }
+    let Some(target) = shards.get(shard as usize) else {
+        return Err(OpenError::Bad(wire::WireError::Malformed(
+            "token shard index out of range",
+        )));
+    };
+    let inner = if has_inner {
+        match target.decode_count_checkpoint(compiled, &mut r) {
+            Ok(c) => Some(c),
+            Err(CheckpointDecodeError::Stale(_)) => {
+                return Err(OpenError::Stale { emitted: counted })
+            }
+            Err(CheckpointDecodeError::Wire(e)) => return Err(OpenError::Bad(e)),
+        }
+    } else {
+        None
+    };
+    if !r.finished() {
+        return Err(OpenError::Bad(wire::WireError::Malformed(
+            "trailing bytes after count checkpoint",
+        )));
+    }
+    Ok((
+        counted,
+        CountCheckpoint {
+            shard,
+            shard_counted,
+            inner,
+        },
+    ))
 }
 
 /// Open and validate an echoed token against the current compiled

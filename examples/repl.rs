@@ -10,6 +10,11 @@
 //!   with actual rows, probes and per-step time (EXPLAIN ANALYZE);
 //! * `:check QUERY`    — static analysis only: spanned lints plus the
 //!   vocabulary-aware emptiness verdict, without executing anything;
+//! * `:count QUERY`    — count matches without materializing them
+//!   (O(index) when the query hits the aggregate tables — check
+//!   `count_fast` under `:metrics`);
+//! * `:hist QUERY`     — match histogram: total, matches per tree,
+//!   matches per label;
 //! * `:metrics`        — the service's latency/slow-query snapshot
 //!   (plain queries are served through an instrumented service);
 //! * `.tree N`         — render tree N;
@@ -87,6 +92,8 @@ fn main() {
                      .plan QUERY     show the physical plan\n\
                      :analyze QUERY  execute and show the annotated plan\n\
                      :check QUERY    static lints + emptiness verdict (no execution)\n\
+                     :count QUERY    count matches without materializing rows\n\
+                     :hist QUERY     match histogram (per tree, per label)\n\
                      :metrics        service latency/slow-query snapshot\n\
                      .tree N         render tree N\n\
                      .stats          corpus statistics\n\
@@ -123,6 +130,22 @@ fn main() {
                                 "verdict: statically empty (would run the constant-empty plan)"
                             );
                         }
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            (":count" | ".count", q) => match service.count(q) {
+                Ok(n) => println!("{n} match(es)"),
+                Err(e) => println!("error: {e}"),
+            },
+            (":hist" | ".hist", q) => match service.hist(q) {
+                Ok(h) => {
+                    println!("{} match(es) total", h.total);
+                    for (tid, n) in &h.per_tree {
+                        println!("  tree {tid:>6}  {n}");
+                    }
+                    for (label, n) in &h.per_label {
+                        println!("  {label:<10} {n}");
                     }
                 }
                 Err(e) => println!("error: {e}"),

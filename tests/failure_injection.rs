@@ -214,7 +214,10 @@ fn xml_error_offsets_are_within_input() {
 #[test]
 fn append_recounts_only_the_tail_shard_and_invalidates_stale_counts() {
     // Three shards over six trees, every shard containing an NP so no
-    // count is pruned away.
+    // count is pruned away. `//S//NP` is deliberately *not* aggregate-
+    // tabulated (grandparent axis), so counting goes through the
+    // per-shard counting cursor and its generation-scoped cache —
+    // the paths this test is about.
     let src: String = (0..6)
         .map(|i| format!("( (S (NP (NN w{i})) (VP (VBD ran))) )\n"))
         .collect();
@@ -227,7 +230,7 @@ fn append_recounts_only_the_tail_shard_and_invalidates_stale_counts() {
             ..ServiceConfig::default()
         },
     );
-    assert_eq!(svc.count("//NP").unwrap(), 6);
+    assert_eq!(svc.count("//S//NP").unwrap(), 6);
     let s = svc.stats();
     assert_eq!((s.shard_count_misses, s.shard_count_hits), (3, 0));
 
@@ -236,7 +239,7 @@ fn append_recounts_only_the_tail_shard_and_invalidates_stale_counts() {
     // is stale — exactly one shard is recounted.
     svc.append_ptb("( (S (NP (NN extra)) (VP (VBD sat))) )")
         .unwrap();
-    assert_eq!(svc.count("//NP").unwrap(), 7);
+    assert_eq!(svc.count("//S//NP").unwrap(), 7);
     let s = svc.stats();
     assert_eq!(
         (s.shard_count_misses, s.shard_count_hits),
@@ -246,13 +249,13 @@ fn append_recounts_only_the_tail_shard_and_invalidates_stale_counts() {
 
     // A failed append must not disturb the cached counts either.
     assert!(svc.append_ptb("( (S (NP broken").is_err());
-    assert_eq!(svc.count("//NP").unwrap(), 7);
+    assert_eq!(svc.count("//S//NP").unwrap(), 7);
     let s = svc.stats();
     assert_eq!(s.shard_count_misses, 4, "failed append recounted: {s:?}");
 
     // A swap rebuilds every shard: every per-shard count is stale.
     svc.swap_corpus(&corpus);
-    assert_eq!(svc.count("//NP").unwrap(), 6);
+    assert_eq!(svc.count("//S//NP").unwrap(), 6);
     let s = svc.stats();
     assert_eq!((s.shard_count_misses, s.shard_count_hits), (7, 2));
 }

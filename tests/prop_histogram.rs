@@ -1,0 +1,186 @@
+//! Histogram invariants, property-tested against the enumeration.
+//!
+//! A [`lpath_service::QueryHistogram`] is three views of one match
+//! set, so they must reconcile exactly for any corpus, query, and
+//! sharding: (1) the per-tree and per-label breakdowns each sum to
+//! `total`, which equals `eval().len()`; (2) the per-tree vector *is*
+//! the run-length encoding of the enumeration's tree column — right
+//! trees, right counts, ascending, no zero entries — and per-label
+//! entries match a recount of the enumerated nodes' labels; (3) the
+//! histogram is a pure function of corpus content: one shard vs many
+//! shards agree entry-for-entry, and appending trees produces exactly
+//! the histogram of the concatenated corpus (the aggregate tables of
+//! untouched shards compose with the rebuilt tail's).
+//!
+//! `PROPTEST_CASES` scales the case count (CI's nightly sweep raises
+//! it); the default here is the acceptance floor of 256.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use lpath::prelude::*;
+use lpath_service::QueryHistogram;
+
+/// A random subtree of bounded depth/width in bracketed form.
+fn arb_subtree(depth: u32) -> BoxedStrategy<String> {
+    let tag = prop_oneof![
+        Just("A".to_string()),
+        Just("B".to_string()),
+        Just("C".to_string()),
+    ];
+    let word = prop_oneof![
+        Just("u".to_string()),
+        Just("v".to_string()),
+        Just("w".to_string()),
+    ];
+    if depth == 0 {
+        (tag, word).prop_map(|(t, w)| format!("({t} {w})")).boxed()
+    } else {
+        let leaf = (
+            prop_oneof![
+                Just("A".to_string()),
+                Just("B".to_string()),
+                Just("C".to_string()),
+            ],
+            word,
+        )
+            .prop_map(|(t, w)| format!("({t} {w})"));
+        let inner = (tag, prop::collection::vec(arb_subtree(depth - 1), 1..3))
+            .prop_map(|(t, kids)| format!("({t} {})", kids.join(" ")));
+        prop_oneof![2 => leaf, 2 => inner].boxed()
+    }
+}
+
+/// Bracketed text for one to five random trees.
+fn arb_treebank() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_subtree(2), 1..6)
+        .prop_map(|trees| trees.iter().map(|t| format!("( (S {t}) )")).collect())
+}
+
+/// Both histogram paths: the first four take the per-tree aggregate
+/// fast path, the rest fall back to enumeration (including a fast-
+/// classified shape whose histogram still needs rows, a walker-only
+/// query, and an empty one).
+const POOL: [&str; 10] = [
+    "//A",
+    "//_",
+    "/S",
+    "/_",
+    "//_[@lex=u]",
+    "//A/B",
+    "//S//B",
+    "//A[not(//B)]",
+    "//S/_[last()]",
+    "//ZZZ",
+];
+
+fn service_over(corpus: &Corpus, shards: usize) -> Service {
+    Service::with_config(
+        corpus,
+        ServiceConfig {
+            shards,
+            threads: 1,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// The histogram recomputed naively from an enumeration.
+fn reference_hist(corpus: &Corpus, rows: &[(u32, NodeId)]) -> QueryHistogram {
+    let mut h = QueryHistogram {
+        total: rows.len() as u64,
+        per_tree: Vec::new(),
+        per_label: Vec::new(),
+    };
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    for &(tid, node) in rows {
+        match h.per_tree.last_mut() {
+            Some(e) if e.0 == tid => e.1 += 1,
+            _ => h.per_tree.push((tid, 1)),
+        }
+        let tree = &corpus.trees()[tid as usize];
+        *labels
+            .entry(corpus.resolve(tree.node(node).name).to_string())
+            .or_default() += 1;
+    }
+    h.per_label = labels.into_iter().collect();
+    h.per_label.sort();
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: ProptestConfig::cases_or_env(256),
+        ..ProptestConfig::default()
+    })]
+
+    /// The histogram is exactly the run-length view of the
+    /// enumeration: per-tree and per-label sums hit `total`, entries
+    /// match a naive recount, tree ids ascend with no zero runs.
+    #[test]
+    fn histogram_is_the_run_length_view_of_the_enumeration(
+        trees in arb_treebank(),
+        qi in 0usize..POOL.len(),
+        shards in 1usize..4,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let q = POOL[qi];
+        let svc = service_over(&corpus, shards);
+        let rows = svc.eval(q).unwrap();
+        let h = svc.hist(q).unwrap();
+        let want = reference_hist(&corpus, &rows);
+
+        prop_assert_eq!(h.total, want.total, "total on {}", q);
+        let tree_sum: u64 = h.per_tree.iter().map(|&(_, n)| n).sum();
+        let label_sum: u64 = h.per_label.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(tree_sum, h.total, "per-tree sum on {}", q);
+        prop_assert_eq!(label_sum, h.total, "per-label sum on {}", q);
+        prop_assert!(
+            h.per_tree.windows(2).all(|w| w[0].0 < w[1].0),
+            "tree ids ascend on {}", q
+        );
+        prop_assert!(
+            h.per_tree.iter().all(|&(_, n)| n > 0),
+            "no zero runs on {}", q
+        );
+        prop_assert_eq!(&h.per_tree, &want.per_tree, "per-tree entries on {}", q);
+        prop_assert_eq!(&h.per_label, &want.per_label, "per-label entries on {}", q);
+    }
+
+    /// One shard vs N shards: the same corpus produces the identical
+    /// histogram — the per-shard tables concatenate seamlessly.
+    #[test]
+    fn histograms_are_invariant_under_sharding(
+        trees in arb_treebank(),
+        qi in 0usize..POOL.len(),
+        shards in 2usize..5,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let q = POOL[qi];
+        let one = service_over(&corpus, 1).hist(q).unwrap();
+        let many = service_over(&corpus, shards).hist(q).unwrap();
+        prop_assert_eq!(one, many, "1 vs {} shards on {}", shards, q);
+    }
+
+    /// Appending trees yields exactly the histogram of the
+    /// concatenated corpus: untouched shards' tables compose with the
+    /// rebuilt tail's, with no double counting and no gaps.
+    #[test]
+    fn histograms_stay_consistent_across_append(
+        trees in arb_treebank(),
+        extra in arb_treebank(),
+        qi in 0usize..POOL.len(),
+        shards in 1usize..4,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let q = POOL[qi];
+        let svc = service_over(&corpus, shards);
+        svc.append_ptb(&extra.join("\n")).unwrap();
+
+        let combined = parse_str(&format!("{}\n{}", trees.join("\n"), extra.join("\n")))
+            .expect("combined treebank parses");
+        let want = service_over(&combined, 1).hist(q).unwrap();
+        prop_assert_eq!(svc.hist(q).unwrap(), want, "post-append histogram on {}", q);
+    }
+}

@@ -251,6 +251,105 @@ proptest! {
             let _ = svc.eval_page_token(q, Some(&token[..cut]), 3);
         }
     }
+
+    /// The same hostile-bytes discipline for **count** tokens:
+    /// single-character corruption is a typed rejection or harmless
+    /// (same continuation), truncation at every boundary never
+    /// panics, and a count sweep driven only by echoed tokens always
+    /// lands on the one-shot count.
+    #[test]
+    fn corrupted_and_truncated_count_tokens_never_panic(
+        trees in arb_treebank(),
+        qi in 0usize..POOL.len(),
+        at in 0usize..4096,
+        sub in 0usize..64,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let q = POOL[qi];
+        let svc = service_over(&corpus, 2);
+        let Some(token) = svc.count_token(q, None, 1).unwrap().token else {
+            return Ok(()); // counted out within the first budget
+        };
+        let reference = svc.count_token(q, Some(&token), usize::MAX).unwrap();
+        prop_assert_eq!(
+            reference.total, Some(svc.count(q).unwrap() as u64),
+            "token sweep lands on the one-shot count on {}", q
+        );
+
+        let i = at % token.len();
+        let replacement = ALPHABET[sub % ALPHABET.len()];
+        let mut bad = token.clone().into_bytes();
+        if bad[i] == replacement {
+            return Ok(()); // identity substitution: nothing corrupted
+        }
+        bad[i] = replacement;
+        let bad = String::from_utf8(bad).unwrap();
+        match svc.count_token(q, Some(&bad), usize::MAX) {
+            Err(ServiceError::BadToken(_)) => {}
+            Ok(page) => {
+                prop_assert_eq!(page.so_far, reference.so_far, "harmless corruption on {}", q);
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("unexpected error class: {other}")))
+            }
+        }
+
+        for cut in 0..token.len() {
+            let _ = svc.count_token(q, Some(&token[..cut]), 3);
+        }
+
+        // Count and paging tokens are version-gated apart: echoing
+        // one where the other belongs is a typed rejection, never a
+        // misread (both checksum cleanly).
+        match svc.eval_page_token(q, Some(&token), 3) {
+            Err(ServiceError::BadToken(_)) => {}
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "count token accepted as page token: {other:?}"
+                )))
+            }
+        }
+        if let Some(page_token) = svc.eval_page_token(q, None, 1).unwrap().token {
+            match svc.count_token(q, Some(&page_token), 3) {
+                Err(ServiceError::BadToken(_)) => {}
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "page token accepted as count token: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// A count token held across an `append_ptb` is stale, not
+    /// broken: the service discards the suspended position, recounts
+    /// current content, and answers a final page whose total is the
+    /// post-append count — and the `stale_checkpoints` counter
+    /// advances.
+    #[test]
+    fn stale_count_tokens_recover_against_current_content(
+        trees in arb_treebank(),
+        extra in arb_treebank(),
+        qi in 0usize..POOL.len(),
+        shards in 1usize..4,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let q = POOL[qi];
+        let svc = service_over(&corpus, shards);
+        let Some(token) = svc.count_token(q, None, 1).unwrap().token else {
+            return Ok(()); // counted out before any checkpoint existed
+        };
+        let before = svc.stats().stale_checkpoints;
+        svc.append_ptb(&extra.join("\n")).unwrap();
+        let page = svc.count_token(q, Some(&token), 1).unwrap();
+        prop_assert_eq!(
+            page.total, Some(svc.count(q).unwrap() as u64),
+            "stale recovery recounts current content on {}", q
+        );
+        prop_assert_eq!(page.so_far, page.total.unwrap(), "recovery page is final on {}", q);
+        prop_assert!(page.token.is_none(), "no token after recovery on {}", q);
+        prop_assert!(svc.stats().stale_checkpoints > before, "recovery counted on {}", q);
+    }
 }
 
 // ---------------------------------------------------------------
