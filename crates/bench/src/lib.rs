@@ -34,6 +34,7 @@ pub mod fixtures;
 
 pub mod count;
 pub mod metrics;
+pub mod multiquery;
 pub mod server;
 
 use std::time::{Duration, Instant};

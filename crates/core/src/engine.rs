@@ -16,6 +16,7 @@ use lpath_relstore::{
     Value, NULL,
 };
 use lpath_syntax::{parse, Axis, NodeTest, Path, SyntaxError};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use crate::compile::NCol;
@@ -149,6 +150,10 @@ impl Engine {
         );
         db.add_index(node, "tid_id", vec![c(NCol::Tid), c(NCol::Id)]);
         db.analyze(node, &[c(NCol::Name), c(NCol::Value)]);
+        // Per-tree spreads of the same columns: feeds the planner's
+        // chunked-anchor penalty (a tag confined to few trees starts
+        // streaming sooner than one smeared across the corpus).
+        db.analyze_grouped(node, c(NCol::Tid), &[c(NCol::Name), c(NCol::Value)]);
 
         Engine {
             db,
@@ -324,6 +329,92 @@ impl Engine {
         let mut plan = rel::plan(&self.db, &cq, &self.planner);
         self.refine_estimate(ast, &mut plan);
         Ok(plan)
+    }
+
+    /// Evaluate a batch of parsed queries with **common-subplan
+    /// sharing**: members whose plans anchor on the same table through
+    /// the same constant-keyed access path (see
+    /// [`lpath_relstore::anchor_key`]) ride one shared enumeration of
+    /// the anchor's candidate rows, each candidate fanning out to every
+    /// member's residual filter and join tail. Members with unique
+    /// anchors — and members whose plans cannot share (constant-empty,
+    /// binding-dependent anchors) — run exactly the solo
+    /// [`Engine::query_ast`] path.
+    ///
+    /// Per-member results are byte-identical to [`Engine::query_ast`]
+    /// on the same query: same rows, same document order. Errors stay
+    /// per-member — one unsupported query does not poison the batch.
+    pub fn eval_batch_shared(&self, asts: &[&Path]) -> (Vec<QueryResult>, BatchStats) {
+        let mut stats = BatchStats::default();
+        let planned: Vec<Result<rel::Plan, EngineError>> =
+            asts.iter().map(|ast| self.plan_ast(ast)).collect();
+        let mut out: Vec<Option<Vec<(u32, NodeId)>>> = Vec::new();
+        out.resize_with(asts.len(), || None);
+
+        // Shareable members, in input order, with their batch position.
+        let ok: Vec<(usize, &rel::Plan)> = planned
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().ok().map(|plan| (i, plan)))
+            .collect();
+        // Whole-plan dedup first: members whose plans are structurally
+        // identical (exact fingerprint — distinct surface queries
+        // routinely compile to one plan) execute once; the duplicates
+        // copy the canonical member's rows below.
+        let mut canon: HashMap<String, usize> = HashMap::new();
+        let mut dup_of: Vec<Option<usize>> = vec![None; ok.len()];
+        for (j, &(_, plan)) in ok.iter().enumerate() {
+            match canon.entry(rel::plan_fingerprint(plan)) {
+                Entry::Occupied(e) => dup_of[j] = Some(*e.get()),
+                Entry::Vacant(e) => {
+                    e.insert(j);
+                }
+            }
+        }
+        let uniq: Vec<usize> = (0..ok.len()).filter(|&j| dup_of[j].is_none()).collect();
+        let plans: Vec<&rel::Plan> = uniq.iter().map(|&j| ok[j].1).collect();
+        let mut grouped = vec![false; plans.len()];
+        for members in rel::group_by_anchor(&plans).values() {
+            if members.len() < 2 {
+                continue;
+            }
+            let group: Vec<&rel::Plan> = members.iter().map(|&j| plans[j]).collect();
+            let (rows, s) = rel::execute_shared(&group, &self.db);
+            stats.shared_scans += members.len() as u64;
+            stats.residual_evals += s.residual_evals;
+            for (&j, rows) in members.iter().zip(rows) {
+                grouped[j] = true;
+                let mut m = rows_to_matches(rows);
+                m.sort_unstable();
+                out[ok[uniq[j]].0] = Some(m);
+            }
+        }
+        // Everyone else — unique anchors, unshareable plans — solo.
+        for (j, &u) in uniq.iter().enumerate() {
+            if grouped[j] {
+                continue;
+            }
+            let (i, plan) = ok[u];
+            let mut m = rows_to_matches(rel::execute(plan, &self.db));
+            m.sort_unstable();
+            out[i] = Some(m);
+        }
+        // Duplicates share their canonical member's *entire* execution
+        // (anchor scan included), so they count as shared scans too.
+        for (j, d) in dup_of.iter().enumerate() {
+            if let Some(c) = d {
+                stats.shared_scans += 1;
+                let rows = out[ok[*c].0].clone().expect("canonical member executed");
+                out[ok[j].0] = Some(rows);
+            }
+        }
+
+        let results = planned
+            .into_iter()
+            .zip(out)
+            .map(|(p, o)| p.map(|_| o.expect("every planned member executed")))
+            .collect();
+        (results, stats)
     }
 
     /// Result size — the measure reported in Figure 6(c). Counts
@@ -1088,6 +1179,21 @@ fn next_span(found: usize, scanned: usize, need: usize, ntrees: usize) -> usize 
     predicted.saturating_add(1).saturating_mul(2).max(scanned)
 }
 
+/// One batch member's outcome: document-ordered matches, or the
+/// member's own planning error.
+pub type QueryResult = Result<Vec<(u32, NodeId)>, EngineError>;
+
+/// Work accounting for one [`Engine::eval_batch_shared`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Members whose anchor enumeration was shared with at least one
+    /// other batch member (i.e. the sum of sizes of groups of ≥ 2).
+    pub shared_scans: u64,
+    /// Per-member residual evaluations against shared anchor rows —
+    /// the work sharing could not remove.
+    pub residual_evals: u64,
+}
+
 /// Convert relational `(tid, id)` rows to `(tree index, node)` matches.
 /// Relational ids start at 2 (1 is the document node).
 fn rows_to_matches(rows: Vec<Vec<Value>>) -> Vec<(u32, NodeId)> {
@@ -1290,6 +1396,37 @@ mod tests {
         assert_eq!(ea.actual_rows, 0);
         assert!(ea.estimate_error.is_finite());
         assert!(e.explain_analyze("//(").is_err());
+    }
+
+    #[test]
+    fn batch_matches_solo_and_shares_anchors() {
+        let e = engine();
+        let texts = [
+            "//NP",             // same `name = NP` anchor …
+            "//NP[not(//Det)]", // … shared by all three (negated
+            "//NP[not(//Adj)]", //     checks keep the anchor)
+            "//Prep",           // unique anchor: runs solo
+            "//ZZZ",            // statically empty: constant plan, unshareable
+        ];
+        let asts: Vec<_> = texts
+            .iter()
+            .map(|t| lpath_syntax::parse(t).unwrap())
+            .collect();
+        let refs: Vec<&lpath_syntax::Path> = asts.iter().collect();
+        let (results, stats) = e.eval_batch_shared(&refs);
+        assert_eq!(results.len(), 5);
+        for (t, r) in texts.iter().zip(&results) {
+            assert_eq!(r.as_ref().unwrap(), &e.query(t).unwrap(), "{t}");
+        }
+        // The three //NP-anchored members rode one scan.
+        assert_eq!(stats.shared_scans, 3);
+        assert!(stats.residual_evals > 0);
+        // A batch of one shares nothing and still agrees.
+        let one = [&asts[0]];
+        let (solo, st) = e.eval_batch_shared(&one);
+        assert_eq!(solo[0].as_ref().unwrap(), &e.query("//NP").unwrap());
+        assert_eq!(st.shared_scans, 0);
+        assert_eq!(st.residual_evals, 0);
     }
 
     #[test]

@@ -44,8 +44,11 @@ pub mod queryset;
 pub mod translate;
 pub mod walker;
 
-pub use engine::{Engine, EngineError, ExplainAnalyze, Matches, QueryCheckpoint, StepReport};
+pub use engine::{
+    BatchStats, Engine, EngineError, ExplainAnalyze, Matches, QueryCheckpoint, QueryResult,
+    StepReport,
+};
 pub use naive::NaiveEvaluator;
-pub use queryset::{BenchQuery, ExtQuery, EXTENDED_QUERIES, QUERIES};
+pub use queryset::{benchmark_batch, BenchQuery, ExtQuery, EXTENDED_QUERIES, QUERIES};
 pub use translate::{Translator, Unsupported};
 pub use walker::{Walker, WalkerCheckpoint};

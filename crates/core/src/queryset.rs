@@ -329,6 +329,14 @@ pub fn by_id(id: usize) -> &'static BenchQuery {
     &QUERIES[id - 1]
 }
 
+/// The full Figure 6(c) set as one batch, in id order — the fixture of
+/// the multi-query benchmark and the batched-execution tests. Many of
+/// these share an anchor (e.g. every `//VP…` query probes the same
+/// name key), which is exactly what batched evaluation exploits.
+pub fn benchmark_batch() -> Vec<&'static str> {
+    QUERIES.iter().map(|q| q.lpath).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -164,6 +164,57 @@ impl Client {
         rows_of(result.get("rows"))
     }
 
+    /// Evaluate a batch of queries in one round trip (the server
+    /// shares common plan anchors across members). Results come back
+    /// in request order; a failing member is an in-band
+    /// [`ClientError::Remote`] that does not disturb its siblings.
+    ///
+    /// # Errors
+    ///
+    /// The outer `Result` is transport/protocol failure — see
+    /// [`Client::call`].
+    #[allow(clippy::type_complexity)]
+    pub fn eval_multi(
+        &mut self,
+        queries: &[&str],
+    ) -> Result<Vec<Result<Vec<(u32, u32)>, ClientError>>, ClientError> {
+        let mut params = String::from("{\"queries\": [");
+        for (i, q) in queries.iter().enumerate() {
+            if i > 0 {
+                params.push_str(", ");
+            }
+            params.push_str(&format!("\"{}\"", json::escape(q)));
+        }
+        params.push_str("]}");
+        let result = self.call("eval_multi", &params)?;
+        let items = result
+            .get("results")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ClientError::Protocol("eval_multi response without results".into()))?;
+        items
+            .iter()
+            .map(|item| match item.get("ok").and_then(Value::as_bool) {
+                Some(true) => Ok(Ok(rows_of(item.get("rows"))?)),
+                Some(false) => {
+                    let err = item.get("error");
+                    let field = |k: &str| {
+                        err.and_then(|e| e.get(k))
+                            .and_then(Value::as_str)
+                            .unwrap_or("")
+                            .to_string()
+                    };
+                    Ok(Err(ClientError::Remote {
+                        code: field("code"),
+                        message: field("message"),
+                    }))
+                }
+                None => Err(ClientError::Protocol(
+                    "batch member without 'ok' field".into(),
+                )),
+            })
+            .collect()
+    }
+
     /// One page of the query's match list. Pass `token: None` for the
     /// first page, then echo [`RemotePage::token`].
     ///

@@ -108,6 +108,42 @@ fn dispatch(
                 rows_json(&page.rows)
             ))
         }
+        "eval_multi" => {
+            let queries = params
+                .and_then(|p| p.get("queries"))
+                .and_then(Value::as_arr)
+                .ok_or_else(|| bad_request("missing array field 'queries'"))?;
+            let texts: Vec<&str> = queries
+                .iter()
+                .map(|q| {
+                    q.as_str()
+                        .ok_or_else(|| bad_request("field 'queries' must be an array of strings"))
+                })
+                .collect::<Result<_, _>>()?;
+            let results = svc.eval_multi(&texts);
+            // Member failures are in-band: one bad query must not
+            // discard its siblings' answers.
+            let mut out = String::from("{\"results\": [");
+            for (i, r) in results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match r {
+                    Ok(rows) => out.push_str(&format!(
+                        "{{\"ok\": true, \"rows\": {}, \"n\": {}}}",
+                        rows_json(rows),
+                        rows.len()
+                    )),
+                    Err(e) => out.push_str(&format!(
+                        "{{\"ok\": false, \"error\": {{\"code\": \"{}\", \"message\": \"{}\"}}}}",
+                        json::escape(error_code(e)),
+                        json::escape(&e.to_string())
+                    )),
+                }
+            }
+            out.push_str("]}");
+            Ok(out)
+        }
         "count" => {
             let query = query_param(params)?;
             let token = match params.and_then(|p| p.get("token")) {
@@ -209,13 +245,17 @@ fn bad_request(message: &str) -> MethodError {
 
 /// Map service failures onto stable protocol codes.
 fn service_error(e: ServiceError) -> MethodError {
-    let code = match &e {
+    (error_code(&e), e.to_string())
+}
+
+fn error_code(e: &ServiceError) -> &'static str {
+    match e {
         ServiceError::Syntax(_) => "syntax",
         ServiceError::Corpus(_) => "corpus",
         ServiceError::BadShard(_) => "bad_shard",
         ServiceError::BadToken(_) => "bad_token",
-    };
-    (code, e.to_string())
+        ServiceError::Aborted => "aborted",
+    }
 }
 
 /// `[[tid, node], …]` — the match list in document order.

@@ -173,6 +173,41 @@ fn full_method_surface_round_trips() {
     assert!(metrics.get("queries").unwrap().as_u64().unwrap() >= 4);
 }
 
+/// A batched eval over the socket equals independent reference
+/// evaluations member by member, keeps a failing member's error
+/// in-band, and advances the server's sharing counters.
+#[test]
+fn eval_multi_round_trips_with_in_band_errors() {
+    let (handle, svc) = start(30, 8);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let queries = ["//NP", "//NP[not(//DT)]", "//VP[", "//NN"];
+    let batch = client.eval_multi(&queries).unwrap();
+    assert_eq!(batch.len(), 4);
+    for (i, q) in queries.iter().enumerate() {
+        if i == 2 {
+            match &batch[2] {
+                Err(ClientError::Remote { code, .. }) => assert_eq!(code, "syntax"),
+                other => panic!("expected in-band syntax error, got {other:?}"),
+            }
+            continue;
+        }
+        // The walker reference path shares nothing with the batched
+        // relational path — a genuinely independent oracle.
+        let reference: Vec<(u32, u32)> = svc
+            .reference_eval(q)
+            .unwrap()
+            .iter()
+            .map(|&(t, n)| (t, n.index() as u32))
+            .collect();
+        assert_eq!(*batch[i].as_ref().unwrap(), reference, "{q}");
+    }
+    let stats = svc.stats();
+    assert!(
+        stats.multi_shared_scans >= 2,
+        "the two NP-anchored members share a scan: {stats:?}"
+    );
+}
+
 /// Request-level failures answer with typed codes and leave the
 /// connection serving; hostile garbage cannot take the server down.
 #[test]

@@ -42,8 +42,18 @@ pub(crate) type Key = (String, Vec<u16>);
 struct Entry<V> {
     generation: u64,
     stamp: u64,
+    /// Lookup hits since insertion — the admission policy's heat
+    /// signal. Never decays: a hot entry stays pinned until its
+    /// generation goes stale.
+    hits: u32,
     value: V,
 }
+
+/// Hits at which an entry counts as *hot*: protected from eviction by
+/// colder newcomers while its generation is current. Two hits is the
+/// classic scan-resistance bar — a one-shot query sweep re-reads
+/// nothing, so sweep entries never reach it.
+const HOT: u32 = 2;
 
 /// A bounded least-recently-used map. Entries stamped with an older
 /// corpus generation are treated as absent (and dropped on contact),
@@ -95,12 +105,14 @@ impl<V: Clone + PartialEq> GenCache<V> {
         self.map.len()
     }
 
-    /// Look up `key` at `generation`, refreshing its recency.
+    /// Look up `key` at `generation`, refreshing its recency and
+    /// bumping its heat.
     pub fn get(&mut self, key: &Key, generation: u64) -> Option<V> {
         match self.map.get_mut(key) {
             Some(e) if e.generation == generation => {
                 self.tick += 1;
                 e.stamp = self.tick;
+                e.hits = e.hits.saturating_add(1);
                 Some(e.value.clone())
             }
             Some(_) => {
@@ -112,33 +124,45 @@ impl<V: Clone + PartialEq> GenCache<V> {
         }
     }
 
-    /// Insert, evicting the least recently used entry when full.
-    /// Capacity zero disables the cache entirely. Re-inserting a value
-    /// identical to the cached one is a no-op — no recency re-stamp,
-    /// no eviction churn (racing evaluators of the same query would
-    /// otherwise keep promoting each other's entry and evicting
-    /// innocent neighbours).
-    pub fn insert(&mut self, key: Key, generation: u64, value: V) {
+    /// Insert, evicting the least recently used *evictable* entry when
+    /// full. Capacity zero disables the cache entirely. Re-inserting a
+    /// value identical to the cached one is a no-op — no recency
+    /// re-stamp, no eviction churn (racing evaluators of the same
+    /// query would otherwise keep promoting each other's entry and
+    /// evicting innocent neighbours).
+    ///
+    /// **Admission policy**: entries re-read [`HOT`]+ times at the
+    /// inserting generation are pinned — a sweep of distinct one-shot
+    /// queries cannot push them out. When every resident entry is
+    /// pinned the newcomer is *rejected* instead (returns `false`):
+    /// the sweep pays the miss, the working set stays. Stale-generation
+    /// entries are never pinned, however hot they once were.
+    pub fn insert(&mut self, key: Key, generation: u64, value: V) -> bool {
         if self.capacity == 0 {
-            return;
+            return false;
         }
         if let Some(e) = self.map.get(&key) {
             if e.generation == generation && e.value == value {
-                return;
+                return true;
             }
         }
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             // Evict: stale generations first (when the stamp really is
-            // the corpus generation), else the oldest stamp.
+            // the corpus generation), else the oldest stamp — but
+            // never a current-generation hot entry.
             let stale_first = self.stale_first;
             let victim = self
                 .map
                 .iter()
+                .filter(|(_, e)| !(e.generation == generation && e.hits >= HOT))
                 .min_by_key(|(_, e)| (stale_first && e.generation == generation, e.stamp))
                 .map(|(k, _)| k.clone());
-            if let Some(v) = victim {
-                self.map.remove(&v);
+            match victim {
+                Some(v) => {
+                    self.map.remove(&v);
+                }
+                None => return false,
             }
         }
         self.map.insert(
@@ -146,9 +170,11 @@ impl<V: Clone + PartialEq> GenCache<V> {
             Entry {
                 generation,
                 stamp: self.tick,
+                hits: 0,
                 value,
             },
         );
+        true
     }
 
     /// Drop one entry (e.g. a page prefix superseded by its promotion
@@ -279,6 +305,49 @@ mod tests {
         c.insert(key("b"), 2, 30); // evicts "old", not the LRU "a"
         assert!(c.get(&key("a"), 2).is_some());
         assert!(c.get(&key("b"), 2).is_some());
+    }
+
+    #[test]
+    fn sweep_cannot_evict_hot_entries() {
+        let mut c = CountCache::new(2);
+        c.insert(key("hot1"), 1, 1);
+        c.insert(key("hot2"), 1, 2);
+        for _ in 0..2 {
+            c.get(&key("hot1"), 1);
+            c.get(&key("hot2"), 1);
+        }
+        // A sweep of distinct one-shot inserts: every one rejected,
+        // the hot working set intact.
+        for i in 0..16 {
+            assert!(!c.insert((format!("sweep{i}"), vec![0]), 1, 99));
+        }
+        assert_eq!(c.get(&key("hot1"), 1), Some(1));
+        assert_eq!(c.get(&key("hot2"), 1), Some(2));
+    }
+
+    #[test]
+    fn cold_entries_still_evict_under_hot_protection() {
+        let mut c = CountCache::new(2);
+        c.insert(key("hot"), 1, 1);
+        c.get(&key("hot"), 1);
+        c.get(&key("hot"), 1);
+        c.insert(key("cold"), 1, 2);
+        // The cold neighbour is the victim; the hot entry survives.
+        assert!(c.insert(key("new"), 1, 3));
+        assert_eq!(c.get(&key("hot"), 1), Some(1));
+        assert!(c.get(&key("cold"), 1).is_none());
+        assert_eq!(c.get(&key("new"), 1), Some(3));
+    }
+
+    #[test]
+    fn stale_hot_entries_are_not_protected() {
+        let mut c = CountCache::new(1);
+        c.insert(key("old"), 1, 1);
+        c.get(&key("old"), 1);
+        c.get(&key("old"), 1);
+        // Generation bump: yesterday's heat buys no protection.
+        assert!(c.insert(key("new"), 2, 2));
+        assert_eq!(c.get(&key("new"), 2), Some(2));
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub mod stats;
 pub mod token;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
@@ -121,6 +121,11 @@ pub enum ServiceError {
     /// *stale* token — valid bytes from before an append — is not an
     /// error: [`Service::eval_page_token`] recovers from it silently.)
     BadToken(lpath_relstore::WireError),
+    /// A batched evaluation hit the batch-abort fault point before any
+    /// shard work ran (test-only injection, see
+    /// [`Service::inject_multi_abort`]). No caches were modified; the
+    /// members are individually retryable.
+    Aborted,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -130,6 +135,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Corpus(e) => e.fmt(f),
             ServiceError::BadShard(id) => write!(f, "shard {id} out of range"),
             ServiceError::BadToken(e) => write!(f, "bad paging token: {e}"),
+            ServiceError::Aborted => write!(f, "batched evaluation aborted"),
         }
     }
 }
@@ -271,6 +277,10 @@ pub struct Service {
     prefixes: Mutex<PrefixCache>,
     counters: Counters,
     instr: Instruments,
+    /// Test-only fault point: when armed, the next [`Service::eval_multi`]
+    /// with uncached members aborts them before any shard work
+    /// (consumed one-shot). See [`Service::inject_multi_abort`].
+    multi_abort: AtomicBool,
 }
 
 /// Shard ids live in `u16` (cache keys, the public shard-subset API);
@@ -314,6 +324,7 @@ impl Service {
                 cfg.slow_query_threshold,
                 cfg.slow_query_log_capacity,
             ),
+            multi_abort: AtomicBool::new(false),
         }
     }
 
@@ -998,11 +1009,12 @@ impl Service {
                     // The enumeration completed: the prefix is the
                     // whole shard result — promote it and drop the
                     // superseded prefix slot.
-                    self.shard_results.lock().unwrap().insert(
+                    let admitted = self.shard_results.lock().unwrap().insert(
                         key.clone(),
                         build,
                         Arc::clone(&rows),
                     );
+                    self.note_admission(admitted);
                     self.prefixes.lock().unwrap().remove(&key);
                 }
                 Some(next) => {
@@ -1014,7 +1026,7 @@ impl Service {
                         .get(&key, build)
                         .is_some_and(|e| e.rows.len() >= rows.len());
                     if !deeper_cached {
-                        prefixes.insert(
+                        let admitted = prefixes.insert(
                             key,
                             build,
                             PrefixEntry {
@@ -1022,6 +1034,7 @@ impl Service {
                                 ckpt: Arc::new(next),
                             },
                         );
+                        self.note_admission(admitted);
                     }
                 }
             }
@@ -1110,11 +1123,12 @@ impl Service {
                     merged.extend(rows.iter().copied());
                 }
                 let merged = Arc::new(merged);
-                self.results.lock().unwrap().insert(
+                let admitted = self.results.lock().unwrap().insert(
                     (c.normalized.clone(), all.clone()),
                     generation,
                     Arc::clone(&merged),
                 );
+                self.note_admission(admitted);
                 for &qi in occurrences {
                     out[qi] = Some(Ok(Arc::clone(&merged)));
                 }
@@ -1138,6 +1152,183 @@ impl Service {
         out.into_iter()
             .map(|r| r.expect("all slots filled"))
             .collect()
+    }
+
+    /// Evaluate a batch of queries with common-subplan sharing: within
+    /// each shard, members whose plans open the same anchor — the same
+    /// full-table scan or the same equality/range index probe — ride
+    /// one cursor, with only their residual filters evaluated per
+    /// candidate row. Per-query results are identical to calling
+    /// [`Service::eval`] one query at a time (same rows, same document
+    /// order); only the work is shared, never the answers.
+    ///
+    /// The whole batch sees one shard snapshot, so members can never
+    /// observe a corpus append half-applied ([`Service::append_ptb`]
+    /// swaps shards in under the lock; clones taken before the swap
+    /// stay consistent with each other). Sharing statistics land in
+    /// [`ServiceStats::multi_shared_scans`] and
+    /// [`ServiceStats::multi_residual_evals`].
+    ///
+    /// A batch of one degrades to exactly the solo [`Service::eval`]
+    /// path — same caches, same counters.
+    pub fn eval_multi(&self, queries: &[&str]) -> Vec<Result<Arc<ResultSet>, ServiceError>> {
+        if queries.len() == 1 {
+            return vec![self.eval(queries[0])];
+        }
+        self.counters.batches.bump();
+        self.counters.queries.add(queries.len() as u64);
+        let mut timer = self.instr.begin();
+
+        // Compile the whole batch through ONE pass over the plan cache
+        // (a single read-lock acquisition instead of one per member);
+        // only members the fast pass missed pay the full per-query
+        // compile path. This is where the steady-state amortization
+        // lives: a hot batch costs one lock round per cache, not one
+        // per member per cache.
+        let mut compiled: Vec<Option<Result<Arc<CompiledQuery>, ServiceError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut plan_hits = 0u64;
+        {
+            let plans = self.plans.read().unwrap();
+            for (slot, q) in compiled.iter_mut().zip(queries) {
+                if let Some(entry) = plans.get(q.trim()) {
+                    let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed) + 1;
+                    entry.stamp.store(tick, Ordering::Relaxed);
+                    plan_hits += 1;
+                    *slot = Some(Ok(Arc::clone(&entry.compiled)));
+                }
+            }
+        }
+        if plan_hits > 0 {
+            self.counters.plan_hits.add(plan_hits);
+        }
+        for (slot, q) in compiled.iter_mut().zip(queries) {
+            if slot.is_none() {
+                *slot = Some(self.compile(q));
+            }
+        }
+        if let Some(t) = timer.as_mut() {
+            t.mark_compiled();
+        }
+
+        // ONE snapshot for the whole batch (see the doc comment): all
+        // members evaluate against the same builds.
+        let (shards, generation) = self.snapshot();
+        let nshards = shards.len();
+        let all: Vec<u16> = (0..nshards as u16).collect();
+
+        let mut out: Vec<Option<Result<Arc<ResultSet>, ServiceError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut misses: Vec<(Vec<usize>, Arc<CompiledQuery>)> = Vec::new();
+        let mut miss_index: HashMap<String, usize> = HashMap::new();
+        let (mut statically_empty, mut dedup, mut hits, mut probes) = (0u64, 0u64, 0u64, 0u64);
+        {
+            // One result-cache lock round for the whole membership
+            // check, probing through a reused key buffer (no per-member
+            // String/Vec allocations on the hit path).
+            let mut results = self.results.lock().unwrap();
+            let mut probe: cache::Key = (String::new(), all.clone());
+            for (i, c) in compiled.into_iter().enumerate() {
+                match c.expect("every slot compiled above") {
+                    Err(e) => out[i] = Some(Err(e)),
+                    Ok(c) => {
+                        if c.statically_empty {
+                            statically_empty += 1;
+                            out[i] = Some(Ok(Arc::new(Vec::new())));
+                            continue;
+                        }
+                        if let Some(&mi) = miss_index.get(&c.normalized) {
+                            dedup += 1;
+                            misses[mi].0.push(i);
+                            continue;
+                        }
+                        probes += 1;
+                        probe.0.clear();
+                        probe.0.push_str(&c.normalized);
+                        match results.get(&probe, generation) {
+                            Some(v) => {
+                                hits += 1;
+                                out[i] = Some(Ok(v));
+                            }
+                            None => {
+                                miss_index.insert(c.normalized.clone(), misses.len());
+                                misses.push((vec![i], c));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.counters.statically_empty.add(statically_empty);
+        self.counters.batch_dedup.add(dedup);
+        self.counters.result_hits.add(hits);
+        self.counters.result_misses.add(probes - hits);
+
+        if !misses.is_empty() && self.multi_abort.swap(false, Ordering::SeqCst) {
+            // Batch-abort fault point (test-only): every unresolved
+            // member fails without any shard work or cache writes.
+            for (occurrences, _) in &misses {
+                for &qi in occurrences {
+                    out[qi] = Some(Err(ServiceError::Aborted));
+                }
+            }
+            self.instr
+                .finish(timer, Class::EvalMulti, false, &queries.join(" ; "), 0, 0);
+            return out
+                .into_iter()
+                .map(|r| r.expect("all slots filled"))
+                .collect();
+        }
+
+        if !misses.is_empty() && nshards > 0 {
+            let miss_plans: Vec<Arc<CompiledQuery>> =
+                misses.iter().map(|(_, c)| Arc::clone(c)).collect();
+            // One task per shard carrying the whole miss set, so
+            // anchor-sharing happens inside each shard's engine.
+            let partials = fan_out(self.threads, nshards, |si| {
+                self.eval_multi_one_shard(&shards[si], si as u16, &miss_plans)
+            });
+            for (mi, (occurrences, c)) in misses.iter().enumerate() {
+                let mut merged = Vec::new();
+                for per_shard in &partials {
+                    merged.extend(per_shard[mi].iter().copied());
+                }
+                let merged = Arc::new(merged);
+                let admitted = self.results.lock().unwrap().insert(
+                    (c.normalized.clone(), all.clone()),
+                    generation,
+                    Arc::clone(&merged),
+                );
+                self.note_admission(admitted);
+                for &qi in occurrences {
+                    out[qi] = Some(Ok(Arc::clone(&merged)));
+                }
+            }
+        }
+        if timer.is_some() {
+            let hit = misses.is_empty();
+            let fanout = if misses.is_empty() { 0 } else { nshards };
+            self.instr.finish(
+                timer,
+                Class::EvalMulti,
+                hit,
+                &queries.join(" ; "),
+                fanout,
+                0,
+            );
+        }
+        out.into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect()
+    }
+
+    /// Arm the batch-abort fault point: the next [`Service::eval_multi`]
+    /// call that reaches execution (has at least one uncached member)
+    /// aborts those members with [`ServiceError::Aborted`] instead of
+    /// touching the shards. One-shot; for failure-injection tests.
+    #[doc(hidden)]
+    pub fn inject_multi_abort(&self) {
+        self.multi_abort.store(true, Ordering::SeqCst);
     }
 
     /// Evaluate `compiled` over the (sorted) shard subset `ids`,
@@ -1167,10 +1358,12 @@ impl Service {
             merged.extend(rows.iter().copied());
         }
         let merged = Arc::new(merged);
-        self.results
+        let admitted = self
+            .results
             .lock()
             .unwrap()
             .insert(key, generation, Arc::clone(&merged));
+        self.note_admission(admitted);
         (merged, false)
     }
 
@@ -1193,11 +1386,84 @@ impl Service {
         }
         self.counters.shard_evals.bump();
         let rows = Arc::new(shard.eval(compiled));
-        self.shard_results
+        let admitted = self
+            .shard_results
             .lock()
             .unwrap()
             .insert(key, build, Arc::clone(&rows));
+        self.note_admission(admitted);
         rows
+    }
+
+    /// Evaluate a whole miss set on one shard. Members answered by
+    /// symbol-presence pruning or the per-shard result cache drop out
+    /// first; the remainder go through [`Shard::eval_multi`] together
+    /// so plans opening the same anchor share one enumeration.
+    fn eval_multi_one_shard(
+        &self,
+        shard: &Shard,
+        si: u16,
+        members: &[Arc<CompiledQuery>],
+    ) -> Vec<Arc<ResultSet>> {
+        let build = shard.build_id();
+        let mut out: Vec<Option<Arc<ResultSet>>> = Vec::new();
+        out.resize_with(members.len(), || None);
+        let mut pending: Vec<usize> = Vec::new();
+        let (mut pruned, mut hits) = (0u64, 0u64);
+        {
+            // One per-shard cache lock round for the whole member set,
+            // probing through a reused key buffer.
+            let mut shard_results = self.shard_results.lock().unwrap();
+            let mut probe: cache::Key = (String::new(), vec![si]);
+            for (i, c) in members.iter().enumerate() {
+                if !shard.may_match(&c.required) {
+                    pruned += 1;
+                    out[i] = Some(Arc::new(Vec::new()));
+                    continue;
+                }
+                probe.0.clear();
+                probe.0.push_str(&c.normalized);
+                if let Some(hit) = shard_results.get(&probe, build) {
+                    hits += 1;
+                    out[i] = Some(hit);
+                    continue;
+                }
+                pending.push(i);
+            }
+        }
+        self.counters.shards_pruned.add(pruned);
+        self.counters.result_hits.add(hits);
+        if !pending.is_empty() {
+            self.counters.shard_evals.add(pending.len() as u64);
+            let refs: Vec<&CompiledQuery> = pending.iter().map(|&i| members[i].as_ref()).collect();
+            let (rows, stats) = shard.eval_multi(&refs);
+            self.counters.multi_shared_scans.add(stats.shared_scans);
+            self.counters.multi_residual_evals.add(stats.residual_evals);
+            for (&i, rows) in pending.iter().zip(rows) {
+                let rows = Arc::new(rows);
+                let key = (members[i].normalized.clone(), vec![si]);
+                let admitted =
+                    self.shard_results
+                        .lock()
+                        .unwrap()
+                        .insert(key, build, Arc::clone(&rows));
+                self.note_admission(admitted);
+                out[i] = Some(rows);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("all members resolved"))
+            .collect()
+    }
+
+    /// Record a cache admission verdict: an insert the size/heat-aware
+    /// policy rejected (full cache, every victim pinned-hot) bumps
+    /// `admission_rejects`. A capacity of zero means the cache is
+    /// deliberately disabled — not an admission decision.
+    fn note_admission(&self, admitted: bool) {
+        if !admitted && self.cfg.result_cache_capacity > 0 {
+            self.counters.admission_rejects.bump();
+        }
     }
 
     // -----------------------------------------------------------------
@@ -1321,6 +1587,9 @@ impl Service {
             count_resumes: load(&c.count_resumes),
             hists: load(&c.hists),
             batch_dedup: load(&c.batch_dedup),
+            multi_shared_scans: load(&c.multi_shared_scans),
+            multi_residual_evals: load(&c.multi_residual_evals),
+            admission_rejects: load(&c.admission_rejects),
             queries: load(&c.queries),
             batches: load(&c.batches),
             pages: load(&c.pages),
@@ -1600,6 +1869,83 @@ mod tests {
                 "{q}"
             );
         }
+    }
+
+    #[test]
+    fn multi_matches_individual_evals_and_shares_scans() {
+        let svc = service(2);
+        // Three members open the same NP anchor (negated subquery
+        // checks stay residual filters on the shared scan); the rest
+        // exercise unrelated anchors and the error path.
+        let queries = [
+            "//NP",
+            "//NP[not(//DT)]",
+            "//NP[not(//NN)]",
+            "//VBD->NP",
+            "//VP[",
+        ];
+        let multi = svc.eval_multi(&queries);
+        assert_eq!(multi.len(), 5);
+        assert!(multi[4].is_err());
+        for (i, q) in queries.iter().enumerate().take(4) {
+            assert_eq!(
+                *multi[i].as_ref().unwrap().clone(),
+                *service(2).eval(q).unwrap(),
+                "{q}"
+            );
+        }
+        let stats = svc.stats();
+        assert!(
+            stats.multi_shared_scans >= 3,
+            "NP-anchored members should share: {stats:?}"
+        );
+        assert!(stats.multi_residual_evals > 0, "{stats:?}");
+        // Served-from-batch results land in the caches like solo ones.
+        svc.eval_multi(&["//NP", "//NP[not(//DT)]"])
+            .into_iter()
+            .for_each(|r| {
+                r.unwrap();
+            });
+        let stats = svc.stats();
+        assert!(stats.result_hits >= 2, "{stats:?}");
+    }
+
+    #[test]
+    fn multi_of_one_is_exactly_the_solo_path() {
+        let svc = service(2);
+        let multi = svc.eval_multi(&["//NP"]);
+        assert_eq!(
+            *multi[0].as_ref().unwrap().clone(),
+            *svc.eval("//NP").unwrap()
+        );
+        let stats = svc.stats();
+        // No batch accounting, no sharing machinery — and the second
+        // (solo) eval hit the cache the first populated.
+        assert_eq!(stats.batches, 0, "{stats:?}");
+        assert_eq!(stats.multi_shared_scans, 0, "{stats:?}");
+        assert_eq!(stats.result_hits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn multi_abort_fault_point_fails_misses_without_cache_writes() {
+        let svc = service(2);
+        // A member already in the result cache is immune: it resolves
+        // before the fault point.
+        svc.eval("//NP").unwrap();
+        svc.inject_multi_abort();
+        let multi = svc.eval_multi(&["//NP", "//VP", "//DT"]);
+        assert!(multi[0].is_ok(), "cached member survives the abort");
+        assert!(matches!(multi[1], Err(ServiceError::Aborted)));
+        assert!(matches!(multi[2], Err(ServiceError::Aborted)));
+        let entries = svc.stats().result_cache_entries;
+        assert_eq!(entries, 1, "aborted members wrote nothing");
+        // The fault point is one-shot: the retry succeeds.
+        let retry = svc.eval_multi(&["//NP", "//VP", "//DT"]);
+        assert!(retry.iter().all(Result::is_ok));
+        assert_eq!(
+            *retry[1].as_ref().unwrap().clone(),
+            *service(2).eval("//VP").unwrap()
+        );
     }
 
     #[test]

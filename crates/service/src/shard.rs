@@ -340,6 +340,49 @@ impl Shard {
             .collect()
     }
 
+    /// Evaluate a batch of compiled queries on this shard with
+    /// common-subplan sharing: relational members ride
+    /// [`lpath_core::Engine::eval_batch_shared`] (members whose plans
+    /// anchor identically share one enumeration of the anchor's
+    /// candidate rows), walker members run solo. Per-member output is
+    /// byte-identical to [`Shard::eval`] on that query — same rows,
+    /// same global tree ids, same document order.
+    pub fn eval_multi(
+        &self,
+        compiled: &[&CompiledQuery],
+    ) -> (Vec<Vec<(u32, NodeId)>>, lpath_core::BatchStats) {
+        let mut out: Vec<Option<Vec<(u32, NodeId)>>> = Vec::new();
+        out.resize_with(compiled.len(), || None);
+        let rel_members: Vec<usize> = compiled
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| matches!(c.strategy, ExecStrategy::Relational))
+            .map(|(i, _)| i)
+            .collect();
+        let asts: Vec<&Path> = rel_members.iter().map(|&i| &compiled[i].ast).collect();
+        let (results, stats) = self.engine.eval_batch_shared(&asts);
+        for (&i, r) in rel_members.iter().zip(results) {
+            out[i] = Some(match r {
+                Ok(rows) => rows,
+                // Same contract as `eval`: the strategy was decided
+                // against an engine of the same dialect, so fall back
+                // to the walker rather than fail the member.
+                Err(_) => self.walker().eval(&compiled[i].ast),
+            });
+        }
+        let rows = compiled
+            .iter()
+            .zip(out)
+            .map(|(c, r)| {
+                r.unwrap_or_else(|| self.walker().eval(&c.ast))
+                    .into_iter()
+                    .map(|(tid, node)| (tid + self.base, node))
+                    .collect()
+            })
+            .collect();
+        (rows, stats)
+    }
+
     /// The first `limit` matches of the shard's document-ordered
     /// result — the page bound pushed *into* the shard, so a page-1
     /// request over a large shard pays for a bounded prefix instead of
@@ -670,6 +713,26 @@ mod tests {
         let engine = Engine::build(&master);
         for q in ["//NP", "//VBD->NP", "//S{/VP$}", "//_[@lex=the]"] {
             assert_eq!(shard.eval(&compiled(q)), engine.query(q).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn eval_multi_matches_solo_eval_across_strategies() {
+        let master = parse_str(SRC).unwrap();
+        let shard = Shard::build(&master, 1, 2, 0);
+        let mut walker_q = compiled("//VP/_[last()]");
+        walker_q.strategy = ExecStrategy::Walker;
+        let queries = [
+            compiled("//NP"),
+            compiled("//NP[not(//DT)]"),
+            walker_q,
+            compiled("//VBD->NP"),
+        ];
+        let refs: Vec<&CompiledQuery> = queries.iter().collect();
+        let (rows, _) = shard.eval_multi(&refs);
+        assert_eq!(rows.len(), queries.len());
+        for (c, got) in queries.iter().zip(&rows) {
+            assert_eq!(got, &shard.eval(c), "{}", c.normalized);
         }
     }
 

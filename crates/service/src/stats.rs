@@ -28,6 +28,9 @@ pub(crate) struct Counters {
     pub count_resumes: Counter,
     pub hists: Counter,
     pub batch_dedup: Counter,
+    pub multi_shared_scans: Counter,
+    pub multi_residual_evals: Counter,
+    pub admission_rejects: Counter,
     pub queries: Counter,
     pub batches: Counter,
     pub pages: Counter,
@@ -52,6 +55,7 @@ pub(crate) enum Class {
     EvalPage,
     Count,
     EvalBatch,
+    EvalMulti,
     Hist,
 }
 
@@ -62,15 +66,17 @@ impl Class {
             Class::EvalPage => "eval_page",
             Class::Count => "count",
             Class::EvalBatch => "eval_batch",
+            Class::EvalMulti => "eval_multi",
             Class::Hist => "hist",
         }
     }
 
-    const ALL: [Class; 5] = [
+    const ALL: [Class; 6] = [
         Class::Eval,
         Class::EvalPage,
         Class::Count,
         Class::EvalBatch,
+        Class::EvalMulti,
         Class::Hist,
     ];
 }
@@ -96,7 +102,7 @@ pub(crate) struct Instruments {
     enabled: bool,
     threshold: Duration,
     /// `[class][hit]` latency histograms, nanoseconds.
-    lat: [[Histogram; 2]; 5],
+    lat: [[Histogram; 2]; 6],
     slow: Ring<SlowQuery>,
 }
 
@@ -232,7 +238,7 @@ pub struct Metrics {
     /// histograms are structurally present but empty).
     pub enabled: bool,
     /// Per-class latency snapshots, fixed order: eval, eval_page,
-    /// count, eval_batch, hist.
+    /// count, eval_batch, eval_multi, hist.
     pub classes: Vec<ClassMetrics>,
     /// Counts (and fast histograms) answered straight from the
     /// aggregate tables — the O(index) fast path. Surfaced here (not
@@ -366,6 +372,18 @@ pub struct ServiceStats {
     /// Duplicate queries within one batch served from a sibling
     /// occurrence's evaluation (neither a cache hit nor a miss).
     pub batch_dedup: u64,
+    /// Batch members (across [`crate::Service::eval_multi`] calls)
+    /// whose anchor enumeration was shared with at least one other
+    /// member of the same group — the subplan-sharing signal.
+    pub multi_shared_scans: u64,
+    /// Per-member residual evaluations against shared anchor rows —
+    /// the batched-execution work sharing could not remove.
+    pub multi_residual_evals: u64,
+    /// Cache inserts rejected by the admission policy: the candidate
+    /// lost to a fully hot-pinned resident set (see
+    /// `crate::cache::GenCache::insert`). A sweep of distinct
+    /// one-shot queries shows up here instead of as evictions.
+    pub admission_rejects: u64,
     /// Queries answered (batch members count individually).
     pub queries: u64,
     /// Batch calls served.
@@ -482,6 +500,9 @@ mod tests {
             count_resumes: 0,
             hists: 0,
             batch_dedup: 0,
+            multi_shared_scans: 0,
+            multi_residual_evals: 0,
+            admission_rejects: 0,
             queries: 0,
             batches: 0,
             pages: 0,
@@ -574,6 +595,7 @@ mod tests {
             "\"eval_page\"",
             "\"count\"",
             "\"eval_batch\"",
+            "\"eval_multi\"",
             "\"hist\"",
             "\"aggregation\"",
             "\"count_fast\": 2",

@@ -315,6 +315,38 @@ impl Service {
         Ok(Page { rows, token })
     }
 
+    /// Paged form of [`Service::eval_multi`]: evaluate the whole batch
+    /// with anchor sharing, then serve each member's first `limit`
+    /// rows plus — when more remain — an offset-only paging token.
+    /// The tokens are byte-compatible with the solo paging protocol:
+    /// echoing one into [`Service::eval_page_token`] (with the same
+    /// member query) resumes that member's sweep exactly as if its
+    /// first page had been minted by a solo call.
+    pub fn eval_multi_tokens(
+        &self,
+        queries: &[&str],
+        limit: usize,
+    ) -> Vec<Result<Page, ServiceError>> {
+        let results = self.eval_multi(queries);
+        let (shards, _) = self.snapshot();
+        results
+            .into_iter()
+            .zip(queries)
+            .map(|(r, q)| {
+                let rows = r?;
+                let page: ResultSet = rows.iter().take(limit).copied().collect();
+                let token = (rows.len() > page.len())
+                    .then(|| -> Result<String, ServiceError> {
+                        let compiled = self.compile(q)?;
+                        self.counters.tokens_minted.bump();
+                        Ok(seal_token(&compiled, &shards, page.len() as u64, None))
+                    })
+                    .transpose()?;
+                Ok(Page { rows: page, token })
+            })
+            .collect()
+    }
+
     /// One budgeted step of a token-driven count: the stateless form
     /// of [`Service::count_resume`], for clients across a network
     /// edge. Pass `token: None` to start; echo [`CountPage::token`]

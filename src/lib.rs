@@ -64,6 +64,12 @@ pub use lpath_syntax as syntax;
 pub use lpath_tgrep as tgrep;
 pub use lpath_xpath as xpath;
 
+// Compile the README's examples as doctests so the front-page
+// quick-starts can never drift from the API.
+#[doc = include_str!("../README.md")]
+#[doc(hidden)]
+pub mod readme {}
+
 /// The architecture guide — layer map, data flow of a paged query,
 /// and the cache inventory with invalidation scopes — rendered from
 /// `docs/ARCHITECTURE.md` so its examples compile and run as

@@ -277,3 +277,67 @@ fn editor_handles_stay_invalid_after_delete() {
     let tree = ed.finish().unwrap();
     assert_eq!(tree.len(), 2); // S, D
 }
+
+#[test]
+fn batch_abort_fault_point_fails_cleanly_and_retries() {
+    // The batch-abort fault point: an armed abort fails every
+    // unresolved member of the next executing batch with a typed
+    // error — no partial results, no cache writes — and the very next
+    // batch (nothing re-armed) succeeds in full, proving the abort
+    // left no residue behind.
+    let src: String = (0..6)
+        .map(|i| format!("( (S (NP (NN w{i})) (VP (VBD ran))) )\n"))
+        .collect();
+    let corpus = parse_str(&src).unwrap();
+    let svc = Service::with_config(
+        &corpus,
+        ServiceConfig {
+            shards: 2,
+            threads: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    // Pre-cache one member: already-answered members survive an abort.
+    let cached = svc.eval("//NP").unwrap();
+    let entries_before = svc.stats().result_cache_entries;
+
+    svc.inject_multi_abort();
+    let texts = ["//NP", "//VP", "//VBD->NP"];
+    let results = svc.eval_multi(&texts);
+    assert_eq!(
+        *results[0].as_ref().unwrap().clone(),
+        *cached,
+        "cached member answered despite the abort"
+    );
+    for (q, r) in texts.iter().zip(&results).skip(1) {
+        let err = r.as_ref().unwrap_err();
+        assert!(
+            matches!(err, lpath::service::ServiceError::Aborted),
+            "{q}: expected the abort error, got {err}"
+        );
+    }
+    assert_eq!(
+        svc.stats().result_cache_entries,
+        entries_before,
+        "an aborted batch must not write caches"
+    );
+
+    // One-shot: the retry executes normally and matches fresh solo
+    // evals.
+    let retry = svc.eval_multi(&texts);
+    let oracle = Service::with_config(
+        &corpus,
+        ServiceConfig {
+            shards: 2,
+            threads: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    for (q, r) in texts.iter().zip(&retry) {
+        assert_eq!(
+            *r.as_ref().unwrap().clone(),
+            *oracle.eval(q).unwrap(),
+            "{q}: retry after abort"
+        );
+    }
+}

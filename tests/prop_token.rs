@@ -383,3 +383,58 @@ fn version_bumped_tokens_are_rejected_with_the_version() {
     }
     assert_eq!(svc.stats().tokens_rejected, before + 1);
 }
+
+// ---------------------------------------------------------------
+// Batch-minted tokens
+// ---------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: ProptestConfig::cases_or_env(256),
+        ..ProptestConfig::default()
+    })]
+
+    /// A token minted mid-batch by [`Service::eval_multi_tokens`] is
+    /// interchangeable with a solo-minted one: the member's first page
+    /// equals the solo first page, the batch token resumes through
+    /// [`Service::eval_page_token`] exactly as the solo token does,
+    /// and a full sweep from either mint reproduces the member's
+    /// complete [`Service::eval`] result.
+    #[test]
+    fn batch_minted_tokens_resume_like_solo_minted_ones(
+        trees in arb_treebank(),
+        members in prop::collection::vec(0usize..POOL.len(), 1..4),
+        limit in 1usize..6,
+    ) {
+        let corpus = parse_str(&trees.join("\n")).expect("generated treebank parses");
+        let svc = service_over(&corpus, 2);
+        let texts: Vec<&str> = members.iter().map(|&i| POOL[i]).collect();
+
+        let pages = svc.eval_multi_tokens(&texts, limit);
+        prop_assert_eq!(pages.len(), texts.len());
+        for (q, page) in texts.iter().zip(pages) {
+            let page = page.expect("pool members evaluate");
+            let solo = svc.eval_page_token(q, None, limit).unwrap();
+            prop_assert_eq!(&page.rows, &solo.rows, "first page on {}", q);
+
+            // Sweep both mints to exhaustion; the concatenations must
+            // agree with each other and with the unpaged eval.
+            let mut via_batch = page.rows.clone();
+            let mut token = page.token.clone();
+            while let Some(t) = token {
+                let next = svc.eval_page_token(q, Some(&t), limit).unwrap();
+                via_batch.extend_from_slice(&next.rows);
+                token = next.token;
+            }
+            let mut via_solo = solo.rows.clone();
+            let mut token = solo.token.clone();
+            while let Some(t) = token {
+                let next = svc.eval_page_token(q, Some(&t), limit).unwrap();
+                via_solo.extend_from_slice(&next.rows);
+                token = next.token;
+            }
+            prop_assert_eq!(&via_batch, &via_solo, "sweeps diverged on {}", q);
+            prop_assert_eq!(&via_batch, &*svc.eval(q).unwrap(), "sweep vs eval on {}", q);
+        }
+    }
+}

@@ -226,3 +226,74 @@ fn incremental_append_matches_fresh_service() {
         );
     }
 }
+
+#[test]
+fn eval_multi_racing_appends_sees_one_consistent_snapshot() {
+    // A batch holds one shard snapshot for all its members, so however
+    // appends interleave, members whose queries are provably
+    // coextensive (`//A` and `//A[not(//ZZZ)]` with `ZZZ` nowhere in
+    // any appended text) must return identical rows — a member pair
+    // straddling an append would disagree on the trees it saw.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let base = generate(&GenConfig::wsj(30));
+    let service = std::sync::Arc::new(Service::with_config(
+        &base,
+        ServiceConfig {
+            shards: 4,
+            ..ServiceConfig::default()
+        },
+    ));
+    let extra = generate(&GenConfig::wsj(40));
+    let done = std::sync::Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let service = std::sync::Arc::clone(&service);
+        let done = std::sync::Arc::clone(&done);
+        let batches: Vec<String> = (0..10)
+            .map(|k| extra.subcorpus(k * 4..(k + 1) * 4).to_ptb_string())
+            .collect();
+        std::thread::spawn(move || {
+            for text in &batches {
+                service.append_ptb(text).unwrap();
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    let texts = ["//NP", "//NP[not(//ZZZQQ)]", "//VP", "//VP[not(//ZZZQQ)]"];
+    let mut batches_run = 0u32;
+    while !done.load(Ordering::SeqCst) || batches_run == 0 {
+        let results = service.eval_multi(&texts);
+        let rows: Vec<_> = results
+            .into_iter()
+            .map(|r| r.expect("batch member evaluates"))
+            .collect();
+        assert_eq!(
+            *rows[0], *rows[1],
+            "members of one batch must see the same corpus snapshot"
+        );
+        assert_eq!(*rows[2], *rows[3], "same, on the VP pair");
+        batches_run += 1;
+    }
+    writer.join().unwrap();
+
+    // Settled state: the batch agrees with a fresh engine over the
+    // full corpus.
+    let full = parse_str(&format!(
+        "{}{}",
+        base.to_ptb_string(),
+        extra.to_ptb_string()
+    ))
+    .unwrap();
+    let engine = Engine::build(&full);
+    let settled = service.eval_multi(&["//NP", "//VP"]);
+    assert_eq!(
+        *settled[0].as_ref().unwrap().clone(),
+        engine.query("//NP").unwrap()
+    );
+    assert_eq!(
+        *settled[1].as_ref().unwrap().clone(),
+        engine.query("//VP").unwrap()
+    );
+}
